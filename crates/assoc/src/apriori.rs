@@ -1,0 +1,290 @@
+//! The Apriori algorithm (Agrawal & Srikant, VLDB 1994) — the frequent-
+//! itemset miner that privacy-preserving association mining builds on.
+//!
+//! Level-wise search: frequent `k`-itemsets are joined to form `k+1`
+//! candidates, pruned by the downward-closure property (every subset of a
+//! frequent itemset is frequent), then counted against the database.
+
+use serde::{Deserialize, Serialize};
+
+use crate::transaction::{Item, TransactionSet};
+
+/// Mining parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AprioriConfig {
+    /// Minimum support as a fraction of the database, in `(0, 1]`.
+    pub min_support: f64,
+    /// Maximum itemset size to mine (0 means unbounded).
+    pub max_len: usize,
+}
+
+impl Default for AprioriConfig {
+    fn default() -> Self {
+        AprioriConfig { min_support: 0.01, max_len: 0 }
+    }
+}
+
+/// A mined frequent itemset with its support.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrequentItemset {
+    /// The items, sorted ascending.
+    pub items: Vec<Item>,
+    /// Support as a fraction of the database.
+    pub support: f64,
+}
+
+/// Mines all frequent itemsets of `db`.
+///
+/// Returned itemsets are sorted by (length, items) for deterministic
+/// output.
+pub fn frequent_itemsets(db: &TransactionSet, config: &AprioriConfig) -> Vec<FrequentItemset> {
+    mine_with(db, config, |itemset| db.support(itemset))
+}
+
+/// Mines frequent itemsets with an arbitrary support oracle — the hook that
+/// lets privacy-preserving mining substitute *estimated* supports computed
+/// from a randomized database (see [`crate::estimate`]).
+///
+/// The oracle must be monotone-ish for pruning to be sound; with estimated
+/// supports this is only approximately true, which is exactly the source of
+/// the false negatives the experiments measure.
+pub fn mine_with(
+    db: &TransactionSet,
+    config: &AprioriConfig,
+    support_of: impl Fn(&[Item]) -> f64,
+) -> Vec<FrequentItemset> {
+    let mut result: Vec<FrequentItemset> = Vec::new();
+    if db.is_empty() || config.min_support <= 0.0 {
+        return result;
+    }
+
+    // Level 1: all single items.
+    let mut frontier: Vec<Vec<Item>> = (0..db.universe())
+        .map(|i| vec![i])
+        .filter_map(|set| {
+            let support = support_of(&set);
+            if support >= config.min_support {
+                result.push(FrequentItemset { items: set.clone(), support });
+                Some(set)
+            } else {
+                None
+            }
+        })
+        .collect();
+
+    let mut k = 1usize;
+    while !frontier.is_empty() && (config.max_len == 0 || k < config.max_len) {
+        k += 1;
+        let candidates = generate_candidates(&frontier);
+        let mut next = Vec::new();
+        for candidate in candidates {
+            let support = support_of(&candidate);
+            if support >= config.min_support {
+                result.push(FrequentItemset { items: candidate.clone(), support });
+                next.push(candidate);
+            }
+        }
+        frontier = next;
+    }
+
+    result.sort_by(|a, b| a.items.len().cmp(&b.items.len()).then(a.items.cmp(&b.items)));
+    result
+}
+
+/// Joins frequent `(k-1)`-itemsets sharing their first `k-2` items, then
+/// prunes candidates with an infrequent `(k-1)`-subset.
+fn generate_candidates(frontier: &[Vec<Item>]) -> Vec<Vec<Item>> {
+    let frequent: std::collections::HashSet<&[Item]> =
+        frontier.iter().map(|v| v.as_slice()).collect();
+    let mut sorted: Vec<&Vec<Item>> = frontier.iter().collect();
+    sorted.sort();
+
+    let mut candidates = Vec::new();
+    for (i, a) in sorted.iter().enumerate() {
+        for b in &sorted[i + 1..] {
+            let k = a.len();
+            if a[..k - 1] != b[..k - 1] {
+                break; // sorted order: no further join partners for `a`
+            }
+            let mut candidate = (*a).clone();
+            candidate.push(b[k - 1]);
+            debug_assert!(candidate.windows(2).all(|w| w[0] < w[1]));
+            // Downward closure: every (k)-subset must be frequent.
+            let prunable = (0..candidate.len()).any(|skip| {
+                let subset: Vec<Item> = candidate
+                    .iter()
+                    .enumerate()
+                    .filter(|(idx, _)| *idx != skip)
+                    .map(|(_, item)| *item)
+                    .collect();
+                !frequent.contains(subset.as_slice())
+            });
+            if !prunable {
+                candidates.push(candidate);
+            }
+        }
+    }
+    candidates
+}
+
+/// An association rule `antecedent => consequent` with its confidence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssociationRule {
+    /// Left-hand side items.
+    pub antecedent: Vec<Item>,
+    /// Right-hand side items.
+    pub consequent: Vec<Item>,
+    /// Support of the full itemset.
+    pub support: f64,
+    /// `support(antecedent U consequent) / support(antecedent)`.
+    pub confidence: f64,
+}
+
+/// Derives association rules with single-item consequents from mined
+/// frequent itemsets (the classic presentation).
+pub fn rules_from(frequent: &[FrequentItemset], min_confidence: f64) -> Vec<AssociationRule> {
+    let support_of: std::collections::HashMap<&[Item], f64> =
+        frequent.iter().map(|f| (f.items.as_slice(), f.support)).collect();
+    let mut rules = Vec::new();
+    for f in frequent.iter().filter(|f| f.items.len() >= 2) {
+        for (skip, &consequent) in f.items.iter().enumerate() {
+            let antecedent: Vec<Item> = f
+                .items
+                .iter()
+                .enumerate()
+                .filter(|(idx, _)| *idx != skip)
+                .map(|(_, item)| *item)
+                .collect();
+            let Some(&antecedent_support) = support_of.get(antecedent.as_slice()) else {
+                continue;
+            };
+            if antecedent_support <= 0.0 {
+                continue;
+            }
+            let confidence = f.support / antecedent_support;
+            if confidence >= min_confidence {
+                rules.push(AssociationRule {
+                    antecedent,
+                    consequent: vec![consequent],
+                    support: f.support,
+                    confidence,
+                });
+            }
+        }
+    }
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::Transaction;
+
+    fn t(items: &[Item]) -> Transaction {
+        Transaction::new(items.to_vec())
+    }
+
+    /// The textbook example database.
+    fn db() -> TransactionSet {
+        TransactionSet::new(
+            vec![
+                t(&[0, 1, 4]),
+                t(&[1, 3]),
+                t(&[1, 2]),
+                t(&[0, 1, 3]),
+                t(&[0, 2]),
+                t(&[1, 2]),
+                t(&[0, 2]),
+                t(&[0, 1, 2, 4]),
+                t(&[0, 1, 2]),
+            ],
+            5,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mines_the_textbook_example() {
+        let found =
+            frequent_itemsets(&db(), &AprioriConfig { min_support: 2.0 / 9.0, max_len: 0 });
+        let sets: Vec<Vec<Item>> = found.iter().map(|f| f.items.clone()).collect();
+        // Frequent singles: 0 (6/9), 1 (7/9), 2 (6/9), 3 (2/9), 4 (2/9).
+        assert!(sets.contains(&vec![0]));
+        assert!(sets.contains(&vec![3]));
+        // Frequent pairs include {0,1} (4/9), {0,2} (4/9), {1,2} (4/9),
+        // {0,4} (2/9), {1,4} (2/9), {1,3} (2/9).
+        assert!(sets.contains(&vec![0, 1]));
+        assert!(sets.contains(&vec![1, 3]));
+        assert!(!sets.contains(&vec![2, 3]), "{{2,3}} occurs 0 times");
+        // Frequent triple {0,1,4} (2/9) but not {0,1,3} (1/9).
+        assert!(sets.contains(&vec![0, 1, 4]));
+        assert!(!sets.contains(&vec![0, 1, 3]));
+        // Supports are exact.
+        let s01 = found.iter().find(|f| f.items == vec![0, 1]).unwrap();
+        assert!((s01.support - 4.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_support_filters_everything_when_high() {
+        assert!(frequent_itemsets(&db(), &AprioriConfig { min_support: 0.99, max_len: 0 })
+            .is_empty());
+    }
+
+    #[test]
+    fn max_len_caps_itemset_size() {
+        let found =
+            frequent_itemsets(&db(), &AprioriConfig { min_support: 0.2, max_len: 1 });
+        assert!(found.iter().all(|f| f.items.len() == 1));
+    }
+
+    #[test]
+    fn downward_closure_holds_in_output() {
+        let found = frequent_itemsets(&db(), &AprioriConfig { min_support: 0.2, max_len: 0 });
+        let sets: std::collections::HashSet<Vec<Item>> =
+            found.iter().map(|f| f.items.clone()).collect();
+        for f in &found {
+            if f.items.len() >= 2 {
+                for skip in 0..f.items.len() {
+                    let subset: Vec<Item> = f
+                        .items
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != skip)
+                        .map(|(_, v)| *v)
+                        .collect();
+                    assert!(sets.contains(&subset), "subset {subset:?} of {:?} missing", f.items);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_generation_joins_on_prefix() {
+        let frontier = vec![vec![0, 1], vec![0, 2], vec![1, 2], vec![1, 3]];
+        let candidates = generate_candidates(&frontier);
+        // {0,1} x {0,2} -> {0,1,2}, all pairs frequent -> kept.
+        // {1,2} x {1,3} -> {1,2,3}, pruned: {2,3} not frequent.
+        assert_eq!(candidates, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn rules_have_correct_confidence() {
+        let found = frequent_itemsets(&db(), &AprioriConfig { min_support: 0.2, max_len: 0 });
+        let rules = rules_from(&found, 0.0);
+        // {0,1} => support 4/9; {0} support 6/9 -> rule 0=>1 confidence 4/6.
+        let rule = rules
+            .iter()
+            .find(|r| r.antecedent == vec![0] && r.consequent == vec![1])
+            .expect("rule 0 => 1 exists");
+        assert!((rule.confidence - 4.0 / 6.0).abs() < 1e-12);
+        // High threshold keeps only confident rules.
+        let strict = rules_from(&found, 0.9);
+        assert!(strict.iter().all(|r| r.confidence >= 0.9));
+    }
+
+    #[test]
+    fn empty_database_mines_nothing() {
+        let empty = TransactionSet::new(vec![], 3).unwrap();
+        assert!(frequent_itemsets(&empty, &AprioriConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Synthetic market-basket generator in the spirit of the IBM Quest
+//! generator: transactions are unions of a few "pattern" itemsets plus
+//! background noise items.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::transaction::{Item, Transaction, TransactionSet};
+
+/// Generator parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BasketConfig {
+    /// Size of the item universe.
+    pub universe: Item,
+    /// The embedded frequent patterns and the probability of each
+    /// appearing in a transaction.
+    pub patterns: Vec<(Vec<Item>, f64)>,
+    /// Expected number of random background items per transaction.
+    pub noise_items: f64,
+}
+
+impl BasketConfig {
+    /// A default retail-like setup: 50 items, three planted patterns.
+    pub fn retail_demo() -> Self {
+        BasketConfig {
+            universe: 50,
+            patterns: vec![
+                (vec![1, 2], 0.30),       // bread & butter
+                (vec![5, 6, 7], 0.15),    // pasta, sauce, cheese
+                (vec![10, 11], 0.08),     // razor & blades
+            ],
+            noise_items: 2.0,
+        }
+    }
+}
+
+/// Generates a transaction database with the given seed.
+///
+/// # Panics
+///
+/// Panics if a pattern references an item outside the universe, a pattern
+/// probability is outside `[0, 1]`, or `noise_items` is negative — the
+/// configuration is programmer-supplied.
+pub fn generate_baskets(config: &BasketConfig, n: usize, seed: u64) -> TransactionSet {
+    for (pattern, prob) in &config.patterns {
+        assert!(
+            pattern.iter().all(|i| *i < config.universe),
+            "pattern {pattern:?} outside universe 0..{}",
+            config.universe
+        );
+        assert!((0.0..=1.0).contains(prob), "pattern probability {prob} invalid");
+    }
+    assert!(config.noise_items >= 0.0, "noise_items must be non-negative");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let noise_prob = (config.noise_items / config.universe as f64).min(1.0);
+    let transactions = (0..n)
+        .map(|_| {
+            let mut items: Vec<Item> = Vec::new();
+            for (pattern, prob) in &config.patterns {
+                if rng.gen_bool(*prob) {
+                    items.extend_from_slice(pattern);
+                }
+            }
+            for item in 0..config.universe {
+                if noise_prob > 0.0 && rng.gen_bool(noise_prob) {
+                    items.push(item);
+                }
+            }
+            Transaction::new(items)
+        })
+        .collect();
+    TransactionSet::new(transactions, config.universe).expect("patterns validated above")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count() {
+        let db = generate_baskets(&BasketConfig::retail_demo(), 500, 1);
+        assert_eq!(db.len(), 500);
+        assert_eq!(db.universe(), 50);
+    }
+
+    #[test]
+    fn planted_patterns_have_expected_support() {
+        let db = generate_baskets(&BasketConfig::retail_demo(), 50_000, 2);
+        // Pattern {1,2} planted at 0.30 plus incidental noise co-occurrence.
+        let s12 = db.support(&[1, 2]);
+        assert!((0.28..=0.36).contains(&s12), "support({{1,2}}) = {s12}");
+        let s567 = db.support(&[5, 6, 7]);
+        assert!((0.13..=0.20).contains(&s567), "support({{5,6,7}}) = {s567}");
+        // An unplanted pair only co-occurs by noise: ~ (2/50)^2.
+        let noise_pair = db.support(&[20, 30]);
+        assert!(noise_pair < 0.02, "noise pair support {noise_pair}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = BasketConfig::retail_demo();
+        assert_eq!(generate_baskets(&cfg, 100, 3), generate_baskets(&cfg, 100, 3));
+        assert_ne!(generate_baskets(&cfg, 100, 3), generate_baskets(&cfg, 100, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn pattern_outside_universe_panics() {
+        let cfg = BasketConfig {
+            universe: 5,
+            patterns: vec![(vec![7], 0.5)],
+            noise_items: 0.0,
+        };
+        generate_baskets(&cfg, 10, 5);
+    }
+}

@@ -1,0 +1,47 @@
+//! # ppdm-assoc
+//!
+//! Privacy-preserving **association-rule mining** over randomized
+//! transactions — AS00's stated future-work direction, realized in the
+//! follow-up literature (Evfimievski et al., KDD 2002) and reproduced here
+//! as an extension of the same architecture:
+//!
+//! 1. Clients randomize each basket item-wise ([`ItemRandomizer`]: keep
+//!    true items with probability `p`, insert decoys with probability `q`).
+//! 2. The server estimates itemset supports by inverting the
+//!    randomization channel ([`estimate`]) — the transaction analogue of
+//!    AS00's distribution reconstruction.
+//! 3. [`apriori`] mines frequent itemsets against the *estimated* support
+//!    oracle.
+//!
+//! ```
+//! use ppdm_assoc::apriori::{mine_with, AprioriConfig};
+//! use ppdm_assoc::estimate::estimated_support_oracle;
+//! use ppdm_assoc::generator::{generate_baskets, BasketConfig};
+//! use ppdm_assoc::randomize::ItemRandomizer;
+//!
+//! let db = generate_baskets(&BasketConfig::retail_demo(), 5_000, 7);
+//! let randomizer = ItemRandomizer::new(0.9, 0.05)?;
+//! let randomized = randomizer.perturb_set(&db, 8);
+//!
+//! // The miner sees only the randomized baskets + the public channel.
+//! let oracle = estimated_support_oracle(&randomized, &randomizer);
+//! let found = mine_with(&randomized, &AprioriConfig { min_support: 0.1, max_len: 3 }, oracle);
+//! assert!(found.iter().any(|f| f.items == vec![1, 2]), "planted pattern recovered");
+//! # Ok::<(), ppdm_core::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apriori;
+pub mod estimate;
+pub mod generator;
+pub mod linalg;
+pub mod randomize;
+pub mod transaction;
+
+pub use apriori::{frequent_itemsets, rules_from, AprioriConfig, AssociationRule, FrequentItemset};
+pub use estimate::{estimated_support, estimated_support_oracle};
+pub use generator::{generate_baskets, BasketConfig};
+pub use randomize::ItemRandomizer;
+pub use transaction::{Item, Transaction, TransactionSet};

@@ -1,0 +1,157 @@
+//! A small dense linear solver (Gaussian elimination with partial
+//! pivoting), sized for the `(k+1) x (k+1)` randomization-channel systems
+//! of support estimation.
+
+use ppdm_core::error::{Error, Result};
+
+/// Solves `A x = b` in place for square `A` given in row-major order.
+///
+/// Returns an error for non-square inputs or (numerically) singular
+/// matrices.
+pub fn solve(a: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64>> {
+    let n = b.len();
+    if a.len() != n || a.iter().any(|row| row.len() != n) {
+        return Err(Error::LengthMismatch { left: a.len(), right: n });
+    }
+    // Augmented working copy.
+    let mut m: Vec<Vec<f64>> = a
+        .iter()
+        .zip(b)
+        .map(|(row, rhs)| {
+            let mut r = row.clone();
+            r.push(*rhs);
+            r
+        })
+        .collect();
+
+    for col in 0..n {
+        // Partial pivoting.
+        let pivot_row = (col..n)
+            .max_by(|&x, &y| {
+                m[x][col].abs().partial_cmp(&m[y][col].abs()).expect("finite matrix entries")
+            })
+            .expect("non-empty range");
+        if m[pivot_row][col].abs() < 1e-12 {
+            return Err(Error::InvalidMass(format!("singular matrix at column {col}")));
+        }
+        m.swap(col, pivot_row);
+        for row in col + 1..n {
+            let factor = m[row][col] / m[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            // Split borrows: the pivot row is read while `row` is written.
+            let (pivot_slice, rest) = m.split_at_mut(col + 1);
+            let pivot = &pivot_slice[col];
+            let target = &mut rest[row - col - 1];
+            for k in col..=n {
+                target[k] -= factor * pivot[k];
+            }
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0f64; n];
+    for row in (0..n).rev() {
+        let mut acc = m[row][n];
+        for col in row + 1..n {
+            acc -= m[row][col] * x[col];
+        }
+        x[row] = acc / m[row][row];
+    }
+    Ok(x)
+}
+
+/// Binomial coefficient `C(n, k)` as f64 (exact for the small arguments of
+/// channel matrices).
+pub fn binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut result = 1.0f64;
+    for i in 0..k {
+        result = result * (n - i) as f64 / (i + 1) as f64;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve(&a, &[3.0, -4.0]).unwrap();
+        assert_eq!(x, vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn solves_known_system() {
+        // 2x + y = 5, x - y = 1 -> x = 2, y = 1.
+        let a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let x = solve(&a, &[5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // Without pivoting the first pivot is zero.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(&a, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(solve(&[vec![1.0, 2.0]], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(0, 0), 1.0);
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(5, 5), 1.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(6, 3), 20.0);
+        assert_eq!(binomial(3, 4), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_solve_roundtrips(
+            a00 in 1.0..5.0f64, a01 in -2.0..2.0f64,
+            a10 in -2.0..2.0f64, a11 in 1.0..5.0f64,
+            x0 in -10.0..10.0f64, x1 in -10.0..10.0f64,
+        ) {
+            // Diagonally dominant 2x2 systems are well conditioned:
+            // solve(A, A x) must return x.
+            let a = vec![vec![a00 + 3.0, a01], vec![a10, a11 + 3.0]];
+            let b = [
+                a[0][0] * x0 + a[0][1] * x1,
+                a[1][0] * x0 + a[1][1] * x1,
+            ];
+            let solved = solve(&a, &b).unwrap();
+            prop_assert!((solved[0] - x0).abs() < 1e-8);
+            prop_assert!((solved[1] - x1).abs() < 1e-8);
+        }
+
+        #[test]
+        fn prop_binomial_pascal(n in 1usize..20, k in 1usize..20) {
+            prop_assume!(k <= n);
+            // Pascal's rule.
+            let lhs = binomial(n, k);
+            let rhs = binomial(n - 1, k - 1) + binomial(n - 1, k);
+            prop_assert!((lhs - rhs).abs() < 1e-6 * lhs.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Per-item transaction randomization ("uniform randomization" in the
+//! post-AS00 literature: Evfimievski et al., KDD 2002).
+//!
+//! Each *present* item survives independently with probability `keep_prob`;
+//! each *absent* item of the universe is inserted independently with
+//! probability `insert_prob`. The channel is public; its inversion (see
+//! [`crate::estimate`]) recovers itemset supports without revealing any
+//! individual basket.
+
+use ppdm_core::error::{Error, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::transaction::{Item, Transaction, TransactionSet};
+
+/// The per-item randomization operator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ItemRandomizer {
+    keep_prob: f64,
+    insert_prob: f64,
+}
+
+impl ItemRandomizer {
+    /// Creates an operator keeping true items with probability `keep_prob`
+    /// (in `(0, 1]`) and inserting absent items with probability
+    /// `insert_prob` (in `[0, 1)`).
+    pub fn new(keep_prob: f64, insert_prob: f64) -> Result<Self> {
+        if !(keep_prob > 0.0 && keep_prob <= 1.0) {
+            return Err(Error::InvalidProbability { name: "keep_prob", value: keep_prob });
+        }
+        if !(0.0..1.0).contains(&insert_prob) {
+            return Err(Error::InvalidProbability { name: "insert_prob", value: insert_prob });
+        }
+        Ok(ItemRandomizer { keep_prob, insert_prob })
+    }
+
+    /// Probability that a present item survives.
+    pub fn keep_prob(&self) -> f64 {
+        self.keep_prob
+    }
+
+    /// Probability that an absent item is inserted.
+    pub fn insert_prob(&self) -> f64 {
+        self.insert_prob
+    }
+
+    /// Randomizes one transaction within `0..universe`.
+    pub fn perturb<R: Rng + ?Sized>(
+        &self,
+        transaction: &Transaction,
+        universe: Item,
+        rng: &mut R,
+    ) -> Transaction {
+        let mut items = Vec::new();
+        for item in 0..universe {
+            let present = transaction.contains(item);
+            let keep = if present {
+                rng.gen_bool(self.keep_prob)
+            } else {
+                self.insert_prob > 0.0 && rng.gen_bool(self.insert_prob)
+            };
+            if keep {
+                items.push(item);
+            }
+        }
+        Transaction::new(items)
+    }
+
+    /// Randomizes a whole database with a seeded RNG.
+    pub fn perturb_set(&self, db: &TransactionSet, seed: u64) -> TransactionSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let transactions = db
+            .transactions()
+            .iter()
+            .map(|t| self.perturb(t, db.universe(), &mut rng))
+            .collect();
+        TransactionSet::new(transactions, db.universe()).expect("items stay inside the universe")
+    }
+
+    /// Posterior probability that an item was truly present given that it
+    /// appears in the randomized transaction, for an item of marginal
+    /// support `support` — the basic privacy-breach measure of the
+    /// randomization literature.
+    pub fn breach_probability(&self, support: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&support) {
+            return Err(Error::InvalidProbability { name: "support", value: support });
+        }
+        let seen = self.keep_prob * support + self.insert_prob * (1.0 - support);
+        if seen <= 0.0 {
+            return Ok(0.0);
+        }
+        Ok(self.keep_prob * support / seen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(items: &[Item]) -> Transaction {
+        Transaction::new(items.to_vec())
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(ItemRandomizer::new(0.0, 0.1).is_err());
+        assert!(ItemRandomizer::new(1.1, 0.1).is_err());
+        assert!(ItemRandomizer::new(0.5, 1.0).is_err());
+        assert!(ItemRandomizer::new(0.5, -0.1).is_err());
+        assert!(ItemRandomizer::new(1.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn identity_channel_preserves_transactions() {
+        let r = ItemRandomizer::new(1.0, 0.0).unwrap();
+        let db = TransactionSet::new(vec![t(&[0, 3, 7]), t(&[1])], 10).unwrap();
+        assert_eq!(r.perturb_set(&db, 1), db);
+    }
+
+    #[test]
+    fn keep_and_insert_rates_match_statistically() {
+        let r = ItemRandomizer::new(0.8, 0.1).unwrap();
+        let db = TransactionSet::new(vec![t(&[0]); 20_000], 2).unwrap();
+        let randomized = r.perturb_set(&db, 2);
+        // Item 0 present in all originals: survives ~80%.
+        let kept = randomized.support(&[0]);
+        assert!((kept - 0.8).abs() < 0.01, "keep rate {kept}");
+        // Item 1 absent in all originals: appears ~10%.
+        let inserted = randomized.support(&[1]);
+        assert!((inserted - 0.1).abs() < 0.01, "insert rate {inserted}");
+    }
+
+    #[test]
+    fn perturbation_is_deterministic_by_seed() {
+        let r = ItemRandomizer::new(0.7, 0.05).unwrap();
+        let db = TransactionSet::new(vec![t(&[0, 1, 2]), t(&[3, 4])], 8).unwrap();
+        assert_eq!(r.perturb_set(&db, 9), r.perturb_set(&db, 9));
+        assert_ne!(r.perturb_set(&db, 9), r.perturb_set(&db, 10));
+    }
+
+    #[test]
+    fn breach_probability_formula() {
+        let r = ItemRandomizer::new(0.5, 0.1).unwrap();
+        // P(true | seen) = 0.5 s / (0.5 s + 0.1 (1 - s)).
+        let b = r.breach_probability(0.2).unwrap();
+        assert!((b - (0.1 / (0.1 + 0.08))).abs() < 1e-12);
+        assert_eq!(r.breach_probability(0.0).unwrap(), 0.0);
+        assert!(r.breach_probability(1.5).is_err());
+        // No insertion -> seeing the item is proof it was there.
+        let strict = ItemRandomizer::new(0.5, 0.0).unwrap();
+        assert_eq!(strict.breach_probability(0.3).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn more_insertion_lowers_breach() {
+        let weak = ItemRandomizer::new(0.5, 0.05).unwrap();
+        let strong = ItemRandomizer::new(0.5, 0.4).unwrap();
+        let s = 0.1;
+        assert!(
+            strong.breach_probability(s).unwrap() < weak.breach_probability(s).unwrap(),
+            "inserting more decoys must lower the posterior"
+        );
+    }
+}

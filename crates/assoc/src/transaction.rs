@@ -1,0 +1,224 @@
+//! Transactions (itemsets) and transaction databases.
+
+use ppdm_core::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// An item identifier.
+pub type Item = u32;
+
+/// A transaction: a sorted, duplicate-free set of items.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Transaction {
+    items: Vec<Item>,
+}
+
+impl Transaction {
+    /// Builds a transaction, sorting and deduplicating the input.
+    pub fn new(mut items: Vec<Item>) -> Self {
+        items.sort_unstable();
+        items.dedup();
+        Transaction { items }
+    }
+
+    /// The empty transaction.
+    pub fn empty() -> Self {
+        Transaction { items: Vec::new() }
+    }
+
+    /// The items, sorted ascending.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the transaction has no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the transaction contains `item`.
+    #[inline]
+    pub fn contains(&self, item: Item) -> bool {
+        self.items.binary_search(&item).is_ok()
+    }
+
+    /// Whether every item of the (sorted) `itemset` is present.
+    pub fn contains_all(&self, itemset: &[Item]) -> bool {
+        // Merge-walk: both sides are sorted.
+        let mut mine = self.items.iter();
+        'outer: for want in itemset {
+            for have in mine.by_ref() {
+                match have.cmp(want) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Number of items of the (sorted) `itemset` that are present.
+    pub fn count_of(&self, itemset: &[Item]) -> usize {
+        itemset.iter().filter(|i| self.contains(**i)).count()
+    }
+}
+
+/// A transaction database over a fixed item universe `0..universe`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransactionSet {
+    transactions: Vec<Transaction>,
+    universe: Item,
+}
+
+impl TransactionSet {
+    /// Creates a database, validating that all items are inside the
+    /// universe.
+    pub fn new(transactions: Vec<Transaction>, universe: Item) -> Result<Self> {
+        for t in &transactions {
+            if let Some(bad) = t.items().iter().find(|i| **i >= universe) {
+                return Err(Error::InvalidMass(format!(
+                    "item {bad} outside universe 0..{universe}"
+                )));
+            }
+        }
+        Ok(TransactionSet { transactions, universe })
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// Size of the item universe.
+    pub fn universe(&self) -> Item {
+        self.universe
+    }
+
+    /// The transactions.
+    pub fn transactions(&self) -> &[Transaction] {
+        &self.transactions
+    }
+
+    /// Fraction of transactions containing every item of `itemset`.
+    pub fn support(&self, itemset: &[Item]) -> f64 {
+        if self.transactions.is_empty() {
+            return 0.0;
+        }
+        let hits = self.transactions.iter().filter(|t| t.contains_all(itemset)).count();
+        hits as f64 / self.transactions.len() as f64
+    }
+
+    /// For an itemset of size `k`, the histogram of partial matches:
+    /// entry `j` counts transactions containing exactly `j` of the items.
+    /// This is the sufficient statistic for support estimation over
+    /// randomized transactions.
+    pub fn partial_match_counts(&self, itemset: &[Item]) -> Vec<usize> {
+        let mut counts = vec![0usize; itemset.len() + 1];
+        for t in &self.transactions {
+            counts[t.count_of(itemset)] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(items: &[Item]) -> Transaction {
+        Transaction::new(items.to_vec())
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let tx = t(&[3, 1, 3, 2]);
+        assert_eq!(tx.items(), &[1, 2, 3]);
+        assert_eq!(tx.len(), 3);
+    }
+
+    #[test]
+    fn contains_all_merge_walk() {
+        let tx = t(&[1, 4, 7, 9]);
+        assert!(tx.contains_all(&[]));
+        assert!(tx.contains_all(&[1]));
+        assert!(tx.contains_all(&[4, 9]));
+        assert!(tx.contains_all(&[1, 4, 7, 9]));
+        assert!(!tx.contains_all(&[2]));
+        assert!(!tx.contains_all(&[1, 5]));
+        assert!(!tx.contains_all(&[9, 10]));
+        assert!(!Transaction::empty().contains_all(&[1]));
+    }
+
+    #[test]
+    fn count_of_partial_matches() {
+        let tx = t(&[1, 4, 7]);
+        assert_eq!(tx.count_of(&[1, 2, 7]), 2);
+        assert_eq!(tx.count_of(&[2, 3]), 0);
+    }
+
+    #[test]
+    fn database_validates_universe() {
+        assert!(TransactionSet::new(vec![t(&[0, 5])], 5).is_err());
+        assert!(TransactionSet::new(vec![t(&[0, 4])], 5).is_ok());
+    }
+
+    #[test]
+    fn support_counts_fractions() {
+        let db = TransactionSet::new(
+            vec![t(&[0, 1, 2]), t(&[0, 1]), t(&[0, 2]), t(&[3])],
+            4,
+        )
+        .unwrap();
+        assert_eq!(db.support(&[0]), 0.75);
+        assert_eq!(db.support(&[0, 1]), 0.5);
+        assert_eq!(db.support(&[0, 1, 2]), 0.25);
+        assert_eq!(db.support(&[3]), 0.25);
+        assert_eq!(db.support(&[1, 3]), 0.0);
+        assert_eq!(db.support(&[]), 1.0);
+    }
+
+    #[test]
+    fn empty_database_support_is_zero() {
+        let db = TransactionSet::new(vec![], 4).unwrap();
+        assert_eq!(db.support(&[0]), 0.0);
+    }
+
+    #[test]
+    fn partial_match_counts_sum_to_n() {
+        let db = TransactionSet::new(
+            vec![t(&[0, 1, 2]), t(&[0, 1]), t(&[2]), t(&[3])],
+            4,
+        )
+        .unwrap();
+        let counts = db.partial_match_counts(&[0, 1, 2]);
+        assert_eq!(counts, vec![1, 1, 1, 1]); // [3]:0, [2]:1, [0,1]:2, [0,1,2]:3
+        assert_eq!(counts.iter().sum::<usize>(), db.len());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_contains_all_matches_naive(
+            tx_items in prop::collection::vec(0u32..30, 0..15),
+            set_items in prop::collection::vec(0u32..30, 0..6),
+        ) {
+            let tx = Transaction::new(tx_items);
+            let mut set = set_items;
+            set.sort_unstable();
+            set.dedup();
+            let naive = set.iter().all(|i| tx.items().contains(i));
+            prop_assert_eq!(tx.contains_all(&set), naive);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Structural properties of Apriori and the randomized-mining pipeline on
+//! generated basket data.
+
+use ppdm_assoc::apriori::{frequent_itemsets, rules_from, AprioriConfig};
+use ppdm_assoc::{generate_baskets, BasketConfig, ItemRandomizer};
+
+#[test]
+fn support_is_antitone_in_itemset_size() {
+    let db = generate_baskets(&BasketConfig::retail_demo(), 10_000, 1);
+    let found = frequent_itemsets(&db, &AprioriConfig { min_support: 0.04, max_len: 3 });
+    for f in &found {
+        if f.items.len() >= 2 {
+            for skip in 0..f.items.len() {
+                let subset: Vec<u32> = f
+                    .items
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .map(|(_, v)| *v)
+                    .collect();
+                let subset_support = db.support(&subset);
+                assert!(
+                    subset_support >= f.support - 1e-12,
+                    "support({subset:?}) = {subset_support} < support({:?}) = {}",
+                    f.items,
+                    f.support
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mined_supports_match_direct_counting() {
+    let db = generate_baskets(&BasketConfig::retail_demo(), 5_000, 2);
+    let found = frequent_itemsets(&db, &AprioriConfig { min_support: 0.05, max_len: 3 });
+    assert!(!found.is_empty());
+    for f in &found {
+        assert!((f.support - db.support(&f.items)).abs() < 1e-12);
+        assert!(f.support >= 0.05);
+    }
+}
+
+#[test]
+fn rules_satisfy_confidence_definition() {
+    let db = generate_baskets(&BasketConfig::retail_demo(), 10_000, 3);
+    let found = frequent_itemsets(&db, &AprioriConfig { min_support: 0.04, max_len: 3 });
+    let rules = rules_from(&found, 0.5);
+    assert!(!rules.is_empty(), "the planted patterns should yield confident rules");
+    for rule in &rules {
+        let mut full: Vec<u32> = rule.antecedent.clone();
+        full.extend(&rule.consequent);
+        full.sort_unstable();
+        let expected = db.support(&full) / db.support(&rule.antecedent);
+        assert!((rule.confidence - expected).abs() < 1e-9, "{rule:?}");
+        assert!(rule.confidence >= 0.5 && rule.confidence <= 1.0 + 1e-12);
+    }
+}
+
+#[test]
+fn stronger_randomization_weakens_raw_supports_monotonically() {
+    let db = generate_baskets(&BasketConfig::retail_demo(), 20_000, 4);
+    let pattern = [5u32, 6, 7];
+    let mut last = f64::INFINITY;
+    for keep in [0.95, 0.8, 0.65, 0.5] {
+        let randomizer = ItemRandomizer::new(keep, 0.02).expect("valid channel");
+        let randomized = randomizer.perturb_set(&db, 5);
+        let raw = randomized.support(&pattern);
+        assert!(raw <= last + 0.005, "raw support should fall as keep drops: {raw} vs {last}");
+        last = raw;
+    }
+}

@@ -1,0 +1,46 @@
+//! Criterion benches for the client-side randomization operators: the
+//! per-value cost a data provider pays (AS00's design constraint is that
+//! perturbation must be trivially cheap at the client).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppdm_core::privacy::{NoiseKind, DEFAULT_CONFIDENCE};
+use ppdm_core::randomize::{NoiseModel, RandomizedResponse};
+use ppdm_datagen::{generate, LabelFunction, PerturbPlan};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_noise_models(c: &mut Criterion) {
+    let values: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+    let mut group = c.benchmark_group("perturb/10k_values");
+    for (name, noise) in [
+        ("uniform", NoiseModel::uniform(10.0).expect("static parameter")),
+        ("gaussian", NoiseModel::gaussian(10.0).expect("static parameter")),
+    ] {
+        group.bench_function(name, |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| noise.perturb_all(&values, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dataset_perturbation(c: &mut Criterion) {
+    let dataset = generate(10_000, LabelFunction::F2, 2);
+    let plan = PerturbPlan::for_privacy(NoiseKind::Gaussian, 100.0, DEFAULT_CONFIDENCE)
+        .expect("valid privacy");
+    c.bench_function("perturb/dataset_10k_9attrs", |b| {
+        b.iter(|| plan.perturb_dataset(&dataset, 3));
+    });
+}
+
+fn bench_randomized_response(c: &mut Criterion) {
+    let rr = RandomizedResponse::new(5, 0.7).expect("static parameters");
+    let values: Vec<usize> = (0..10_000).map(|i| i % 5).collect();
+    c.bench_function("perturb/randomized_response_10k", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| rr.perturb_all(&values, &mut rng));
+    });
+}
+
+criterion_group!(benches, bench_noise_models, bench_dataset_perturbation, bench_randomized_response);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion benches for the reconstruction engine: cost vs sample size,
+//! interval count, update mode (the O(m^2) bucketed optimization vs exact),
+//! and likelihood kernel (Bayes vs EM).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppdm_core::domain::{Domain, Partition};
+use ppdm_core::randomize::NoiseModel;
+use ppdm_core::reconstruct::{
+    reconstruct, LikelihoodKernel, ReconstructionConfig, StoppingRule, UpdateMode,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn observed(n: usize, noise: &NoiseModel, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let originals: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
+    noise.perturb_all(&originals, &mut rng)
+}
+
+/// Fixed 200 iterations: benchmark the per-iteration engine cost without
+/// convergence variance.
+fn fixed_iterations(mode: UpdateMode, kernel: LikelihoodKernel) -> ReconstructionConfig {
+    ReconstructionConfig {
+        mode,
+        kernel,
+        stopping: StoppingRule::MaxIterationsOnly,
+        max_iterations: 200,
+    }
+}
+
+fn bench_sample_size(c: &mut Criterion) {
+    let noise = NoiseModel::gaussian(20.0).expect("static parameter");
+    let partition = Partition::new(Domain::new(0.0, 100.0).unwrap(), 50).unwrap();
+    let mut group = c.benchmark_group("reconstruct/bucketed_by_n");
+    for n in [1_000usize, 10_000, 100_000] {
+        let obs = observed(n, &noise, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &obs, |b, obs| {
+            let cfg = fixed_iterations(UpdateMode::Bucketed, LikelihoodKernel::Midpoint);
+            b.iter(|| reconstruct(&noise, partition, obs, &cfg).expect("non-empty"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_interval_count(c: &mut Criterion) {
+    let noise = NoiseModel::gaussian(20.0).expect("static parameter");
+    let obs = observed(10_000, &noise, 2);
+    let mut group = c.benchmark_group("reconstruct/bucketed_by_cells");
+    for cells in [20usize, 50, 100, 200] {
+        let partition = Partition::new(Domain::new(0.0, 100.0).unwrap(), cells).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &partition, |b, p| {
+            let cfg = fixed_iterations(UpdateMode::Bucketed, LikelihoodKernel::Midpoint);
+            b.iter(|| reconstruct(&noise, *p, &obs, &cfg).expect("non-empty"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_vs_bucketed(c: &mut Criterion) {
+    let noise = NoiseModel::gaussian(20.0).expect("static parameter");
+    let partition = Partition::new(Domain::new(0.0, 100.0).unwrap(), 50).unwrap();
+    let obs = observed(2_000, &noise, 3);
+    let mut group = c.benchmark_group("reconstruct/mode");
+    for (name, mode) in [("exact", UpdateMode::Exact), ("bucketed", UpdateMode::Bucketed)] {
+        group.bench_function(name, |b| {
+            let cfg = fixed_iterations(mode, LikelihoodKernel::Midpoint);
+            b.iter(|| reconstruct(&noise, partition, &obs, &cfg).expect("non-empty"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let noise = NoiseModel::gaussian(20.0).expect("static parameter");
+    let partition = Partition::new(Domain::new(0.0, 100.0).unwrap(), 50).unwrap();
+    let obs = observed(10_000, &noise, 4);
+    let mut group = c.benchmark_group("reconstruct/kernel");
+    for (name, kernel) in
+        [("bayes_midpoint", LikelihoodKernel::Midpoint), ("em_cell_average", LikelihoodKernel::CellAverage)]
+    {
+        group.bench_function(name, |b| {
+            let cfg = fixed_iterations(UpdateMode::Bucketed, kernel);
+            b.iter(|| reconstruct(&noise, partition, &obs, &cfg).expect("non-empty"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sample_size,
+    bench_interval_count,
+    bench_exact_vs_bucketed,
+    bench_kernels
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benches for tree training: the five AS00 algorithms at a fixed
+//! workload (F2, 100% privacy) — the paper's qualitative cost claim is that
+//! Local is far more expensive than ByClass, which costs little more than
+//! Randomized.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppdm_core::privacy::{NoiseKind, DEFAULT_CONFIDENCE};
+use ppdm_core::reconstruct::{ReconstructionConfig, StoppingRule};
+use ppdm_datagen::{generate, Dataset, LabelFunction, PerturbPlan};
+use ppdm_tree::{train, TrainerConfig, TrainingAlgorithm};
+
+struct Workload {
+    original: Dataset,
+    perturbed: Dataset,
+    plan: PerturbPlan,
+}
+
+fn workload(n: usize) -> Workload {
+    let original = generate(n, LabelFunction::F2, 0xBE7C);
+    let plan = PerturbPlan::for_privacy(NoiseKind::Gaussian, 100.0, DEFAULT_CONFIDENCE)
+        .expect("valid privacy");
+    let perturbed = plan.perturb_dataset(&original, 0xBE7D);
+    Workload { original, perturbed, plan }
+}
+
+fn bench_config() -> TrainerConfig {
+    // Capped reconstruction keeps bench times stable across machines.
+    TrainerConfig {
+        reconstruction: ReconstructionConfig {
+            stopping: StoppingRule::MaxIterationsOnly,
+            max_iterations: 300,
+            ..Default::default()
+        },
+        ..TrainerConfig::default()
+    }
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let w = workload(10_000);
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("train/f2_10k_100pct");
+    group.sample_size(10);
+    for algo in TrainingAlgorithm::ALL {
+        group.bench_function(algo.name(), |b| {
+            b.iter(|| {
+                train(algo, Some(&w.original), &w.perturbed, &w.plan, &cfg)
+                    .expect("training succeeds")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("train/byclass_by_n");
+    group.sample_size(10);
+    for n in [5_000usize, 20_000, 50_000] {
+        let w = workload(n);
+        group.bench_function(n.to_string(), |b| {
+            b.iter(|| {
+                train(TrainingAlgorithm::ByClass, None, &w.perturbed, &w.plan, &cfg)
+                    .expect("training succeeds")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_scaling);
+criterion_main!(benches);

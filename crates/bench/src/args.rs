@@ -1,0 +1,115 @@
+//! Tiny `--key value` argument parsing for the harness binaries (keeping
+//! the workspace free of CLI dependencies).
+
+/// Parsed `--key value` arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses from an iterator of raw arguments (excluding the program
+    /// name). `--key value` becomes a pair; a trailing or value-less
+    /// `--flag` becomes a boolean flag.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Args {
+        let mut pairs = Vec::new();
+        let mut flags = Vec::new();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        pairs.push((key.to_string(), iter.next().expect("peeked")));
+                    }
+                    _ => flags.push(key.to_string()),
+                }
+            } else {
+                // Bare positional values are treated as flags for the
+                // simple harnesses (e.g. `fig_reconstruction gaussian`).
+                flags.push(arg);
+            }
+        }
+        Args { pairs, flags }
+    }
+
+    /// Parses the process arguments.
+    pub fn from_env() -> Args {
+        Args::parse(std::env::args().skip(1))
+    }
+
+    /// Raw string value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether `--flag` (or a bare positional equal to `flag`) was given.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+
+    /// Parses `--key` as `usize` with a default.
+    pub fn usize_or(&self, key: &str, default: usize) -> usize {
+        self.get(key).map(|v| v.parse().unwrap_or_else(|_| bad(key, v))).unwrap_or(default)
+    }
+
+    /// Parses `--key` as `u64` with a default.
+    pub fn u64_or(&self, key: &str, default: u64) -> u64 {
+        self.get(key).map(|v| v.parse().unwrap_or_else(|_| bad(key, v))).unwrap_or(default)
+    }
+
+    /// Parses `--key` as `f64` with a default.
+    pub fn f64_or(&self, key: &str, default: f64) -> f64 {
+        self.get(key).map(|v| v.parse().unwrap_or_else(|_| bad(key, v))).unwrap_or(default)
+    }
+}
+
+fn bad(key: &str, value: &str) -> ! {
+    eprintln!("invalid value {value:?} for --{key}");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[&str]) -> Args {
+        Args::parse(raw.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn pairs_and_flags() {
+        let a = parse(&["--train", "1000", "--full", "--seed", "7"]);
+        assert_eq!(a.get("train"), Some("1000"));
+        assert_eq!(a.usize_or("train", 5), 1000);
+        assert_eq!(a.u64_or("seed", 0), 7);
+        assert!(a.has_flag("full"));
+        assert!(!a.has_flag("quick"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&[]);
+        assert_eq!(a.usize_or("train", 42), 42);
+        assert_eq!(a.f64_or("privacy", 1.5), 1.5);
+        assert_eq!(a.get("x"), None);
+    }
+
+    #[test]
+    fn last_occurrence_wins() {
+        let a = parse(&["--n", "1", "--n", "2"]);
+        assert_eq!(a.usize_or("n", 0), 2);
+    }
+
+    #[test]
+    fn bare_positional_is_flag() {
+        let a = parse(&["gaussian"]);
+        assert!(a.has_flag("gaussian"));
+    }
+
+    #[test]
+    fn trailing_key_is_flag() {
+        let a = parse(&["--csv"]);
+        assert!(a.has_flag("csv"));
+    }
+}

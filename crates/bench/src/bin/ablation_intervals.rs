@@ -1,0 +1,46 @@
+//! Ablation: sensitivity of reconstruction-based training to the number of
+//! reconstruction intervals per attribute (AS00 discusses the interval
+//! count as the key discretization knob).
+//!
+//! ```text
+//! cargo run --release -p ppdm-bench --bin ablation_intervals -- [--train N] [--privacy P]
+//! ```
+
+use ppdm_bench::{table, Args};
+use ppdm_core::privacy::{NoiseKind, DEFAULT_CONFIDENCE};
+use ppdm_datagen::{generate_train_test, LabelFunction, PerturbPlan};
+use ppdm_tree::{evaluate, train, TrainerConfig, TrainingAlgorithm};
+
+fn main() {
+    let args = Args::from_env();
+    let n_train = args.usize_or("train", 50_000);
+    let privacy = args.f64_or("privacy", 100.0);
+    let seed = args.u64_or("seed", 0xAB1);
+
+    let (train_d, test_d) = generate_train_test(n_train, n_train / 10, LabelFunction::F3, seed);
+    let plan = PerturbPlan::for_privacy(NoiseKind::Gaussian, privacy, DEFAULT_CONFIDENCE)
+        .expect("valid privacy");
+    let perturbed = plan.perturb_dataset(&train_d, seed + 1);
+
+    let mut rows = Vec::new();
+    for cells in [5usize, 10, 20, 50, 100, 200] {
+        let cfg = TrainerConfig { cells_override: Some(cells), ..TrainerConfig::default() };
+        let started = std::time::Instant::now();
+        let tree = train(TrainingAlgorithm::ByClass, None, &perturbed, &plan, &cfg)
+            .expect("training succeeds");
+        let elapsed = started.elapsed().as_millis();
+        let eval = evaluate(&tree, &test_d);
+        eprintln!("  cells {cells:>4}: {:.2}% ({elapsed} ms)", 100.0 * eval.accuracy);
+        rows.push(vec![
+            cells.to_string(),
+            format!("{:.2}", 100.0 * eval.accuracy),
+            tree.leaf_count().to_string(),
+            elapsed.to_string(),
+        ]);
+    }
+    table::print(
+        &format!("ByClass accuracy vs reconstruction intervals (F3, {privacy:.0}% privacy, n = {n_train})"),
+        &["intervals", "accuracy %", "leaves", "train ms"],
+        &rows,
+    );
+}

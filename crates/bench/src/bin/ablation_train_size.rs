@@ -1,0 +1,45 @@
+//! Ablation: how much data reconstruction needs. AS00's analysis assumes a
+//! "sufficiently large" sample; this sweep shows where ByClass's advantage
+//! over Randomized emerges as the training set grows.
+//!
+//! ```text
+//! cargo run --release -p ppdm-bench --bin ablation_train_size -- [--privacy P] [--seed N]
+//! ```
+
+use ppdm_bench::{table, Args};
+use ppdm_core::privacy::{NoiseKind, DEFAULT_CONFIDENCE};
+use ppdm_datagen::{generate_train_test, LabelFunction, PerturbPlan};
+use ppdm_tree::{evaluate, train, TrainerConfig, TrainingAlgorithm};
+
+fn main() {
+    let args = Args::from_env();
+    let privacy = args.f64_or("privacy", 100.0);
+    let seed = args.u64_or("seed", 0xAB2);
+
+    let mut rows = Vec::new();
+    for n_train in [1_000usize, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000] {
+        let (train_d, test_d) = generate_train_test(n_train, 5_000, LabelFunction::F2, seed);
+        let plan = PerturbPlan::for_privacy(NoiseKind::Gaussian, privacy, DEFAULT_CONFIDENCE)
+            .expect("valid privacy");
+        let perturbed = plan.perturb_dataset(&train_d, seed + 1);
+        let cfg = TrainerConfig::default();
+        let mut row = vec![n_train.to_string()];
+        for algo in [
+            TrainingAlgorithm::Original,
+            TrainingAlgorithm::Randomized,
+            TrainingAlgorithm::ByClass,
+        ] {
+            let tree = train(algo, Some(&train_d), &perturbed, &plan, &cfg)
+                .expect("training succeeds");
+            let acc = evaluate(&tree, &test_d).accuracy;
+            eprintln!("  n {n_train:>7} {:<10} {:.2}%", algo.name(), 100.0 * acc);
+            row.push(format!("{:.2}", 100.0 * acc));
+        }
+        rows.push(row);
+    }
+    table::print(
+        &format!("Accuracy vs training size (F2, {privacy:.0}% privacy, Gaussian)"),
+        &["n_train", "Original", "Randomized", "ByClass"],
+        &rows,
+    );
+}

@@ -1,0 +1,113 @@
+//! Regenerates AS00's accuracy-vs-privacy figures (one per classification
+//! function F1-F5): test accuracy of Original / Randomized / Global /
+//! ByClass / Local as the privacy level sweeps 25%..200%.
+//!
+//! ```text
+//! cargo run --release -p ppdm-bench --bin fig_accuracy -- --function 2
+//!     [--train 100000] [--test 5000] [--seed N] [--uniform]
+//!     [--levels 25,50,100,150,200] [--algos Original,ByClass,...] [--csv]
+//! ```
+
+use ppdm_bench::{run_accuracy, AccuracyExperiment, Args};
+use ppdm_core::privacy::NoiseKind;
+use ppdm_datagen::LabelFunction;
+use ppdm_tree::TrainingAlgorithm;
+
+fn main() {
+    let args = Args::from_env();
+    let function = LabelFunction::from_number(args.usize_or("function", 2))
+        .unwrap_or_else(|| {
+            eprintln!("--function must be 1..=10");
+            std::process::exit(2);
+        });
+
+    let mut exp = AccuracyExperiment::paper_defaults(function);
+    exp.n_train = args.usize_or("train", exp.n_train);
+    exp.n_test = args.usize_or("test", exp.n_test);
+    exp.seed = args.u64_or("seed", exp.seed);
+    if args.has_flag("uniform") {
+        exp.noise_kind = NoiseKind::Uniform;
+    }
+    if let Some(levels) = args.get("levels") {
+        exp.privacy_levels = levels
+            .split(',')
+            .map(|s| s.trim().parse().expect("--levels takes comma-separated percentages"))
+            .collect();
+    }
+    if let Some(algos) = args.get("algos") {
+        exp.algorithms = algos
+            .split(',')
+            .map(|name| {
+                TrainingAlgorithm::ALL
+                    .into_iter()
+                    .find(|a| a.name().eq_ignore_ascii_case(name.trim()))
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown algorithm {name:?}");
+                        std::process::exit(2);
+                    })
+            })
+            .collect();
+    }
+
+    eprintln!(
+        "fig_accuracy: {} | {} noise | train {} test {} | levels {:?}",
+        function, exp.noise_kind, exp.n_train, exp.n_test, exp.privacy_levels
+    );
+
+    let csv = args.has_flag("csv");
+    if csv {
+        println!("function,privacy_pct,algorithm,accuracy_pct,leaves,depth,train_ms");
+    }
+    let rows = run_accuracy(&exp, |row| {
+        if csv {
+            println!(
+                "F{},{},{},{:.2},{},{},{}",
+                row.function,
+                row.privacy_pct,
+                row.algorithm,
+                100.0 * row.accuracy,
+                row.leaves,
+                row.depth,
+                row.train_millis
+            );
+        } else {
+            eprintln!(
+                "  privacy {:>5.1}% {:<10} accuracy {:>6.2}%  ({} leaves, depth {}, {} ms)",
+                row.privacy_pct,
+                row.algorithm.name(),
+                100.0 * row.accuracy,
+                row.leaves,
+                row.depth,
+                row.train_millis
+            );
+        }
+    })
+    .expect("experiment failed");
+
+    if !csv {
+        // Paper-style series: one row per privacy level, one column per
+        // algorithm.
+        let headers: Vec<&str> = std::iter::once("privacy %")
+            .chain(exp.algorithms.iter().map(|a| a.name()))
+            .collect();
+        let table_rows: Vec<Vec<String>> = exp
+            .privacy_levels
+            .iter()
+            .map(|&level| {
+                std::iter::once(format!("{level:.0}"))
+                    .chain(exp.algorithms.iter().map(|algo| {
+                        rows.iter()
+                            .find(|r| r.privacy_pct == level && r.algorithm == *algo)
+                            .map(|r| format!("{:.2}", 100.0 * r.accuracy))
+                            .unwrap_or_else(|| "-".into())
+                    }))
+                    .collect()
+            })
+            .collect();
+        ppdm_bench::table::print(
+            &format!("Accuracy vs privacy - {function} ({} noise)", exp.noise_kind),
+            &headers,
+            &table_rows,
+        );
+    }
+}

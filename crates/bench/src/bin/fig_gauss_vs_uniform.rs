@@ -1,0 +1,59 @@
+//! Regenerates AS00's Gaussian-vs-Uniform comparison: ByClass accuracy
+//! across the privacy sweep under both noise families, on F2 (broad
+//! regions) and F5 (narrow regions).
+//!
+//! ```text
+//! cargo run --release -p ppdm-bench --bin fig_gauss_vs_uniform -- [--train N] [--seed N]
+//! ```
+
+use ppdm_bench::{run_accuracy, table, AccuracyExperiment, Args};
+use ppdm_core::privacy::NoiseKind;
+use ppdm_datagen::LabelFunction;
+use ppdm_tree::TrainingAlgorithm;
+
+fn main() {
+    let args = Args::from_env();
+    let n_train = args.usize_or("train", 100_000);
+    let seed = args.u64_or("seed", 0xF1);
+
+    for function in [LabelFunction::F2, LabelFunction::F5] {
+        let mut by_kind = Vec::new();
+        for kind in [NoiseKind::Gaussian, NoiseKind::Uniform] {
+            let mut exp = AccuracyExperiment::paper_defaults(function);
+            exp.noise_kind = kind;
+            exp.n_train = n_train;
+            exp.seed = seed;
+            exp.algorithms = vec![TrainingAlgorithm::ByClass];
+            let rows = run_accuracy(&exp, |row| {
+                eprintln!(
+                    "  {function} {kind} privacy {:>5.1}%: {:.2}%",
+                    row.privacy_pct,
+                    100.0 * row.accuracy
+                );
+            })
+            .expect("experiment failed");
+            by_kind.push((kind, rows));
+        }
+        let levels: Vec<f64> = vec![25.0, 50.0, 100.0, 150.0, 200.0];
+        let rows: Vec<Vec<String>> = levels
+            .iter()
+            .map(|&level| {
+                let mut row = vec![format!("{level:.0}")];
+                for (_, results) in &by_kind {
+                    let acc = results
+                        .iter()
+                        .find(|r| r.privacy_pct == level)
+                        .map(|r| format!("{:.2}", 100.0 * r.accuracy))
+                        .unwrap_or_else(|| "-".into());
+                    row.push(acc);
+                }
+                row
+            })
+            .collect();
+        table::print(
+            &format!("ByClass accuracy, Gaussian vs Uniform noise - {function}"),
+            &["privacy %", "Gaussian", "Uniform"],
+            &rows,
+        );
+    }
+}

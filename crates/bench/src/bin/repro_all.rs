@@ -1,0 +1,39 @@
+//! Runs every experiment of the reproduction in sequence, at a reduced
+//! scale by default so a laptop finishes in minutes. Pass `--full` for the
+//! paper's 100,000-tuple training sets.
+//!
+//! ```text
+//! cargo run --release -p ppdm-bench --bin repro_all -- [--full] [--seed N]
+//! ```
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) {
+    eprintln!("\n##### {bin} {} #####", args.join(" "));
+    let status = Command::new(std::env::current_exe().expect("own path").with_file_name(bin))
+        .args(args)
+        .status()
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+    assert!(status.success(), "{bin} exited with {status}");
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let train: &str = if full { "100000" } else { "25000" };
+
+    run("table_privacy", &[]);
+    run("fig_reconstruction", &["gaussian"]);
+    run("fig_reconstruction", &["uniform"]);
+    run("fig_reconstruction", &["gaussian", "--plateau"]);
+    for function in ["1", "2", "3", "4", "5"] {
+        run("fig_accuracy", &["--function", function, "--train", train]);
+    }
+    run("fig_gauss_vs_uniform", &["--train", train]);
+    run("table_summary", &["--train", train]);
+    run("ablation_intervals", &["--train", train]);
+    run("ablation_train_size", &[]);
+    run("ablation_stopping", &[]);
+    run("fig_assoc_support", &[]);
+    run("table_assoc_mining", &[]);
+    eprintln!("\nAll experiments completed.");
+}

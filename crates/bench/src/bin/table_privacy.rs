@@ -1,0 +1,62 @@
+//! Regenerates the privacy quantification of AS00 section 2.2: the width of
+//! the confidence interval that pins the true value, per noise family, at
+//! 50% / 95% / 99.9% confidence — plus the concrete noise parameters needed
+//! for the paper's privacy levels on the salary attribute.
+//!
+//! ```text
+//! cargo run -p ppdm-bench --bin table_privacy
+//! ```
+
+use ppdm_bench::table;
+use ppdm_core::privacy::{
+    interval_width, noise_for_privacy, privacy_table, NoiseKind, DEFAULT_CONFIDENCE,
+};
+use ppdm_core::randomize::NoiseModel;
+use ppdm_datagen::Attribute;
+
+fn main() {
+    let rows = privacy_table(&[0.5, 0.95, 0.999]).expect("static confidences are valid");
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.1}%", 100.0 * r.confidence),
+                format!("{:.3} x 2a", r.uniform_width_per_spread),
+                format!("{:.2} x sigma", r.gaussian_width_per_sigma),
+            ]
+        })
+        .collect();
+    table::print(
+        "Interval width pinning the true value (AS00 sec. 2.2)",
+        &["confidence", "Uniform [-a, a]", "Gaussian(sigma)"],
+        &table_rows,
+    );
+
+    // The inverse problem, solved per privacy level on salary [20k, 150k]:
+    // how much noise do the paper's sweep points actually inject?
+    let domain = Attribute::Salary.domain();
+    let mut inverse_rows = Vec::new();
+    for privacy in [25.0, 50.0, 100.0, 150.0, 200.0] {
+        let uniform = noise_for_privacy(NoiseKind::Uniform, privacy, DEFAULT_CONFIDENCE, &domain)
+            .expect("valid sweep point");
+        let gaussian = noise_for_privacy(NoiseKind::Gaussian, privacy, DEFAULT_CONFIDENCE, &domain)
+            .expect("valid sweep point");
+        let (alpha, sigma) = match (uniform, gaussian) {
+            (NoiseModel::Uniform { half_width }, NoiseModel::Gaussian { std_dev }) => {
+                (half_width, std_dev)
+            }
+            _ => unreachable!("positive privacy always yields noise"),
+        };
+        inverse_rows.push(vec![
+            format!("{privacy:.0}%"),
+            format!("{:.0}", alpha),
+            format!("{:.0}", sigma),
+            format!("{:.0}", interval_width(&gaussian, DEFAULT_CONFIDENCE).unwrap()),
+        ]);
+    }
+    table::print(
+        "Noise achieving each privacy level at 95% confidence (salary, domain width 130000)",
+        &["privacy", "uniform a", "gaussian sigma", "95% interval width"],
+        &inverse_rows,
+    );
+}

@@ -1,0 +1,50 @@
+//! Regenerates the summary of AS00 section 5: accuracy of all five
+//! training algorithms on every paper function (F1-F5) at 25% and 100%
+//! privacy with Gaussian noise.
+//!
+//! ```text
+//! cargo run --release -p ppdm-bench --bin table_summary -- [--train N] [--seed N]
+//! ```
+
+use ppdm_bench::{run_accuracy, table, AccuracyExperiment, Args};
+use ppdm_datagen::LabelFunction;
+use ppdm_tree::TrainingAlgorithm;
+
+fn main() {
+    let args = Args::from_env();
+    let n_train = args.usize_or("train", 100_000);
+    let seed_base = args.u64_or("seed", 0x5EED);
+
+    for privacy in [25.0, 100.0] {
+        let mut rows = Vec::new();
+        for function in LabelFunction::PAPER {
+            let mut exp = AccuracyExperiment::paper_defaults(function);
+            exp.privacy_levels = vec![privacy];
+            exp.n_train = n_train;
+            exp.seed = seed_base + function.number() as u64;
+            let results = run_accuracy(&exp, |row| {
+                eprintln!(
+                    "  {function} privacy {privacy:.0}% {:<10} {:.2}%",
+                    row.algorithm.name(),
+                    100.0 * row.accuracy
+                );
+            })
+            .expect("experiment failed");
+            let mut row = vec![function.to_string()];
+            for algo in TrainingAlgorithm::ALL {
+                let acc = results
+                    .iter()
+                    .find(|r| r.algorithm == algo)
+                    .map(|r| format!("{:.2}", 100.0 * r.accuracy))
+                    .unwrap_or_else(|| "-".into());
+                row.push(acc);
+            }
+            rows.push(row);
+        }
+        table::print(
+            &format!("Accuracy at {privacy:.0}% privacy (Gaussian noise, n = {n_train})"),
+            &["function", "Original", "Randomized", "Global", "ByClass", "Local"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Shared experiment runner for the figure/table harnesses.
+//!
+//! One [`AccuracyExperiment`] run corresponds to one curve family in AS00's
+//! section 5: fix a classification function and noise family, sweep the
+//! privacy level, and score every training algorithm on held-out
+//! (unperturbed) test data.
+
+use std::time::Instant;
+
+use ppdm_core::error::Result;
+use ppdm_core::privacy::{NoiseKind, DEFAULT_CONFIDENCE};
+use ppdm_datagen::{generate_train_test, LabelFunction, PerturbPlan};
+use ppdm_tree::{evaluate, train, TrainerConfig, TrainingAlgorithm};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one accuracy-vs-privacy sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AccuracyExperiment {
+    /// Labeling function under study.
+    pub function: LabelFunction,
+    /// Noise family used for perturbation.
+    pub noise_kind: NoiseKind,
+    /// Privacy levels (percent of each attribute's domain width at 95%
+    /// confidence) to sweep. AS00 uses 25..200%.
+    pub privacy_levels: Vec<f64>,
+    /// Algorithms to score at every level.
+    pub algorithms: Vec<TrainingAlgorithm>,
+    /// Training tuples (paper: 100,000).
+    pub n_train: usize,
+    /// Test tuples (paper: 5,000).
+    pub n_test: usize,
+    /// Base RNG seed; generation and perturbation derive from it.
+    pub seed: u64,
+    /// Trainer configuration shared by all algorithms.
+    pub trainer: TrainerConfig,
+}
+
+impl AccuracyExperiment {
+    /// The paper's defaults for one function: Gaussian noise, privacy in
+    /// {25, 50, 100, 150, 200}%, all five algorithms, 100k/5k tuples.
+    pub fn paper_defaults(function: LabelFunction) -> Self {
+        AccuracyExperiment {
+            function,
+            noise_kind: NoiseKind::Gaussian,
+            privacy_levels: vec![25.0, 50.0, 100.0, 150.0, 200.0],
+            algorithms: TrainingAlgorithm::ALL.to_vec(),
+            n_train: 100_000,
+            n_test: 5_000,
+            seed: 0xA500 + function.number() as u64,
+            trainer: TrainerConfig::default(),
+        }
+    }
+}
+
+/// One measured point of a sweep.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AccuracyRow {
+    /// 1-based function number.
+    pub function: usize,
+    /// Privacy level in percent.
+    pub privacy_pct: f64,
+    /// Algorithm scored.
+    pub algorithm: TrainingAlgorithm,
+    /// Test accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Leaves in the induced tree.
+    pub leaves: usize,
+    /// Tree depth.
+    pub depth: usize,
+    /// Wall-clock training time in milliseconds (reconstruction included).
+    pub train_millis: u128,
+}
+
+/// Runs the sweep, invoking `progress` after each measured row (handy for
+/// long sweeps) and returning all rows.
+pub fn run_accuracy(
+    exp: &AccuracyExperiment,
+    mut progress: impl FnMut(&AccuracyRow),
+) -> Result<Vec<AccuracyRow>> {
+    let (train_d, test_d) =
+        generate_train_test(exp.n_train, exp.n_test, exp.function, exp.seed);
+    let mut rows = Vec::new();
+    for &privacy in &exp.privacy_levels {
+        let plan = PerturbPlan::for_privacy(exp.noise_kind, privacy, DEFAULT_CONFIDENCE)?;
+        let perturbed = plan.perturb_dataset(&train_d, exp.seed ^ 0x5EED_0000 ^ privacy as u64);
+        for &algorithm in &exp.algorithms {
+            let started = Instant::now();
+            let tree = train(algorithm, Some(&train_d), &perturbed, &plan, &exp.trainer)?;
+            let train_millis = started.elapsed().as_millis();
+            let eval = evaluate(&tree, &test_d);
+            let row = AccuracyRow {
+                function: exp.function.number(),
+                privacy_pct: privacy,
+                algorithm,
+                accuracy: eval.accuracy,
+                leaves: tree.leaf_count(),
+                depth: tree.depth(),
+                train_millis,
+            };
+            progress(&row);
+            rows.push(row);
+        }
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdm_core::reconstruct::ReconstructionConfig;
+
+    fn tiny() -> AccuracyExperiment {
+        AccuracyExperiment {
+            function: LabelFunction::F1,
+            noise_kind: NoiseKind::Gaussian,
+            privacy_levels: vec![25.0],
+            algorithms: vec![TrainingAlgorithm::Original, TrainingAlgorithm::ByClass],
+            n_train: 600,
+            n_test: 150,
+            seed: 1,
+            trainer: TrainerConfig {
+                cells_override: Some(12),
+                reconstruction: ReconstructionConfig {
+                    max_iterations: 200,
+                    ..ReconstructionConfig::default()
+                },
+                ..TrainerConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn runs_and_reports_every_cell() {
+        let exp = tiny();
+        let mut seen = 0;
+        let rows = run_accuracy(&exp, |_| seen += 1).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(seen, 2);
+        for row in &rows {
+            assert!(row.accuracy > 0.5, "{row:?}");
+            assert!(row.leaves >= 1);
+            assert_eq!(row.function, 1);
+        }
+    }
+
+    #[test]
+    fn paper_defaults_match_paper() {
+        let exp = AccuracyExperiment::paper_defaults(LabelFunction::F3);
+        assert_eq!(exp.n_train, 100_000);
+        assert_eq!(exp.n_test, 5_000);
+        assert_eq!(exp.privacy_levels, vec![25.0, 50.0, 100.0, 150.0, 200.0]);
+        assert_eq!(exp.algorithms.len(), 5);
+    }
+}

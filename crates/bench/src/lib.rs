@@ -1,0 +1,17 @@
+//! # ppdm-bench
+//!
+//! Experiment harness for the AS00 reproduction: a shared
+//! accuracy-vs-privacy sweep runner plus small table/argument utilities.
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation; see `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for recorded results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod experiment;
+pub mod table;
+
+pub use args::Args;
+pub use experiment::{run_accuracy, AccuracyExperiment, AccuracyRow};

@@ -1,0 +1,98 @@
+//! Plain-text table rendering for harness output.
+
+use std::io::Write;
+
+/// Renders an aligned ASCII table; the first row is the header.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width must match header width");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            out.extend(std::iter::repeat_n(' ', w - cell.len()));
+        }
+        // Trim per-line trailing padding.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    fmt_row(&header_cells, &widths, &mut out);
+    let rule_len = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(rule_len));
+    out.push('\n');
+    for row in rows {
+        fmt_row(row, &widths, &mut out);
+    }
+    out
+}
+
+/// Prints a table to stdout under a section banner.
+pub fn print(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    let _ = writeln!(lock, "\n== {title} ==\n{}", render(headers, rows));
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.2}", 100.0 * fraction)
+}
+
+/// Formats a float with the given precision.
+pub fn num(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let s = render(
+            &["algo", "acc"],
+            &[
+                vec!["Original".into(), "99.1".into()],
+                vec!["ByClass".into(), "95.0".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("algo"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // "acc" column starts at the same offset in every row.
+        let col = lines[0].find("acc").unwrap();
+        assert_eq!(&lines[2][col..col + 4], "99.1");
+        assert_eq!(&lines[3][col..col + 4], "95.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        render(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.12345), "12.35");
+        assert_eq!(num(12.3456, 3), "12.346");
+    }
+
+    #[test]
+    fn empty_rows_render_header_only() {
+        let s = render(&["x"], &[]);
+        assert_eq!(s.lines().count(), 2);
+    }
+}

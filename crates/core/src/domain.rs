@@ -1,0 +1,313 @@
+//! Closed numeric domains and equi-width interval partitions.
+//!
+//! AS00 discretizes every attribute's domain into intervals: the
+//! reconstruction algorithm estimates per-interval mass, the privacy metric
+//! is expressed relative to the domain width, and decision-tree split points
+//! are interval boundaries. [`Domain`] and [`Partition`] are therefore the
+//! shared geometric vocabulary of the whole workspace.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+
+/// A closed, finite interval `[lo, hi]` with `lo < hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Domain {
+    lo: f64,
+    hi: f64,
+}
+
+impl Domain {
+    /// Creates a domain, validating that the bounds are finite and ordered.
+    pub fn new(lo: f64, hi: f64) -> Result<Self> {
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(Error::InvalidDomain { lo, hi });
+        }
+        Ok(Domain { lo, hi })
+    }
+
+    /// Lower bound.
+    #[inline]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    #[inline]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Width `hi - lo` of the domain.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint of the domain.
+    #[inline]
+    pub fn mid(&self) -> f64 {
+        self.lo + 0.5 * self.width()
+    }
+
+    /// Whether `x` lies inside the closed interval.
+    #[inline]
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+
+    /// Clamps `x` into the domain.
+    #[inline]
+    pub fn clamp(&self, x: f64) -> f64 {
+        x.clamp(self.lo, self.hi)
+    }
+
+    /// Returns the domain expanded by `pad` on both sides.
+    pub fn expanded(&self, pad: f64) -> Result<Self> {
+        Domain::new(self.lo - pad, self.hi + pad)
+    }
+}
+
+/// An equi-width partition of a [`Domain`] into `n >= 1` intervals.
+///
+/// Interval `i` covers `[edge(i), edge(i + 1))`, with the final interval
+/// closed on the right so that the partition is total over the domain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    domain: Domain,
+    cells: usize,
+}
+
+impl Partition {
+    /// Creates a partition of `domain` into `cells` equal-width intervals.
+    pub fn new(domain: Domain, cells: usize) -> Result<Self> {
+        if cells == 0 {
+            return Err(Error::EmptyPartition);
+        }
+        Ok(Partition { domain, cells })
+    }
+
+    /// The partitioned domain.
+    #[inline]
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Number of intervals.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells
+    }
+
+    /// Always false: partitions have at least one cell by construction.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Width of each interval.
+    #[inline]
+    pub fn cell_width(&self) -> f64 {
+        self.domain.width() / self.cells as f64
+    }
+
+    /// The `i`-th edge, for `i` in `0..=len()`.
+    ///
+    /// `edge(0) == domain.lo()` and `edge(len()) == domain.hi()` exactly.
+    #[inline]
+    pub fn edge(&self, i: usize) -> f64 {
+        debug_assert!(i <= self.cells);
+        if i == self.cells {
+            self.domain.hi
+        } else {
+            self.domain.lo + i as f64 * self.cell_width()
+        }
+    }
+
+    /// Iterator over all `len() + 1` edges.
+    pub fn edges(&self) -> impl Iterator<Item = f64> + '_ {
+        (0..=self.cells).map(move |i| self.edge(i))
+    }
+
+    /// Midpoint of interval `i`.
+    #[inline]
+    pub fn midpoint(&self, i: usize) -> f64 {
+        debug_assert!(i < self.cells);
+        self.domain.lo + (i as f64 + 0.5) * self.cell_width()
+    }
+
+    /// Iterator over all interval midpoints.
+    pub fn midpoints(&self) -> impl Iterator<Item = f64> + '_ {
+        (0..self.cells).map(move |i| self.midpoint(i))
+    }
+
+    /// The `[lo, hi]` bounds of interval `i`.
+    #[inline]
+    pub fn interval(&self, i: usize) -> (f64, f64) {
+        (self.edge(i), self.edge(i + 1))
+    }
+
+    /// Index of the interval containing `x`, clamping out-of-domain values
+    /// to the first/last interval.
+    ///
+    /// This makes `locate` total, which is what both reconstruction (noisy
+    /// values may exceed the domain) and histogram construction need.
+    #[inline]
+    pub fn locate(&self, x: f64) -> usize {
+        if x <= self.domain.lo {
+            return 0;
+        }
+        if x >= self.domain.hi {
+            return self.cells - 1;
+        }
+        let idx = ((x - self.domain.lo) / self.cell_width()) as usize;
+        idx.min(self.cells - 1)
+    }
+
+    /// Extends the partition symmetrically by at least `pad` on each side,
+    /// keeping the cell width constant and the original edges aligned.
+    ///
+    /// Returns the extended partition together with the number of cells
+    /// prepended, so that original cell `i` corresponds to extended cell
+    /// `i + offset`. Used by the bucketed reconstruction update, where
+    /// observed (noisy) values spill beyond the attribute domain by up to
+    /// the noise span.
+    pub fn extend_by(&self, pad: f64) -> Result<(Partition, usize)> {
+        if !pad.is_finite() || pad < 0.0 {
+            return Err(Error::InvalidNoiseParameter { name: "pad", value: pad });
+        }
+        if pad == 0.0 {
+            return Ok((*self, 0));
+        }
+        let w = self.cell_width();
+        let extra = (pad / w).ceil() as usize;
+        let domain = Domain::new(
+            self.domain.lo - extra as f64 * w,
+            self.domain.hi + extra as f64 * w,
+        )?;
+        Ok((Partition::new(domain, self.cells + 2 * extra)?, extra))
+    }
+}
+
+/// Suggested number of reconstruction intervals for a sample of size `n`.
+///
+/// AS00 observes that the partition must be fine enough to resolve the
+/// distribution but coarse enough that each interval receives a meaningful
+/// share of the sample. This heuristic caps the count at 100 intervals
+/// (beyond which the O(m^2) update grows with no accuracy benefit on the
+/// paper's workloads) and keeps roughly `n / 100` points per interval,
+/// with a floor of 10 intervals.
+pub fn suggested_cells(n: usize) -> usize {
+    (n / 100).clamp(10, 100)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_rejects_bad_bounds() {
+        assert!(Domain::new(1.0, 1.0).is_err());
+        assert!(Domain::new(2.0, 1.0).is_err());
+        assert!(Domain::new(f64::NAN, 1.0).is_err());
+        assert!(Domain::new(0.0, f64::INFINITY).is_err());
+        assert!(Domain::new(-1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn domain_accessors() {
+        let d = Domain::new(20.0, 80.0).unwrap();
+        assert_eq!(d.lo(), 20.0);
+        assert_eq!(d.hi(), 80.0);
+        assert_eq!(d.width(), 60.0);
+        assert_eq!(d.mid(), 50.0);
+        assert!(d.contains(20.0) && d.contains(80.0) && d.contains(50.0));
+        assert!(!d.contains(19.999) && !d.contains(80.001));
+        assert_eq!(d.clamp(-5.0), 20.0);
+        assert_eq!(d.clamp(100.0), 80.0);
+        assert_eq!(d.clamp(42.0), 42.0);
+    }
+
+    #[test]
+    fn partition_rejects_zero_cells() {
+        let d = Domain::new(0.0, 1.0).unwrap();
+        assert_eq!(Partition::new(d, 0).unwrap_err(), Error::EmptyPartition);
+    }
+
+    #[test]
+    fn partition_edges_and_midpoints() {
+        let d = Domain::new(0.0, 10.0).unwrap();
+        let p = Partition::new(d, 5).unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.cell_width(), 2.0);
+        let edges: Vec<f64> = p.edges().collect();
+        assert_eq!(edges, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+        let mids: Vec<f64> = p.midpoints().collect();
+        assert_eq!(mids, vec![1.0, 3.0, 5.0, 7.0, 9.0]);
+        assert_eq!(p.interval(2), (4.0, 6.0));
+    }
+
+    #[test]
+    fn final_edge_is_exact() {
+        // 7 cells over an awkward domain: edge(len) must equal hi exactly,
+        // not accumulate floating-point drift.
+        let d = Domain::new(0.1, 0.9).unwrap();
+        let p = Partition::new(d, 7).unwrap();
+        assert_eq!(p.edge(7), 0.9);
+    }
+
+    #[test]
+    fn locate_is_total_and_consistent() {
+        let d = Domain::new(0.0, 10.0).unwrap();
+        let p = Partition::new(d, 5).unwrap();
+        assert_eq!(p.locate(-100.0), 0);
+        assert_eq!(p.locate(0.0), 0);
+        assert_eq!(p.locate(1.999), 0);
+        assert_eq!(p.locate(2.0), 1);
+        assert_eq!(p.locate(9.999), 4);
+        assert_eq!(p.locate(10.0), 4);
+        assert_eq!(p.locate(1e9), 4);
+    }
+
+    #[test]
+    fn extend_by_aligns_cells() {
+        let d = Domain::new(0.0, 10.0).unwrap();
+        let p = Partition::new(d, 5).unwrap();
+        let (ext, offset) = p.extend_by(3.0).unwrap();
+        // pad 3.0 with width 2.0 -> 2 extra cells per side.
+        assert_eq!(offset, 2);
+        assert_eq!(ext.len(), 9);
+        assert_eq!(ext.domain().lo(), -4.0);
+        assert_eq!(ext.domain().hi(), 14.0);
+        // Original cell i midpoint == extended cell i+offset midpoint.
+        for i in 0..p.len() {
+            assert!((p.midpoint(i) - ext.midpoint(i + offset)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn extend_by_zero_is_identity() {
+        let d = Domain::new(0.0, 10.0).unwrap();
+        let p = Partition::new(d, 5).unwrap();
+        let (ext, offset) = p.extend_by(0.0).unwrap();
+        assert_eq!(offset, 0);
+        assert_eq!(ext, p);
+    }
+
+    #[test]
+    fn extend_by_rejects_negative_pad() {
+        let d = Domain::new(0.0, 10.0).unwrap();
+        let p = Partition::new(d, 5).unwrap();
+        assert!(p.extend_by(-1.0).is_err());
+        assert!(p.extend_by(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn suggested_cells_clamps() {
+        assert_eq!(suggested_cells(0), 10);
+        assert_eq!(suggested_cells(500), 10);
+        assert_eq!(suggested_cells(5_000), 50);
+        assert_eq!(suggested_cells(100_000), 100);
+        assert_eq!(suggested_cells(10_000_000), 100);
+    }
+}

@@ -1,0 +1,114 @@
+//! Error type shared by all `ppdm-core` operations.
+
+use std::fmt;
+
+/// Errors raised by core algorithms.
+///
+/// All constructors validate their inputs eagerly so that downstream
+/// numerical code can assume well-formed domains, partitions, and noise
+/// parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A domain `[lo, hi]` was requested with `lo >= hi` or non-finite bounds.
+    InvalidDomain {
+        /// Requested lower bound.
+        lo: f64,
+        /// Requested upper bound.
+        hi: f64,
+    },
+    /// A partition with zero cells was requested.
+    EmptyPartition,
+    /// A histogram was constructed with a mass vector whose length does not
+    /// match its partition, or containing negative/non-finite mass.
+    InvalidMass(String),
+    /// A noise parameter (half-width, standard deviation) was not strictly
+    /// positive and finite.
+    InvalidNoiseParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A probability-like argument fell outside its valid open interval.
+    InvalidProbability {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// Reconstruction was asked to run with no observations.
+    NoObservations,
+    /// A required input was not supplied (e.g. training Original without
+    /// the original dataset).
+    MissingInput {
+        /// Description of the missing input.
+        what: &'static str,
+    },
+    /// Mismatched lengths between paired inputs (e.g. values and labels).
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// A randomized-response inversion was requested with incompatible
+    /// category counts.
+    CategoryMismatch {
+        /// The operator's category count.
+        expected: usize,
+        /// The caller-supplied category count.
+        found: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidDomain { lo, hi } => {
+                write!(f, "invalid domain [{lo}, {hi}]: bounds must be finite with lo < hi")
+            }
+            Error::EmptyPartition => write!(f, "partition must contain at least one interval"),
+            Error::InvalidMass(msg) => write!(f, "invalid histogram mass: {msg}"),
+            Error::InvalidNoiseParameter { name, value } => {
+                write!(f, "noise parameter `{name}` must be positive and finite, got {value}")
+            }
+            Error::InvalidProbability { name, value } => {
+                write!(f, "`{name}` must lie strictly between 0 and 1, got {value}")
+            }
+            Error::NoObservations => write!(f, "reconstruction requires at least one observation"),
+            Error::MissingInput { what } => write!(f, "missing required input: {what}"),
+            Error::LengthMismatch { left, right } => {
+                write!(f, "paired inputs have mismatched lengths: {left} vs {right}")
+            }
+            Error::CategoryMismatch { expected, found } => {
+                write!(f, "expected {expected} categories, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::InvalidDomain { lo: 3.0, hi: 1.0 };
+        assert!(e.to_string().contains("[3, 1]"));
+        let e = Error::InvalidNoiseParameter { name: "std_dev", value: -1.0 };
+        assert!(e.to_string().contains("std_dev"));
+        let e = Error::LengthMismatch { left: 4, right: 7 };
+        assert!(e.to_string().contains("4 vs 7"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_std_error<E: std::error::Error>(_: E) {}
+        assert_std_error(Error::EmptyPartition);
+    }
+}

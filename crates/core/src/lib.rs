@@ -1,0 +1,61 @@
+//! # ppdm-core
+//!
+//! Core algorithms of *Privacy-Preserving Data Mining* (Agrawal & Srikant,
+//! SIGMOD 2000, "AS00"): client-side randomization operators, privacy
+//! quantification, and server-side reconstruction of original value
+//! distributions from perturbed samples.
+//!
+//! The crate is organized around the paper's pipeline:
+//!
+//! 1. [`randomize`] — data providers perturb sensitive values with a public
+//!    noise distribution ([`randomize::NoiseModel`]), disclose only interval
+//!    membership ([`randomize::Discretizer`]), or randomize categorical
+//!    values ([`randomize::RandomizedResponse`]).
+//! 2. [`privacy`] — the confidence-interval privacy metric of AS00 section
+//!    2.2, its inverse (how much noise achieves a target privacy level),
+//!    and the entropy-based metrics of the AA01 follow-up.
+//! 3. [`mod@reconstruct`] — the iterative Bayesian procedure of AS00 section 3
+//!    (plus the EM refinement) that recovers per-interval mass of the
+//!    original distribution.
+//! 4. [`stats`] / [`domain`] — the numeric substrate: partitions,
+//!    histograms, distances, special functions.
+//!
+//! ## Example
+//!
+//! ```
+//! use ppdm_core::domain::{Domain, Partition};
+//! use ppdm_core::privacy::{noise_for_privacy, NoiseKind, DEFAULT_CONFIDENCE};
+//! use ppdm_core::reconstruct::{reconstruct, ReconstructionConfig};
+//! use rand::{rngs::StdRng, Rng, SeedableRng};
+//!
+//! // Ages of survey respondents: the true values stay on the client.
+//! let domain = Domain::new(20.0, 80.0)?;
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let ages: Vec<f64> = (0..10_000).map(|_| rng.gen_range(20.0..80.0)).collect();
+//!
+//! // Clients add Gaussian noise sized for 100% privacy at 95% confidence.
+//! let noise = noise_for_privacy(NoiseKind::Gaussian, 100.0, DEFAULT_CONFIDENCE, &domain)?;
+//! let observed = noise.perturb_all(&ages, &mut rng);
+//!
+//! // The server reconstructs the age distribution without seeing any age.
+//! let partition = Partition::new(domain, 20)?;
+//! let result = reconstruct(&noise, partition, &observed, &ReconstructionConfig::bayes())?;
+//! assert!((result.histogram.total() - 10_000.0).abs() < 1e-6);
+//! # Ok::<(), ppdm_core::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod domain;
+pub mod error;
+pub mod privacy;
+pub mod randomize;
+pub mod reconstruct;
+pub mod stats;
+
+pub use domain::{Domain, Partition};
+pub use error::{Error, Result};
+pub use randomize::NoiseModel;
+pub use reconstruct::{reconstruct, Reconstruction, ReconstructionConfig};
+pub use stats::Histogram;

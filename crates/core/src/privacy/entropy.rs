@@ -1,0 +1,170 @@
+//! Entropy-based privacy metrics (extension).
+//!
+//! Agrawal & Aggarwal (PODS 2001) — the direct follow-up to AS00 — observed
+//! that the confidence-interval metric ignores what the adversary learns
+//! from the *reconstructed distribution itself*, and proposed measuring
+//! privacy as `Pi(X) = 2^{h(X)}` where `h` is differential entropy in bits.
+//! For a uniform random variable on an interval of length `L`,
+//! `Pi = L`: the metric generalizes "interval width" to arbitrary
+//! distributions.
+//!
+//! This module provides:
+//!
+//! * [`inherent_privacy`] — `Pi(Y)` of a noise model in closed form;
+//! * [`histogram_privacy`] — `Pi` of a piecewise-constant density estimated
+//!   from a [`Histogram`];
+//! * [`mutual_information_estimate`] — an estimate of `I(X; W)` for
+//!   additive noise (`h(W) - h(Y)`), quantifying *average* disclosure;
+//! * [`conditional_privacy`] — `Pi(X | W) = 2^{h(X) - I(X; W)}`, the privacy
+//!   remaining after the adversary sees the perturbed value.
+
+use crate::randomize::NoiseModel;
+use crate::stats::Histogram;
+
+/// `Pi(Y) = 2^{h(Y)}` of a noise distribution, in the units of the data.
+///
+/// * Uniform on `[-a, a]`: `h = log2(2a)`, so `Pi = 2a`.
+/// * Gaussian with std dev `s`: `h = 0.5 log2(2 pi e s^2)`, so
+///   `Pi = s * sqrt(2 pi e)` (about `4.13 s`).
+/// * No noise: `Pi = 0` (the degenerate distribution carries no
+///   uncertainty).
+pub fn inherent_privacy(noise: &NoiseModel) -> f64 {
+    match *noise {
+        NoiseModel::None => 0.0,
+        NoiseModel::Uniform { half_width } => 2.0 * half_width,
+        NoiseModel::Gaussian { std_dev } => {
+            std_dev * (2.0 * std::f64::consts::PI * std::f64::consts::E).sqrt()
+        }
+    }
+}
+
+/// Differential entropy, in bits, of the piecewise-constant density implied
+/// by a histogram: `h = -sum p_i log2(p_i / w)` over cells with `p_i > 0`,
+/// where `w` is the cell width.
+pub fn differential_entropy_bits(hist: &Histogram) -> f64 {
+    let w = hist.partition().cell_width();
+    hist.probabilities()
+        .iter()
+        .filter(|p| **p > 0.0)
+        .map(|p| -p * (p / w).log2())
+        .sum()
+}
+
+/// `Pi = 2^{h}` of the histogram's piecewise-constant density. For a
+/// histogram that is uniform over `k` cells of width `w`, this equals
+/// `k * w` — the length of its support.
+pub fn histogram_privacy(hist: &Histogram) -> f64 {
+    differential_entropy_bits(hist).exp2()
+}
+
+/// Estimates the average information disclosure `I(X; W)` in bits for
+/// additive independent noise, using `I(X; W) = h(W) - h(W | X) = h(W) - h(Y)`.
+///
+/// `perturbed` should be a histogram of the observed (perturbed) values over
+/// a partition wide enough to cover them. Clamped at zero: sampling noise
+/// can make the plug-in estimate marginally negative.
+pub fn mutual_information_estimate(perturbed: &Histogram, noise: &NoiseModel) -> f64 {
+    let h_w = differential_entropy_bits(perturbed);
+    let h_y = match *noise {
+        NoiseModel::None => return f64::INFINITY, // identity channel discloses everything
+        NoiseModel::Uniform { half_width } => (2.0 * half_width).log2(),
+        NoiseModel::Gaussian { std_dev } => {
+            0.5 * (2.0 * std::f64::consts::PI * std::f64::consts::E * std_dev * std_dev).log2()
+        }
+    };
+    (h_w - h_y).max(0.0)
+}
+
+/// Privacy remaining after observing the perturbed value:
+/// `Pi(X | W) = 2^{h(X) - I(X; W)}`.
+///
+/// `prior_entropy_bits` is `h(X)` of the original attribute (e.g. from
+/// [`differential_entropy_bits`] on the true or reconstructed histogram).
+pub fn conditional_privacy(prior_entropy_bits: f64, mutual_information_bits: f64) -> f64 {
+    if mutual_information_bits.is_infinite() {
+        return 0.0;
+    }
+    (prior_entropy_bits - mutual_information_bits).exp2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::{Domain, Partition};
+
+    fn uniform_hist(lo: f64, hi: f64, cells: usize) -> Histogram {
+        let p = Partition::new(Domain::new(lo, hi).unwrap(), cells).unwrap();
+        Histogram::from_mass(p, vec![1.0; cells]).unwrap()
+    }
+
+    #[test]
+    fn inherent_privacy_closed_forms() {
+        assert_eq!(inherent_privacy(&NoiseModel::None), 0.0);
+        let u = NoiseModel::uniform(5.0).unwrap();
+        assert_eq!(inherent_privacy(&u), 10.0);
+        let g = NoiseModel::gaussian(1.0).unwrap();
+        assert!((inherent_privacy(&g) - 4.1327).abs() < 1e-3);
+    }
+
+    #[test]
+    fn histogram_privacy_of_uniform_is_support_length() {
+        // Uniform over [0, 8]: Pi should be 8 regardless of cell count.
+        for cells in [1, 2, 4, 8, 16] {
+            let h = uniform_hist(0.0, 8.0, cells);
+            assert!(
+                (histogram_privacy(&h) - 8.0).abs() < 1e-9,
+                "cells {cells}: {}",
+                histogram_privacy(&h)
+            );
+        }
+    }
+
+    #[test]
+    fn concentration_reduces_privacy() {
+        let p = Partition::new(Domain::new(0.0, 8.0).unwrap(), 8).unwrap();
+        let spread = Histogram::from_mass(p, vec![1.0; 8]).unwrap();
+        let peaked = Histogram::from_mass(p, vec![100.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert!(histogram_privacy(&peaked) < histogram_privacy(&spread));
+    }
+
+    #[test]
+    fn point_mass_has_zero_entropy_privacy() {
+        let p = Partition::new(Domain::new(0.0, 8.0).unwrap(), 8).unwrap();
+        let point = Histogram::from_mass(p, vec![5.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        // Density concentrated on one cell of width 1: h = 0 bits, Pi = 1
+        // (the cell width) — the adversary knows the cell but not the point.
+        assert!((histogram_privacy(&point) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mutual_information_none_is_infinite() {
+        let h = uniform_hist(0.0, 8.0, 8);
+        assert!(mutual_information_estimate(&h, &NoiseModel::None).is_infinite());
+        assert_eq!(conditional_privacy(3.0, f64::INFINITY), 0.0);
+    }
+
+    #[test]
+    fn mutual_information_shrinks_with_noise() {
+        // X uniform on [0, 8]; W = X + Y. For large noise the perturbed
+        // distribution approaches the noise distribution and I -> small;
+        // for small noise h(W) >> h(Y).
+        let w_small_noise = uniform_hist(-1.0, 9.0, 20); // approx W for a=1
+        let small = NoiseModel::uniform(1.0).unwrap();
+        let large = NoiseModel::uniform(50.0).unwrap();
+        let w_large_noise = uniform_hist(-50.0, 58.0, 108); // approx W for a=50
+        let mi_small = mutual_information_estimate(&w_small_noise, &small);
+        let mi_large = mutual_information_estimate(&w_large_noise, &large);
+        assert!(mi_small > mi_large, "mi_small {mi_small} mi_large {mi_large}");
+        assert!(mi_large >= 0.0);
+    }
+
+    #[test]
+    fn conditional_privacy_degrades_gracefully() {
+        // h(X) = 3 bits (uniform on length-8 support). With 1 bit of
+        // disclosure, remaining privacy halves.
+        let full = conditional_privacy(3.0, 0.0);
+        let half = conditional_privacy(3.0, 1.0);
+        assert!((full - 8.0).abs() < 1e-12);
+        assert!((half - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,113 @@
+//! Value-class membership (AS00 section 2.1).
+//!
+//! Instead of adding noise, a data provider may disclose only which interval
+//! of a public partition its value falls in. The server then works with
+//! interval midpoints. This trades the reconstruction machinery for a
+//! coarser but exactly-known disclosure: the privacy interval width at any
+//! confidence level equals the cell width.
+
+use serde::{Deserialize, Serialize};
+
+use crate::domain::Partition;
+
+/// Maps values to their interval (or interval midpoint) in a fixed public
+/// partition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Discretizer {
+    partition: Partition,
+}
+
+impl Discretizer {
+    /// Creates a discretizer over `partition`.
+    pub fn new(partition: Partition) -> Self {
+        Discretizer { partition }
+    }
+
+    /// The underlying partition.
+    pub fn partition(&self) -> Partition {
+        self.partition
+    }
+
+    /// Index of the interval containing `x` (clamped into the domain).
+    #[inline]
+    pub fn interval_of(&self, x: f64) -> usize {
+        self.partition.locate(x)
+    }
+
+    /// The disclosed value: the midpoint of the containing interval.
+    #[inline]
+    pub fn discretize(&self, x: f64) -> f64 {
+        self.partition.midpoint(self.partition.locate(x))
+    }
+
+    /// Discretizes a whole column.
+    pub fn discretize_all(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.discretize(x)).collect()
+    }
+
+    /// Privacy interval width at *any* confidence level below 100%: the
+    /// true value is only known to lie within its cell.
+    pub fn interval_width(&self) -> f64 {
+        self.partition.cell_width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use proptest::prelude::*;
+
+    fn disc() -> Discretizer {
+        let p = Partition::new(Domain::new(0.0, 100.0).unwrap(), 10).unwrap();
+        Discretizer::new(p)
+    }
+
+    #[test]
+    fn discretize_maps_to_midpoints() {
+        let d = disc();
+        assert_eq!(d.discretize(0.0), 5.0);
+        assert_eq!(d.discretize(9.99), 5.0);
+        assert_eq!(d.discretize(10.0), 15.0);
+        assert_eq!(d.discretize(99.9), 95.0);
+        assert_eq!(d.discretize(100.0), 95.0);
+    }
+
+    #[test]
+    fn out_of_domain_clamps() {
+        let d = disc();
+        assert_eq!(d.discretize(-50.0), 5.0);
+        assert_eq!(d.discretize(1e9), 95.0);
+    }
+
+    #[test]
+    fn interval_width_is_cell_width() {
+        assert_eq!(disc().interval_width(), 10.0);
+    }
+
+    #[test]
+    fn discretize_all_matches_pointwise() {
+        let d = disc();
+        let xs = [1.0, 55.0, 99.0];
+        assert_eq!(d.discretize_all(&xs), vec![5.0, 55.0, 95.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_discretize_idempotent(x in -50.0..150.0f64) {
+            let d = disc();
+            let once = d.discretize(x);
+            prop_assert_eq!(d.discretize(once), once);
+        }
+
+        #[test]
+        fn prop_disclosed_value_within_cell(x in 0.0..100.0f64) {
+            let d = disc();
+            let i = d.interval_of(x);
+            let (lo, hi) = d.partition().interval(i);
+            prop_assert!(x >= lo - 1e-9 && x <= hi + 1e-9);
+            let mid = d.discretize(x);
+            prop_assert!((x - mid).abs() <= d.interval_width() / 2.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Randomization operators — the client-side half of AS00.
+//!
+//! Data providers perturb each sensitive value `x` before submitting it:
+//!
+//! * **Value distortion** ([`NoiseModel`]): submit `x + y` where `y` is
+//!   drawn from a public noise distribution (uniform or Gaussian). This is
+//!   the method AS00 evaluates.
+//! * **Value-class membership** ([`Discretizer`]): submit only the interval
+//!   containing `x` (AS00 section 2.1's alternative method).
+//! * **Randomized response** ([`RandomizedResponse`]): for categorical
+//!   values, keep the true category with probability `p`, otherwise submit
+//!   a uniformly random category (Warner 1965; AS00's future-work direction
+//!   for categorical attributes).
+
+mod discretize;
+mod response;
+
+pub use discretize::Discretizer;
+pub use response::RandomizedResponse;
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+
+/// Additive-noise model used for value distortion.
+///
+/// The noise distribution is public: both data providers (who sample from
+/// it) and the server (whose reconstruction algorithm evaluates its
+/// density) know the parameters. Only the realized noise values are secret.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NoiseModel {
+    /// No perturbation; `perturb` is the identity. Used for baselines.
+    None,
+    /// Uniform noise on `[-half_width, +half_width]`.
+    Uniform {
+        /// Half-width `alpha` of the noise support.
+        half_width: f64,
+    },
+    /// Gaussian noise with mean 0 and the given standard deviation.
+    Gaussian {
+        /// Standard deviation `sigma` of the noise.
+        std_dev: f64,
+    },
+}
+
+/// Number of Gaussian standard deviations treated as the effective noise
+/// support for bucketing purposes (mass beyond 4 sigma is below 7e-5 and
+/// immaterial at interval granularity).
+const GAUSSIAN_SPAN_SIGMAS: f64 = 4.0;
+
+impl NoiseModel {
+    /// Uniform noise on `[-half_width, half_width]`.
+    pub fn uniform(half_width: f64) -> Result<Self> {
+        if !half_width.is_finite() || half_width <= 0.0 {
+            return Err(Error::InvalidNoiseParameter { name: "half_width", value: half_width });
+        }
+        Ok(NoiseModel::Uniform { half_width })
+    }
+
+    /// Gaussian noise with standard deviation `std_dev`.
+    pub fn gaussian(std_dev: f64) -> Result<Self> {
+        if !std_dev.is_finite() || std_dev <= 0.0 {
+            return Err(Error::InvalidNoiseParameter { name: "std_dev", value: std_dev });
+        }
+        Ok(NoiseModel::Gaussian { std_dev })
+    }
+
+    /// Whether this is the identity (no-noise) model.
+    #[inline]
+    pub fn is_none(&self) -> bool {
+        matches!(self, NoiseModel::None)
+    }
+
+    /// Draws one noise value.
+    pub fn sample_noise<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            NoiseModel::None => 0.0,
+            NoiseModel::Uniform { half_width } => rng.gen_range(-half_width..=half_width),
+            NoiseModel::Gaussian { std_dev } => {
+                // Parameters validated at construction; Normal::new only
+                // fails on non-finite sigma.
+                Normal::new(0.0, std_dev).expect("validated std_dev").sample(rng)
+            }
+        }
+    }
+
+    /// Perturbs a single value: `x + y`.
+    #[inline]
+    pub fn perturb<R: Rng + ?Sized>(&self, x: f64, rng: &mut R) -> f64 {
+        x + self.sample_noise(rng)
+    }
+
+    /// Perturbs a whole column of values.
+    pub fn perturb_all<R: Rng + ?Sized>(&self, xs: &[f64], rng: &mut R) -> Vec<f64> {
+        xs.iter().map(|&x| self.perturb(x, rng)).collect()
+    }
+
+    /// Density of the noise distribution at `y`.
+    pub fn density(&self, y: f64) -> f64 {
+        match *self {
+            NoiseModel::None => {
+                // Degenerate point mass; reconstruction special-cases this
+                // model, so the density is only meaningful as a limit.
+                if y == 0.0 {
+                    f64::INFINITY
+                } else {
+                    0.0
+                }
+            }
+            NoiseModel::Uniform { half_width } => {
+                if y.abs() <= half_width {
+                    1.0 / (2.0 * half_width)
+                } else {
+                    0.0
+                }
+            }
+            NoiseModel::Gaussian { std_dev } => {
+                crate::stats::special::normal_pdf(y / std_dev) / std_dev
+            }
+        }
+    }
+
+    /// Probability that the noise falls in `[a, b]`.
+    pub fn mass_between(&self, a: f64, b: f64) -> f64 {
+        if b <= a {
+            return 0.0;
+        }
+        match *self {
+            NoiseModel::None => {
+                if a <= 0.0 && 0.0 <= b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            NoiseModel::Uniform { half_width } => {
+                let lo = a.max(-half_width);
+                let hi = b.min(half_width);
+                ((hi - lo).max(0.0)) / (2.0 * half_width)
+            }
+            NoiseModel::Gaussian { std_dev } => {
+                crate::stats::special::normal_cdf(b / std_dev)
+                    - crate::stats::special::normal_cdf(a / std_dev)
+            }
+        }
+    }
+
+    /// Half-width of the effective noise support, used to extend partitions
+    /// so that bucketed reconstruction covers (nearly) all observed values.
+    pub fn span(&self) -> f64 {
+        match *self {
+            NoiseModel::None => 0.0,
+            NoiseModel::Uniform { half_width } => half_width,
+            NoiseModel::Gaussian { std_dev } => GAUSSIAN_SPAN_SIGMAS * std_dev,
+        }
+    }
+
+    /// Standard deviation of the noise distribution.
+    pub fn noise_std_dev(&self) -> f64 {
+        match *self {
+            NoiseModel::None => 0.0,
+            NoiseModel::Uniform { half_width } => half_width / 3.0_f64.sqrt(),
+            NoiseModel::Gaussian { std_dev } => std_dev,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(NoiseModel::uniform(0.0).is_err());
+        assert!(NoiseModel::uniform(-1.0).is_err());
+        assert!(NoiseModel::uniform(f64::NAN).is_err());
+        assert!(NoiseModel::gaussian(0.0).is_err());
+        assert!(NoiseModel::gaussian(f64::INFINITY).is_err());
+        assert!(NoiseModel::uniform(2.5).is_ok());
+        assert!(NoiseModel::gaussian(2.5).is_ok());
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(NoiseModel::None.perturb(13.5, &mut rng), 13.5);
+        assert!(NoiseModel::None.is_none());
+        assert_eq!(NoiseModel::None.span(), 0.0);
+    }
+
+    #[test]
+    fn uniform_noise_respects_bounds() {
+        let noise = NoiseModel::uniform(5.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let y = noise.sample_noise(&mut rng);
+            assert!((-5.0..=5.0).contains(&y), "sample {y} out of bounds");
+        }
+    }
+
+    #[test]
+    fn uniform_density_and_mass() {
+        let noise = NoiseModel::uniform(5.0).unwrap();
+        assert_eq!(noise.density(0.0), 0.1);
+        assert_eq!(noise.density(4.99), 0.1);
+        assert_eq!(noise.density(5.01), 0.0);
+        assert!((noise.mass_between(-5.0, 5.0) - 1.0).abs() < 1e-12);
+        assert!((noise.mass_between(0.0, 2.5) - 0.25).abs() < 1e-12);
+        assert_eq!(noise.mass_between(6.0, 10.0), 0.0);
+        assert_eq!(noise.mass_between(3.0, 3.0), 0.0);
+    }
+
+    #[test]
+    fn gaussian_moments_match() {
+        let noise = NoiseModel::gaussian(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples: Vec<f64> = (0..50_000).map(|_| noise.sample_noise(&mut rng)).collect();
+        let m = crate::stats::mean(&samples);
+        let s = crate::stats::std_dev(&samples);
+        assert!(m.abs() < 0.05, "mean {m} should be near 0");
+        assert!((s - 2.0).abs() < 0.05, "std dev {s} should be near 2");
+    }
+
+    #[test]
+    fn gaussian_density_and_mass() {
+        let noise = NoiseModel::gaussian(1.0).unwrap();
+        assert!((noise.density(0.0) - 0.398_942_28).abs() < 1e-6);
+        // ~68.27% of mass within one sigma.
+        assert!((noise.mass_between(-1.0, 1.0) - 0.6827).abs() < 1e-3);
+        assert!((noise.mass_between(-4.0, 4.0) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn noise_std_dev_formulas() {
+        assert_eq!(NoiseModel::None.noise_std_dev(), 0.0);
+        let u = NoiseModel::uniform(3.0).unwrap();
+        assert!((u.noise_std_dev() - 3.0 / 3.0_f64.sqrt()).abs() < 1e-12);
+        let g = NoiseModel::gaussian(1.7).unwrap();
+        assert_eq!(g.noise_std_dev(), 1.7);
+    }
+
+    #[test]
+    fn uniform_sample_std_matches_theory() {
+        let noise = NoiseModel::uniform(6.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<f64> = (0..50_000).map(|_| noise.sample_noise(&mut rng)).collect();
+        let theory = noise.noise_std_dev();
+        assert!((crate::stats::std_dev(&samples) - theory).abs() < 0.05);
+    }
+
+    #[test]
+    fn perturbation_is_deterministic_given_seed() {
+        let noise = NoiseModel::gaussian(1.0).unwrap();
+        let xs = [1.0, 2.0, 3.0];
+        let a = noise.perturb_all(&xs, &mut StdRng::seed_from_u64(9));
+        let b = noise.perturb_all(&xs, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let noise = NoiseModel::uniform(2.5).unwrap();
+        let json = serde_json::to_string(&noise).unwrap();
+        let back: NoiseModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(noise, back);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_uniform_mass_monotone(a in -10.0..10.0f64, w1 in 0.0..5.0f64, w2 in 0.0..5.0f64) {
+            let noise = NoiseModel::uniform(4.0).unwrap();
+            let (small, large) = (w1.min(w2), w1.max(w2));
+            prop_assert!(noise.mass_between(a, a + small) <= noise.mass_between(a, a + large) + 1e-12);
+        }
+
+        #[test]
+        fn prop_density_nonnegative(y in -100.0..100.0f64) {
+            for noise in [NoiseModel::uniform(3.0).unwrap(), NoiseModel::gaussian(3.0).unwrap()] {
+                prop_assert!(noise.density(y) >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Randomized response for categorical attributes (Warner 1965).
+//!
+//! AS00's value distortion targets numeric attributes and names categorical
+//! randomization as the natural companion. With `k` categories the provider
+//! keeps its true category with probability `p` and otherwise reports a
+//! uniformly random category. The observed category distribution `q`
+//! relates to the true distribution `pi` by
+//!
+//! ```text
+//! q_j = p * pi_j + (1 - p) / k
+//! ```
+//!
+//! which the server inverts in closed form — the categorical analogue of
+//! distribution reconstruction.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+
+/// A `k`-ary randomized-response operator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomizedResponse {
+    categories: usize,
+    keep_prob: f64,
+}
+
+impl RandomizedResponse {
+    /// Creates an operator over `categories >= 2` categories that keeps the
+    /// true value with probability `keep_prob` in `(0, 1]`.
+    pub fn new(categories: usize, keep_prob: f64) -> Result<Self> {
+        if categories < 2 {
+            return Err(Error::CategoryMismatch { expected: 2, found: categories });
+        }
+        if !(keep_prob > 0.0 && keep_prob <= 1.0) {
+            return Err(Error::InvalidProbability { name: "keep_prob", value: keep_prob });
+        }
+        Ok(RandomizedResponse { categories, keep_prob })
+    }
+
+    /// Number of categories `k`.
+    pub fn categories(&self) -> usize {
+        self.categories
+    }
+
+    /// Probability of keeping the true category.
+    pub fn keep_prob(&self) -> f64 {
+        self.keep_prob
+    }
+
+    /// Overall probability that the *reported* category differs from the
+    /// true one: `(1 - p) * (k - 1) / k`.
+    pub fn flip_prob(&self) -> f64 {
+        (1.0 - self.keep_prob) * (self.categories as f64 - 1.0) / self.categories as f64
+    }
+
+    /// Perturbs one categorical value (0-based index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value >= categories` — category indices are a type-level
+    /// contract of the caller.
+    pub fn perturb<R: Rng + ?Sized>(&self, value: usize, rng: &mut R) -> usize {
+        assert!(value < self.categories, "category index {value} out of range (k = {})", self.categories);
+        if rng.gen_bool(self.keep_prob) {
+            value
+        } else {
+            rng.gen_range(0..self.categories)
+        }
+    }
+
+    /// Perturbs a column of categorical values.
+    pub fn perturb_all<R: Rng + ?Sized>(&self, values: &[usize], rng: &mut R) -> Vec<usize> {
+        values.iter().map(|&v| self.perturb(v, rng)).collect()
+    }
+
+    /// Reconstructs the true category *counts* from observed counts by
+    /// inverting the response channel, clamping negatives to zero and
+    /// rescaling to preserve the observed total.
+    pub fn reconstruct(&self, observed_counts: &[f64]) -> Result<Vec<f64>> {
+        if observed_counts.len() != self.categories {
+            return Err(Error::CategoryMismatch {
+                expected: self.categories,
+                found: observed_counts.len(),
+            });
+        }
+        if let Some(bad) = observed_counts.iter().find(|c| !c.is_finite() || **c < 0.0) {
+            return Err(Error::InvalidMass(format!("observed counts must be finite and >= 0, got {bad}")));
+        }
+        let total: f64 = observed_counts.iter().sum();
+        if total <= 0.0 {
+            return Ok(vec![0.0; self.categories]);
+        }
+        let k = self.categories as f64;
+        let background = (1.0 - self.keep_prob) / k;
+        // pi_j = (q_j - (1 - p)/k) / p, then clamp and renormalize.
+        let mut estimate: Vec<f64> = observed_counts
+            .iter()
+            .map(|&c| (((c / total) - background) / self.keep_prob).max(0.0))
+            .collect();
+        let est_total: f64 = estimate.iter().sum();
+        if est_total <= 0.0 {
+            // All observed mass consistent with pure noise: fall back to
+            // the uniform estimate.
+            return Ok(vec![total / k; self.categories]);
+        }
+        for e in &mut estimate {
+            *e *= total / est_total;
+        }
+        Ok(estimate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(RandomizedResponse::new(1, 0.5).is_err());
+        assert!(RandomizedResponse::new(3, 0.0).is_err());
+        assert!(RandomizedResponse::new(3, 1.1).is_err());
+        assert!(RandomizedResponse::new(3, f64::NAN).is_err());
+        assert!(RandomizedResponse::new(2, 1.0).is_ok());
+    }
+
+    #[test]
+    fn keep_prob_one_is_identity() {
+        let rr = RandomizedResponse::new(4, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for v in 0..4 {
+            assert_eq!(rr.perturb(v, &mut rng), v);
+        }
+        assert_eq!(rr.flip_prob(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn perturb_rejects_out_of_range() {
+        let rr = RandomizedResponse::new(3, 0.5).unwrap();
+        rr.perturb(3, &mut StdRng::seed_from_u64(1));
+    }
+
+    #[test]
+    fn flip_prob_formula() {
+        let rr = RandomizedResponse::new(4, 0.6).unwrap();
+        assert!((rr.flip_prob() - 0.4 * 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_flip_rate_matches() {
+        let rr = RandomizedResponse::new(5, 0.7).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let flips = (0..n).filter(|_| rr.perturb(2, &mut rng) != 2).count();
+        let rate = flips as f64 / n as f64;
+        assert!((rate - rr.flip_prob()).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn reconstruct_inverts_channel() {
+        let rr = RandomizedResponse::new(3, 0.5).unwrap();
+        // True distribution [0.6, 0.3, 0.1] with n = 30000.
+        let truth = [18_000.0, 9_000.0, 3_000.0];
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut observed = [0.0f64; 3];
+        for (cat, &count) in truth.iter().enumerate() {
+            for _ in 0..count as usize {
+                observed[rr.perturb(cat, &mut rng)] += 1.0;
+            }
+        }
+        let est = rr.reconstruct(&observed).unwrap();
+        for (e, t) in est.iter().zip(&truth) {
+            assert!((e - t).abs() < 600.0, "estimate {e} vs truth {t}");
+        }
+        // Raw observed counts are much further from the truth than the
+        // reconstruction (the whole point of inverting the channel).
+        let raw_err: f64 = observed.iter().zip(&truth).map(|(o, t)| (o - t).abs()).sum();
+        let est_err: f64 = est.iter().zip(&truth).map(|(e, t)| (e - t).abs()).sum();
+        assert!(est_err < raw_err / 2.0, "est_err {est_err} raw_err {raw_err}");
+    }
+
+    #[test]
+    fn reconstruct_validates_input() {
+        let rr = RandomizedResponse::new(3, 0.5).unwrap();
+        assert!(rr.reconstruct(&[1.0, 2.0]).is_err());
+        assert!(rr.reconstruct(&[1.0, -2.0, 0.0]).is_err());
+        assert_eq!(rr.reconstruct(&[0.0, 0.0, 0.0]).unwrap(), vec![0.0; 3]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_reconstruct_preserves_total(
+            counts in prop::collection::vec(0.0..1e4f64, 4),
+            keep in 0.1..1.0f64,
+        ) {
+            let rr = RandomizedResponse::new(4, keep).unwrap();
+            let est = rr.reconstruct(&counts).unwrap();
+            let total: f64 = counts.iter().sum();
+            let est_total: f64 = est.iter().sum();
+            prop_assert!((total - est_total).abs() < 1e-6 * total.max(1.0));
+            prop_assert!(est.iter().all(|e| *e >= 0.0));
+        }
+
+        #[test]
+        fn prop_perturb_in_range(v in 0usize..6, seed in 0u64..1000) {
+            let rr = RandomizedResponse::new(6, 0.5).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let out = rr.perturb(v, &mut rng);
+            prop_assert!(out < 6);
+        }
+    }
+}

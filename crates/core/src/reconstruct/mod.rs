@@ -1,0 +1,454 @@
+//! Distribution reconstruction — the server-side half of AS00 (section 3).
+//!
+//! Given `n` perturbed observations `w_i = x_i + y_i`, the known noise
+//! density `f_Y`, and a partition of the attribute domain into `m`
+//! intervals, estimate the number of *original* points per interval.
+//!
+//! The iterate is Bayes' rule applied interval-wise, starting from the
+//! uniform prior:
+//!
+//! ```text
+//! Pr'(X in I_p) = (1/n) * sum_i  f_Y(w_i - mid(I_p)) * Pr(X in I_p)
+//!                              ---------------------------------------
+//!                              sum_r f_Y(w_i - mid(I_r)) * Pr(X in I_r)
+//! ```
+//!
+//! Two refinements, both from the papers:
+//!
+//! * **Bucketing** (AS00's optimization): the observed values are also
+//!   bucketed into intervals (over a partition extended by the noise span),
+//!   turning each iteration from `O(n * m)` into `O((m + k) * m)`.
+//! * **Cell-averaged likelihood** (Agrawal & Aggarwal 2001): replacing the
+//!   midpoint density `f_Y(w - mid(I_p))` with the exact cell average
+//!   `(1/|I_p|) * integral over I_p of f_Y(w - x) dx` makes the iterate the
+//!   EM algorithm for the interval-discretized likelihood, which provably
+//!   converges to the maximum-likelihood estimate.
+
+mod stopping;
+
+pub use stopping::{paper_chi_square_rule, StoppingRule};
+
+use serde::{Deserialize, Serialize};
+
+use crate::domain::Partition;
+use crate::error::{Error, Result};
+use crate::randomize::NoiseModel;
+use crate::stats::Histogram;
+
+/// How the likelihood of an observation given an interval is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LikelihoodKernel {
+    /// `f_Y(w - midpoint)` — AS00's original Bayesian iterate.
+    Midpoint,
+    /// Cell-averaged likelihood — the EM formulation of AA01.
+    CellAverage,
+}
+
+/// Whether each observation is used exactly or after bucketing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpdateMode {
+    /// Every observation contributes its own Bayes update. `O(n * m)` per
+    /// iteration; reference implementation used in tests.
+    Exact,
+    /// Observations are bucketed into an extended partition first.
+    /// `O((m + k) * m)` per iteration — AS00's production path.
+    Bucketed,
+}
+
+/// Configuration of the reconstruction procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReconstructionConfig {
+    /// Likelihood evaluation strategy.
+    pub kernel: LikelihoodKernel,
+    /// Exact or bucketed updates.
+    pub mode: UpdateMode,
+    /// Early-stopping rule.
+    pub stopping: StoppingRule,
+    /// Hard cap on iterations regardless of the stopping rule.
+    pub max_iterations: usize,
+}
+
+impl Default for ReconstructionConfig {
+    fn default() -> Self {
+        ReconstructionConfig {
+            kernel: LikelihoodKernel::Midpoint,
+            mode: UpdateMode::Bucketed,
+            stopping: StoppingRule::default(),
+            max_iterations: 5_000,
+        }
+    }
+}
+
+impl ReconstructionConfig {
+    /// AS00's configuration: midpoint kernel, bucketed updates, chi-square
+    /// stopping.
+    pub fn bayes() -> Self {
+        Self::default()
+    }
+
+    /// AA01's EM configuration: cell-averaged likelihood, bucketed updates,
+    /// chi-square stopping.
+    pub fn em() -> Self {
+        ReconstructionConfig { kernel: LikelihoodKernel::CellAverage, ..Self::default() }
+    }
+}
+
+/// Result of a reconstruction run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reconstruction {
+    /// Estimated per-interval mass of the *original* values, scaled so the
+    /// total equals the number of observations.
+    pub histogram: Histogram,
+    /// Number of Bayes/EM iterations performed.
+    pub iterations: usize,
+    /// Whether the stopping rule fired before the iteration cap.
+    pub converged: bool,
+}
+
+/// Reconstructs the original distribution of `observed` perturbed values.
+///
+/// # Errors
+///
+/// Returns [`Error::NoObservations`] for an empty sample. Non-finite
+/// observations are rejected as [`Error::InvalidMass`].
+pub fn reconstruct(
+    noise: &NoiseModel,
+    partition: Partition,
+    observed: &[f64],
+    config: &ReconstructionConfig,
+) -> Result<Reconstruction> {
+    if observed.is_empty() {
+        return Err(Error::NoObservations);
+    }
+    if let Some(bad) = observed.iter().find(|w| !w.is_finite()) {
+        return Err(Error::InvalidMass(format!("observation {bad} is not finite")));
+    }
+
+    // Without noise the perturbed values are the originals.
+    if noise.is_none() {
+        return Ok(Reconstruction {
+            histogram: Histogram::from_values(partition, observed),
+            iterations: 0,
+            converged: true,
+        });
+    }
+
+    // Represent observations as (weight, value) pairs: either every raw
+    // observation, or one pair per non-empty bucket of the extended
+    // partition.
+    let pairs: Vec<(f64, f64)> = match config.mode {
+        UpdateMode::Exact => observed.iter().map(|&w| (1.0, w)).collect(),
+        UpdateMode::Bucketed => {
+            let (extended, _) = partition.extend_by(noise.span())?;
+            let obs_hist = Histogram::from_values(extended, observed);
+            (0..extended.len())
+                .filter(|&s| obs_hist.mass(s) > 0.0)
+                .map(|s| (obs_hist.mass(s), extended.midpoint(s)))
+                .collect()
+        }
+    };
+
+    let m = partition.len();
+    // Likelihood matrix: rows = observation pairs, cols = original cells.
+    let likelihood: Vec<Vec<f64>> = pairs
+        .iter()
+        .map(|&(_, w)| {
+            (0..m)
+                .map(|p| match config.kernel {
+                    LikelihoodKernel::Midpoint => noise.density(w - partition.midpoint(p)),
+                    LikelihoodKernel::CellAverage => {
+                        let (lo, hi) = partition.interval(p);
+                        noise.mass_between(w - hi, w - lo) / partition.cell_width()
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let n = observed.len() as f64;
+    let mut probs = vec![1.0 / m as f64; m];
+    let mut scratch = vec![0.0f64; m];
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut prev_log_likelihood = f64::NEG_INFINITY;
+
+    while iterations < config.max_iterations {
+        iterations += 1;
+        scratch.iter_mut().for_each(|s| *s = 0.0);
+        let mut used_weight = 0.0;
+        // Observed-data log-likelihood of the *current* estimate, available
+        // for free from the per-observation denominators.
+        let mut log_likelihood = 0.0;
+        for ((weight, _), row) in pairs.iter().zip(&likelihood) {
+            let denom: f64 = row.iter().zip(&probs).map(|(l, p)| l * p).sum();
+            if denom <= f64::MIN_POSITIVE {
+                // Observation incompatible with the current estimate (can
+                // happen with bounded uniform noise once cells hit zero);
+                // it carries no usable evidence this round.
+                continue;
+            }
+            used_weight += weight;
+            log_likelihood += weight * denom.ln();
+            let inv = weight / denom;
+            for (s, (l, p)) in scratch.iter_mut().zip(row.iter().zip(&probs)) {
+                *s += l * p * inv;
+            }
+        }
+        if used_weight <= 0.0 {
+            // Every observation became incompatible: keep the last estimate
+            // and report non-convergence.
+            break;
+        }
+        let total: f64 = scratch.iter().sum();
+        debug_assert!(total > 0.0);
+        for s in &mut scratch {
+            *s /= total;
+        }
+        let stop =
+            config.stopping.should_stop(&probs, &scratch, n, prev_log_likelihood, log_likelihood);
+        prev_log_likelihood = log_likelihood;
+        // Unconditional stall breakout: once the step is at floating-point
+        // noise level, no stopping rule can learn anything from running on.
+        let stalled =
+            probs.iter().zip(&scratch).map(|(o, w)| (w - o).abs()).sum::<f64>() < 1e-12;
+        std::mem::swap(&mut probs, &mut scratch);
+        if stop || stalled {
+            converged = true;
+            break;
+        }
+    }
+
+    let mass: Vec<f64> = probs.iter().map(|p| p * n).collect();
+    Ok(Reconstruction { histogram: Histogram::from_mass(partition, mass)?, iterations, converged })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::stats::total_variation;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn part(lo: f64, hi: f64, n: usize) -> Partition {
+        Partition::new(Domain::new(lo, hi).unwrap(), n).unwrap()
+    }
+
+    /// Draws from a bimodal mixture of two triangles on [0, 100].
+    fn bimodal_sample(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let center = if rng.gen_bool(0.5) { 25.0 } else { 75.0 };
+                // Triangle via sum of two uniforms on [-5, 5].
+                center + rng.gen_range(-5.0..5.0) + rng.gen_range(-5.0..5.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_observations_error() {
+        let p = part(0.0, 1.0, 4);
+        let noise = NoiseModel::gaussian(1.0).unwrap();
+        assert_eq!(
+            reconstruct(&noise, p, &[], &ReconstructionConfig::default()).unwrap_err(),
+            Error::NoObservations
+        );
+    }
+
+    #[test]
+    fn non_finite_observation_error() {
+        let p = part(0.0, 1.0, 4);
+        let noise = NoiseModel::gaussian(1.0).unwrap();
+        assert!(reconstruct(&noise, p, &[0.5, f64::NAN], &ReconstructionConfig::default()).is_err());
+    }
+
+    #[test]
+    fn no_noise_returns_empirical_histogram() {
+        let p = part(0.0, 10.0, 5);
+        let obs = [1.0, 1.5, 9.0];
+        let r = reconstruct(&NoiseModel::None, p, &obs, &ReconstructionConfig::default()).unwrap();
+        assert_eq!(r.iterations, 0);
+        assert!(r.converged);
+        assert_eq!(r.histogram.masses(), &[2.0, 0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn mass_conservation() {
+        let p = part(0.0, 100.0, 20);
+        let noise = NoiseModel::gaussian(10.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let originals: Vec<f64> = (0..5_000).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let observed = noise.perturb_all(&originals, &mut rng);
+        let r = reconstruct(&noise, p, &observed, &ReconstructionConfig::default()).unwrap();
+        assert!((r.histogram.total() - 5_000.0).abs() < 1e-6);
+        assert!(r.iterations >= 1);
+    }
+
+    #[test]
+    fn uniform_original_reconstructs_to_near_uniform() {
+        let p = part(0.0, 100.0, 10);
+        let noise = NoiseModel::gaussian(20.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let originals: Vec<f64> = (0..20_000).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let observed = noise.perturb_all(&originals, &mut rng);
+        let r = reconstruct(&noise, p, &observed, &ReconstructionConfig::default()).unwrap();
+        let truth = Histogram::from_values(p, &originals);
+        let tv = total_variation(&r.histogram, &truth).unwrap();
+        assert!(tv < 0.06, "tv {tv}");
+    }
+
+    #[test]
+    fn bimodal_structure_recovered_gaussian() {
+        let p = part(0.0, 100.0, 25);
+        let originals = bimodal_sample(20_000, 3);
+        let noise = NoiseModel::gaussian(25.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let observed = noise.perturb_all(&originals, &mut rng);
+
+        let truth = Histogram::from_values(p, &originals);
+        let naive = Histogram::from_values(p, &observed); // clamped perturbed values
+        let r = reconstruct(&noise, p, &observed, &ReconstructionConfig::bayes()).unwrap();
+
+        let tv_recon = total_variation(&r.histogram, &truth).unwrap();
+        let tv_naive = total_variation(&naive, &truth).unwrap();
+        assert!(
+            tv_recon < 0.5 * tv_naive,
+            "reconstruction ({tv_recon}) should beat naive ({tv_naive}) by 2x"
+        );
+        // The two modes (cells containing 25.0 and 75.0) should carry more
+        // mass than the valley cell (50.0).
+        let mode1 = r.histogram.mass(p.locate(25.0));
+        let valley = r.histogram.mass(p.locate(50.0));
+        let mode2 = r.histogram.mass(p.locate(75.0));
+        assert!(mode1 > 2.0 * valley, "mode1 {mode1} valley {valley}");
+        assert!(mode2 > 2.0 * valley, "mode2 {mode2} valley {valley}");
+    }
+
+    #[test]
+    fn bimodal_structure_recovered_uniform_noise() {
+        let p = part(0.0, 100.0, 25);
+        let originals = bimodal_sample(20_000, 5);
+        let noise = NoiseModel::uniform(40.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let observed = noise.perturb_all(&originals, &mut rng);
+
+        let truth = Histogram::from_values(p, &originals);
+        let naive = Histogram::from_values(p, &observed);
+        let r = reconstruct(&noise, p, &observed, &ReconstructionConfig::bayes()).unwrap();
+        let tv_recon = total_variation(&r.histogram, &truth).unwrap();
+        let tv_naive = total_variation(&naive, &truth).unwrap();
+        assert!(tv_recon < tv_naive, "recon {tv_recon} naive {tv_naive}");
+    }
+
+    #[test]
+    fn exact_and_bucketed_reach_similar_quality() {
+        // Bucketing is a performance optimization: at convergence the two
+        // modes need not produce identical histograms (the deconvolution
+        // sharpens small likelihood differences), but they must recover the
+        // original distribution comparably well.
+        let p = part(0.0, 100.0, 15);
+        let originals = bimodal_sample(3_000, 7);
+        let noise = NoiseModel::gaussian(15.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let observed = noise.perturb_all(&originals, &mut rng);
+        let truth = Histogram::from_values(p, &originals);
+
+        let exact_cfg = ReconstructionConfig { mode: UpdateMode::Exact, ..Default::default() };
+        let bucket_cfg = ReconstructionConfig { mode: UpdateMode::Bucketed, ..Default::default() };
+        let exact = reconstruct(&noise, p, &observed, &exact_cfg).unwrap();
+        let bucketed = reconstruct(&noise, p, &observed, &bucket_cfg).unwrap();
+        let tv_exact = total_variation(&exact.histogram, &truth).unwrap();
+        let tv_bucketed = total_variation(&bucketed.histogram, &truth).unwrap();
+        assert!(tv_exact < 0.2, "exact tv {tv_exact}");
+        assert!(tv_bucketed < 0.2, "bucketed tv {tv_bucketed}");
+        assert!(
+            (tv_exact - tv_bucketed).abs() < 0.06,
+            "modes should be comparably accurate: exact {tv_exact}, bucketed {tv_bucketed}"
+        );
+    }
+
+    #[test]
+    fn bayes_and_em_agree() {
+        let p = part(0.0, 100.0, 15);
+        let originals = bimodal_sample(5_000, 9);
+        let noise = NoiseModel::gaussian(15.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let observed = noise.perturb_all(&originals, &mut rng);
+
+        let bayes = reconstruct(&noise, p, &observed, &ReconstructionConfig::bayes()).unwrap();
+        let em = reconstruct(&noise, p, &observed, &ReconstructionConfig::em()).unwrap();
+        let tv = total_variation(&bayes.histogram, &em.histogram).unwrap();
+        assert!(tv < 0.05, "bayes vs em tv {tv}");
+    }
+
+    #[test]
+    fn stopping_rule_limits_iterations() {
+        let p = part(0.0, 100.0, 10);
+        let originals = bimodal_sample(2_000, 11);
+        let noise = NoiseModel::gaussian(10.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let observed = noise.perturb_all(&originals, &mut rng);
+
+        let capped = ReconstructionConfig {
+            stopping: StoppingRule::MaxIterationsOnly,
+            max_iterations: 3,
+            ..Default::default()
+        };
+        let r = reconstruct(&noise, p, &observed, &capped).unwrap();
+        assert_eq!(r.iterations, 3);
+        assert!(!r.converged);
+
+        let chi = reconstruct(&noise, p, &observed, &ReconstructionConfig::default()).unwrap();
+        assert!(chi.converged, "chi-square rule should converge");
+        assert!(chi.iterations > 3, "paper stopping rule should run well past 3 iterations");
+        assert!(chi.iterations < 5_000);
+    }
+
+    #[test]
+    fn more_iterations_dont_hurt() {
+        // The L1 rule with a tight tolerance should give at least as good a
+        // fit as an extremely loose tolerance.
+        let p = part(0.0, 100.0, 20);
+        let originals = bimodal_sample(10_000, 13);
+        let noise = NoiseModel::gaussian(20.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(14);
+        let observed = noise.perturb_all(&originals, &mut rng);
+        let truth = Histogram::from_values(p, &originals);
+
+        let loose = ReconstructionConfig {
+            stopping: StoppingRule::L1 { tolerance: 0.5 },
+            ..Default::default()
+        };
+        let tight = ReconstructionConfig {
+            stopping: StoppingRule::L1 { tolerance: 1e-6 },
+            ..Default::default()
+        };
+        let r_loose = reconstruct(&noise, p, &observed, &loose).unwrap();
+        let r_tight = reconstruct(&noise, p, &observed, &tight).unwrap();
+        assert!(r_tight.iterations > r_loose.iterations);
+        let tv_loose = total_variation(&r_loose.histogram, &truth).unwrap();
+        let tv_tight = total_variation(&r_tight.histogram, &truth).unwrap();
+        assert!(tv_tight <= tv_loose + 0.02, "tight {tv_tight} loose {tv_loose}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_reconstruction_is_valid_distribution(
+            seed in 0u64..500,
+            n in 50usize..400,
+            sigma in 1.0..30.0f64,
+        ) {
+            let p = part(0.0, 100.0, 12);
+            let noise = NoiseModel::gaussian(sigma).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let originals: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
+            let observed = noise.perturb_all(&originals, &mut rng);
+            let r = reconstruct(&noise, p, &observed, &ReconstructionConfig::default()).unwrap();
+            prop_assert!((r.histogram.total() - n as f64).abs() < 1e-6);
+            prop_assert!(r.histogram.masses().iter().all(|m| *m >= 0.0 && m.is_finite()));
+        }
+    }
+}

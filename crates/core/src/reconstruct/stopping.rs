@@ -1,0 +1,192 @@
+//! Stopping rules for the iterative reconstruction procedure.
+//!
+//! AS00 stops "when the reconstructed distribution is statistically the
+//! same as in the previous iteration", operationalized with a chi-square
+//! test between successive estimates. An L1 rule and a fixed-iteration
+//! rule are provided for experimentation (see the `ablation_stopping`
+//! harness).
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::special::chi_square_quantile;
+
+/// When to declare the reconstruction iterate converged.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StoppingRule {
+    /// Never stop early; run until the iteration cap.
+    MaxIterationsOnly,
+    /// Stop when the relative improvement of the observed-data
+    /// log-likelihood falls below `rel_tolerance`. The default.
+    ///
+    /// The reconstruction iterate is (a midpoint approximation of) EM, so
+    /// the log-likelihood increases monotonically and flattens exactly when
+    /// the estimate stops explaining the data better — a much more robust
+    /// criterion at high noise levels than comparing successive estimates,
+    /// which go quiet thousands of iterations before convergence (see the
+    /// `ablation_stopping` harness).
+    LogLikelihood {
+        /// Relative per-iteration improvement below which to stop.
+        rel_tolerance: f64,
+    },
+    /// Stop when the chi-square statistic between successive estimates
+    /// (scaled by the sample size) drops below `critical_fraction` times the
+    /// critical value at the given significance level.
+    ///
+    /// This is the paper's criterion: AS00 stops "when the difference
+    /// between successive estimates becomes very small (1% of the threshold
+    /// of the chi-square test)". The fraction matters — the iterate moves
+    /// slowly near the optimum (it is an EM iteration on a deconvolution
+    /// problem), so a per-step change that is already statistically
+    /// insignificant can still leave large cumulative movement on the
+    /// table.
+    ChiSquare {
+        /// Test significance level, e.g. `0.05`.
+        significance: f64,
+        /// Fraction of the critical value below which to stop (AS00: 0.01).
+        critical_fraction: f64,
+    },
+    /// Stop when the L1 distance between successive probability vectors
+    /// drops below `tolerance`.
+    L1 {
+        /// Total absolute change below which iteration stops.
+        tolerance: f64,
+    },
+}
+
+impl Default for StoppingRule {
+    fn default() -> Self {
+        StoppingRule::LogLikelihood { rel_tolerance: 1e-8 }
+    }
+}
+
+/// AS00's published criterion (chi-square between successive estimates at
+/// 1% of the critical value), offered for faithful comparison.
+pub fn paper_chi_square_rule() -> StoppingRule {
+    StoppingRule::ChiSquare { significance: 0.05, critical_fraction: 0.01 }
+}
+
+impl StoppingRule {
+    /// Decides whether the step from `old` to `new` (probability vectors
+    /// over the same partition, summing to one) is small enough to stop,
+    /// given `n` observations and the observed-data log-likelihoods before
+    /// (`ll_old`) and after (`ll_new`) the step.
+    pub(crate) fn should_stop(
+        &self,
+        old: &[f64],
+        new: &[f64],
+        n: f64,
+        ll_old: f64,
+        ll_new: f64,
+    ) -> bool {
+        debug_assert_eq!(old.len(), new.len());
+        match *self {
+            StoppingRule::MaxIterationsOnly => false,
+            StoppingRule::LogLikelihood { rel_tolerance } => {
+                if !ll_old.is_finite() || !ll_new.is_finite() {
+                    return false;
+                }
+                (ll_new - ll_old).abs() <= rel_tolerance * ll_new.abs().max(f64::MIN_POSITIVE)
+            }
+            StoppingRule::ChiSquare { significance, critical_fraction } => {
+                let mut stat = 0.0;
+                for (o, w) in old.iter().zip(new) {
+                    if *o > 0.0 {
+                        let d = w - o;
+                        stat += d * d / o;
+                    } else if *w > 1e-12 {
+                        return false; // mass appeared from nowhere: keep going
+                    }
+                }
+                stat *= n;
+                let dof = old.len().saturating_sub(1).max(1);
+                let critical =
+                    chi_square_quantile(1.0 - significance.clamp(1e-9, 1.0 - 1e-9), dof);
+                stat < critical_fraction * critical
+            }
+            StoppingRule::L1 { tolerance } => {
+                let l1: f64 = old.iter().zip(new).map(|(o, w)| (w - o).abs()).sum();
+                l1 < tolerance
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LL: f64 = -1000.0; // arbitrary finite log-likelihood for rules that ignore it
+
+    #[test]
+    fn max_iterations_never_stops() {
+        let p = vec![0.5, 0.5];
+        assert!(!StoppingRule::MaxIterationsOnly.should_stop(&p, &p, 1e6, LL, LL));
+    }
+
+    #[test]
+    fn log_likelihood_stops_on_flat_improvement() {
+        let p = vec![0.25; 4];
+        let rule = StoppingRule::default();
+        assert!(rule.should_stop(&p, &p, 1e6, -1000.0, -1000.0 + 1e-9));
+        assert!(!rule.should_stop(&p, &p, 1e6, -1000.0, -999.0));
+    }
+
+    #[test]
+    fn log_likelihood_never_stops_on_first_iteration() {
+        let p = vec![0.25; 4];
+        let rule = StoppingRule::default();
+        assert!(!rule.should_stop(&p, &p, 1e6, f64::NEG_INFINITY, -1000.0));
+    }
+
+    #[test]
+    fn chi_square_stops_on_identical() {
+        let p = vec![0.25; 4];
+        let rule = paper_chi_square_rule();
+        assert!(rule.should_stop(&p, &p, 1e9, LL, LL));
+    }
+
+    #[test]
+    fn chi_square_keeps_going_on_large_change() {
+        let old = vec![0.25; 4];
+        let new = vec![0.10, 0.40, 0.10, 0.40];
+        let rule = paper_chi_square_rule();
+        assert!(!rule.should_stop(&old, &new, 10_000.0, LL, LL));
+    }
+
+    #[test]
+    fn chi_square_scales_with_n() {
+        // The same small change is negligible for small n but a real
+        // difference for large n.
+        let old = vec![0.25; 4];
+        let new = vec![0.249, 0.251, 0.25, 0.25];
+        let rule = paper_chi_square_rule();
+        assert!(rule.should_stop(&old, &new, 100.0, LL, LL));
+        assert!(!rule.should_stop(&old, &new, 10_000_000.0, LL, LL));
+    }
+
+    #[test]
+    fn critical_fraction_tightens_the_rule() {
+        let old = vec![0.25; 4];
+        let new = vec![0.245, 0.255, 0.25, 0.25];
+        let loose = StoppingRule::ChiSquare { significance: 0.05, critical_fraction: 1.0 };
+        let paper = paper_chi_square_rule();
+        assert!(loose.should_stop(&old, &new, 10_000.0, LL, LL));
+        assert!(!paper.should_stop(&old, &new, 10_000.0, LL, LL));
+    }
+
+    #[test]
+    fn chi_square_rejects_mass_from_nowhere() {
+        let old = vec![1.0, 0.0];
+        let new = vec![0.9, 0.1];
+        let rule = paper_chi_square_rule();
+        assert!(!rule.should_stop(&old, &new, 10.0, LL, LL));
+    }
+
+    #[test]
+    fn l1_rule_thresholds() {
+        let old = vec![0.5, 0.5];
+        let new = vec![0.49, 0.51];
+        assert!(StoppingRule::L1 { tolerance: 0.05 }.should_stop(&old, &new, 1.0, LL, LL));
+        assert!(!StoppingRule::L1 { tolerance: 0.001 }.should_stop(&old, &new, 1.0, LL, LL));
+    }
+}

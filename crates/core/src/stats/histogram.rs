@@ -1,0 +1,277 @@
+//! Mass histograms over interval partitions.
+//!
+//! The reconstruction algorithms estimate *interval mass* — "how many
+//! original points fall in each interval" — so the histogram carries mass
+//! on an arbitrary (count or probability) scale and offers explicit
+//! normalization.
+
+use serde::{Deserialize, Serialize};
+
+use crate::domain::Partition;
+use crate::error::{Error, Result};
+
+/// Non-negative mass assigned to each interval of a [`Partition`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    partition: Partition,
+    mass: Vec<f64>,
+}
+
+impl Histogram {
+    /// A histogram with zero mass everywhere.
+    pub fn new_zero(partition: Partition) -> Self {
+        Histogram { partition, mass: vec![0.0; partition.len()] }
+    }
+
+    /// Builds a unit-mass-per-point histogram from raw values.
+    ///
+    /// Values outside the domain are clamped into the first/last interval,
+    /// so `total()` always equals `values.len()`.
+    pub fn from_values(partition: Partition, values: &[f64]) -> Self {
+        let mut mass = vec![0.0; partition.len()];
+        for &v in values {
+            mass[partition.locate(v)] += 1.0;
+        }
+        Histogram { partition, mass }
+    }
+
+    /// Wraps an explicit mass vector, validating length and non-negativity.
+    pub fn from_mass(partition: Partition, mass: Vec<f64>) -> Result<Self> {
+        if mass.len() != partition.len() {
+            return Err(Error::InvalidMass(format!(
+                "length {} does not match partition with {} intervals",
+                mass.len(),
+                partition.len()
+            )));
+        }
+        if let Some(bad) = mass.iter().find(|m| !m.is_finite() || **m < 0.0) {
+            return Err(Error::InvalidMass(format!("mass entries must be finite and >= 0, got {bad}")));
+        }
+        Ok(Histogram { partition, mass })
+    }
+
+    /// The underlying partition.
+    #[inline]
+    pub fn partition(&self) -> Partition {
+        self.partition
+    }
+
+    /// Number of intervals.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.mass.len()
+    }
+
+    /// Always false: partitions are non-empty by construction.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Mass of interval `i`.
+    #[inline]
+    pub fn mass(&self, i: usize) -> f64 {
+        self.mass[i]
+    }
+
+    /// The full mass vector.
+    #[inline]
+    pub fn masses(&self) -> &[f64] {
+        &self.mass
+    }
+
+    /// Adds `w` units of mass at value `x`.
+    #[inline]
+    pub fn add(&mut self, x: f64, w: f64) {
+        let i = self.partition.locate(x);
+        self.mass[i] += w;
+    }
+
+    /// Total mass.
+    pub fn total(&self) -> f64 {
+        self.mass.iter().sum()
+    }
+
+    /// Per-interval probabilities (mass / total). A zero-mass histogram
+    /// yields the uniform distribution, which is the natural reconstruction
+    /// prior.
+    pub fn probabilities(&self) -> Vec<f64> {
+        let total = self.total();
+        if total <= 0.0 {
+            let u = 1.0 / self.len() as f64;
+            return vec![u; self.len()];
+        }
+        self.mass.iter().map(|m| m / total).collect()
+    }
+
+    /// Returns a copy rescaled so that `total()` equals `new_total`.
+    pub fn scaled_to(&self, new_total: f64) -> Result<Self> {
+        if !new_total.is_finite() || new_total < 0.0 {
+            return Err(Error::InvalidMass(format!("cannot scale to total {new_total}")));
+        }
+        let probs = self.probabilities();
+        let mass = probs.into_iter().map(|p| p * new_total).collect();
+        Histogram::from_mass(self.partition, mass)
+    }
+
+    /// Cumulative mass after each interval: `cumulative()[i]` is the mass of
+    /// intervals `0..=i`. The final entry equals `total()`.
+    pub fn cumulative(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.mass
+            .iter()
+            .map(|m| {
+                acc += m;
+                acc
+            })
+            .collect()
+    }
+
+    /// Mean of the histogram treating each interval's mass as concentrated at
+    /// its midpoint.
+    pub fn mean(&self) -> f64 {
+        let total = self.total();
+        if total <= 0.0 {
+            return self.partition.domain().mid();
+        }
+        self.mass
+            .iter()
+            .enumerate()
+            .map(|(i, m)| m * self.partition.midpoint(i))
+            .sum::<f64>()
+            / total
+    }
+
+    /// Variance of the midpoint-concentrated distribution.
+    pub fn variance(&self) -> f64 {
+        let total = self.total();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        self.mass
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let d = self.partition.midpoint(i) - mean;
+                m * d * d
+            })
+            .sum::<f64>()
+            / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use proptest::prelude::*;
+
+    fn part(lo: f64, hi: f64, n: usize) -> Partition {
+        Partition::new(Domain::new(lo, hi).unwrap(), n).unwrap()
+    }
+
+    #[test]
+    fn from_values_counts_and_clamps() {
+        let p = part(0.0, 10.0, 5);
+        let h = Histogram::from_values(p, &[1.0, 3.0, 3.5, -2.0, 42.0]);
+        assert_eq!(h.masses(), &[2.0, 2.0, 0.0, 0.0, 1.0]);
+        assert_eq!(h.total(), 5.0);
+    }
+
+    #[test]
+    fn from_mass_validates() {
+        let p = part(0.0, 10.0, 3);
+        assert!(Histogram::from_mass(p, vec![1.0, 2.0]).is_err());
+        assert!(Histogram::from_mass(p, vec![1.0, -0.1, 0.0]).is_err());
+        assert!(Histogram::from_mass(p, vec![1.0, f64::NAN, 0.0]).is_err());
+        assert!(Histogram::from_mass(p, vec![1.0, 2.0, 3.0]).is_ok());
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let p = part(0.0, 10.0, 4);
+        let h = Histogram::from_mass(p, vec![1.0, 3.0, 0.0, 4.0]).unwrap();
+        let probs = h.probabilities();
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(probs[1], 0.375);
+    }
+
+    #[test]
+    fn zero_mass_probabilities_are_uniform() {
+        let p = part(0.0, 10.0, 4);
+        let h = Histogram::new_zero(p);
+        assert_eq!(h.probabilities(), vec![0.25; 4]);
+    }
+
+    #[test]
+    fn scaled_to_changes_total() {
+        let p = part(0.0, 10.0, 2);
+        let h = Histogram::from_mass(p, vec![1.0, 3.0]).unwrap();
+        let s = h.scaled_to(100.0).unwrap();
+        assert!((s.total() - 100.0).abs() < 1e-9);
+        assert!((s.mass(0) - 25.0).abs() < 1e-9);
+        assert!(h.scaled_to(-1.0).is_err());
+    }
+
+    #[test]
+    fn cumulative_ends_at_total() {
+        let p = part(0.0, 10.0, 3);
+        let h = Histogram::from_mass(p, vec![2.0, 0.0, 5.0]).unwrap();
+        assert_eq!(h.cumulative(), vec![2.0, 2.0, 7.0]);
+    }
+
+    #[test]
+    fn mean_and_variance_of_point_mass() {
+        let p = part(0.0, 10.0, 5);
+        // All mass in interval 2, midpoint 5.0.
+        let h = Histogram::from_mass(p, vec![0.0, 0.0, 7.0, 0.0, 0.0]).unwrap();
+        assert_eq!(h.mean(), 5.0);
+        assert_eq!(h.variance(), 0.0);
+    }
+
+    #[test]
+    fn mean_of_symmetric_mass_is_domain_mid() {
+        let p = part(0.0, 10.0, 5);
+        let h = Histogram::from_mass(p, vec![1.0, 2.0, 3.0, 2.0, 1.0]).unwrap();
+        assert!((h.mean() - 5.0).abs() < 1e-12);
+        assert!(h.variance() > 0.0);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let p = part(0.0, 10.0, 5);
+        let mut h = Histogram::new_zero(p);
+        h.add(1.0, 2.5);
+        h.add(1.5, 0.5);
+        assert_eq!(h.mass(0), 3.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_from_values_total_is_count(values in prop::collection::vec(-50.0..150.0f64, 0..200)) {
+            let p = part(0.0, 100.0, 13);
+            let h = Histogram::from_values(p, &values);
+            prop_assert!((h.total() - values.len() as f64).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_probabilities_valid(mass in prop::collection::vec(0.0..1e6f64, 1..64)) {
+            let n = mass.len();
+            let p = part(0.0, 1.0, n);
+            let h = Histogram::from_mass(p, mass).unwrap();
+            let probs = h.probabilities();
+            prop_assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(probs.iter().all(|q| *q >= 0.0 && *q <= 1.0 + 1e-12));
+        }
+
+        #[test]
+        fn prop_mean_within_domain(mass in prop::collection::vec(0.0..1e3f64, 1..32)) {
+            let n = mass.len();
+            let p = part(-5.0, 7.0, n);
+            let h = Histogram::from_mass(p, mass).unwrap();
+            let m = h.mean();
+            prop_assert!((-5.0 - 1e-9..=7.0 + 1e-9).contains(&m));
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Statistics substrate: histograms, distribution distances, scalar
+//! summaries, and the special functions backing the privacy metric and the
+//! reconstruction stopping rule.
+
+mod distance;
+mod histogram;
+pub mod special;
+mod summary;
+
+pub use distance::{chi_square_statistic, kolmogorov_smirnov, total_variation};
+pub use histogram::Histogram;
+pub use summary::{mean, min_max, quantile, quantile_of_sorted, std_dev, variance};

@@ -1,0 +1,144 @@
+//! Scalar summaries of raw samples: mean, variance, quantiles.
+//!
+//! Used by tests (to verify noise operators deliver the promised moments),
+//! by the data generator (discretizing continuous attributes at quartiles),
+//! and by the experiment harness when reporting distributions.
+
+/// Arithmetic mean. Returns 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (n - 1 denominator). Returns 0.0 for fewer than
+/// two observations.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// The `q`-quantile (`0 <= q <= 1`) using linear interpolation between order
+/// statistics (type-7, the numpy/R default).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1], got {q}");
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite value in quantile input"));
+    quantile_of_sorted(&sorted, q)
+}
+
+/// As [`quantile`], but assumes the input is already sorted ascending.
+pub fn quantile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1], got {q}");
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = h - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Minimum and maximum of a non-empty slice.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn min_max(xs: &[f64]) -> (f64, f64) {
+    assert!(!xs.is_empty(), "min_max of empty slice");
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in xs {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_variance_hand_computed() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sum of squared deviations = 32; unbiased variance = 32/7.
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[42.0]), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_handles_unsorted_input() {
+        let xs = [9.0, 1.0, 5.0];
+        assert_eq!(quantile(&xs, 0.5), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile of empty slice")]
+    fn quantile_rejects_empty() {
+        quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn min_max_works() {
+        assert_eq!(min_max(&[3.0, -1.0, 7.0]), (-1.0, 7.0));
+        assert_eq!(min_max(&[5.0]), (5.0, 5.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_quantile_monotone(xs in prop::collection::vec(-1e6..1e6f64, 1..100)) {
+            let q25 = quantile(&xs, 0.25);
+            let q50 = quantile(&xs, 0.5);
+            let q75 = quantile(&xs, 0.75);
+            prop_assert!(q25 <= q50 && q50 <= q75);
+        }
+
+        #[test]
+        fn prop_quantile_within_range(xs in prop::collection::vec(-1e6..1e6f64, 1..100), q in 0.0..=1.0f64) {
+            let (lo, hi) = min_max(&xs);
+            let v = quantile(&xs, q);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+
+        #[test]
+        fn prop_variance_nonnegative(xs in prop::collection::vec(-1e3..1e3f64, 0..100)) {
+            prop_assert!(variance(&xs) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Failure-injection and degenerate-input tests for the reconstruction
+//! engine: hostile or pathological observations must degrade gracefully,
+//! never panic, and always return a valid (non-negative, mass-conserving)
+//! histogram.
+
+use ppdm_core::domain::{Domain, Partition};
+use ppdm_core::randomize::NoiseModel;
+use ppdm_core::reconstruct::{reconstruct, ReconstructionConfig, StoppingRule};
+
+fn part(cells: usize) -> Partition {
+    Partition::new(Domain::new(0.0, 100.0).unwrap(), cells).unwrap()
+}
+
+fn assert_valid(histogram: &ppdm_core::Histogram, n: usize) {
+    assert!((histogram.total() - n as f64).abs() < 1e-6, "mass not conserved");
+    assert!(histogram.masses().iter().all(|m| *m >= 0.0 && m.is_finite()));
+}
+
+#[test]
+fn observations_far_outside_the_domain() {
+    // A malicious (or buggy) client submits values far beyond domain +
+    // noise span; with bounded uniform noise they are incompatible with
+    // every cell.
+    let noise = NoiseModel::uniform(5.0).unwrap();
+    let observed = vec![1e6, -1e6, 5e5];
+    let r = reconstruct(&noise, part(10), &observed, &ReconstructionConfig::default()).unwrap();
+    assert_valid(&r.histogram, 3);
+}
+
+#[test]
+fn mixed_compatible_and_incompatible_observations() {
+    let noise = NoiseModel::uniform(5.0).unwrap();
+    let mut observed: Vec<f64> = (0..100).map(|i| i as f64).collect();
+    observed.extend([1e9, -1e9]);
+    let r = reconstruct(&noise, part(10), &observed, &ReconstructionConfig::default()).unwrap();
+    assert_valid(&r.histogram, 102);
+}
+
+#[test]
+fn single_observation() {
+    let noise = NoiseModel::gaussian(10.0).unwrap();
+    let r = reconstruct(&noise, part(10), &[42.0], &ReconstructionConfig::default()).unwrap();
+    assert_valid(&r.histogram, 1);
+    // The single point's mass should concentrate near its location.
+    let p = part(10);
+    let near = r.histogram.mass(p.locate(42.0));
+    assert!(near > 0.05, "mass near the observation: {near}");
+}
+
+#[test]
+fn all_observations_identical() {
+    let noise = NoiseModel::gaussian(5.0).unwrap();
+    let observed = vec![50.0; 1_000];
+    let r = reconstruct(&noise, part(20), &observed, &ReconstructionConfig::default()).unwrap();
+    assert_valid(&r.histogram, 1_000);
+    // Identical observations are most plausibly one point. 50.0 sits on a
+    // cell boundary, so the mass may concentrate in either adjacent cell
+    // (or split between them); together they must dominate.
+    let p = part(20);
+    let near = r.histogram.mass(p.locate(49.9)) + r.histogram.mass(p.locate(50.1));
+    assert!(near > 500.0, "mass near the observations: {near}");
+}
+
+#[test]
+fn one_cell_partition_gets_everything() {
+    let noise = NoiseModel::gaussian(10.0).unwrap();
+    let one = Partition::new(Domain::new(0.0, 100.0).unwrap(), 1).unwrap();
+    let r = reconstruct(&noise, one, &[10.0, 50.0, 90.0], &ReconstructionConfig::default())
+        .unwrap();
+    assert!((r.histogram.mass(0) - 3.0).abs() < 1e-9);
+    assert!(r.converged);
+}
+
+#[test]
+fn huge_noise_relative_to_domain() {
+    // Noise standard deviation 100x the domain width: reconstruction can
+    // learn almost nothing but must stay sane.
+    let noise = NoiseModel::gaussian(10_000.0).unwrap();
+    let observed: Vec<f64> = (0..500).map(|i| (i as f64 * 37.0) % 100.0).collect();
+    let r = reconstruct(&noise, part(10), &observed, &ReconstructionConfig::default()).unwrap();
+    assert_valid(&r.histogram, 500);
+}
+
+#[test]
+fn zero_iteration_budget_returns_the_prior() {
+    let noise = NoiseModel::gaussian(10.0).unwrap();
+    let cfg = ReconstructionConfig {
+        stopping: StoppingRule::MaxIterationsOnly,
+        max_iterations: 0,
+        ..Default::default()
+    };
+    let observed = vec![10.0, 20.0, 30.0, 70.0];
+    let r = reconstruct(&noise, part(4), &observed, &cfg).unwrap();
+    assert_eq!(r.iterations, 0);
+    assert!(!r.converged);
+    // Uniform prior scaled to n.
+    for i in 0..4 {
+        assert!((r.histogram.mass(i) - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn subnormal_and_extreme_but_finite_observations_are_accepted() {
+    let noise = NoiseModel::gaussian(10.0).unwrap();
+    let observed = vec![f64::MIN_POSITIVE, 50.0, 1e308];
+    let r = reconstruct(&noise, part(5), &observed, &ReconstructionConfig::default()).unwrap();
+    assert_valid(&r.histogram, 3);
+}

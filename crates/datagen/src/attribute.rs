@@ -1,0 +1,196 @@
+//! The nine attributes of the Agrawal-Imielinski-Swami (1992) synthetic
+//! classification benchmark, which AS00 uses for its entire evaluation.
+//!
+//! Each attribute has a fixed population-wide domain, which doubles as the
+//! reference width for the privacy metric ("x% privacy" means the
+//! 95%-confidence interval is x% of this width).
+
+use ppdm_core::domain::Domain;
+use serde::{Deserialize, Serialize};
+
+/// Number of attributes in a record.
+pub const NUM_ATTRIBUTES: usize = 9;
+
+/// One of the nine benchmark attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Attribute {
+    /// Annual salary, uniform on [20k, 150k].
+    Salary,
+    /// Commission: zero if salary >= 75k, else uniform on [10k, 75k].
+    Commission,
+    /// Age in years, uniform on [20, 80].
+    Age,
+    /// Education level, integer uniform on {0, ..., 4}.
+    Elevel,
+    /// Make of car, integer uniform on {1, ..., 20}.
+    Car,
+    /// Zipcode, integer uniform on {1, ..., 9}.
+    Zipcode,
+    /// House value, uniform on [0.5 k 100k, 1.5 k 100k] where k is the
+    /// zipcode — house prices depend on the neighborhood.
+    Hvalue,
+    /// Years the house has been owned, integer uniform on {1, ..., 30}.
+    Hyears,
+    /// Total loan amount, uniform on [0, 500k].
+    Loan,
+}
+
+impl Attribute {
+    /// All attributes in canonical (index) order.
+    pub const ALL: [Attribute; NUM_ATTRIBUTES] = [
+        Attribute::Salary,
+        Attribute::Commission,
+        Attribute::Age,
+        Attribute::Elevel,
+        Attribute::Car,
+        Attribute::Zipcode,
+        Attribute::Hvalue,
+        Attribute::Hyears,
+        Attribute::Loan,
+    ];
+
+    /// Canonical column index of this attribute.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Attribute::Salary => 0,
+            Attribute::Commission => 1,
+            Attribute::Age => 2,
+            Attribute::Elevel => 3,
+            Attribute::Car => 4,
+            Attribute::Zipcode => 5,
+            Attribute::Hvalue => 6,
+            Attribute::Hyears => 7,
+            Attribute::Loan => 8,
+        }
+    }
+
+    /// Inverse of [`Attribute::index`].
+    pub fn from_index(i: usize) -> Option<Attribute> {
+        Attribute::ALL.get(i).copied()
+    }
+
+    /// Human-readable name, also used as the CSV column header.
+    pub fn name(self) -> &'static str {
+        match self {
+            Attribute::Salary => "salary",
+            Attribute::Commission => "commission",
+            Attribute::Age => "age",
+            Attribute::Elevel => "elevel",
+            Attribute::Car => "car",
+            Attribute::Zipcode => "zipcode",
+            Attribute::Hvalue => "hvalue",
+            Attribute::Hyears => "hyears",
+            Attribute::Loan => "loan",
+        }
+    }
+
+    /// Population-wide domain of the attribute. For `Hvalue`, this is the
+    /// union over all zipcodes.
+    pub fn domain(self) -> Domain {
+        let (lo, hi) = match self {
+            Attribute::Salary => (20_000.0, 150_000.0),
+            Attribute::Commission => (0.0, 75_000.0),
+            Attribute::Age => (20.0, 80.0),
+            Attribute::Elevel => (0.0, 4.0),
+            Attribute::Car => (1.0, 20.0),
+            Attribute::Zipcode => (1.0, 9.0),
+            Attribute::Hvalue => (50_000.0, 1_350_000.0),
+            Attribute::Hyears => (1.0, 30.0),
+            Attribute::Loan => (0.0, 500_000.0),
+        };
+        Domain::new(lo, hi).expect("static attribute domains are valid")
+    }
+
+    /// Whether the attribute takes integer values (the generator draws them
+    /// as integers, though the pipeline treats every attribute as numeric,
+    /// exactly as AS00 does).
+    pub fn is_integer_valued(self) -> bool {
+        matches!(
+            self,
+            Attribute::Elevel | Attribute::Car | Attribute::Zipcode | Attribute::Hyears
+        )
+    }
+
+    /// Number of distinct values an integer-valued attribute takes, `None`
+    /// for continuous attributes.
+    pub fn distinct_values(self) -> Option<usize> {
+        match self {
+            Attribute::Elevel => Some(5),
+            Attribute::Car => Some(20),
+            Attribute::Zipcode => Some(9),
+            Attribute::Hyears => Some(30),
+            _ => None,
+        }
+    }
+
+    /// The domain over which reconstruction partitions this attribute.
+    ///
+    /// For integer-valued attributes this is the value domain padded by 0.5
+    /// on each side, so that a one-cell-per-value partition has its cell
+    /// *midpoints* on the integers and its boundaries between them.
+    /// Partitioning integers into arbitrary sub-integer cells would let
+    /// per-class reconstruction place its (necessarily spiky) mass into
+    /// micro-cells that differ between classes — fake class-separating
+    /// structure that gini split search would happily exploit.
+    pub fn partition_domain(self) -> Domain {
+        let d = self.domain();
+        if self.is_integer_valued() {
+            Domain::new(d.lo() - 0.5, d.hi() + 0.5).expect("padded domain is valid")
+        } else {
+            d
+        }
+    }
+}
+
+impl std::fmt::Display for Attribute {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_a_permutation() {
+        for (i, attr) in Attribute::ALL.iter().enumerate() {
+            assert_eq!(attr.index(), i);
+            assert_eq!(Attribute::from_index(i), Some(*attr));
+        }
+        assert_eq!(Attribute::from_index(NUM_ATTRIBUTES), None);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Attribute::ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_ATTRIBUTES);
+    }
+
+    #[test]
+    fn domains_match_paper() {
+        assert_eq!(Attribute::Salary.domain().lo(), 20_000.0);
+        assert_eq!(Attribute::Salary.domain().hi(), 150_000.0);
+        assert_eq!(Attribute::Age.domain().width(), 60.0);
+        assert_eq!(Attribute::Loan.domain().hi(), 500_000.0);
+        // Hvalue spans zipcode 1 (min 50k) through zipcode 9 (max 1.35M).
+        assert_eq!(Attribute::Hvalue.domain().lo(), 50_000.0);
+        assert_eq!(Attribute::Hvalue.domain().hi(), 1_350_000.0);
+    }
+
+    #[test]
+    fn integer_valued_flags() {
+        assert!(Attribute::Elevel.is_integer_valued());
+        assert!(Attribute::Zipcode.is_integer_valued());
+        assert!(!Attribute::Salary.is_integer_valued());
+        assert!(!Attribute::Hvalue.is_integer_valued());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Attribute::Hyears.to_string(), "hyears");
+    }
+}

@@ -1,0 +1,210 @@
+//! Minimal CSV serialization for datasets (no external dependency).
+//!
+//! Format: a header row with the nine attribute names plus `class`, then
+//! one row per record. Values are written with full `f64` round-trip
+//! precision; classes as `A`/`B`.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use crate::attribute::{Attribute, NUM_ATTRIBUTES};
+use crate::record::{Class, Dataset, Record};
+
+/// Errors arising while reading a dataset from CSV.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural or parse failure, with the 1-based line number.
+    Parse {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv io error: {e}"),
+            CsvError::Parse { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            CsvError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes `dataset` as CSV.
+pub fn write_csv<W: Write>(dataset: &Dataset, writer: &mut W) -> io::Result<()> {
+    let mut out = io::BufWriter::new(writer);
+    for (i, attr) in Attribute::ALL.iter().enumerate() {
+        if i > 0 {
+            write!(out, ",")?;
+        }
+        write!(out, "{}", attr.name())?;
+    }
+    writeln!(out, ",class")?;
+    for (record, label) in dataset.iter() {
+        for (i, v) in record.values.iter().enumerate() {
+            if i > 0 {
+                write!(out, ",")?;
+            }
+            // `{:?}` of f64 is the shortest representation that round-trips.
+            write!(out, "{v:?}")?;
+        }
+        writeln!(out, ",{label}")?;
+    }
+    out.flush()
+}
+
+/// Reads a dataset from CSV produced by [`write_csv`].
+pub fn read_csv<R: BufRead>(reader: R) -> Result<Dataset, CsvError> {
+    let mut lines = reader.lines();
+    let header = match lines.next() {
+        Some(h) => h?,
+        None => return Err(CsvError::Parse { line: 1, message: "missing header".into() }),
+    };
+    let expected_header: String = Attribute::ALL
+        .iter()
+        .map(|a| a.name())
+        .chain(std::iter::once("class"))
+        .collect::<Vec<_>>()
+        .join(",");
+    if header.trim() != expected_header {
+        return Err(CsvError::Parse {
+            line: 1,
+            message: format!("unexpected header {header:?}, expected {expected_header:?}"),
+        });
+    }
+
+    let mut dataset = Dataset::empty();
+    for (idx, line) in lines.enumerate() {
+        let line_no = idx + 2;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != NUM_ATTRIBUTES + 1 {
+            return Err(CsvError::Parse {
+                line: line_no,
+                message: format!("expected {} fields, found {}", NUM_ATTRIBUTES + 1, fields.len()),
+            });
+        }
+        let mut values = [0.0f64; NUM_ATTRIBUTES];
+        for (slot, field) in values.iter_mut().zip(&fields[..NUM_ATTRIBUTES]) {
+            *slot = field.trim().parse::<f64>().map_err(|e| CsvError::Parse {
+                line: line_no,
+                message: format!("bad numeric field {field:?}: {e}"),
+            })?;
+        }
+        let label = match fields[NUM_ATTRIBUTES].trim() {
+            "A" => Class::A,
+            "B" => Class::B,
+            other => {
+                return Err(CsvError::Parse {
+                    line: line_no,
+                    message: format!("bad class label {other:?}"),
+                })
+            }
+        };
+        dataset.push(Record::new(values), label);
+    }
+    Ok(dataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::LabelFunction;
+    use crate::generator::generate;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_preserves_dataset() {
+        let d = generate(250, LabelFunction::F4, 21);
+        let mut buf = Vec::new();
+        write_csv(&d, &mut buf).unwrap();
+        let back = read_csv(Cursor::new(buf)).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn empty_dataset_roundtrips() {
+        let d = Dataset::empty();
+        let mut buf = Vec::new();
+        write_csv(&d, &mut buf).unwrap();
+        let back = read_csv(Cursor::new(buf)).unwrap();
+        assert_eq!(back.len(), 0);
+    }
+
+    #[test]
+    fn missing_header_is_error() {
+        let err = read_csv(Cursor::new(Vec::<u8>::new())).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn wrong_header_is_error() {
+        let err = read_csv(Cursor::new(b"a,b,c\n".to_vec())).unwrap_err();
+        assert!(err.to_string().contains("unexpected header"));
+    }
+
+    #[test]
+    fn wrong_field_count_is_error() {
+        let mut buf = Vec::new();
+        write_csv(&Dataset::empty(), &mut buf).unwrap();
+        buf.extend_from_slice(b"1,2,3\n");
+        let err = read_csv(Cursor::new(buf)).unwrap_err();
+        assert!(err.to_string().contains("expected 10 fields"), "{err}");
+    }
+
+    #[test]
+    fn bad_label_is_error() {
+        let mut buf = Vec::new();
+        write_csv(&Dataset::empty(), &mut buf).unwrap();
+        buf.extend_from_slice(b"1,2,3,4,5,6,7,8,9,X\n");
+        let err = read_csv(Cursor::new(buf)).unwrap_err();
+        assert!(err.to_string().contains("bad class label"), "{err}");
+    }
+
+    #[test]
+    fn bad_number_reports_line() {
+        let mut buf = Vec::new();
+        write_csv(&Dataset::empty(), &mut buf).unwrap();
+        buf.extend_from_slice(b"1,2,3,4,5,6,7,8,9,A\n");
+        buf.extend_from_slice(b"1,2,oops,4,5,6,7,8,9,B\n");
+        let err = read_csv(Cursor::new(buf)).unwrap_err();
+        match err {
+            CsvError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("oops"));
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let mut buf = Vec::new();
+        let d = generate(3, LabelFunction::F1, 22);
+        write_csv(&d, &mut buf).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let back = read_csv(Cursor::new(buf)).unwrap();
+        assert_eq!(back.len(), 3);
+    }
+}

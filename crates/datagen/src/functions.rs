@@ -1,0 +1,361 @@
+//! The ten classification functions of the AIS92 benchmark.
+//!
+//! AS00's evaluation uses functions 1-5, chosen for their "widely varying"
+//! decision surfaces: F1 splits on one attribute, F2/F3 on two, F4/F5 on
+//! three, with increasingly narrow decision regions. Functions 6-10 (linear
+//! "disposable income" predicates) are included for completeness; they are
+//! faithful in spirit to the original generator's definitions.
+//!
+//! A record is labeled [`Class::A`] when the function's predicate holds,
+//! otherwise [`Class::B`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::attribute::Attribute;
+use crate::record::{Class, Record};
+
+/// One of the ten labeling functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LabelFunction {
+    /// Age only: `age < 40 or age >= 60`.
+    F1,
+    /// Age x salary bands.
+    F2,
+    /// Age x education level.
+    F3,
+    /// Age x education level x salary.
+    F4,
+    /// Age x salary x loan.
+    F5,
+    /// Age x total income (salary + commission) bands.
+    F6,
+    /// Linear disposable-income predicate over income and loan.
+    F7,
+    /// Disposable income including education costs.
+    F8,
+    /// Disposable income including home equity.
+    F9,
+    /// Disposable income with equity and loan together.
+    F10,
+}
+
+impl LabelFunction {
+    /// All functions in order F1..F10.
+    pub const ALL: [LabelFunction; 10] = [
+        LabelFunction::F1,
+        LabelFunction::F2,
+        LabelFunction::F3,
+        LabelFunction::F4,
+        LabelFunction::F5,
+        LabelFunction::F6,
+        LabelFunction::F7,
+        LabelFunction::F8,
+        LabelFunction::F9,
+        LabelFunction::F10,
+    ];
+
+    /// The five functions AS00 evaluates.
+    pub const PAPER: [LabelFunction; 5] = [
+        LabelFunction::F1,
+        LabelFunction::F2,
+        LabelFunction::F3,
+        LabelFunction::F4,
+        LabelFunction::F5,
+    ];
+
+    /// Function by its 1-based paper number.
+    pub fn from_number(n: usize) -> Option<LabelFunction> {
+        if (1..=10).contains(&n) {
+            Some(Self::ALL[n - 1])
+        } else {
+            None
+        }
+    }
+
+    /// 1-based paper number.
+    pub fn number(self) -> usize {
+        Self::ALL.iter().position(|f| *f == self).expect("member of ALL") + 1
+    }
+
+    /// Attributes the predicate actually reads — useful for checking that
+    /// induced trees split on sensible attributes.
+    pub fn relevant_attributes(self) -> &'static [Attribute] {
+        use Attribute::*;
+        match self {
+            LabelFunction::F1 => &[Age],
+            LabelFunction::F2 => &[Age, Salary],
+            LabelFunction::F3 => &[Age, Elevel],
+            LabelFunction::F4 => &[Age, Elevel, Salary],
+            LabelFunction::F5 => &[Age, Salary, Loan],
+            LabelFunction::F6 => &[Age, Salary, Commission],
+            LabelFunction::F7 => &[Salary, Commission, Loan],
+            LabelFunction::F8 => &[Salary, Commission, Elevel, Loan],
+            LabelFunction::F9 => &[Salary, Commission, Elevel, Hvalue, Hyears],
+            LabelFunction::F10 => &[Salary, Commission, Elevel, Hvalue, Hyears, Loan],
+        }
+    }
+
+    /// Labels a record.
+    pub fn classify(self, r: &Record) -> Class {
+        if self.predicate(r) {
+            Class::A
+        } else {
+            Class::B
+        }
+    }
+
+    fn predicate(self, r: &Record) -> bool {
+        let age = r.age();
+        let salary = r.salary();
+        let elevel = r.elevel();
+        let loan = r.loan();
+        match self {
+            LabelFunction::F1 => !(40.0..60.0).contains(&age),
+            LabelFunction::F2 => {
+                (age < 40.0 && in_band(salary, 50_000.0, 100_000.0))
+                    || ((40.0..60.0).contains(&age) && in_band(salary, 75_000.0, 125_000.0))
+                    || (age >= 60.0 && in_band(salary, 25_000.0, 75_000.0))
+            }
+            LabelFunction::F3 => {
+                (age < 40.0 && in_band(elevel, 0.0, 1.0))
+                    || ((40.0..60.0).contains(&age) && in_band(elevel, 1.0, 3.0))
+                    || (age >= 60.0 && in_band(elevel, 2.0, 4.0))
+            }
+            LabelFunction::F4 => {
+                if age < 40.0 {
+                    if in_band(elevel, 0.0, 1.0) {
+                        in_band(salary, 25_000.0, 75_000.0)
+                    } else {
+                        in_band(salary, 50_000.0, 100_000.0)
+                    }
+                } else if age < 60.0 {
+                    if in_band(elevel, 1.0, 3.0) {
+                        in_band(salary, 50_000.0, 100_000.0)
+                    } else {
+                        in_band(salary, 75_000.0, 125_000.0)
+                    }
+                } else if in_band(elevel, 2.0, 4.0) {
+                    in_band(salary, 50_000.0, 100_000.0)
+                } else {
+                    in_band(salary, 25_000.0, 75_000.0)
+                }
+            }
+            LabelFunction::F5 => {
+                if age < 40.0 {
+                    if in_band(salary, 50_000.0, 100_000.0) {
+                        in_band(loan, 100_000.0, 300_000.0)
+                    } else {
+                        in_band(loan, 200_000.0, 400_000.0)
+                    }
+                } else if age < 60.0 {
+                    if in_band(salary, 75_000.0, 125_000.0) {
+                        in_band(loan, 200_000.0, 400_000.0)
+                    } else {
+                        in_band(loan, 300_000.0, 500_000.0)
+                    }
+                } else if in_band(salary, 25_000.0, 75_000.0) {
+                    in_band(loan, 300_000.0, 500_000.0)
+                } else {
+                    in_band(loan, 100_000.0, 300_000.0)
+                }
+            }
+            LabelFunction::F6 => {
+                let income = salary + r.commission();
+                (age < 40.0 && in_band(income, 50_000.0, 100_000.0))
+                    || ((40.0..60.0).contains(&age) && in_band(income, 75_000.0, 125_000.0))
+                    || (age >= 60.0 && in_band(income, 25_000.0, 75_000.0))
+            }
+            LabelFunction::F7 => {
+                0.67 * (salary + r.commission()) - 0.2 * loan - 20_000.0 > 0.0
+            }
+            LabelFunction::F8 => {
+                0.67 * (salary + r.commission()) - 5_000.0 * elevel - 0.2 * loan - 10_000.0 > 0.0
+            }
+            LabelFunction::F9 => {
+                // No loan relief here, so the threshold is higher than
+                // F8's to keep the classes balanced.
+                0.67 * (salary + r.commission()) - 5_000.0 * elevel + 0.2 * equity(r) - 50_000.0
+                    > 0.0
+            }
+            LabelFunction::F10 => {
+                0.67 * (salary + r.commission()) - 5_000.0 * elevel - 0.2 * loan
+                    + 0.2 * equity(r)
+                    - 10_000.0
+                    > 0.0
+            }
+        }
+    }
+}
+
+/// Home equity: 10% of house value per year of ownership beyond 20 years.
+fn equity(r: &Record) -> f64 {
+    if r.hyears() > 20.0 {
+        0.1 * r.hvalue() * (r.hyears() - 20.0)
+    } else {
+        0.0
+    }
+}
+
+#[inline]
+fn in_band(x: f64, lo: f64, hi: f64) -> bool {
+    (lo..=hi).contains(&x)
+}
+
+impl std::fmt::Display for LabelFunction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "F{}", self.number())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::NUM_ATTRIBUTES;
+
+    fn record(pairs: &[(Attribute, f64)]) -> Record {
+        let mut r = Record::new([0.0; NUM_ATTRIBUTES]);
+        for &(a, v) in pairs {
+            r.set(a, v);
+        }
+        r
+    }
+
+    #[test]
+    fn numbers_roundtrip() {
+        for f in LabelFunction::ALL {
+            assert_eq!(LabelFunction::from_number(f.number()), Some(f));
+        }
+        assert_eq!(LabelFunction::from_number(0), None);
+        assert_eq!(LabelFunction::from_number(11), None);
+        assert_eq!(LabelFunction::F3.to_string(), "F3");
+    }
+
+    #[test]
+    fn f1_age_bands() {
+        let f = LabelFunction::F1;
+        assert_eq!(f.classify(&record(&[(Attribute::Age, 25.0)])), Class::A);
+        assert_eq!(f.classify(&record(&[(Attribute::Age, 39.99)])), Class::A);
+        assert_eq!(f.classify(&record(&[(Attribute::Age, 40.0)])), Class::B);
+        assert_eq!(f.classify(&record(&[(Attribute::Age, 59.99)])), Class::B);
+        assert_eq!(f.classify(&record(&[(Attribute::Age, 60.0)])), Class::A);
+        assert_eq!(f.classify(&record(&[(Attribute::Age, 79.0)])), Class::A);
+    }
+
+    #[test]
+    fn f2_age_salary_bands() {
+        let f = LabelFunction::F2;
+        let young_mid = record(&[(Attribute::Age, 30.0), (Attribute::Salary, 75_000.0)]);
+        assert_eq!(f.classify(&young_mid), Class::A);
+        let young_poor = record(&[(Attribute::Age, 30.0), (Attribute::Salary, 30_000.0)]);
+        assert_eq!(f.classify(&young_poor), Class::B);
+        let mid_rich = record(&[(Attribute::Age, 50.0), (Attribute::Salary, 100_000.0)]);
+        assert_eq!(f.classify(&mid_rich), Class::A);
+        let old_mid = record(&[(Attribute::Age, 70.0), (Attribute::Salary, 50_000.0)]);
+        assert_eq!(f.classify(&old_mid), Class::A);
+        let old_rich = record(&[(Attribute::Age, 70.0), (Attribute::Salary, 120_000.0)]);
+        assert_eq!(f.classify(&old_rich), Class::B);
+    }
+
+    #[test]
+    fn f3_band_boundaries_inclusive() {
+        let f = LabelFunction::F3;
+        let r = record(&[(Attribute::Age, 45.0), (Attribute::Elevel, 1.0)]);
+        assert_eq!(f.classify(&r), Class::A);
+        let r = record(&[(Attribute::Age, 45.0), (Attribute::Elevel, 0.0)]);
+        assert_eq!(f.classify(&r), Class::B);
+        let r = record(&[(Attribute::Age, 65.0), (Attribute::Elevel, 2.0)]);
+        assert_eq!(f.classify(&r), Class::A);
+    }
+
+    #[test]
+    fn f4_nested_structure() {
+        let f = LabelFunction::F4;
+        // Young with low education: 25k-75k band.
+        let r = record(&[
+            (Attribute::Age, 30.0),
+            (Attribute::Elevel, 1.0),
+            (Attribute::Salary, 50_000.0),
+        ]);
+        assert_eq!(f.classify(&r), Class::A);
+        // Same salary with high education falls outside its 50k-100k band? No,
+        // 50k is inside [50k, 100k]; use 30k which is outside.
+        let r = record(&[
+            (Attribute::Age, 30.0),
+            (Attribute::Elevel, 3.0),
+            (Attribute::Salary, 30_000.0),
+        ]);
+        assert_eq!(f.classify(&r), Class::B);
+    }
+
+    #[test]
+    fn f5_loan_bands() {
+        let f = LabelFunction::F5;
+        let r = record(&[
+            (Attribute::Age, 30.0),
+            (Attribute::Salary, 75_000.0),
+            (Attribute::Loan, 200_000.0),
+        ]);
+        assert_eq!(f.classify(&r), Class::A);
+        let r = record(&[
+            (Attribute::Age, 30.0),
+            (Attribute::Salary, 75_000.0),
+            (Attribute::Loan, 450_000.0),
+        ]);
+        assert_eq!(f.classify(&r), Class::B);
+        // Off-band salary switches the loan band.
+        let r = record(&[
+            (Attribute::Age, 30.0),
+            (Attribute::Salary, 30_000.0),
+            (Attribute::Loan, 300_000.0),
+        ]);
+        assert_eq!(f.classify(&r), Class::A);
+    }
+
+    #[test]
+    fn f7_linear_predicate() {
+        let f = LabelFunction::F7;
+        // 0.67 * 100k - 0.2 * 100k - 20k = 67k - 20k - 20k = 27k > 0.
+        let r = record(&[(Attribute::Salary, 100_000.0), (Attribute::Loan, 100_000.0)]);
+        assert_eq!(f.classify(&r), Class::A);
+        // 0.67 * 30k - 0.2 * 400k - 20k < 0.
+        let r = record(&[(Attribute::Salary, 30_000.0), (Attribute::Loan, 400_000.0)]);
+        assert_eq!(f.classify(&r), Class::B);
+    }
+
+    #[test]
+    fn f9_equity_kicks_in_after_20_years() {
+        let f = LabelFunction::F9;
+        let base = [
+            (Attribute::Salary, 20_000.0),
+            (Attribute::Elevel, 4.0),
+            (Attribute::Hvalue, 500_000.0),
+        ];
+        let mut young_house: Vec<(Attribute, f64)> = base.to_vec();
+        young_house.push((Attribute::Hyears, 10.0));
+        // 0.67*20k - 20k - 10k < 0 without equity.
+        assert_eq!(f.classify(&record(&young_house)), Class::B);
+        let mut old_house: Vec<(Attribute, f64)> = base.to_vec();
+        old_house.push((Attribute::Hyears, 30.0));
+        // equity = 0.1 * 500k * 10 = 500k; 0.2 * 500k dominates.
+        assert_eq!(f.classify(&record(&old_house)), Class::A);
+    }
+
+    #[test]
+    fn relevant_attributes_listed() {
+        assert_eq!(LabelFunction::F1.relevant_attributes(), &[Attribute::Age]);
+        assert!(LabelFunction::F5.relevant_attributes().contains(&Attribute::Loan));
+        assert_eq!(LabelFunction::F10.relevant_attributes().len(), 6);
+    }
+
+    #[test]
+    fn classify_is_deterministic() {
+        let r = record(&[
+            (Attribute::Age, 44.0),
+            (Attribute::Salary, 90_000.0),
+            (Attribute::Loan, 250_000.0),
+        ]);
+        for f in LabelFunction::ALL {
+            assert_eq!(f.classify(&r), f.classify(&r));
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Seeded generation of benchmark datasets.
+//!
+//! Mirrors the AIS92 generator: attributes are drawn independently (except
+//! commission, which depends on salary, and house value, which depends on
+//! zipcode), then labeled by a [`LabelFunction`]. AS00 generates 100,000
+//! training and 5,000 testing tuples this way.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::attribute::{Attribute, NUM_ATTRIBUTES};
+use crate::functions::LabelFunction;
+use crate::record::{Class, Dataset, Record};
+
+/// Draws one record from the benchmark population.
+pub fn generate_record<R: Rng + ?Sized>(rng: &mut R) -> Record {
+    let mut values = [0.0f64; NUM_ATTRIBUTES];
+    let salary = rng.gen_range(20_000.0..=150_000.0);
+    values[Attribute::Salary.index()] = salary;
+    values[Attribute::Commission.index()] = if salary >= 75_000.0 {
+        0.0
+    } else {
+        rng.gen_range(10_000.0..=75_000.0)
+    };
+    values[Attribute::Age.index()] = rng.gen_range(20.0..=80.0);
+    values[Attribute::Elevel.index()] = rng.gen_range(0..=4) as f64;
+    values[Attribute::Car.index()] = rng.gen_range(1..=20) as f64;
+    let zipcode = rng.gen_range(1..=9);
+    values[Attribute::Zipcode.index()] = zipcode as f64;
+    let k = zipcode as f64;
+    values[Attribute::Hvalue.index()] = rng.gen_range(k * 50_000.0..=k * 150_000.0);
+    values[Attribute::Hyears.index()] = rng.gen_range(1..=30) as f64;
+    values[Attribute::Loan.index()] = rng.gen_range(0.0..=500_000.0);
+    Record::new(values)
+}
+
+/// Generates `n` labeled records with the given function and seed.
+pub fn generate(n: usize, function: LabelFunction, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dataset = Dataset::empty();
+    for _ in 0..n {
+        let record = generate_record(&mut rng);
+        dataset.push(record, function.classify(&record));
+    }
+    dataset
+}
+
+/// Generates a train/test pair from one stream (AS00: 100,000 train, 5,000
+/// test).
+pub fn generate_train_test(
+    n_train: usize,
+    n_test: usize,
+    function: LabelFunction,
+    seed: u64,
+) -> (Dataset, Dataset) {
+    generate(n_train + n_test, function, seed).split_at(n_train)
+}
+
+/// Flips each label independently with probability `noise` — the AIS92
+/// generator's "classification noise" knob, useful for robustness studies.
+pub fn with_label_noise(dataset: &Dataset, noise: f64, seed: u64) -> Dataset {
+    assert!((0.0..=1.0).contains(&noise), "label noise must be a probability, got {noise}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Dataset::empty();
+    for (record, label) in dataset.iter() {
+        let label = if rng.gen_bool(noise) {
+            match label {
+                Class::A => Class::B,
+                Class::B => Class::A,
+            }
+        } else {
+            label
+        };
+        out.push(*record, label);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(100, LabelFunction::F2, 42);
+        let b = generate(100, LabelFunction::F2, 42);
+        assert_eq!(a, b);
+        let c = generate(100, LabelFunction::F2, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn attributes_within_domains() {
+        let d = generate(2_000, LabelFunction::F1, 7);
+        for attr in Attribute::ALL {
+            let domain = attr.domain();
+            for v in d.column(attr) {
+                assert!(
+                    domain.contains(v),
+                    "{attr} value {v} outside [{}, {}]",
+                    domain.lo(),
+                    domain.hi()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn commission_depends_on_salary() {
+        let d = generate(2_000, LabelFunction::F1, 8);
+        for r in d.records() {
+            if r.salary() >= 75_000.0 {
+                assert_eq!(r.commission(), 0.0);
+            } else {
+                assert!(r.commission() >= 10_000.0, "commission {}", r.commission());
+            }
+        }
+    }
+
+    #[test]
+    fn hvalue_depends_on_zipcode() {
+        let d = generate(5_000, LabelFunction::F1, 9);
+        for r in d.records() {
+            let k = r.get(Attribute::Zipcode);
+            let hv = r.hvalue();
+            assert!(hv >= k * 50_000.0 - 1e-9 && hv <= k * 150_000.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn integer_attributes_are_integers() {
+        let d = generate(500, LabelFunction::F1, 10);
+        for attr in Attribute::ALL.into_iter().filter(|a| a.is_integer_valued()) {
+            for v in d.column(attr) {
+                assert_eq!(v, v.trunc(), "{attr} produced non-integer {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_match_function() {
+        let d = generate(1_000, LabelFunction::F5, 11);
+        for (r, l) in d.iter() {
+            assert_eq!(LabelFunction::F5.classify(r), l);
+        }
+    }
+
+    #[test]
+    fn class_balance_reasonable_for_paper_functions() {
+        // None of F1-F5 should be degenerate: both classes must appear with
+        // at least 10% frequency on a large sample.
+        for f in LabelFunction::PAPER {
+            let d = generate(20_000, f, 12);
+            let [a, b] = d.class_counts();
+            let frac = a as f64 / (a + b) as f64;
+            assert!((0.10..=0.90).contains(&frac), "{f}: class A fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn train_test_split_sizes() {
+        let (train, test) = generate_train_test(300, 50, LabelFunction::F3, 13);
+        assert_eq!(train.len(), 300);
+        assert_eq!(test.len(), 50);
+    }
+
+    #[test]
+    fn label_noise_flips_about_the_right_fraction() {
+        let d = generate(10_000, LabelFunction::F1, 14);
+        let noisy = with_label_noise(&d, 0.2, 15);
+        let flipped = d
+            .labels()
+            .iter()
+            .zip(noisy.labels())
+            .filter(|(a, b)| a != b)
+            .count();
+        let rate = flipped as f64 / d.len() as f64;
+        assert!((rate - 0.2).abs() < 0.02, "flip rate {rate}");
+        assert_eq!(d.records(), noisy.records(), "records must be untouched");
+    }
+
+    #[test]
+    fn zero_label_noise_is_identity() {
+        let d = generate(200, LabelFunction::F4, 16);
+        assert_eq!(with_label_noise(&d, 0.0, 17), d);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_generate_len_and_validity(n in 0usize..300, seed in 0u64..1000) {
+            let d = generate(n, LabelFunction::F2, seed);
+            prop_assert_eq!(d.len(), n);
+            let [a, b] = d.class_counts();
+            prop_assert_eq!(a + b, n);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # ppdm-datagen
+//!
+//! The synthetic classification workload used by AS00's evaluation: the
+//! Agrawal-Imielinski-Swami (1992) benchmark of nine-attribute records and
+//! ten labeling functions, plus the machinery to perturb datasets with a
+//! per-attribute noise plan.
+//!
+//! ```
+//! use ppdm_datagen::{generate_train_test, LabelFunction, PerturbPlan};
+//! use ppdm_core::privacy::{NoiseKind, DEFAULT_CONFIDENCE};
+//!
+//! // The paper's setup in miniature: F2, Gaussian noise at 50% privacy.
+//! let (train, test) = generate_train_test(1_000, 100, LabelFunction::F2, 42);
+//! let plan = PerturbPlan::for_privacy(NoiseKind::Gaussian, 50.0, DEFAULT_CONFIDENCE)?;
+//! let perturbed = plan.perturb_dataset(&train, 43);
+//! assert_eq!(perturbed.len(), 1_000);
+//! assert_eq!(perturbed.labels(), train.labels()); // labels are not sensitive
+//! # Ok::<(), ppdm_core::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attribute;
+pub mod csv;
+pub mod functions;
+pub mod generator;
+pub mod perturb;
+pub mod record;
+
+pub use attribute::{Attribute, NUM_ATTRIBUTES};
+pub use functions::LabelFunction;
+pub use generator::{generate, generate_record, generate_train_test, with_label_noise};
+pub use perturb::PerturbPlan;
+pub use record::{Class, Dataset, Record, NUM_CLASSES};

@@ -1,0 +1,181 @@
+//! Dataset perturbation: applying a per-attribute noise plan to every
+//! record, leaving class labels untouched (AS00 perturbs attribute values
+//! only; the class label is the non-sensitive training signal).
+
+use ppdm_core::domain::Domain;
+use ppdm_core::error::Result;
+use ppdm_core::privacy::{noise_for_privacy, privacy_pct, NoiseKind};
+use ppdm_core::randomize::NoiseModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::attribute::{Attribute, NUM_ATTRIBUTES};
+use crate::record::{Dataset, Record};
+
+/// A per-attribute noise assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerturbPlan {
+    models: [NoiseModel; NUM_ATTRIBUTES],
+}
+
+impl PerturbPlan {
+    /// No noise on any attribute (the Original baseline).
+    pub fn none() -> Self {
+        PerturbPlan { models: [NoiseModel::None; NUM_ATTRIBUTES] }
+    }
+
+    /// Explicit per-attribute models.
+    pub fn from_models(models: [NoiseModel; NUM_ATTRIBUTES]) -> Self {
+        PerturbPlan { models }
+    }
+
+    /// The paper's setting: every attribute receives noise of the same
+    /// *privacy level* — the confidence interval is `privacy_pct`% of each
+    /// attribute's own domain width.
+    pub fn for_privacy(kind: NoiseKind, privacy_pct: f64, confidence: f64) -> Result<Self> {
+        let mut models = [NoiseModel::None; NUM_ATTRIBUTES];
+        for attr in Attribute::ALL {
+            models[attr.index()] =
+                noise_for_privacy(kind, privacy_pct, confidence, &attr.domain())?;
+        }
+        Ok(PerturbPlan { models })
+    }
+
+    /// Noise model assigned to an attribute.
+    pub fn model(&self, attr: Attribute) -> &NoiseModel {
+        &self.models[attr.index()]
+    }
+
+    /// Achieved privacy level of an attribute at the given confidence.
+    pub fn privacy_pct(&self, attr: Attribute, confidence: f64) -> Result<f64> {
+        privacy_pct(self.model(attr), confidence, &attr.domain())
+    }
+
+    /// Whether the plan applies no noise at all.
+    pub fn is_none(&self) -> bool {
+        self.models.iter().all(NoiseModel::is_none)
+    }
+
+    /// Perturbs a single record.
+    pub fn perturb_record<R: Rng + ?Sized>(&self, record: &Record, rng: &mut R) -> Record {
+        let mut out = *record;
+        for attr in Attribute::ALL {
+            let model = &self.models[attr.index()];
+            if !model.is_none() {
+                out.set(attr, model.perturb(record.get(attr), rng));
+            }
+        }
+        out
+    }
+
+    /// Perturbs every record of a dataset with a fresh seeded RNG. Labels
+    /// are preserved as-is.
+    pub fn perturb_dataset(&self, dataset: &Dataset, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Dataset::empty();
+        for (record, label) in dataset.iter() {
+            out.push(self.perturb_record(record, &mut rng), label);
+        }
+        out
+    }
+
+    /// Domain of the *perturbed* values of an attribute: the original
+    /// domain expanded by the noise span. Reconstruction buckets observed
+    /// values over this range.
+    pub fn perturbed_domain(&self, attr: Attribute) -> Result<Domain> {
+        let span = self.model(attr).span();
+        if span == 0.0 {
+            return Ok(attr.domain());
+        }
+        attr.domain().expanded(span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::LabelFunction;
+    use crate::generator::generate;
+    use ppdm_core::privacy::DEFAULT_CONFIDENCE;
+    use ppdm_core::stats::{mean, std_dev};
+
+    #[test]
+    fn none_plan_is_identity() {
+        let d = generate(100, LabelFunction::F2, 1);
+        let plan = PerturbPlan::none();
+        assert!(plan.is_none());
+        assert_eq!(plan.perturb_dataset(&d, 2), d);
+    }
+
+    #[test]
+    fn for_privacy_hits_target_on_every_attribute() {
+        let plan = PerturbPlan::for_privacy(NoiseKind::Gaussian, 100.0, DEFAULT_CONFIDENCE).unwrap();
+        for attr in Attribute::ALL {
+            let pct = plan.privacy_pct(attr, DEFAULT_CONFIDENCE).unwrap();
+            assert!((pct - 100.0).abs() < 1e-6, "{attr}: {pct}");
+        }
+        assert!(!plan.is_none());
+    }
+
+    #[test]
+    fn labels_are_preserved() {
+        let d = generate(500, LabelFunction::F5, 3);
+        let plan = PerturbPlan::for_privacy(NoiseKind::Uniform, 50.0, DEFAULT_CONFIDENCE).unwrap();
+        let p = plan.perturb_dataset(&d, 4);
+        assert_eq!(d.labels(), p.labels());
+        assert_ne!(d.records(), p.records());
+    }
+
+    #[test]
+    fn perturbation_noise_has_expected_moments() {
+        let d = generate(20_000, LabelFunction::F1, 5);
+        let plan = PerturbPlan::for_privacy(NoiseKind::Gaussian, 100.0, DEFAULT_CONFIDENCE).unwrap();
+        let p = plan.perturb_dataset(&d, 6);
+        let diffs: Vec<f64> = d
+            .column(Attribute::Age)
+            .iter()
+            .zip(p.column(Attribute::Age))
+            .map(|(o, n)| n - o)
+            .collect();
+        // 100% privacy at 95% confidence over a width-60 domain: sigma =
+        // 60 / (2 * 1.96) ~ 15.3.
+        let expect_sigma = 60.0 / (2.0 * 1.959_964);
+        assert!(mean(&diffs).abs() < 0.5, "noise mean {}", mean(&diffs));
+        assert!((std_dev(&diffs) - expect_sigma).abs() < 0.5, "noise sigma {}", std_dev(&diffs));
+    }
+
+    #[test]
+    fn perturbation_deterministic_by_seed() {
+        let d = generate(100, LabelFunction::F3, 7);
+        let plan = PerturbPlan::for_privacy(NoiseKind::Gaussian, 25.0, DEFAULT_CONFIDENCE).unwrap();
+        assert_eq!(plan.perturb_dataset(&d, 8), plan.perturb_dataset(&d, 8));
+        assert_ne!(plan.perturb_dataset(&d, 8), plan.perturb_dataset(&d, 9));
+    }
+
+    #[test]
+    fn perturbed_domain_expands_by_span() {
+        let plan = PerturbPlan::for_privacy(NoiseKind::Uniform, 100.0, DEFAULT_CONFIDENCE).unwrap();
+        let base = Attribute::Age.domain();
+        let expanded = plan.perturbed_domain(Attribute::Age).unwrap();
+        let span = plan.model(Attribute::Age).span();
+        assert!(span > 0.0);
+        assert_eq!(expanded.lo(), base.lo() - span);
+        assert_eq!(expanded.hi(), base.hi() + span);
+
+        let none = PerturbPlan::none();
+        assert_eq!(none.perturbed_domain(Attribute::Age).unwrap(), base);
+    }
+
+    #[test]
+    fn mixed_plan_only_touches_noisy_attributes() {
+        let mut models = [NoiseModel::None; NUM_ATTRIBUTES];
+        models[Attribute::Salary.index()] = NoiseModel::gaussian(10_000.0).unwrap();
+        let plan = PerturbPlan::from_models(models);
+        let d = generate(200, LabelFunction::F2, 10);
+        let p = plan.perturb_dataset(&d, 11);
+        assert_ne!(d.column(Attribute::Salary), p.column(Attribute::Salary));
+        assert_eq!(d.column(Attribute::Age), p.column(Attribute::Age));
+        assert_eq!(d.column(Attribute::Loan), p.column(Attribute::Loan));
+    }
+}

@@ -1,0 +1,289 @@
+//! Records, class labels, and datasets.
+
+use ppdm_core::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+use crate::attribute::{Attribute, NUM_ATTRIBUTES};
+
+/// One training/testing tuple: the nine attribute values in canonical order.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Attribute values indexed by [`Attribute::index`].
+    pub values: [f64; NUM_ATTRIBUTES],
+}
+
+impl Record {
+    /// Creates a record from raw values.
+    pub fn new(values: [f64; NUM_ATTRIBUTES]) -> Self {
+        Record { values }
+    }
+
+    /// Value of the given attribute.
+    #[inline]
+    pub fn get(&self, attr: Attribute) -> f64 {
+        self.values[attr.index()]
+    }
+
+    /// Sets the value of the given attribute.
+    #[inline]
+    pub fn set(&mut self, attr: Attribute, value: f64) {
+        self.values[attr.index()] = value;
+    }
+
+    /// Annual salary.
+    pub fn salary(&self) -> f64 {
+        self.get(Attribute::Salary)
+    }
+
+    /// Commission.
+    pub fn commission(&self) -> f64 {
+        self.get(Attribute::Commission)
+    }
+
+    /// Age in years.
+    pub fn age(&self) -> f64 {
+        self.get(Attribute::Age)
+    }
+
+    /// Education level.
+    pub fn elevel(&self) -> f64 {
+        self.get(Attribute::Elevel)
+    }
+
+    /// House value.
+    pub fn hvalue(&self) -> f64 {
+        self.get(Attribute::Hvalue)
+    }
+
+    /// Years the house has been owned.
+    pub fn hyears(&self) -> f64 {
+        self.get(Attribute::Hyears)
+    }
+
+    /// Total loan amount.
+    pub fn loan(&self) -> f64 {
+        self.get(Attribute::Loan)
+    }
+}
+
+/// Binary class label: AS00's "Group A" / "Group B".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Class {
+    /// Group A (the classification predicate holds).
+    A,
+    /// Group B.
+    B,
+}
+
+/// Number of classes.
+pub const NUM_CLASSES: usize = 2;
+
+impl Class {
+    /// 0 for A, 1 for B.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Class::A => 0,
+            Class::B => 1,
+        }
+    }
+
+    /// Inverse of [`Class::index`].
+    pub fn from_index(i: usize) -> Option<Class> {
+        match i {
+            0 => Some(Class::A),
+            1 => Some(Class::B),
+            _ => None,
+        }
+    }
+
+    /// Both classes in index order.
+    pub const ALL: [Class; NUM_CLASSES] = [Class::A, Class::B];
+}
+
+impl std::fmt::Display for Class {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Class::A => f.write_str("A"),
+            Class::B => f.write_str("B"),
+        }
+    }
+}
+
+/// A labeled dataset: parallel vectors of records and class labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    records: Vec<Record>,
+    labels: Vec<Class>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating that records and labels line up.
+    pub fn new(records: Vec<Record>, labels: Vec<Class>) -> Result<Self> {
+        if records.len() != labels.len() {
+            return Err(Error::LengthMismatch { left: records.len(), right: labels.len() });
+        }
+        Ok(Dataset { records, labels })
+    }
+
+    /// An empty dataset.
+    pub fn empty() -> Self {
+        Dataset { records: Vec::new(), labels: Vec::new() }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the dataset has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[Class] {
+        &self.labels
+    }
+
+    /// The `i`-th record.
+    pub fn record(&self, i: usize) -> &Record {
+        &self.records[i]
+    }
+
+    /// The `i`-th label.
+    pub fn label(&self, i: usize) -> Class {
+        self.labels[i]
+    }
+
+    /// Appends a labeled record.
+    pub fn push(&mut self, record: Record, label: Class) {
+        self.records.push(record);
+        self.labels.push(label);
+    }
+
+    /// Copies out one attribute column.
+    pub fn column(&self, attr: Attribute) -> Vec<f64> {
+        let idx = attr.index();
+        self.records.iter().map(|r| r.values[idx]).collect()
+    }
+
+    /// Copies out one attribute column restricted to rows of `class`.
+    pub fn column_for_class(&self, attr: Attribute, class: Class) -> Vec<f64> {
+        let idx = attr.index();
+        self.records
+            .iter()
+            .zip(&self.labels)
+            .filter(|(_, l)| **l == class)
+            .map(|(r, _)| r.values[idx])
+            .collect()
+    }
+
+    /// Tuples per class, indexed by [`Class::index`].
+    pub fn class_counts(&self) -> [usize; NUM_CLASSES] {
+        let mut counts = [0usize; NUM_CLASSES];
+        for l in &self.labels {
+            counts[l.index()] += 1;
+        }
+        counts
+    }
+
+    /// Splits off the first `n` tuples into one dataset, leaving the rest in
+    /// another (train/test split of an already-shuffled generation stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len()`.
+    pub fn split_at(mut self, n: usize) -> (Dataset, Dataset) {
+        assert!(n <= self.len(), "split point {n} beyond dataset of {}", self.len());
+        let tail_records = self.records.split_off(n);
+        let tail_labels = self.labels.split_off(n);
+        (self, Dataset { records: tail_records, labels: tail_labels })
+    }
+
+    /// Iterates over `(record, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Record, Class)> + '_ {
+        self.records.iter().zip(self.labels.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(v: f64) -> Record {
+        Record::new([v; NUM_ATTRIBUTES])
+    }
+
+    #[test]
+    fn record_get_set() {
+        let mut r = rec(0.0);
+        r.set(Attribute::Age, 42.0);
+        assert_eq!(r.get(Attribute::Age), 42.0);
+        assert_eq!(r.age(), 42.0);
+        assert_eq!(r.salary(), 0.0);
+    }
+
+    #[test]
+    fn class_index_roundtrip() {
+        for c in Class::ALL {
+            assert_eq!(Class::from_index(c.index()), Some(c));
+        }
+        assert_eq!(Class::from_index(2), None);
+        assert_eq!(Class::A.to_string(), "A");
+        assert_eq!(Class::B.to_string(), "B");
+    }
+
+    #[test]
+    fn dataset_validates_lengths() {
+        assert!(Dataset::new(vec![rec(1.0)], vec![]).is_err());
+        assert!(Dataset::new(vec![rec(1.0)], vec![Class::A]).is_ok());
+    }
+
+    #[test]
+    fn column_extraction() {
+        let mut d = Dataset::empty();
+        let mut r1 = rec(0.0);
+        r1.set(Attribute::Age, 30.0);
+        let mut r2 = rec(0.0);
+        r2.set(Attribute::Age, 50.0);
+        d.push(r1, Class::A);
+        d.push(r2, Class::B);
+        assert_eq!(d.column(Attribute::Age), vec![30.0, 50.0]);
+        assert_eq!(d.column_for_class(Attribute::Age, Class::A), vec![30.0]);
+        assert_eq!(d.column_for_class(Attribute::Age, Class::B), vec![50.0]);
+    }
+
+    #[test]
+    fn class_counts_and_split() {
+        let mut d = Dataset::empty();
+        for i in 0..10 {
+            d.push(rec(i as f64), if i % 3 == 0 { Class::A } else { Class::B });
+        }
+        assert_eq!(d.class_counts(), [4, 6]);
+        let (train, test) = d.split_at(7);
+        assert_eq!(train.len(), 7);
+        assert_eq!(test.len(), 3);
+        assert_eq!(test.record(0).values[0], 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond dataset")]
+    fn split_beyond_len_panics() {
+        Dataset::empty().split_at(1);
+    }
+
+    #[test]
+    fn iter_pairs() {
+        let mut d = Dataset::empty();
+        d.push(rec(1.0), Class::B);
+        let pairs: Vec<_> = d.iter().collect();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].1, Class::B);
+    }
+}

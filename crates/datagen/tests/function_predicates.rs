@@ -1,0 +1,91 @@
+//! Hand-computed oracle checks for the extended labeling functions
+//! (F6-F10) and cross-function sanity properties.
+
+use ppdm_datagen::{generate, Attribute, Class, LabelFunction, Record, NUM_ATTRIBUTES};
+
+fn record(pairs: &[(Attribute, f64)]) -> Record {
+    let mut r = Record::new([0.0; NUM_ATTRIBUTES]);
+    for &(a, v) in pairs {
+        r.set(a, v);
+    }
+    r
+}
+
+#[test]
+fn f6_uses_total_income() {
+    let f = LabelFunction::F6;
+    // Young, salary 40k + commission 30k = 70k: inside [50k, 100k].
+    let in_band = record(&[
+        (Attribute::Age, 30.0),
+        (Attribute::Salary, 40_000.0),
+        (Attribute::Commission, 30_000.0),
+    ]);
+    assert_eq!(f.classify(&in_band), Class::A);
+    // Same salary without commission: 40k misses the band.
+    let below = record(&[(Attribute::Age, 30.0), (Attribute::Salary, 40_000.0)]);
+    assert_eq!(f.classify(&below), Class::B);
+}
+
+#[test]
+fn f8_education_costs_reduce_disposable_income() {
+    let f = LabelFunction::F8;
+    // 0.67 * 60k - 5k * e - 0.2 * 100k - 10k = 40.2k - 5k e - 30k.
+    let base = [(Attribute::Salary, 60_000.0), (Attribute::Loan, 100_000.0)];
+    let mut low_e = base.to_vec();
+    low_e.push((Attribute::Elevel, 0.0));
+    assert_eq!(f.classify(&record(&low_e)), Class::A); // 10.2k > 0
+    let mut high_e = base.to_vec();
+    high_e.push((Attribute::Elevel, 4.0));
+    assert_eq!(f.classify(&record(&high_e)), Class::B); // -9.8k < 0
+}
+
+#[test]
+fn f10_differs_from_f9_through_the_loan_term() {
+    // Construct a record where the 0.2 * loan term flips the sign.
+    let r = record(&[
+        (Attribute::Salary, 80_000.0),
+        (Attribute::Elevel, 0.0),
+        (Attribute::Loan, 400_000.0),
+        (Attribute::Hvalue, 200_000.0),
+        (Attribute::Hyears, 25.0),
+    ]);
+    // F9: 0.67*80k + 0.2*(0.1*200k*5) - 50k = 53.6k + 20k - 50k > 0.
+    assert_eq!(LabelFunction::F9.classify(&r), Class::A);
+    // F10 subtracts 0.2*400k = 80k (with its lower 10k constant) -> negative.
+    assert_eq!(LabelFunction::F10.classify(&r), Class::B);
+}
+
+#[test]
+fn extended_functions_are_not_degenerate() {
+    for f in [
+        LabelFunction::F6,
+        LabelFunction::F7,
+        LabelFunction::F8,
+        LabelFunction::F9,
+        LabelFunction::F10,
+    ] {
+        let d = generate(20_000, f, 99);
+        let [a, b] = d.class_counts();
+        let frac = a as f64 / (a + b) as f64;
+        assert!(
+            (0.03..=0.97).contains(&frac),
+            "{f}: class A fraction {frac} is degenerate"
+        );
+    }
+}
+
+#[test]
+fn labels_depend_only_on_relevant_attributes() {
+    // Zeroing out the irrelevant attributes never changes the label.
+    for f in LabelFunction::ALL {
+        let relevant = f.relevant_attributes();
+        let d = generate(500, f, 123);
+        for (rec, label) in d.iter() {
+            let mut masked = Record::new([0.0; NUM_ATTRIBUTES]);
+            for attr in relevant {
+                masked.set(*attr, rec.get(*attr));
+            }
+            assert_eq!(f.classify(&masked), label, "{f}: irrelevant attribute changed label");
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Standard gini tree induction (SPRINT-style).
+//!
+//! The inducer pre-sorts each attribute column once and maintains
+//! per-attribute sorted row lists through every split, so each node costs
+//! `O(attrs * rows)` with no per-node sorting. This single engine trains
+//! the Original and Randomized baselines directly, and the Global/ByClass
+//! algorithms after their columns have been replaced by reassigned
+//! reconstruction midpoints; only Local (which rewrites values per node)
+//! has its own recursion in [`crate::trainer`].
+
+use ppdm_datagen::NUM_CLASSES;
+
+use crate::matrix::FeatureMatrix;
+use crate::split::{best_split_for_attr, gini, Split};
+use crate::tree::{DecisionTree, Node, TreeConfig};
+
+/// Trains a decision tree on the matrix values.
+pub fn build_tree(matrix: &FeatureMatrix, config: &TreeConfig) -> DecisionTree {
+    let n = matrix.n();
+    if n == 0 {
+        return DecisionTree::constant(ppdm_datagen::Class::A);
+    }
+    // One argsort per attribute; all later partitions preserve order.
+    let lists: Vec<Vec<u32>> = (0..matrix.attrs())
+        .map(|a| {
+            let col = matrix.column(a);
+            let mut order: Vec<u32> = (0..n as u32).collect();
+            order.sort_by(|&x, &y| {
+                col[x as usize].partial_cmp(&col[y as usize]).expect("finite training values")
+            });
+            order
+        })
+        .collect();
+
+    let mut builder = Builder { matrix, config, nodes: Vec::new(), side: vec![false; n] };
+    builder.grow(lists, 0);
+    let tree = DecisionTree::from_nodes(builder.nodes);
+    match config.prune_cf {
+        Some(cf) => crate::prune::prune_pessimistic(&tree, cf),
+        None => tree,
+    }
+}
+
+struct Builder<'a> {
+    matrix: &'a FeatureMatrix,
+    config: &'a TreeConfig,
+    nodes: Vec<Node>,
+    /// Scratch: `side[row] == true` means the row goes left in the split
+    /// currently being applied.
+    side: Vec<bool>,
+}
+
+impl Builder<'_> {
+    /// Grows a subtree from the rows in `lists` (one sorted row list per
+    /// attribute, all containing the same row set) and returns its node id.
+    fn grow(&mut self, lists: Vec<Vec<u32>>, depth: usize) -> u32 {
+        let rows = &lists[0];
+        let counts = self.class_counts(rows);
+
+        if let Some(split) = self.choose_split(&lists, &counts, depth) {
+            let (left_lists, right_lists) = self.partition(lists, &split);
+            let id = self.nodes.len() as u32;
+            // Reserve the slot so children ids are known relative to it.
+            self.nodes.push(Node::Leaf { class: 0, counts });
+            let left = self.grow(left_lists, depth + 1);
+            let right = self.grow(right_lists, depth + 1);
+            self.nodes[id as usize] = Node::Internal {
+                attr: split.attr as u8,
+                threshold: split.threshold,
+                left,
+                right,
+            };
+            id
+        } else {
+            let class = if counts[0] >= counts[1] { 0 } else { 1 };
+            let id = self.nodes.len() as u32;
+            self.nodes.push(Node::Leaf { class, counts });
+            id
+        }
+    }
+
+    fn class_counts(&self, rows: &[u32]) -> [usize; NUM_CLASSES] {
+        let mut counts = [0usize; NUM_CLASSES];
+        for &r in rows {
+            counts[self.matrix.label(r as usize) as usize] += 1;
+        }
+        counts
+    }
+
+    fn choose_split(
+        &self,
+        lists: &[Vec<u32>],
+        counts: &[usize; NUM_CLASSES],
+        depth: usize,
+    ) -> Option<Split> {
+        let size = lists[0].len();
+        let node_gini = gini(counts);
+        if depth >= self.config.max_depth
+            || size < self.config.min_split
+            || node_gini == 0.0
+        {
+            return None;
+        }
+        let mut best: Option<Split> = None;
+        for (attr, order) in lists.iter().enumerate() {
+            let candidate = best_split_for_attr(
+                attr,
+                self.matrix.column(attr),
+                self.matrix.labels(),
+                order,
+                self.config.min_leaf,
+            );
+            if let Some(c) = candidate {
+                if best.is_none_or(|b| c.gini < b.gini) {
+                    best = Some(c);
+                }
+            }
+        }
+        let best = best?;
+        if node_gini - best.gini < self.config.min_gini_improvement {
+            return None;
+        }
+        Some(best)
+    }
+
+    /// Splits every attribute's sorted list into left/right sorted lists.
+    fn partition(&mut self, lists: Vec<Vec<u32>>, split: &Split) -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
+        let col = self.matrix.column(split.attr);
+        for &row in &lists[split.attr] {
+            self.side[row as usize] = col[row as usize] < split.threshold;
+        }
+        let mut left_lists = Vec::with_capacity(lists.len());
+        let mut right_lists = Vec::with_capacity(lists.len());
+        for order in lists {
+            let mut left = Vec::with_capacity(split.left_count);
+            let mut right = Vec::with_capacity(split.right_count);
+            for row in order {
+                if self.side[row as usize] {
+                    left.push(row);
+                } else {
+                    right.push(row);
+                }
+            }
+            debug_assert_eq!(left.len(), split.left_count);
+            debug_assert_eq!(right.len(), split.right_count);
+            left_lists.push(left);
+            right_lists.push(right);
+        }
+        (left_lists, right_lists)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use ppdm_datagen::{generate, Attribute, LabelFunction};
+    use proptest::prelude::*;
+
+    fn small_config() -> TreeConfig {
+        // No post-pruning: these tests exercise the raw inducer.
+        TreeConfig {
+            max_depth: 10,
+            min_split: 4,
+            min_leaf: 2,
+            min_gini_improvement: 1e-6,
+            prune_cf: None,
+        }
+    }
+
+    #[test]
+    fn empty_matrix_gives_constant_tree() {
+        let m = FeatureMatrix::from_columns(vec![vec![]], vec![]).unwrap();
+        let t = build_tree(&m, &TreeConfig::default());
+        assert_eq!(t.leaf_count(), 1);
+    }
+
+    #[test]
+    fn pure_node_is_a_leaf() {
+        let m = FeatureMatrix::from_columns(vec![vec![1.0, 2.0, 3.0, 4.0]], vec![0, 0, 0, 0])
+            .unwrap();
+        let t = build_tree(&m, &small_config());
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict_fn(|_| 0.0), 0);
+    }
+
+    #[test]
+    fn separable_data_is_split_perfectly() {
+        let values = vec![1.0, 2.0, 3.0, 10.0, 11.0, 12.0];
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let m = FeatureMatrix::from_columns(vec![values], labels).unwrap();
+        let t = build_tree(&m, &small_config());
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.predict_fn(|_| 2.0), 0);
+        assert_eq!(t.predict_fn(|_| 11.0), 1);
+    }
+
+    #[test]
+    fn picks_the_informative_attribute() {
+        // Column 0 is noise-ish; column 1 separates classes.
+        let c0 = vec![5.0, 1.0, 4.0, 2.0, 3.0, 6.0];
+        let c1 = vec![0.0, 0.1, 0.2, 1.0, 1.1, 1.2];
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let m = FeatureMatrix::from_columns(vec![c0, c1], labels).unwrap();
+        let t = build_tree(&m, &small_config());
+        assert_eq!(t.used_attributes(), vec![1]);
+    }
+
+    #[test]
+    fn max_depth_limits_growth() {
+        let d = generate(2_000, LabelFunction::F4, 31);
+        let m = FeatureMatrix::from_dataset(&d);
+        let shallow = TreeConfig { max_depth: 2, ..small_config() };
+        let t = build_tree(&m, &shallow);
+        assert!(t.depth() <= 2);
+    }
+
+    #[test]
+    fn min_gini_improvement_blocks_useless_splits() {
+        // Labels independent of the value: any split is pure noise.
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let labels: Vec<u8> = (0..100).map(|i| (i % 2) as u8).collect();
+        let m = FeatureMatrix::from_columns(vec![values], labels).unwrap();
+        let strict = TreeConfig { min_gini_improvement: 0.05, ..small_config() };
+        let t = build_tree(&m, &strict);
+        assert_eq!(t.node_count(), 1, "noise should not be split:\n{}", t.render());
+    }
+
+    #[test]
+    fn learns_f1_on_clean_data() {
+        let (train, test) = ppdm_datagen::generate_train_test(8_000, 2_000, LabelFunction::F1, 32);
+        let m = FeatureMatrix::from_dataset(&train);
+        let t = build_tree(&m, &TreeConfig::default());
+        let eval = evaluate(&t, &test);
+        assert!(eval.accuracy > 0.99, "accuracy {}", eval.accuracy);
+        assert_eq!(t.used_attributes(), vec![Attribute::Age.index()]);
+    }
+
+    #[test]
+    fn learns_f2_on_clean_data() {
+        let (train, test) = ppdm_datagen::generate_train_test(20_000, 2_000, LabelFunction::F2, 33);
+        let m = FeatureMatrix::from_dataset(&train);
+        let t = build_tree(&m, &TreeConfig::default());
+        let eval = evaluate(&t, &test);
+        assert!(eval.accuracy > 0.97, "accuracy {}", eval.accuracy);
+        let used = t.used_attributes();
+        assert!(used.contains(&Attribute::Age.index()));
+        assert!(used.contains(&Attribute::Salary.index()));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let d = generate(3_000, LabelFunction::F3, 34);
+        let m = FeatureMatrix::from_dataset(&d);
+        let t1 = build_tree(&m, &TreeConfig::default());
+        let t2 = build_tree(&m, &TreeConfig::default());
+        assert_eq!(t1, t2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn prop_training_accuracy_beats_majority(seed in 0u64..200) {
+            // On its own training data a tree can never do worse than the
+            // majority class.
+            let d = generate(500, LabelFunction::F2, seed);
+            let m = FeatureMatrix::from_dataset(&d);
+            let t = build_tree(&m, &small_config());
+            let eval = evaluate(&t, &d);
+            let [a, b] = d.class_counts();
+            let majority = a.max(b) as f64 / d.len() as f64;
+            prop_assert!(eval.accuracy >= majority - 1e-12,
+                "accuracy {} < majority {}", eval.accuracy, majority);
+        }
+
+        #[test]
+        fn prop_leaf_counts_total_to_n(seed in 0u64..100) {
+            let d = generate(300, LabelFunction::F5, seed);
+            let m = FeatureMatrix::from_dataset(&d);
+            let t = build_tree(&m, &small_config());
+            prop_assert!(t.depth() <= 10);
+            prop_assert!(t.leaf_count() >= 1);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Classifier evaluation: accuracy and confusion matrices on (unperturbed)
+//! test data, exactly as AS00 scores its trees.
+
+use ppdm_datagen::{Class, Dataset, NUM_CLASSES};
+use serde::{Deserialize, Serialize};
+
+use crate::tree::DecisionTree;
+
+/// Evaluation summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Fraction of test tuples classified correctly, in `[0, 1]`.
+    pub accuracy: f64,
+    /// `confusion[actual][predicted]` counts.
+    pub confusion: [[usize; NUM_CLASSES]; NUM_CLASSES],
+    /// Number of test tuples.
+    pub n: usize,
+}
+
+impl Evaluation {
+    /// Recall of one class: correct predictions over actual members.
+    pub fn recall(&self, class: Class) -> f64 {
+        let i = class.index();
+        let actual: usize = self.confusion[i].iter().sum();
+        if actual == 0 {
+            return 1.0;
+        }
+        self.confusion[i][i] as f64 / actual as f64
+    }
+
+    /// Precision of one class: correct predictions over all predictions of
+    /// that class.
+    pub fn precision(&self, class: Class) -> f64 {
+        let i = class.index();
+        let predicted: usize = (0..NUM_CLASSES).map(|a| self.confusion[a][i]).sum();
+        if predicted == 0 {
+            return 1.0;
+        }
+        self.confusion[i][i] as f64 / predicted as f64
+    }
+}
+
+/// Scores a tree against a labeled dataset.
+pub fn evaluate(tree: &DecisionTree, test: &Dataset) -> Evaluation {
+    let mut confusion = [[0usize; NUM_CLASSES]; NUM_CLASSES];
+    for (record, label) in test.iter() {
+        let predicted = tree.predict(record);
+        confusion[label.index()][predicted.index()] += 1;
+    }
+    let correct: usize = (0..NUM_CLASSES).map(|i| confusion[i][i]).sum();
+    let n = test.len();
+    Evaluation {
+        accuracy: if n == 0 { 1.0 } else { correct as f64 / n as f64 },
+        confusion,
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdm_datagen::{Attribute, Record, NUM_ATTRIBUTES};
+
+    fn age_record(age: f64) -> Record {
+        let mut r = Record::new([0.0; NUM_ATTRIBUTES]);
+        r.set(Attribute::Age, age);
+        r
+    }
+
+    #[test]
+    fn perfect_and_imperfect_accuracy() {
+        let tree = DecisionTree::constant(Class::A);
+        let mut all_a = Dataset::empty();
+        all_a.push(age_record(30.0), Class::A);
+        all_a.push(age_record(50.0), Class::A);
+        let e = evaluate(&tree, &all_a);
+        assert_eq!(e.accuracy, 1.0);
+        assert_eq!(e.n, 2);
+
+        let mut mixed = Dataset::empty();
+        mixed.push(age_record(30.0), Class::A);
+        mixed.push(age_record(50.0), Class::B);
+        let e = evaluate(&tree, &mixed);
+        assert_eq!(e.accuracy, 0.5);
+        assert_eq!(e.confusion[0][0], 1); // A predicted A
+        assert_eq!(e.confusion[1][0], 1); // B predicted A
+    }
+
+    #[test]
+    fn empty_test_set_is_vacuously_perfect() {
+        let tree = DecisionTree::constant(Class::B);
+        let e = evaluate(&tree, &Dataset::empty());
+        assert_eq!(e.accuracy, 1.0);
+        assert_eq!(e.n, 0);
+    }
+
+    #[test]
+    fn precision_and_recall() {
+        let tree = DecisionTree::constant(Class::A);
+        let mut data = Dataset::empty();
+        data.push(age_record(1.0), Class::A);
+        data.push(age_record(2.0), Class::A);
+        data.push(age_record(3.0), Class::B);
+        let e = evaluate(&tree, &data);
+        assert_eq!(e.recall(Class::A), 1.0);
+        assert_eq!(e.recall(Class::B), 0.0);
+        assert!((e.precision(Class::A) - 2.0 / 3.0).abs() < 1e-12);
+        // No B predictions at all: precision defaults to 1.
+        assert_eq!(e.precision(Class::B), 1.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # ppdm-tree
+//!
+//! Decision-tree classification over perturbed data — the mining half of
+//! AS00. One gini tree inducer serves five training algorithms
+//! ([`TrainingAlgorithm`]): the `Original` and `Randomized` baselines plus
+//! the reconstruction-based `Global`, `ByClass`, and `Local` algorithms of
+//! the paper's section 4, built on order-statistics reassignment of
+//! perturbed values onto reconstructed intervals ([`reassign`]).
+//!
+//! ```
+//! use ppdm_core::privacy::{NoiseKind, DEFAULT_CONFIDENCE};
+//! use ppdm_datagen::{generate_train_test, LabelFunction, PerturbPlan};
+//! use ppdm_tree::{evaluate, train, TrainerConfig, TrainingAlgorithm};
+//!
+//! let (train_d, test_d) = generate_train_test(2_000, 400, LabelFunction::F2, 0);
+//! let plan = PerturbPlan::for_privacy(NoiseKind::Gaussian, 50.0, DEFAULT_CONFIDENCE)?;
+//! let perturbed = plan.perturb_dataset(&train_d, 1);
+//!
+//! // The server trains from perturbed data + the public noise plan only.
+//! // (A doc-sized configuration; defaults suit full-size runs.)
+//! let mut config = TrainerConfig::default();
+//! config.cells_override = Some(15);
+//! config.reconstruction.max_iterations = 300;
+//! let tree = train(TrainingAlgorithm::ByClass, None, &perturbed, &plan, &config)?;
+//! let eval = evaluate(&tree, &test_d);
+//! assert!(eval.accuracy > 0.6);
+//! # Ok::<(), ppdm_core::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod eval;
+pub mod matrix;
+pub mod naive_bayes;
+pub mod prune;
+pub mod reassign;
+pub mod split;
+pub mod trainer;
+pub mod tree;
+
+pub use builder::build_tree;
+pub use eval::{evaluate, Evaluation};
+pub use matrix::FeatureMatrix;
+pub use naive_bayes::{train_naive_bayes, NaiveBayes};
+pub use prune::prune_pessimistic;
+pub use trainer::{train, TrainerConfig, TrainingAlgorithm};
+pub use tree::{DecisionTree, Node, TreeConfig};

@@ -1,0 +1,129 @@
+//! Column-major training views.
+//!
+//! All five training algorithms of AS00 share one tree inducer; they differ
+//! only in *which values* fill the matrix: raw originals, perturbed values,
+//! or interval midpoints reassigned from reconstructed distributions.
+
+use ppdm_core::error::{Error, Result};
+use ppdm_datagen::{Dataset, NUM_ATTRIBUTES};
+
+/// A column-major feature matrix with class labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMatrix {
+    columns: Vec<Vec<f64>>,
+    labels: Vec<u8>,
+}
+
+impl FeatureMatrix {
+    /// Builds the matrix from a dataset.
+    pub fn from_dataset(dataset: &Dataset) -> Self {
+        let n = dataset.len();
+        let mut columns: Vec<Vec<f64>> =
+            (0..NUM_ATTRIBUTES).map(|_| Vec::with_capacity(n)).collect();
+        for record in dataset.records() {
+            for (col, v) in columns.iter_mut().zip(record.values.iter()) {
+                col.push(*v);
+            }
+        }
+        let labels = dataset.labels().iter().map(|l| l.index() as u8).collect();
+        FeatureMatrix { columns, labels }
+    }
+
+    /// Builds a matrix from explicit columns; every column must match the
+    /// label count.
+    pub fn from_columns(columns: Vec<Vec<f64>>, labels: Vec<u8>) -> Result<Self> {
+        for col in &columns {
+            if col.len() != labels.len() {
+                return Err(Error::LengthMismatch { left: col.len(), right: labels.len() });
+            }
+        }
+        Ok(FeatureMatrix { columns, labels })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of attribute columns.
+    #[inline]
+    pub fn attrs(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Value at `(row, attr)`.
+    #[inline]
+    pub fn value(&self, row: usize, attr: usize) -> f64 {
+        self.columns[attr][row]
+    }
+
+    /// Class index of `row`.
+    #[inline]
+    pub fn label(&self, row: usize) -> u8 {
+        self.labels[row]
+    }
+
+    /// One attribute column.
+    #[inline]
+    pub fn column(&self, attr: usize) -> &[f64] {
+        &self.columns[attr]
+    }
+
+    /// All labels.
+    #[inline]
+    pub fn labels(&self) -> &[u8] {
+        &self.labels
+    }
+
+    /// Replaces one column (used when reassigning reconstructed values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replacement length differs from the row count.
+    pub fn replace_column(&mut self, attr: usize, values: Vec<f64>) {
+        assert_eq!(values.len(), self.n(), "replacement column has wrong length");
+        self.columns[attr] = values;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdm_datagen::{generate, Attribute, LabelFunction};
+
+    #[test]
+    fn from_dataset_matches_layout() {
+        let d = generate(50, LabelFunction::F2, 1);
+        let m = FeatureMatrix::from_dataset(&d);
+        assert_eq!(m.n(), 50);
+        assert_eq!(m.attrs(), NUM_ATTRIBUTES);
+        for i in 0..d.len() {
+            assert_eq!(m.value(i, Attribute::Age.index()), d.record(i).age());
+            assert_eq!(m.label(i) as usize, d.label(i).index());
+        }
+        assert_eq!(m.column(Attribute::Salary.index()), d.column(Attribute::Salary).as_slice());
+    }
+
+    #[test]
+    fn from_columns_validates() {
+        assert!(FeatureMatrix::from_columns(vec![vec![1.0, 2.0]], vec![0]).is_err());
+        let m = FeatureMatrix::from_columns(vec![vec![1.0, 2.0]], vec![0, 1]).unwrap();
+        assert_eq!(m.n(), 2);
+        assert_eq!(m.attrs(), 1);
+    }
+
+    #[test]
+    fn replace_column_swaps_values() {
+        let mut m = FeatureMatrix::from_columns(vec![vec![1.0, 2.0]], vec![0, 1]).unwrap();
+        m.replace_column(0, vec![5.0, 6.0]);
+        assert_eq!(m.column(0), &[5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn replace_column_rejects_bad_length() {
+        let mut m = FeatureMatrix::from_columns(vec![vec![1.0, 2.0]], vec![0, 1]).unwrap();
+        m.replace_column(0, vec![5.0]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Pessimistic (error-based) post-pruning, C4.5 style.
+//!
+//! AS00's tree inducer (SPRINT lineage) prunes after growing: a subtree is
+//! collapsed to a leaf when doing so does not increase a *pessimistic*
+//! estimate of its error. The estimate inflates each node's observed
+//! training error to the upper limit of a binomial confidence interval, so
+//! splits that only chase noise (abundant when training on randomized
+//! values) fail to justify their existence, while genuine splits with
+//! near-pure children survive.
+//!
+//! The default confidence factor `CF = 0.25` follows C4.5; smaller values
+//! prune harder.
+
+use ppdm_core::stats::special::normal_quantile;
+use ppdm_datagen::NUM_CLASSES;
+
+use crate::tree::{DecisionTree, Node};
+
+/// Upper limit of the binomial error rate at confidence factor `cf`,
+/// via the Wilson score interval (the C4.5 formulation).
+///
+/// `n` is the number of cases at the node, `e` the misclassified ones.
+pub fn pessimistic_error_rate(n: f64, e: f64, cf: f64) -> f64 {
+    debug_assert!(n > 0.0);
+    let z = normal_quantile(1.0 - cf.clamp(1e-9, 0.5));
+    let f = e / n;
+    let z2 = z * z;
+    let upper = (f + z2 / (2.0 * n) + z * (f / n - f * f / n + z2 / (4.0 * n * n)).sqrt())
+        / (1.0 + z2 / n);
+    upper.min(1.0)
+}
+
+/// Returns a pruned copy of the tree.
+///
+/// Pruning is bottom-up: each internal node is replaced by a majority leaf
+/// whenever the leaf's pessimistic error count does not exceed the sum of
+/// its (already pruned) children's.
+pub fn prune_pessimistic(tree: &DecisionTree, cf: f64) -> DecisionTree {
+    let mut nodes = Vec::new();
+    let outcome = prune_node(tree, 0, cf, &mut nodes);
+    // prune_node pushes the (possibly collapsed) root last; move it to
+    // index 0 by rebuilding in root-first order instead.
+    let _ = outcome;
+    let mut ordered = Vec::with_capacity(nodes.len());
+    reorder(&nodes, nodes.len() - 1, &mut ordered);
+    DecisionTree::from_nodes(ordered)
+}
+
+/// Result of pruning one subtree.
+struct Pruned {
+    /// Index of the subtree root in the scratch arena.
+    idx: usize,
+    /// Class counts under the subtree.
+    counts: [usize; NUM_CLASSES],
+    /// Pessimistic error count of the subtree.
+    est_errors: f64,
+}
+
+fn prune_node(tree: &DecisionTree, idx: usize, cf: f64, out: &mut Vec<Node>) -> Pruned {
+    match tree.node(idx) {
+        Node::Leaf { class, counts } => {
+            let n: usize = counts.iter().sum();
+            let errors = n - counts[class as usize];
+            let est = if n == 0 {
+                0.0
+            } else {
+                n as f64 * pessimistic_error_rate(n as f64, errors as f64, cf)
+            };
+            out.push(Node::Leaf { class, counts });
+            Pruned { idx: out.len() - 1, counts, est_errors: est }
+        }
+        Node::Internal { attr, threshold, left, right } => {
+            let l = prune_node(tree, left as usize, cf, out);
+            let r = prune_node(tree, right as usize, cf, out);
+            let counts = [l.counts[0] + r.counts[0], l.counts[1] + r.counts[1]];
+            let n: usize = counts.iter().sum();
+            let majority = if counts[0] >= counts[1] { 0u8 } else { 1u8 };
+            let leaf_errors = (n - counts[majority as usize]) as f64;
+            let leaf_est = if n == 0 {
+                0.0
+            } else {
+                n as f64 * pessimistic_error_rate(n as f64, leaf_errors, cf)
+            };
+            let subtree_est = l.est_errors + r.est_errors;
+            if leaf_est <= subtree_est {
+                // Collapse: the split does not pay for itself.
+                out.push(Node::Leaf { class: majority, counts });
+                Pruned { idx: out.len() - 1, counts, est_errors: leaf_est }
+            } else {
+                out.push(Node::Internal {
+                    attr,
+                    threshold,
+                    left: l.idx as u32,
+                    right: r.idx as u32,
+                });
+                Pruned { idx: out.len() - 1, counts, est_errors: subtree_est }
+            }
+        }
+    }
+}
+
+/// Rewrites a children-first arena into root-first order (root at 0).
+fn reorder(scratch: &[Node], root: usize, out: &mut Vec<Node>) -> u32 {
+    match scratch[root] {
+        Node::Leaf { .. } => {
+            out.push(scratch[root]);
+            (out.len() - 1) as u32
+        }
+        Node::Internal { attr, threshold, left, right } => {
+            let id = out.len() as u32;
+            out.push(scratch[root]); // placeholder, patched below
+            let new_left = reorder(scratch, left as usize, out);
+            let new_right = reorder(scratch, right as usize, out);
+            out[id as usize] =
+                Node::Internal { attr, threshold, left: new_left, right: new_right };
+            id
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::DecisionTree;
+
+    #[test]
+    fn pessimistic_rate_exceeds_observed() {
+        let observed = 5.0 / 100.0;
+        let est = pessimistic_error_rate(100.0, 5.0, 0.25);
+        assert!(est > observed, "estimate {est} must be pessimistic");
+        assert!(est < 0.12, "estimate {est} should stay reasonable");
+    }
+
+    #[test]
+    fn pessimistic_rate_shrinks_with_n() {
+        // Same observed rate, more data -> tighter bound.
+        let small = pessimistic_error_rate(10.0, 1.0, 0.25);
+        let large = pessimistic_error_rate(1_000.0, 100.0, 0.25);
+        assert!(small > large);
+    }
+
+    #[test]
+    fn lower_cf_is_more_pessimistic() {
+        let loose = pessimistic_error_rate(50.0, 5.0, 0.4);
+        let tight = pessimistic_error_rate(50.0, 5.0, 0.05);
+        assert!(tight > loose);
+    }
+
+    #[test]
+    fn noise_split_is_pruned() {
+        // A 50/50 node "split" into two 50/50 children: pure noise.
+        let tree = DecisionTree::from_nodes(vec![
+            Node::Internal { attr: 0, threshold: 1.0, left: 1, right: 2 },
+            Node::Leaf { class: 0, counts: [50, 50] },
+            Node::Leaf { class: 1, counts: [50, 50] },
+        ]);
+        let pruned = prune_pessimistic(&tree, 0.25);
+        assert_eq!(pruned.node_count(), 1);
+        assert_eq!(pruned.leaf_count(), 1);
+    }
+
+    #[test]
+    fn genuine_split_survives() {
+        // Near-pure children: collapsing would cost ~half the cases.
+        let tree = DecisionTree::from_nodes(vec![
+            Node::Internal { attr: 0, threshold: 1.0, left: 1, right: 2 },
+            Node::Leaf { class: 0, counts: [98, 2] },
+            Node::Leaf { class: 1, counts: [3, 97] },
+        ]);
+        let pruned = prune_pessimistic(&tree, 0.25);
+        assert_eq!(pruned.node_count(), 3);
+        // Predictions unchanged.
+        assert_eq!(pruned.predict_fn(|_| 0.0), 0);
+        assert_eq!(pruned.predict_fn(|_| 2.0), 1);
+    }
+
+    #[test]
+    fn pruning_is_recursive() {
+        // Depth-2 tree whose lower level is noise but upper level is real.
+        let tree = DecisionTree::from_nodes(vec![
+            Node::Internal { attr: 0, threshold: 10.0, left: 1, right: 4 },
+            Node::Internal { attr: 1, threshold: 5.0, left: 2, right: 3 },
+            Node::Leaf { class: 0, counts: [45, 5] },
+            Node::Leaf { class: 0, counts: [45, 5] },
+            Node::Leaf { class: 1, counts: [2, 98] },
+        ]);
+        let pruned = prune_pessimistic(&tree, 0.25);
+        // The inner noise split collapses, the real root split stays.
+        assert_eq!(pruned.leaf_count(), 2);
+        assert_eq!(pruned.depth(), 1);
+        assert_eq!(pruned.predict_fn(|_| 0.0), 0);
+        assert_eq!(pruned.predict_fn(|_| 20.0), 1);
+    }
+
+    #[test]
+    fn single_leaf_is_untouched() {
+        let tree = DecisionTree::from_nodes(vec![Node::Leaf { class: 1, counts: [1, 9] }]);
+        let pruned = prune_pessimistic(&tree, 0.25);
+        assert_eq!(pruned, tree);
+    }
+}

@@ -1,0 +1,179 @@
+//! Order-statistics reassignment of perturbed values onto reconstructed
+//! intervals (AS00 section 4).
+//!
+//! Reconstruction yields *how many* original values fall in each interval,
+//! but tree induction must partition individual *records* across nodes. The
+//! paper's device: sort the perturbed values and hand the lowest
+//! `N(I_1)` of them interval 1, the next `N(I_2)` interval 2, and so on —
+//! the rank statistics of the perturbed sample are the best available proxy
+//! for the ranks of the hidden originals. Each record then trains with the
+//! midpoint of its assigned interval.
+
+use ppdm_core::stats::Histogram;
+
+/// Rounds non-negative real mass to integer counts summing exactly to
+/// `total`, by the largest-remainder method.
+pub fn apportion(mass: &[f64], total: usize) -> Vec<usize> {
+    let mass_total: f64 = mass.iter().sum();
+    if mass_total <= 0.0 || mass.is_empty() {
+        // No information: put everything in the first cell... except an
+        // empty mass vector, which can only serve total == 0.
+        let mut counts = vec![0usize; mass.len().max(1)];
+        counts[0] = total;
+        return counts[..mass.len().max(1)].to_vec();
+    }
+    let scaled: Vec<f64> = mass.iter().map(|m| m * total as f64 / mass_total).collect();
+    let mut counts: Vec<usize> = scaled.iter().map(|s| s.floor() as usize).collect();
+    let assigned: usize = counts.iter().sum();
+    let mut leftovers: Vec<(usize, f64)> = scaled
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (i, s - s.floor()))
+        .collect();
+    // Largest fractional parts win the remaining units; ties break toward
+    // lower indices for determinism.
+    leftovers.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite remainders").then(a.0.cmp(&b.0)));
+    for (i, _) in leftovers.iter().take(total - assigned) {
+        counts[*i] += 1;
+    }
+    counts
+}
+
+/// Maps each perturbed value to the midpoint of its assigned interval,
+/// preserving input order.
+///
+/// `hist` is the reconstructed histogram of the same sample. The output is
+/// positionally aligned with `values`.
+pub fn reassign_to_midpoints(values: &[f64], hist: &Histogram) -> Vec<f64> {
+    let n = values.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let counts = apportion(hist.masses(), n);
+    debug_assert_eq!(counts.iter().sum::<usize>(), n);
+
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by(|&a, &b| {
+        values[a as usize].partial_cmp(&values[b as usize]).expect("finite perturbed values")
+    });
+
+    let partition = hist.partition();
+    let mut out = vec![0.0f64; n];
+    let mut rank = 0usize;
+    for (cell, &count) in counts.iter().enumerate() {
+        let midpoint = partition.midpoint(cell);
+        for _ in 0..count {
+            out[order[rank] as usize] = midpoint;
+            rank += 1;
+        }
+    }
+    debug_assert_eq!(rank, n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdm_core::domain::{Domain, Partition};
+    use proptest::prelude::*;
+
+    fn part(cells: usize) -> Partition {
+        Partition::new(Domain::new(0.0, 100.0).unwrap(), cells).unwrap()
+    }
+
+    #[test]
+    fn apportion_exact_proportions() {
+        assert_eq!(apportion(&[1.0, 1.0], 10), vec![5, 5]);
+        assert_eq!(apportion(&[3.0, 1.0], 8), vec![6, 2]);
+    }
+
+    #[test]
+    fn apportion_largest_remainder() {
+        // 7 units over [1, 1, 1]: 2.33 each -> two cells get 2, one gets 3;
+        // the extra goes to the lowest index on a tie.
+        assert_eq!(apportion(&[1.0, 1.0, 1.0], 7), vec![3, 2, 2]);
+        // Remainders 0.5/0.25/0.25 with 1 leftover -> first cell wins.
+        assert_eq!(apportion(&[0.5, 0.25, 0.25], 2), vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn apportion_zero_mass_defaults_to_first_cell() {
+        assert_eq!(apportion(&[0.0, 0.0, 0.0], 4), vec![4, 0, 0]);
+    }
+
+    #[test]
+    fn apportion_sums_exactly() {
+        let counts = apportion(&[0.1, 0.7, 0.05, 0.15], 997);
+        assert_eq!(counts.iter().sum::<usize>(), 997);
+    }
+
+    #[test]
+    fn reassign_respects_rank_order() {
+        let p = part(4); // cells [0,25),[25,50),[50,75),[75,100]
+        // Reconstructed: half the mass in cell 0, half in cell 3.
+        let hist = Histogram::from_mass(p, vec![2.0, 0.0, 0.0, 2.0]).unwrap();
+        // Perturbed values out of order; the two smallest (-3, 40) must get
+        // cell 0's midpoint (12.5), the two largest (55, 90) cell 3's (87.5).
+        let values = [40.0, -3.0, 90.0, 55.0];
+        let assigned = reassign_to_midpoints(&values, &hist);
+        assert_eq!(assigned, vec![12.5, 12.5, 87.5, 87.5]);
+    }
+
+    #[test]
+    fn reassign_empty_input() {
+        let hist = Histogram::from_mass(part(4), vec![1.0; 4]).unwrap();
+        assert!(reassign_to_midpoints(&[], &hist).is_empty());
+    }
+
+    #[test]
+    fn reassign_single_value() {
+        let hist = Histogram::from_mass(part(4), vec![0.0, 0.0, 5.0, 0.0]).unwrap();
+        assert_eq!(reassign_to_midpoints(&[42.0], &hist), vec![62.5]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_apportion_sums_to_total(
+            mass in prop::collection::vec(0.0..10.0f64, 1..20),
+            total in 0usize..1000,
+        ) {
+            let counts = apportion(&mass, total);
+            prop_assert_eq!(counts.iter().sum::<usize>(), total);
+            prop_assert_eq!(counts.len(), mass.len());
+        }
+
+        #[test]
+        fn prop_reassigned_counts_match_apportionment(
+            values in prop::collection::vec(-50.0..150.0f64, 1..200),
+            m1 in 0.0..5.0f64, m2 in 0.0..5.0f64, m3 in 0.0..5.0f64,
+        ) {
+            let p = part(3);
+            let hist = Histogram::from_mass(p, vec![m1, m2, m3]).unwrap();
+            let assigned = reassign_to_midpoints(&values, &hist);
+            let expected = apportion(&[m1, m2, m3], values.len());
+            for (cell, want) in expected.iter().enumerate() {
+                let mid = p.midpoint(cell);
+                let got = assigned.iter().filter(|v| **v == mid).count();
+                prop_assert_eq!(got, *want, "cell {}", cell);
+            }
+        }
+
+        #[test]
+        fn prop_reassignment_is_monotone(
+            values in prop::collection::vec(0.0..100.0f64, 2..100),
+        ) {
+            // If value[i] <= value[j] then assigned[i] <= assigned[j]:
+            // rank order is preserved.
+            let p = part(5);
+            let hist = Histogram::from_mass(p, vec![1.0, 2.0, 3.0, 2.0, 1.0]).unwrap();
+            let assigned = reassign_to_midpoints(&values, &hist);
+            for i in 0..values.len() {
+                for j in 0..values.len() {
+                    if values[i] < values[j] {
+                        prop_assert!(assigned[i] <= assigned[j]);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Gini impurity and best-split search.
+//!
+//! AS00 induces trees with the gini index (following SPRINT): for a node
+//! with class counts `c`, `gini = 1 - sum_i (c_i / n)^2`, and a candidate
+//! split is scored by the size-weighted gini of its two children. Candidate
+//! thresholds lie midway between consecutive distinct attribute values —
+//! when training on reassigned interval midpoints this makes candidate
+//! thresholds exactly the interval boundaries, as in the paper.
+
+use ppdm_datagen::NUM_CLASSES;
+
+/// Gini impurity of a class-count vector.
+#[inline]
+pub fn gini(counts: &[usize; NUM_CLASSES]) -> f64 {
+    let n: usize = counts.iter().sum();
+    if n == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    1.0 - counts.iter().map(|&c| (c as f64 / n) * (c as f64 / n)).sum::<f64>()
+}
+
+/// Size-weighted gini of a two-way split.
+#[inline]
+pub fn split_gini(left: &[usize; NUM_CLASSES], right: &[usize; NUM_CLASSES]) -> f64 {
+    let nl: usize = left.iter().sum();
+    let nr: usize = right.iter().sum();
+    let n = (nl + nr) as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    (nl as f64 / n) * gini(left) + (nr as f64 / n) * gini(right)
+}
+
+/// A chosen split point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Split {
+    /// Attribute (column) index.
+    pub attr: usize,
+    /// Rows with `value < threshold` go left.
+    pub threshold: f64,
+    /// Weighted gini of the split.
+    pub gini: f64,
+    /// Rows in the left child.
+    pub left_count: usize,
+    /// Rows in the right child.
+    pub right_count: usize,
+}
+
+/// Scans one attribute for its best split.
+///
+/// `order` lists row indices sorted ascending by this attribute's value;
+/// `values` is the full column; `labels` the full label vector. Only splits
+/// leaving at least `min_leaf` rows on each side are considered.
+pub fn best_split_for_attr(
+    attr: usize,
+    values: &[f64],
+    labels: &[u8],
+    order: &[u32],
+    min_leaf: usize,
+) -> Option<Split> {
+    let k = order.len();
+    if k < 2 * min_leaf.max(1) {
+        return None;
+    }
+    let mut total = [0usize; NUM_CLASSES];
+    for &row in order {
+        total[labels[row as usize] as usize] += 1;
+    }
+    let mut left = [0usize; NUM_CLASSES];
+    let mut best: Option<Split> = None;
+    for i in 0..k - 1 {
+        let row = order[i] as usize;
+        left[labels[row] as usize] += 1;
+        let v = values[row];
+        let v_next = values[order[i + 1] as usize];
+        if v_next <= v {
+            debug_assert!(v_next == v, "order must be sorted by value");
+            continue;
+        }
+        let left_count = i + 1;
+        let right_count = k - left_count;
+        if left_count < min_leaf || right_count < min_leaf {
+            continue;
+        }
+        let right = [total[0] - left[0], total[1] - left[1]];
+        let score = split_gini(&left, &right);
+        if best.is_none_or(|b| score < b.gini) {
+            best = Some(Split {
+                attr,
+                threshold: v + 0.5 * (v_next - v),
+                gini: score,
+                left_count,
+                right_count,
+            });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sorted_order(values: &[f64]) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..values.len() as u32).collect();
+        order.sort_by(|&a, &b| values[a as usize].partial_cmp(&values[b as usize]).unwrap());
+        order
+    }
+
+    #[test]
+    fn gini_known_values() {
+        assert_eq!(gini(&[0, 0]), 0.0);
+        assert_eq!(gini(&[10, 0]), 0.0);
+        assert_eq!(gini(&[5, 5]), 0.5);
+        assert!((gini(&[9, 1]) - 0.18).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_gini_weighted() {
+        // Left: pure 4 of class 0; right: pure 4 of class 1 -> 0.
+        assert_eq!(split_gini(&[4, 0], &[0, 4]), 0.0);
+        // Both mixed 1:1 -> 0.5.
+        assert_eq!(split_gini(&[2, 2], &[3, 3]), 0.5);
+        // Empty split degenerates to 0.
+        assert_eq!(split_gini(&[0, 0], &[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn finds_perfect_split() {
+        // values < 5 are class 0, values > 5 are class 1.
+        let values = vec![1.0, 2.0, 3.0, 7.0, 8.0, 9.0];
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let order = sorted_order(&values);
+        let s = best_split_for_attr(0, &values, &labels, &order, 1).unwrap();
+        assert_eq!(s.gini, 0.0);
+        assert_eq!(s.threshold, 5.0);
+        assert_eq!(s.left_count, 3);
+        assert_eq!(s.right_count, 3);
+    }
+
+    #[test]
+    fn respects_min_leaf() {
+        // Best cut isolates one point; with min_leaf 2 it must settle for a
+        // more balanced, worse cut or nothing.
+        let values = vec![1.0, 2.0, 3.0, 4.0];
+        let labels = vec![1, 0, 0, 0];
+        let order = sorted_order(&values);
+        let s = best_split_for_attr(0, &values, &labels, &order, 2).unwrap();
+        assert_eq!(s.left_count, 2);
+        assert_eq!(s.right_count, 2);
+        assert!(s.gini > 0.0);
+        // min_leaf of 3 makes any split impossible on 4 rows.
+        assert!(best_split_for_attr(0, &values, &labels, &order, 3).is_none());
+    }
+
+    #[test]
+    fn constant_column_has_no_split() {
+        let values = vec![5.0; 6];
+        let labels = vec![0, 1, 0, 1, 0, 1];
+        let order = sorted_order(&values);
+        assert!(best_split_for_attr(0, &values, &labels, &order, 1).is_none());
+    }
+
+    #[test]
+    fn ties_never_split_between_equal_values() {
+        let values = vec![1.0, 2.0, 2.0, 3.0];
+        let labels = vec![0, 0, 1, 1];
+        let order = sorted_order(&values);
+        let s = best_split_for_attr(0, &values, &labels, &order, 1).unwrap();
+        // The threshold can only fall at 1.5 or 2.5, never inside the tie.
+        assert!((s.threshold - 1.5).abs() < 1e-12 || (s.threshold - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subset_of_rows_is_respected() {
+        let values = vec![1.0, 2.0, 3.0, 100.0];
+        let labels = vec![0, 1, 0, 1];
+        // Only rows 0 and 1.
+        let order = vec![0u32, 1u32];
+        let s = best_split_for_attr(0, &values, &labels, &order, 1).unwrap();
+        assert_eq!(s.threshold, 1.5);
+        assert_eq!(s.left_count + s.right_count, 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_gini_bounds(a in 0usize..1000, b in 0usize..1000) {
+            let g = gini(&[a, b]);
+            prop_assert!((0.0..=0.5 + 1e-12).contains(&g));
+        }
+
+        #[test]
+        fn prop_split_never_beats_zero_and_counts_add_up(
+            values in prop::collection::vec(0.0..100.0f64, 4..60),
+            seed in 0u64..100,
+        ) {
+            let n = values.len();
+            let labels: Vec<u8> = (0..n).map(|i| ((i as u64 * 31 + seed) % 2) as u8).collect();
+            let order = sorted_order(&values);
+            if let Some(s) = best_split_for_attr(0, &values, &labels, &order, 1) {
+                prop_assert!(s.gini >= 0.0);
+                prop_assert_eq!(s.left_count + s.right_count, n);
+                // Threshold separates: every row strictly below goes left.
+                let left_actual = values.iter().filter(|v| **v < s.threshold).count();
+                prop_assert_eq!(left_actual, s.left_count);
+            }
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Decision-tree structure, prediction, and rendering.
+
+use ppdm_datagen::{Attribute, Class, Record, NUM_CLASSES};
+use serde::{Deserialize, Serialize};
+
+/// Stopping and regularization parameters for tree induction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root at depth 0).
+    pub max_depth: usize,
+    /// Do not attempt to split nodes with fewer rows than this.
+    pub min_split: usize,
+    /// Each child of a split must receive at least this many rows.
+    pub min_leaf: usize,
+    /// Minimum reduction of gini impurity (parent minus split) for a split
+    /// to be accepted.
+    pub min_gini_improvement: f64,
+    /// Confidence factor for pessimistic post-pruning (`None` disables it).
+    /// The C4.5 default is 0.25; smaller prunes harder.
+    pub prune_cf: Option<f64>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 16,
+            min_split: 40,
+            min_leaf: 20,
+            min_gini_improvement: 1e-4,
+            prune_cf: Some(0.25),
+        }
+    }
+}
+
+/// One tree node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// Terminal node predicting the majority class.
+    Leaf {
+        /// Predicted class index.
+        class: u8,
+        /// Training rows per class that reached this leaf.
+        counts: [usize; NUM_CLASSES],
+    },
+    /// Binary split: rows with `value < threshold` go to `left`.
+    Internal {
+        /// Attribute (column) index tested here.
+        attr: u8,
+        /// Split threshold.
+        threshold: f64,
+        /// Index of the left child in the node arena.
+        left: u32,
+        /// Index of the right child in the node arena.
+        right: u32,
+    },
+}
+
+/// A trained decision tree. Nodes live in an arena with the root at
+/// index 0.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+}
+
+impl DecisionTree {
+    /// Wraps an arena of nodes (root at index 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena is empty.
+    pub(crate) fn from_nodes(nodes: Vec<Node>) -> Self {
+        assert!(!nodes.is_empty(), "a tree needs at least a root");
+        DecisionTree { nodes }
+    }
+
+    /// A tree that always predicts `class` — the degenerate case for empty
+    /// or unsplittable training data.
+    pub fn constant(class: Class) -> Self {
+        DecisionTree {
+            nodes: vec![Node::Leaf { class: class.index() as u8, counts: [0; NUM_CLASSES] }],
+        }
+    }
+
+    /// Predicts the class index for a value-lookup function
+    /// (`attr index -> value`).
+    pub fn predict_fn(&self, value_of: impl Fn(usize) -> f64) -> u8 {
+        let mut idx = 0usize;
+        loop {
+            match self.nodes[idx] {
+                Node::Leaf { class, .. } => return class,
+                Node::Internal { attr, threshold, left, right } => {
+                    idx = if value_of(attr as usize) < threshold {
+                        left as usize
+                    } else {
+                        right as usize
+                    };
+                }
+            }
+        }
+    }
+
+    /// Predicts the class of a benchmark record.
+    pub fn predict(&self, record: &Record) -> Class {
+        let class = self.predict_fn(|attr| record.values[attr]);
+        Class::from_index(class as usize).expect("trees only store valid class indices")
+    }
+
+    /// The node at arena index `idx` (root is 0).
+    pub(crate) fn node(&self, idx: usize) -> Node {
+        self.nodes[idx]
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()
+    }
+
+    /// Maximum depth (root = 0).
+    pub fn depth(&self) -> usize {
+        self.depth_of(0)
+    }
+
+    fn depth_of(&self, idx: usize) -> usize {
+        match self.nodes[idx] {
+            Node::Leaf { .. } => 0,
+            Node::Internal { left, right, .. } => {
+                1 + self.depth_of(left as usize).max(self.depth_of(right as usize))
+            }
+        }
+    }
+
+    /// Attributes actually used by splits, as indices.
+    pub fn used_attributes(&self) -> Vec<usize> {
+        let mut used: Vec<usize> = self
+            .nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Internal { attr, .. } => Some(*attr as usize),
+                Node::Leaf { .. } => None,
+            })
+            .collect();
+        used.sort_unstable();
+        used.dedup();
+        used
+    }
+
+    /// Multi-line ASCII rendering with benchmark attribute names.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_node(0, 0, &mut out);
+        out
+    }
+
+    fn render_node(&self, idx: usize, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        match self.nodes[idx] {
+            Node::Leaf { class, counts } => {
+                let class = Class::from_index(class as usize).expect("valid class");
+                out.push_str(&format!("{pad}-> {class} (A: {}, B: {})\n", counts[0], counts[1]));
+            }
+            Node::Internal { attr, threshold, left, right } => {
+                let name = Attribute::from_index(attr as usize)
+                    .map(|a| a.name())
+                    .unwrap_or("attr?");
+                out.push_str(&format!("{pad}{name} < {threshold:.2}?\n"));
+                self.render_node(left as usize, indent + 1, out);
+                out.push_str(&format!("{pad}{name} >= {threshold:.2}?\n"));
+                self.render_node(right as usize, indent + 1, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdm_datagen::NUM_ATTRIBUTES;
+
+    fn two_level_tree() -> DecisionTree {
+        // root: age (idx 2) < 40 -> leaf A, else -> salary (idx 0) < 50k
+        DecisionTree::from_nodes(vec![
+            Node::Internal { attr: 2, threshold: 40.0, left: 1, right: 2 },
+            Node::Leaf { class: 0, counts: [10, 0] },
+            Node::Internal { attr: 0, threshold: 50_000.0, left: 3, right: 4 },
+            Node::Leaf { class: 1, counts: [1, 9] },
+            Node::Leaf { class: 0, counts: [8, 2] },
+        ])
+    }
+
+    fn record(age: f64, salary: f64) -> Record {
+        let mut r = Record::new([0.0; NUM_ATTRIBUTES]);
+        r.set(Attribute::Age, age);
+        r.set(Attribute::Salary, salary);
+        r
+    }
+
+    #[test]
+    fn prediction_routes_correctly() {
+        let t = two_level_tree();
+        assert_eq!(t.predict(&record(30.0, 10_000.0)), Class::A);
+        assert_eq!(t.predict(&record(50.0, 10_000.0)), Class::B);
+        assert_eq!(t.predict(&record(50.0, 90_000.0)), Class::A);
+        // Boundary: strictly-less goes left.
+        assert_eq!(t.predict(&record(40.0, 90_000.0)), Class::A);
+        assert_eq!(t.predict(&record(39.999, 0.0)), Class::A);
+    }
+
+    #[test]
+    fn structural_stats() {
+        let t = two_level_tree();
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.leaf_count(), 3);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.used_attributes(), vec![0, 2]);
+    }
+
+    #[test]
+    fn constant_tree_always_predicts() {
+        let t = DecisionTree::constant(Class::B);
+        assert_eq!(t.predict(&record(1.0, 1.0)), Class::B);
+        assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.depth(), 0);
+        assert!(t.used_attributes().is_empty());
+    }
+
+    #[test]
+    fn render_mentions_attributes_and_classes() {
+        let s = two_level_tree().render();
+        assert!(s.contains("age < 40.00?"), "{s}");
+        assert!(s.contains("salary"), "{s}");
+        assert!(s.contains("-> A"), "{s}");
+        assert!(s.contains("-> B"), "{s}");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = two_level_tree();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: DecisionTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,81 @@
+//! Properties of pessimistic pruning on real trained trees.
+
+use ppdm_core::privacy::{NoiseKind, DEFAULT_CONFIDENCE};
+use ppdm_datagen::{generate_train_test, LabelFunction, PerturbPlan};
+use ppdm_tree::{build_tree, evaluate, prune_pessimistic, FeatureMatrix, TreeConfig};
+
+fn unpruned_config() -> TreeConfig {
+    TreeConfig { prune_cf: None, ..TreeConfig::default() }
+}
+
+#[test]
+fn pruning_is_idempotent() {
+    let (train_d, _) = generate_train_test(5_000, 100, LabelFunction::F2, 1);
+    let m = FeatureMatrix::from_dataset(&train_d);
+    let tree = build_tree(&m, &unpruned_config());
+    let once = prune_pessimistic(&tree, 0.25);
+    let twice = prune_pessimistic(&once, 0.25);
+    assert_eq!(once, twice);
+}
+
+#[test]
+fn pruning_never_grows_the_tree() {
+    for seed in 0..5u64 {
+        let (train_d, _) = generate_train_test(3_000, 100, LabelFunction::F4, seed);
+        let m = FeatureMatrix::from_dataset(&train_d);
+        let tree = build_tree(&m, &unpruned_config());
+        let pruned = prune_pessimistic(&tree, 0.25);
+        assert!(pruned.node_count() <= tree.node_count());
+        assert!(pruned.depth() <= tree.depth());
+    }
+}
+
+#[test]
+fn harder_cf_prunes_at_least_as_much() {
+    let (train_d, _) = generate_train_test(5_000, 100, LabelFunction::F5, 7);
+    let m = FeatureMatrix::from_dataset(&train_d);
+    let tree = build_tree(&m, &unpruned_config());
+    let loose = prune_pessimistic(&tree, 0.4);
+    let tight = prune_pessimistic(&tree, 0.05);
+    assert!(
+        tight.node_count() <= loose.node_count(),
+        "cf 0.05 ({}) should prune at least as much as cf 0.4 ({})",
+        tight.node_count(),
+        loose.node_count()
+    );
+}
+
+#[test]
+fn pruning_rescues_noise_trained_trees() {
+    // On perturbed training data the unpruned tree overfits noise; pruning
+    // must not hurt (and usually helps) held-out accuracy.
+    let (train_d, test_d) = generate_train_test(15_000, 3_000, LabelFunction::F2, 11);
+    let plan = PerturbPlan::for_privacy(NoiseKind::Gaussian, 100.0, DEFAULT_CONFIDENCE)
+        .expect("valid privacy");
+    let perturbed = plan.perturb_dataset(&train_d, 12);
+    let m = FeatureMatrix::from_dataset(&perturbed);
+    let raw = build_tree(&m, &unpruned_config());
+    let pruned = prune_pessimistic(&raw, 0.25);
+    let acc_raw = evaluate(&raw, &test_d).accuracy;
+    let acc_pruned = evaluate(&pruned, &test_d).accuracy;
+    assert!(pruned.leaf_count() < raw.leaf_count() / 2, "noise tree should shrink a lot");
+    assert!(
+        acc_pruned >= acc_raw - 0.01,
+        "pruning must not damage accuracy: {acc_pruned} vs {acc_raw}"
+    );
+}
+
+#[test]
+fn pruning_keeps_clean_tree_accuracy() {
+    let (train_d, test_d) = generate_train_test(10_000, 2_000, LabelFunction::F3, 13);
+    let m = FeatureMatrix::from_dataset(&train_d);
+    let raw = build_tree(&m, &unpruned_config());
+    let pruned = prune_pessimistic(&raw, 0.25);
+    let acc_raw = evaluate(&raw, &test_d).accuracy;
+    let acc_pruned = evaluate(&pruned, &test_d).accuracy;
+    assert!(
+        acc_pruned >= acc_raw - 0.005,
+        "pruning a clean tree must keep accuracy: {acc_pruned} vs {acc_raw}"
+    );
+    assert!(acc_pruned > 0.98);
+}

@@ -1,0 +1,68 @@
+//! Randomized response for categorical questions (the paper's future-work
+//! direction for categorical attributes, implemented as an extension).
+//!
+//! Respondents answer a sensitive 4-way question ("have you ever ...?")
+//! truthfully only with probability p; the analyst inverts the response
+//! channel in closed form to recover the population proportions.
+//!
+//! ```text
+//! cargo run --release --example categorical_survey
+//! ```
+
+use ppdm::core::randomize::RandomizedResponse;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> ppdm::core::Result<()> {
+    const CATEGORIES: [&str; 4] = ["never", "rarely", "monthly", "weekly"];
+    let true_shares = [0.55, 0.25, 0.15, 0.05];
+    let n = 200_000usize;
+
+    // Ground truth sample (the analyst never sees this).
+    let mut rng = StdRng::seed_from_u64(11);
+    let answers: Vec<usize> = (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            let mut acc = 0.0;
+            for (i, share) in true_shares.iter().enumerate() {
+                acc += share;
+                if u < acc {
+                    return i;
+                }
+            }
+            true_shares.len() - 1
+        })
+        .collect();
+
+    // Respondents keep their true answer with p = 0.6, otherwise pick
+    // uniformly at random.
+    let rr = RandomizedResponse::new(CATEGORIES.len(), 0.6)?;
+    let submitted = rr.perturb_all(&answers, &mut rng);
+    println!(
+        "channel: keep probability {:.0}%, overall flip probability {:.0}%\n",
+        100.0 * rr.keep_prob(),
+        100.0 * rr.flip_prob()
+    );
+
+    let mut observed = vec![0.0f64; CATEGORIES.len()];
+    for s in &submitted {
+        observed[*s] += 1.0;
+    }
+    let estimated = rr.reconstruct(&observed)?;
+
+    println!("{:<10} {:>8} {:>10} {:>11}", "answer", "true %", "observed %", "estimated %");
+    for (i, name) in CATEGORIES.iter().enumerate() {
+        println!(
+            "{:<10} {:>7.2}% {:>9.2}% {:>10.2}%",
+            name,
+            100.0 * true_shares[i],
+            100.0 * observed[i] / n as f64,
+            100.0 * estimated[i] / n as f64
+        );
+    }
+    println!(
+        "\nThe observed distribution is flattened toward uniform by the channel;\n\
+         inverting it recovers the true proportions to within sampling error."
+    );
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! A lender builds a loan-risk model from data that applicants refused to
+//! share in the clear — AS00's classification pipeline on the benchmark's
+//! hardest function (F5: risk bands over age, salary, and loan amount),
+//! comparing all five training algorithms across privacy levels.
+//!
+//! ```text
+//! cargo run --release --example credit_scoring [-- --train 50000]
+//! ```
+
+use ppdm::prelude::*;
+
+fn main() -> Result<()> {
+    let n_train = std::env::args()
+        .skip_while(|a| a != "--train")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50_000);
+    let (train_data, test_data) = generate_train_test(n_train, 5_000, LabelFunction::F5, 7);
+
+    println!("loan-risk model (F5), {n_train} applicants, Gaussian randomization\n");
+    println!("{:<10} {:>8} {:>12} {:>12}", "privacy", "", "", "");
+    println!("{:<10} {:>8} {:>12} {:>12}", "algorithm", "50%", "100%", "200%");
+
+    let config = TrainerConfig::default();
+    let mut results: Vec<(TrainingAlgorithm, Vec<f64>)> =
+        TrainingAlgorithm::ALL.iter().map(|a| (*a, Vec::new())).collect();
+    for privacy in [50.0, 100.0, 200.0] {
+        let plan = PerturbPlan::for_privacy(NoiseKind::Gaussian, privacy, DEFAULT_CONFIDENCE)?;
+        let perturbed = plan.perturb_dataset(&train_data, 8 + privacy as u64);
+        for (algorithm, accs) in &mut results {
+            let tree = train(*algorithm, Some(&train_data), &perturbed, &plan, &config)?;
+            accs.push(100.0 * evaluate(&tree, &test_data).accuracy);
+        }
+    }
+    for (algorithm, accs) in &results {
+        println!(
+            "{:<10} {:>7.2}% {:>11.2}% {:>11.2}%",
+            algorithm.name(),
+            accs[0],
+            accs[1],
+            accs[2]
+        );
+    }
+    println!(
+        "\nThe reconstruction-based algorithms (ByClass, Local) retain most of the\n\
+         Original accuracy while the lender never observes a true salary or loan."
+    );
+    Ok(())
+}

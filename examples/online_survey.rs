@@ -1,0 +1,66 @@
+//! The paper's motivating scenario: an online survey whose respondents
+//! won't reveal their true age or income, but will submit *randomized*
+//! values. The analyst reconstructs the population distribution — exposing
+//! structure (a bimodal age profile) that is invisible in the randomized
+//! data itself.
+//!
+//! ```text
+//! cargo run --release --example online_survey
+//! ```
+
+use ppdm::core::domain::{Domain, Partition};
+use ppdm::core::privacy::{entropy, noise_for_privacy, NoiseKind, DEFAULT_CONFIDENCE};
+use ppdm::core::reconstruct::{reconstruct, ReconstructionConfig};
+use ppdm::core::stats::{total_variation, Histogram};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> ppdm::core::Result<()> {
+    // A population of survey respondents: students (~22) and retirees (~70).
+    let mut rng = StdRng::seed_from_u64(2024);
+    let ages: Vec<f64> = (0..50_000)
+        .map(|_| {
+            if rng.gen_bool(0.55) {
+                22.0 + rng.gen_range(-4.0..4.0) + rng.gen_range(-4.0..4.0)
+            } else {
+                70.0 + rng.gen_range(-6.0..6.0) + rng.gen_range(-6.0..6.0)
+            }
+        })
+        .collect();
+
+    let domain = Domain::new(14.0, 84.0)?;
+    // Each respondent perturbs locally before submitting.
+    let noise = noise_for_privacy(NoiseKind::Gaussian, 100.0, DEFAULT_CONFIDENCE, &domain)?;
+    let submitted = noise.perturb_all(&ages, &mut rng);
+
+    // The analyst reconstructs the age distribution.
+    let partition = Partition::new(domain, 35)?;
+    let truth = Histogram::from_values(partition, &ages);
+    let naive = Histogram::from_values(partition, &submitted);
+    let result = reconstruct(&noise, partition, &submitted, &ReconstructionConfig::bayes())?;
+
+    println!("age   | original | submitted | reconstructed");
+    println!("------+----------+-----------+--------------");
+    for i in 0..partition.len() {
+        let bar = |mass: f64| "#".repeat((mass / 400.0).round() as usize);
+        println!(
+            "{:>5.0} | {:<8} | {:<9} | {}",
+            partition.midpoint(i),
+            bar(truth.mass(i)),
+            bar(naive.mass(i)),
+            bar(result.histogram.mass(i))
+        );
+    }
+
+    println!(
+        "\ntotal variation vs truth: submitted {:.3}, reconstructed {:.3} ({} iterations)",
+        total_variation(&naive, &truth)?,
+        total_variation(&result.histogram, &truth)?,
+        result.iterations
+    );
+    println!(
+        "entropy privacy of the noise (AA01 extension): {:.1} years-equivalent",
+        entropy::inherent_privacy(&noise)
+    );
+    Ok(())
+}

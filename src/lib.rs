@@ -1,0 +1,52 @@
+//! # ppdm
+//!
+//! A from-scratch Rust reproduction of *Privacy-Preserving Data Mining*
+//! (Agrawal & Srikant, SIGMOD 2000): learn decision-tree classifiers from
+//! training data whose sensitive values were randomized at the source, by
+//! reconstructing original value *distributions* — never the values
+//! themselves.
+//!
+//! This facade re-exports the three library crates:
+//!
+//! * [`core`] ([`ppdm_core`]) — randomization operators, the
+//!   confidence-interval privacy metric, distribution reconstruction.
+//! * [`datagen`] ([`ppdm_datagen`]) — the AIS92 synthetic benchmark the
+//!   paper evaluates on, plus dataset perturbation.
+//! * [`tree`] ([`ppdm_tree`]) — gini decision trees and the five training
+//!   algorithms (Original, Randomized, Global, ByClass, Local), plus a
+//!   naive-Bayes classifier over reconstructed distributions.
+//! * [`assoc`] ([`ppdm_assoc`]) — the association-rule extension: Apriori
+//!   over randomized transactions with channel-inversion support
+//!   estimation.
+//!
+//! See `examples/quickstart.rs` for the end-to-end pipeline and the
+//! `ppdm-bench` crate for the harnesses that regenerate every figure and
+//! table of the paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ppdm_assoc as assoc;
+pub use ppdm_core as core;
+pub use ppdm_datagen as datagen;
+pub use ppdm_tree as tree;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use ppdm_core::domain::{Domain, Partition};
+    pub use ppdm_core::privacy::{
+        interval_width, noise_for_privacy, privacy_pct, NoiseKind, DEFAULT_CONFIDENCE,
+    };
+    pub use ppdm_core::randomize::NoiseModel;
+    pub use ppdm_core::reconstruct::{reconstruct, ReconstructionConfig, StoppingRule};
+    pub use ppdm_core::stats::Histogram;
+    pub use ppdm_core::{Error, Result};
+    pub use ppdm_datagen::{
+        generate, generate_train_test, Attribute, Class, Dataset, LabelFunction, PerturbPlan,
+        Record,
+    };
+    pub use ppdm_tree::{
+        evaluate, train, train_naive_bayes, DecisionTree, Evaluation, NaiveBayes, TrainerConfig,
+        TrainingAlgorithm, TreeConfig,
+    };
+}
