@@ -205,8 +205,7 @@ mod tests {
 
     #[test]
     fn mines_the_textbook_example() {
-        let found =
-            frequent_itemsets(&db(), &AprioriConfig { min_support: 2.0 / 9.0, max_len: 0 });
+        let found = frequent_itemsets(&db(), &AprioriConfig { min_support: 2.0 / 9.0, max_len: 0 });
         let sets: Vec<Vec<Item>> = found.iter().map(|f| f.items.clone()).collect();
         // Frequent singles: 0 (6/9), 1 (7/9), 2 (6/9), 3 (2/9), 4 (2/9).
         assert!(sets.contains(&vec![0]));
@@ -226,14 +225,14 @@ mod tests {
 
     #[test]
     fn min_support_filters_everything_when_high() {
-        assert!(frequent_itemsets(&db(), &AprioriConfig { min_support: 0.99, max_len: 0 })
-            .is_empty());
+        assert!(
+            frequent_itemsets(&db(), &AprioriConfig { min_support: 0.99, max_len: 0 }).is_empty()
+        );
     }
 
     #[test]
     fn max_len_caps_itemset_size() {
-        let found =
-            frequent_itemsets(&db(), &AprioriConfig { min_support: 0.2, max_len: 1 });
+        let found = frequent_itemsets(&db(), &AprioriConfig { min_support: 0.2, max_len: 1 });
         assert!(found.iter().all(|f| f.items.len() == 1));
     }
 

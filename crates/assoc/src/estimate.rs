@@ -14,8 +14,19 @@
 //! Inverting `M` on the observed partial-match histogram estimates the true
 //! one; its last entry (transactions containing *all* of `A`) over `n` is
 //! the support estimate.
+//!
+//! Mirroring the numeric side's `ReconstructionEngine`, the channel here
+//! is factored out of the estimator: `M` depends only on the itemset
+//! *size* `k`, so [`estimated_support_oracle`] computes each `M` once and
+//! reuses it across every same-sized candidate Apriori evaluates, and
+//! [`estimated_supports`] fans independent itemsets across worker threads
+//! (the per-itemset cost is the `O(n)` partial-match scan).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
 
 use ppdm_core::error::Result;
+use rayon::prelude::*;
 
 use crate::linalg::{binomial, solve};
 use crate::randomize::ItemRandomizer;
@@ -51,13 +62,12 @@ pub fn channel_matrix(k: usize, randomizer: &ItemRandomizer) -> Vec<Vec<f64>> {
     m
 }
 
-/// Estimates the support of `itemset` in the *original* database from its
-/// randomized counterpart. The estimate is clamped to `[0, 1]` (channel
-/// inversion is unbiased but not range-respecting at small samples).
-pub fn estimated_support(
+/// Inversion step shared by the single, batched, and oracle entry points:
+/// estimates support from a precomputed channel matrix for `itemset.len()`.
+fn invert_channel(
     randomized: &TransactionSet,
     itemset: &[Item],
-    randomizer: &ItemRandomizer,
+    channel: &[Vec<f64>],
 ) -> Result<f64> {
     if randomized.is_empty() {
         return Ok(0.0);
@@ -66,23 +76,62 @@ pub fn estimated_support(
     if k == 0 {
         return Ok(1.0);
     }
-    let observed: Vec<f64> = randomized
-        .partial_match_counts(itemset)
-        .into_iter()
-        .map(|c| c as f64)
-        .collect();
-    let m = channel_matrix(k, randomizer);
-    let truth = solve(&m, &observed)?;
+    let observed: Vec<f64> =
+        randomized.partial_match_counts(itemset).into_iter().map(|c| c as f64).collect();
+    let truth = solve(channel, &observed)?;
     Ok((truth[k] / randomized.len() as f64).clamp(0.0, 1.0))
 }
 
+/// Estimates the support of `itemset` in the *original* database from its
+/// randomized counterpart. The estimate is clamped to `[0, 1]` (channel
+/// inversion is unbiased but not range-respecting at small samples).
+pub fn estimated_support(
+    randomized: &TransactionSet,
+    itemset: &[Item],
+    randomizer: &ItemRandomizer,
+) -> Result<f64> {
+    invert_channel(randomized, itemset, &channel_matrix(itemset.len(), randomizer))
+}
+
+/// Batched support estimation: every itemset's channel inversion is an
+/// independent problem, so the batch is fanned across worker threads.
+/// Channel matrices are computed once per itemset *size* before the fan,
+/// and results come back in input order.
+pub fn estimated_supports(
+    randomized: &TransactionSet,
+    itemsets: &[Vec<Item>],
+    randomizer: &ItemRandomizer,
+) -> Result<Vec<f64>> {
+    let mut channels: HashMap<usize, Vec<Vec<f64>>> = HashMap::new();
+    for itemset in itemsets {
+        channels.entry(itemset.len()).or_insert_with(|| channel_matrix(itemset.len(), randomizer));
+    }
+    let estimates: Vec<Result<f64>> = itemsets
+        .par_iter()
+        .map(|itemset| invert_channel(randomized, itemset, &channels[&itemset.len()]))
+        .collect();
+    estimates.into_iter().collect()
+}
+
 /// A support oracle suitable for [`crate::apriori::mine_with`]: estimates
-/// every queried itemset's support from the randomized database.
+/// every queried itemset's support from the randomized database. Channel
+/// matrices are cached per itemset size, so an Apriori pass pays the
+/// matrix construction once per level rather than once per candidate.
 pub fn estimated_support_oracle<'a>(
     randomized: &'a TransactionSet,
     randomizer: &'a ItemRandomizer,
 ) -> impl Fn(&[Item]) -> f64 + 'a {
-    move |itemset| estimated_support(randomized, itemset, randomizer).unwrap_or(0.0)
+    let channels: Mutex<HashMap<usize, Vec<Vec<f64>>>> = Mutex::new(HashMap::new());
+    move |itemset| {
+        let channel = {
+            let mut cache = channels.lock().expect("channel cache lock poisoned");
+            cache
+                .entry(itemset.len())
+                .or_insert_with(|| channel_matrix(itemset.len(), randomizer))
+                .clone()
+        };
+        invert_channel(randomized, itemset, &channel).unwrap_or(0.0)
+    }
 }
 
 #[cfg(test)]
@@ -122,11 +171,7 @@ mod tests {
 
     #[test]
     fn identity_channel_estimates_exact_support() {
-        let db = TransactionSet::new(
-            vec![t(&[0, 1]), t(&[0, 1]), t(&[0]), t(&[2])],
-            3,
-        )
-        .unwrap();
+        let db = TransactionSet::new(vec![t(&[0, 1]), t(&[0, 1]), t(&[0]), t(&[2])], 3).unwrap();
         let r = ItemRandomizer::new(1.0, 0.0).unwrap();
         let est = estimated_support(&db, &[0, 1], &r).unwrap();
         assert!((est - 0.5).abs() < 1e-12);
@@ -167,6 +212,48 @@ mod tests {
             (raw - 0.3).abs() > 3.0 * (pair - 0.3).abs(),
             "raw {raw} should be much further from 0.3 than estimate {pair}"
         );
+    }
+
+    #[test]
+    fn batched_estimates_match_serial() {
+        let mut transactions = Vec::new();
+        for i in 0..5_000usize {
+            let mut items = Vec::new();
+            if i % 10 < 3 {
+                items.extend([0, 1]);
+            }
+            if i % 2 == 0 {
+                items.push(2);
+            }
+            transactions.push(Transaction::new(items));
+        }
+        let db = TransactionSet::new(transactions, 4).unwrap();
+        let r = ItemRandomizer::new(0.8, 0.1).unwrap();
+        let randomized = r.perturb_set(&db, 11);
+        let itemsets: Vec<Vec<Item>> =
+            vec![vec![0], vec![1], vec![2], vec![0, 1], vec![0, 2], vec![0, 1, 2], vec![]];
+        let batched = estimated_supports(&randomized, &itemsets, &r).unwrap();
+        for (itemset, batched) in itemsets.iter().zip(batched) {
+            let serial = estimated_support(&randomized, itemset, &r).unwrap();
+            assert_eq!(serial, batched, "batched estimate diverged for {itemset:?}");
+        }
+    }
+
+    #[test]
+    fn oracle_channel_cache_matches_direct_estimation() {
+        let db =
+            TransactionSet::new(vec![t(&[0, 1]), t(&[0, 1, 2]), t(&[0]), t(&[2]), t(&[1, 2])], 3)
+                .unwrap();
+        let r = ItemRandomizer::new(0.9, 0.05).unwrap();
+        let randomized = r.perturb_set(&db, 12);
+        let oracle = estimated_support_oracle(&randomized, &r);
+        // Repeated same-size queries hit the cached channel; answers must
+        // be identical to the uncached path.
+        for itemset in [vec![0u32], vec![1], vec![2], vec![0, 1], vec![1, 2], vec![0, 2]] {
+            let direct = estimated_support(&randomized, &itemset, &r).unwrap();
+            assert_eq!(oracle(&itemset), direct);
+            assert_eq!(oracle(&itemset), direct, "second (cached) query must agree");
+        }
     }
 
     #[test]

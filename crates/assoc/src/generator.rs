@@ -26,9 +26,9 @@ impl BasketConfig {
         BasketConfig {
             universe: 50,
             patterns: vec![
-                (vec![1, 2], 0.30),       // bread & butter
-                (vec![5, 6, 7], 0.15),    // pasta, sauce, cheese
-                (vec![10, 11], 0.08),     // razor & blades
+                (vec![1, 2], 0.30),    // bread & butter
+                (vec![5, 6, 7], 0.15), // pasta, sauce, cheese
+                (vec![10, 11], 0.08),  // razor & blades
             ],
             noise_items: 2.0,
         }
@@ -108,11 +108,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside universe")]
     fn pattern_outside_universe_panics() {
-        let cfg = BasketConfig {
-            universe: 5,
-            patterns: vec![(vec![7], 0.5)],
-            noise_items: 0.0,
-        };
+        let cfg = BasketConfig { universe: 5, patterns: vec![(vec![7], 0.5)], noise_items: 0.0 };
         generate_baskets(&cfg, 10, 5);
     }
 }

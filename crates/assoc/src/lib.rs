@@ -41,7 +41,7 @@ pub mod randomize;
 pub mod transaction;
 
 pub use apriori::{frequent_itemsets, rules_from, AprioriConfig, AssociationRule, FrequentItemset};
-pub use estimate::{estimated_support, estimated_support_oracle};
+pub use estimate::{estimated_support, estimated_support_oracle, estimated_supports};
 pub use generator::{generate_baskets, BasketConfig};
 pub use randomize::ItemRandomizer;
 pub use transaction::{Item, Transaction, TransactionSet};

@@ -70,11 +70,8 @@ impl ItemRandomizer {
     /// Randomizes a whole database with a seeded RNG.
     pub fn perturb_set(&self, db: &TransactionSet, seed: u64) -> TransactionSet {
         let mut rng = StdRng::seed_from_u64(seed);
-        let transactions = db
-            .transactions()
-            .iter()
-            .map(|t| self.perturb(t, db.universe(), &mut rng))
-            .collect();
+        let transactions =
+            db.transactions().iter().map(|t| self.perturb(t, db.universe(), &mut rng)).collect();
         TransactionSet::new(transactions, db.universe()).expect("items stay inside the universe")
     }
 

@@ -176,11 +176,8 @@ mod tests {
 
     #[test]
     fn support_counts_fractions() {
-        let db = TransactionSet::new(
-            vec![t(&[0, 1, 2]), t(&[0, 1]), t(&[0, 2]), t(&[3])],
-            4,
-        )
-        .unwrap();
+        let db =
+            TransactionSet::new(vec![t(&[0, 1, 2]), t(&[0, 1]), t(&[0, 2]), t(&[3])], 4).unwrap();
         assert_eq!(db.support(&[0]), 0.75);
         assert_eq!(db.support(&[0, 1]), 0.5);
         assert_eq!(db.support(&[0, 1, 2]), 0.25);
@@ -197,11 +194,7 @@ mod tests {
 
     #[test]
     fn partial_match_counts_sum_to_n() {
-        let db = TransactionSet::new(
-            vec![t(&[0, 1, 2]), t(&[0, 1]), t(&[2]), t(&[3])],
-            4,
-        )
-        .unwrap();
+        let db = TransactionSet::new(vec![t(&[0, 1, 2]), t(&[0, 1]), t(&[2]), t(&[3])], 4).unwrap();
         let counts = db.partial_match_counts(&[0, 1, 2]);
         assert_eq!(counts, vec![1, 1, 1, 1]); // [3]:0, [2]:1, [0,1]:2, [0,1,2]:3
         assert_eq!(counts.iter().sum::<usize>(), db.len());

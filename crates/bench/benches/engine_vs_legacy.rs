@@ -1,0 +1,127 @@
+//! Engine vs legacy reconstruction: the perf baseline for the
+//! `ReconstructionEngine` refactor.
+//!
+//! Two comparisons at n in {10k, 100k} observations:
+//!
+//! * `single/*` — one reconstruction problem: `reconstruct_reference`
+//!   (per-call likelihood materialization) vs an engine with a warm
+//!   kernel cache (pure iterate cost). The gap is the kernel
+//!   factorization win.
+//! * `byclass_jobs/*` — the ByClass training job set (attributes x
+//!   classes, here 2 classes over every noisy attribute): a serial loop
+//!   of `reconstruct_reference` calls vs one `reconstruct_many` batch.
+//!   On a multi-core runner the batch additionally gets the rayon
+//!   fan-out; results are identical to the serial path either way
+//!   (asserted in `ppdm-core/tests/engine_equivalence.rs`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppdm_core::domain::{Domain, Partition};
+use ppdm_core::randomize::NoiseModel;
+use ppdm_core::reconstruct::{
+    reconstruct_reference, ReconstructionConfig, ReconstructionEngine, ReconstructionJob,
+    StoppingRule,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fixed iteration count: benches measure per-iteration engine cost, not
+/// convergence variance.
+fn fixed_iterations(max_iterations: usize) -> ReconstructionConfig {
+    ReconstructionConfig {
+        stopping: StoppingRule::MaxIterationsOnly,
+        max_iterations,
+        ..ReconstructionConfig::default()
+    }
+}
+
+fn observed(n: usize, noise: &NoiseModel, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let originals: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
+    noise.perturb_all(&originals, &mut rng)
+}
+
+fn bench_single_problem(c: &mut Criterion) {
+    let noise = NoiseModel::gaussian(20.0).expect("static parameter");
+    let partition = Partition::new(Domain::new(0.0, 100.0).unwrap(), 50).unwrap();
+    let cfg = fixed_iterations(100);
+    let mut group = c.benchmark_group("engine_vs_legacy/single");
+    for n in [10_000usize, 100_000] {
+        let obs = observed(n, &noise, 1);
+        group.bench_with_input(BenchmarkId::new("legacy", n), &obs, |b, obs| {
+            b.iter(|| reconstruct_reference(&noise, partition, obs, &cfg).expect("non-empty"));
+        });
+        let engine = ReconstructionEngine::new();
+        // Prime the kernel once so the engine numbers reflect steady state.
+        engine.reconstruct(&noise, partition, &obs, &cfg).expect("non-empty");
+        group.bench_with_input(BenchmarkId::new("engine_warm", n), &obs, |b, obs| {
+            b.iter(|| engine.reconstruct(&noise, partition, obs, &cfg).expect("non-empty"));
+        });
+    }
+    group.finish();
+}
+
+/// The ByClass job set: per noisy attribute x class, reconstruct that
+/// class's observations over the attribute partition.
+fn byclass_jobs(
+    n_per_class: usize,
+) -> (Vec<(NoiseModel, Partition, Vec<f64>)>, ReconstructionConfig) {
+    let cfg = fixed_iterations(100);
+    // Mirror the benchmark's attribute geometry: a few domains/widths at
+    // 100% privacy (sigma ~ width / 3.92).
+    let setups = [
+        (NoiseModel::gaussian(15.3).unwrap(), Domain::new(20.0, 80.0).unwrap()),
+        (NoiseModel::gaussian(33_163.0).unwrap(), Domain::new(20_000.0, 150_000.0).unwrap()),
+        (NoiseModel::gaussian(19_133.0).unwrap(), Domain::new(0.0, 75_000.0).unwrap()),
+        (NoiseModel::gaussian(127_551.0).unwrap(), Domain::new(0.0, 500_000.0).unwrap()),
+    ];
+    let mut problems = Vec::new();
+    for (i, (noise, domain)) in setups.iter().enumerate() {
+        let partition = Partition::new(*domain, 50).unwrap();
+        for class in 0..2u64 {
+            let mut rng = StdRng::seed_from_u64(100 + 10 * i as u64 + class);
+            let originals: Vec<f64> =
+                (0..n_per_class).map(|_| rng.gen_range(domain.lo()..domain.hi())).collect();
+            let obs = noise.perturb_all(&originals, &mut rng);
+            problems.push((*noise, partition, obs));
+        }
+    }
+    (problems, cfg)
+}
+
+fn bench_byclass_job_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_vs_legacy/byclass_jobs");
+    for n in [10_000usize, 100_000] {
+        // n is the total training size; each of the two classes gets half.
+        let (problems, cfg) = byclass_jobs(n / 2);
+        group.bench_with_input(BenchmarkId::new("serial_legacy", n), &problems, |b, problems| {
+            b.iter(|| {
+                problems
+                    .iter()
+                    .map(|(noise, partition, obs)| {
+                        reconstruct_reference(noise, *partition, obs, &cfg).expect("non-empty")
+                    })
+                    .collect::<Vec<_>>()
+            });
+        });
+        let engine = ReconstructionEngine::new();
+        group.bench_with_input(
+            BenchmarkId::new("engine_reconstruct_many", n),
+            &problems,
+            |b, problems| {
+                b.iter(|| {
+                    let jobs: Vec<ReconstructionJob<'_>> = problems
+                        .iter()
+                        .map(|(noise, partition, obs)| {
+                            ReconstructionJob::borrowed(noise, *partition, obs, cfg)
+                        })
+                        .collect();
+                    engine.reconstruct_many(&jobs)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_problem, bench_byclass_job_set);
+criterion_main!(benches);

@@ -42,5 +42,10 @@ fn bench_randomized_response(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_noise_models, bench_dataset_perturbation, bench_randomized_response);
+criterion_group!(
+    benches,
+    bench_noise_models,
+    bench_dataset_perturbation,
+    bench_randomized_response
+);
 criterion_main!(benches);

@@ -75,9 +75,10 @@ fn bench_kernels(c: &mut Criterion) {
     let partition = Partition::new(Domain::new(0.0, 100.0).unwrap(), 50).unwrap();
     let obs = observed(10_000, &noise, 4);
     let mut group = c.benchmark_group("reconstruct/kernel");
-    for (name, kernel) in
-        [("bayes_midpoint", LikelihoodKernel::Midpoint), ("em_cell_average", LikelihoodKernel::CellAverage)]
-    {
+    for (name, kernel) in [
+        ("bayes_midpoint", LikelihoodKernel::Midpoint),
+        ("em_cell_average", LikelihoodKernel::CellAverage),
+    ] {
         group.bench_function(name, |b| {
             let cfg = fixed_iterations(UpdateMode::Bucketed, kernel);
             b.iter(|| reconstruct(&noise, partition, &obs, &cfg).expect("non-empty"));

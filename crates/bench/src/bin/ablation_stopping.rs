@@ -40,7 +40,11 @@ fn main() {
     let rules: Vec<(&str, StoppingRule, usize)> = vec![
         ("paper chi-square (1% of critical)", paper_chi_square_rule(), 20_000),
         ("log-likelihood 1e-6", StoppingRule::LogLikelihood { rel_tolerance: 1e-6 }, 20_000),
-        ("log-likelihood 1e-8 (default)", StoppingRule::LogLikelihood { rel_tolerance: 1e-8 }, 20_000),
+        (
+            "log-likelihood 1e-8 (default)",
+            StoppingRule::LogLikelihood { rel_tolerance: 1e-8 },
+            20_000,
+        ),
         ("log-likelihood 1e-10", StoppingRule::LogLikelihood { rel_tolerance: 1e-10 }, 20_000),
         ("L1 1e-4", StoppingRule::L1 { tolerance: 1e-4 }, 20_000),
         ("fixed 100 iterations", StoppingRule::MaxIterationsOnly, 100),

@@ -24,13 +24,11 @@ fn main() {
         let perturbed = plan.perturb_dataset(&train_d, seed + 1);
         let cfg = TrainerConfig::default();
         let mut row = vec![n_train.to_string()];
-        for algo in [
-            TrainingAlgorithm::Original,
-            TrainingAlgorithm::Randomized,
-            TrainingAlgorithm::ByClass,
-        ] {
-            let tree = train(algo, Some(&train_d), &perturbed, &plan, &cfg)
-                .expect("training succeeds");
+        for algo in
+            [TrainingAlgorithm::Original, TrainingAlgorithm::Randomized, TrainingAlgorithm::ByClass]
+        {
+            let tree =
+                train(algo, Some(&train_d), &perturbed, &plan, &cfg).expect("training succeeds");
             let acc = evaluate(&tree, &test_d).accuracy;
             eprintln!("  n {n_train:>7} {:<10} {:.2}%", algo.name(), 100.0 * acc);
             row.push(format!("{:.2}", 100.0 * acc));

@@ -15,11 +15,10 @@ use ppdm_tree::TrainingAlgorithm;
 
 fn main() {
     let args = Args::from_env();
-    let function = LabelFunction::from_number(args.usize_or("function", 2))
-        .unwrap_or_else(|| {
-            eprintln!("--function must be 1..=10");
-            std::process::exit(2);
-        });
+    let function = LabelFunction::from_number(args.usize_or("function", 2)).unwrap_or_else(|| {
+        eprintln!("--function must be 1..=10");
+        std::process::exit(2);
+    });
 
     let mut exp = AccuracyExperiment::paper_defaults(function);
     exp.n_train = args.usize_or("train", exp.n_train);
@@ -87,9 +86,8 @@ fn main() {
     if !csv {
         // Paper-style series: one row per privacy level, one column per
         // algorithm.
-        let headers: Vec<&str> = std::iter::once("privacy %")
-            .chain(exp.algorithms.iter().map(|a| a.name()))
-            .collect();
+        let headers: Vec<&str> =
+            std::iter::once("privacy %").chain(exp.algorithms.iter().map(|a| a.name())).collect();
         let table_rows: Vec<Vec<String>> = exp
             .privacy_levels
             .iter()

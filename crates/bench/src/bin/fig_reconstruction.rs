@@ -43,8 +43,8 @@ fn main() {
 
     let domain = Domain::new(0.0, 200.0).expect("static domain");
     let partition = Partition::new(domain, cells).expect("static partition");
-    let noise = noise_for_privacy(kind, privacy, DEFAULT_CONFIDENCE, &domain)
-        .expect("valid privacy level");
+    let noise =
+        noise_for_privacy(kind, privacy, DEFAULT_CONFIDENCE, &domain).expect("valid privacy level");
 
     let mut rng = StdRng::seed_from_u64(seed);
     let originals = sample_shape(shape, n, &mut rng);

@@ -77,8 +77,7 @@ pub fn run_accuracy(
     exp: &AccuracyExperiment,
     mut progress: impl FnMut(&AccuracyRow),
 ) -> Result<Vec<AccuracyRow>> {
-    let (train_d, test_d) =
-        generate_train_test(exp.n_train, exp.n_test, exp.function, exp.seed);
+    let (train_d, test_d) = generate_train_test(exp.n_train, exp.n_test, exp.function, exp.seed);
     let mut rows = Vec::new();
     for &privacy in &exp.privacy_levels {
         let plan = PerturbPlan::for_privacy(exp.noise_kind, privacy, DEFAULT_CONFIDENCE)?;

@@ -63,10 +63,7 @@ mod tests {
     fn renders_aligned_columns() {
         let s = render(
             &["algo", "acc"],
-            &[
-                vec!["Original".into(), "99.1".into()],
-                vec!["ByClass".into(), "95.0".into()],
-            ],
+            &[vec!["Original".into(), "99.1".into()], vec!["ByClass".into(), "95.0".into()]],
         );
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -181,10 +181,8 @@ impl Partition {
         }
         let w = self.cell_width();
         let extra = (pad / w).ceil() as usize;
-        let domain = Domain::new(
-            self.domain.lo - extra as f64 * w,
-            self.domain.hi + extra as f64 * w,
-        )?;
+        let domain =
+            Domain::new(self.domain.lo - extra as f64 * w, self.domain.hi + extra as f64 * w)?;
         Ok((Partition::new(domain, self.cells + 2 * extra)?, extra))
     }
 }

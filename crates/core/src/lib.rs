@@ -56,6 +56,8 @@ pub mod stats;
 
 pub use domain::{Domain, Partition};
 pub use error::{Error, Result};
-pub use randomize::NoiseModel;
-pub use reconstruct::{reconstruct, Reconstruction, ReconstructionConfig};
+pub use randomize::{NoiseDensity, NoiseModel};
+pub use reconstruct::{
+    reconstruct, Reconstruction, ReconstructionConfig, ReconstructionEngine, ReconstructionJob,
+};
 pub use stats::Histogram;

@@ -43,11 +43,7 @@ pub fn inherent_privacy(noise: &NoiseModel) -> f64 {
 /// where `w` is the cell width.
 pub fn differential_entropy_bits(hist: &Histogram) -> f64 {
     let w = hist.partition().cell_width();
-    hist.probabilities()
-        .iter()
-        .filter(|p| **p > 0.0)
-        .map(|p| -p * (p / w).log2())
-        .sum()
+    hist.probabilities().iter().filter(|p| **p > 0.0).map(|p| -p * (p / w).log2()).sum()
 }
 
 /// `Pi = 2^{h}` of the histogram's piecewise-constant density. For a
@@ -123,7 +119,8 @@ mod tests {
     fn concentration_reduces_privacy() {
         let p = Partition::new(Domain::new(0.0, 8.0).unwrap(), 8).unwrap();
         let spread = Histogram::from_mass(p, vec![1.0; 8]).unwrap();
-        let peaked = Histogram::from_mass(p, vec![100.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]).unwrap();
+        let peaked =
+            Histogram::from_mass(p, vec![100.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]).unwrap();
         assert!(histogram_privacy(&peaked) < histogram_privacy(&spread));
     }
 

@@ -231,8 +231,6 @@ mod tests {
         let d = domain();
         let small = NoiseModel::gaussian(1_000.0).unwrap();
         let large = NoiseModel::gaussian(10_000.0).unwrap();
-        assert!(
-            privacy_pct(&small, 0.95, &d).unwrap() < privacy_pct(&large, 0.95, &d).unwrap()
-        );
+        assert!(privacy_pct(&small, 0.95, &d).unwrap() < privacy_pct(&large, 0.95, &d).unwrap());
     }
 }

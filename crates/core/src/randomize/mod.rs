@@ -12,9 +12,11 @@
 //!   a uniformly random category (Warner 1965; AS00's future-work direction
 //!   for categorical attributes).
 
+mod density;
 mod discretize;
 mod response;
 
+pub use density::{NoiseDensity, NoiseFingerprint};
 pub use discretize::Discretizer;
 pub use response::RandomizedResponse;
 

@@ -61,7 +61,11 @@ impl RandomizedResponse {
     /// Panics if `value >= categories` — category indices are a type-level
     /// contract of the caller.
     pub fn perturb<R: Rng + ?Sized>(&self, value: usize, rng: &mut R) -> usize {
-        assert!(value < self.categories, "category index {value} out of range (k = {})", self.categories);
+        assert!(
+            value < self.categories,
+            "category index {value} out of range (k = {})",
+            self.categories
+        );
         if rng.gen_bool(self.keep_prob) {
             value
         } else {
@@ -85,7 +89,9 @@ impl RandomizedResponse {
             });
         }
         if let Some(bad) = observed_counts.iter().find(|c| !c.is_finite() || **c < 0.0) {
-            return Err(Error::InvalidMass(format!("observed counts must be finite and >= 0, got {bad}")));
+            return Err(Error::InvalidMass(format!(
+                "observed counts must be finite and >= 0, got {bad}"
+            )));
         }
         let total: f64 = observed_counts.iter().sum();
         if total <= 0.0 {

@@ -1,0 +1,621 @@
+//! The reconstruction engine: precomputed likelihood kernels + batched,
+//! parallel reconstruction.
+//!
+//! # The kernel-matrix factorization
+//!
+//! Every iteration of the AS00/AA01 reconstruction iterate evaluates the
+//! likelihood `L[s][p]` of an observation bucket `s` given an original
+//! cell `p`:
+//!
+//! ```text
+//! Midpoint    L[s][p] = f_Y(mid(E_s) - mid(I_p))
+//! CellAverage L[s][p] = (1/|I_p|) * ∫_{I_p} f_Y(mid(E_s) - x) dx
+//! ```
+//!
+//! where `E` is the attribute partition extended by the noise span and `I`
+//! the original partition. Crucially, `L` depends only on the *noise
+//! channel*, the *partition geometry*, and the *kernel* — never on the
+//! observed sample or on the current estimate. The engine therefore
+//! factors `L` out of the iterate: it is computed once as an
+//! `(m + k) × m` [`KernelMatrix`] and every EM iteration becomes pure
+//! matrix–vector arithmetic against it.
+//!
+//! # When caching applies
+//!
+//! Kernels are cached in the engine keyed by
+//! `(noise fingerprint, partition domain, cell count, kernel)` — see
+//! [`NoiseDensity::fingerprint`]. Any two reconstructions over the same
+//! attribute geometry share one kernel, which is exactly the shape of the
+//! tree-training workloads: ByClass runs `attributes × classes` problems
+//! over identical partitions (one kernel per attribute serves every
+//! class), and the Local algorithm re-reconstructs the same root
+//! partitions at every untruncated node. Channels without a fingerprint
+//! (custom [`NoiseDensity`] implementations that decline one) are rebuilt
+//! per call and never cached.
+//!
+//! Caching is *only* applied to [`UpdateMode::Bucketed`] problems, whose
+//! row space is the extended partition. [`UpdateMode::Exact`] rows are
+//! per-observation (`n × m` for `n` observations) and sample-dependent,
+//! so they are never cached: within the materialization budget
+//! ([`ReconstructionEngine::DEFAULT_EXACT_MATERIALIZE_ENTRIES`]) they are
+//! evaluated once per call, and beyond it they are *streamed* — each row
+//! recomputed on the fly into a single scratch buffer, keeping memory at
+//! `O(m)` regardless of `n`.
+//!
+//! # Batching
+//!
+//! [`ReconstructionEngine::reconstruct_many`] fans a slice of independent
+//! [`ReconstructionJob`]s across worker threads (results stay in job
+//! order, and every job computes exactly what the serial path would). The
+//! free function [`crate::reconstruct::reconstruct`] remains the
+//! single-problem entry point; it delegates to a process-wide shared
+//! engine so even serial callers reuse cached kernels.
+
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use rayon::prelude::*;
+
+use crate::domain::Partition;
+use crate::error::{Error, Result};
+use crate::randomize::{NoiseDensity, NoiseFingerprint};
+use crate::stats::Histogram;
+
+use super::{LikelihoodKernel, Reconstruction, ReconstructionConfig, UpdateMode};
+
+/// Cache key of a likelihood kernel: channel identity + partition
+/// geometry + kernel choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct KernelKey {
+    noise: NoiseFingerprint,
+    domain_lo: u64,
+    domain_hi: u64,
+    cells: usize,
+    kernel: LikelihoodKernel,
+}
+
+impl KernelKey {
+    fn new(noise: NoiseFingerprint, partition: Partition, kernel: LikelihoodKernel) -> Self {
+        KernelKey {
+            noise,
+            domain_lo: partition.domain().lo().to_bits(),
+            domain_hi: partition.domain().hi().to_bits(),
+            cells: partition.len(),
+            kernel,
+        }
+    }
+}
+
+/// Evaluates one likelihood entry; shared by the precomputed and the
+/// streaming paths so both produce bit-identical values.
+#[inline]
+fn likelihood(
+    noise: &dyn NoiseDensity,
+    partition: &Partition,
+    kernel: LikelihoodKernel,
+    w: f64,
+    p: usize,
+) -> f64 {
+    match kernel {
+        LikelihoodKernel::Midpoint => noise.density(w - partition.midpoint(p)),
+        LikelihoodKernel::CellAverage => {
+            let (lo, hi) = partition.interval(p);
+            noise.mass_between(w - hi, w - lo) / partition.cell_width()
+        }
+    }
+}
+
+/// A precomputed `(m + k) × m` likelihood matrix over the extended
+/// partition's bucket midpoints.
+#[derive(Debug)]
+pub struct KernelMatrix {
+    extended: Partition,
+    m: usize,
+    /// Row-major `extended.len() × m` likelihood values.
+    values: Vec<f64>,
+}
+
+impl KernelMatrix {
+    /// Precomputes the kernel for one `(noise, partition, kernel)` triple.
+    pub fn build(
+        noise: &dyn NoiseDensity,
+        partition: Partition,
+        kernel: LikelihoodKernel,
+    ) -> Result<Self> {
+        let (extended, _) = partition.extend_by(noise.span())?;
+        let m = partition.len();
+        let mut values = Vec::with_capacity(extended.len() * m);
+        for s in 0..extended.len() {
+            let w = extended.midpoint(s);
+            for p in 0..m {
+                values.push(likelihood(noise, &partition, kernel, w, p));
+            }
+        }
+        Ok(KernelMatrix { extended, m, values })
+    }
+
+    /// The partition extended by the noise span: the observation buckets
+    /// this kernel's rows correspond to.
+    pub fn extended(&self) -> Partition {
+        self.extended
+    }
+
+    /// Likelihood row of observation bucket `s`.
+    #[inline]
+    pub fn row(&self, s: usize) -> &[f64] {
+        &self.values[s * self.m..(s + 1) * self.m]
+    }
+
+    /// Memory footprint of the matrix in likelihood entries.
+    pub fn entries(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// Supplies likelihood rows to the iterate: from a cached kernel, from a
+/// per-call dense matrix, or streamed into a scratch buffer.
+enum RowSource<'a> {
+    /// `buckets[idx]` is the extended-partition bucket of pair `idx`.
+    Matrix { matrix: &'a KernelMatrix, buckets: &'a [usize] },
+    /// Per-observation rows materialized once for this call (Exact mode
+    /// when `n x m` fits the materialization budget).
+    Dense { values: Vec<f64>, m: usize },
+    /// Rows recomputed per pair from the raw observation value (Exact
+    /// mode beyond the budget: `O(m)` memory, rows re-evaluated every
+    /// iteration).
+    Streamed {
+        noise: &'a dyn NoiseDensity,
+        partition: Partition,
+        kernel: LikelihoodKernel,
+        buf: Vec<f64>,
+    },
+}
+
+impl RowSource<'_> {
+    #[inline]
+    fn row(&mut self, idx: usize, value: f64) -> &[f64] {
+        match self {
+            RowSource::Matrix { matrix, buckets } => matrix.row(buckets[idx]),
+            RowSource::Dense { values, m } => &values[idx * *m..(idx + 1) * *m],
+            RowSource::Streamed { noise, partition, kernel, buf } => {
+                for (p, slot) in buf.iter_mut().enumerate() {
+                    *slot = likelihood(*noise, partition, *kernel, value, p);
+                }
+                buf
+            }
+        }
+    }
+}
+
+/// One independent reconstruction problem for
+/// [`ReconstructionEngine::reconstruct_many`].
+pub struct ReconstructionJob<'a> {
+    /// The public noise channel the observations went through.
+    pub noise: &'a dyn NoiseDensity,
+    /// Partition of the original attribute domain.
+    pub partition: Partition,
+    /// The perturbed observations.
+    pub observed: Cow<'a, [f64]>,
+    /// Iteration parameters.
+    pub config: ReconstructionConfig,
+}
+
+impl<'a> ReconstructionJob<'a> {
+    /// A job borrowing its observations.
+    pub fn borrowed(
+        noise: &'a dyn NoiseDensity,
+        partition: Partition,
+        observed: &'a [f64],
+        config: ReconstructionConfig,
+    ) -> Self {
+        ReconstructionJob { noise, partition, observed: Cow::Borrowed(observed), config }
+    }
+
+    /// A job owning its observations.
+    pub fn owned(
+        noise: &'a dyn NoiseDensity,
+        partition: Partition,
+        observed: Vec<f64>,
+        config: ReconstructionConfig,
+    ) -> Self {
+        ReconstructionJob { noise, partition, observed: Cow::Owned(observed), config }
+    }
+}
+
+/// Kernel cache state: map plus a running total of likelihood entries,
+/// so the memory bound is on actual footprint rather than kernel count.
+struct KernelCache {
+    map: HashMap<KernelKey, Arc<KernelMatrix>>,
+    entries: usize,
+}
+
+/// Reusable, thread-safe reconstruction engine with a likelihood-kernel
+/// cache. See the [module docs](self) for the factorization and caching
+/// rules.
+pub struct ReconstructionEngine {
+    cache: RwLock<KernelCache>,
+    /// Soft bound on total cached likelihood entries (`f64`s).
+    entry_budget: usize,
+    /// Exact mode materializes its `n x m` per-observation rows once when
+    /// they fit this many entries, and streams them otherwise.
+    exact_materialize_entries: usize,
+}
+
+impl Default for ReconstructionEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReconstructionEngine {
+    /// Default kernel-cache budget in likelihood entries (`f64`s): 4M
+    /// entries = 32 MB. Typical kernels are `(m + k) x m` with `m <= 100`,
+    /// i.e. tens of kilobytes, so this holds hundreds of geometries.
+    pub const DEFAULT_CACHE_ENTRY_BUDGET: usize = 4_000_000;
+
+    /// Default Exact-mode materialization budget (entries): below it the
+    /// `n x m` row matrix is built once per call (32 MB at the default),
+    /// above it rows are streamed with `O(m)` memory.
+    pub const DEFAULT_EXACT_MATERIALIZE_ENTRIES: usize = 4_000_000;
+
+    /// An engine with the default cache budget.
+    pub fn new() -> Self {
+        Self::with_cache_entry_budget(Self::DEFAULT_CACHE_ENTRY_BUDGET)
+    }
+
+    /// An engine whose kernel cache holds at most ~`budget` likelihood
+    /// entries; the cache is flushed wholesale when an insert would
+    /// exceed it (kernels are cheap to rebuild relative to the iterate
+    /// they serve). A single kernel larger than the budget is still
+    /// cached — the bound is soft by at most one kernel.
+    pub fn with_cache_entry_budget(budget: usize) -> Self {
+        ReconstructionEngine {
+            cache: RwLock::new(KernelCache { map: HashMap::new(), entries: 0 }),
+            entry_budget: budget,
+            exact_materialize_entries: Self::DEFAULT_EXACT_MATERIALIZE_ENTRIES,
+        }
+    }
+
+    /// Overrides the Exact-mode materialization threshold (in entries).
+    /// `0` forces streaming; mostly useful for tests and memory-tight
+    /// embedders.
+    pub fn with_exact_materialize_entries(mut self, entries: usize) -> Self {
+        self.exact_materialize_entries = entries;
+        self
+    }
+
+    /// Number of kernels currently cached (for tests and introspection).
+    pub fn cached_kernels(&self) -> usize {
+        self.cache.read().expect("kernel cache lock poisoned").map.len()
+    }
+
+    /// Total likelihood entries currently cached.
+    pub fn cached_entries(&self) -> usize {
+        self.cache.read().expect("kernel cache lock poisoned").entries
+    }
+
+    /// Returns the (possibly cached) kernel for one problem geometry.
+    fn kernel_for(
+        &self,
+        noise: &dyn NoiseDensity,
+        partition: Partition,
+        kernel: LikelihoodKernel,
+    ) -> Result<Arc<KernelMatrix>> {
+        let Some(fingerprint) = noise.fingerprint() else {
+            return Ok(Arc::new(KernelMatrix::build(noise, partition, kernel)?));
+        };
+        let key = KernelKey::new(fingerprint, partition, kernel);
+        if let Some(hit) =
+            self.cache.read().expect("kernel cache lock poisoned").map.get(&key).cloned()
+        {
+            return Ok(hit);
+        }
+        // Build under the write lock (double-checked): when a cold batch
+        // fans out jobs sharing one geometry, exactly one thread builds
+        // the kernel and the rest wait for it instead of duplicating the
+        // work.
+        let mut cache = self.cache.write().expect("kernel cache lock poisoned");
+        if let Some(hit) = cache.map.get(&key).cloned() {
+            return Ok(hit);
+        }
+        let built = Arc::new(KernelMatrix::build(noise, partition, kernel)?);
+        if cache.entries + built.entries() > self.entry_budget && !cache.map.is_empty() {
+            cache.map.clear();
+            cache.entries = 0;
+        }
+        cache.entries += built.entries();
+        cache.map.insert(key, built.clone());
+        Ok(built)
+    }
+
+    /// Reconstructs one problem. Behaviorally identical to
+    /// [`super::reconstruct_reference`]; see the module docs for what is
+    /// precomputed, cached, or streamed.
+    pub fn reconstruct(
+        &self,
+        noise: &dyn NoiseDensity,
+        partition: Partition,
+        observed: &[f64],
+        config: &ReconstructionConfig,
+    ) -> Result<Reconstruction> {
+        if observed.is_empty() {
+            return Err(Error::NoObservations);
+        }
+        if let Some(bad) = observed.iter().find(|w| !w.is_finite()) {
+            return Err(Error::InvalidMass(format!("observation {bad} is not finite")));
+        }
+
+        // Without noise the perturbed values are the originals.
+        if noise.is_identity() {
+            return Ok(Reconstruction {
+                histogram: Histogram::from_values(partition, observed),
+                iterations: 0,
+                converged: true,
+            });
+        }
+
+        let m = partition.len();
+        match config.mode {
+            UpdateMode::Bucketed => {
+                let matrix = self.kernel_for(noise, partition, config.kernel)?;
+                let obs_hist = Histogram::from_values(matrix.extended(), observed);
+                let mut pairs = Vec::new();
+                let mut buckets = Vec::new();
+                for s in 0..matrix.extended().len() {
+                    let mass = obs_hist.mass(s);
+                    if mass > 0.0 {
+                        pairs.push((mass, matrix.extended().midpoint(s)));
+                        buckets.push(s);
+                    }
+                }
+                let mut rows = RowSource::Matrix { matrix: &matrix, buckets: &buckets };
+                run_iterate(&pairs, &mut rows, m, observed.len() as f64, partition, config)
+            }
+            UpdateMode::Exact => {
+                let pairs: Vec<(f64, f64)> = observed.iter().map(|&w| (1.0, w)).collect();
+                // Per-observation rows are never cached (they depend on
+                // the sample), but when they fit the materialization
+                // budget it is far cheaper to evaluate them once than to
+                // re-evaluate n x m densities every iteration. Either
+                // path computes identical values in identical order.
+                let mut rows = if observed.len().saturating_mul(m) <= self.exact_materialize_entries
+                {
+                    let mut values = Vec::with_capacity(observed.len() * m);
+                    for &(_, w) in &pairs {
+                        for p in 0..m {
+                            values.push(likelihood(noise, &partition, config.kernel, w, p));
+                        }
+                    }
+                    RowSource::Dense { values, m }
+                } else {
+                    RowSource::Streamed {
+                        noise,
+                        partition,
+                        kernel: config.kernel,
+                        buf: vec![0.0; m],
+                    }
+                };
+                run_iterate(&pairs, &mut rows, m, observed.len() as f64, partition, config)
+            }
+        }
+    }
+
+    /// Runs a batch of independent problems across worker threads,
+    /// returning results in job order. Each job computes exactly what
+    /// [`Self::reconstruct`] would serially; jobs sharing a `(noise,
+    /// partition, kernel)` geometry share one cached kernel.
+    pub fn reconstruct_many(&self, jobs: &[ReconstructionJob<'_>]) -> Vec<Result<Reconstruction>> {
+        jobs.par_iter()
+            .map(|job| self.reconstruct(job.noise, job.partition, &job.observed, &job.config))
+            .collect()
+    }
+}
+
+/// The Bayes/EM iterate, shared by the matrix and streaming paths.
+///
+/// The arithmetic (including summation order) is kept identical to the
+/// reference implementation so engine results are bit-for-bit equal.
+fn run_iterate(
+    pairs: &[(f64, f64)],
+    rows: &mut RowSource<'_>,
+    m: usize,
+    n: f64,
+    partition: Partition,
+    config: &ReconstructionConfig,
+) -> Result<Reconstruction> {
+    let mut probs = vec![1.0 / m as f64; m];
+    let mut scratch = vec![0.0f64; m];
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut prev_log_likelihood = f64::NEG_INFINITY;
+
+    while iterations < config.max_iterations {
+        iterations += 1;
+        scratch.iter_mut().for_each(|s| *s = 0.0);
+        let mut used_weight = 0.0;
+        // Observed-data log-likelihood of the *current* estimate, available
+        // for free from the per-observation denominators.
+        let mut log_likelihood = 0.0;
+        for (idx, &(weight, value)) in pairs.iter().enumerate() {
+            let row = rows.row(idx, value);
+            let denom: f64 = row.iter().zip(&probs).map(|(l, p)| l * p).sum();
+            if denom <= f64::MIN_POSITIVE {
+                // Observation incompatible with the current estimate (can
+                // happen with bounded uniform noise once cells hit zero);
+                // it carries no usable evidence this round.
+                continue;
+            }
+            used_weight += weight;
+            log_likelihood += weight * denom.ln();
+            let inv = weight / denom;
+            for (s, (l, p)) in scratch.iter_mut().zip(row.iter().zip(&probs)) {
+                *s += l * p * inv;
+            }
+        }
+        if used_weight <= 0.0 {
+            // Every observation became incompatible: keep the last estimate
+            // and report non-convergence.
+            break;
+        }
+        let total: f64 = scratch.iter().sum();
+        debug_assert!(total > 0.0);
+        for s in &mut scratch {
+            *s /= total;
+        }
+        let stop =
+            config.stopping.should_stop(&probs, &scratch, n, prev_log_likelihood, log_likelihood);
+        prev_log_likelihood = log_likelihood;
+        // Unconditional stall breakout: once the step is at floating-point
+        // noise level, no stopping rule can learn anything from running on.
+        let stalled = probs.iter().zip(&scratch).map(|(o, w)| (w - o).abs()).sum::<f64>() < 1e-12;
+        std::mem::swap(&mut probs, &mut scratch);
+        if stop || stalled {
+            converged = true;
+            break;
+        }
+    }
+
+    let mass: Vec<f64> = probs.iter().map(|p| p * n).collect();
+    Ok(Reconstruction { histogram: Histogram::from_mass(partition, mass)?, iterations, converged })
+}
+
+/// The process-wide engine behind the free [`crate::reconstruct::reconstruct`]
+/// function: serial callers share cached kernels too.
+pub fn shared_engine() -> &'static ReconstructionEngine {
+    static SHARED: OnceLock<ReconstructionEngine> = OnceLock::new();
+    SHARED.get_or_init(ReconstructionEngine::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::randomize::NoiseModel;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn part(cells: usize) -> Partition {
+        Partition::new(Domain::new(0.0, 100.0).unwrap(), cells).unwrap()
+    }
+
+    fn sample(n: usize, noise: &NoiseModel, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
+        noise.perturb_all(&xs, &mut rng)
+    }
+
+    #[test]
+    fn kernel_rows_match_streamed_likelihoods() {
+        let noise = NoiseModel::gaussian(10.0).unwrap();
+        let p = part(20);
+        for kernel in [LikelihoodKernel::Midpoint, LikelihoodKernel::CellAverage] {
+            let matrix = KernelMatrix::build(&noise, p, kernel).unwrap();
+            for s in 0..matrix.extended().len() {
+                let w = matrix.extended().midpoint(s);
+                for cell in 0..p.len() {
+                    assert_eq!(
+                        matrix.row(s)[cell],
+                        likelihood(&noise, &p, kernel, w, cell),
+                        "kernel {kernel:?} bucket {s} cell {cell}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_are_cached_by_identity() {
+        let engine = ReconstructionEngine::new();
+        let noise = NoiseModel::gaussian(10.0).unwrap();
+        let obs = sample(500, &noise, 1);
+        let cfg = ReconstructionConfig::default();
+        engine.reconstruct(&noise, part(20), &obs, &cfg).unwrap();
+        assert_eq!(engine.cached_kernels(), 1);
+        // Same geometry: no new kernel.
+        engine.reconstruct(&noise, part(20), &sample(300, &noise, 2), &cfg).unwrap();
+        assert_eq!(engine.cached_kernels(), 1);
+        // New cell count, new noise, new kernel choice: three more.
+        engine.reconstruct(&noise, part(25), &obs, &cfg).unwrap();
+        let other = NoiseModel::uniform(10.0).unwrap();
+        engine.reconstruct(&other, part(20), &obs, &cfg).unwrap();
+        let em = ReconstructionConfig::em();
+        engine.reconstruct(&noise, part(20), &obs, &em).unwrap();
+        assert_eq!(engine.cached_kernels(), 4);
+    }
+
+    #[test]
+    fn cache_entry_budget_is_bounded() {
+        // Budget of 2000 entries: the cells=10 kernel is 18 x 10 = 180
+        // entries, cells=29 is 53 x 29 = 1537, so the cache must flush
+        // along the way rather than accumulate all twenty geometries.
+        let engine = ReconstructionEngine::with_cache_entry_budget(2_000);
+        let noise = NoiseModel::gaussian(10.0).unwrap();
+        let obs = sample(200, &noise, 3);
+        let cfg = ReconstructionConfig::default();
+        let mut max_kernels = 0;
+        for cells in 10..30 {
+            engine.reconstruct(&noise, part(cells), &obs, &cfg).unwrap();
+            assert!(
+                engine.cached_entries() <= 2_000 || engine.cached_kernels() == 1,
+                "entry budget exceeded: {} entries over {} kernels",
+                engine.cached_entries(),
+                engine.cached_kernels()
+            );
+            max_kernels = max_kernels.max(engine.cached_kernels());
+        }
+        assert!(max_kernels < 20, "cache never flushed: held {max_kernels} kernels");
+    }
+
+    #[test]
+    fn exact_mode_never_populates_the_kernel_cache() {
+        let noise = NoiseModel::gaussian(10.0).unwrap();
+        let obs = sample(400, &noise, 4);
+        let cfg = ReconstructionConfig { mode: UpdateMode::Exact, ..Default::default() };
+        // Both the materialized and the forced-streaming Exact paths.
+        let engine = ReconstructionEngine::new();
+        let dense = engine.reconstruct(&noise, part(15), &obs, &cfg).unwrap();
+        assert_eq!(engine.cached_kernels(), 0, "Exact mode must not populate the kernel cache");
+        let streaming = ReconstructionEngine::new().with_exact_materialize_entries(0);
+        let streamed = streaming.reconstruct(&noise, part(15), &obs, &cfg).unwrap();
+        assert_eq!(streaming.cached_kernels(), 0);
+        // Materialized and streamed rows are the same values in the same
+        // order, so the two paths agree bit-for-bit.
+        assert_eq!(dense, streamed);
+    }
+
+    #[test]
+    fn reconstruct_many_preserves_job_order_and_errors() {
+        let engine = ReconstructionEngine::new();
+        let noise = NoiseModel::gaussian(10.0).unwrap();
+        let good = sample(300, &noise, 5);
+        let cfg = ReconstructionConfig::default();
+        let jobs = vec![
+            ReconstructionJob::borrowed(&noise, part(10), &good, cfg),
+            ReconstructionJob::owned(&noise, part(10), Vec::new(), cfg),
+            ReconstructionJob::borrowed(&noise, part(12), &good, cfg),
+        ];
+        let results = engine.reconstruct_many(&jobs);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert_eq!(results[1].as_ref().unwrap_err(), &Error::NoObservations);
+        assert_eq!(results[2].as_ref().unwrap().histogram.len(), 12);
+    }
+
+    #[test]
+    fn batched_equals_serial() {
+        let engine = ReconstructionEngine::new();
+        let noise = NoiseModel::gaussian(15.0).unwrap();
+        let cfg = ReconstructionConfig::default();
+        let samples: Vec<Vec<f64>> = (0..6).map(|i| sample(400, &noise, 100 + i)).collect();
+        let jobs: Vec<ReconstructionJob<'_>> = samples
+            .iter()
+            .map(|obs| ReconstructionJob::borrowed(&noise, part(18), obs, cfg))
+            .collect();
+        let batched = engine.reconstruct_many(&jobs);
+        for (obs, batched) in samples.iter().zip(batched) {
+            let serial = engine.reconstruct(&noise, part(18), obs, &cfg).unwrap();
+            assert_eq!(serial, batched.unwrap());
+        }
+    }
+}

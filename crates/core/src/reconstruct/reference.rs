@@ -1,0 +1,132 @@
+//! The straight-line serial reconstruction of the original seed
+//! implementation, kept verbatim as an executable specification.
+//!
+//! [`reconstruct_reference`] materializes its likelihood rows per call
+//! (no kernel cache, no batching) and is what the engine is tested
+//! against bit-for-bit (`tests/engine_equivalence.rs`) and benchmarked
+//! against (`ppdm-bench/benches/engine_vs_legacy.rs`). Production callers
+//! should use [`crate::reconstruct::reconstruct`] or
+//! [`super::ReconstructionEngine`] instead.
+
+use crate::domain::Partition;
+use crate::error::{Error, Result};
+use crate::randomize::NoiseDensity;
+use crate::stats::Histogram;
+
+use super::{LikelihoodKernel, Reconstruction, ReconstructionConfig, UpdateMode};
+
+/// Reference reconstruction: the unfactored serial algorithm.
+///
+/// # Errors
+///
+/// Returns [`Error::NoObservations`] for an empty sample. Non-finite
+/// observations are rejected as [`Error::InvalidMass`].
+pub fn reconstruct_reference(
+    noise: &dyn NoiseDensity,
+    partition: Partition,
+    observed: &[f64],
+    config: &ReconstructionConfig,
+) -> Result<Reconstruction> {
+    if observed.is_empty() {
+        return Err(Error::NoObservations);
+    }
+    if let Some(bad) = observed.iter().find(|w| !w.is_finite()) {
+        return Err(Error::InvalidMass(format!("observation {bad} is not finite")));
+    }
+
+    // Without noise the perturbed values are the originals.
+    if noise.is_identity() {
+        return Ok(Reconstruction {
+            histogram: Histogram::from_values(partition, observed),
+            iterations: 0,
+            converged: true,
+        });
+    }
+
+    // Represent observations as (weight, value) pairs: either every raw
+    // observation, or one pair per non-empty bucket of the extended
+    // partition.
+    let pairs: Vec<(f64, f64)> = match config.mode {
+        UpdateMode::Exact => observed.iter().map(|&w| (1.0, w)).collect(),
+        UpdateMode::Bucketed => {
+            let (extended, _) = partition.extend_by(noise.span())?;
+            let obs_hist = Histogram::from_values(extended, observed);
+            (0..extended.len())
+                .filter(|&s| obs_hist.mass(s) > 0.0)
+                .map(|s| (obs_hist.mass(s), extended.midpoint(s)))
+                .collect()
+        }
+    };
+
+    let m = partition.len();
+    // Likelihood matrix: rows = observation pairs, cols = original cells.
+    let likelihood: Vec<Vec<f64>> = pairs
+        .iter()
+        .map(|&(_, w)| {
+            (0..m)
+                .map(|p| match config.kernel {
+                    LikelihoodKernel::Midpoint => noise.density(w - partition.midpoint(p)),
+                    LikelihoodKernel::CellAverage => {
+                        let (lo, hi) = partition.interval(p);
+                        noise.mass_between(w - hi, w - lo) / partition.cell_width()
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let n = observed.len() as f64;
+    let mut probs = vec![1.0 / m as f64; m];
+    let mut scratch = vec![0.0f64; m];
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut prev_log_likelihood = f64::NEG_INFINITY;
+
+    while iterations < config.max_iterations {
+        iterations += 1;
+        scratch.iter_mut().for_each(|s| *s = 0.0);
+        let mut used_weight = 0.0;
+        // Observed-data log-likelihood of the *current* estimate, available
+        // for free from the per-observation denominators.
+        let mut log_likelihood = 0.0;
+        for ((weight, _), row) in pairs.iter().zip(&likelihood) {
+            let denom: f64 = row.iter().zip(&probs).map(|(l, p)| l * p).sum();
+            if denom <= f64::MIN_POSITIVE {
+                // Observation incompatible with the current estimate (can
+                // happen with bounded uniform noise once cells hit zero);
+                // it carries no usable evidence this round.
+                continue;
+            }
+            used_weight += weight;
+            log_likelihood += weight * denom.ln();
+            let inv = weight / denom;
+            for (s, (l, p)) in scratch.iter_mut().zip(row.iter().zip(&probs)) {
+                *s += l * p * inv;
+            }
+        }
+        if used_weight <= 0.0 {
+            // Every observation became incompatible: keep the last estimate
+            // and report non-convergence.
+            break;
+        }
+        let total: f64 = scratch.iter().sum();
+        debug_assert!(total > 0.0);
+        for s in &mut scratch {
+            *s /= total;
+        }
+        let stop =
+            config.stopping.should_stop(&probs, &scratch, n, prev_log_likelihood, log_likelihood);
+        prev_log_likelihood = log_likelihood;
+        // Unconditional stall breakout: once the step is at floating-point
+        // noise level, no stopping rule can learn anything from running on.
+        let stalled = probs.iter().zip(&scratch).map(|(o, w)| (w - o).abs()).sum::<f64>() < 1e-12;
+        std::mem::swap(&mut probs, &mut scratch);
+        if stop || stalled {
+            converged = true;
+            break;
+        }
+    }
+
+    let mass: Vec<f64> = probs.iter().map(|p| p * n).collect();
+    Ok(Reconstruction { histogram: Histogram::from_mass(partition, mass)?, iterations, converged })
+}

@@ -99,8 +99,7 @@ impl StoppingRule {
                 }
                 stat *= n;
                 let dof = old.len().saturating_sub(1).max(1);
-                let critical =
-                    chi_square_quantile(1.0 - significance.clamp(1e-9, 1.0 - 1e-9), dof);
+                let critical = chi_square_quantile(1.0 - significance.clamp(1e-9, 1.0 - 1e-9), dof);
                 stat < critical_fraction * critical
             }
             StoppingRule::L1 { tolerance } => {

@@ -114,7 +114,7 @@ mod tests {
     fn chi_square_hand_computed() {
         let obs = hist(vec![6.0, 4.0]); // p = [0.6, 0.4]
         let exp = hist(vec![5.0, 5.0]); // q = [0.5, 0.5]
-        // n * ((0.1^2/0.5) + (0.1^2/0.5)) = n * 0.04
+                                        // n * ((0.1^2/0.5) + (0.1^2/0.5)) = n * 0.04
         let stat = chi_square_statistic(&obs, &exp, 100.0).unwrap();
         assert!((stat - 4.0).abs() < 1e-9);
     }

@@ -45,7 +45,9 @@ impl Histogram {
             )));
         }
         if let Some(bad) = mass.iter().find(|m| !m.is_finite() || **m < 0.0) {
-            return Err(Error::InvalidMass(format!("mass entries must be finite and >= 0, got {bad}")));
+            return Err(Error::InvalidMass(format!(
+                "mass entries must be finite and >= 0, got {bad}"
+            )));
         }
         Ok(Histogram { partition, mass })
     }
@@ -134,11 +136,7 @@ impl Histogram {
         if total <= 0.0 {
             return self.partition.domain().mid();
         }
-        self.mass
-            .iter()
-            .enumerate()
-            .map(|(i, m)| m * self.partition.midpoint(i))
-            .sum::<f64>()
+        self.mass.iter().enumerate().map(|(i, m)| m * self.partition.midpoint(i)).sum::<f64>()
             / total
     }
 

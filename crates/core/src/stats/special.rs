@@ -120,10 +120,7 @@ mod tests {
     use super::*;
 
     fn assert_close(actual: f64, expected: f64, tol: f64) {
-        assert!(
-            (actual - expected).abs() <= tol,
-            "expected {expected}, got {actual} (tol {tol})"
-        );
+        assert!((actual - expected).abs() <= tol, "expected {expected}, got {actual} (tol {tol})");
     }
 
     #[test]

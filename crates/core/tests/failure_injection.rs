@@ -65,8 +65,8 @@ fn all_observations_identical() {
 fn one_cell_partition_gets_everything() {
     let noise = NoiseModel::gaussian(10.0).unwrap();
     let one = Partition::new(Domain::new(0.0, 100.0).unwrap(), 1).unwrap();
-    let r = reconstruct(&noise, one, &[10.0, 50.0, 90.0], &ReconstructionConfig::default())
-        .unwrap();
+    let r =
+        reconstruct(&noise, one, &[10.0, 50.0, 90.0], &ReconstructionConfig::default()).unwrap();
     assert!((r.histogram.mass(0) - 3.0).abs() < 1e-9);
     assert!(r.converged);
 }

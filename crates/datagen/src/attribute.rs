@@ -106,10 +106,7 @@ impl Attribute {
     /// as integers, though the pipeline treats every attribute as numeric,
     /// exactly as AS00 does).
     pub fn is_integer_valued(self) -> bool {
-        matches!(
-            self,
-            Attribute::Elevel | Attribute::Car | Attribute::Zipcode | Attribute::Hyears
-        )
+        matches!(self, Attribute::Elevel | Attribute::Car | Attribute::Zipcode | Attribute::Hyears)
     }
 
     /// Number of distinct values an integer-valued attribute takes, `None`

@@ -28,7 +28,9 @@ impl fmt::Display for CsvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CsvError::Io(e) => write!(f, "csv io error: {e}"),
-            CsvError::Parse { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            CsvError::Parse { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
         }
     }
 }

@@ -165,9 +165,7 @@ impl LabelFunction {
                     || ((40.0..60.0).contains(&age) && in_band(income, 75_000.0, 125_000.0))
                     || (age >= 60.0 && in_band(income, 25_000.0, 75_000.0))
             }
-            LabelFunction::F7 => {
-                0.67 * (salary + r.commission()) - 0.2 * loan - 20_000.0 > 0.0
-            }
+            LabelFunction::F7 => 0.67 * (salary + r.commission()) - 0.2 * loan - 20_000.0 > 0.0,
             LabelFunction::F8 => {
                 0.67 * (salary + r.commission()) - 5_000.0 * elevel - 0.2 * loan - 10_000.0 > 0.0
             }
@@ -178,8 +176,7 @@ impl LabelFunction {
                     > 0.0
             }
             LabelFunction::F10 => {
-                0.67 * (salary + r.commission()) - 5_000.0 * elevel - 0.2 * loan
-                    + 0.2 * equity(r)
+                0.67 * (salary + r.commission()) - 5_000.0 * elevel - 0.2 * loan + 0.2 * equity(r)
                     - 10_000.0
                     > 0.0
             }

@@ -17,11 +17,8 @@ pub fn generate_record<R: Rng + ?Sized>(rng: &mut R) -> Record {
     let mut values = [0.0f64; NUM_ATTRIBUTES];
     let salary = rng.gen_range(20_000.0..=150_000.0);
     values[Attribute::Salary.index()] = salary;
-    values[Attribute::Commission.index()] = if salary >= 75_000.0 {
-        0.0
-    } else {
-        rng.gen_range(10_000.0..=75_000.0)
-    };
+    values[Attribute::Commission.index()] =
+        if salary >= 75_000.0 { 0.0 } else { rng.gen_range(10_000.0..=75_000.0) };
     values[Attribute::Age.index()] = rng.gen_range(20.0..=80.0);
     values[Attribute::Elevel.index()] = rng.gen_range(0..=4) as f64;
     values[Attribute::Car.index()] = rng.gen_range(1..=20) as f64;
@@ -169,12 +166,7 @@ mod tests {
     fn label_noise_flips_about_the_right_fraction() {
         let d = generate(10_000, LabelFunction::F1, 14);
         let noisy = with_label_noise(&d, 0.2, 15);
-        let flipped = d
-            .labels()
-            .iter()
-            .zip(noisy.labels())
-            .filter(|(a, b)| a != b)
-            .count();
+        let flipped = d.labels().iter().zip(noisy.labels()).filter(|(a, b)| a != b).count();
         let rate = flipped as f64 / d.len() as f64;
         assert!((rate - 0.2).abs() < 0.02, "flip rate {rate}");
         assert_eq!(d.records(), noisy.records(), "records must be untouched");

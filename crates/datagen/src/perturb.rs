@@ -5,9 +5,9 @@
 use ppdm_core::domain::Domain;
 use ppdm_core::error::Result;
 use ppdm_core::privacy::{noise_for_privacy, privacy_pct, NoiseKind};
-use ppdm_core::randomize::NoiseModel;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ppdm_core::randomize::{NoiseDensity, NoiseModel};
+use rand::Rng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::attribute::{Attribute, NUM_ATTRIBUTES};
@@ -69,13 +69,35 @@ impl PerturbPlan {
         out
     }
 
-    /// Perturbs every record of a dataset with a fresh seeded RNG. Labels
-    /// are preserved as-is.
+    /// Perturbs every record of a dataset deterministically from `seed`.
+    /// Labels are preserved as-is.
+    ///
+    /// Noise is generated in batch, one column per noisy attribute via
+    /// [`NoiseDensity::fill_noise`] with a per-attribute derived seed, and
+    /// the columns are filled across worker threads — each client-side
+    /// attribute stream is independent, so the batch is embarrassingly
+    /// parallel and the output depends only on `(plan, dataset, seed)`,
+    /// never on thread scheduling.
     pub fn perturb_dataset(&self, dataset: &Dataset, seed: u64) -> Dataset {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let n = dataset.len();
+        let noisy: Vec<Attribute> =
+            Attribute::ALL.into_iter().filter(|a| !self.model(*a).is_none()).collect();
+        let noise_columns: Vec<Vec<f64>> = noisy
+            .par_iter()
+            .map(|attr| {
+                let mut column = vec![0.0; n];
+                let model: &dyn NoiseDensity = self.model(*attr);
+                model.fill_noise(derive_seed(seed, attr.index()), &mut column);
+                column
+            })
+            .collect();
         let mut out = Dataset::empty();
-        for (record, label) in dataset.iter() {
-            out.push(self.perturb_record(record, &mut rng), label);
+        for (i, (record, label)) in dataset.iter().enumerate() {
+            let mut perturbed = *record;
+            for (attr, column) in noisy.iter().zip(&noise_columns) {
+                perturbed.set(*attr, record.get(*attr) + column[i]);
+            }
+            out.push(perturbed, label);
         }
         out
     }
@@ -83,6 +105,8 @@ impl PerturbPlan {
     /// Domain of the *perturbed* values of an attribute: the original
     /// domain expanded by the noise span. Reconstruction buckets observed
     /// values over this range.
+    ///
+    /// (See [`NoiseDensity::span`] for what "span" means per channel.)
     pub fn perturbed_domain(&self, attr: Attribute) -> Result<Domain> {
         let span = self.model(attr).span();
         if span == 0.0 {
@@ -90,6 +114,16 @@ impl PerturbPlan {
         }
         attr.domain().expanded(span)
     }
+}
+
+/// Derives the per-attribute noise-stream seed from the dataset seed.
+/// SplitMix64-style mixing so adjacent attribute indices land on
+/// uncorrelated streams.
+fn derive_seed(seed: u64, attr_index: usize) -> u64 {
+    let mut z = seed ^ (attr_index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -110,7 +144,8 @@ mod tests {
 
     #[test]
     fn for_privacy_hits_target_on_every_attribute() {
-        let plan = PerturbPlan::for_privacy(NoiseKind::Gaussian, 100.0, DEFAULT_CONFIDENCE).unwrap();
+        let plan =
+            PerturbPlan::for_privacy(NoiseKind::Gaussian, 100.0, DEFAULT_CONFIDENCE).unwrap();
         for attr in Attribute::ALL {
             let pct = plan.privacy_pct(attr, DEFAULT_CONFIDENCE).unwrap();
             assert!((pct - 100.0).abs() < 1e-6, "{attr}: {pct}");
@@ -130,7 +165,8 @@ mod tests {
     #[test]
     fn perturbation_noise_has_expected_moments() {
         let d = generate(20_000, LabelFunction::F1, 5);
-        let plan = PerturbPlan::for_privacy(NoiseKind::Gaussian, 100.0, DEFAULT_CONFIDENCE).unwrap();
+        let plan =
+            PerturbPlan::for_privacy(NoiseKind::Gaussian, 100.0, DEFAULT_CONFIDENCE).unwrap();
         let p = plan.perturb_dataset(&d, 6);
         let diffs: Vec<f64> = d
             .column(Attribute::Age)

@@ -67,10 +67,7 @@ fn extended_functions_are_not_degenerate() {
         let d = generate(20_000, f, 99);
         let [a, b] = d.class_counts();
         let frac = a as f64 / (a + b) as f64;
-        assert!(
-            (0.03..=0.97).contains(&frac),
-            "{f}: class A fraction {frac} is degenerate"
-        );
+        assert!((0.03..=0.97).contains(&frac), "{f}: class A fraction {frac} is degenerate");
     }
 }
 

@@ -64,12 +64,8 @@ impl Builder<'_> {
             self.nodes.push(Node::Leaf { class: 0, counts });
             let left = self.grow(left_lists, depth + 1);
             let right = self.grow(right_lists, depth + 1);
-            self.nodes[id as usize] = Node::Internal {
-                attr: split.attr as u8,
-                threshold: split.threshold,
-                left,
-                right,
-            };
+            self.nodes[id as usize] =
+                Node::Internal { attr: split.attr as u8, threshold: split.threshold, left, right };
             id
         } else {
             let class = if counts[0] >= counts[1] { 0 } else { 1 };
@@ -95,10 +91,7 @@ impl Builder<'_> {
     ) -> Option<Split> {
         let size = lists[0].len();
         let node_gini = gini(counts);
-        if depth >= self.config.max_depth
-            || size < self.config.min_split
-            || node_gini == 0.0
-        {
+        if depth >= self.config.max_depth || size < self.config.min_split || node_gini == 0.0 {
             return None;
         }
         let mut best: Option<Split> = None;
@@ -177,8 +170,8 @@ mod tests {
 
     #[test]
     fn pure_node_is_a_leaf() {
-        let m = FeatureMatrix::from_columns(vec![vec![1.0, 2.0, 3.0, 4.0]], vec![0, 0, 0, 0])
-            .unwrap();
+        let m =
+            FeatureMatrix::from_columns(vec![vec![1.0, 2.0, 3.0, 4.0]], vec![0, 0, 0, 0]).unwrap();
         let t = build_tree(&m, &small_config());
         assert_eq!(t.node_count(), 1);
         assert_eq!(t.predict_fn(|_| 0.0), 0);

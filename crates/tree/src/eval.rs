@@ -49,11 +49,7 @@ pub fn evaluate(tree: &DecisionTree, test: &Dataset) -> Evaluation {
     }
     let correct: usize = (0..NUM_CLASSES).map(|i| confusion[i][i]).sum();
     let n = test.len();
-    Evaluation {
-        accuracy: if n == 0 { 1.0 } else { correct as f64 / n as f64 },
-        confusion,
-        n,
-    }
+    Evaluation { accuracy: if n == 0 { 1.0 } else { correct as f64 / n as f64 }, confusion, n }
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 //! (The companion dissertation evaluates exactly this pairing.)
 
 use ppdm_core::error::Result;
-use ppdm_core::reconstruct::reconstruct;
+use ppdm_core::reconstruct::{shared_engine, ReconstructionJob};
 use ppdm_core::stats::Histogram;
 use ppdm_datagen::{Attribute, Class, Dataset, PerturbPlan, Record, NUM_CLASSES};
 
@@ -48,26 +48,48 @@ pub fn train_naive_bayes(
     ];
 
     let partitions = crate::trainer::attribute_partitions(perturbed.len(), config);
-    let mut likelihoods = Vec::with_capacity(Attribute::ALL.len());
+    // The `attributes x classes` reconstructions are independent: submit
+    // them as one engine batch (classes of an attribute share its cached
+    // likelihood kernel); empty or noise-free cells are filled directly.
+    let engine = shared_engine();
+    let mut direct: Vec<Vec<Option<Histogram>>> =
+        vec![vec![None; NUM_CLASSES]; Attribute::ALL.len()];
+    let mut targets: Vec<(usize, usize)> = Vec::new();
+    let mut jobs: Vec<ReconstructionJob<'_>> = Vec::new();
     for attr in Attribute::ALL {
         let model = plan.model(attr);
         let partition = partitions[attr.index()];
-        let mut per_class: Vec<Histogram> = Vec::with_capacity(NUM_CLASSES);
         for class in Class::ALL {
             let values = perturbed.column_for_class(attr, class);
-            let histogram = if values.is_empty() {
-                Histogram::new_zero(partition)
+            if values.is_empty() {
+                direct[attr.index()][class.index()] = Some(Histogram::new_zero(partition));
             } else if model.is_none() {
-                Histogram::from_values(partition, &values)
+                direct[attr.index()][class.index()] =
+                    Some(Histogram::from_values(partition, &values));
             } else {
-                reconstruct(model, partition, &values, &config.reconstruction)?.histogram
-            };
+                targets.push((attr.index(), class.index()));
+                jobs.push(ReconstructionJob::owned(
+                    model,
+                    partition,
+                    values,
+                    config.reconstruction,
+                ));
+            }
+        }
+    }
+    for (&(attr, class), result) in targets.iter().zip(engine.reconstruct_many(&jobs)) {
+        direct[attr][class] = Some(result?.histogram);
+    }
+
+    let mut likelihoods = Vec::with_capacity(Attribute::ALL.len());
+    for (attr, per_class_hists) in direct.into_iter().enumerate() {
+        let partition = partitions[attr];
+        let mut per_class: Vec<Histogram> = Vec::with_capacity(NUM_CLASSES);
+        for histogram in per_class_hists {
+            let histogram = histogram.expect("every (attribute, class) cell filled");
             // Smooth and normalize to probabilities.
-            let smoothed: Vec<f64> =
-                histogram.masses().iter().map(|m| m + SMOOTHING).collect();
-            per_class.push(
-                Histogram::from_mass(partition, smoothed)?.scaled_to(1.0)?,
-            );
+            let smoothed: Vec<f64> = histogram.masses().iter().map(|m| m + SMOOTHING).collect();
+            per_class.push(Histogram::from_mass(partition, smoothed)?.scaled_to(1.0)?);
         }
         let pair: [Histogram; NUM_CLASSES] =
             per_class.try_into().expect("exactly NUM_CLASSES histograms");
@@ -99,8 +121,7 @@ impl NaiveBayes {
         if test.is_empty() {
             return 1.0;
         }
-        let correct =
-            test.iter().filter(|(record, label)| self.predict(record) == *label).count();
+        let correct = test.iter().filter(|(record, label)| self.predict(record) == *label).count();
         correct as f64 / test.len() as f64
     }
 }

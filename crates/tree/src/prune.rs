@@ -25,8 +25,8 @@ pub fn pessimistic_error_rate(n: f64, e: f64, cf: f64) -> f64 {
     let z = normal_quantile(1.0 - cf.clamp(1e-9, 0.5));
     let f = e / n;
     let z2 = z * z;
-    let upper = (f + z2 / (2.0 * n) + z * (f / n - f * f / n + z2 / (4.0 * n * n)).sqrt())
-        / (1.0 + z2 / n);
+    let upper =
+        (f + z2 / (2.0 * n) + z * (f / n - f * f / n + z2 / (4.0 * n * n)).sqrt()) / (1.0 + z2 / n);
     upper.min(1.0)
 }
 
@@ -111,8 +111,7 @@ fn reorder(scratch: &[Node], root: usize, out: &mut Vec<Node>) -> u32 {
             out.push(scratch[root]); // placeholder, patched below
             let new_left = reorder(scratch, left as usize, out);
             let new_right = reorder(scratch, right as usize, out);
-            out[id as usize] =
-                Node::Internal { attr, threshold, left: new_left, right: new_right };
+            out[id as usize] = Node::Internal { attr, threshold, left: new_left, right: new_right };
             id
         }
     }

@@ -25,11 +25,8 @@ pub fn apportion(mass: &[f64], total: usize) -> Vec<usize> {
     let scaled: Vec<f64> = mass.iter().map(|m| m * total as f64 / mass_total).collect();
     let mut counts: Vec<usize> = scaled.iter().map(|s| s.floor() as usize).collect();
     let assigned: usize = counts.iter().sum();
-    let mut leftovers: Vec<(usize, f64)> = scaled
-        .iter()
-        .enumerate()
-        .map(|(i, s)| (i, s - s.floor()))
-        .collect();
+    let mut leftovers: Vec<(usize, f64)> =
+        scaled.iter().enumerate().map(|(i, s)| (i, s - s.floor())).collect();
     // Largest fractional parts win the remaining units; ties break toward
     // lower indices for determinism.
     leftovers.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite remainders").then(a.0.cmp(&b.0)));
@@ -110,7 +107,7 @@ mod tests {
     #[test]
     fn reassign_respects_rank_order() {
         let p = part(4); // cells [0,25),[25,50),[50,75),[75,100]
-        // Reconstructed: half the mass in cell 0, half in cell 3.
+                         // Reconstructed: half the mass in cell 0, half in cell 3.
         let hist = Histogram::from_mass(p, vec![2.0, 0.0, 0.0, 2.0]).unwrap();
         // Perturbed values out of order; the two smallest (-3, 40) must get
         // cell 0's midpoint (12.5), the two largest (55, 90) cell 3's (87.5).

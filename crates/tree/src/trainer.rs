@@ -13,7 +13,9 @@
 
 use ppdm_core::domain::{suggested_cells, Partition};
 use ppdm_core::error::{Error, Result};
-use ppdm_core::reconstruct::{reconstruct, ReconstructionConfig};
+use ppdm_core::reconstruct::{
+    shared_engine, ReconstructionConfig, ReconstructionEngine, ReconstructionJob,
+};
 use ppdm_datagen::{Attribute, Class, Dataset, PerturbPlan, NUM_CLASSES};
 use serde::{Deserialize, Serialize};
 
@@ -117,24 +119,41 @@ pub fn train(
             Ok(build_tree(&FeatureMatrix::from_dataset(perturbed), &config.tree))
         }
         TrainingAlgorithm::Global => {
+            // The process-wide engine: repeated train() calls (privacy
+            // sweeps, ablations) reuse each attribute's cached kernel.
+            let engine = shared_engine();
             let mut matrix = FeatureMatrix::from_dataset(perturbed);
             let partitions = attribute_partitions(perturbed.len(), config);
-            for attr in Attribute::ALL {
-                let model = plan.model(attr);
-                if model.is_none() {
-                    continue;
-                }
-                let col = matrix.column(attr.index()).to_vec();
-                let recon =
-                    reconstruct(model, partitions[attr.index()], &col, &config.reconstruction)?;
-                matrix.replace_column(attr.index(), reassign_to_midpoints(&col, &recon.histogram));
+            // One reconstruction job per noisy attribute, fanned across
+            // worker threads by the engine.
+            let noisy: Vec<usize> = Attribute::ALL
+                .iter()
+                .filter(|a| !plan.model(**a).is_none())
+                .map(|a| a.index())
+                .collect();
+            let jobs: Vec<ReconstructionJob<'_>> = noisy
+                .iter()
+                .map(|&attr| {
+                    ReconstructionJob::owned(
+                        plan.model(Attribute::from_index(attr).expect("valid index")),
+                        partitions[attr],
+                        matrix.column(attr).to_vec(),
+                        config.reconstruction,
+                    )
+                })
+                .collect();
+            let results = engine.reconstruct_many(&jobs);
+            for ((&attr, job), result) in noisy.iter().zip(&jobs).zip(results) {
+                let recon = result?;
+                matrix.replace_column(attr, reassign_to_midpoints(&job.observed, &recon.histogram));
             }
             Ok(build_tree(&matrix, &config.tree))
         }
         TrainingAlgorithm::ByClass => {
+            let engine = shared_engine();
             let mut matrix = FeatureMatrix::from_dataset(perturbed);
             let partitions = attribute_partitions(perturbed.len(), config);
-            let columns = byclass_columns(&matrix, plan, &partitions, config)?;
+            let columns = byclass_columns(engine, &matrix, plan, &partitions, config)?;
             for (attr, col) in columns.into_iter().enumerate() {
                 matrix.replace_column(attr, col);
             }
@@ -153,8 +172,7 @@ pub(crate) fn attribute_partitions(n: usize, config: &TrainerConfig) -> Vec<Part
             // (capped at the base granularity); continuous attributes get
             // the base cell count.
             let cells = a.distinct_values().map_or(base, |k| k.min(base));
-            Partition::new(a.partition_domain(), cells)
-                .expect("static attribute domains are valid")
+            Partition::new(a.partition_domain(), cells).expect("static attribute domains are valid")
         })
         .collect()
 }
@@ -163,7 +181,13 @@ pub(crate) fn attribute_partitions(n: usize, config: &TrainerConfig) -> Vec<Part
 /// reconstruct the distribution and reassign the class's perturbed values
 /// onto interval midpoints by order statistics. Noise-free attributes pass
 /// through unchanged.
+///
+/// The `attributes x classes` problems are independent, so they are
+/// submitted as one [`ReconstructionEngine::reconstruct_many`] batch: the
+/// engine fans them across worker threads and all classes of an attribute
+/// share that attribute's cached likelihood kernel.
 fn byclass_columns(
+    engine: &ReconstructionEngine,
     matrix: &FeatureMatrix,
     plan: &PerturbPlan,
     partitions: &[Partition],
@@ -172,28 +196,40 @@ fn byclass_columns(
     let labels = matrix.labels();
     let mut columns: Vec<Vec<f64>> =
         (0..matrix.attrs()).map(|a| matrix.column(a).to_vec()).collect();
+    // Rows per class, shared by every attribute's job set.
+    let class_rows: Vec<Vec<usize>> = Class::ALL
+        .iter()
+        .map(|class| (0..labels.len()).filter(|&i| labels[i] as usize == class.index()).collect())
+        .collect();
+    let mut targets: Vec<(usize, &[usize])> = Vec::new();
+    let mut jobs: Vec<ReconstructionJob<'_>> = Vec::new();
     for attr in Attribute::ALL {
         let model = plan.model(attr);
         if model.is_none() {
             continue;
         }
         let col = matrix.column(attr.index());
-        let mut new_col = col.to_vec();
-        for class in Class::ALL {
-            let rows: Vec<usize> =
-                (0..labels.len()).filter(|&i| labels[i] as usize == class.index()).collect();
+        for rows in &class_rows {
             if rows.is_empty() {
                 continue;
             }
             let vals: Vec<f64> = rows.iter().map(|&i| col[i]).collect();
-            let recon =
-                reconstruct(model, partitions[attr.index()], &vals, &config.reconstruction)?;
-            let reassigned = reassign_to_midpoints(&vals, &recon.histogram);
-            for (&row, v) in rows.iter().zip(reassigned) {
-                new_col[row] = v;
-            }
+            targets.push((attr.index(), rows));
+            jobs.push(ReconstructionJob::owned(
+                model,
+                partitions[attr.index()],
+                vals,
+                config.reconstruction,
+            ));
         }
-        columns[attr.index()] = new_col;
+    }
+    let results = engine.reconstruct_many(&jobs);
+    for ((&(attr, rows), job), result) in targets.iter().zip(&jobs).zip(results) {
+        let recon = result?;
+        let reassigned = reassign_to_midpoints(&job.observed, &recon.histogram);
+        for (&row, v) in rows.iter().zip(reassigned) {
+            columns[attr][row] = v;
+        }
     }
     Ok(columns)
 }
@@ -227,9 +263,13 @@ fn train_local(
     // full domain (which would squeeze their mass toward the edges).
     let regions: Vec<(f64, f64)> =
         base.iter().map(|p| (p.domain().lo(), p.domain().hi())).collect();
-    let byclass = byclass_columns(&matrix, plan, &base, config)?;
+    // The shared engine: untruncated nodes re-reconstruct over the root
+    // partitions, so their likelihood kernels are computed once and reused
+    // by every node, class, and subsequent train() call.
+    let engine = shared_engine();
+    let byclass = byclass_columns(engine, &matrix, plan, &base, config)?;
     let mut builder =
-        LocalBuilder { matrix: &matrix, plan, base, byclass, config, nodes: Vec::new() };
+        LocalBuilder { engine, matrix: &matrix, plan, base, byclass, config, nodes: Vec::new() };
     let mut class_rows: [Vec<u32>; NUM_CLASSES] = [Vec::new(), Vec::new()];
     for r in 0..n as u32 {
         class_rows[matrix.label(r as usize) as usize].push(r);
@@ -243,6 +283,9 @@ fn train_local(
 }
 
 struct LocalBuilder<'a> {
+    /// Shared engine: caches per-partition likelihood kernels across nodes
+    /// and fans each node's per-attribute, per-class jobs in one batch.
+    engine: &'static ReconstructionEngine,
     matrix: &'a FeatureMatrix,
     plan: &'a PerturbPlan,
     /// Root-level partition per attribute; node regions reuse its cell width.
@@ -344,7 +387,11 @@ impl LocalBuilder<'_> {
         // would manufacture class-separating artifacts.
         let use_reconstruction = counts.iter().all(|&c| c >= self.config.local_min_rows);
 
-        let mut best: Option<DistSplit> = None;
+        // Phase 1: plan every attribute and gather the node's fresh
+        // reconstruction problems into one batch for the engine.
+        let mut plans: Vec<(Partition, bool)> = Vec::with_capacity(self.matrix.attrs());
+        let mut jobs: Vec<ReconstructionJob<'_>> = Vec::new();
+        let mut job_of: Vec<[Option<usize>; NUM_CLASSES]> = Vec::with_capacity(self.matrix.attrs());
         for (attr, &(lo, hi)) in regions.iter().enumerate().take(self.matrix.attrs()) {
             let attribute = Attribute::from_index(attr).expect("valid index");
             let full = self.base[attr].domain();
@@ -360,16 +407,36 @@ impl LocalBuilder<'_> {
             let model = self.plan.model(attribute);
             let fresh = use_reconstruction && untruncated && !model.is_none();
             let partition = self.region_partition(attr, lo, hi)?;
+            let mut slots = [None; NUM_CLASSES];
+            if fresh {
+                for (class, rows) in class_rows.iter().enumerate() {
+                    let vals: Vec<f64> =
+                        rows.iter().map(|&r| self.matrix.value(r as usize, attr)).collect();
+                    slots[class] = Some(jobs.len());
+                    jobs.push(ReconstructionJob::owned(
+                        model,
+                        partition,
+                        vals,
+                        self.config.reconstruction,
+                    ));
+                }
+            }
+            plans.push((partition, fresh));
+            job_of.push(slots);
+        }
+        let reconstructions =
+            self.engine.reconstruct_many(&jobs).into_iter().collect::<Result<Vec<_>>>()?;
+
+        // Phase 2: score every attribute's boundaries on the batched (or
+        // fallback) per-class masses.
+        let mut best: Option<DistSplit> = None;
+        for (attr, &(partition, fresh)) in plans.iter().enumerate() {
             // Per-class mass over the partition's cells.
             let mut masses: [Vec<f64>; NUM_CLASSES] = [Vec::new(), Vec::new()];
             for (class, rows) in class_rows.iter().enumerate() {
                 masses[class] = if fresh {
-                    let vals: Vec<f64> =
-                        rows.iter().map(|&r| self.matrix.value(r as usize, attr)).collect();
-                    reconstruct(model, partition, &vals, &self.config.reconstruction)?
-                        .histogram
-                        .masses()
-                        .to_vec()
+                    let slot = job_of[attr][class].expect("fresh attrs queued every class");
+                    reconstructions[slot].histogram.masses().to_vec()
                 } else {
                     let vals: Vec<f64> =
                         rows.iter().map(|&r| self.byclass[attr][r as usize]).collect();
@@ -419,8 +486,7 @@ impl LocalBuilder<'_> {
     /// width (so integer attributes keep integer-centered cells).
     fn region_partition(&self, attr: usize, lo: f64, hi: f64) -> Result<Partition> {
         let base = &self.base[attr];
-        let cells =
-            (((hi - lo) / base.cell_width()).round() as usize).clamp(1, base.len());
+        let cells = (((hi - lo) / base.cell_width()).round() as usize).clamp(1, base.len());
         Partition::new(ppdm_core::domain::Domain::new(lo, hi)?, cells)
     }
 }
@@ -488,8 +554,7 @@ mod tests {
     fn all_algorithms_produce_trees() {
         let s = setup(LabelFunction::F2, 50.0, 2_000, 2);
         for algo in TrainingAlgorithm::ALL {
-            let tree =
-                train(algo, Some(&s.train), &s.perturbed, &s.plan, &quick_config()).unwrap();
+            let tree = train(algo, Some(&s.train), &s.perturbed, &s.plan, &quick_config()).unwrap();
             assert!(tree.node_count() >= 1, "{algo} built an empty tree");
             let eval = evaluate(&tree, &s.test);
             assert!(eval.accuracy > 0.4, "{algo} accuracy {}", eval.accuracy);
@@ -499,9 +564,14 @@ mod tests {
     #[test]
     fn original_learns_f1_nearly_perfectly() {
         let s = setup(LabelFunction::F1, 100.0, 4_000, 3);
-        let tree =
-            train(TrainingAlgorithm::Original, Some(&s.train), &s.perturbed, &s.plan, &quick_config())
-                .unwrap();
+        let tree = train(
+            TrainingAlgorithm::Original,
+            Some(&s.train),
+            &s.perturbed,
+            &s.plan,
+            &quick_config(),
+        )
+        .unwrap();
         let eval = evaluate(&tree, &s.test);
         assert!(eval.accuracy > 0.98, "accuracy {}", eval.accuracy);
     }
@@ -557,11 +627,9 @@ mod tests {
                 .unwrap();
             evaluate(&t, &test_d).accuracy
         };
-        for algo in [
-            TrainingAlgorithm::Randomized,
-            TrainingAlgorithm::Global,
-            TrainingAlgorithm::ByClass,
-        ] {
+        for algo in
+            [TrainingAlgorithm::Randomized, TrainingAlgorithm::Global, TrainingAlgorithm::ByClass]
+        {
             let t = train(algo, None, &perturbed, &plan, &cfg).unwrap();
             let acc = evaluate(&t, &test_d).accuracy;
             assert!(
@@ -576,8 +644,8 @@ mod tests {
         // Below local_min_rows everywhere: Local degenerates to the root
         // assignment without panicking.
         let s = setup(LabelFunction::F1, 50.0, 150, 8);
-        let tree = train(TrainingAlgorithm::Local, None, &s.perturbed, &s.plan, &quick_config())
-            .unwrap();
+        let tree =
+            train(TrainingAlgorithm::Local, None, &s.perturbed, &s.plan, &quick_config()).unwrap();
         assert!(tree.node_count() >= 1);
     }
 

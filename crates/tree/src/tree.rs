@@ -164,9 +164,8 @@ impl DecisionTree {
                 out.push_str(&format!("{pad}-> {class} (A: {}, B: {})\n", counts[0], counts[1]));
             }
             Node::Internal { attr, threshold, left, right } => {
-                let name = Attribute::from_index(attr as usize)
-                    .map(|a| a.name())
-                    .unwrap_or("attr?");
+                let name =
+                    Attribute::from_index(attr as usize).map(|a| a.name()).unwrap_or("attr?");
                 out.push_str(&format!("{pad}{name} < {threshold:.2}?\n"));
                 self.render_node(left as usize, indent + 1, out);
                 out.push_str(&format!("{pad}{name} >= {threshold:.2}?\n"));

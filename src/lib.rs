@@ -9,7 +9,9 @@
 //! This facade re-exports the three library crates:
 //!
 //! * [`core`] ([`ppdm_core`]) — randomization operators, the
-//!   confidence-interval privacy metric, distribution reconstruction.
+//!   confidence-interval privacy metric, and distribution reconstruction
+//!   built around a batched, kernel-caching
+//!   [`ReconstructionEngine`](ppdm_core::reconstruct::ReconstructionEngine).
 //! * [`datagen`] ([`ppdm_datagen`]) — the AIS92 synthetic benchmark the
 //!   paper evaluates on, plus dataset perturbation.
 //! * [`tree`] ([`ppdm_tree`]) — gini decision trees and the five training
@@ -37,8 +39,10 @@ pub mod prelude {
     pub use ppdm_core::privacy::{
         interval_width, noise_for_privacy, privacy_pct, NoiseKind, DEFAULT_CONFIDENCE,
     };
-    pub use ppdm_core::randomize::NoiseModel;
-    pub use ppdm_core::reconstruct::{reconstruct, ReconstructionConfig, StoppingRule};
+    pub use ppdm_core::randomize::{NoiseDensity, NoiseModel};
+    pub use ppdm_core::reconstruct::{
+        reconstruct, ReconstructionConfig, ReconstructionEngine, ReconstructionJob, StoppingRule,
+    };
     pub use ppdm_core::stats::Histogram;
     pub use ppdm_core::{Error, Result};
     pub use ppdm_datagen::{

@@ -31,10 +31,7 @@ fn estimated_supports_match_truth_within_sampling_error() {
     for itemset in [vec![1u32], vec![1, 2], vec![5, 6, 7]] {
         let truth = db.support(&itemset);
         let est = estimated_support(&randomized, &itemset, &randomizer).expect("estimable");
-        assert!(
-            (est - truth).abs() < 0.02,
-            "{itemset:?}: true {truth}, estimated {est}"
-        );
+        assert!((est - truth).abs() < 0.02, "{itemset:?}: true {truth}, estimated {est}");
     }
 }
 

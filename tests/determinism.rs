@@ -10,8 +10,7 @@ fn generation_perturbation_training_are_deterministic() {
         let plan = PerturbPlan::for_privacy(NoiseKind::Gaussian, 75.0, DEFAULT_CONFIDENCE)
             .expect("valid privacy");
         let perturbed = plan.perturb_dataset(&train_d, 12);
-        let mut cfg =
-            TrainerConfig { cells_override: Some(20), ..TrainerConfig::default() };
+        let mut cfg = TrainerConfig { cells_override: Some(20), ..TrainerConfig::default() };
         cfg.reconstruction.max_iterations = 300;
         let tree = train(TrainingAlgorithm::ByClass, None, &perturbed, &plan, &cfg)
             .expect("training succeeds");

@@ -39,13 +39,11 @@ fn original_is_the_upper_baseline() {
     let b = bench(LabelFunction::F2, 100.0, 12_000, 1);
     let original = accuracy(&b, TrainingAlgorithm::Original);
     assert!(original > 0.97, "Original should be near-perfect, got {original}");
-    for algo in [TrainingAlgorithm::Randomized, TrainingAlgorithm::ByClass, TrainingAlgorithm::Local]
+    for algo in
+        [TrainingAlgorithm::Randomized, TrainingAlgorithm::ByClass, TrainingAlgorithm::Local]
     {
         let acc = accuracy(&b, algo);
-        assert!(
-            acc <= original + 0.01,
-            "{algo} ({acc}) cannot beat Original ({original})"
-        );
+        assert!(acc <= original + 0.01, "{algo} ({acc}) cannot beat Original ({original})");
     }
 }
 
@@ -68,10 +66,7 @@ fn local_tracks_byclass() {
     let b = bench(LabelFunction::F2, 100.0, 12_000, 4);
     let byclass = accuracy(&b, TrainingAlgorithm::ByClass);
     let local = accuracy(&b, TrainingAlgorithm::Local);
-    assert!(
-        (byclass - local).abs() < 0.08,
-        "Local ({local}) should track ByClass ({byclass})"
-    );
+    assert!((byclass - local).abs() < 0.08, "Local ({local}) should track ByClass ({byclass})");
 }
 
 #[test]
@@ -110,8 +105,14 @@ fn accuracy_degrades_with_privacy() {
 fn trees_use_relevant_attributes() {
     // On clean data the tree must split only on the function's inputs.
     let b = bench(LabelFunction::F3, 25.0, 8_000, 7);
-    let tree = train(TrainingAlgorithm::Original, Some(&b.train_d), &b.perturbed, &b.plan, &quick_config())
-        .expect("training succeeds");
+    let tree = train(
+        TrainingAlgorithm::Original,
+        Some(&b.train_d),
+        &b.perturbed,
+        &b.plan,
+        &quick_config(),
+    )
+    .expect("training succeeds");
     let relevant: Vec<usize> =
         LabelFunction::F3.relevant_attributes().iter().map(|a| a.index()).collect();
     for attr in tree.used_attributes() {

@@ -8,8 +8,8 @@ use ppdm::prelude::*;
 fn plan_hits_requested_privacy_on_all_attributes() {
     for kind in [NoiseKind::Uniform, NoiseKind::Gaussian] {
         for target in [10.0, 25.0, 50.0, 100.0, 200.0] {
-            let plan = PerturbPlan::for_privacy(kind, target, DEFAULT_CONFIDENCE)
-                .expect("valid target");
+            let plan =
+                PerturbPlan::for_privacy(kind, target, DEFAULT_CONFIDENCE).expect("valid target");
             for attr in Attribute::ALL {
                 let achieved = plan.privacy_pct(attr, DEFAULT_CONFIDENCE).expect("valid plan");
                 assert!(

@@ -1,0 +1,207 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmarking harness with the same API shape as
+//! criterion's common subset (`criterion_group!`/`criterion_main!`,
+//! `bench_function`, `benchmark_group`, `bench_with_input`,
+//! `BenchmarkId`), so bench sources compile and run unchanged. It prints
+//! one line per benchmark (mean wall-clock time per iteration) instead of
+//! criterion's statistical report. Benches must set `harness = false`.
+//!
+//! Tuning via environment variables: `BENCH_TARGET_MS` (measurement
+//! budget per benchmark, default 300) and `BENCH_MAX_ITERS`
+//! (cap, default 50).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only form (the group supplies the function name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs closures under a measurement loop.
+pub struct Bencher {
+    target: Duration,
+    max_iters: u64,
+    /// Mean time per iteration of the last `iter` call.
+    last_mean: Option<Duration>,
+}
+
+impl Bencher {
+    fn new(target: Duration, max_iters: u64) -> Self {
+        Bencher { target, max_iters, last_mean: None }
+    }
+
+    /// Times `f`, first estimating its cost with one warmup call, then
+    /// running as many iterations as fit the measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warmup_started = Instant::now();
+        black_box(f());
+        let one = warmup_started.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.target.as_nanos() / one.as_nanos()).clamp(1, self.max_iters as u128);
+        let started = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.last_mean = Some(started.elapsed() / iters as u32);
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    target: Duration,
+    max_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            target: Duration::from_millis(env_u64("BENCH_TARGET_MS", 300)),
+            max_iters: env_u64("BENCH_MAX_ITERS", 50),
+        }
+    }
+}
+
+impl Criterion {
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher::new(self.target, self.max_iters);
+        f(&mut bencher);
+        match bencher.last_mean {
+            Some(mean) => println!("bench {id:<55} {mean:>12.2?}/iter"),
+            None => println!("bench {id:<55} (no measurement)"),
+        }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_one(id, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion compatibility; the stand-in sizes its
+    /// measurement loop from the time budget instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks one case of the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run_one(&id, &mut f);
+        self
+    }
+
+    /// Benchmarks one case with an explicit input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&id, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion { target: Duration::from_millis(5), max_iters: 10 };
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        assert!(ran >= 2, "warmup + at least one measured iteration");
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion { target: Duration::from_millis(2), max_iters: 3 };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("a", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::from_parameter(42), &42u32, |b, &n| b.iter(|| n * 2));
+        group.finish();
+    }
+}

@@ -1,0 +1,283 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset of `rand`'s API it actually uses: [`RngCore`], [`Rng`]
+//! (`gen_range`, `gen_bool`), [`SeedableRng::seed_from_u64`], and
+//! [`rngs::StdRng`]. The generator is xoshiro256++ seeded via SplitMix64 —
+//! a different stream than upstream `StdRng` (ChaCha12), but with the same
+//! reproducibility contract: identical seeds yield identical sequences.
+
+#![forbid(unsafe_code)]
+
+/// The core of a random number generator: a source of `u64`s.
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from the given (half-open or inclusive) range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} outside [0, 1]");
+        unit_f64(self) < p
+    }
+
+    /// Samples a value from the type's standard distribution
+    /// (`[0, 1)` for floats, uniform for integers and bool).
+    fn gen<T: SampleStandard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+}
+
+/// Types with a standard distribution for [`Rng::gen`].
+pub trait SampleStandard {
+    /// Draws one standard sample.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl SampleStandard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng) as f32
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl SampleStandard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl SampleStandard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A uniform draw from `[0, 1)` with 53 bits of precision.
+#[inline]
+pub(crate) fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // 2^-53; the standard conversion of the top 53 bits.
+    (rng.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+}
+
+/// A generator that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a single `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform range sampling, mirroring `rand::distributions::uniform`.
+pub mod distributions {
+    /// Range-sampling traits.
+    pub mod uniform {
+        use crate::{unit_f64, RngCore};
+        use std::ops::{Range, RangeInclusive};
+
+        /// A range that a uniform value of type `T` can be drawn from.
+        pub trait SampleRange<T> {
+            /// Draws one uniform sample from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl SampleRange<f64> for Range<f64> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+                assert!(self.start < self.end, "empty f64 range");
+                let v = self.start + (self.end - self.start) * unit_f64(rng);
+                // Guard the pathological rounding case v == end.
+                if v >= self.end {
+                    self.start
+                } else {
+                    v
+                }
+            }
+        }
+
+        impl SampleRange<f64> for RangeInclusive<f64> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty f64 range");
+                lo + (hi - lo) * unit_f64(rng)
+            }
+        }
+
+        impl SampleRange<f32> for Range<f32> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+                (Range { start: self.start as f64, end: self.end as f64 }).sample_single(rng) as f32
+            }
+        }
+
+        /// Draws uniformly from `[0, span)` without modulo bias worth
+        /// caring about (widening-multiply method).
+        #[inline]
+        fn below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+            ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+        }
+
+        macro_rules! int_ranges {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "empty integer range");
+                        let span = (self.end as i128 - self.start as i128) as u128 as u64;
+                        (self.start as i128 + below(rng, span) as i128) as $t
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "empty integer range");
+                        let span = (hi as i128 - lo as i128) as u128 as u64;
+                        if span == u64::MAX {
+                            return rng.next_u64() as $t;
+                        }
+                        (lo as i128 + below(rng, span + 1) as i128) as $t
+                    }
+                }
+            )*};
+        }
+
+        int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use crate::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_by_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0.0..1.0f64), b.gen_range(0.0..1.0f64));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen_range(0u64..u64::MAX), c.gen_range(0u64..u64::MAX));
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-3.0..5.0);
+            assert!((-3.0..5.0).contains(&v));
+            let w: f64 = rng.gen_range(0.0..=1.0);
+            assert!((0.0..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn int_ranges_hit_all_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 9];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(1..=9);
+            seen[(v - 1) as usize] = true;
+            let u: usize = rng.gen_range(0..4);
+            assert!(u < 4);
+        }
+        assert!(seen.iter().all(|s| *s), "inclusive range must reach every value");
+    }
+
+    #[test]
+    fn gen_bool_rate_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn mean_and_variance_are_uniform() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs: Vec<f64> = (0..100_000).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+        assert!((var - 1.0 / 12.0).abs() < 0.005, "var {var}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Offline stand-in for `rand_distr`: the [`Distribution`] trait and a
+//! Box-Muller [`Normal`] distribution, which is all this workspace uses.
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng, RngCore};
+
+/// Types that can produce samples of `T` from a source of randomness.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a [`Normal`] distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invalid normal distribution parameters")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// A normal (Gaussian) distribution with the given mean and standard
+/// deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates the distribution; `std_dev` must be finite and non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, NormalError> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box-Muller. u1 is mapped into (0, 1] so the log is finite.
+        let u1: f64 = 1.0 - rng.gen_range(0.0..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn moments_match() {
+        let normal = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let xs: Vec<f64> = (0..200_000).map(|_| normal.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.02, "std {}", var.sqrt());
+    }
+}

@@ -1,0 +1,157 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the narrow slice-parallelism surface this workspace uses —
+//! `par_iter().map(f).collect::<Vec<_>>()`, [`join`], and
+//! [`current_num_threads`] — on top of `std::thread::scope`. Work is split
+//! into one contiguous chunk per available core; results are returned in
+//! input order. There is no work-stealing pool: jobs here are coarse
+//! (whole reconstruction problems), so chunked scoped threads capture
+//! virtually all of the available speedup without any unsafe code or
+//! global state.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel operation will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        (ra, rb)
+    })
+}
+
+/// Parallel iterator facade.
+pub mod iter {
+    /// `.par_iter()` on slice-like containers.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Element type yielded by the parallel iterator.
+        type Item: Sync + 'data;
+
+        /// Returns an ordered parallel iterator over references.
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = T;
+
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = T;
+
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// An ordered parallel iterator over `&T`.
+    pub struct ParIter<'data, T> {
+        items: &'data [T],
+    }
+
+    impl<'data, T: Sync> ParIter<'data, T> {
+        /// Maps each element through `f` in parallel.
+        pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+        where
+            R: Send,
+            F: Fn(&'data T) -> R + Sync,
+        {
+            ParMap { items: self.items, f }
+        }
+    }
+
+    /// The result of [`ParIter::map`]; terminal operations run the work.
+    pub struct ParMap<'data, T, F> {
+        items: &'data [T],
+        f: F,
+    }
+
+    impl<'data, T: Sync, F> ParMap<'data, T, F> {
+        /// Runs the map in parallel and collects results in input order.
+        pub fn collect<R, C>(self) -> C
+        where
+            R: Send,
+            F: Fn(&'data T) -> R + Sync,
+            C: FromIterator<R>,
+        {
+            // The indirection through `&T -> R` with `'data`-tied input
+            // references mirrors rayon's semantics for borrowed items.
+            let f = &self.f;
+            parallel_map_ref(self.items, f).into_iter().collect()
+        }
+    }
+
+    fn parallel_map_ref<'data, T, R, F>(items: &'data [T], f: &F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        let threads = super::current_num_threads().min(items.len()).max(1);
+        if threads <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let chunk = items.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        })
+    }
+}
+
+/// The customary glob import.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(ys, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let xs: Vec<u32> = Vec::new();
+        let ys: Vec<u32> = xs.par_iter().map(|x| x + 1).collect();
+        assert!(ys.is_empty());
+    }
+}

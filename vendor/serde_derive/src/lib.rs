@@ -1,0 +1,285 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the input
+//! `TokenStream` is walked by hand to extract the type's shape, and the
+//! generated impl is assembled as source text and re-parsed. Supported
+//! shapes — which cover every derive site in this workspace — are:
+//!
+//! * structs with named fields, and
+//! * enums whose variants are unit or have named fields.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving type.
+enum Shape {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum of unit and/or struct variants: `(variant, fields)`.
+    Enum { name: String, variants: Vec<(String, Vec<String>)> },
+}
+
+/// Skips one attribute (`#` already consumed ⇒ consume the `[...]` group).
+fn skip_attr(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        // Inner attribute `#![...]`.
+        if p.as_char() == '!' {
+            iter.next();
+        }
+    }
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+        other => panic!("malformed attribute near {other:?}"),
+    }
+}
+
+/// Extracts the field names from the token stream of a `{ ... }` body with
+/// named fields. Types are skipped by scanning to the next top-level comma
+/// (angle-bracket depth tracked; bracketed/parenthesized types arrive as
+/// single groups so they cannot leak commas).
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes and doc comments on the field.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    skip_attr(&mut iter);
+                }
+                _ => break,
+            }
+        }
+        // Skip a visibility modifier.
+        if let Some(TokenTree::Ident(id)) = iter.peek() {
+            if id.to_string() == "pub" {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+        }
+        let Some(tree) = iter.next() else { break };
+        let TokenTree::Ident(field) = tree else {
+            panic!("expected field identifier, found {tree:?}");
+        };
+        fields.push(field.to_string());
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{field}`, found {other:?}"),
+        }
+        // Skip the type up to the next comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        for tree in iter.by_ref() {
+            match &tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Extracts `(variant, fields)` pairs from an enum body.
+fn enum_variants(body: TokenStream) -> Vec<(String, Vec<String>)> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    skip_attr(&mut iter);
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = iter.next() else { break };
+        let TokenTree::Ident(variant) = tree else {
+            panic!("expected variant identifier, found {tree:?}");
+        };
+        let mut fields = Vec::new();
+        match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                fields = named_fields(g.stream());
+                iter.next();
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("tuple enum variants are not supported by the vendored serde derive");
+            }
+            _ => {}
+        }
+        variants.push((variant.to_string(), fields));
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            other => panic!("expected `,` after variant, found {other:?}"),
+        }
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes and visibility before the struct/enum keyword.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                skip_attr(&mut iter);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("generic types are not supported by the vendored serde derive");
+    }
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "only brace-bodied types are supported by the vendored serde derive, found {other:?}"
+        ),
+    };
+    match keyword.as_str() {
+        "struct" => Shape::Struct { name, fields: named_fields(body) },
+        "enum" => Shape::Enum { name, variants: enum_variants(body) },
+        other => panic!("cannot derive for `{other}`"),
+    }
+}
+
+fn field_map(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::serialize(&{})),", access(f)))
+        .collect();
+    format!("::serde::Value::Map(vec![{}])", entries.join(""))
+}
+
+fn field_build(fields: &[String], source: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::deserialize({source}.get(\"{f}\").ok_or_else(|| \
+                 ::serde::DeError::new(\"missing field `{f}`\"))?)?,"
+            )
+        })
+        .collect()
+}
+
+/// Derives `serde::Serialize` (the vendored stand-in's trait).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let map = field_map(&fields, |f| format!("self.{f}"));
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{ {map} }}\n}}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(variant, fields)| {
+                    if fields.is_empty() {
+                        format!(
+                            "{name}::{variant} => ::serde::Value::Str(\"{variant}\".to_string()),"
+                        )
+                    } else {
+                        let bindings = fields.join(", ");
+                        let map = field_map(fields, |f| f.to_string());
+                        format!(
+                            "{name}::{variant} {{ {bindings} }} => ::serde::Value::Map(vec![(\
+                             \"{variant}\".to_string(), {map})]),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{ match self {{ {} }} }}\n}}",
+                arms.join("")
+            )
+        }
+    };
+    body.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (the vendored stand-in's trait).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let build = field_build(&fields, "v");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 if !matches!(v, ::serde::Value::Map(_)) {{\n\
+                 return ::std::result::Result::Err(::serde::DeError::new(\
+                 \"expected map for struct {name}\"));\n}}\n\
+                 ::std::result::Result::Ok({name} {{ {build} }})\n}}\n}}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, fields)| fields.is_empty())
+                .map(|(variant, _)| {
+                    format!("\"{variant}\" => ::std::result::Result::Ok({name}::{variant}),")
+                })
+                .collect();
+            let map_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, fields)| !fields.is_empty())
+                .map(|(variant, fields)| {
+                    let build = field_build(fields, "inner");
+                    format!(
+                        "\"{variant}\" => ::std::result::Result::Ok({name}::{variant} {{ {build} }}),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                 ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                 {unit}\n\
+                 other => ::std::result::Result::Err(::serde::DeError::new(format!(\
+                 \"unknown unit variant `{{other}}` for {name}\"))),\n}},\n\
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n\
+                 {map}\n\
+                 other => ::std::result::Result::Err(::serde::DeError::new(format!(\
+                 \"unknown variant `{{other}}` for {name}\"))),\n}}\n}},\n\
+                 other => ::std::result::Result::Err(::serde::DeError::new(format!(\
+                 \"expected variant of {name}, found {{other:?}}\"))),\n}}\n}}\n}}",
+                unit = unit_arms.join(""),
+                map = map_arms.join(""),
+            )
+        }
+    };
+    body.parse().expect("generated Deserialize impl parses")
+}
