@@ -1,0 +1,132 @@
+//! Streaming vs batch reconstruction: the perf story for the sharded
+//! ingestion + warm-start subsystem.
+//!
+//! Three comparisons at n in {10k, 100k} observations:
+//!
+//! * `cold_monolithic/*` — the baseline: one
+//!   `ReconstructionEngine::reconstruct` over the full sample (warm
+//!   kernel cache, so this is pure bucketing + iterate cost).
+//! * `ingest_merge/{shards}/*` — `ShardedAccumulator` ingestion of the
+//!   same sample as 16 batches across 1/4/8 shards plus the final merge:
+//!   the sharded pipeline's overhead versus a monolithic pass.
+//! * `solve_cold/*` vs `solve_warm/*` — after appending a 1% batch to an
+//!   already-solved sample, re-solve the merged statistics from the
+//!   uniform prior (cold) vs from the previous posterior (warm). The
+//!   warm solve must converge in strictly fewer EM iterations — asserted
+//!   here, not just measured.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppdm_core::domain::{Domain, Partition};
+use ppdm_core::randomize::NoiseModel;
+use ppdm_core::reconstruct::{
+    ReconstructionConfig, ReconstructionEngine, ShardedAccumulator, SuffStats,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn partition() -> Partition {
+    Partition::new(Domain::new(0.0, 100.0).unwrap(), 50).unwrap()
+}
+
+fn observed(n: usize, noise: &NoiseModel, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let originals: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
+    noise.perturb_all(&originals, &mut rng)
+}
+
+/// Splits a sample into 16 equal batches (the arrival granularity).
+fn batches(obs: &[f64]) -> Vec<Vec<f64>> {
+    let size = obs.len().div_ceil(16);
+    obs.chunks(size).map(<[f64]>::to_vec).collect()
+}
+
+fn bench_cold_monolithic(c: &mut Criterion) {
+    let noise = NoiseModel::gaussian(20.0).expect("static parameter");
+    let cfg = ReconstructionConfig::default();
+    let mut group = c.benchmark_group("streaming_vs_batch/cold_monolithic");
+    for n in [10_000usize, 100_000] {
+        let obs = observed(n, &noise, 1);
+        let engine = ReconstructionEngine::new();
+        engine.reconstruct(&noise, partition(), &obs, &cfg).expect("non-empty");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &obs, |b, obs| {
+            b.iter(|| engine.reconstruct(&noise, partition(), obs, &cfg).expect("non-empty"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sharded_ingest_merge(c: &mut Criterion) {
+    let noise = NoiseModel::gaussian(20.0).expect("static parameter");
+    let mut group = c.benchmark_group("streaming_vs_batch/ingest_merge");
+    for n in [10_000usize, 100_000] {
+        let all = batches(&observed(n, &noise, 2));
+        for shards in [1usize, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{shards}_shards"), n),
+                &all,
+                |b, all| {
+                    b.iter(|| {
+                        let mut acc =
+                            ShardedAccumulator::new(&noise, partition(), shards).expect("geometry");
+                        acc.ingest_batches(all).expect("finite observations");
+                        acc.merged().expect("compatible shards")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_warm_vs_cold_solve(c: &mut Criterion) {
+    let noise = NoiseModel::gaussian(20.0).expect("static parameter");
+    let cfg = ReconstructionConfig::default();
+    let engine = ReconstructionEngine::new();
+    let mut group = c.benchmark_group("streaming_vs_batch/resolve_after_append");
+    for n in [10_000usize, 100_000] {
+        // Solve the base sample, then append a 1% batch.
+        let base = SuffStats::from_values(&noise, partition(), &observed(n, &noise, 3))
+            .expect("finite observations");
+        let posterior = engine
+            .reconstruct_stats(&noise, &base, &cfg, None)
+            .expect("non-empty")
+            .histogram
+            .probabilities();
+        let mut appended = base;
+        appended.ingest(&observed(n / 100, &noise, 4)).expect("finite observations");
+
+        let cold = engine.reconstruct_stats(&noise, &appended, &cfg, None).expect("non-empty");
+        let warm =
+            engine.reconstruct_stats(&noise, &appended, &cfg, Some(&posterior)).expect("non-empty");
+        // The whole point of warm starts — and an acceptance gate, not
+        // just a measurement.
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm-start solve must take strictly fewer iterations (warm {}, cold {})",
+            warm.iterations,
+            cold.iterations
+        );
+        println!(
+            "resolve_after_append n={n}: cold {} iterations, warm {} iterations",
+            cold.iterations, warm.iterations
+        );
+
+        group.bench_with_input(BenchmarkId::new("solve_cold", n), &appended, |b, stats| {
+            b.iter(|| engine.reconstruct_stats(&noise, stats, &cfg, None).expect("non-empty"));
+        });
+        group.bench_with_input(BenchmarkId::new("solve_warm", n), &appended, |b, stats| {
+            b.iter(|| {
+                engine.reconstruct_stats(&noise, stats, &cfg, Some(&posterior)).expect("non-empty")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cold_monolithic,
+    bench_sharded_ingest_merge,
+    bench_warm_vs_cold_solve
+);
+criterion_main!(benches);

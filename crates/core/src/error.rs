@@ -59,6 +59,10 @@ pub enum Error {
         /// The caller-supplied category count.
         found: usize,
     },
+    /// Streaming sufficient statistics from incompatible shards (different
+    /// noise channels, partition geometries, or an invalid shard layout)
+    /// were combined.
+    ShardMismatch(String),
 }
 
 impl fmt::Display for Error {
@@ -83,6 +87,7 @@ impl fmt::Display for Error {
             Error::CategoryMismatch { expected, found } => {
                 write!(f, "expected {expected} categories, found {found}")
             }
+            Error::ShardMismatch(msg) => write!(f, "incompatible shards: {msg}"),
         }
     }
 }

@@ -58,6 +58,7 @@ pub use domain::{Domain, Partition};
 pub use error::{Error, Result};
 pub use randomize::{NoiseDensity, NoiseModel};
 pub use reconstruct::{
-    reconstruct, Reconstruction, ReconstructionConfig, ReconstructionEngine, ReconstructionJob,
+    reconstruct, IncrementalReconstructor, Reconstruction, ReconstructionConfig,
+    ReconstructionEngine, ReconstructionJob, ShardedAccumulator, SuffStats,
 };
 pub use stats::Histogram;

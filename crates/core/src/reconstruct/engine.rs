@@ -62,6 +62,7 @@ use crate::error::{Error, Result};
 use crate::randomize::{NoiseDensity, NoiseFingerprint};
 use crate::stats::Histogram;
 
+use super::streaming::SuffStats;
 use super::{LikelihoodKernel, Reconstruction, ReconstructionConfig, UpdateMode};
 
 /// Cache key of a likelihood kernel: channel identity + partition
@@ -188,6 +189,17 @@ impl RowSource<'_> {
     }
 }
 
+/// What a [`ReconstructionJob`] reconstructs from: a raw perturbed sample
+/// or pre-bucketed streaming sufficient statistics.
+pub enum JobInput<'a> {
+    /// The perturbed observations themselves.
+    Sample(Cow<'a, [f64]>),
+    /// A [`SuffStats`] sketch (ingested locally or merged from shards).
+    /// Solved with the bucketed update regardless of the job's
+    /// `config.mode` — the sketch carries no per-observation information.
+    Stats(Cow<'a, SuffStats>),
+}
+
 /// One independent reconstruction problem for
 /// [`ReconstructionEngine::reconstruct_many`].
 pub struct ReconstructionJob<'a> {
@@ -195,8 +207,8 @@ pub struct ReconstructionJob<'a> {
     pub noise: &'a dyn NoiseDensity,
     /// Partition of the original attribute domain.
     pub partition: Partition,
-    /// The perturbed observations.
-    pub observed: Cow<'a, [f64]>,
+    /// The observations, raw or as sufficient statistics.
+    pub input: JobInput<'a>,
     /// Iteration parameters.
     pub config: ReconstructionConfig,
 }
@@ -209,7 +221,12 @@ impl<'a> ReconstructionJob<'a> {
         observed: &'a [f64],
         config: ReconstructionConfig,
     ) -> Self {
-        ReconstructionJob { noise, partition, observed: Cow::Borrowed(observed), config }
+        ReconstructionJob {
+            noise,
+            partition,
+            input: JobInput::Sample(Cow::Borrowed(observed)),
+            config,
+        }
     }
 
     /// A job owning its observations.
@@ -219,7 +236,42 @@ impl<'a> ReconstructionJob<'a> {
         observed: Vec<f64>,
         config: ReconstructionConfig,
     ) -> Self {
-        ReconstructionJob { noise, partition, observed: Cow::Owned(observed), config }
+        ReconstructionJob {
+            noise,
+            partition,
+            input: JobInput::Sample(Cow::Owned(observed)),
+            config,
+        }
+    }
+
+    /// A job owning a sufficient-statistics sketch; the solve partition is
+    /// the one the sketch was built over.
+    pub fn from_stats(
+        noise: &'a dyn NoiseDensity,
+        stats: SuffStats,
+        config: ReconstructionConfig,
+    ) -> Self {
+        let partition = stats.partition();
+        ReconstructionJob { noise, partition, input: JobInput::Stats(Cow::Owned(stats)), config }
+    }
+
+    /// A job borrowing a sufficient-statistics sketch.
+    pub fn borrowed_stats(
+        noise: &'a dyn NoiseDensity,
+        stats: &'a SuffStats,
+        config: ReconstructionConfig,
+    ) -> Self {
+        let partition = stats.partition();
+        ReconstructionJob { noise, partition, input: JobInput::Stats(Cow::Borrowed(stats)), config }
+    }
+
+    /// The raw observations, when the job carries a sample (stats jobs
+    /// have none).
+    pub fn observed(&self) -> Option<&[f64]> {
+        match &self.input {
+            JobInput::Sample(obs) => Some(obs),
+            JobInput::Stats(_) => None,
+        }
     }
 }
 
@@ -370,7 +422,7 @@ impl ReconstructionEngine {
                     }
                 }
                 let mut rows = RowSource::Matrix { matrix: &matrix, buckets: &buckets };
-                run_iterate(&pairs, &mut rows, m, observed.len() as f64, partition, config)
+                run_iterate(&pairs, &mut rows, m, observed.len() as f64, partition, config, None)
             }
             UpdateMode::Exact => {
                 let pairs: Vec<(f64, f64)> = observed.iter().map(|&w| (1.0, w)).collect();
@@ -396,26 +448,134 @@ impl ReconstructionEngine {
                         buf: vec![0.0; m],
                     }
                 };
-                run_iterate(&pairs, &mut rows, m, observed.len() as f64, partition, config)
+                run_iterate(&pairs, &mut rows, m, observed.len() as f64, partition, config, None)
             }
         }
     }
 
+    /// Reconstructs from streaming sufficient statistics, optionally
+    /// warm-starting EM from a previous posterior.
+    ///
+    /// With `initial: None` this is bit-identical to [`Self::reconstruct`]
+    /// in [`UpdateMode::Bucketed`] on any sample with these statistics
+    /// (the sketch is lossless for the bucketed update; `config.mode` is
+    /// ignored because per-observation rows no longer exist). A warm
+    /// start is floored away from zero and renormalized before use — EM
+    /// cannot revive an exactly-zero cell, and newly ingested data may
+    /// support cells the previous posterior had emptied.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoObservations`] on an empty sketch;
+    /// [`Error::ShardMismatch`] when `noise` does not match the channel
+    /// the sketch was built against; [`Error::InvalidMass`] for a
+    /// malformed `initial` vector.
+    pub fn reconstruct_stats(
+        &self,
+        noise: &dyn NoiseDensity,
+        stats: &SuffStats,
+        config: &ReconstructionConfig,
+        initial: Option<&[f64]>,
+    ) -> Result<Reconstruction> {
+        if stats.is_empty() {
+            return Err(Error::NoObservations);
+        }
+        if noise.fingerprint() != Some(stats.fingerprint()) {
+            return Err(Error::ShardMismatch(format!(
+                "channel fingerprint {:?} does not match the sketch's {:?}",
+                noise.fingerprint(),
+                stats.fingerprint()
+            )));
+        }
+        let partition = stats.partition();
+        let n = stats.count() as f64;
+        // Without noise the buckets are the original histogram.
+        if noise.is_identity() {
+            return Ok(Reconstruction {
+                histogram: Histogram::from_mass(partition, stats.counts().to_vec())?,
+                iterations: 0,
+                converged: true,
+            });
+        }
+        let m = partition.len();
+        let warm = initial.map(|probs| floored_prior(probs, m)).transpose()?;
+        let matrix = self.kernel_for(noise, partition, config.kernel)?;
+        debug_assert_eq!(
+            matrix.extended(),
+            stats.extended(),
+            "kernel and sketch extend the same partition by the same span"
+        );
+        let mut pairs = Vec::new();
+        let mut buckets = Vec::new();
+        for (s, &mass) in stats.counts().iter().enumerate() {
+            if mass > 0.0 {
+                pairs.push((mass, matrix.extended().midpoint(s)));
+                buckets.push(s);
+            }
+        }
+        let mut rows = RowSource::Matrix { matrix: &matrix, buckets: &buckets };
+        run_iterate(&pairs, &mut rows, m, n, partition, config, warm.as_deref())
+    }
+
     /// Runs a batch of independent problems across worker threads,
     /// returning results in job order. Each job computes exactly what
-    /// [`Self::reconstruct`] would serially; jobs sharing a `(noise,
-    /// partition, kernel)` geometry share one cached kernel.
+    /// [`Self::reconstruct`] (or, for stats-backed jobs,
+    /// [`Self::reconstruct_stats`] with no warm start) would serially;
+    /// jobs sharing a `(noise, partition, kernel)` geometry share one
+    /// cached kernel.
     pub fn reconstruct_many(&self, jobs: &[ReconstructionJob<'_>]) -> Vec<Result<Reconstruction>> {
         jobs.par_iter()
-            .map(|job| self.reconstruct(job.noise, job.partition, &job.observed, &job.config))
+            .map(|job| match &job.input {
+                JobInput::Sample(observed) => {
+                    self.reconstruct(job.noise, job.partition, observed, &job.config)
+                }
+                JobInput::Stats(stats) => {
+                    // The sketch is bound to its own partition; a job
+                    // hand-built with a different one (the constructors
+                    // make this impossible, the public fields don't) is a
+                    // geometry mismatch, not a silent override.
+                    if job.partition != stats.partition() {
+                        return Err(Error::ShardMismatch(format!(
+                            "job partition {:?} does not match the sketch's {:?}",
+                            job.partition,
+                            stats.partition()
+                        )));
+                    }
+                    self.reconstruct_stats(job.noise, stats, &job.config, None)
+                }
+            })
             .collect()
     }
+}
+
+/// Validates a warm-start prior: floors every cell at a tiny positive
+/// probability and renormalizes, so EM can move mass back into cells the
+/// previous posterior had emptied.
+fn floored_prior(probs: &[f64], m: usize) -> Result<Vec<f64>> {
+    const FLOOR: f64 = 1e-12;
+    if probs.len() != m {
+        return Err(Error::InvalidMass(format!(
+            "warm-start prior has {} cells, partition has {m}",
+            probs.len()
+        )));
+    }
+    if let Some(bad) = probs.iter().find(|p| !p.is_finite() || **p < 0.0) {
+        return Err(Error::InvalidMass(format!(
+            "warm-start prior entries must be finite and >= 0, got {bad}"
+        )));
+    }
+    let mut floored: Vec<f64> = probs.iter().map(|p| p.max(FLOOR)).collect();
+    let total: f64 = floored.iter().sum();
+    floored.iter_mut().for_each(|p| *p /= total);
+    Ok(floored)
 }
 
 /// The Bayes/EM iterate, shared by the matrix and streaming paths.
 ///
 /// The arithmetic (including summation order) is kept identical to the
 /// reference implementation so engine results are bit-for-bit equal.
+/// `initial` overrides the uniform starting estimate (warm starts from a
+/// previous posterior); callers must pass a normalized length-`m` vector.
 fn run_iterate(
     pairs: &[(f64, f64)],
     rows: &mut RowSource<'_>,
@@ -423,8 +583,12 @@ fn run_iterate(
     n: f64,
     partition: Partition,
     config: &ReconstructionConfig,
+    initial: Option<&[f64]>,
 ) -> Result<Reconstruction> {
-    let mut probs = vec![1.0 / m as f64; m];
+    let mut probs = match initial {
+        Some(prior) => prior.to_vec(),
+        None => vec![1.0 / m as f64; m],
+    };
     let mut scratch = vec![0.0f64; m];
     let mut iterations = 0;
     let mut converged = false;

@@ -32,14 +32,22 @@
 //! the paper-facing API stable. The original serial implementation is
 //! preserved as [`reconstruct_reference`] for equivalence testing and
 //! benchmarking.
+//!
+//! For workloads where the sample arrives in batches across shards rather
+//! than as one static slice, the [`streaming`] module provides mergeable
+//! sufficient statistics ([`SuffStats`]), shard-parallel ingestion
+//! ([`ShardedAccumulator`]), and warm-started incremental EM
+//! ([`IncrementalReconstructor`]).
 
 pub mod engine;
 mod reference;
 mod stopping;
+pub mod streaming;
 
-pub use engine::{shared_engine, KernelMatrix, ReconstructionEngine, ReconstructionJob};
+pub use engine::{shared_engine, JobInput, KernelMatrix, ReconstructionEngine, ReconstructionJob};
 pub use reference::reconstruct_reference;
 pub use stopping::{paper_chi_square_rule, StoppingRule};
+pub use streaming::{IncrementalReconstructor, ShardedAccumulator, SuffStats};
 
 use serde::{Deserialize, Serialize};
 

@@ -229,6 +229,39 @@ mod tests {
     }
 
     #[test]
+    fn zero_mass_mean_and_variance_are_defined() {
+        // A histogram with no mass must not divide by `total() == 0`:
+        // the mean falls back to the domain midpoint (consistent with
+        // `probabilities()` returning the uniform prior) and the variance
+        // to 0.0. Locked here so the degenerate path stays total.
+        let p = part(0.0, 10.0, 4);
+        let zero = Histogram::new_zero(p);
+        assert_eq!(zero.total(), 0.0);
+        assert_eq!(zero.mean(), 5.0);
+        assert_eq!(zero.variance(), 0.0);
+        assert!(zero.mean().is_finite() && zero.variance().is_finite());
+        // Same through the explicit-mass constructor.
+        let explicit = Histogram::from_mass(p, vec![0.0; 4]).unwrap();
+        assert_eq!(explicit.mean(), 5.0);
+        assert_eq!(explicit.variance(), 0.0);
+        // And from an empty value slice.
+        let from_empty = Histogram::from_values(p, &[]);
+        assert_eq!(from_empty.mean(), 5.0);
+        assert_eq!(from_empty.variance(), 0.0);
+    }
+
+    #[test]
+    fn zero_mass_cumulative_and_scaling_stay_finite() {
+        // The other derived quantities of the degenerate histogram.
+        let p = part(-2.0, 2.0, 3);
+        let zero = Histogram::new_zero(p);
+        assert_eq!(zero.cumulative(), vec![0.0, 0.0, 0.0]);
+        let scaled = zero.scaled_to(9.0).unwrap();
+        // Zero mass scales through the uniform prior.
+        assert_eq!(scaled.masses(), &[3.0, 3.0, 3.0]);
+    }
+
+    #[test]
     fn mean_of_symmetric_mass_is_domain_mid() {
         let p = part(0.0, 10.0, 5);
         let h = Histogram::from_mass(p, vec![1.0, 2.0, 3.0, 2.0, 1.0]).unwrap();

@@ -97,21 +97,16 @@ proptest! {
             .map(|(obs, cells, cfg_idx)| {
                 let noise: &dyn ppdm_core::NoiseDensity =
                     if cfg_idx % 2 == 0 { &noise_g } else { &noise_u };
-                ReconstructionJob {
-                    noise,
-                    partition: part(*cells),
-                    observed: std::borrow::Cow::Borrowed(obs.as_slice()),
-                    config: configs[*cfg_idx],
-                }
+                ReconstructionJob::borrowed(noise, part(*cells), obs.as_slice(), configs[*cfg_idx])
             })
             .collect();
         let engine = ReconstructionEngine::new();
         let batched = engine.reconstruct_many(&jobs);
         prop_assert_eq!(batched.len(), jobs.len());
         for (job, batched) in jobs.iter().zip(batched) {
+            let observed = job.observed().expect("sample-backed job");
             let reference =
-                reconstruct_reference(job.noise, job.partition, &job.observed, &job.config)
-                    .unwrap();
+                reconstruct_reference(job.noise, job.partition, observed, &job.config).unwrap();
             prop_assert_eq!(reference, batched.unwrap());
         }
     }
@@ -140,6 +135,49 @@ fn warm_kernel_cache_never_changes_results() {
     let warm2 = engine.reconstruct(&noise, part(20), &second_obs, &config).unwrap();
     let reference = reconstruct_reference(&noise, part(20), &second_obs, &config).unwrap();
     assert_eq!(reference, warm2);
+}
+
+#[test]
+fn cache_eviction_shrinks_the_cache_and_never_changes_results() {
+    // A budget that holds only a few kernels: cells=40 over a span-extended
+    // partition is ~(40 + k) x 40 entries, so walking 30..60 cells must
+    // trip the flush-on-insert path repeatedly.
+    let budget = 10_000;
+    let engine = ReconstructionEngine::with_cache_entry_budget(budget);
+    let noise = NoiseModel::gaussian(12.0).unwrap();
+    let config = ReconstructionConfig::default();
+    let obs = bimodal(400, 77, &noise);
+
+    // Baseline results from a fresh, never-evicting engine.
+    let reference = ReconstructionEngine::new();
+    let expected: Vec<_> = (30..60)
+        .map(|cells| reference.reconstruct(&noise, part(cells), &obs, &config).unwrap())
+        .collect();
+
+    let mut evictions = 0;
+    let mut prev_kernels = 0;
+    for (cells, expected) in (30..60).zip(&expected) {
+        let got = engine.reconstruct(&noise, part(cells), &obs, &config).unwrap();
+        assert_eq!(&got, expected, "eviction changed the result at cells={cells}");
+        let kernels = engine.cached_kernels();
+        let entries = engine.cached_entries();
+        assert!(
+            entries <= budget || kernels == 1,
+            "budget violated: {entries} entries across {kernels} kernels"
+        );
+        if kernels <= prev_kernels {
+            // An insert that did not grow the kernel count means the cache
+            // was flushed first: both counters shrank.
+            evictions += 1;
+        }
+        prev_kernels = kernels;
+    }
+    assert!(evictions >= 2, "budget {budget} never forced an eviction across 30 geometries");
+
+    // Post-eviction, an earlier geometry still reconstructs identically
+    // (its kernel is simply rebuilt).
+    let again = engine.reconstruct(&noise, part(30), &obs, &config).unwrap();
+    assert_eq!(again, expected[0]);
 }
 
 #[test]

@@ -118,8 +118,9 @@ impl PerturbPlan {
 
 /// Derives the per-attribute noise-stream seed from the dataset seed.
 /// SplitMix64-style mixing so adjacent attribute indices land on
-/// uncorrelated streams.
-fn derive_seed(seed: u64, attr_index: usize) -> u64 {
+/// uncorrelated streams. (Also reused by the streaming batch source to
+/// give every batch its own noise stream.)
+pub(crate) fn derive_seed(seed: u64, attr_index: usize) -> u64 {
     let mut z = seed ^ (attr_index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

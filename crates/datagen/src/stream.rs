@@ -1,0 +1,188 @@
+//! Streaming batch source: perturbed record chunks for sharded ingestion.
+//!
+//! The monolithic workflow generates one `Dataset`, perturbs it whole,
+//! and hands a complete column to reconstruction. A service ingesting
+//! records from millions of clients instead sees a *stream* of perturbed
+//! batches. [`PerturbedBatchStream`] models that arrival process over the
+//! AIS92 benchmark population: it yields successive perturbed chunks
+//! whose underlying original records come from the same generator stream
+//! a monolithic [`crate::generate`] call would produce, so streaming and
+//! batch experiments are run against the same population.
+//!
+//! Each batch perturbs with its own derived noise seed (clients don't
+//! share RNG state), so the perturbed stream depends only on
+//! `(plan, function, total, batch_size, seed)` — fully deterministic and
+//! independent of how the consumer shards the batches.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::attribute::Attribute;
+use crate::functions::LabelFunction;
+use crate::generator::generate_record;
+use crate::perturb::{derive_seed, PerturbPlan};
+use crate::record::Dataset;
+
+/// An iterator of perturbed [`Dataset`] batches drawn from the benchmark
+/// population.
+///
+/// Concatenating the batches' *original* records reproduces
+/// [`crate::generate`]`(total, function, seed)` exactly; the perturbed
+/// values additionally depend on the per-batch noise streams.
+pub struct PerturbedBatchStream<'a> {
+    plan: &'a PerturbPlan,
+    function: LabelFunction,
+    /// One continuous record stream across batches.
+    rng: StdRng,
+    /// Base seed for the per-batch noise streams.
+    seed: u64,
+    batch_size: usize,
+    remaining: usize,
+    batch_index: u64,
+}
+
+impl<'a> PerturbedBatchStream<'a> {
+    /// A stream of `total` records in perturbed batches of `batch_size`
+    /// (the final batch may be short). `batch_size` is clamped to at
+    /// least 1.
+    pub fn new(
+        plan: &'a PerturbPlan,
+        function: LabelFunction,
+        total: usize,
+        batch_size: usize,
+        seed: u64,
+    ) -> Self {
+        PerturbedBatchStream {
+            plan,
+            function,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            batch_size: batch_size.max(1),
+            remaining: total,
+            batch_index: 0,
+        }
+    }
+
+    /// Number of records not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+}
+
+impl Iterator for PerturbedBatchStream<'_> {
+    type Item = Dataset;
+
+    fn next(&mut self) -> Option<Dataset> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let n = self.batch_size.min(self.remaining);
+        self.remaining -= n;
+        let mut batch = Dataset::empty();
+        for _ in 0..n {
+            let record = generate_record(&mut self.rng);
+            batch.push(record, self.function.classify(&record));
+        }
+        // Per-batch noise seed: mix the batch index into the stream seed
+        // so batches are independent noise draws. The offset keeps batch
+        // streams disjoint from the per-attribute streams a monolithic
+        // `perturb_dataset(_, seed)` call would use.
+        let noise_seed = derive_seed(self.seed, 0x5741_4243 + self.batch_index as usize);
+        self.batch_index += 1;
+        Some(self.plan.perturb_dataset(&batch, noise_seed))
+    }
+}
+
+impl std::iter::FusedIterator for PerturbedBatchStream<'_> {}
+
+/// Adapts a batch stream to yield one attribute's perturbed column per
+/// batch — the shape streaming reconstruction
+/// ([`ppdm_core::reconstruct::streaming`]) ingests.
+pub fn column_batches<'a>(
+    stream: PerturbedBatchStream<'a>,
+    attr: Attribute,
+) -> impl Iterator<Item = Vec<f64>> + 'a {
+    stream.map(move |batch| batch.column(attr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+    use ppdm_core::privacy::{NoiseKind, DEFAULT_CONFIDENCE};
+
+    #[test]
+    fn batches_cover_total_with_short_tail() {
+        let plan = PerturbPlan::none();
+        let stream = PerturbedBatchStream::new(&plan, LabelFunction::F2, 1_050, 250, 1);
+        let sizes: Vec<usize> = stream.map(|b| b.len()).collect();
+        assert_eq!(sizes, vec![250, 250, 250, 250, 50]);
+    }
+
+    #[test]
+    fn original_stream_matches_monolithic_generate() {
+        // With no noise, concatenated batches ARE the monolithic dataset.
+        let plan = PerturbPlan::none();
+        let stream = PerturbedBatchStream::new(&plan, LabelFunction::F3, 700, 128, 9);
+        let mut concat = Dataset::empty();
+        for batch in stream {
+            for (record, label) in batch.iter() {
+                concat.push(*record, label);
+            }
+        }
+        assert_eq!(concat, generate(700, LabelFunction::F3, 9));
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_seed_sensitive() {
+        let plan = PerturbPlan::for_privacy(NoiseKind::Gaussian, 50.0, DEFAULT_CONFIDENCE).unwrap();
+        let collect = |seed: u64| -> Vec<Dataset> {
+            PerturbedBatchStream::new(&plan, LabelFunction::F1, 400, 100, seed).collect()
+        };
+        assert_eq!(collect(3), collect(3));
+        assert_ne!(collect(3), collect(4));
+    }
+
+    #[test]
+    fn batches_are_perturbed_with_independent_noise() {
+        let plan = PerturbPlan::for_privacy(NoiseKind::Gaussian, 50.0, DEFAULT_CONFIDENCE).unwrap();
+        let batches: Vec<Dataset> =
+            PerturbedBatchStream::new(&plan, LabelFunction::F2, 400, 200, 5).collect();
+        let originals = generate(400, LabelFunction::F2, 5);
+        // Perturbed batches differ from the originals...
+        assert_ne!(batches[0].records()[0], originals.records()[0]);
+        // ...and the two batches' noise streams differ: the deltas on the
+        // salary column must not repeat between batches.
+        let d0: Vec<f64> = batches[0]
+            .column(Attribute::Salary)
+            .iter()
+            .zip(originals.column(Attribute::Salary))
+            .map(|(p, o)| p - o)
+            .collect();
+        let d1: Vec<f64> = batches[1]
+            .column(Attribute::Salary)
+            .iter()
+            .zip(originals.column(Attribute::Salary).iter().skip(200))
+            .map(|(p, o)| p - o)
+            .collect();
+        assert_ne!(d0, d1);
+    }
+
+    #[test]
+    fn column_batches_yield_attribute_values() {
+        let plan = PerturbPlan::none();
+        let stream = PerturbedBatchStream::new(&plan, LabelFunction::F1, 300, 100, 11);
+        let cols: Vec<Vec<f64>> = column_batches(stream, Attribute::Age).collect();
+        assert_eq!(cols.len(), 3);
+        let flat: Vec<f64> = cols.into_iter().flatten().collect();
+        assert_eq!(flat, generate(300, LabelFunction::F1, 11).column(Attribute::Age));
+    }
+
+    #[test]
+    fn labels_survive_perturbation() {
+        let plan = PerturbPlan::for_privacy(NoiseKind::Uniform, 100.0, DEFAULT_CONFIDENCE).unwrap();
+        let stream = PerturbedBatchStream::new(&plan, LabelFunction::F2, 500, 125, 13);
+        let labels: Vec<_> = stream.flat_map(|b| b.labels().to_vec()).collect();
+        assert_eq!(labels, generate(500, LabelFunction::F2, 13).labels());
+    }
+}

@@ -13,7 +13,7 @@ use ppdm_core::reconstruct::{shared_engine, ReconstructionJob};
 use ppdm_core::stats::Histogram;
 use ppdm_datagen::{Attribute, Class, Dataset, PerturbPlan, Record, NUM_CLASSES};
 
-use crate::trainer::TrainerConfig;
+use crate::trainer::{make_job, TrainerConfig};
 
 /// A trained naive-Bayes classifier over interval histograms.
 #[derive(Debug, Clone)]
@@ -50,7 +50,11 @@ pub fn train_naive_bayes(
     let partitions = crate::trainer::attribute_partitions(perturbed.len(), config);
     // The `attributes x classes` reconstructions are independent: submit
     // them as one engine batch (classes of an attribute share its cached
-    // likelihood kernel); empty or noise-free cells are filled directly.
+    // likelihood kernel). Naive Bayes consumes nothing but the
+    // reconstructed histograms, so each cell's values are folded into a
+    // `SuffStats` sketch up front (bucketed mode) rather than shipping the
+    // value slice to the engine; empty or noise-free cells are filled
+    // directly.
     let engine = shared_engine();
     let mut direct: Vec<Vec<Option<Histogram>>> =
         vec![vec![None; NUM_CLASSES]; Attribute::ALL.len()];
@@ -68,12 +72,12 @@ pub fn train_naive_bayes(
                     Some(Histogram::from_values(partition, &values));
             } else {
                 targets.push((attr.index(), class.index()));
-                jobs.push(ReconstructionJob::owned(
+                jobs.push(make_job(
                     model,
                     partition,
-                    values,
+                    std::borrow::Cow::Owned(values),
                     config.reconstruction,
-                ));
+                )?);
             }
         }
     }

@@ -11,10 +11,14 @@
 //! | `ByClass`    | midpoints reassigned from per-class reconstructions at the root |
 //! | `Local`      | like ByClass, but reconstruction is redone at *every* node over that node's rows |
 
+use std::borrow::Cow;
+
 use ppdm_core::domain::{suggested_cells, Partition};
 use ppdm_core::error::{Error, Result};
+use ppdm_core::randomize::NoiseModel;
 use ppdm_core::reconstruct::{
-    shared_engine, ReconstructionConfig, ReconstructionEngine, ReconstructionJob,
+    shared_engine, ReconstructionConfig, ReconstructionEngine, ReconstructionJob, SuffStats,
+    UpdateMode,
 };
 use ppdm_datagen::{Attribute, Class, Dataset, PerturbPlan, NUM_CLASSES};
 use serde::{Deserialize, Serialize};
@@ -134,18 +138,19 @@ pub fn train(
             let jobs: Vec<ReconstructionJob<'_>> = noisy
                 .iter()
                 .map(|&attr| {
-                    ReconstructionJob::owned(
+                    make_job(
                         plan.model(Attribute::from_index(attr).expect("valid index")),
                         partitions[attr],
-                        matrix.column(attr).to_vec(),
+                        Cow::Borrowed(matrix.column(attr)),
                         config.reconstruction,
                     )
                 })
-                .collect();
+                .collect::<Result<_>>()?;
             let results = engine.reconstruct_many(&jobs);
-            for ((&attr, job), result) in noisy.iter().zip(&jobs).zip(results) {
+            for (&attr, result) in noisy.iter().zip(results) {
                 let recon = result?;
-                matrix.replace_column(attr, reassign_to_midpoints(&job.observed, &recon.histogram));
+                let reassigned = reassign_to_midpoints(matrix.column(attr), &recon.histogram);
+                matrix.replace_column(attr, reassigned);
             }
             Ok(build_tree(&matrix, &config.tree))
         }
@@ -160,6 +165,29 @@ pub fn train(
             Ok(build_tree(&matrix, &config.tree))
         }
         TrainingAlgorithm::Local => train_local(perturbed, plan, config),
+    }
+}
+
+/// Builds an engine job for one attribute sample.
+///
+/// In bucketed mode the values are folded into a [`SuffStats`] sketch
+/// here — a single bucketing pass — so the engine consumes per-interval
+/// counts instead of re-scanning the value slice (and the solve is
+/// bit-identical to the raw-sample path, see
+/// `tests/streaming_equivalence.rs`). Exact mode needs every observation
+/// and keeps the raw sample: pass `Cow::Owned` when the values are not
+/// needed afterwards so no copy is ever made.
+pub(crate) fn make_job<'a>(
+    model: &'a NoiseModel,
+    partition: Partition,
+    values: Cow<'_, [f64]>,
+    config: ReconstructionConfig,
+) -> Result<ReconstructionJob<'a>> {
+    if config.mode == UpdateMode::Bucketed {
+        let stats = SuffStats::from_values(model, partition, &values)?;
+        Ok(ReconstructionJob::from_stats(model, stats, config))
+    } else {
+        Ok(ReconstructionJob::owned(model, partition, values.into_owned(), config))
     }
 }
 
@@ -201,7 +229,10 @@ fn byclass_columns(
         .iter()
         .map(|class| (0..labels.len()).filter(|&i| labels[i] as usize == class.index()).collect())
         .collect();
-    let mut targets: Vec<(usize, &[usize])> = Vec::new();
+    // The class's values are kept alongside the job: reassignment ranks
+    // them after the solve, while the solve itself consumes only the
+    // job's sufficient statistics (bucketed mode).
+    let mut targets: Vec<(usize, &[usize], Vec<f64>)> = Vec::new();
     let mut jobs: Vec<ReconstructionJob<'_>> = Vec::new();
     for attr in Attribute::ALL {
         let model = plan.model(attr);
@@ -214,21 +245,21 @@ fn byclass_columns(
                 continue;
             }
             let vals: Vec<f64> = rows.iter().map(|&i| col[i]).collect();
-            targets.push((attr.index(), rows));
-            jobs.push(ReconstructionJob::owned(
+            jobs.push(make_job(
                 model,
                 partitions[attr.index()],
-                vals,
+                Cow::Borrowed(&vals),
                 config.reconstruction,
-            ));
+            )?);
+            targets.push((attr.index(), rows, vals));
         }
     }
     let results = engine.reconstruct_many(&jobs);
-    for ((&(attr, rows), job), result) in targets.iter().zip(&jobs).zip(results) {
+    for ((attr, rows, vals), result) in targets.iter().zip(results) {
         let recon = result?;
-        let reassigned = reassign_to_midpoints(&job.observed, &recon.histogram);
+        let reassigned = reassign_to_midpoints(vals, &recon.histogram);
         for (&row, v) in rows.iter().zip(reassigned) {
-            columns[attr][row] = v;
+            columns[*attr][row] = v;
         }
     }
     Ok(columns)
@@ -413,12 +444,15 @@ impl LocalBuilder<'_> {
                     let vals: Vec<f64> =
                         rows.iter().map(|&r| self.matrix.value(r as usize, attr)).collect();
                     slots[class] = Some(jobs.len());
-                    jobs.push(ReconstructionJob::owned(
+                    // Split scoring only needs the reconstructed masses
+                    // (routing ranks the matrix column directly), so the
+                    // node's values reduce to a sketch right here.
+                    jobs.push(make_job(
                         model,
                         partition,
-                        vals,
+                        Cow::Owned(vals),
                         self.config.reconstruction,
-                    ));
+                    )?);
                 }
             }
             plans.push((partition, fresh));

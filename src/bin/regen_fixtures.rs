@@ -1,0 +1,34 @@
+//! Regenerates the golden reconstruction fixtures under `tests/fixtures/`.
+//!
+//! Run after an *intentional* change to reconstruction numerics:
+//!
+//! ```bash
+//! cargo run --bin regen_fixtures
+//! git diff tests/fixtures/   # review the drift before committing it
+//! ```
+//!
+//! See `tests/README.md` for when regenerating is (and is not) the right
+//! response to a `golden_reconstruction` failure.
+
+// The scenario definitions are shared with `tests/golden_reconstruction.rs`
+// (both include the same file), not exported from the `ppdm` library —
+// fixture scaffolding is test infrastructure, not API.
+#[path = "../../tests/support/fixtures.rs"]
+mod fixtures;
+
+use fixtures::{fixture_path, render, scenarios};
+
+fn main() {
+    let dir = fixture_path("probe").parent().expect("fixture files live in a directory").to_owned();
+    std::fs::create_dir_all(&dir).expect("create tests/fixtures/");
+    for scenario in scenarios() {
+        let path = fixture_path(scenario.name);
+        let json = render(&scenario);
+        let changed = match std::fs::read_to_string(&path) {
+            Ok(existing) => existing != json,
+            Err(_) => true,
+        };
+        std::fs::write(&path, &json).expect("write fixture");
+        println!("{} {}", if changed { "rewrote " } else { "unchanged" }, path.display());
+    }
+}

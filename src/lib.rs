@@ -41,13 +41,14 @@ pub mod prelude {
     };
     pub use ppdm_core::randomize::{NoiseDensity, NoiseModel};
     pub use ppdm_core::reconstruct::{
-        reconstruct, ReconstructionConfig, ReconstructionEngine, ReconstructionJob, StoppingRule,
+        reconstruct, IncrementalReconstructor, ReconstructionConfig, ReconstructionEngine,
+        ReconstructionJob, ShardedAccumulator, StoppingRule, SuffStats,
     };
     pub use ppdm_core::stats::Histogram;
     pub use ppdm_core::{Error, Result};
     pub use ppdm_datagen::{
         generate, generate_train_test, Attribute, Class, Dataset, LabelFunction, PerturbPlan,
-        Record,
+        PerturbedBatchStream, Record,
     };
     pub use ppdm_tree::{
         evaluate, train, train_naive_bayes, DecisionTree, Evaluation, NaiveBayes, TrainerConfig,

@@ -1,0 +1,51 @@
+//! Golden-fixture regression: reconstruction outputs for fixed seeds must
+//! reproduce the committed `tests/fixtures/*.json` files **bit for bit**.
+//!
+//! A failure here means a PR changed reconstruction numerics — kernel
+//! evaluation, iterate arithmetic, stopping behavior, RNG streams, or the
+//! streaming/sharded path. If the change is intentional, regenerate with
+//! `cargo run --bin regen_fixtures` and commit the diff (reviewably);
+//! if it is not, the diff in this assertion is the bug report. See
+//! `tests/README.md`.
+
+#[path = "support/fixtures.rs"]
+mod fixtures;
+
+use fixtures::{fixture_path, render, scenarios};
+
+#[test]
+fn fixtures_reproduce_bit_for_bit() {
+    let mut checked = 0;
+    for scenario in scenarios() {
+        let path = fixture_path(scenario.name);
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing fixture {} ({e}); run `cargo run --bin regen_fixtures` and commit it",
+                path.display()
+            )
+        });
+        let actual = render(&scenario);
+        assert_eq!(
+            expected, actual,
+            "fixture {} drifted; if intentional, `cargo run --bin regen_fixtures` and commit",
+            scenario.name
+        );
+        checked += 1;
+    }
+    assert!(checked >= 6, "expected the full fixture set, checked {checked}");
+}
+
+#[test]
+fn monolithic_and_streaming_twins_agree() {
+    // The sharded twins pin the same numbers as their monolithic
+    // counterparts (same seed/kernel/channel): sharding must be invisible
+    // in the committed artifacts too, not just in the property tests.
+    let all = scenarios();
+    let masses = |name: &str| -> String {
+        let s = all.iter().find(|s| s.name == name).expect("scenario exists");
+        let json = render(s);
+        json.split("\"masses\":").nth(1).expect("masses field").to_string()
+    };
+    assert_eq!(masses("bayes_gaussian"), masses("streaming_bayes_gaussian"));
+    assert_eq!(masses("em_uniform"), masses("streaming_em_uniform"));
+}

@@ -1,0 +1,255 @@
+//! Property harness for the streaming subsystem: `SuffStats` merge
+//! algebra, sharded-vs-monolithic solve equivalence, and warm-start
+//! behavior.
+//!
+//! The load-bearing claims, each asserted *exactly* (no tolerances):
+//!
+//! * merging is associative and commutative, and totals add;
+//! * ingesting batch-by-batch, across any shard layout, is
+//!   indistinguishable from ingesting the concatenated sample;
+//! * a cold solve over merged shard statistics is **bit-for-bit** equal
+//!   to `ReconstructionEngine::reconstruct` on the concatenated sample
+//!   (bucketed mode, both kernels) — sharding must be invisible;
+//! * incompatible shards (different channel or partition) refuse to
+//!   merge.
+//!
+//! Run with `PROPTEST_CASES=<n>` to rescale case counts (CI pins it).
+
+use ppdm::prelude::*;
+use ppdm_core::reconstruct::{JobInput, LikelihoodKernel, UpdateMode};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn part(cells: usize) -> Partition {
+    Partition::new(Domain::new(0.0, 100.0).unwrap(), cells).unwrap()
+}
+
+fn noise_for(gaussian: bool, scale: f64) -> NoiseModel {
+    if gaussian {
+        NoiseModel::gaussian(scale).unwrap()
+    } else {
+        NoiseModel::uniform(scale).unwrap()
+    }
+}
+
+/// A bimodal perturbed sample — structured enough that reconstruction
+/// does real work.
+fn sample(n: usize, seed: u64, noise: &NoiseModel) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let xs: Vec<f64> = (0..n)
+        .map(|_| {
+            let center = if rng.gen_bool(0.5) { 30.0 } else { 70.0 };
+            center + rng.gen_range(-9.0..9.0)
+        })
+        .collect();
+    noise.perturb_all(&xs, &mut rng)
+}
+
+/// Splits a sample into `pieces` contiguous batches (sizes drawn from the
+/// seed), always covering the whole slice.
+fn split(obs: &[f64], pieces: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cuts: Vec<usize> = (0..pieces - 1).map(|_| rng.gen_range(0..=obs.len())).collect();
+    cuts.sort_unstable();
+    let mut out = Vec::with_capacity(pieces);
+    let mut start = 0;
+    for cut in cuts {
+        out.push(obs[start..cut].to_vec());
+        start = cut;
+    }
+    out.push(obs[start..].to_vec());
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        seed in 0u64..10_000,
+        n in 1usize..400,
+        cells in 4usize..30,
+        gaussian in 0u32..2,
+        scale in 2.0..30.0f64,
+    ) {
+        let noise = noise_for(gaussian == 1, scale);
+        let obs = sample(n, seed, &noise);
+        let thirds = split(&obs, 3, seed ^ 0xA5A5);
+        let stats: Vec<SuffStats> = thirds
+            .iter()
+            .map(|b| SuffStats::from_values(&noise, part(cells), b).unwrap())
+            .collect();
+        let (a, b, c) = (&stats[0], &stats[1], &stats[2]);
+        // Commutativity, exactly.
+        prop_assert_eq!(a.merge(b).unwrap(), b.merge(a).unwrap());
+        // Associativity, exactly.
+        prop_assert_eq!(
+            a.merge(b).unwrap().merge(c).unwrap(),
+            a.merge(&b.merge(c).unwrap()).unwrap()
+        );
+        // Totals and counts add.
+        let ab = a.merge(b).unwrap();
+        prop_assert_eq!(ab.total(), a.total() + b.total());
+        prop_assert_eq!(ab.count(), a.count() + b.count());
+    }
+
+    #[test]
+    fn ingest_then_merge_equals_ingest_concatenated(
+        seed in 0u64..10_000,
+        n in 1usize..500,
+        pieces in 1usize..7,
+        cells in 4usize..30,
+    ) {
+        let noise = NoiseModel::gaussian(12.0).unwrap();
+        let obs = sample(n, seed, &noise);
+        let whole = SuffStats::from_values(&noise, part(cells), &obs).unwrap();
+        // Piecewise ingestion into one sketch...
+        let mut piecewise = SuffStats::new(&noise, part(cells)).unwrap();
+        for batch in split(&obs, pieces, seed ^ 0x33) {
+            piecewise.ingest(&batch).unwrap();
+        }
+        prop_assert_eq!(&piecewise, &whole);
+        // ...and per-batch sketches merged in order.
+        let mut merged = SuffStats::new(&noise, part(cells)).unwrap();
+        for batch in split(&obs, pieces, seed ^ 0x34) {
+            merged.merge_from(&SuffStats::from_values(&noise, part(cells), &batch).unwrap()).unwrap();
+        }
+        prop_assert_eq!(&merged, &whole);
+    }
+
+    #[test]
+    fn sharded_solve_is_bit_identical_to_monolithic(
+        seed in 0u64..10_000,
+        n in 50usize..600,
+        shards in 1usize..9,
+        cells in 5usize..25,
+        gaussian in 0u32..2,
+        cell_average in 0u32..2,
+    ) {
+        let noise = noise_for(gaussian == 1, 14.0);
+        let obs = sample(n, seed, &noise);
+        let config = ReconstructionConfig {
+            kernel: if cell_average == 1 { LikelihoodKernel::CellAverage } else { LikelihoodKernel::Midpoint },
+            mode: UpdateMode::Bucketed,
+            max_iterations: 500,
+            ..ReconstructionConfig::default()
+        };
+        let engine = ReconstructionEngine::new();
+        let monolithic = engine.reconstruct(&noise, part(cells), &obs, &config).unwrap();
+
+        let mut acc = ShardedAccumulator::new(&noise, part(cells), shards).unwrap();
+        acc.ingest_batches(&split(&obs, shards.max(2) * 2, seed ^ 0x77)).unwrap();
+        let merged = acc.merged().unwrap();
+        prop_assert_eq!(merged.count(), n as u64);
+        let sharded = engine.reconstruct_stats(&noise, &merged, &config, None).unwrap();
+        // The headline proof obligation: sharding is invisible, bit for bit.
+        prop_assert_eq!(&sharded, &monolithic);
+
+        // The same statistics as a `reconstruct_many` job: identical again.
+        let jobs = vec![ReconstructionJob::borrowed_stats(&noise, &merged, config)];
+        prop_assert!(matches!(jobs[0].input, JobInput::Stats(_)));
+        let via_jobs = engine.reconstruct_many(&jobs).remove(0).unwrap();
+        prop_assert_eq!(&via_jobs, &monolithic);
+    }
+
+    #[test]
+    fn incremental_warm_solve_tracks_cold_solve(
+        seed in 0u64..10_000,
+        n in 2_000usize..6_000,
+        // Streaming regime: the append is 0.25%-2% of the accumulated
+        // history. (A batch comparable to the whole history moves the
+        // optimum far enough that a warm start has no a-priori advantage.)
+        append_frac in 50usize..400,
+    ) {
+        let noise = NoiseModel::gaussian(15.0).unwrap();
+        let config = ReconstructionConfig::default();
+        let engine = ReconstructionEngine::new();
+        let base = sample(n, seed, &noise);
+        let append = sample(n / append_frac, seed ^ 0x9, &noise);
+
+        let mut inc = IncrementalReconstructor::with_engine(&noise, part(20), config, &engine).unwrap();
+        inc.ingest(&base).unwrap();
+        let first = inc.solve().unwrap();
+        prop_assert!(first.converged);
+        inc.ingest(&append).unwrap();
+        let warm = inc.solve().unwrap();
+        prop_assert!(warm.converged);
+
+        // Cold solve over the identical statistics for comparison.
+        let cold = engine.reconstruct_stats(&noise, inc.stats(), &config, None).unwrap();
+        prop_assert!(
+            warm.iterations <= cold.iterations,
+            "warm start must not be slower: warm {} vs cold {}", warm.iterations, cold.iterations
+        );
+        // Deconvolution is ill-conditioned: two starting points stopping at
+        // the same log-likelihood flatness land on *nearby* estimates, not
+        // bit-identical ones. The bound here is the stopping tolerance's
+        // practical TV radius at these sample sizes (the bit-for-bit claim
+        // belongs to the cold sharded path above).
+        let tv = ppdm_core::stats::total_variation(&warm.histogram, &cold.histogram).unwrap();
+        prop_assert!(tv < 0.06, "warm and cold optima must agree in distribution, tv {}", tv);
+    }
+}
+
+#[test]
+fn mismatched_shards_refuse_to_merge() {
+    let gaussian = NoiseModel::gaussian(10.0).unwrap();
+    let wider = NoiseModel::gaussian(11.0).unwrap();
+    let uniform = NoiseModel::uniform(10.0).unwrap();
+    let base = SuffStats::from_values(&gaussian, part(10), &[5.0, 50.0]).unwrap();
+    for other in [
+        SuffStats::new(&wider, part(10)).unwrap(), // same family, different parameter
+        SuffStats::new(&uniform, part(10)).unwrap(), // different family
+        SuffStats::new(&gaussian, part(12)).unwrap(), // different cell count
+        SuffStats::new(
+            &gaussian,
+            Partition::new(Domain::new(0.0, 90.0).unwrap(), 10).unwrap(), // different domain
+        )
+        .unwrap(),
+    ] {
+        let err = base.merge(&other).unwrap_err();
+        assert!(matches!(err, Error::ShardMismatch(_)), "expected ShardMismatch, got {err:?}");
+        // merge_from must leave the receiver untouched on failure.
+        let mut copy = base.clone();
+        assert!(copy.merge_from(&other).is_err());
+        assert_eq!(copy, base);
+    }
+}
+
+#[test]
+fn solving_stats_with_the_wrong_channel_fails_fast() {
+    let gaussian = NoiseModel::gaussian(10.0).unwrap();
+    let uniform = NoiseModel::uniform(10.0).unwrap();
+    let stats = SuffStats::from_values(&gaussian, part(10), &sample(100, 1, &gaussian)).unwrap();
+    let engine = ReconstructionEngine::new();
+    let err = engine
+        .reconstruct_stats(&uniform, &stats, &ReconstructionConfig::default(), None)
+        .unwrap_err();
+    assert!(matches!(err, Error::ShardMismatch(_)), "got {err:?}");
+}
+
+#[test]
+fn empty_stats_solve_is_no_observations() {
+    let noise = NoiseModel::gaussian(10.0).unwrap();
+    let stats = SuffStats::new(&noise, part(10)).unwrap();
+    let engine = ReconstructionEngine::new();
+    assert_eq!(
+        engine
+            .reconstruct_stats(&noise, &stats, &ReconstructionConfig::default(), None)
+            .unwrap_err(),
+        Error::NoObservations
+    );
+}
+
+#[test]
+fn identity_channel_stats_solve_is_the_empirical_histogram() {
+    let stats = SuffStats::from_values(&NoiseModel::None, part(5), &[10.0, 15.0, 95.0]).unwrap();
+    let engine = ReconstructionEngine::new();
+    let r = engine
+        .reconstruct_stats(&NoiseModel::None, &stats, &ReconstructionConfig::default(), None)
+        .unwrap();
+    assert_eq!(r.iterations, 0);
+    assert!(r.converged);
+    assert_eq!(r.histogram.masses(), &[2.0, 0.0, 0.0, 0.0, 1.0]);
+}

@@ -1,0 +1,195 @@
+//! Golden-fixture scenarios: deterministic reconstruction outputs
+//! committed under `tests/fixtures/` and asserted bit-for-bit.
+//!
+//! Statistical drift — a re-tuned stopping rule, a reordered summation, a
+//! "harmless" kernel tweak — rarely trips tolerance-based tests, and when
+//! it does the failure is flaky rather than attributable. These fixtures
+//! pin the *exact* output of the reconstruction pipeline for a handful of
+//! fixed seeds, so any PR that changes the numbers shows up as a crisp
+//! fixture diff instead. Every quantity involved is deterministic: the
+//! vendored RNG streams, the EM iterate (serial within one solve), and
+//! the JSON float rendering (shortest round-trip via `{:?}`).
+//!
+//! The test `tests/golden_reconstruction.rs` recomputes every scenario
+//! and compares against the committed files; `cargo run --bin
+//! regen_fixtures` rewrites them after an *intentional* change (see
+//! `tests/README.md` for the workflow).
+
+use ppdm_core::domain::{Domain, Partition};
+use ppdm_core::randomize::NoiseModel;
+use ppdm_core::reconstruct::{
+    LikelihoodKernel, ReconstructionConfig, ReconstructionEngine, ShardedAccumulator,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// How a scenario feeds the sample to the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixturePath {
+    /// One monolithic `ReconstructionEngine::reconstruct` call.
+    Monolithic,
+    /// Sharded streaming: 16 batches over 3 shards, merged `SuffStats`,
+    /// solved cold. Pins the streaming subsystem's semantics alongside
+    /// the monolithic path (the two must agree bit-for-bit anyway —
+    /// property-tested in `streaming_equivalence.rs` — so these fixtures
+    /// are intentionally identical to their monolithic twins' numbers).
+    Sharded,
+}
+
+/// One golden scenario: a fixed seed, channel, kernel, and solve path.
+pub struct FixtureScenario {
+    /// Fixture file stem under `tests/fixtures/`.
+    pub name: &'static str,
+    /// The noise channel the sample goes through.
+    pub noise: NoiseModel,
+    /// Likelihood kernel (Bayes = midpoint, EM = cell-average).
+    pub kernel: LikelihoodKernel,
+    /// RNG seed of the original + noise sample.
+    pub seed: u64,
+    /// Sample size.
+    pub n: usize,
+    /// Reconstruction cells.
+    pub cells: usize,
+    /// Monolithic or sharded-streaming solve.
+    pub path: FixturePath,
+}
+
+/// The serialized fixture payload.
+#[derive(Debug, Serialize)]
+struct FixtureOutput {
+    name: String,
+    kernel: String,
+    noise: String,
+    seed: u64,
+    n: usize,
+    cells: usize,
+    path: String,
+    iterations: usize,
+    converged: bool,
+    masses: Vec<f64>,
+}
+
+/// Every committed scenario: Bayes (midpoint) + EM (cell-average), both
+/// noise families, plus a sharded-streaming twin per kernel.
+pub fn scenarios() -> Vec<FixtureScenario> {
+    let gaussian = NoiseModel::gaussian(15.0).expect("static parameter");
+    let uniform = NoiseModel::uniform(25.0).expect("static parameter");
+    vec![
+        FixtureScenario {
+            name: "bayes_gaussian",
+            noise: gaussian,
+            kernel: LikelihoodKernel::Midpoint,
+            seed: 101,
+            n: 2_000,
+            cells: 20,
+            path: FixturePath::Monolithic,
+        },
+        FixtureScenario {
+            name: "bayes_uniform",
+            noise: uniform,
+            kernel: LikelihoodKernel::Midpoint,
+            seed: 102,
+            n: 2_000,
+            cells: 20,
+            path: FixturePath::Monolithic,
+        },
+        FixtureScenario {
+            name: "em_gaussian",
+            noise: gaussian,
+            kernel: LikelihoodKernel::CellAverage,
+            seed: 103,
+            n: 2_000,
+            cells: 20,
+            path: FixturePath::Monolithic,
+        },
+        FixtureScenario {
+            name: "em_uniform",
+            noise: uniform,
+            kernel: LikelihoodKernel::CellAverage,
+            seed: 104,
+            n: 2_000,
+            cells: 20,
+            path: FixturePath::Monolithic,
+        },
+        FixtureScenario {
+            name: "streaming_bayes_gaussian",
+            noise: gaussian,
+            kernel: LikelihoodKernel::Midpoint,
+            seed: 101,
+            n: 2_000,
+            cells: 20,
+            path: FixturePath::Sharded,
+        },
+        FixtureScenario {
+            name: "streaming_em_uniform",
+            noise: uniform,
+            kernel: LikelihoodKernel::CellAverage,
+            seed: 104,
+            n: 2_000,
+            cells: 20,
+            path: FixturePath::Sharded,
+        },
+    ]
+}
+
+/// The bimodal population every scenario samples (two triangles at 25
+/// and 75 on `[0, 100]`), perturbed through the scenario's channel.
+fn perturbed_sample(scenario: &FixtureScenario) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(scenario.seed);
+    let originals: Vec<f64> = (0..scenario.n)
+        .map(|_| {
+            let center = if rng.gen_bool(0.5) { 25.0 } else { 75.0 };
+            center + rng.gen_range(-10.0..10.0) + rng.gen_range(-10.0..10.0)
+        })
+        .collect();
+    scenario.noise.perturb_all(&originals, &mut rng)
+}
+
+/// Renders one scenario's reconstruction as its canonical JSON fixture
+/// (newline-terminated).
+pub fn render(scenario: &FixtureScenario) -> String {
+    let partition = Partition::new(Domain::new(0.0, 100.0).expect("static"), scenario.cells)
+        .expect("static cell count");
+    let config = ReconstructionConfig { kernel: scenario.kernel, ..Default::default() };
+    let observed = perturbed_sample(scenario);
+    let engine = ReconstructionEngine::new();
+    let result = match scenario.path {
+        FixturePath::Monolithic => engine
+            .reconstruct(&scenario.noise, partition, &observed, &config)
+            .expect("non-empty fixture sample"),
+        FixturePath::Sharded => {
+            let mut acc =
+                ShardedAccumulator::new(&scenario.noise, partition, 3).expect("static geometry");
+            let size = observed.len().div_ceil(16);
+            let batches: Vec<Vec<f64>> = observed.chunks(size).map(<[f64]>::to_vec).collect();
+            acc.ingest_batches(&batches).expect("finite observations");
+            let merged = acc.merged().expect("compatible shards");
+            engine
+                .reconstruct_stats(&scenario.noise, &merged, &config, None)
+                .expect("non-empty fixture sample")
+        }
+    };
+    let output = FixtureOutput {
+        name: scenario.name.to_string(),
+        kernel: format!("{:?}", scenario.kernel),
+        noise: format!("{:?}", scenario.noise),
+        seed: scenario.seed,
+        n: scenario.n,
+        cells: scenario.cells,
+        path: format!("{:?}", scenario.path),
+        iterations: result.iterations,
+        converged: result.converged,
+        masses: result.histogram.masses().to_vec(),
+    };
+    let mut json = serde_json::to_string(&output).expect("fixture output is JSON-representable");
+    json.push('\n');
+    json
+}
+
+/// Absolute path of a scenario's fixture file in this repository.
+pub fn fixture_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(format!("{name}.json"))
+}
