@@ -1,0 +1,58 @@
+//! The privacy/accuracy frontier over all four noise families: for every
+//! `family x privacy-level x kernel` grid point, the achieved interval
+//! and entropy privacy, reference-attribute reconstruction error (TV vs
+//! the naive perturbed histogram), and ByClass-vs-Randomized test
+//! accuracy.
+//!
+//! ```text
+//! cargo run --release -p ppdm-bench --bin fig_privacy_accuracy
+//! cargo run --release -p ppdm-bench --bin fig_privacy_accuracy -- --tiny   # CI smoke grid
+//! cargo run --release -p ppdm-bench --bin fig_privacy_accuracy -- \
+//!     --train 100000 --test 5000 --function 3 --seed 7 --levels 50,100,200
+//! ```
+
+use ppdm_bench::{render_frontier, run_sweep, Args, SweepConfig};
+use ppdm_datagen::LabelFunction;
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg =
+        if args.has_flag("tiny") { SweepConfig::tiny() } else { SweepConfig::frontier_defaults() };
+    cfg.n_train = args.usize_or("train", cfg.n_train);
+    cfg.n_test = args.usize_or("test", cfg.n_test);
+    cfg.cells = args.usize_or("cells", cfg.cells);
+    cfg.seed = args.u64_or("seed", cfg.seed);
+    if let Some(f) = args.get("function") {
+        let number: usize = f.parse().unwrap_or_else(|_| {
+            eprintln!("invalid --function {f:?} (expected 1..=5)");
+            std::process::exit(2);
+        });
+        cfg.function =
+            LabelFunction::ALL.into_iter().find(|lf| lf.number() == number).unwrap_or_else(|| {
+                eprintln!("unknown label function {number}");
+                std::process::exit(2);
+            });
+    }
+    if let Some(levels) = args.get("levels") {
+        cfg.privacy_levels = levels
+            .split(',')
+            .map(|l| {
+                l.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("invalid privacy level {l:?} in --levels");
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+    }
+
+    let points = run_sweep(&cfg).expect("sweep grid over validated parameters");
+    println!(
+        "\n== Privacy/accuracy frontier (function F{}, n={}, {} families x {} levels x {} kernels) ==\n",
+        cfg.function.number(),
+        cfg.n_train,
+        cfg.families.len(),
+        cfg.privacy_levels.len(),
+        cfg.kernels.len(),
+    );
+    print!("{}", render_frontier(&points));
+}

@@ -11,7 +11,9 @@
 
 pub mod args;
 pub mod experiment;
+pub mod sweep;
 pub mod table;
 
 pub use args::Args;
 pub use experiment::{run_accuracy, AccuracyExperiment, AccuracyRow};
+pub use sweep::{render_frontier, run_sweep, SweepConfig, SweepPoint};

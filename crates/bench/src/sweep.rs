@@ -1,0 +1,301 @@
+//! Privacy/accuracy sweep harness over the pluggable noise families.
+//!
+//! The paper's evaluation fixes one noise family per figure; with the
+//! randomization layer opened up ([`ppdm_core::randomize::NoiseDensity`]),
+//! the interesting object is the *frontier*: for every family, how much
+//! reconstruction and classification accuracy does a unit of
+//! confidence-interval privacy cost? This module runs the full
+//! `family x privacy-level x kernel` grid and reports, per point:
+//!
+//! * the *achieved* privacy, measured two ways — the paper's
+//!   confidence-interval metric (computed generically from the channel's
+//!   interval-mass function, [`ppdm_core::privacy::interval`]) and the
+//!   AA01 entropy metric ([`ppdm_core::privacy::entropy`]);
+//! * distribution-reconstruction accuracy (total-variation distance of
+//!   the reconstructed histogram from the true one, on a reference
+//!   attribute) plus the iterations the solve took;
+//! * end-to-end classification accuracy of the ByClass trainer against
+//!   the Randomized (no reconstruction) lower baseline.
+//!
+//! Grid cells are independent, so they are fanned across worker threads
+//! with rayon; within a cell, dataset perturbation is shared by the
+//! kernels. Everything derives from the config's seed — two runs of the
+//! same config produce identical tables.
+
+use ppdm_core::domain::Partition;
+use ppdm_core::error::Result;
+use ppdm_core::privacy::{entropy, interval, NoiseKind, DEFAULT_CONFIDENCE};
+use ppdm_core::reconstruct::{reconstruct, LikelihoodKernel, ReconstructionConfig};
+use ppdm_core::stats::{total_variation, Histogram};
+use ppdm_datagen::{generate_train_test, Attribute, LabelFunction, PerturbPlan};
+use ppdm_tree::{evaluate, train, TrainerConfig, TrainingAlgorithm};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::table;
+
+/// Attribute whose column carries the distribution-reconstruction
+/// measurement (continuous, bimodal-ish under several label functions).
+const REFERENCE_ATTRIBUTE: Attribute = Attribute::Age;
+
+/// Parameters of one privacy/accuracy frontier sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Noise families to sweep (the frontier's curves).
+    pub families: Vec<NoiseKind>,
+    /// Target privacy levels in percent of each attribute's domain width.
+    pub privacy_levels: Vec<f64>,
+    /// Likelihood kernels to run every point through (Bayes = midpoint,
+    /// EM = cell-average).
+    pub kernels: Vec<LikelihoodKernel>,
+    /// Confidence level of the privacy metric.
+    pub confidence: f64,
+    /// Labeling function for the classification measurement.
+    pub function: LabelFunction,
+    /// Training tuples.
+    pub n_train: usize,
+    /// Held-out (unperturbed) test tuples.
+    pub n_test: usize,
+    /// Reconstruction cells for the reference-attribute measurement.
+    pub cells: usize,
+    /// Base RNG seed; every grid cell derives its own streams from it.
+    pub seed: u64,
+    /// Trainer configuration (its reconstruction kernel is overridden per
+    /// grid point).
+    pub trainer: TrainerConfig,
+}
+
+impl SweepConfig {
+    /// The full frontier at the paper's sweep points: all four families,
+    /// privacy in {25, 50, 100, 150, 200}%, both kernels, 25k/5k tuples.
+    pub fn frontier_defaults() -> Self {
+        SweepConfig {
+            families: NoiseKind::ALL.to_vec(),
+            privacy_levels: vec![25.0, 50.0, 100.0, 150.0, 200.0],
+            kernels: vec![LikelihoodKernel::Midpoint, LikelihoodKernel::CellAverage],
+            confidence: DEFAULT_CONFIDENCE,
+            function: LabelFunction::F2,
+            n_train: 25_000,
+            n_test: 5_000,
+            cells: 20,
+            seed: 0x5EEB,
+            trainer: TrainerConfig::default(),
+        }
+    }
+
+    /// A minutes-to-milliseconds grid for tests and CI smoke runs: all
+    /// four families, one level, both kernels, 1.2k/300 tuples.
+    pub fn tiny() -> Self {
+        SweepConfig {
+            privacy_levels: vec![50.0],
+            n_train: 1_200,
+            n_test: 300,
+            trainer: TrainerConfig {
+                cells_override: Some(12),
+                reconstruction: ReconstructionConfig {
+                    max_iterations: 300,
+                    ..ReconstructionConfig::default()
+                },
+                ..TrainerConfig::default()
+            },
+            ..Self::frontier_defaults()
+        }
+    }
+}
+
+/// One measured grid point of the frontier.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Noise family of this point.
+    pub family: NoiseKind,
+    /// Target privacy level in percent (the knob).
+    pub target_privacy_pct: f64,
+    /// Likelihood kernel the reconstructions used.
+    pub kernel: LikelihoodKernel,
+    /// Achieved confidence-interval privacy on the reference attribute,
+    /// in percent of its domain width — computed by the *generic*
+    /// shortest-interval metric, so it double-checks the closed-form
+    /// solve in `noise_for_privacy`.
+    pub interval_privacy_pct: f64,
+    /// Achieved entropy privacy `Pi(Y)` on the reference attribute, in
+    /// percent of its domain width.
+    pub entropy_privacy_pct: f64,
+    /// Total-variation distance of the reconstructed reference-attribute
+    /// histogram from the true one (0 = perfect).
+    pub recon_tv: f64,
+    /// TV distance of the *unreconstructed* perturbed histogram — the
+    /// no-reconstruction baseline for `recon_tv`.
+    pub naive_tv: f64,
+    /// Iterations the reference-attribute solve took.
+    pub recon_iterations: usize,
+    /// Held-out accuracy of the ByClass trainer.
+    pub byclass_accuracy: f64,
+    /// Held-out accuracy of the Randomized (no reconstruction) baseline.
+    pub randomized_accuracy: f64,
+}
+
+/// Derives a grid cell's seed from the sweep seed (SplitMix64-style, so
+/// neighbouring cells land on uncorrelated streams).
+fn cell_seed(seed: u64, family_idx: usize, level_idx: usize) -> u64 {
+    let mut z = seed ^ ((family_idx as u64 + 1) << 32) ^ (level_idx as u64 + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs the sweep grid, fanning `family x privacy-level` cells across
+/// worker threads. Rows come back sorted by (family, level, kernel)
+/// regardless of scheduling.
+pub fn run_sweep(cfg: &SweepConfig) -> Result<Vec<SweepPoint>> {
+    let (train_d, test_d) = generate_train_test(cfg.n_train, cfg.n_test, cfg.function, cfg.seed);
+    let cells: Vec<(usize, usize)> = (0..cfg.families.len())
+        .flat_map(|f| (0..cfg.privacy_levels.len()).map(move |l| (f, l)))
+        .collect();
+    let results: Vec<Result<Vec<SweepPoint>>> = cells
+        .par_iter()
+        .map(|&(family_idx, level_idx)| {
+            let family = cfg.families[family_idx];
+            let level = cfg.privacy_levels[level_idx];
+            let plan = PerturbPlan::for_privacy(family, level, cfg.confidence)?;
+            let seed = cell_seed(cfg.seed, family_idx, level_idx);
+            let perturbed = plan.perturb_dataset(&train_d, seed);
+
+            // Privacy metrics on the reference attribute (identical, by
+            // construction, across attributes up to the domain scaling).
+            let model = plan.model(REFERENCE_ATTRIBUTE);
+            let domain = REFERENCE_ATTRIBUTE.domain();
+            let interval_pct = interval::shortest_interval_pct(model, cfg.confidence, &domain)?;
+            let entropy_pct = 100.0 * entropy::inherent_privacy(model) / domain.width();
+
+            // Kernel-independent classification baseline.
+            let randomized =
+                train(TrainingAlgorithm::Randomized, None, &perturbed, &plan, &cfg.trainer)?;
+            let randomized_accuracy = evaluate(&randomized, &test_d).accuracy;
+
+            // Reference-attribute reconstruction input, shared by kernels.
+            let partition = Partition::new(domain, cfg.cells)?;
+            let truth = Histogram::from_values(partition, &train_d.column(REFERENCE_ATTRIBUTE));
+            let observed = perturbed.column(REFERENCE_ATTRIBUTE);
+            let naive_tv = total_variation(&Histogram::from_values(partition, &observed), &truth)?;
+
+            let mut points = Vec::with_capacity(cfg.kernels.len());
+            for &kernel in &cfg.kernels {
+                let recon_cfg = ReconstructionConfig { kernel, ..cfg.trainer.reconstruction };
+                let recon = reconstruct(model, partition, &observed, &recon_cfg)?;
+                let recon_tv = total_variation(&recon.histogram, &truth)?;
+                let trainer = TrainerConfig { reconstruction: recon_cfg, ..cfg.trainer };
+                let byclass = train(TrainingAlgorithm::ByClass, None, &perturbed, &plan, &trainer)?;
+                points.push(SweepPoint {
+                    family,
+                    target_privacy_pct: level,
+                    kernel,
+                    interval_privacy_pct: interval_pct,
+                    entropy_privacy_pct: entropy_pct,
+                    recon_tv,
+                    naive_tv,
+                    recon_iterations: recon.iterations,
+                    byclass_accuracy: evaluate(&byclass, &test_d).accuracy,
+                    randomized_accuracy,
+                });
+            }
+            Ok(points)
+        })
+        .collect();
+    let mut rows: Vec<SweepPoint> =
+        results.into_iter().collect::<Result<Vec<_>>>()?.into_iter().flatten().collect();
+    rows.sort_by(|a, b| {
+        let key = |p: &SweepPoint| {
+            (
+                cfg.families.iter().position(|f| *f == p.family).unwrap_or(usize::MAX),
+                cfg.privacy_levels
+                    .iter()
+                    .position(|l| *l == p.target_privacy_pct)
+                    .unwrap_or(usize::MAX),
+                cfg.kernels.iter().position(|k| *k == p.kernel).unwrap_or(usize::MAX),
+            )
+        };
+        key(a).cmp(&key(b))
+    });
+    Ok(rows)
+}
+
+/// Renders the frontier as the paper-style aligned table: one row per
+/// grid point, grouped by family and level.
+pub fn render_frontier(points: &[SweepPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.family.to_string(),
+                format!("{:.0}%", p.target_privacy_pct),
+                format!("{:?}", p.kernel),
+                format!("{:.1}%", p.interval_privacy_pct),
+                format!("{:.1}%", p.entropy_privacy_pct),
+                table::num(p.recon_tv, 4),
+                table::num(p.naive_tv, 4),
+                p.recon_iterations.to_string(),
+                table::pct(p.byclass_accuracy),
+                table::pct(p.randomized_accuracy),
+            ]
+        })
+        .collect();
+    table::render(
+        &[
+            "family",
+            "target",
+            "kernel",
+            "interval95",
+            "entropyPi",
+            "reconTV",
+            "naiveTV",
+            "iters",
+            "ByClass%",
+            "Randomized%",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_covers_the_grid_deterministically() {
+        let cfg = SweepConfig::tiny();
+        let points = run_sweep(&cfg).unwrap();
+        assert_eq!(points.len(), cfg.families.len() * cfg.privacy_levels.len() * cfg.kernels.len());
+        for p in &points {
+            assert!(p.byclass_accuracy > 0.3 && p.byclass_accuracy <= 1.0, "{p:?}");
+            assert!(p.randomized_accuracy > 0.3 && p.randomized_accuracy <= 1.0, "{p:?}");
+            assert!(p.recon_tv >= 0.0 && p.recon_tv <= 1.0, "{p:?}");
+            assert!(p.recon_iterations >= 1, "{p:?}");
+            // The generic interval metric must agree with the closed-form
+            // solve that sized the noise.
+            assert!(
+                (p.interval_privacy_pct - p.target_privacy_pct).abs() < 0.01 * p.target_privacy_pct,
+                "{p:?}"
+            );
+        }
+        // All four families appear.
+        for family in NoiseKind::ALL {
+            assert!(points.iter().any(|p| p.family == family), "missing {family}");
+        }
+        // Deterministic: same config, same rows.
+        let again = run_sweep(&cfg).unwrap();
+        for (a, b) in points.iter().zip(&again) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+
+    #[test]
+    fn frontier_table_renders_every_point() {
+        let cfg = SweepConfig::tiny();
+        let points = run_sweep(&cfg).unwrap();
+        let rendered = render_frontier(&points);
+        assert_eq!(rendered.lines().count(), points.len() + 2, "{rendered}");
+        for family in ["uniform", "gaussian", "laplace", "gauss-mix"] {
+            assert!(rendered.contains(family), "{family} missing from\n{rendered}");
+        }
+    }
+}

@@ -8,11 +8,14 @@
 //! The crate is organized around the paper's pipeline:
 //!
 //! 1. [`randomize`] — data providers perturb sensitive values with a public
-//!    noise distribution ([`randomize::NoiseModel`]), disclose only interval
+//!    noise distribution ([`randomize::NoiseModel`]: uniform, Gaussian,
+//!    Laplace, or a two-component Gaussian mixture — an open set behind
+//!    the [`randomize::NoiseDensity`] trait), disclose only interval
 //!    membership ([`randomize::Discretizer`]), or randomize categorical
 //!    values ([`randomize::RandomizedResponse`]).
 //! 2. [`privacy`] — the confidence-interval privacy metric of AS00 section
-//!    2.2, its inverse (how much noise achieves a target privacy level),
+//!    2.2 (closed forms plus the generic [`privacy::interval`] solver),
+//!    its inverse (how much noise achieves a target privacy level),
 //!    and the entropy-based metrics of the AA01 follow-up.
 //! 3. [`mod@reconstruct`] — the iterative Bayesian procedure of AS00 section 3
 //!    (plus the EM refinement) that recovers per-interval mass of the
@@ -56,7 +59,7 @@ pub mod stats;
 
 pub use domain::{Domain, Partition};
 pub use error::{Error, Result};
-pub use randomize::{NoiseDensity, NoiseModel};
+pub use randomize::{GaussianMixture, Laplace, NoiseDensity, NoiseModel};
 pub use reconstruct::{
     reconstruct, IncrementalReconstructor, Reconstruction, ReconstructionConfig,
     ReconstructionEngine, ReconstructionJob, ShardedAccumulator, SuffStats,

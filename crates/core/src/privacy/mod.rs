@@ -10,17 +10,20 @@
 //! The module answers both directions of the question:
 //!
 //! * [`interval_width`] / [`privacy_pct`]: given a noise model, how much
-//!   privacy does it provide?
+//!   privacy does it provide? (Closed forms for the built-in families;
+//!   [`interval`] computes the same metric generically from any
+//!   [`crate::randomize::NoiseDensity`].)
 //! * [`noise_for_privacy`]: given a target privacy level, how much noise is
 //!   needed? (This is how the evaluation's parameter sweeps are driven.)
 
 pub mod entropy;
+pub mod interval;
 
 use serde::{Deserialize, Serialize};
 
 use crate::domain::Domain;
 use crate::error::{Error, Result};
-use crate::randomize::NoiseModel;
+use crate::randomize::{GaussianMixture, NoiseModel};
 use crate::stats::special::normal_quantile;
 
 /// The confidence level used by all of AS00's reported privacy numbers.
@@ -34,6 +37,18 @@ pub enum NoiseKind {
     Uniform,
     /// Zero-mean Gaussian noise.
     Gaussian,
+    /// Zero-mean Laplace (double-exponential) noise.
+    Laplace,
+    /// Zero-mean two-component Gaussian mixture noise in the reference
+    /// shape ([`MIXTURE_SIGMA_RATIO`], [`MIXTURE_WIDE_WEIGHT`]), scaled
+    /// to the requested privacy level.
+    GaussianMixture,
+}
+
+impl NoiseKind {
+    /// All four built-in families in presentation order.
+    pub const ALL: [NoiseKind; 4] =
+        [NoiseKind::Uniform, NoiseKind::Gaussian, NoiseKind::Laplace, NoiseKind::GaussianMixture];
 }
 
 impl std::fmt::Display for NoiseKind {
@@ -41,11 +56,21 @@ impl std::fmt::Display for NoiseKind {
         match self {
             NoiseKind::Uniform => write!(f, "uniform"),
             NoiseKind::Gaussian => write!(f, "gaussian"),
+            NoiseKind::Laplace => write!(f, "laplace"),
+            NoiseKind::GaussianMixture => write!(f, "gauss-mix"),
         }
     }
 }
 
-fn validate_confidence(confidence: f64) -> Result<()> {
+/// Wide-to-narrow sigma ratio of the reference mixture shape used by
+/// [`noise_for_privacy`] for [`NoiseKind::GaussianMixture`].
+pub const MIXTURE_SIGMA_RATIO: f64 = 4.0;
+
+/// Wide-component weight of the reference mixture shape used by
+/// [`noise_for_privacy`] for [`NoiseKind::GaussianMixture`].
+pub const MIXTURE_WIDE_WEIGHT: f64 = 0.25;
+
+pub(crate) fn validate_confidence(confidence: f64) -> Result<()> {
     if !(confidence > 0.0 && confidence < 1.0) {
         return Err(Error::InvalidProbability { name: "confidence", value: confidence });
     }
@@ -62,6 +87,11 @@ fn validate_confidence(confidence: f64) -> Result<()> {
 ///   with half-width `z sigma` where `Phi(z) = (1 + c) / 2`, i.e.
 ///   `W = 2 z sigma` (AS00's tabulated `1.34 sigma` at 50% and
 ///   `3.92 sigma` at 95%).
+/// * Laplace with scale `b`: the tightest interval is centered with width
+///   `-2 b ln(1 - c)`.
+/// * Gaussian mixture: symmetric and unimodal, so the tightest interval
+///   is centered; its width is solved from the exact mixture CDF
+///   ([`interval::centered_width`]).
 /// * [`NoiseModel::None`]: zero width — no privacy.
 pub fn interval_width(noise: &NoiseModel, confidence: f64) -> Result<f64> {
     validate_confidence(confidence)?;
@@ -70,6 +100,10 @@ pub fn interval_width(noise: &NoiseModel, confidence: f64) -> Result<f64> {
         NoiseModel::Uniform { half_width } => 2.0 * half_width * confidence,
         NoiseModel::Gaussian { std_dev } => {
             2.0 * normal_quantile((1.0 + confidence) / 2.0) * std_dev
+        }
+        NoiseModel::Laplace { ref channel } => channel.interval_width(confidence),
+        NoiseModel::GaussianMixture { ref channel } => {
+            interval::centered_width(channel, confidence)?
         }
     })
 }
@@ -103,6 +137,16 @@ pub fn noise_for_privacy(
         NoiseKind::Gaussian => {
             let z = normal_quantile((1.0 + confidence) / 2.0);
             NoiseModel::gaussian(width / (2.0 * z))
+        }
+        NoiseKind::Laplace => NoiseModel::laplace(width / (-2.0 * (1.0 - confidence).ln())),
+        NoiseKind::GaussianMixture => {
+            // The interval width of a mixture scales exactly linearly with
+            // a joint scaling of both sigmas, so solve once at unit narrow
+            // sigma in the reference shape and scale to the target.
+            let unit = GaussianMixture::new(1.0, MIXTURE_SIGMA_RATIO, MIXTURE_WIDE_WEIGHT)
+                .expect("static reference shape is valid");
+            let unit_width = interval::centered_width(&unit, confidence)?;
+            Ok(NoiseModel::GaussianMixture { channel: unit.scaled(width / unit_width)? })
         }
     }
 }
@@ -191,6 +235,49 @@ mod tests {
             let back = privacy_pct(&noise, 0.95, &domain()).unwrap();
             assert!((back - target).abs() < 1e-6, "target {target}, got {back}");
         }
+    }
+
+    #[test]
+    fn noise_for_privacy_roundtrips_laplace_and_mixture() {
+        for kind in [NoiseKind::Laplace, NoiseKind::GaussianMixture] {
+            for &target in &[25.0, 50.0, 100.0, 150.0, 200.0] {
+                let noise = noise_for_privacy(kind, target, 0.95, &domain()).unwrap();
+                let back = privacy_pct(&noise, 0.95, &domain()).unwrap();
+                assert!((back - target).abs() < 1e-6, "{kind} target {target}, got {back}");
+            }
+        }
+    }
+
+    #[test]
+    fn laplace_interval_width_closed_form() {
+        // Width at confidence c is -2 b ln(1 - c).
+        let l = NoiseModel::laplace(3.0).unwrap();
+        let w = interval_width(&l, 0.95).unwrap();
+        assert!((w - (-6.0 * 0.05_f64.ln())).abs() < 1e-12);
+        // And the interval really captures 95% of the mass.
+        assert!((l.mass_between(-w / 2.0, w / 2.0) - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_interval_width_captures_confidence() {
+        let m = NoiseModel::gaussian_mixture(5.0, 20.0, 0.25).unwrap();
+        for c in [0.5, 0.95, 0.999] {
+            let w = interval_width(&m, c).unwrap();
+            assert!((m.mass_between(-w / 2.0, w / 2.0) - c).abs() < 1e-9, "confidence {c}");
+        }
+    }
+
+    #[test]
+    fn mixture_reference_shape_is_preserved() {
+        let NoiseModel::GaussianMixture { channel } =
+            noise_for_privacy(NoiseKind::GaussianMixture, 100.0, 0.95, &domain()).unwrap()
+        else {
+            panic!("mixture kind must yield a mixture model")
+        };
+        assert!(
+            (channel.std_dev_wide() / channel.std_dev_narrow() - MIXTURE_SIGMA_RATIO).abs() < 1e-9
+        );
+        assert!((channel.weight_wide() - MIXTURE_WIDE_WEIGHT).abs() < 1e-12);
     }
 
     #[test]

@@ -21,16 +21,41 @@ use super::NoiseModel;
 /// `mass_between`, and `span` functions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NoiseFingerprint {
-    /// Channel family tag (e.g. `"uniform"`, `"gaussian"`).
+    /// Channel family tag (e.g. `"uniform"`, `"gaussian"`, `"laplace"`,
+    /// `"gauss-mix"`).
     pub kind: &'static str,
-    /// Family parameters, bit-cast so the fingerprint is hashable.
-    pub params: [u64; 2],
+    /// Family parameters, bit-cast so the fingerprint is hashable. Unused
+    /// slots hold `0.0_f64.to_bits()`.
+    pub params: [u64; 3],
 }
 
 impl NoiseFingerprint {
     /// Builds a fingerprint from a family tag and up to two parameters.
     pub fn new(kind: &'static str, a: f64, b: f64) -> Self {
-        NoiseFingerprint { kind, params: [a.to_bits(), b.to_bits()] }
+        Self::with_params(kind, [a, b, 0.0])
+    }
+
+    /// Builds a fingerprint from a family tag and up to three parameters
+    /// (families with more parameters should hash them down to three).
+    pub fn with_params(kind: &'static str, params: [f64; 3]) -> Self {
+        NoiseFingerprint { kind, params: params.map(f64::to_bits) }
+    }
+}
+
+/// Fills `out` by looping a per-draw sampler over a seed-derived
+/// [`StdRng`]. Shared by every built-in channel's `fill_noise` — and by
+/// the [`NoiseModel`] wrappers — so a wrapped channel and the bare
+/// struct produce bit-identical noise streams from identical seeds (the
+/// invariant the shared fingerprint, and hence kernel-cache sharing,
+/// relies on).
+pub(crate) fn fill_with_sampler(
+    seed: u64,
+    out: &mut [f64],
+    mut sample: impl FnMut(&mut StdRng) -> f64,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for o in out.iter_mut() {
+        *o = sample(&mut rng);
     }
 }
 
@@ -110,18 +135,23 @@ impl NoiseDensity for NoiseModel {
     }
 
     fn fingerprint(&self) -> Option<NoiseFingerprint> {
-        Some(match *self {
-            NoiseModel::None => NoiseFingerprint::new("none", 0.0, 0.0),
-            NoiseModel::Uniform { half_width } => NoiseFingerprint::new("uniform", half_width, 0.0),
-            NoiseModel::Gaussian { std_dev } => NoiseFingerprint::new("gaussian", std_dev, 0.0),
-        })
+        match *self {
+            NoiseModel::None => Some(NoiseFingerprint::new("none", 0.0, 0.0)),
+            NoiseModel::Uniform { half_width } => {
+                Some(NoiseFingerprint::new("uniform", half_width, 0.0))
+            }
+            NoiseModel::Gaussian { std_dev } => {
+                Some(NoiseFingerprint::new("gaussian", std_dev, 0.0))
+            }
+            // Delegate so a wrapped channel and the bare struct share one
+            // fingerprint (and hence one cached kernel per geometry).
+            NoiseModel::Laplace { ref channel } => channel.fingerprint(),
+            NoiseModel::GaussianMixture { ref channel } => channel.fingerprint(),
+        }
     }
 
     fn fill_noise(&self, seed: u64, out: &mut [f64]) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        for o in out.iter_mut() {
-            *o = self.sample_noise(&mut rng);
-        }
+        fill_with_sampler(seed, out, |rng| self.sample_noise(rng));
     }
 }
 

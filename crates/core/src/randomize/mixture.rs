@@ -1,0 +1,297 @@
+//! The two-component Gaussian scale-mixture noise channel.
+//!
+//! A mixture of a narrow and a wide zero-mean Gaussian models a
+//! heterogeneous client population (most clients add light noise, a
+//! fraction adds heavy noise) and produces a heavy-tailed but still
+//! smooth channel — a shape neither the uniform, Gaussian, nor Laplace
+//! families can express. Both components share mean zero, so the density
+//! stays symmetric and unimodal and the confidence-interval privacy
+//! metric remains well behaved.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::stats::special::{normal_cdf, normal_pdf};
+
+use super::density::{NoiseDensity, NoiseFingerprint};
+
+/// Number of wide-component standard deviations treated as the effective
+/// support; matches the plain Gaussian channel's 4-sigma cut (the mass
+/// beyond is below `7e-5` for any mixture weight).
+const MIXTURE_SPAN_SIGMAS: f64 = 4.0;
+
+/// Zero-mean two-component Gaussian mixture noise.
+///
+/// With narrow standard deviation `s_n`, wide standard deviation `s_w`
+/// and wide-component weight `p`, the density and CDF are exact:
+///
+/// ```text
+/// f(y) = (1 - p) * phi(y / s_n) / s_n  +  p * phi(y / s_w) / s_w
+/// F(y) = (1 - p) * Phi(y / s_n)        +  p * Phi(y / s_w)
+/// ```
+///
+/// where `phi`/`Phi` are the standard normal density/CDF. The variance is
+/// `(1 - p) s_n^2 + p s_w^2`.
+///
+/// `GaussianMixture` implements [`NoiseDensity`], so it plugs directly
+/// into the reconstruction engine, streaming sketches, and the generic
+/// privacy metrics, with a stable fingerprint for kernel caching.
+///
+/// # Example
+///
+/// ```
+/// use ppdm_core::randomize::{GaussianMixture, NoiseDensity};
+///
+/// // 80% of clients draw sigma = 5 noise, 20% draw sigma = 20.
+/// let noise = GaussianMixture::new(5.0, 20.0, 0.2)?;
+/// // The exact mixture CDF integrates to 1 over the effective support:
+/// let span = noise.span();
+/// assert!(NoiseDensity::mass_between(&noise, -span, span) > 0.9999);
+/// // Heavier tails than a single Gaussian of the narrow sigma:
+/// assert!(noise.density(30.0) > 1e-6);
+/// # Ok::<(), ppdm_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaussianMixture {
+    std_dev_narrow: f64,
+    std_dev_wide: f64,
+    weight_wide: f64,
+}
+
+impl GaussianMixture {
+    /// A mixture of `Normal(0, std_dev_narrow)` (weight `1 - weight_wide`)
+    /// and `Normal(0, std_dev_wide)` (weight `weight_wide`).
+    ///
+    /// Requires `0 < std_dev_narrow <= std_dev_wide` (both finite) and
+    /// `weight_wide` in `(0, 1)` — a degenerate weight is just a plain
+    /// Gaussian, which [`super::NoiseModel::Gaussian`] already covers.
+    pub fn new(std_dev_narrow: f64, std_dev_wide: f64, weight_wide: f64) -> Result<Self> {
+        if !std_dev_narrow.is_finite() || std_dev_narrow <= 0.0 {
+            return Err(Error::InvalidNoiseParameter {
+                name: "std_dev_narrow",
+                value: std_dev_narrow,
+            });
+        }
+        if !std_dev_wide.is_finite() || std_dev_wide < std_dev_narrow {
+            return Err(Error::InvalidNoiseParameter { name: "std_dev_wide", value: std_dev_wide });
+        }
+        if !(weight_wide > 0.0 && weight_wide < 1.0) {
+            return Err(Error::InvalidProbability { name: "weight_wide", value: weight_wide });
+        }
+        Ok(GaussianMixture { std_dev_narrow, std_dev_wide, weight_wide })
+    }
+
+    /// Standard deviation of the narrow component.
+    #[inline]
+    pub fn std_dev_narrow(&self) -> f64 {
+        self.std_dev_narrow
+    }
+
+    /// Standard deviation of the wide component.
+    #[inline]
+    pub fn std_dev_wide(&self) -> f64 {
+        self.std_dev_wide
+    }
+
+    /// Weight of the wide component, in `(0, 1)`.
+    #[inline]
+    pub fn weight_wide(&self) -> f64 {
+        self.weight_wide
+    }
+
+    /// Exact mixture density.
+    pub fn density(&self, y: f64) -> f64 {
+        let narrow = normal_pdf(y / self.std_dev_narrow) / self.std_dev_narrow;
+        let wide = normal_pdf(y / self.std_dev_wide) / self.std_dev_wide;
+        (1.0 - self.weight_wide) * narrow + self.weight_wide * wide
+    }
+
+    /// Exact mixture CDF.
+    pub fn cdf(&self, y: f64) -> f64 {
+        (1.0 - self.weight_wide) * normal_cdf(y / self.std_dev_narrow)
+            + self.weight_wide * normal_cdf(y / self.std_dev_wide)
+    }
+
+    /// Exact probability that the noise falls in `[a, b]`.
+    pub fn mass_between(&self, a: f64, b: f64) -> f64 {
+        if b <= a {
+            return 0.0;
+        }
+        self.cdf(b) - self.cdf(a)
+    }
+
+    /// Effective support half-width used for bucketing
+    /// (four wide-component standard deviations, matching the plain
+    /// Gaussian channel's cut).
+    #[inline]
+    pub fn span(&self) -> f64 {
+        MIXTURE_SPAN_SIGMAS * self.std_dev_wide
+    }
+
+    /// Standard deviation of the mixture:
+    /// `sqrt((1 - p) s_n^2 + p s_w^2)`.
+    pub fn noise_std_dev(&self) -> f64 {
+        ((1.0 - self.weight_wide) * self.std_dev_narrow * self.std_dev_narrow
+            + self.weight_wide * self.std_dev_wide * self.std_dev_wide)
+            .sqrt()
+    }
+
+    /// The mixture scaled by `factor > 0` (both sigmas multiplied, weight
+    /// kept). Scaling is exact for every interval quantity: densities
+    /// compress by `1/factor` and interval widths stretch by `factor`.
+    pub fn scaled(&self, factor: f64) -> Result<Self> {
+        if !factor.is_finite() || factor <= 0.0 {
+            return Err(Error::InvalidNoiseParameter { name: "factor", value: factor });
+        }
+        GaussianMixture::new(
+            factor * self.std_dev_narrow,
+            factor * self.std_dev_wide,
+            self.weight_wide,
+        )
+    }
+
+    /// Draws one noise value: pick a component by weight, then sample it.
+    pub fn sample_noise<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let sigma =
+            if rng.gen_bool(self.weight_wide) { self.std_dev_wide } else { self.std_dev_narrow };
+        // Parameters validated at construction; Normal::new only fails on
+        // non-finite sigma.
+        Normal::new(0.0, sigma).expect("validated std_dev").sample(rng)
+    }
+}
+
+impl NoiseDensity for GaussianMixture {
+    fn density(&self, y: f64) -> f64 {
+        GaussianMixture::density(self, y)
+    }
+
+    fn mass_between(&self, a: f64, b: f64) -> f64 {
+        GaussianMixture::mass_between(self, a, b)
+    }
+
+    fn span(&self) -> f64 {
+        GaussianMixture::span(self)
+    }
+
+    fn fingerprint(&self) -> Option<NoiseFingerprint> {
+        Some(NoiseFingerprint::with_params(
+            "gauss-mix",
+            [self.std_dev_narrow, self.std_dev_wide, self.weight_wide],
+        ))
+    }
+
+    fn fill_noise(&self, seed: u64, out: &mut [f64]) {
+        super::density::fill_with_sampler(seed, out, |rng| self.sample_noise(rng));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix() -> GaussianMixture {
+        GaussianMixture::new(5.0, 20.0, 0.25).unwrap()
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(GaussianMixture::new(0.0, 10.0, 0.3).is_err());
+        assert!(GaussianMixture::new(-1.0, 10.0, 0.3).is_err());
+        assert!(GaussianMixture::new(5.0, 4.0, 0.3).is_err(), "wide must be >= narrow");
+        assert!(GaussianMixture::new(5.0, f64::INFINITY, 0.3).is_err());
+        assert!(GaussianMixture::new(5.0, 10.0, 0.0).is_err());
+        assert!(GaussianMixture::new(5.0, 10.0, 1.0).is_err());
+        assert!(GaussianMixture::new(5.0, 10.0, 0.5).is_ok());
+        assert!(GaussianMixture::new(5.0, 5.0, 0.5).is_ok(), "equal sigmas are allowed");
+    }
+
+    #[test]
+    fn density_is_weighted_sum_of_components() {
+        let m = mix();
+        for y in [-30.0, -5.0, 0.0, 2.5, 18.0] {
+            let narrow = normal_pdf(y / 5.0) / 5.0;
+            let wide = normal_pdf(y / 20.0) / 20.0;
+            let expect = 0.75 * narrow + 0.25 * wide;
+            assert!((m.density(y) - expect).abs() < 1e-15, "y {y}");
+        }
+    }
+
+    #[test]
+    fn cdf_is_exact_and_mass_consistent() {
+        let m = mix();
+        assert!((m.cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((m.mass_between(-m.span(), m.span()) - 1.0).abs() < 1e-4);
+        assert_eq!(m.mass_between(2.0, 2.0), 0.0);
+        assert_eq!(m.mass_between(5.0, 1.0), 0.0);
+        // Trapezoid check of density vs CDF mass.
+        let (a, b) = (-10.0, 15.0);
+        let steps = 40_000;
+        let h = (b - a) / steps as f64;
+        let mut sum = 0.5 * (m.density(a) + m.density(b));
+        for i in 1..steps {
+            sum += m.density(a + i as f64 * h);
+        }
+        assert!((sum * h - m.mass_between(a, b)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn moments_match_sampling() {
+        let m = mix();
+        let mut xs = vec![0.0; 100_000];
+        NoiseDensity::fill_noise(&m, 11, &mut xs);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.15, "mean {mean}");
+        assert!((var.sqrt() - m.noise_std_dev()).abs() < 0.15, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_by_seed() {
+        let m = mix();
+        let mut a = vec![0.0; 1_000];
+        let mut b = vec![0.0; 1_000];
+        NoiseDensity::fill_noise(&m, 3, &mut a);
+        NoiseDensity::fill_noise(&m, 3, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heavier_tails_than_narrow_component_alone() {
+        let m = mix();
+        // At 6 narrow sigmas the mixture's wide component dominates.
+        let narrow_only = normal_pdf(30.0 / 5.0) / 5.0;
+        assert!(m.density(30.0) > 10.0 * narrow_only);
+    }
+
+    #[test]
+    fn scaled_stretches_interval_quantities() {
+        let m = mix();
+        let s = m.scaled(2.0).unwrap();
+        assert_eq!(s.std_dev_narrow(), 10.0);
+        assert_eq!(s.std_dev_wide(), 40.0);
+        assert_eq!(s.weight_wide(), 0.25);
+        // Mass on a stretched interval is preserved.
+        assert!((s.mass_between(-10.0, 10.0) - m.mass_between(-5.0, 5.0)).abs() < 1e-12);
+        assert!(m.scaled(0.0).is_err());
+    }
+
+    #[test]
+    fn fingerprints_distinguish_parameters() {
+        let a = NoiseDensity::fingerprint(&mix()).unwrap();
+        let b = NoiseDensity::fingerprint(&GaussianMixture::new(5.0, 20.0, 0.26).unwrap()).unwrap();
+        let c = NoiseDensity::fingerprint(&GaussianMixture::new(5.0, 21.0, 0.25).unwrap()).unwrap();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, NoiseDensity::fingerprint(&mix()).unwrap());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = mix();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: GaussianMixture = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

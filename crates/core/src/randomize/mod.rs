@@ -3,21 +3,41 @@
 //! Data providers perturb each sensitive value `x` before submitting it:
 //!
 //! * **Value distortion** ([`NoiseModel`]): submit `x + y` where `y` is
-//!   drawn from a public noise distribution (uniform or Gaussian). This is
-//!   the method AS00 evaluates.
+//!   drawn from a public noise distribution. This is the method AS00
+//!   evaluates (with uniform and Gaussian noise); this crate additionally
+//!   ships [`Laplace`] and [`GaussianMixture`] channels.
 //! * **Value-class membership** ([`Discretizer`]): submit only the interval
 //!   containing `x` (AS00 section 2.1's alternative method).
 //! * **Randomized response** ([`RandomizedResponse`]): for categorical
 //!   values, keep the true category with probability `p`, otherwise submit
 //!   a uniformly random category (Warner 1965; AS00's future-work direction
 //!   for categorical attributes).
+//!
+//! # Open vs closed noise families
+//!
+//! The *open* extension point is the [`NoiseDensity`] trait: anything
+//! implementing it (density, interval mass, span, optional fingerprint +
+//! batch sampling) plugs into the reconstruction engine, the streaming
+//! sketches, and the generic privacy metrics without touching this crate.
+//! [`Laplace`] and [`GaussianMixture`] are standalone such channels.
+//!
+//! [`NoiseModel`] is the *closed*, serializable registry of the built-in
+//! families — the form carried by perturbation plans, experiment configs,
+//! and fixtures. Its `Laplace`/`GaussianMixture` variants wrap the
+//! standalone structs and delegate all math to them, so a wrapped channel
+//! and the bare struct are bit-identical (same densities, same noise
+//! streams, same fingerprint, hence one shared kernel-cache entry).
 
 mod density;
 mod discretize;
+mod laplace;
+mod mixture;
 mod response;
 
 pub use density::{NoiseDensity, NoiseFingerprint};
 pub use discretize::Discretizer;
+pub use laplace::Laplace;
+pub use mixture::GaussianMixture;
 pub use response::RandomizedResponse;
 
 use rand::Rng;
@@ -45,6 +65,18 @@ pub enum NoiseModel {
         /// Standard deviation `sigma` of the noise.
         std_dev: f64,
     },
+    /// Laplace (double-exponential) noise — the differential-privacy-
+    /// adjacent channel. Delegates to the standalone [`Laplace`] struct.
+    Laplace {
+        /// The wrapped channel (scale parameter `b`).
+        channel: Laplace,
+    },
+    /// Zero-mean two-component Gaussian mixture noise (narrow + wide
+    /// component). Delegates to the standalone [`GaussianMixture`] struct.
+    GaussianMixture {
+        /// The wrapped channel (component sigmas + wide-component weight).
+        channel: GaussianMixture,
+    },
 }
 
 /// Number of Gaussian standard deviations treated as the effective noise
@@ -69,6 +101,23 @@ impl NoiseModel {
         Ok(NoiseModel::Gaussian { std_dev })
     }
 
+    /// Laplace noise with scale parameter `scale` (see [`Laplace::new`]).
+    pub fn laplace(scale: f64) -> Result<Self> {
+        Ok(NoiseModel::Laplace { channel: Laplace::new(scale)? })
+    }
+
+    /// Two-component Gaussian mixture noise (see [`GaussianMixture::new`]
+    /// for the parameter constraints).
+    pub fn gaussian_mixture(
+        std_dev_narrow: f64,
+        std_dev_wide: f64,
+        weight_wide: f64,
+    ) -> Result<Self> {
+        Ok(NoiseModel::GaussianMixture {
+            channel: GaussianMixture::new(std_dev_narrow, std_dev_wide, weight_wide)?,
+        })
+    }
+
     /// Whether this is the identity (no-noise) model.
     #[inline]
     pub fn is_none(&self) -> bool {
@@ -85,6 +134,8 @@ impl NoiseModel {
                 // fails on non-finite sigma.
                 Normal::new(0.0, std_dev).expect("validated std_dev").sample(rng)
             }
+            NoiseModel::Laplace { channel } => channel.sample_noise(rng),
+            NoiseModel::GaussianMixture { channel } => channel.sample_noise(rng),
         }
     }
 
@@ -121,6 +172,8 @@ impl NoiseModel {
             NoiseModel::Gaussian { std_dev } => {
                 crate::stats::special::normal_pdf(y / std_dev) / std_dev
             }
+            NoiseModel::Laplace { channel } => channel.density(y),
+            NoiseModel::GaussianMixture { channel } => channel.density(y),
         }
     }
 
@@ -146,6 +199,8 @@ impl NoiseModel {
                 crate::stats::special::normal_cdf(b / std_dev)
                     - crate::stats::special::normal_cdf(a / std_dev)
             }
+            NoiseModel::Laplace { channel } => channel.mass_between(a, b),
+            NoiseModel::GaussianMixture { channel } => channel.mass_between(a, b),
         }
     }
 
@@ -156,6 +211,8 @@ impl NoiseModel {
             NoiseModel::None => 0.0,
             NoiseModel::Uniform { half_width } => half_width,
             NoiseModel::Gaussian { std_dev } => GAUSSIAN_SPAN_SIGMAS * std_dev,
+            NoiseModel::Laplace { channel } => channel.span(),
+            NoiseModel::GaussianMixture { channel } => channel.span(),
         }
     }
 
@@ -165,6 +222,8 @@ impl NoiseModel {
             NoiseModel::None => 0.0,
             NoiseModel::Uniform { half_width } => half_width / 3.0_f64.sqrt(),
             NoiseModel::Gaussian { std_dev } => std_dev,
+            NoiseModel::Laplace { channel } => channel.noise_std_dev(),
+            NoiseModel::GaussianMixture { channel } => channel.noise_std_dev(),
         }
     }
 }

@@ -285,6 +285,33 @@ struct KernelCache {
 /// Reusable, thread-safe reconstruction engine with a likelihood-kernel
 /// cache. See the [module docs](self) for the factorization and caching
 /// rules.
+///
+/// # Example
+///
+/// ```
+/// use ppdm_core::domain::{Domain, Partition};
+/// use ppdm_core::randomize::NoiseModel;
+/// use ppdm_core::reconstruct::{ReconstructionConfig, ReconstructionEngine};
+/// use rand::{rngs::StdRng, Rng, SeedableRng};
+///
+/// // A sample perturbed through a public Gaussian channel.
+/// let noise = NoiseModel::gaussian(10.0)?;
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let originals: Vec<f64> = (0..2_000).map(|_| rng.gen_range(0.0..100.0)).collect();
+/// let observed = noise.perturb_all(&originals, &mut rng);
+///
+/// // The engine reconstructs the original distribution; the likelihood
+/// // kernel for this (noise, partition, kernel) geometry is cached, so a
+/// // second call with the same geometry skips the precomputation.
+/// let engine = ReconstructionEngine::new();
+/// let partition = Partition::new(Domain::new(0.0, 100.0)?, 20)?;
+/// let result = engine.reconstruct(&noise, partition, &observed, &ReconstructionConfig::bayes())?;
+/// assert!((result.histogram.total() - 2_000.0).abs() < 1e-6);
+/// assert_eq!(engine.cached_kernels(), 1);
+/// engine.reconstruct(&noise, partition, &observed, &ReconstructionConfig::bayes())?;
+/// assert_eq!(engine.cached_kernels(), 1);
+/// # Ok::<(), ppdm_core::Error>(())
+/// ```
 pub struct ReconstructionEngine {
     cache: RwLock<KernelCache>,
     /// Soft bound on total cached likelihood entries (`f64`s).

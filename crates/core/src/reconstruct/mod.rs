@@ -274,6 +274,35 @@ mod tests {
     }
 
     #[test]
+    fn bimodal_structure_recovered_laplace_and_mixture() {
+        // The new families flow through the same engine: both kernels
+        // must beat the naive perturbed histogram on the bimodal sample.
+        let p = part(0.0, 100.0, 25);
+        let originals = bimodal_sample(20_000, 15);
+        let channels: [NoiseModel; 2] = [
+            NoiseModel::laplace(15.0).unwrap(),
+            NoiseModel::gaussian_mixture(8.0, 30.0, 0.25).unwrap(),
+        ];
+        for (i, noise) in channels.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(16 + i as u64);
+            let observed = noise.perturb_all(&originals, &mut rng);
+            let truth = Histogram::from_values(p, &originals);
+            let naive = Histogram::from_values(p, &observed);
+            for config in [ReconstructionConfig::bayes(), ReconstructionConfig::em()] {
+                let r = reconstruct(noise, p, &observed, &config).unwrap();
+                let tv_recon = total_variation(&r.histogram, &truth).unwrap();
+                let tv_naive = total_variation(&naive, &truth).unwrap();
+                assert!(
+                    tv_recon < tv_naive,
+                    "{noise:?} {:?}: recon {tv_recon} naive {tv_naive}",
+                    config.kernel
+                );
+                assert!((r.histogram.total() - 20_000.0).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
     fn exact_and_bucketed_reach_similar_quality() {
         // Bucketing is a performance optimization: at convergence the two
         // modes need not produce identical histograms (the deconvolution

@@ -54,6 +54,29 @@ use super::{Reconstruction, ReconstructionConfig, UpdateMode};
 /// construction; [`SuffStats::merge`] refuses shards built against a
 /// different channel or partition, so incompatible shards fail fast
 /// instead of silently corrupting the estimate.
+///
+/// # Example
+///
+/// ```
+/// use ppdm_core::domain::{Domain, Partition};
+/// use ppdm_core::randomize::NoiseModel;
+/// use ppdm_core::reconstruct::SuffStats;
+///
+/// let noise = NoiseModel::uniform(10.0)?;
+/// let partition = Partition::new(Domain::new(0.0, 100.0)?, 10)?;
+///
+/// // Two shards ingest disjoint batches...
+/// let shard_a = SuffStats::from_values(&noise, partition, &[5.0, 42.0, 99.0])?;
+/// let shard_b = SuffStats::from_values(&noise, partition, &[17.0, 63.0])?;
+///
+/// // ...and merge into exactly the statistics of the concatenated sample.
+/// let merged = shard_a.merge(&shard_b)?;
+/// assert_eq!(merged.count(), 5);
+/// let together =
+///     SuffStats::from_values(&noise, partition, &[5.0, 42.0, 99.0, 17.0, 63.0])?;
+/// assert_eq!(merged, together);
+/// # Ok::<(), ppdm_core::Error>(())
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct SuffStats {
     noise: NoiseFingerprint,

@@ -155,6 +155,38 @@ mod tests {
     }
 
     #[test]
+    fn every_family_hits_its_privacy_target() {
+        for kind in [
+            NoiseKind::Uniform,
+            NoiseKind::Gaussian,
+            NoiseKind::Laplace,
+            NoiseKind::GaussianMixture,
+        ] {
+            let plan = PerturbPlan::for_privacy(kind, 100.0, DEFAULT_CONFIDENCE).unwrap();
+            for attr in Attribute::ALL {
+                let pct = plan.privacy_pct(attr, DEFAULT_CONFIDENCE).unwrap();
+                assert!((pct - 100.0).abs() < 1e-6, "{kind} {attr}: {pct}");
+            }
+        }
+    }
+
+    #[test]
+    fn laplace_perturbation_matches_noise_moments() {
+        let d = generate(20_000, LabelFunction::F1, 15);
+        let plan = PerturbPlan::for_privacy(NoiseKind::Laplace, 100.0, DEFAULT_CONFIDENCE).unwrap();
+        let p = plan.perturb_dataset(&d, 16);
+        let diffs: Vec<f64> = d
+            .column(Attribute::Age)
+            .iter()
+            .zip(p.column(Attribute::Age))
+            .map(|(o, n)| n - o)
+            .collect();
+        let expect_sigma = plan.model(Attribute::Age).noise_std_dev();
+        assert!(mean(&diffs).abs() < 0.5, "noise mean {}", mean(&diffs));
+        assert!((std_dev(&diffs) - expect_sigma).abs() < 0.5, "noise sigma {}", std_dev(&diffs));
+    }
+
+    #[test]
     fn labels_are_preserved() {
         let d = generate(500, LabelFunction::F5, 3);
         let plan = PerturbPlan::for_privacy(NoiseKind::Uniform, 50.0, DEFAULT_CONFIDENCE).unwrap();

@@ -179,6 +179,21 @@ mod tests {
     }
 
     #[test]
+    fn new_noise_families_stream_like_the_original_ones() {
+        // The stream is family-agnostic: Laplace/mixture plans yield the
+        // same underlying record stream, deterministically perturbed.
+        for kind in [NoiseKind::Laplace, NoiseKind::GaussianMixture] {
+            let plan = PerturbPlan::for_privacy(kind, 75.0, DEFAULT_CONFIDENCE).unwrap();
+            let collect = |seed: u64| -> Vec<Dataset> {
+                PerturbedBatchStream::new(&plan, LabelFunction::F2, 400, 100, seed).collect()
+            };
+            assert_eq!(collect(21), collect(21), "{kind} stream must be deterministic");
+            let labels: Vec<_> = collect(21).iter().flat_map(|b| b.labels().to_vec()).collect();
+            assert_eq!(labels, generate(400, LabelFunction::F2, 21).labels(), "{kind}");
+        }
+    }
+
+    #[test]
     fn labels_survive_perturbation() {
         let plan = PerturbPlan::for_privacy(NoiseKind::Uniform, 100.0, DEFAULT_CONFIDENCE).unwrap();
         let stream = PerturbedBatchStream::new(&plan, LabelFunction::F2, 500, 125, 13);

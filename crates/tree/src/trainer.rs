@@ -15,7 +15,7 @@ use std::borrow::Cow;
 
 use ppdm_core::domain::{suggested_cells, Partition};
 use ppdm_core::error::{Error, Result};
-use ppdm_core::randomize::NoiseModel;
+use ppdm_core::randomize::NoiseDensity;
 use ppdm_core::reconstruct::{
     shared_engine, ReconstructionConfig, ReconstructionEngine, ReconstructionJob, SuffStats,
     UpdateMode,
@@ -170,15 +170,18 @@ pub fn train(
 
 /// Builds an engine job for one attribute sample.
 ///
-/// In bucketed mode the values are folded into a [`SuffStats`] sketch
-/// here — a single bucketing pass — so the engine consumes per-interval
-/// counts instead of re-scanning the value slice (and the solve is
-/// bit-identical to the raw-sample path, see
+/// Accepts any [`NoiseDensity`] channel — the trainers themselves are
+/// family-agnostic; they see noise only through the density/mass/span
+/// interface (plans hand them [`ppdm_core::randomize::NoiseModel`]s, but a custom channel
+/// works identically). In bucketed mode the values are folded into a
+/// [`SuffStats`] sketch here — a single bucketing pass — so the engine
+/// consumes per-interval counts instead of re-scanning the value slice
+/// (and the solve is bit-identical to the raw-sample path, see
 /// `tests/streaming_equivalence.rs`). Exact mode needs every observation
 /// and keeps the raw sample: pass `Cow::Owned` when the values are not
 /// needed afterwards so no copy is ever made.
 pub(crate) fn make_job<'a>(
-    model: &'a NoiseModel,
+    model: &'a dyn NoiseDensity,
     partition: Partition,
     values: Cow<'_, [f64]>,
     config: ReconstructionConfig,
@@ -629,6 +632,22 @@ mod tests {
             acc_b > acc_r + 0.025,
             "ByClass ({acc_b}) should clearly beat Randomized ({acc_r})"
         );
+    }
+
+    #[test]
+    fn every_noise_family_trains_reconstruction_algorithms() {
+        // The trainers are family-agnostic: Laplace and mixture plans flow
+        // through the same reconstruction jobs as uniform/Gaussian ones.
+        let (train_d, test_d) = generate_train_test(2_000, 400, LabelFunction::F2, 12);
+        for kind in NoiseKind::ALL {
+            let plan = PerturbPlan::for_privacy(kind, 50.0, DEFAULT_CONFIDENCE).unwrap();
+            let perturbed = plan.perturb_dataset(&train_d, 13);
+            for algo in [TrainingAlgorithm::Global, TrainingAlgorithm::ByClass] {
+                let tree = train(algo, None, &perturbed, &plan, &quick_config()).unwrap();
+                let eval = evaluate(&tree, &test_d);
+                assert!(eval.accuracy > 0.4, "{kind} {algo} accuracy {}", eval.accuracy);
+            }
+        }
     }
 
     #[test]

@@ -70,11 +70,17 @@ struct FixtureOutput {
     masses: Vec<f64>,
 }
 
-/// Every committed scenario: Bayes (midpoint) + EM (cell-average), both
-/// noise families, plus a sharded-streaming twin per kernel.
+/// Every committed scenario: Bayes (midpoint) + EM (cell-average) across
+/// all four noise families, plus a sharded-streaming twin per kernel.
+///
+/// The Laplace and mixture channels are sized so their noise standard
+/// deviations are comparable to the Gaussian scenario's (sqrt(2)*10.6 ~
+/// 15 for Laplace; the mixture mixes sigma 8 and 30 at 25% wide weight).
 pub fn scenarios() -> Vec<FixtureScenario> {
     let gaussian = NoiseModel::gaussian(15.0).expect("static parameter");
     let uniform = NoiseModel::uniform(25.0).expect("static parameter");
+    let laplace = NoiseModel::laplace(10.6).expect("static parameter");
+    let mixture = NoiseModel::gaussian_mixture(8.0, 30.0, 0.25).expect("static parameters");
     vec![
         FixtureScenario {
             name: "bayes_gaussian",
@@ -108,6 +114,42 @@ pub fn scenarios() -> Vec<FixtureScenario> {
             noise: uniform,
             kernel: LikelihoodKernel::CellAverage,
             seed: 104,
+            n: 2_000,
+            cells: 20,
+            path: FixturePath::Monolithic,
+        },
+        FixtureScenario {
+            name: "bayes_laplace",
+            noise: laplace,
+            kernel: LikelihoodKernel::Midpoint,
+            seed: 105,
+            n: 2_000,
+            cells: 20,
+            path: FixturePath::Monolithic,
+        },
+        FixtureScenario {
+            name: "em_laplace",
+            noise: laplace,
+            kernel: LikelihoodKernel::CellAverage,
+            seed: 105,
+            n: 2_000,
+            cells: 20,
+            path: FixturePath::Monolithic,
+        },
+        FixtureScenario {
+            name: "bayes_mixture",
+            noise: mixture,
+            kernel: LikelihoodKernel::Midpoint,
+            seed: 106,
+            n: 2_000,
+            cells: 20,
+            path: FixturePath::Monolithic,
+        },
+        FixtureScenario {
+            name: "em_mixture",
+            noise: mixture,
+            kernel: LikelihoodKernel::CellAverage,
+            seed: 106,
             n: 2_000,
             cells: 20,
             path: FixturePath::Monolithic,
