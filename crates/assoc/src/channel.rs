@@ -1,0 +1,178 @@
+//! The partial-match channel of randomized-transaction support
+//! estimation, as a [`DiscreteChannel`].
+//!
+//! For a fixed `k`-itemset `A`, per-item randomization
+//! ([`ItemRandomizer`]: keep present items w.p. `p`, insert absent ones
+//! w.p. `q`) induces a channel on the *partial-match count* — how many
+//! items of `A` a transaction contains. A transaction truly containing
+//! `j` items of `A` is observed containing
+//! `Binomial(j, p) + Binomial(k - j, q)` of them, a `(k+1) x (k+1)`
+//! transition matrix that depends only on the itemset *size*.
+//!
+//! Implementing [`DiscreteChannel`] here is what unifies the two halves
+//! of AS00: the same
+//! [`ppdm_core::reconstruct::DiscreteReconstructionEngine`] that inverts
+//! randomized response inverts this channel — with the per-size
+//! factorization cached by fingerprint, so an Apriori pass pays each
+//! size's LU once instead of re-eliminating per candidate — and the same
+//! posterior-based privacy metrics
+//! ([`ppdm_core::privacy::discrete`]) apply to baskets, which is exactly
+//! the privacy-breach analysis of the Evfimievski-style uniform
+//! randomization scheme.
+
+use ppdm_core::error::{Error, Result};
+use ppdm_core::randomize::{ChannelFingerprint, DiscreteChannel};
+
+use crate::linalg::binomial;
+use crate::randomize::ItemRandomizer;
+
+/// The `(k+1)`-state partial-match channel of one itemset size under one
+/// [`ItemRandomizer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartialMatchChannel {
+    itemset_size: usize,
+    keep_prob: f64,
+    insert_prob: f64,
+}
+
+impl PartialMatchChannel {
+    /// The channel for itemsets of `itemset_size >= 1` items under
+    /// `randomizer` (the empty itemset has no channel — its support is
+    /// `1` by definition).
+    pub fn new(itemset_size: usize, randomizer: &ItemRandomizer) -> Result<Self> {
+        if itemset_size == 0 {
+            return Err(Error::InvalidStateCount { found: 1 });
+        }
+        Ok(PartialMatchChannel {
+            itemset_size,
+            keep_prob: randomizer.keep_prob(),
+            insert_prob: randomizer.insert_prob(),
+        })
+    }
+
+    /// The itemset size `k` this channel describes (states run `0..=k`).
+    pub fn itemset_size(&self) -> usize {
+        self.itemset_size
+    }
+}
+
+impl DiscreteChannel for PartialMatchChannel {
+    fn states(&self) -> usize {
+        self.itemset_size + 1
+    }
+
+    /// Probability of observing `observed` of the `k` items given `truth`
+    /// were truly present: kept items from the `truth` present ones plus
+    /// inserted items from the `k - truth` absent ones.
+    fn transition(&self, observed: usize, truth: usize) -> f64 {
+        let k = self.itemset_size;
+        let p = self.keep_prob;
+        let q = self.insert_prob;
+        let mut prob = 0.0;
+        let lo = observed.saturating_sub(k - truth);
+        let hi = truth.min(observed);
+        for kept in lo..=hi {
+            let inserted = observed - kept;
+            prob += binomial(truth, kept)
+                * p.powi(kept as i32)
+                * (1.0 - p).powi((truth - kept) as i32)
+                * binomial(k - truth, inserted)
+                * q.powi(inserted as i32)
+                * (1.0 - q).powi((k - truth - inserted) as i32);
+        }
+        prob
+    }
+
+    fn is_identity(&self) -> bool {
+        self.keep_prob == 1.0 && self.insert_prob == 0.0
+    }
+
+    fn fingerprint(&self) -> Option<ChannelFingerprint> {
+        Some(ChannelFingerprint::new(
+            "partial-match",
+            self.itemset_size + 1,
+            self.keep_prob,
+            self.insert_prob,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::channel_matrix;
+    use ppdm_core::privacy::discrete::posterior_breach_of;
+
+    #[test]
+    fn rejects_empty_itemsets() {
+        let r = ItemRandomizer::new(0.8, 0.1).unwrap();
+        assert!(matches!(PartialMatchChannel::new(0, &r), Err(Error::InvalidStateCount { .. })));
+    }
+
+    #[test]
+    fn transition_matches_legacy_channel_matrix_bit_for_bit() {
+        let r = ItemRandomizer::new(0.7, 0.2).unwrap();
+        for k in 1..=5 {
+            let channel = PartialMatchChannel::new(k, &r).unwrap();
+            let legacy = channel_matrix(k, &r);
+            #[allow(clippy::needless_range_loop)] // indices are also transition arguments
+            for observed in 0..=k {
+                for truth in 0..=k {
+                    assert_eq!(
+                        channel.transition(observed, truth),
+                        legacy[observed][truth],
+                        "k {k} observed {observed} truth {truth}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truth_columns_are_distributions() {
+        let r = ItemRandomizer::new(0.6, 0.15).unwrap();
+        let channel = PartialMatchChannel::new(4, &r).unwrap();
+        for truth in 0..channel.states() {
+            let col: f64 = (0..channel.states()).map(|o| channel.transition(o, truth)).sum();
+            assert!((col - 1.0).abs() < 1e-12, "truth {truth}: {col}");
+        }
+    }
+
+    #[test]
+    fn identity_randomizer_is_identity_channel() {
+        let r = ItemRandomizer::new(1.0, 0.0).unwrap();
+        let channel = PartialMatchChannel::new(3, &r).unwrap();
+        assert!(channel.is_identity());
+        let noisy = PartialMatchChannel::new(3, &ItemRandomizer::new(0.9, 0.0).unwrap()).unwrap();
+        assert!(!noisy.is_identity());
+    }
+
+    #[test]
+    fn fingerprints_distinguish_sizes_and_parameters() {
+        let r = ItemRandomizer::new(0.8, 0.1).unwrap();
+        let a = PartialMatchChannel::new(2, &r).unwrap().fingerprint().unwrap();
+        let b = PartialMatchChannel::new(3, &r).unwrap().fingerprint().unwrap();
+        let c = PartialMatchChannel::new(2, &ItemRandomizer::new(0.8, 0.2).unwrap())
+            .unwrap()
+            .fingerprint()
+            .unwrap();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, PartialMatchChannel::new(2, &r).unwrap().fingerprint().unwrap());
+    }
+
+    #[test]
+    fn posterior_breach_reduces_to_item_breach_probability() {
+        // For a single item (k = 1), the worst-case posterior of "truly
+        // present" under prior [1 - s, s] is exactly the classic
+        // breach_probability formula (an item seen in the randomized
+        // basket): the generic metric reproduces the bespoke one.
+        let r = ItemRandomizer::new(0.5, 0.1).unwrap();
+        let channel = PartialMatchChannel::new(1, &r).unwrap();
+        for s in [0.05, 0.2, 0.5, 0.9] {
+            let generic = posterior_breach_of(&channel, &[1.0 - s, s], 1).unwrap();
+            let bespoke = r.breach_probability(s).unwrap();
+            assert!((generic - bespoke).abs() < 1e-12, "support {s}: {generic} vs {bespoke}");
+        }
+    }
+}

@@ -15,19 +15,26 @@
 //! one; its last entry (transactions containing *all* of `A`) over `n` is
 //! the support estimate.
 //!
-//! Mirroring the numeric side's `ReconstructionEngine`, the channel here
-//! is factored out of the estimator: `M` depends only on the itemset
-//! *size* `k`, so [`estimated_support_oracle`] computes each `M` once and
-//! reuses it across every same-sized candidate Apriori evaluates, and
-//! [`estimated_supports`] fans independent itemsets across worker threads
-//! (the per-itemset cost is the `O(n)` partial-match scan).
-
-use std::collections::HashMap;
-use std::sync::Mutex;
+//! The channel is a [`PartialMatchChannel`] — a
+//! [`ppdm_core::randomize::DiscreteChannel`] — and every inversion routes
+//! through the process-wide
+//! [`ppdm_core::reconstruct::DiscreteReconstructionEngine`]: `M` depends
+//! only on the itemset *size* `k`, so its pivoted-LU factorization is
+//! cached by channel fingerprint and every same-sized candidate Apriori
+//! evaluates reuses it (across calls, oracles, and worker threads).
+//! [`estimated_supports`] fans independent itemsets across threads; the
+//! per-itemset cost is the `O(n)` partial-match scan.
+//!
+//! The pre-engine implementation (per-call Gaussian elimination over
+//! [`channel_matrix`]) is kept as [`estimated_support_reference`] for
+//! equivalence testing and benchmarking, mirroring the continuous side's
+//! `reconstruct_reference`.
 
 use ppdm_core::error::Result;
+use ppdm_core::reconstruct::shared_discrete_engine;
 use rayon::prelude::*;
 
+use crate::channel::PartialMatchChannel;
 use crate::linalg::{binomial, solve};
 use crate::randomize::ItemRandomizer;
 use crate::transaction::{Item, TransactionSet};
@@ -35,6 +42,10 @@ use crate::transaction::{Item, TransactionSet};
 /// The `(k+1) x (k+1)` channel matrix: entry `[observed][true]` is the
 /// probability of observing `observed` of the `k` items given `true` were
 /// truly present.
+///
+/// Legacy representation kept for the reference path and for tests; the
+/// production path gets the same values from
+/// [`PartialMatchChannel::transition`](ppdm_core::randomize::DiscreteChannel::transition).
 pub fn channel_matrix(k: usize, randomizer: &ItemRandomizer) -> Vec<Vec<f64>> {
     let p = randomizer.keep_prob();
     let q = randomizer.insert_prob();
@@ -62,12 +73,19 @@ pub fn channel_matrix(k: usize, randomizer: &ItemRandomizer) -> Vec<Vec<f64>> {
     m
 }
 
+/// Observed partial-match histogram of `itemset` over the randomized
+/// database, as the engine's observed-state counts.
+fn observed_counts(randomized: &TransactionSet, itemset: &[Item]) -> Vec<f64> {
+    randomized.partial_match_counts(itemset).into_iter().map(|c| c as f64).collect()
+}
+
 /// Inversion step shared by the single, batched, and oracle entry points:
-/// estimates support from a precomputed channel matrix for `itemset.len()`.
+/// estimates support through the shared discrete engine's closed-form
+/// (cached-LU) solve.
 fn invert_channel(
     randomized: &TransactionSet,
     itemset: &[Item],
-    channel: &[Vec<f64>],
+    randomizer: &ItemRandomizer,
 ) -> Result<f64> {
     if randomized.is_empty() {
         return Ok(0.0);
@@ -76,9 +94,9 @@ fn invert_channel(
     if k == 0 {
         return Ok(1.0);
     }
-    let observed: Vec<f64> =
-        randomized.partial_match_counts(itemset).into_iter().map(|c| c as f64).collect();
-    let truth = solve(channel, &observed)?;
+    let channel = PartialMatchChannel::new(k, randomizer)?;
+    let observed = observed_counts(randomized, itemset);
+    let truth = shared_discrete_engine().solve_closed_form(&channel, &observed)?;
     Ok((truth[k] / randomized.len() as f64).clamp(0.0, 1.0))
 }
 
@@ -90,48 +108,57 @@ pub fn estimated_support(
     itemset: &[Item],
     randomizer: &ItemRandomizer,
 ) -> Result<f64> {
-    invert_channel(randomized, itemset, &channel_matrix(itemset.len(), randomizer))
+    invert_channel(randomized, itemset, randomizer)
+}
+
+/// The retired pre-engine path — a fresh [`channel_matrix`] plus one
+/// Gaussian elimination ([`solve`]) per call — preserved verbatim for
+/// equivalence testing and the `discrete_inversion` benchmark.
+pub fn estimated_support_reference(
+    randomized: &TransactionSet,
+    itemset: &[Item],
+    randomizer: &ItemRandomizer,
+) -> Result<f64> {
+    if randomized.is_empty() {
+        return Ok(0.0);
+    }
+    let k = itemset.len();
+    if k == 0 {
+        return Ok(1.0);
+    }
+    let observed = observed_counts(randomized, itemset);
+    let truth = solve(&channel_matrix(k, randomizer), &observed)?;
+    Ok((truth[k] / randomized.len() as f64).clamp(0.0, 1.0))
 }
 
 /// Batched support estimation: every itemset's channel inversion is an
 /// independent problem, so the batch is fanned across worker threads.
-/// Channel matrices are computed once per itemset *size* before the fan,
-/// and results come back in input order.
+/// All same-sized itemsets share one engine-cached channel factorization
+/// (built at most once per size, even across calls), and results come
+/// back in input order.
 pub fn estimated_supports(
     randomized: &TransactionSet,
     itemsets: &[Vec<Item>],
     randomizer: &ItemRandomizer,
 ) -> Result<Vec<f64>> {
-    let mut channels: HashMap<usize, Vec<Vec<f64>>> = HashMap::new();
-    for itemset in itemsets {
-        channels.entry(itemset.len()).or_insert_with(|| channel_matrix(itemset.len(), randomizer));
-    }
     let estimates: Vec<Result<f64>> = itemsets
         .par_iter()
-        .map(|itemset| invert_channel(randomized, itemset, &channels[&itemset.len()]))
+        .map(|itemset| invert_channel(randomized, itemset, randomizer))
         .collect();
     estimates.into_iter().collect()
 }
 
 /// A support oracle suitable for [`crate::apriori::mine_with`]: estimates
 /// every queried itemset's support from the randomized database. Channel
-/// matrices are cached per itemset size, so an Apriori pass pays the
-/// matrix construction once per level rather than once per candidate.
+/// factorizations live in the shared engine's fingerprint-keyed cache, so
+/// an Apriori pass pays the LU once per level (itemset size) rather than
+/// once per candidate — and later passes with the same randomizer pay
+/// nothing at all.
 pub fn estimated_support_oracle<'a>(
     randomized: &'a TransactionSet,
     randomizer: &'a ItemRandomizer,
 ) -> impl Fn(&[Item]) -> f64 + 'a {
-    let channels: Mutex<HashMap<usize, Vec<Vec<f64>>>> = Mutex::new(HashMap::new());
-    move |itemset| {
-        let channel = {
-            let mut cache = channels.lock().expect("channel cache lock poisoned");
-            cache
-                .entry(itemset.len())
-                .or_insert_with(|| channel_matrix(itemset.len(), randomizer))
-                .clone()
-        };
-        invert_channel(randomized, itemset, &channel).unwrap_or(0.0)
-    }
+    move |itemset| invert_channel(randomized, itemset, randomizer).unwrap_or(0.0)
 }
 
 #[cfg(test)]
@@ -182,6 +209,37 @@ mod tests {
         let db = TransactionSet::new(vec![t(&[0])], 1).unwrap();
         let r = ItemRandomizer::new(0.5, 0.1).unwrap();
         assert_eq!(estimated_support(&db, &[], &r).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn engine_path_matches_reference_bit_for_bit() {
+        // The engine's cached-LU solve replays the reference elimination's
+        // arithmetic exactly; on the same inputs the two paths agree to
+        // the last bit (the acceptance bar is 1e-10 — this is stricter).
+        let mut transactions = Vec::new();
+        for i in 0..4_000usize {
+            let mut items = Vec::new();
+            if i % 10 < 3 {
+                items.extend([0, 1]);
+            }
+            if i % 2 == 0 {
+                items.push(2);
+            }
+            if i % 7 == 0 {
+                items.push(3);
+            }
+            transactions.push(Transaction::new(items));
+        }
+        let db = TransactionSet::new(transactions, 4).unwrap();
+        let r = ItemRandomizer::new(0.75, 0.12).unwrap();
+        let randomized = r.perturb_set(&db, 21);
+        for itemset in
+            [vec![0u32], vec![2], vec![0, 1], vec![1, 2], vec![0, 1, 2], vec![0, 1, 2, 3]]
+        {
+            let engine = estimated_support(&randomized, &itemset, &r).unwrap();
+            let reference = estimated_support_reference(&randomized, &itemset, &r).unwrap();
+            assert_eq!(engine, reference, "{itemset:?}");
+        }
     }
 
     #[test]
@@ -247,8 +305,8 @@ mod tests {
         let r = ItemRandomizer::new(0.9, 0.05).unwrap();
         let randomized = r.perturb_set(&db, 12);
         let oracle = estimated_support_oracle(&randomized, &r);
-        // Repeated same-size queries hit the cached channel; answers must
-        // be identical to the uncached path.
+        // Repeated same-size queries hit the cached factorization; answers
+        // must be identical to the direct path.
         for itemset in [vec![0u32], vec![1], vec![2], vec![0, 1], vec![1, 2], vec![0, 2]] {
             let direct = estimated_support(&randomized, &itemset, &r).unwrap();
             assert_eq!(oracle(&itemset), direct);

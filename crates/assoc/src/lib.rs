@@ -9,7 +9,11 @@
 //!    true items with probability `p`, insert decoys with probability `q`).
 //! 2. The server estimates itemset supports by inverting the
 //!    randomization channel ([`estimate`]) — the transaction analogue of
-//!    AS00's distribution reconstruction.
+//!    AS00's distribution reconstruction. The per-size channel is a
+//!    [`PartialMatchChannel`] (a [`ppdm_core::randomize::DiscreteChannel`]),
+//!    and every inversion delegates to `ppdm-core`'s shared
+//!    [`DiscreteReconstructionEngine`](ppdm_core::reconstruct::DiscreteReconstructionEngine)
+//!    with its fingerprint-keyed factored-channel cache.
 //! 3. [`apriori`] mines frequent itemsets against the *estimated* support
 //!    oracle.
 //!
@@ -34,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod apriori;
+pub mod channel;
 pub mod estimate;
 pub mod generator;
 pub mod linalg;
@@ -41,7 +46,10 @@ pub mod randomize;
 pub mod transaction;
 
 pub use apriori::{frequent_itemsets, rules_from, AprioriConfig, AssociationRule, FrequentItemset};
-pub use estimate::{estimated_support, estimated_support_oracle, estimated_supports};
+pub use channel::PartialMatchChannel;
+pub use estimate::{
+    estimated_support, estimated_support_oracle, estimated_support_reference, estimated_supports,
+};
 pub use generator::{generate_baskets, BasketConfig};
 pub use randomize::ItemRandomizer;
 pub use transaction::{Item, Transaction, TransactionSet};

@@ -1,6 +1,14 @@
 //! A small dense linear solver (Gaussian elimination with partial
 //! pivoting), sized for the `(k+1) x (k+1)` randomization-channel systems
 //! of support estimation.
+//!
+//! Since the estimator moved onto `ppdm-core`'s
+//! [`DiscreteReconstructionEngine`](ppdm_core::reconstruct::DiscreteReconstructionEngine)
+//! (whose cached pivoted-LU factorization replays this elimination's
+//! arithmetic exactly), [`solve`] survives only as the *reference* path —
+//! [`crate::estimate::estimated_support_reference`] — for equivalence
+//! tests and the `discrete_inversion` benchmark. [`binomial`] remains
+//! load-bearing for the channel's transition probabilities.
 
 use ppdm_core::error::{Error, Result};
 

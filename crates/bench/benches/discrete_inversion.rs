@@ -1,0 +1,127 @@
+//! Legacy vs engine discrete inversion: the perf baseline for the
+//! `DiscreteReconstructionEngine` unification.
+//!
+//! Support estimation over a randomized basket database at
+//! n in {10k, 100k} transactions, a mixed Apriori-style candidate list
+//! (sizes 1..=3):
+//!
+//! * `legacy/*` — the retired path: a fresh channel matrix + Gaussian
+//!   elimination per candidate (`estimated_support_reference`).
+//! * `engine_warm/*` — the production path (`estimated_supports`): all
+//!   inversions through the shared engine's fingerprint-keyed LU cache,
+//!   primed once before measurement.
+//! * `engine_cold/*` — a fresh engine per iteration: measures the
+//!   factorization cost the cache amortizes away.
+//!
+//! The run also *asserts* the cache contract that the unification is
+//! about: replaying the whole candidate list against a warm engine
+//! builds each per-size channel exactly once per fingerprint.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppdm_assoc::estimate::{estimated_support_reference, estimated_supports};
+use ppdm_assoc::{
+    generate_baskets, BasketConfig, ItemRandomizer, PartialMatchChannel, TransactionSet,
+};
+use ppdm_core::reconstruct::DiscreteReconstructionEngine;
+
+/// The candidate list: a small Apriori frontier mixing sizes 1..=3.
+fn candidates() -> Vec<Vec<u32>> {
+    vec![
+        vec![0],
+        vec![1],
+        vec![2],
+        vec![3],
+        vec![0, 1],
+        vec![1, 2],
+        vec![0, 2],
+        vec![2, 3],
+        vec![0, 1, 2],
+        vec![1, 2, 3],
+    ]
+}
+
+fn randomized_db(n: usize, randomizer: &ItemRandomizer) -> TransactionSet {
+    let db = generate_baskets(&BasketConfig::retail_demo(), n, 17);
+    randomizer.perturb_set(&db, 18)
+}
+
+fn bench_assoc_supports(c: &mut Criterion) {
+    let randomizer = ItemRandomizer::new(0.85, 0.08).expect("static parameters");
+    let itemsets = candidates();
+    let mut group = c.benchmark_group("discrete_inversion/assoc_supports");
+    for n in [10_000usize, 100_000] {
+        let randomized = randomized_db(n, &randomizer);
+        group.bench_with_input(BenchmarkId::new("legacy", n), &randomized, |b, db| {
+            b.iter(|| {
+                itemsets
+                    .iter()
+                    .map(|itemset| {
+                        estimated_support_reference(db, itemset, &randomizer).expect("solvable")
+                    })
+                    .collect::<Vec<_>>()
+            });
+        });
+        // Prime the shared engine so the production numbers reflect the
+        // steady state every Apriori level after the first sees.
+        estimated_supports(&randomized, &itemsets, &randomizer).expect("solvable");
+        group.bench_with_input(BenchmarkId::new("engine_warm", n), &randomized, |b, db| {
+            b.iter(|| estimated_supports(db, &itemsets, &randomizer).expect("solvable"));
+        });
+        group.bench_with_input(BenchmarkId::new("engine_cold", n), &randomized, |b, db| {
+            b.iter(|| {
+                // A fresh engine per iteration: every size refactors.
+                let engine = DiscreteReconstructionEngine::new();
+                itemsets
+                    .iter()
+                    .map(|itemset| {
+                        let channel = PartialMatchChannel::new(itemset.len(), &randomizer)
+                            .expect("non-empty itemsets");
+                        let observed: Vec<f64> = db
+                            .partial_match_counts(itemset)
+                            .into_iter()
+                            .map(|c| c as f64)
+                            .collect();
+                        let truth =
+                            engine.solve_closed_form(&channel, &observed).expect("solvable");
+                        (truth[itemset.len()] / db.len() as f64).clamp(0.0, 1.0)
+                    })
+                    .collect::<Vec<_>>()
+            });
+        });
+    }
+    group.finish();
+
+    // The cache contract: one warm engine, the full candidate list twice,
+    // and each per-size channel is factored exactly once per fingerprint.
+    let engine = DiscreteReconstructionEngine::new();
+    let randomized = randomized_db(5_000, &randomizer);
+    let distinct_sizes = {
+        let mut sizes: Vec<usize> = candidates().iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        sizes.len()
+    };
+    for _ in 0..2 {
+        for itemset in candidates() {
+            let channel =
+                PartialMatchChannel::new(itemset.len(), &randomizer).expect("non-empty itemsets");
+            let observed: Vec<f64> =
+                randomized.partial_match_counts(&itemset).into_iter().map(|c| c as f64).collect();
+            engine.solve_closed_form(&channel, &observed).expect("solvable");
+        }
+    }
+    assert_eq!(
+        engine.factored_builds(),
+        distinct_sizes,
+        "warm engine must factor each itemset size exactly once"
+    );
+    println!(
+        "cache contract: {} candidates x 2 passes -> {} factorizations ({} distinct sizes)",
+        candidates().len(),
+        engine.factored_builds(),
+        distinct_sizes
+    );
+}
+
+criterion_group!(benches, bench_assoc_supports);
+criterion_main!(benches);

@@ -1,8 +1,10 @@
-//! The privacy/accuracy frontier over all four noise families: for every
-//! `family x privacy-level x kernel` grid point, the achieved interval
-//! and entropy privacy, reference-attribute reconstruction error (TV vs
-//! the naive perturbed histogram), and ByClass-vs-Randomized test
-//! accuracy.
+//! The privacy/accuracy frontier over all four continuous noise families
+//! *and* the discrete randomized-response family: per continuous grid
+//! point, the achieved interval and entropy privacy, reference-attribute
+//! reconstruction error (TV vs the naive perturbed histogram), and
+//! ByClass-vs-Randomized test accuracy; per discrete point, the
+//! posterior breach probability, surviving entropy `H(T|O)`, and
+//! categorical reconstruction error through both engine solvers.
 //!
 //! ```text
 //! cargo run --release -p ppdm-bench --bin fig_privacy_accuracy
@@ -11,7 +13,9 @@
 //!     --train 100000 --test 5000 --function 3 --seed 7 --levels 50,100,200
 //! ```
 
-use ppdm_bench::{render_frontier, run_sweep, Args, SweepConfig};
+use ppdm_bench::{
+    render_discrete_frontier, render_frontier, run_discrete_sweep, run_sweep, Args, SweepConfig,
+};
 use ppdm_datagen::LabelFunction;
 
 fn main() {
@@ -55,4 +59,14 @@ fn main() {
         cfg.kernels.len(),
     );
     print!("{}", render_frontier(&points));
+
+    if !cfg.discrete_keep_probs.is_empty() {
+        let discrete = run_discrete_sweep(&cfg).expect("discrete grid over validated parameters");
+        println!(
+            "\n== Discrete frontier (randomized response on elevel, n={}, {} keep levels x 2 solvers) ==\n",
+            cfg.n_train,
+            cfg.discrete_keep_probs.len(),
+        );
+        print!("{}", render_discrete_frontier(&discrete));
+    }
 }

@@ -16,4 +16,7 @@ pub mod table;
 
 pub use args::Args;
 pub use experiment::{run_accuracy, AccuracyExperiment, AccuracyRow};
-pub use sweep::{render_frontier, run_sweep, SweepConfig, SweepPoint};
+pub use sweep::{
+    render_discrete_frontier, render_frontier, run_discrete_sweep, run_sweep, DiscreteSweepPoint,
+    SweepConfig, SweepPoint,
+};

@@ -21,11 +21,22 @@
 //! with rayon; within a cell, dataset perturbation is shared by the
 //! kernels. Everything derives from the config's seed — two runs of the
 //! same config produce identical tables.
+//!
+//! The frontier also covers the *discrete* face of AS00
+//! ([`run_discrete_sweep`]): randomized response on a categorical
+//! reference attribute, measured with the posterior metrics of
+//! [`ppdm_core::privacy::discrete`] (worst-case breach probability,
+//! surviving entropy `H(T|O)`) and reconstructed through both solvers of
+//! the [`ppdm_core::reconstruct::DiscreteReconstructionEngine`].
 
 use ppdm_core::domain::Partition;
 use ppdm_core::error::Result;
-use ppdm_core::privacy::{entropy, interval, NoiseKind, DEFAULT_CONFIDENCE};
-use ppdm_core::reconstruct::{reconstruct, LikelihoodKernel, ReconstructionConfig};
+use ppdm_core::privacy::{discrete, entropy, interval, NoiseKind, DEFAULT_CONFIDENCE};
+use ppdm_core::randomize::{DiscreteChannel, RandomizedResponse};
+use ppdm_core::reconstruct::{
+    reconstruct, shared_discrete_engine, DiscreteReconstructionConfig, DiscreteSolver,
+    LikelihoodKernel, ReconstructionConfig,
+};
 use ppdm_core::stats::{total_variation, Histogram};
 use ppdm_datagen::{generate_train_test, Attribute, LabelFunction, PerturbPlan};
 use ppdm_tree::{evaluate, train, TrainerConfig, TrainingAlgorithm};
@@ -37,6 +48,10 @@ use crate::table;
 /// Attribute whose column carries the distribution-reconstruction
 /// measurement (continuous, bimodal-ish under several label functions).
 const REFERENCE_ATTRIBUTE: Attribute = Attribute::Age;
+
+/// Categorical attribute carrying the discrete-channel measurement
+/// (education level: 5 integer states).
+const DISCRETE_REFERENCE_ATTRIBUTE: Attribute = Attribute::Elevel;
 
 /// Parameters of one privacy/accuracy frontier sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -63,6 +78,10 @@ pub struct SweepConfig {
     /// Trainer configuration (its reconstruction kernel is overridden per
     /// grid point).
     pub trainer: TrainerConfig,
+    /// Keep probabilities of the randomized-response grid covering the
+    /// discrete face of the frontier ([`run_discrete_sweep`]); empty
+    /// disables the discrete rows.
+    pub discrete_keep_probs: Vec<f64>,
 }
 
 impl SweepConfig {
@@ -80,6 +99,7 @@ impl SweepConfig {
             cells: 20,
             seed: 0x5EEB,
             trainer: TrainerConfig::default(),
+            discrete_keep_probs: vec![0.9, 0.7, 0.5, 0.3, 0.1],
         }
     }
 
@@ -88,6 +108,7 @@ impl SweepConfig {
     pub fn tiny() -> Self {
         SweepConfig {
             privacy_levels: vec![50.0],
+            discrete_keep_probs: vec![0.7, 0.3],
             n_train: 1_200,
             n_test: 300,
             trainer: TrainerConfig {
@@ -256,6 +277,147 @@ pub fn render_frontier(points: &[SweepPoint]) -> String {
     )
 }
 
+/// One measured discrete (categorical) grid point of the frontier:
+/// randomized response at one keep probability on the categorical
+/// reference attribute, inverted by one engine solver.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DiscreteSweepPoint {
+    /// Keep probability of the randomized-response channel (the knob).
+    pub keep_prob: f64,
+    /// Engine solver the inversion used.
+    pub solver: DiscreteSolver,
+    /// Worst-case posterior probability of any true state (percent) under
+    /// the attribute's true prior — the privacy-breach measure.
+    pub breach_pct: f64,
+    /// Conditional entropy `H(T | O)` in bits: the uncertainty about the
+    /// true state surviving observation.
+    pub posterior_entropy_bits: f64,
+    /// Total-variation distance of the reconstructed state distribution
+    /// from the true one (0 = perfect).
+    pub recon_tv: f64,
+    /// TV distance of the raw randomized state distribution — the
+    /// no-reconstruction baseline. The benchmark population's elevel
+    /// marginal is uniform, which randomized response maps to itself, so
+    /// this column isolates *sampling* noise; `recon_tv - naive_tv` then
+    /// reads as the variance cost of inverting the channel (the bias win
+    /// shows on skewed populations — see the skewed-prior tests in
+    /// `ppdm-core`).
+    pub naive_tv: f64,
+    /// Iterations the solve took (0 for the closed form).
+    pub recon_iterations: usize,
+}
+
+/// Total-variation distance between two discrete count vectors.
+fn discrete_tv(a: &[f64], b: &[f64]) -> f64 {
+    let (ta, tb): (f64, f64) = (a.iter().sum(), b.iter().sum());
+    if ta <= 0.0 || tb <= 0.0 {
+        return if ta == tb { 0.0 } else { 1.0 };
+    }
+    0.5 * a.iter().zip(b).map(|(x, y)| (x / ta - y / tb).abs()).sum::<f64>()
+}
+
+/// Runs the discrete half of the frontier: for every keep probability in
+/// `cfg.discrete_keep_probs`, randomize the categorical reference
+/// attribute of the training population through
+/// [`RandomizedResponse`], measure the posterior privacy metrics, and
+/// reconstruct the state distribution with both engine solvers.
+/// Everything derives from `cfg.seed`; rows come back sorted by
+/// (keep probability descending = weakest privacy first, solver).
+pub fn run_discrete_sweep(cfg: &SweepConfig) -> Result<Vec<DiscreteSweepPoint>> {
+    let k = DISCRETE_REFERENCE_ATTRIBUTE
+        .distinct_values()
+        .expect("the discrete reference attribute is integer-valued");
+    let (train_d, _) = generate_train_test(cfg.n_train, 0, cfg.function, cfg.seed);
+    let truth_states: Vec<usize> = train_d
+        .column(DISCRETE_REFERENCE_ATTRIBUTE)
+        .iter()
+        .map(|v| (*v as usize).min(k - 1))
+        .collect();
+    let mut truth_counts = vec![0.0f64; k];
+    for &t in &truth_states {
+        truth_counts[t] += 1.0;
+    }
+    let engine = shared_discrete_engine();
+    let cells: Vec<(usize, f64)> = cfg.discrete_keep_probs.iter().copied().enumerate().collect();
+    let results: Vec<Result<Vec<DiscreteSweepPoint>>> = cells
+        .par_iter()
+        .map(|&(idx, keep_prob)| {
+            let channel = RandomizedResponse::new(k, keep_prob)?;
+            let mut observed_states = vec![0usize; truth_states.len()];
+            // Family index 7 keeps the discrete streams clear of the
+            // (at most four) continuous families' cell seeds.
+            channel.fill_states(
+                cell_seed(cfg.seed, 7, idx),
+                &truth_states,
+                &mut observed_states,
+            )?;
+            let mut observed_counts = vec![0.0f64; k];
+            for &o in &observed_states {
+                observed_counts[o] += 1.0;
+            }
+            let breach = discrete::posterior_breach(&channel, &truth_counts)?;
+            let entropy_bits = discrete::posterior_entropy_bits(&channel, &truth_counts)?;
+            let naive_tv = discrete_tv(&observed_counts, &truth_counts);
+            let mut points = Vec::with_capacity(2);
+            for solver in [DiscreteSolver::ClosedForm, DiscreteSolver::Iterative] {
+                let config = DiscreteReconstructionConfig { solver, ..Default::default() };
+                let recon = engine.reconstruct(&channel, &observed_counts, &config)?;
+                // The closed form can go (slightly) negative; clamp for
+                // the TV measurement exactly as consumers would.
+                let clamped: Vec<f64> = recon.estimate.iter().map(|e| e.max(0.0)).collect();
+                points.push(DiscreteSweepPoint {
+                    keep_prob,
+                    solver,
+                    breach_pct: 100.0 * breach,
+                    posterior_entropy_bits: entropy_bits,
+                    recon_tv: discrete_tv(&clamped, &truth_counts),
+                    naive_tv,
+                    recon_iterations: recon.iterations,
+                });
+            }
+            Ok(points)
+        })
+        .collect();
+    let mut rows: Vec<DiscreteSweepPoint> =
+        results.into_iter().collect::<Result<Vec<_>>>()?.into_iter().flatten().collect();
+    rows.sort_by(|a, b| {
+        let key = |p: &DiscreteSweepPoint| {
+            (
+                cfg.discrete_keep_probs
+                    .iter()
+                    .position(|q| *q == p.keep_prob)
+                    .unwrap_or(usize::MAX),
+                p.solver != DiscreteSolver::ClosedForm,
+            )
+        };
+        key(a).cmp(&key(b))
+    });
+    Ok(rows)
+}
+
+/// Renders the discrete frontier rows as an aligned table.
+pub fn render_discrete_frontier(points: &[DiscreteSweepPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                "rand-resp".to_string(),
+                format!("{:.0}%", 100.0 * p.keep_prob),
+                format!("{:?}", p.solver),
+                format!("{:.1}%", p.breach_pct),
+                table::num(p.posterior_entropy_bits, 3),
+                table::num(p.recon_tv, 4),
+                table::num(p.naive_tv, 4),
+                p.recon_iterations.to_string(),
+            ]
+        })
+        .collect();
+    table::render(
+        &["family", "keep", "solver", "breach", "H(T|O)bits", "reconTV", "naiveTV", "iters"],
+        &rows,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,5 +459,51 @@ mod tests {
         for family in ["uniform", "gaussian", "laplace", "gauss-mix"] {
             assert!(rendered.contains(family), "{family} missing from\n{rendered}");
         }
+    }
+
+    #[test]
+    fn tiny_discrete_sweep_is_deterministic_and_sane() {
+        let cfg = SweepConfig::tiny();
+        let points = run_discrete_sweep(&cfg).unwrap();
+        // Two solvers per keep probability.
+        assert_eq!(points.len(), cfg.discrete_keep_probs.len() * 2);
+        for p in &points {
+            assert!(p.breach_pct > 0.0 && p.breach_pct <= 100.0, "{p:?}");
+            assert!(p.posterior_entropy_bits >= 0.0, "{p:?}");
+            assert!((0.0..=1.0).contains(&p.recon_tv), "{p:?}");
+            assert!((0.0..=1.0).contains(&p.naive_tv), "{p:?}");
+            // The uniform elevel marginal means both estimates sit within
+            // (inversion-amplified) sampling noise of the truth.
+            assert!(p.recon_tv < 0.25, "{p:?}");
+            match p.solver {
+                DiscreteSolver::ClosedForm => assert_eq!(p.recon_iterations, 0),
+                DiscreteSolver::Iterative => assert!(p.recon_iterations >= 1),
+            }
+        }
+        // Weaker randomization (higher keep) = higher breach, less
+        // surviving entropy.
+        let breach_of =
+            |keep: f64| points.iter().find(|p| p.keep_prob == keep).map(|p| p.breach_pct).unwrap();
+        let entropy_of = |keep: f64| {
+            points.iter().find(|p| p.keep_prob == keep).map(|p| p.posterior_entropy_bits).unwrap()
+        };
+        assert!(breach_of(0.7) > breach_of(0.3));
+        assert!(entropy_of(0.7) < entropy_of(0.3));
+        // Deterministic: same config, same rows.
+        let again = run_discrete_sweep(&cfg).unwrap();
+        for (a, b) in points.iter().zip(&again) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+
+    #[test]
+    fn discrete_frontier_table_renders_every_point() {
+        let cfg = SweepConfig::tiny();
+        let points = run_discrete_sweep(&cfg).unwrap();
+        let rendered = render_discrete_frontier(&points);
+        assert_eq!(rendered.lines().count(), points.len() + 2, "{rendered}");
+        assert!(rendered.contains("rand-resp"));
+        assert!(rendered.contains("ClosedForm"));
+        assert!(rendered.contains("Iterative"));
     }
 }

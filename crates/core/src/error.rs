@@ -59,6 +59,20 @@ pub enum Error {
         /// The caller-supplied category count.
         found: usize,
     },
+    /// A discrete channel was requested over too few states (every
+    /// channel needs at least two states to randomize between).
+    InvalidStateCount {
+        /// The rejected state count.
+        found: usize,
+    },
+    /// A categorical state index fell outside a channel's `0..states`
+    /// range.
+    StateOutOfRange {
+        /// The offending state index.
+        state: usize,
+        /// Number of states the channel is defined over.
+        states: usize,
+    },
     /// Streaming sufficient statistics from incompatible shards (different
     /// noise channels, partition geometries, or an invalid shard layout)
     /// were combined.
@@ -87,6 +101,12 @@ impl fmt::Display for Error {
             Error::CategoryMismatch { expected, found } => {
                 write!(f, "expected {expected} categories, found {found}")
             }
+            Error::InvalidStateCount { found } => {
+                write!(f, "a discrete channel needs at least 2 states, got {found}")
+            }
+            Error::StateOutOfRange { state, states } => {
+                write!(f, "state index {state} out of range for a channel over {states} states")
+            }
             Error::ShardMismatch(msg) => write!(f, "incompatible shards: {msg}"),
         }
     }
@@ -109,6 +129,11 @@ mod tests {
         assert!(e.to_string().contains("std_dev"));
         let e = Error::LengthMismatch { left: 4, right: 7 };
         assert!(e.to_string().contains("4 vs 7"));
+        let e = Error::InvalidStateCount { found: 1 };
+        assert!(e.to_string().contains("at least 2 states"));
+        let e = Error::StateOutOfRange { state: 5, states: 3 };
+        assert!(e.to_string().contains("state index 5"));
+        assert!(e.to_string().contains("3 states"));
     }
 
     #[test]

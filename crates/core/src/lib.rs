@@ -59,9 +59,13 @@ pub mod stats;
 
 pub use domain::{Domain, Partition};
 pub use error::{Error, Result};
-pub use randomize::{GaussianMixture, Laplace, NoiseDensity, NoiseModel};
+pub use randomize::{
+    ChannelFingerprint, DiscreteChannel, GaussianMixture, Laplace, NoiseDensity, NoiseModel,
+    RandomizedResponse, StochasticMatrix,
+};
 pub use reconstruct::{
-    reconstruct, IncrementalReconstructor, Reconstruction, ReconstructionConfig,
-    ReconstructionEngine, ReconstructionJob, ShardedAccumulator, SuffStats,
+    reconstruct, DiscreteReconstruction, DiscreteReconstructionConfig,
+    DiscreteReconstructionEngine, DiscreteSuffStats, IncrementalReconstructor, Reconstruction,
+    ReconstructionConfig, ReconstructionEngine, ReconstructionJob, ShardedAccumulator, SuffStats,
 };
 pub use stats::Histogram;

@@ -1,0 +1,232 @@
+//! Privacy metrics for discrete channels (extension).
+//!
+//! The randomization literature that followed AS00 (Evfimievski et al.
+//! KDD'02; Mohaisen & Hong's revisit of association-rule randomization)
+//! measures categorical privacy through the channel's *posterior*: after
+//! seeing the randomized state, how confidently can an adversary infer
+//! the true one? Both quantities here fall straight out of
+//! [`DiscreteChannel::posterior_column`], so every channel — randomized
+//! response, the assoc partial-match channel, arbitrary
+//! [`crate::randomize::StochasticMatrix`] designs — gets them for free:
+//!
+//! * [`posterior_breach`] / [`posterior_breach_of`] — the worst-case
+//!   posterior probability (the "privacy breach" measure: a breach of
+//!   level `rho` occurs when some observation drives some true state's
+//!   posterior above `rho`);
+//! * [`posterior_entropy_bits`] — `H(T | O)`, the uncertainty about the
+//!   true state that *survives* observation, the discrete analogue of
+//!   AA01's conditional entropy privacy;
+//! * [`transition_entropy_bits`] — `H(O | T)` under a uniform prior, the
+//!   randomness the channel itself injects (the discrete analogue of
+//!   [`super::entropy::noise_entropy_bits`]).
+
+use crate::error::{Error, Result};
+use crate::randomize::DiscreteChannel;
+
+/// Validates a prior over the channel's states and returns its total.
+fn validate_prior(channel: &dyn DiscreteChannel, prior: &[f64]) -> Result<f64> {
+    if prior.len() != channel.states() {
+        return Err(Error::CategoryMismatch { expected: channel.states(), found: prior.len() });
+    }
+    if let Some(bad) = prior.iter().find(|p| !p.is_finite() || **p < 0.0) {
+        return Err(Error::InvalidMass(format!(
+            "prior entries must be finite and >= 0, got {bad}"
+        )));
+    }
+    let total: f64 = prior.iter().sum();
+    if total <= 0.0 {
+        return Err(Error::InvalidMass("prior carries no mass".to_string()));
+    }
+    Ok(total)
+}
+
+/// Marginal probability of each observed state under the prior:
+/// `P(O = o) = sum_t P(o | t) * prior_t / sum(prior)`.
+fn observed_marginals(channel: &dyn DiscreteChannel, prior: &[f64], total: f64) -> Vec<f64> {
+    let k = channel.states();
+    (0..k)
+        .map(|o| {
+            prior.iter().enumerate().map(|(t, p)| channel.transition(o, t) * p).sum::<f64>() / total
+        })
+        .collect()
+}
+
+/// Worst-case posterior probability of *any* true state: the maximum of
+/// `P(T = t | O = o)` over every true state `t` and every observed state
+/// `o` the prior can produce. `1.0` means some observation reveals some
+/// true state with certainty (e.g. the identity channel).
+///
+/// `prior` is the adversary's marginal over true states (any nonnegative
+/// weighting; it is normalized internally).
+pub fn posterior_breach(channel: &dyn DiscreteChannel, prior: &[f64]) -> Result<f64> {
+    let total = validate_prior(channel, prior)?;
+    let marginals = observed_marginals(channel, prior, total);
+    let mut worst = 0.0f64;
+    for (o, &m) in marginals.iter().enumerate() {
+        if m <= 0.0 {
+            continue; // unobservable under this prior
+        }
+        let post = channel.posterior_column(prior, o)?;
+        for p in post {
+            worst = worst.max(p);
+        }
+    }
+    Ok(worst)
+}
+
+/// Worst-case posterior probability of one *specific* true state
+/// (`truth`): `max_o P(T = truth | O = o)` over observable states — the
+/// per-item privacy-breach measure of the randomized-transaction
+/// literature.
+pub fn posterior_breach_of(
+    channel: &dyn DiscreteChannel,
+    prior: &[f64],
+    truth: usize,
+) -> Result<f64> {
+    if truth >= channel.states() {
+        return Err(Error::StateOutOfRange { state: truth, states: channel.states() });
+    }
+    let total = validate_prior(channel, prior)?;
+    let marginals = observed_marginals(channel, prior, total);
+    let mut worst = 0.0f64;
+    for (o, &m) in marginals.iter().enumerate() {
+        if m <= 0.0 {
+            continue;
+        }
+        worst = worst.max(channel.posterior_column(prior, o)?[truth]);
+    }
+    Ok(worst)
+}
+
+/// Conditional entropy `H(T | O)` in bits under the given prior: the
+/// uncertainty about the true state remaining *after* the adversary sees
+/// the randomized one. `0` for the identity channel; `H(prior)` for a
+/// channel whose output is independent of its input.
+pub fn posterior_entropy_bits(channel: &dyn DiscreteChannel, prior: &[f64]) -> Result<f64> {
+    let total = validate_prior(channel, prior)?;
+    let marginals = observed_marginals(channel, prior, total);
+    let mut h = 0.0;
+    for (o, &m) in marginals.iter().enumerate() {
+        if m <= 0.0 {
+            continue;
+        }
+        let post = channel.posterior_column(prior, o)?;
+        let h_post: f64 = post.iter().filter(|p| **p > 0.0).map(|p| -p * p.log2()).sum();
+        h += m * h_post;
+    }
+    Ok(h)
+}
+
+/// Entropy `H(O | T)` in bits of the randomization itself, averaged over
+/// true states under a uniform prior — how many bits of randomness the
+/// channel injects per report (the discrete analogue of a noise
+/// channel's differential entropy).
+pub fn transition_entropy_bits(channel: &dyn DiscreteChannel) -> f64 {
+    let k = channel.states();
+    let mut h = 0.0;
+    for truth in 0..k {
+        for observed in 0..k {
+            let p = channel.transition(observed, truth);
+            if p > 0.0 {
+                h -= p * p.log2();
+            }
+        }
+    }
+    h / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::randomize::{RandomizedResponse, StochasticMatrix};
+
+    fn rr(k: usize, p: f64) -> RandomizedResponse {
+        RandomizedResponse::new(k, p).unwrap()
+    }
+
+    /// A channel whose output is uniform regardless of the input.
+    fn scrambler(k: usize) -> StochasticMatrix {
+        StochasticMatrix::new(k, vec![1.0 / k as f64; k * k]).unwrap()
+    }
+
+    #[test]
+    fn identity_channel_breaches_completely() {
+        let id = rr(3, 1.0);
+        let prior = [0.5, 0.3, 0.2];
+        assert!((posterior_breach(&id, &prior).unwrap() - 1.0).abs() < 1e-12);
+        assert!(posterior_entropy_bits(&id, &prior).unwrap() < 1e-12);
+        assert_eq!(transition_entropy_bits(&id), 0.0);
+    }
+
+    #[test]
+    fn scrambler_reveals_nothing() {
+        let s = scrambler(4);
+        let prior = [0.4, 0.3, 0.2, 0.1];
+        // Posterior equals the prior for every observation: the breach is
+        // the largest prior mass, and H(T|O) = H(prior).
+        let breach = posterior_breach(&s, &prior).unwrap();
+        assert!((breach - 0.4).abs() < 1e-12, "breach {breach}");
+        let h_prior: f64 = prior.iter().map(|p| -p * p.log2()).sum();
+        let h = posterior_entropy_bits(&s, &prior).unwrap();
+        assert!((h - h_prior).abs() < 1e-12, "H(T|O) {h} vs H(T) {h_prior}");
+        assert!((transition_entropy_bits(&s) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stronger_randomization_lowers_breach_and_raises_entropy() {
+        let prior = [0.7, 0.2, 0.1];
+        let weak = rr(3, 0.9);
+        let strong = rr(3, 0.3);
+        assert!(
+            posterior_breach(&strong, &prior).unwrap() < posterior_breach(&weak, &prior).unwrap()
+        );
+        assert!(
+            posterior_entropy_bits(&strong, &prior).unwrap()
+                > posterior_entropy_bits(&weak, &prior).unwrap()
+        );
+        assert!(transition_entropy_bits(&strong) > transition_entropy_bits(&weak));
+    }
+
+    #[test]
+    fn breach_of_rare_state_hand_check() {
+        // RR over 2 states, keep 0.6: P(o|t) matrix [[0.8, 0.2], [0.2, 0.8]].
+        // Prior [0.9, 0.1]. Seeing state 1: P(t=1|o=1) = .08/(.08+.18) = 4/13.
+        // Seeing state 0: P(t=1|o=0) = .02/(.02+.72) ~ 0.027. Max = 4/13.
+        let channel = rr(2, 0.6);
+        let b = posterior_breach_of(&channel, &[0.9, 0.1], 1).unwrap();
+        assert!((b - 4.0 / 13.0).abs() < 1e-12, "breach {b}");
+        // The overall breach is driven by the common state instead.
+        let overall = posterior_breach(&channel, &[0.9, 0.1]).unwrap();
+        assert!(overall > b);
+    }
+
+    #[test]
+    fn unobservable_states_are_skipped_not_poisoning() {
+        // Prior concentrated on state 0 of a 2-state identity-ish channel:
+        // observed state 1 has zero marginal and must be skipped.
+        let m = StochasticMatrix::new(2, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let b = posterior_breach(&m, &[1.0, 0.0]).unwrap();
+        assert_eq!(b, 1.0);
+        assert_eq!(posterior_entropy_bits(&m, &[1.0, 0.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn metrics_validate_priors() {
+        let channel = rr(3, 0.5);
+        assert!(posterior_breach(&channel, &[0.5, 0.5]).is_err());
+        assert!(posterior_breach(&channel, &[0.0, 0.0, 0.0]).is_err());
+        assert!(posterior_breach(&channel, &[-1.0, 1.0, 1.0]).is_err());
+        assert!(posterior_breach_of(&channel, &[1.0, 1.0, 1.0], 3).is_err());
+    }
+
+    #[test]
+    fn unnormalized_priors_are_normalized() {
+        let channel = rr(3, 0.5);
+        let a = posterior_breach(&channel, &[0.5, 0.3, 0.2]).unwrap();
+        let b = posterior_breach(&channel, &[5.0, 3.0, 2.0]).unwrap();
+        assert!((a - b).abs() < 1e-12);
+        let ha = posterior_entropy_bits(&channel, &[0.5, 0.3, 0.2]).unwrap();
+        let hb = posterior_entropy_bits(&channel, &[5.0, 3.0, 2.0]).unwrap();
+        assert!((ha - hb).abs() < 1e-12);
+    }
+}

@@ -15,7 +15,13 @@
 //!   [`crate::randomize::NoiseDensity`].)
 //! * [`noise_for_privacy`]: given a target privacy level, how much noise is
 //!   needed? (This is how the evaluation's parameter sweeps are driven.)
+//!
+//! Categorical channels get the analogous treatment in [`discrete`]:
+//! posterior privacy-breach probabilities and conditional entropy,
+//! computed from any [`crate::randomize::DiscreteChannel`]'s exact
+//! posterior columns.
 
+pub mod discrete;
 pub mod entropy;
 pub mod interval;
 

@@ -1,0 +1,438 @@
+//! The discrete-channel abstraction — the categorical analogue of
+//! [`super::NoiseDensity`].
+//!
+//! AS00 treats numeric value distortion and categorical randomization as
+//! two faces of the same idea: the server observes data through a known
+//! randomization channel and inverts that channel to recover the original
+//! distribution. [`DiscreteChannel`] is everything the server needs to
+//! know about a *categorical* channel over `k` states: its transition
+//! probabilities, a stable [`ChannelFingerprint`] (so factored channel
+//! matrices can be cached across reconstruction calls, exactly like
+//! likelihood kernels for continuous channels), native sampling for the
+//! client side, and exact posterior columns for privacy accounting.
+//!
+//! Built-in implementors:
+//!
+//! * [`super::RandomizedResponse`] — Warner's keep-or-uniformly-resample
+//!   channel for categorical attributes;
+//! * [`StochasticMatrix`] — the escape hatch: any explicit column-wise
+//!   transition matrix becomes a channel (custom survey designs,
+//!   empirically measured channels, compositions);
+//! * `ppdm_assoc::PartialMatchChannel` — the per-itemset-size channel of
+//!   randomized-transaction support estimation.
+//!
+//! All of them plug into
+//! [`crate::reconstruct::DiscreteReconstructionEngine`] unchanged.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{Error, Result};
+
+/// Stable identity of a discrete channel, used as the factored-channel
+/// cache key in [`crate::reconstruct::DiscreteReconstructionEngine`].
+///
+/// Two channels with equal fingerprints must have identical state counts
+/// and transition matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChannelFingerprint {
+    /// Channel family tag (e.g. `"randomized-response"`,
+    /// `"partial-match"`, `"matrix"`).
+    pub kind: &'static str,
+    /// Number of states the channel is defined over.
+    pub states: usize,
+    /// Family parameters, bit-cast so the fingerprint is hashable.
+    /// Families with more than three parameters should hash them down
+    /// (see [`hash_params`]). Unused slots hold `0.0_f64.to_bits()`.
+    pub params: [u64; 3],
+}
+
+impl ChannelFingerprint {
+    /// Builds a fingerprint from a family tag, a state count, and up to
+    /// two parameters.
+    pub fn new(kind: &'static str, states: usize, a: f64, b: f64) -> Self {
+        Self::with_params(kind, states, [a, b, 0.0])
+    }
+
+    /// Builds a fingerprint from a family tag, a state count, and up to
+    /// three parameters.
+    pub fn with_params(kind: &'static str, states: usize, params: [f64; 3]) -> Self {
+        ChannelFingerprint { kind, states, params: params.map(f64::to_bits) }
+    }
+}
+
+/// Hashes an arbitrary slice of channel parameters down to one `u64`
+/// (FNV-1a over the IEEE-754 bit patterns), for families whose parameter
+/// count exceeds a fingerprint's three slots — e.g. a full
+/// [`StochasticMatrix`]. Pair it with [`hash_params_mixed`] in a second
+/// fingerprint slot for a 128-bit digest.
+pub fn hash_params(values: &[f64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in values {
+        for byte in v.to_bits().to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// A second, independent 64-bit digest of the same parameters
+/// (SplitMix64 finalization folded over position-salted words). Distinct
+/// from [`hash_params`] so the pair behaves as one 128-bit digest:
+/// a collision requires both hashes to collide simultaneously.
+pub fn hash_params_mixed(values: &[f64]) -> u64 {
+    let mut h = 0x9E37_79B9_7F4A_7C15u64;
+    for (i, v) in values.iter().enumerate() {
+        let mut z =
+            h ^ v.to_bits() ^ ((i as u64).wrapping_add(1).wrapping_mul(0xD134_2543_DE82_EF95));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h = z ^ (z >> 31);
+    }
+    h
+}
+
+/// A (public) discrete randomization channel over `k` states, as seen by
+/// the reconstruction algorithms.
+///
+/// The channel is described by its transition matrix: for a true state
+/// `t`, the observed state is drawn from the distribution
+/// `o -> transition(o, t)`. Each *truth column* must sum to one
+/// (equivalently, the matrix is row-stochastic when laid out with rows
+/// indexed by the true state).
+///
+/// Object-safe so engines and jobs can hold `&dyn DiscreteChannel`.
+pub trait DiscreteChannel: Send + Sync {
+    /// Number of states `k` (both true and observed states live in
+    /// `0..k`).
+    fn states(&self) -> usize;
+
+    /// `P(observe state `observed` | true state `truth`)`.
+    ///
+    /// Callers guarantee `observed < states()` and `truth < states()`.
+    fn transition(&self, observed: usize, truth: usize) -> f64;
+
+    /// The full transition matrix, row-major with rows indexed by the
+    /// *observed* state: entry `[observed * states + truth]` is
+    /// [`Self::transition`]`(observed, truth)`. This is the layout the
+    /// reconstruction engine factors and caches.
+    fn matrix(&self) -> Vec<f64> {
+        let k = self.states();
+        let mut m = Vec::with_capacity(k * k);
+        for observed in 0..k {
+            for truth in 0..k {
+                m.push(self.transition(observed, truth));
+            }
+        }
+        m
+    }
+
+    /// Whether the channel is the identity (reporting is truthful), in
+    /// which case reconstruction degenerates to the observed counts.
+    fn is_identity(&self) -> bool {
+        false
+    }
+
+    /// Stable identity for factored-channel caching, or `None` to opt
+    /// out (the channel matrix is then re-factored per reconstruction
+    /// call).
+    fn fingerprint(&self) -> Option<ChannelFingerprint> {
+        None
+    }
+
+    /// Deterministically perturbs a batch of true states into `out`
+    /// (parallel slices) — the client-side half of the channel, the
+    /// discrete analogue of [`super::NoiseDensity::fill_noise`].
+    ///
+    /// The default implementation walks each truth column's CDF with a
+    /// seed-derived [`StdRng`]; concrete channels should override with
+    /// native sampling when they have one.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::LengthMismatch`] when the slices disagree;
+    /// [`Error::StateOutOfRange`] when any true state is `>= states()`.
+    fn fill_states(&self, seed: u64, truth: &[usize], out: &mut [usize]) -> Result<()> {
+        if truth.len() != out.len() {
+            return Err(Error::LengthMismatch { left: truth.len(), right: out.len() });
+        }
+        let k = self.states();
+        if let Some(&bad) = truth.iter().find(|&&t| t >= k) {
+            return Err(Error::StateOutOfRange { state: bad, states: k });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        for (&t, o) in truth.iter().zip(out.iter_mut()) {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let mut acc = 0.0;
+            let mut chosen = k - 1;
+            for observed in 0..k {
+                acc += self.transition(observed, t);
+                if u < acc {
+                    chosen = observed;
+                    break;
+                }
+            }
+            *o = chosen;
+        }
+        Ok(())
+    }
+
+    /// Exact posterior column of the channel: `P(truth = t | observed)`
+    /// under the given prior over true states (Bayes' rule on the
+    /// transition column). This is the quantity behind the
+    /// privacy-breach metrics of the randomization literature (see
+    /// [`crate::privacy::discrete`]).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::StateOutOfRange`] for `observed >= states()`;
+    /// [`Error::CategoryMismatch`] when the prior's length is not
+    /// `states()`; [`Error::InvalidMass`] for a prior with negative,
+    /// non-finite, or all-zero mass.
+    fn posterior_column(&self, prior: &[f64], observed: usize) -> Result<Vec<f64>> {
+        let k = self.states();
+        if observed >= k {
+            return Err(Error::StateOutOfRange { state: observed, states: k });
+        }
+        if prior.len() != k {
+            return Err(Error::CategoryMismatch { expected: k, found: prior.len() });
+        }
+        if let Some(bad) = prior.iter().find(|p| !p.is_finite() || **p < 0.0) {
+            return Err(Error::InvalidMass(format!(
+                "prior entries must be finite and >= 0, got {bad}"
+            )));
+        }
+        let joint: Vec<f64> =
+            prior.iter().enumerate().map(|(t, p)| self.transition(observed, t) * p).collect();
+        let total: f64 = joint.iter().sum();
+        if total <= 0.0 {
+            return Err(Error::InvalidMass(format!(
+                "observed state {observed} has zero probability under the prior"
+            )));
+        }
+        Ok(joint.into_iter().map(|j| j / total).collect())
+    }
+}
+
+/// The escape hatch: an arbitrary explicit transition matrix as a
+/// [`DiscreteChannel`].
+///
+/// Stored row-major with rows indexed by the observed state (the same
+/// layout [`DiscreteChannel::matrix`] returns); the constructor validates
+/// that every truth column is a probability distribution. The fingerprint
+/// carries the state count plus a 128-bit digest of every entry (two
+/// independent 64-bit hashes), so two matrices share a cached
+/// factorization only when they are bit-identical — up to digest
+/// collisions, whose probability is negligible (~2^-128 per pair; a
+/// channel that must rule even that out can implement
+/// [`DiscreteChannel`] directly with a parametric fingerprint).
+///
+/// # Example
+///
+/// ```
+/// use ppdm_core::randomize::{DiscreteChannel, StochasticMatrix};
+///
+/// // A 2-state channel that reports truthfully 90% / 80% of the time.
+/// let channel = StochasticMatrix::new(2, vec![0.9, 0.2, 0.1, 0.8])?;
+/// assert_eq!(channel.states(), 2);
+/// assert_eq!(channel.transition(1, 0), 0.1);
+/// assert!(channel.fingerprint().is_some());
+/// # Ok::<(), ppdm_core::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StochasticMatrix {
+    states: usize,
+    /// Row-major `[observed][truth]` transition probabilities.
+    values: Vec<f64>,
+}
+
+/// Tolerance on each truth column's total probability at construction.
+const COLUMN_SUM_TOLERANCE: f64 = 1e-9;
+
+impl StochasticMatrix {
+    /// Creates a channel over `states >= 2` states from a row-major
+    /// `[observed][truth]` matrix whose truth columns each sum to one.
+    pub fn new(states: usize, values: Vec<f64>) -> Result<Self> {
+        if states < 2 {
+            return Err(Error::InvalidStateCount { found: states });
+        }
+        if values.len() != states * states {
+            return Err(Error::LengthMismatch { left: values.len(), right: states * states });
+        }
+        if let Some(bad) = values.iter().find(|v| !v.is_finite() || **v < 0.0) {
+            return Err(Error::InvalidMass(format!(
+                "transition probabilities must be finite and >= 0, got {bad}"
+            )));
+        }
+        for truth in 0..states {
+            let col_sum: f64 = (0..states).map(|o| values[o * states + truth]).sum();
+            if (col_sum - 1.0).abs() > COLUMN_SUM_TOLERANCE {
+                return Err(Error::InvalidMass(format!(
+                    "truth column {truth} sums to {col_sum}, expected 1"
+                )));
+            }
+        }
+        Ok(StochasticMatrix { states, values })
+    }
+
+    /// Builds the channel from a [`DiscreteChannel`]'s transition matrix
+    /// (useful for snapshotting or composing channels).
+    pub fn from_channel(channel: &dyn DiscreteChannel) -> Result<Self> {
+        Self::new(channel.states(), channel.matrix())
+    }
+}
+
+impl DiscreteChannel for StochasticMatrix {
+    fn states(&self) -> usize {
+        self.states
+    }
+
+    fn transition(&self, observed: usize, truth: usize) -> f64 {
+        self.values[observed * self.states + truth]
+    }
+
+    fn matrix(&self) -> Vec<f64> {
+        self.values.clone()
+    }
+
+    fn is_identity(&self) -> bool {
+        (0..self.states).all(|t| self.transition(t, t) == 1.0)
+    }
+
+    fn fingerprint(&self) -> Option<ChannelFingerprint> {
+        Some(ChannelFingerprint {
+            kind: "matrix",
+            states: self.states,
+            params: [
+                hash_params(&self.values),
+                hash_params_mixed(&self.values),
+                self.states as u64,
+            ],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::randomize::RandomizedResponse;
+
+    fn flat(states: usize) -> StochasticMatrix {
+        let p = 1.0 / states as f64;
+        StochasticMatrix::new(states, vec![p; states * states]).unwrap()
+    }
+
+    #[test]
+    fn matrix_constructor_validates() {
+        assert!(matches!(
+            StochasticMatrix::new(1, vec![1.0]),
+            Err(Error::InvalidStateCount { found: 1 })
+        ));
+        assert!(matches!(
+            StochasticMatrix::new(2, vec![1.0; 3]),
+            Err(Error::LengthMismatch { .. })
+        ));
+        // Truth column 0 sums to 1.1.
+        assert!(StochasticMatrix::new(2, vec![0.9, 0.2, 0.2, 0.8]).is_err());
+        assert!(StochasticMatrix::new(2, vec![0.9, f64::NAN, 0.1, 1.0]).is_err());
+        assert!(StochasticMatrix::new(2, vec![0.9, 0.2, 0.1, 0.8]).is_ok());
+    }
+
+    #[test]
+    fn identity_matrix_is_identity_channel() {
+        let id = StochasticMatrix::new(3, vec![1., 0., 0., 0., 1., 0., 0., 0., 1.]).unwrap();
+        assert!(id.is_identity());
+        assert!(!flat(3).is_identity());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_matrices() {
+        let a = flat(3).fingerprint().unwrap();
+        let b = flat(4).fingerprint().unwrap();
+        let c = StochasticMatrix::new(3, vec![1., 0., 0., 0., 1., 0., 0., 0., 1.])
+            .unwrap()
+            .fingerprint()
+            .unwrap();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, flat(3).fingerprint().unwrap());
+    }
+
+    #[test]
+    fn matrix_round_trips_through_from_channel() {
+        let rr = RandomizedResponse::new(4, 0.7).unwrap();
+        let snap = StochasticMatrix::from_channel(&rr).unwrap();
+        assert_eq!(snap.matrix(), rr.matrix());
+        assert_eq!(snap.states(), rr.states());
+    }
+
+    #[test]
+    fn default_fill_states_matches_transition_frequencies() {
+        let m =
+            StochasticMatrix::new(3, vec![0.6, 0.1, 0.2, 0.3, 0.8, 0.3, 0.1, 0.1, 0.5]).unwrap();
+        let truth = vec![1usize; 40_000];
+        let mut out = vec![0usize; truth.len()];
+        m.fill_states(9, &truth, &mut out).unwrap();
+        let mut counts = [0usize; 3];
+        for &o in &out {
+            counts[o] += 1;
+        }
+        for (o, &c) in counts.iter().enumerate() {
+            let rate = c as f64 / truth.len() as f64;
+            let expect = m.transition(o, 1);
+            assert!((rate - expect).abs() < 0.01, "observed {o}: {rate} vs {expect}");
+        }
+        // Deterministic by seed.
+        let mut again = vec![0usize; truth.len()];
+        m.fill_states(9, &truth, &mut again).unwrap();
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn fill_states_validates_inputs() {
+        let m = flat(3);
+        let mut out = vec![0usize; 2];
+        assert!(matches!(m.fill_states(1, &[0], &mut out), Err(Error::LengthMismatch { .. })));
+        assert!(matches!(
+            m.fill_states(1, &[0, 3], &mut out),
+            Err(Error::StateOutOfRange { state: 3, states: 3 })
+        ));
+    }
+
+    #[test]
+    fn posterior_column_applies_bayes_rule() {
+        let rr = RandomizedResponse::new(2, 0.6).unwrap();
+        // Prior [0.9, 0.1]: seeing state 1 should raise its posterior
+        // above the prior but keep it below certainty.
+        let post = rr.posterior_column(&[0.9, 0.1], 1).unwrap();
+        assert!((post.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(post[1] > 0.1 && post[1] < 1.0, "posterior {post:?}");
+        // Hand-checked Bayes: P(o=1|t=1) = 0.8, P(o=1|t=0) = 0.2.
+        let expect = 0.8 * 0.1 / (0.8 * 0.1 + 0.2 * 0.9);
+        assert!((post[1] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn posterior_column_validates() {
+        let rr = RandomizedResponse::new(3, 0.5).unwrap();
+        assert!(matches!(
+            rr.posterior_column(&[1.0, 0.0, 0.0], 3),
+            Err(Error::StateOutOfRange { .. })
+        ));
+        assert!(matches!(rr.posterior_column(&[1.0, 0.0], 0), Err(Error::CategoryMismatch { .. })));
+        assert!(rr.posterior_column(&[0.0, 0.0, 0.0], 0).is_err());
+        assert!(rr.posterior_column(&[-1.0, 1.0, 1.0], 0).is_err());
+    }
+
+    #[test]
+    fn hash_params_is_order_sensitive() {
+        assert_ne!(hash_params(&[1.0, 2.0]), hash_params(&[2.0, 1.0]));
+        assert_eq!(hash_params(&[1.0, 2.0]), hash_params(&[1.0, 2.0]));
+        // The second digest is independent of the first (different
+        // construction), order-sensitive, and deterministic.
+        assert_ne!(hash_params_mixed(&[1.0, 2.0]), hash_params(&[1.0, 2.0]));
+        assert_ne!(hash_params_mixed(&[1.0, 2.0]), hash_params_mixed(&[2.0, 1.0]));
+        assert_eq!(hash_params_mixed(&[1.0, 2.0]), hash_params_mixed(&[1.0, 2.0]));
+    }
+}

@@ -59,6 +59,22 @@ pub(crate) fn fill_with_sampler(
     }
 }
 
+/// Discrete counterpart of [`fill_with_sampler`]: maps each true state
+/// through a per-value sampler over one seed-derived [`StdRng`] stream.
+/// Used by [`super::DiscreteChannel::fill_states`] overrides so native
+/// sampling stays deterministic by `(channel, seed)`.
+pub(crate) fn fill_with_sampler_usize(
+    seed: u64,
+    truth: &[usize],
+    out: &mut [usize],
+    mut sample: impl FnMut(usize, &mut StdRng) -> usize,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for (&t, o) in truth.iter().zip(out.iter_mut()) {
+        *o = sample(t, &mut rng);
+    }
+}
+
 /// A (public) additive-noise channel as seen by the reconstruction
 /// algorithms.
 ///

@@ -27,13 +27,28 @@
 //! standalone structs and delegate all math to them, so a wrapped channel
 //! and the bare struct are bit-identical (same densities, same noise
 //! streams, same fingerprint, hence one shared kernel-cache entry).
+//!
+//! # Discrete channels
+//!
+//! [`DiscreteChannel`] is the categorical analogue of [`NoiseDensity`]:
+//! a transition matrix over `k` states, a stable [`ChannelFingerprint`],
+//! native batch sampling (`fill_states`), and exact posterior columns.
+//! [`RandomizedResponse`] implements it, [`StochasticMatrix`] is the
+//! arbitrary-matrix escape hatch, and `ppdm-assoc`'s partial-match
+//! channel plugs in from outside the crate. Every implementor inverts
+//! through the shared
+//! [`crate::reconstruct::DiscreteReconstructionEngine`].
 
+mod channel;
 mod density;
 mod discretize;
 mod laplace;
 mod mixture;
 mod response;
 
+pub use channel::{
+    hash_params, hash_params_mixed, ChannelFingerprint, DiscreteChannel, StochasticMatrix,
+};
 pub use density::{NoiseDensity, NoiseFingerprint};
 pub use discretize::Discretizer;
 pub use laplace::Laplace;

@@ -10,13 +10,18 @@
 //! q_j = p * pi_j + (1 - p) / k
 //! ```
 //!
-//! which the server inverts in closed form — the categorical analogue of
-//! distribution reconstruction.
+//! — a [`DiscreteChannel`] whose transition matrix the server inverts
+//! through the shared
+//! [`crate::reconstruct::DiscreteReconstructionEngine`], the categorical
+//! analogue of distribution reconstruction.
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Error, Result};
+
+use super::channel::{ChannelFingerprint, DiscreteChannel};
+use super::density::fill_with_sampler_usize;
 
 /// A `k`-ary randomized-response operator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -30,7 +35,7 @@ impl RandomizedResponse {
     /// true value with probability `keep_prob` in `(0, 1]`.
     pub fn new(categories: usize, keep_prob: f64) -> Result<Self> {
         if categories < 2 {
-            return Err(Error::CategoryMismatch { expected: 2, found: categories });
+            return Err(Error::InvalidStateCount { found: categories });
         }
         if !(keep_prob > 0.0 && keep_prob <= 1.0) {
             return Err(Error::InvalidProbability { name: "keep_prob", value: keep_prob });
@@ -54,12 +59,15 @@ impl RandomizedResponse {
         (1.0 - self.keep_prob) * (self.categories as f64 - 1.0) / self.categories as f64
     }
 
-    /// Perturbs one categorical value (0-based index).
+    /// Perturbs one categorical value (0-based index) — the hot
+    /// single-value path, kept panicking for speed.
+    ///
+    /// For untrusted or bulk input use the checked [`Self::perturb_all`].
     ///
     /// # Panics
     ///
     /// Panics if `value >= categories` — category indices are a type-level
-    /// contract of the caller.
+    /// contract of the caller on this path.
     pub fn perturb<R: Rng + ?Sized>(&self, value: usize, rng: &mut R) -> usize {
         assert!(
             value < self.categories,
@@ -73,14 +81,29 @@ impl RandomizedResponse {
         }
     }
 
-    /// Perturbs a column of categorical values.
-    pub fn perturb_all<R: Rng + ?Sized>(&self, values: &[usize], rng: &mut R) -> Vec<usize> {
-        values.iter().map(|&v| self.perturb(v, rng)).collect()
+    /// Perturbs a column of categorical values, validating every index
+    /// up front (so a bad batch fails fast instead of panicking midway
+    /// and never draws from the RNG).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::StateOutOfRange`] when any value is `>= categories`.
+    pub fn perturb_all<R: Rng + ?Sized>(
+        &self,
+        values: &[usize],
+        rng: &mut R,
+    ) -> Result<Vec<usize>> {
+        if let Some(&bad) = values.iter().find(|&&v| v >= self.categories) {
+            return Err(Error::StateOutOfRange { state: bad, states: self.categories });
+        }
+        Ok(values.iter().map(|&v| self.perturb(v, rng)).collect())
     }
 
     /// Reconstructs the true category *counts* from observed counts by
-    /// inverting the response channel, clamping negatives to zero and
-    /// rescaling to preserve the observed total.
+    /// inverting the response channel through the shared
+    /// [`crate::reconstruct::DiscreteReconstructionEngine`] (closed-form
+    /// LU solve against the cached factored channel), clamping negatives
+    /// to zero and rescaling to preserve the observed total.
     pub fn reconstruct(&self, observed_counts: &[f64]) -> Result<Vec<f64>> {
         if observed_counts.len() != self.categories {
             return Err(Error::CategoryMismatch {
@@ -97,23 +120,56 @@ impl RandomizedResponse {
         if total <= 0.0 {
             return Ok(vec![0.0; self.categories]);
         }
-        let k = self.categories as f64;
-        let background = (1.0 - self.keep_prob) / k;
-        // pi_j = (q_j - (1 - p)/k) / p, then clamp and renormalize.
-        let mut estimate: Vec<f64> = observed_counts
-            .iter()
-            .map(|&c| (((c / total) - background) / self.keep_prob).max(0.0))
-            .collect();
+        let raw = crate::reconstruct::shared_discrete_engine()
+            .solve_closed_form(self, observed_counts)?;
+        // Clamp and renormalize: inversion is unbiased but not
+        // range-respecting at small samples.
+        let mut estimate: Vec<f64> = raw.into_iter().map(|e| e.max(0.0)).collect();
         let est_total: f64 = estimate.iter().sum();
         if est_total <= 0.0 {
             // All observed mass consistent with pure noise: fall back to
             // the uniform estimate.
-            return Ok(vec![total / k; self.categories]);
+            return Ok(vec![total / self.categories as f64; self.categories]);
         }
         for e in &mut estimate {
             *e *= total / est_total;
         }
         Ok(estimate)
+    }
+}
+
+impl DiscreteChannel for RandomizedResponse {
+    fn states(&self) -> usize {
+        self.categories
+    }
+
+    fn transition(&self, observed: usize, truth: usize) -> f64 {
+        let background = (1.0 - self.keep_prob) / self.categories as f64;
+        if observed == truth {
+            self.keep_prob + background
+        } else {
+            background
+        }
+    }
+
+    fn is_identity(&self) -> bool {
+        self.keep_prob == 1.0
+    }
+
+    fn fingerprint(&self) -> Option<ChannelFingerprint> {
+        Some(ChannelFingerprint::new("randomized-response", self.categories, self.keep_prob, 0.0))
+    }
+
+    fn fill_states(&self, seed: u64, truth: &[usize], out: &mut [usize]) -> Result<()> {
+        if truth.len() != out.len() {
+            return Err(Error::LengthMismatch { left: truth.len(), right: out.len() });
+        }
+        if let Some(&bad) = truth.iter().find(|&&t| t >= self.categories) {
+            return Err(Error::StateOutOfRange { state: bad, states: self.categories });
+        }
+        // Native keep-or-resample sampling (no CDF walk).
+        fill_with_sampler_usize(seed, truth, out, |t, rng| self.perturb(t, rng));
+        Ok(())
     }
 }
 
@@ -126,7 +182,10 @@ mod tests {
 
     #[test]
     fn constructor_validates() {
-        assert!(RandomizedResponse::new(1, 0.5).is_err());
+        assert!(matches!(
+            RandomizedResponse::new(1, 0.5),
+            Err(Error::InvalidStateCount { found: 1 })
+        ));
         assert!(RandomizedResponse::new(3, 0.0).is_err());
         assert!(RandomizedResponse::new(3, 1.1).is_err());
         assert!(RandomizedResponse::new(3, f64::NAN).is_err());
@@ -141,6 +200,7 @@ mod tests {
             assert_eq!(rr.perturb(v, &mut rng), v);
         }
         assert_eq!(rr.flip_prob(), 0.0);
+        assert!(DiscreteChannel::is_identity(&rr));
     }
 
     #[test]
@@ -151,9 +211,33 @@ mod tests {
     }
 
     #[test]
+    fn perturb_all_is_checked_not_panicking() {
+        let rr = RandomizedResponse::new(3, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(matches!(
+            rr.perturb_all(&[0, 1, 3], &mut rng),
+            Err(Error::StateOutOfRange { state: 3, states: 3 })
+        ));
+        let out = rr.perturb_all(&[0, 1, 2], &mut rng).unwrap();
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|&v| v < 3));
+    }
+
+    #[test]
     fn flip_prob_formula() {
         let rr = RandomizedResponse::new(4, 0.6).unwrap();
         assert!((rr.flip_prob() - 0.4 * 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transition_columns_are_distributions() {
+        let rr = RandomizedResponse::new(5, 0.7).unwrap();
+        for truth in 0..5 {
+            let col: f64 = (0..5).map(|o| rr.transition(o, truth)).sum();
+            assert!((col - 1.0).abs() < 1e-12, "truth {truth}: {col}");
+        }
+        // Diagonal dominates off-diagonal for keep_prob > 0.
+        assert!(rr.transition(2, 2) > rr.transition(1, 2));
     }
 
     #[test]
@@ -164,6 +248,21 @@ mod tests {
         let flips = (0..n).filter(|_| rr.perturb(2, &mut rng) != 2).count();
         let rate = flips as f64 / n as f64;
         assert!((rate - rr.flip_prob()).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn fill_states_uses_native_sampling_deterministically() {
+        let rr = RandomizedResponse::new(4, 0.6).unwrap();
+        let truth: Vec<usize> = (0..10_000).map(|i| i % 4).collect();
+        let mut a = vec![0usize; truth.len()];
+        let mut b = vec![0usize; truth.len()];
+        rr.fill_states(7, &truth, &mut a).unwrap();
+        rr.fill_states(7, &truth, &mut b).unwrap();
+        assert_eq!(a, b);
+        let kept = truth.iter().zip(&a).filter(|(t, o)| t == o).count();
+        let keep_rate = kept as f64 / truth.len() as f64;
+        assert!((keep_rate - (1.0 - rr.flip_prob())).abs() < 0.02, "keep rate {keep_rate}");
+        assert!(matches!(rr.fill_states(7, &[9], &mut [0]), Err(Error::StateOutOfRange { .. })));
     }
 
     #[test]
@@ -187,6 +286,29 @@ mod tests {
         let raw_err: f64 = observed.iter().zip(&truth).map(|(o, t)| (o - t).abs()).sum();
         let est_err: f64 = est.iter().zip(&truth).map(|(e, t)| (e - t).abs()).sum();
         assert!(est_err < raw_err / 2.0, "est_err {est_err} raw_err {raw_err}");
+    }
+
+    #[test]
+    fn engine_routed_reconstruct_matches_closed_form() {
+        // The legacy closed form pi_j = (q_j/total - (1-p)/k) / p (clamped,
+        // rescaled) and the engine's LU solve are algebraically identical;
+        // the rewired path must agree to floating-point noise.
+        let rr = RandomizedResponse::new(4, 0.35).unwrap();
+        let observed = [500.0, 1250.0, 3250.0, 125.0];
+        let total: f64 = observed.iter().sum();
+        let background = (1.0 - rr.keep_prob()) / 4.0;
+        let mut legacy: Vec<f64> = observed
+            .iter()
+            .map(|&c| (((c / total) - background) / rr.keep_prob()).max(0.0))
+            .collect();
+        let legacy_total: f64 = legacy.iter().sum();
+        for e in &mut legacy {
+            *e *= total / legacy_total;
+        }
+        let engine = rr.reconstruct(&observed).unwrap();
+        for (e, l) in engine.iter().zip(&legacy) {
+            assert!((e - l).abs() < 1e-10 * total, "engine {e} vs legacy {l}");
+        }
     }
 
     #[test]

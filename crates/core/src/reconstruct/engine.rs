@@ -577,8 +577,9 @@ impl ReconstructionEngine {
 
 /// Validates a warm-start prior: floors every cell at a tiny positive
 /// probability and renormalizes, so EM can move mass back into cells the
-/// previous posterior had emptied.
-fn floored_prior(probs: &[f64], m: usize) -> Result<Vec<f64>> {
+/// previous posterior had emptied. (Shared with the discrete engine's
+/// warm starts — the semantics are identical.)
+pub(crate) fn floored_prior(probs: &[f64], m: usize) -> Result<Vec<f64>> {
     const FLOOR: f64 = 1e-12;
     if probs.len() != m {
         return Err(Error::InvalidMass(format!(

@@ -38,12 +38,25 @@
 //! sufficient statistics ([`SuffStats`]), shard-parallel ingestion
 //! ([`ShardedAccumulator`]), and warm-started incremental EM
 //! ([`IncrementalReconstructor`]).
+//!
+//! Categorical data goes through the same motions in the [`discrete`]
+//! module: a [`DiscreteReconstructionEngine`] caches factored channel
+//! matrices by [`crate::randomize::ChannelFingerprint`] and inverts any
+//! [`crate::randomize::DiscreteChannel`] either in closed form (pivoted
+//! LU) or with the same Bayes/EM iterate and [`StoppingRule`]s, with
+//! [`DiscreteSuffStats`] as the mergeable streaming sketch.
 
+pub mod discrete;
 pub mod engine;
 mod reference;
 mod stopping;
 pub mod streaming;
 
+pub use discrete::{
+    shared_discrete_engine, DiscreteJob, DiscreteJobInput, DiscreteReconstruction,
+    DiscreteReconstructionConfig, DiscreteReconstructionEngine, DiscreteSolver, DiscreteSuffStats,
+    FactoredChannel,
+};
 pub use engine::{shared_engine, JobInput, KernelMatrix, ReconstructionEngine, ReconstructionJob};
 pub use reference::reconstruct_reference;
 pub use stopping::{paper_chi_square_rule, StoppingRule};

@@ -32,6 +32,6 @@ pub mod stream;
 pub use attribute::{Attribute, NUM_ATTRIBUTES};
 pub use functions::LabelFunction;
 pub use generator::{generate, generate_record, generate_train_test, with_label_noise};
-pub use perturb::PerturbPlan;
+pub use perturb::{perturb_labels, PerturbPlan};
 pub use record::{Class, Dataset, Record, NUM_CLASSES};
 pub use stream::{column_batches, PerturbedBatchStream};

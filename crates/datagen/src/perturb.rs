@@ -1,17 +1,23 @@
 //! Dataset perturbation: applying a per-attribute noise plan to every
 //! record, leaving class labels untouched (AS00 perturbs attribute values
 //! only; the class label is the non-sensitive training signal).
+//!
+//! When the *label itself* is sensitive — respondents randomize which
+//! group they admit belonging to — [`perturb_labels`] pushes the label
+//! column through any [`DiscreteChannel`] (randomized response being the
+//! canonical one), mirroring how [`PerturbPlan::perturb_dataset`] pushes
+//! numeric columns through [`NoiseDensity`] channels.
 
 use ppdm_core::domain::Domain;
-use ppdm_core::error::Result;
+use ppdm_core::error::{Error, Result};
 use ppdm_core::privacy::{noise_for_privacy, privacy_pct, NoiseKind};
-use ppdm_core::randomize::{NoiseDensity, NoiseModel};
+use ppdm_core::randomize::{DiscreteChannel, NoiseDensity, NoiseModel};
 use rand::Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::attribute::{Attribute, NUM_ATTRIBUTES};
-use crate::record::{Dataset, Record};
+use crate::record::{Class, Dataset, Record, NUM_CLASSES};
 
 /// A per-attribute noise assignment.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -114,6 +120,39 @@ impl PerturbPlan {
         }
         attr.domain().expanded(span)
     }
+}
+
+/// Randomizes every class label through a discrete channel (labels as
+/// states via [`Class::index`]), leaving attribute values untouched —
+/// the categorical counterpart of [`PerturbPlan::perturb_dataset`].
+///
+/// The channel stream is seeded from `seed` on its own derived slot (one
+/// past the attribute slots), so label randomization composes with
+/// attribute perturbation at the same seed without stream collisions,
+/// and the output depends only on `(channel, dataset, seed)`.
+///
+/// # Errors
+///
+/// [`Error::CategoryMismatch`] when the channel is not defined over
+/// exactly [`NUM_CLASSES`] states (a wider channel could emit states
+/// that are not valid [`Class`]es).
+pub fn perturb_labels(
+    channel: &dyn DiscreteChannel,
+    dataset: &Dataset,
+    seed: u64,
+) -> Result<Dataset> {
+    if channel.states() != NUM_CLASSES {
+        return Err(Error::CategoryMismatch { expected: NUM_CLASSES, found: channel.states() });
+    }
+    let truth: Vec<usize> = dataset.labels().iter().map(|l| l.index()).collect();
+    let mut observed = vec![0usize; truth.len()];
+    channel.fill_states(derive_seed(seed, NUM_ATTRIBUTES), &truth, &mut observed)?;
+    let mut out = Dataset::empty();
+    for ((record, _), state) in dataset.iter().zip(observed) {
+        let label = Class::from_index(state).expect("channel emits states < NUM_CLASSES");
+        out.push(*record, label);
+    }
+    Ok(out)
 }
 
 /// Derives the per-attribute noise-stream seed from the dataset seed.
@@ -234,6 +273,45 @@ mod tests {
 
         let none = PerturbPlan::none();
         assert_eq!(none.perturbed_domain(Attribute::Age).unwrap(), base);
+    }
+
+    #[test]
+    fn perturb_labels_flips_at_the_channel_rate() {
+        use ppdm_core::randomize::RandomizedResponse;
+        let d = generate(20_000, LabelFunction::F2, 20);
+        let channel = RandomizedResponse::new(NUM_CLASSES, 0.6).unwrap();
+        let noisy = perturb_labels(&channel, &d, 21).unwrap();
+        assert_eq!(d.records(), noisy.records(), "attribute values must be untouched");
+        let flipped = d.labels().iter().zip(noisy.labels()).filter(|(a, b)| a != b).count() as f64;
+        let rate = flipped / d.len() as f64;
+        assert!((rate - channel.flip_prob()).abs() < 0.01, "flip rate {rate}");
+        // Deterministic by seed, distinct across seeds.
+        assert_eq!(noisy, perturb_labels(&channel, &d, 21).unwrap());
+        assert_ne!(noisy, perturb_labels(&channel, &d, 22).unwrap());
+    }
+
+    #[test]
+    fn perturb_labels_composes_with_attribute_perturbation() {
+        use ppdm_core::randomize::RandomizedResponse;
+        // Same seed for both stages: the label stream lives on its own
+        // derived slot, so the attribute noise is unchanged.
+        let d = generate(500, LabelFunction::F3, 23);
+        let plan = PerturbPlan::for_privacy(NoiseKind::Gaussian, 50.0, DEFAULT_CONFIDENCE).unwrap();
+        let channel = RandomizedResponse::new(NUM_CLASSES, 0.8).unwrap();
+        let values_only = plan.perturb_dataset(&d, 24);
+        let both = perturb_labels(&channel, &values_only, 24).unwrap();
+        assert_eq!(values_only.records(), both.records());
+    }
+
+    #[test]
+    fn perturb_labels_rejects_wrong_arity_channels() {
+        use ppdm_core::randomize::RandomizedResponse;
+        let d = generate(10, LabelFunction::F1, 25);
+        let wide = RandomizedResponse::new(3, 0.5).unwrap();
+        assert!(matches!(
+            perturb_labels(&wide, &d, 1),
+            Err(Error::CategoryMismatch { expected: 2, found: 3 })
+        ));
     }
 
     #[test]

@@ -43,7 +43,9 @@ pub mod tree;
 pub use builder::build_tree;
 pub use eval::{evaluate, Evaluation};
 pub use matrix::FeatureMatrix;
-pub use naive_bayes::{train_naive_bayes, NaiveBayes};
+pub use naive_bayes::{
+    reconstruct_class_counts, train_naive_bayes, train_naive_bayes_with_label_channel, NaiveBayes,
+};
 pub use prune::prune_pessimistic;
 pub use trainer::{train, TrainerConfig, TrainingAlgorithm};
 pub use tree::{DecisionTree, Node, TreeConfig};

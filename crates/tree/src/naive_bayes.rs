@@ -8,8 +8,11 @@
 //! per-class, per-attribute interval masses that reconstruction outputs.
 //! (The companion dissertation evaluates exactly this pairing.)
 
-use ppdm_core::error::Result;
-use ppdm_core::reconstruct::{shared_engine, ReconstructionJob};
+use ppdm_core::error::{Error, Result};
+use ppdm_core::randomize::DiscreteChannel;
+use ppdm_core::reconstruct::{
+    shared_discrete_engine, shared_engine, DiscreteReconstructionConfig, ReconstructionJob,
+};
 use ppdm_core::stats::Histogram;
 use ppdm_datagen::{Attribute, Class, Dataset, PerturbPlan, Record, NUM_CLASSES};
 
@@ -41,10 +44,71 @@ pub fn train_naive_bayes(
     config: &TrainerConfig,
 ) -> Result<NaiveBayes> {
     let counts = perturbed.class_counts();
-    let n = perturbed.len().max(1) as f64;
+    train_with_prior_counts(perturbed, plan, config, [counts[0] as f64, counts[1] as f64])
+}
+
+/// Trains naive Bayes when the class labels themselves were randomized
+/// through a public [`DiscreteChannel`]
+/// (see [`ppdm_datagen::perturb_labels`]): the class *priors* are
+/// estimated by inverting the label channel through the shared
+/// [`ppdm_core::reconstruct::DiscreteReconstructionEngine`] instead of
+/// trusting the observed (flattened) label counts.
+///
+/// The per-class attribute likelihoods are still computed against the
+/// observed labels — at moderate label-randomization rates the prior is
+/// where the observed counts are most misleading, and correcting it is
+/// exactly the categorical reconstruction step of AS00's recipe.
+pub fn train_naive_bayes_with_label_channel(
+    perturbed: &Dataset,
+    plan: &PerturbPlan,
+    label_channel: &dyn DiscreteChannel,
+    config: &TrainerConfig,
+) -> Result<NaiveBayes> {
+    let priors = reconstruct_class_counts(perturbed.labels(), label_channel)?;
+    train_with_prior_counts(perturbed, plan, config, priors)
+}
+
+/// Estimates the *true* per-class counts from channel-randomized labels:
+/// tallies the observed labels and inverts the label channel with the
+/// discrete engine's iterative (nonnegative) solver.
+///
+/// # Errors
+///
+/// [`Error::CategoryMismatch`] when the channel is not over exactly
+/// [`NUM_CLASSES`] states; [`Error::NoObservations`] for an empty label
+/// slice.
+pub fn reconstruct_class_counts(
+    labels: &[Class],
+    channel: &dyn DiscreteChannel,
+) -> Result<[f64; NUM_CLASSES]> {
+    if channel.states() != NUM_CLASSES {
+        return Err(Error::CategoryMismatch { expected: NUM_CLASSES, found: channel.states() });
+    }
+    let mut observed = [0.0f64; NUM_CLASSES];
+    for label in labels {
+        observed[label.index()] += 1.0;
+    }
+    let recon = shared_discrete_engine().reconstruct(
+        channel,
+        &observed,
+        &DiscreteReconstructionConfig::iterative(),
+    )?;
+    Ok([recon.estimate[0], recon.estimate[1]])
+}
+
+/// Shared trainer body: per-class attribute likelihoods from the observed
+/// labels, priors from the given (possibly channel-corrected) class
+/// counts.
+fn train_with_prior_counts(
+    perturbed: &Dataset,
+    plan: &PerturbPlan,
+    config: &TrainerConfig,
+    prior_counts: [f64; NUM_CLASSES],
+) -> Result<NaiveBayes> {
+    let n: f64 = prior_counts.iter().sum::<f64>().max(0.0);
     let log_priors = [
-        ((counts[0] as f64 + SMOOTHING) / (n + 2.0 * SMOOTHING)).ln(),
-        ((counts[1] as f64 + SMOOTHING) / (n + 2.0 * SMOOTHING)).ln(),
+        ((prior_counts[0] + SMOOTHING) / (n + 2.0 * SMOOTHING)).ln(),
+        ((prior_counts[1] + SMOOTHING) / (n + 2.0 * SMOOTHING)).ln(),
     ];
 
     let partitions = crate::trainer::attribute_partitions(perturbed.len(), config);
@@ -205,5 +269,52 @@ mod tests {
         let empty = Dataset::empty();
         let nb = train_naive_bayes(&empty, &PerturbPlan::none(), &quick_config()).unwrap();
         assert_eq!(nb.accuracy(&empty), 1.0);
+    }
+
+    #[test]
+    fn reconstructed_class_counts_beat_raw_counts_under_label_noise() {
+        use ppdm_core::randomize::RandomizedResponse;
+        use ppdm_datagen::perturb_labels;
+        // F1 is heavily skewed toward one class; randomizing labels pulls
+        // the observed counts toward 50/50, and inverting the channel
+        // must pull them back.
+        let (train_d, _) = generate_train_test(20_000, 10, LabelFunction::F1, 7);
+        let truth = train_d.class_counts();
+        let channel = RandomizedResponse::new(NUM_CLASSES, 0.4).unwrap();
+        let noisy = perturb_labels(&channel, &train_d, 8).unwrap();
+        let observed = noisy.class_counts();
+        let estimated = reconstruct_class_counts(noisy.labels(), &channel).unwrap();
+        let raw_err = (observed[0] as f64 - truth[0] as f64).abs();
+        let est_err = (estimated[0] - truth[0] as f64).abs();
+        assert!(
+            est_err < raw_err / 3.0,
+            "estimated {estimated:?} should beat observed {observed:?} against truth {truth:?}"
+        );
+        assert!((estimated[0] + estimated[1] - train_d.len() as f64).abs() < 1e-6);
+        // Wrong-arity channels are rejected.
+        let wide = RandomizedResponse::new(3, 0.5).unwrap();
+        assert!(matches!(
+            reconstruct_class_counts(noisy.labels(), &wide),
+            Err(Error::CategoryMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn label_channel_correction_restores_the_prior() {
+        use ppdm_core::randomize::RandomizedResponse;
+        use ppdm_datagen::perturb_labels;
+        let (train_d, test_d) = generate_train_test(20_000, 4_000, LabelFunction::F1, 9);
+        let channel = RandomizedResponse::new(NUM_CLASSES, 0.4).unwrap();
+        let noisy = perturb_labels(&channel, &train_d, 10).unwrap();
+        let plan = PerturbPlan::none();
+        let uncorrected = train_naive_bayes(&noisy, &plan, &quick_config()).unwrap();
+        let corrected =
+            train_naive_bayes_with_label_channel(&noisy, &plan, &channel, &quick_config()).unwrap();
+        let acc_un = uncorrected.accuracy(&test_d);
+        let acc_co = corrected.accuracy(&test_d);
+        assert!(
+            acc_co + 0.02 >= acc_un,
+            "corrected priors ({acc_co}) should not lose to flattened ones ({acc_un})"
+        );
     }
 }

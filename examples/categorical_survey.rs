@@ -37,7 +37,7 @@ fn main() -> ppdm::core::Result<()> {
     // Respondents keep their true answer with p = 0.6, otherwise pick
     // uniformly at random.
     let rr = RandomizedResponse::new(CATEGORIES.len(), 0.6)?;
-    let submitted = rr.perturb_all(&answers, &mut rng);
+    let submitted = rr.perturb_all(&answers, &mut rng)?;
     println!(
         "channel: keep probability {:.0}%, overall flip probability {:.0}%\n",
         100.0 * rr.keep_prob(),

@@ -16,19 +16,25 @@
 #[path = "../../tests/support/fixtures.rs"]
 mod fixtures;
 
-use fixtures::{fixture_path, render, scenarios};
+use fixtures::{discrete_scenarios, fixture_path, render, render_discrete, scenarios};
+
+fn write_fixture(name: &str, json: String) {
+    let path = fixture_path(name);
+    let changed = match std::fs::read_to_string(&path) {
+        Ok(existing) => existing != json,
+        Err(_) => true,
+    };
+    std::fs::write(&path, &json).expect("write fixture");
+    println!("{} {}", if changed { "rewrote " } else { "unchanged" }, path.display());
+}
 
 fn main() {
     let dir = fixture_path("probe").parent().expect("fixture files live in a directory").to_owned();
     std::fs::create_dir_all(&dir).expect("create tests/fixtures/");
     for scenario in scenarios() {
-        let path = fixture_path(scenario.name);
-        let json = render(&scenario);
-        let changed = match std::fs::read_to_string(&path) {
-            Ok(existing) => existing != json,
-            Err(_) => true,
-        };
-        std::fs::write(&path, &json).expect("write fixture");
-        println!("{} {}", if changed { "rewrote " } else { "unchanged" }, path.display());
+        write_fixture(scenario.name, render(&scenario));
+    }
+    for scenario in discrete_scenarios() {
+        write_fixture(scenario.name(), render_discrete(&scenario));
     }
 }

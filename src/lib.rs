@@ -39,10 +39,13 @@ pub mod prelude {
     pub use ppdm_core::privacy::{
         interval_width, noise_for_privacy, privacy_pct, NoiseKind, DEFAULT_CONFIDENCE,
     };
-    pub use ppdm_core::randomize::{NoiseDensity, NoiseModel};
+    pub use ppdm_core::randomize::{
+        DiscreteChannel, NoiseDensity, NoiseModel, RandomizedResponse, StochasticMatrix,
+    };
     pub use ppdm_core::reconstruct::{
-        reconstruct, IncrementalReconstructor, ReconstructionConfig, ReconstructionEngine,
-        ReconstructionJob, ShardedAccumulator, StoppingRule, SuffStats,
+        reconstruct, DiscreteReconstructionConfig, DiscreteReconstructionEngine, DiscreteSuffStats,
+        IncrementalReconstructor, ReconstructionConfig, ReconstructionEngine, ReconstructionJob,
+        ShardedAccumulator, StoppingRule, SuffStats,
     };
     pub use ppdm_core::stats::Histogram;
     pub use ppdm_core::{Error, Result};

@@ -11,28 +11,40 @@
 #[path = "support/fixtures.rs"]
 mod fixtures;
 
-use fixtures::{fixture_path, render, scenarios};
+use fixtures::{discrete_scenarios, fixture_path, render, render_discrete, scenarios};
+
+fn assert_fixture_reproduces(name: &str, actual: String) {
+    let path = fixture_path(name);
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run `cargo run --bin regen_fixtures` and commit it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "fixture {name} drifted; if intentional, `cargo run --bin regen_fixtures` and commit"
+    );
+}
 
 #[test]
 fn fixtures_reproduce_bit_for_bit() {
     let mut checked = 0;
     for scenario in scenarios() {
-        let path = fixture_path(scenario.name);
-        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-            panic!(
-                "missing fixture {} ({e}); run `cargo run --bin regen_fixtures` and commit it",
-                path.display()
-            )
-        });
-        let actual = render(&scenario);
-        assert_eq!(
-            expected, actual,
-            "fixture {} drifted; if intentional, `cargo run --bin regen_fixtures` and commit",
-            scenario.name
-        );
+        assert_fixture_reproduces(scenario.name, render(&scenario));
         checked += 1;
     }
     assert!(checked >= 6, "expected the full fixture set, checked {checked}");
+}
+
+#[test]
+fn discrete_fixtures_reproduce_bit_for_bit() {
+    let mut checked = 0;
+    for scenario in discrete_scenarios() {
+        assert_fixture_reproduces(scenario.name(), render_discrete(&scenario));
+        checked += 1;
+    }
+    assert!(checked >= 2, "expected both discrete fixtures, checked {checked}");
 }
 
 #[test]

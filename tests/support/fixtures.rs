@@ -15,10 +15,12 @@
 //! regen_fixtures` rewrites them after an *intentional* change (see
 //! `tests/README.md` for the workflow).
 
+use ppdm_assoc::{estimated_supports, generate_baskets, BasketConfig, ItemRandomizer};
 use ppdm_core::domain::{Domain, Partition};
-use ppdm_core::randomize::NoiseModel;
+use ppdm_core::randomize::{DiscreteChannel, NoiseModel, RandomizedResponse};
 use ppdm_core::reconstruct::{
-    LikelihoodKernel, ReconstructionConfig, ReconstructionEngine, ShardedAccumulator,
+    DiscreteReconstructionConfig, DiscreteReconstructionEngine, DiscreteSolver, LikelihoodKernel,
+    ReconstructionConfig, ReconstructionEngine, ShardedAccumulator,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -223,6 +225,178 @@ pub fn render(scenario: &FixtureScenario) -> String {
         iterations: result.iterations,
         converged: result.converged,
         masses: result.histogram.masses().to_vec(),
+    };
+    let mut json = serde_json::to_string(&output).expect("fixture output is JSON-representable");
+    json.push('\n');
+    json
+}
+
+/// One golden scenario of the *discrete* engine: a fixed seed and channel,
+/// solved through `DiscreteReconstructionEngine`.
+pub enum DiscreteFixtureScenario {
+    /// `n` categorical survey answers drawn from a fixed skewed
+    /// multinomial, randomized-response-perturbed, reconstructed with
+    /// both engine solvers.
+    RandomizedResponse {
+        /// Fixture file stem under `tests/fixtures/`.
+        name: &'static str,
+        /// Number of categories.
+        categories: usize,
+        /// Keep probability of the channel.
+        keep_prob: f64,
+        /// RNG seed of the true-state sample and the channel stream.
+        seed: u64,
+        /// Sample size.
+        n: usize,
+    },
+    /// Supports of a fixed candidate list over a randomized basket
+    /// database, estimated through the engine-routed assoc path.
+    AssocSupport {
+        /// Fixture file stem under `tests/fixtures/`.
+        name: &'static str,
+        /// Item keep probability.
+        keep_prob: f64,
+        /// Absent-item insertion probability.
+        insert_prob: f64,
+        /// RNG seed of the basket database and its randomization.
+        seed: u64,
+        /// Transactions in the database.
+        n: usize,
+    },
+}
+
+impl DiscreteFixtureScenario {
+    /// Fixture file stem under `tests/fixtures/`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DiscreteFixtureScenario::RandomizedResponse { name, .. }
+            | DiscreteFixtureScenario::AssocSupport { name, .. } => name,
+        }
+    }
+}
+
+/// The committed discrete scenarios: one per retired bespoke inversion
+/// path (randomized response, assoc support estimation).
+pub fn discrete_scenarios() -> Vec<DiscreteFixtureScenario> {
+    vec![
+        DiscreteFixtureScenario::RandomizedResponse {
+            name: "discrete_randomized_response",
+            categories: 5,
+            keep_prob: 0.6,
+            seed: 201,
+            n: 2_000,
+        },
+        DiscreteFixtureScenario::AssocSupport {
+            name: "discrete_assoc_support",
+            keep_prob: 0.85,
+            insert_prob: 0.08,
+            seed: 202,
+            n: 2_000,
+        },
+    ]
+}
+
+/// The serialized discrete-fixture payload.
+#[derive(Debug, Serialize)]
+struct DiscreteFixtureOutput {
+    name: String,
+    channel: String,
+    seed: u64,
+    n: usize,
+    /// Per-solver (or per-itemset) labeled result vectors.
+    results: Vec<DiscreteFixtureResult>,
+}
+
+#[derive(Debug, Serialize)]
+struct DiscreteFixtureResult {
+    label: String,
+    iterations: usize,
+    converged: bool,
+    values: Vec<f64>,
+}
+
+/// Renders one discrete scenario as its canonical JSON fixture
+/// (newline-terminated).
+pub fn render_discrete(scenario: &DiscreteFixtureScenario) -> String {
+    let output = match *scenario {
+        DiscreteFixtureScenario::RandomizedResponse { name, categories, keep_prob, seed, n } => {
+            let channel =
+                RandomizedResponse::new(categories, keep_prob).expect("static parameters");
+            // Fixed skewed multinomial over the categories: weights
+            // proportional to k, k-1, ..., 1.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let total_weight = (categories * (categories + 1) / 2) as f64;
+            let truth: Vec<usize> = (0..n)
+                .map(|_| {
+                    let u: f64 = rng.gen_range(0.0..1.0) * total_weight;
+                    let mut acc = 0.0;
+                    for (state, w) in (1..=categories).rev().enumerate() {
+                        acc += w as f64;
+                        if u < acc {
+                            return state;
+                        }
+                    }
+                    categories - 1
+                })
+                .collect();
+            let mut observed_states = vec![0usize; n];
+            channel
+                .fill_states(seed.wrapping_add(1), &truth, &mut observed_states)
+                .expect("states in range");
+            let mut observed = vec![0.0f64; categories];
+            for &s in &observed_states {
+                observed[s] += 1.0;
+            }
+            let engine = DiscreteReconstructionEngine::new();
+            let results = [DiscreteSolver::ClosedForm, DiscreteSolver::Iterative]
+                .into_iter()
+                .map(|solver| {
+                    let config = DiscreteReconstructionConfig { solver, ..Default::default() };
+                    let recon =
+                        engine.reconstruct(&channel, &observed, &config).expect("non-empty");
+                    DiscreteFixtureResult {
+                        label: format!("{solver:?}"),
+                        iterations: recon.iterations,
+                        converged: recon.converged,
+                        values: recon.estimate,
+                    }
+                })
+                .collect();
+            DiscreteFixtureOutput {
+                name: name.to_string(),
+                channel: format!("RandomizedResponse(k={categories}, p={keep_prob})"),
+                seed,
+                n,
+                results,
+            }
+        }
+        DiscreteFixtureScenario::AssocSupport { name, keep_prob, insert_prob, seed, n } => {
+            let randomizer =
+                ItemRandomizer::new(keep_prob, insert_prob).expect("static parameters");
+            let db = generate_baskets(&BasketConfig::retail_demo(), n, seed);
+            let randomized = randomizer.perturb_set(&db, seed.wrapping_add(1));
+            let itemsets: Vec<Vec<u32>> =
+                vec![vec![0], vec![1], vec![2], vec![1, 2], vec![0, 2], vec![1, 2, 3]];
+            let supports =
+                estimated_supports(&randomized, &itemsets, &randomizer).expect("solvable");
+            let results = itemsets
+                .iter()
+                .zip(&supports)
+                .map(|(itemset, support)| DiscreteFixtureResult {
+                    label: format!("{itemset:?}"),
+                    iterations: 0,
+                    converged: true,
+                    values: vec![*support],
+                })
+                .collect();
+            DiscreteFixtureOutput {
+                name: name.to_string(),
+                channel: format!("ItemRandomizer(p={keep_prob}, q={insert_prob})"),
+                seed,
+                n,
+                results,
+            }
+        }
     };
     let mut json = serde_json::to_string(&output).expect("fixture output is JSON-representable");
     json.push('\n');
