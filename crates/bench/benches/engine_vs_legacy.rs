@@ -56,6 +56,9 @@ fn bench_single_problem(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("engine_warm", n), &obs, |b, obs| {
             b.iter(|| engine.reconstruct(&noise, partition, obs, &cfg).expect("non-empty"));
         });
+        // Cache contract: one geometry, one kernel build, regardless of
+        // how many warm measurement iterations just ran.
+        assert_eq!(engine.kernel_builds(), 1, "warm single-job engine rebuilt its kernel");
     }
     group.finish();
 }
@@ -118,6 +121,14 @@ fn bench_byclass_job_set(c: &mut Criterion) {
                     engine.reconstruct_many(&jobs)
                 });
             },
+        );
+        // Cache contract: 4 noise/domain setups x 2 classes share 4
+        // kernel geometries; each must have been built exactly once
+        // across every batch the measurement loop ran.
+        assert_eq!(
+            engine.kernel_builds(),
+            4,
+            "byclass job set must build one kernel per distinct geometry"
         );
     }
     group.finish();

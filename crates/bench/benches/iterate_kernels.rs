@@ -1,0 +1,198 @@
+//! Scalar-reference vs vectorized iterate, continuous and discrete: the
+//! before/after evidence for the shared lane-blocked iterate core.
+//!
+//! Grid: `m ∈ {20, 100}` cells/states × `n ∈ {10k, 100k}` observations,
+//! all with `MaxIterationsOnly` stopping at a fixed iteration count so
+//! the numbers measure per-iteration engine cost, not convergence
+//! variance.
+//!
+//! * `continuous/scalar/*` — [`reconstruct_reference`]: the seed's
+//!   scalar row-major iterate (per-call likelihood materialization
+//!   included; at ITERATIONS=100 it is a small, amortized slice of the
+//!   runtime).
+//! * `continuous/vectorized/*` — a warm [`ReconstructionEngine`]: the
+//!   transposed-kernel lane-blocked core, including the same O(n)
+//!   bucketing sweep per call.
+//! * `discrete/scalar/*` — a verbatim copy of the retired
+//!   `run_discrete_iterate` scalar loop over [`FactoredChannel`] rows.
+//! * `discrete/vectorized/*` — a warm [`DiscreteReconstructionEngine`]
+//!   with the `Iterative` solver (the shared core).
+//!
+//! After measuring, the harness asserts the engines' build counters:
+//! every distinct geometry/fingerprint must have been built exactly
+//! once across all warm measurement iterations — the cache contract the
+//! kernel factorization depends on.
+//!
+//! Speedup tables are recorded in `EXPERIMENTS.md` ("Iterate
+//! throughput").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppdm_core::domain::{Domain, Partition};
+use ppdm_core::randomize::{NoiseModel, RandomizedResponse};
+use ppdm_core::reconstruct::{
+    reconstruct_reference, DiscreteReconstructionConfig, DiscreteReconstructionEngine,
+    DiscreteSolver, FactoredChannel, ReconstructionConfig, ReconstructionEngine, StoppingRule,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fixed iteration count for every arm: per-iteration cost, not
+/// convergence variance.
+const ITERATIONS: usize = 100;
+
+fn continuous_config() -> ReconstructionConfig {
+    ReconstructionConfig {
+        stopping: StoppingRule::MaxIterationsOnly,
+        max_iterations: ITERATIONS,
+        ..ReconstructionConfig::default()
+    }
+}
+
+fn observed(n: usize, noise: &NoiseModel, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let originals: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
+    noise.perturb_all(&originals, &mut rng)
+}
+
+fn bench_continuous(c: &mut Criterion) {
+    let noise = NoiseModel::gaussian(20.0).expect("static parameter");
+    let cfg = continuous_config();
+    let mut group = c.benchmark_group("iterate_kernels/continuous");
+    let engine = ReconstructionEngine::new();
+    let mut geometries = 0;
+    for m in [20usize, 100] {
+        let partition = Partition::new(Domain::new(0.0, 100.0).unwrap(), m).unwrap();
+        geometries += 1;
+        for n in [10_000usize, 100_000] {
+            let obs = observed(n, &noise, 1);
+            group.bench_with_input(BenchmarkId::new(format!("scalar/m{m}"), n), &obs, |b, obs| {
+                b.iter(|| reconstruct_reference(&noise, partition, obs, &cfg).expect("non-empty"));
+            });
+            // Prime the kernel so the vectorized numbers are steady-state.
+            engine.reconstruct(&noise, partition, &obs, &cfg).expect("non-empty");
+            group.bench_with_input(
+                BenchmarkId::new(format!("vectorized/m{m}"), n),
+                &obs,
+                |b, obs| {
+                    b.iter(|| engine.reconstruct(&noise, partition, obs, &cfg).expect("non-empty"));
+                },
+            );
+        }
+    }
+    group.finish();
+    // Cache contract: one kernel build per distinct geometry, no matter
+    // how many warm measurement iterations ran.
+    assert_eq!(
+        engine.kernel_builds(),
+        geometries,
+        "warm engine must build each kernel geometry exactly once"
+    );
+    println!(
+        "cache contract: {} geometries -> {} kernel builds",
+        geometries,
+        engine.kernel_builds()
+    );
+}
+
+/// The retired scalar discrete iterate, kept verbatim as the bench
+/// baseline (uniform start, zero-denominator skip, unconditional
+/// log-likelihood accumulation — exactly what `run_discrete_iterate`
+/// did before the shared vectorized core).
+fn scalar_discrete_iterate(
+    factored: &FactoredChannel,
+    observed_counts: &[f64],
+    max_iterations: usize,
+) -> Vec<f64> {
+    let k = factored.states();
+    let n: f64 = observed_counts.iter().sum();
+    let mut probs = vec![1.0 / k as f64; k];
+    let mut scratch = vec![0.0f64; k];
+    for _ in 0..max_iterations {
+        scratch.iter_mut().for_each(|s| *s = 0.0);
+        let mut used_weight = 0.0;
+        let mut log_likelihood = 0.0;
+        for (observed, &weight) in observed_counts.iter().enumerate() {
+            if weight <= 0.0 {
+                continue;
+            }
+            let row = factored.row(observed);
+            let denom: f64 = row.iter().zip(&probs).map(|(l, p)| l * p).sum();
+            if denom <= f64::MIN_POSITIVE {
+                continue;
+            }
+            used_weight += weight;
+            log_likelihood += weight * denom.ln();
+            let inv = weight / denom;
+            for (s, (l, p)) in scratch.iter_mut().zip(row.iter().zip(&probs)) {
+                *s += l * p * inv;
+            }
+        }
+        if used_weight <= 0.0 {
+            break;
+        }
+        let total: f64 = scratch.iter().sum();
+        for s in &mut scratch {
+            *s /= total;
+        }
+        let stalled = probs.iter().zip(&scratch).map(|(o, w)| (w - o).abs()).sum::<f64>() < 1e-12;
+        std::mem::swap(&mut probs, &mut scratch);
+        if stalled {
+            break;
+        }
+        std::hint::black_box(log_likelihood);
+    }
+    probs.iter().map(|p| p * n).collect()
+}
+
+fn bench_discrete(c: &mut Criterion) {
+    let cfg = DiscreteReconstructionConfig {
+        solver: DiscreteSolver::Iterative,
+        stopping: StoppingRule::MaxIterationsOnly,
+        max_iterations: ITERATIONS,
+    };
+    let mut group = c.benchmark_group("iterate_kernels/discrete");
+    let engine = DiscreteReconstructionEngine::new();
+    let mut channels = 0;
+    for k in [20usize, 100] {
+        let channel = RandomizedResponse::new(k, 0.6).expect("static parameters");
+        let factored = FactoredChannel::build(&channel).expect("non-singular");
+        channels += 1;
+        for n in [10_000usize, 100_000] {
+            // Deterministic skewed counts summing to n.
+            let mut counts = vec![0.0f64; k];
+            for i in 0..n {
+                counts[(i * 31 + i / 7) % k] += 1.0;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(format!("scalar/k{k}"), n),
+                &counts,
+                |b, counts| {
+                    b.iter(|| scalar_discrete_iterate(&factored, counts, ITERATIONS));
+                },
+            );
+            // Prime the factorization cache.
+            engine.reconstruct(&channel, &counts, &cfg).expect("non-empty");
+            group.bench_with_input(
+                BenchmarkId::new(format!("vectorized/k{k}"), n),
+                &counts,
+                |b, counts| {
+                    b.iter(|| engine.reconstruct(&channel, counts, &cfg).expect("non-empty"));
+                },
+            );
+        }
+    }
+    group.finish();
+    assert_eq!(
+        engine.factored_builds(),
+        channels,
+        "warm engine must factor each channel exactly once"
+    );
+    println!(
+        "cache contract: {} channels -> {} factorizations",
+        channels,
+        engine.factored_builds()
+    );
+}
+
+criterion_group!(benches, bench_continuous, bench_discrete);
+criterion_main!(benches);

@@ -55,6 +55,7 @@ pub mod error;
 pub mod privacy;
 pub mod randomize;
 pub mod reconstruct;
+pub mod simd;
 pub mod stats;
 
 pub use domain::{Domain, Partition};

@@ -38,6 +38,7 @@ use crate::error::{Error, Result};
 use crate::randomize::{ChannelFingerprint, DiscreteChannel};
 
 use super::engine::floored_prior;
+use super::iterate::{run_iterate_core, ColumnMatrix, TransposedEStep};
 use super::stopping::StoppingRule;
 
 /// A channel matrix factored once (pivoted LU) for repeated closed-form
@@ -53,6 +54,10 @@ pub struct FactoredChannel {
     /// Row-major `[observed][truth]` transition matrix (the iterate's
     /// likelihood rows).
     matrix: Vec<f64>,
+    /// Column-major `[truth][observed]` copy of the transition matrix:
+    /// the vectorized iterate's contiguous likelihood columns, built
+    /// once here so warm `Iterative` solves never re-transpose.
+    transposed: Vec<f64>,
     /// Packed LU factors after row swaps: `U` on and above the diagonal,
     /// the elimination multipliers of `L` below it.
     lu: Vec<f64>,
@@ -113,7 +118,13 @@ impl FactoredChannel {
                 }
             }
         }
-        Ok(FactoredChannel { states: n, matrix, lu, swaps })
+        let mut transposed = vec![0.0f64; n * n];
+        for observed in 0..n {
+            for truth in 0..n {
+                transposed[truth * n + observed] = matrix[observed * n + truth];
+            }
+        }
+        Ok(FactoredChannel { states: n, matrix, transposed, lu, swaps })
     }
 
     /// Number of states `k`.
@@ -166,10 +177,10 @@ impl FactoredChannel {
         Ok(x)
     }
 
-    /// Memory footprint in `f64` entries (matrix + factors), the unit of
-    /// the engine's cache budget.
+    /// Memory footprint in `f64` entries (matrix + transposed copy +
+    /// factors), the unit of the engine's cache budget.
     pub fn entries(&self) -> usize {
-        self.matrix.len() + self.lu.len()
+        self.matrix.len() + self.transposed.len() + self.lu.len()
     }
 }
 
@@ -471,9 +482,11 @@ impl Default for DiscreteReconstructionEngine {
 
 impl DiscreteReconstructionEngine {
     /// Default cache budget in `f64` entries: 1M entries = 8 MB. A
-    /// `k`-state factorization costs `2 k^2` entries — channel matrices
-    /// are tiny (itemset channels are `(k+1) x (k+1)` with `k` rarely
-    /// above 10), so this holds tens of thousands of channels.
+    /// `k`-state factorization costs `3 k^2` entries (transition matrix,
+    /// its transposed copy for the vectorized iterate, LU factors) —
+    /// channel matrices are tiny (itemset channels are `(k+1) x (k+1)`
+    /// with `k` rarely above 10), so this holds tens of thousands of
+    /// channels.
     pub const DEFAULT_CACHE_ENTRY_BUDGET: usize = 1_000_000;
 
     /// An engine with the default cache budget.
@@ -683,9 +696,12 @@ impl DiscreteReconstructionEngine {
     }
 }
 
-/// The discrete Bayes/EM iterate, arithmetic kept parallel to the
-/// continuous `run_iterate` (same denominators, same stall breakout,
-/// same stopping machinery).
+/// The discrete Bayes/EM iterate: the shared vectorized core
+/// ([`super::iterate`]) over the channel's transition matrix. Identical
+/// skeleton (zero-denominator skip, stall breakout, stopping machinery,
+/// warm starts) to the continuous engine — both engines call the same
+/// `run_iterate_core`. Zero-weight observed states contribute exactly
+/// nothing, matching the retired loop's explicit skip.
 fn run_discrete_iterate(
     factored: &FactoredChannel,
     observed_counts: &[f64],
@@ -694,60 +710,13 @@ fn run_discrete_iterate(
     initial: Option<&[f64]>,
 ) -> Result<DiscreteReconstruction> {
     let k = factored.states();
-    let mut probs = match initial {
-        Some(prior) => prior.to_vec(),
-        None => vec![1.0 / k as f64; k],
-    };
-    let mut scratch = vec![0.0f64; k];
-    let mut iterations = 0;
-    let mut converged = false;
-    let mut prev_log_likelihood = f64::NEG_INFINITY;
-
-    while iterations < config.max_iterations {
-        iterations += 1;
-        scratch.iter_mut().for_each(|s| *s = 0.0);
-        let mut used_weight = 0.0;
-        let mut log_likelihood = 0.0;
-        for (observed, &weight) in observed_counts.iter().enumerate() {
-            if weight <= 0.0 {
-                continue;
-            }
-            let row = factored.row(observed);
-            let denom: f64 = row.iter().zip(&probs).map(|(l, p)| l * p).sum();
-            if denom <= f64::MIN_POSITIVE {
-                // Observed state incompatible with the current estimate
-                // (possible once cells hit zero under a sparse channel);
-                // it carries no usable evidence this round.
-                continue;
-            }
-            used_weight += weight;
-            log_likelihood += weight * denom.ln();
-            let inv = weight / denom;
-            for (s, (l, p)) in scratch.iter_mut().zip(row.iter().zip(&probs)) {
-                *s += l * p * inv;
-            }
-        }
-        if used_weight <= 0.0 {
-            break;
-        }
-        let total: f64 = scratch.iter().sum();
-        debug_assert!(total > 0.0);
-        for s in &mut scratch {
-            *s /= total;
-        }
-        let stop =
-            config.stopping.should_stop(&probs, &scratch, n, prev_log_likelihood, log_likelihood);
-        prev_log_likelihood = log_likelihood;
-        let stalled = probs.iter().zip(&scratch).map(|(o, w)| (w - o).abs()).sum::<f64>() < 1e-12;
-        std::mem::swap(&mut probs, &mut scratch);
-        if stop || stalled {
-            converged = true;
-            break;
-        }
-    }
-
-    let estimate: Vec<f64> = probs.iter().map(|p| p * n).collect();
-    Ok(DiscreteReconstruction { estimate, iterations, converged })
+    // The column-major transition copy was built once at factorization
+    // time (cached by fingerprint), so warm solves borrow it outright.
+    let matrix = ColumnMatrix::new(Cow::Borrowed(&factored.transposed), k, k);
+    let mut estep = TransposedEStep::new(matrix, Cow::Borrowed(observed_counts));
+    let out = run_iterate_core(&mut estep, k, n, &config.stopping, config.max_iterations, initial);
+    let estimate: Vec<f64> = out.probs.iter().map(|p| p * n).collect();
+    Ok(DiscreteReconstruction { estimate, iterations: out.iterations, converged: out.converged })
 }
 
 /// The process-wide engine behind engine-routed categorical inversions
@@ -944,8 +913,8 @@ mod tests {
 
     #[test]
     fn cache_budget_flushes_but_stays_correct() {
-        // Budget of 60 entries: a 4-state factorization is 32 entries, a
-        // 5-state one is 50 — inserting both must flush in between, and
+        // Budget of 60 entries: a 4-state factorization is 48 entries, a
+        // 5-state one is 75 — inserting both must flush in between, and
         // results must be unaffected.
         let engine = DiscreteReconstructionEngine::with_cache_entry_budget(60);
         let cfg = DiscreteReconstructionConfig::closed_form();

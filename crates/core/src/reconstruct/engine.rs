@@ -42,6 +42,23 @@
 //! recomputed on the fly into a single scratch buffer, keeping memory at
 //! `O(m)` regardless of `n`.
 //!
+//! # Layout and the vectorized iterate
+//!
+//! The engine stores its cached kernels in the *transposed*
+//! ([`KernelLayout::Transposed`], column-major) layout: column `p` holds
+//! the likelihood of every observation bucket given cell `p`,
+//! contiguously. Each EM iteration then runs through the shared
+//! vectorized core (the private `iterate` module): a blocked dense `K·p` for the
+//! per-bucket denominators followed by a fused weighted `Kᵀ·(w/denom)`
+//! gather, both over contiguous columns with lane-blocked accumulation
+//! ([`crate::simd`]) — instead of the retired per-row scalar dot/axpy
+//! sweeps. Lane blocking changes summation order, so engine results are
+//! within 1e-10 of — not bit-identical to — the scalar
+//! [`super::reconstruct_reference`], which stays byte-for-byte untouched
+//! as the oracle; results remain fully deterministic across runs and
+//! machines. Exact-mode per-observation rows keep a row-major shape
+//! (dense or streamed) but use the same shared core and lane primitives.
+//!
 //! # Batching
 //!
 //! [`ReconstructionEngine::reconstruct_many`] fans a slice of independent
@@ -53,6 +70,7 @@
 
 use std::borrow::Cow;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
 use rayon::prelude::*;
@@ -60,8 +78,10 @@ use rayon::prelude::*;
 use crate::domain::Partition;
 use crate::error::{Error, Result};
 use crate::randomize::{NoiseDensity, NoiseFingerprint};
+use crate::simd;
 use crate::stats::Histogram;
 
+use super::iterate::{run_iterate_core, ColumnMatrix, EStep, IterateOutcome, TransposedEStep};
 use super::streaming::SuffStats;
 use super::{LikelihoodKernel, Reconstruction, ReconstructionConfig, UpdateMode};
 
@@ -107,33 +127,74 @@ fn likelihood(
     }
 }
 
+/// Memory layout of a [`KernelMatrix`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelLayout {
+    /// Row-major: the likelihood row of one observation bucket is
+    /// contiguous. The layout of the original implementation, natural
+    /// for per-row scalar traversals.
+    RowMajor,
+    /// Column-major ("transposed"): the likelihood column of one original
+    /// cell is contiguous. What the engine caches — the vectorized
+    /// iterate runs blocked `K·p` / `Kᵀ·c` passes over contiguous
+    /// columns.
+    Transposed,
+}
+
 /// A precomputed `(m + k) × m` likelihood matrix over the extended
-/// partition's bucket midpoints.
+/// partition's bucket midpoints, in either layout (entries are
+/// bit-identical across layouts; only the storage order differs).
 #[derive(Debug)]
 pub struct KernelMatrix {
     extended: Partition,
     m: usize,
-    /// Row-major `extended.len() × m` likelihood values.
+    layout: KernelLayout,
+    /// `extended.len() × m` likelihood values in `layout` order.
     values: Vec<f64>,
 }
 
 impl KernelMatrix {
-    /// Precomputes the kernel for one `(noise, partition, kernel)` triple.
+    /// Precomputes the kernel for one `(noise, partition, kernel)` triple
+    /// in the row-major layout.
     pub fn build(
         noise: &dyn NoiseDensity,
         partition: Partition,
         kernel: LikelihoodKernel,
     ) -> Result<Self> {
+        Self::build_with_layout(noise, partition, kernel, KernelLayout::RowMajor)
+    }
+
+    /// Precomputes the kernel in an explicit layout. Every entry is the
+    /// same likelihood evaluation regardless of layout, so the two
+    /// layouts hold exactly the same values.
+    pub fn build_with_layout(
+        noise: &dyn NoiseDensity,
+        partition: Partition,
+        kernel: LikelihoodKernel,
+        layout: KernelLayout,
+    ) -> Result<Self> {
         let (extended, _) = partition.extend_by(noise.span())?;
         let m = partition.len();
         let mut values = Vec::with_capacity(extended.len() * m);
-        for s in 0..extended.len() {
-            let w = extended.midpoint(s);
-            for p in 0..m {
-                values.push(likelihood(noise, &partition, kernel, w, p));
+        match layout {
+            KernelLayout::RowMajor => {
+                for s in 0..extended.len() {
+                    let w = extended.midpoint(s);
+                    for p in 0..m {
+                        values.push(likelihood(noise, &partition, kernel, w, p));
+                    }
+                }
+            }
+            KernelLayout::Transposed => {
+                for p in 0..m {
+                    for s in 0..extended.len() {
+                        let w = extended.midpoint(s);
+                        values.push(likelihood(noise, &partition, kernel, w, p));
+                    }
+                }
             }
         }
-        Ok(KernelMatrix { extended, m, values })
+        Ok(KernelMatrix { extended, m, layout, values })
     }
 
     /// The partition extended by the noise span: the observation buckets
@@ -142,23 +203,93 @@ impl KernelMatrix {
         self.extended
     }
 
+    /// The storage layout.
+    pub fn layout(&self) -> KernelLayout {
+        self.layout
+    }
+
+    /// Likelihood of observation bucket `s` given original cell `p`,
+    /// independent of layout.
+    #[inline]
+    pub fn value(&self, s: usize, p: usize) -> f64 {
+        match self.layout {
+            KernelLayout::RowMajor => self.values[s * self.m + p],
+            KernelLayout::Transposed => self.values[p * self.extended.len() + s],
+        }
+    }
+
     /// Likelihood row of observation bucket `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`KernelLayout::Transposed`] matrix, whose rows are
+    /// not contiguous — use [`KernelMatrix::value`] or
+    /// [`KernelMatrix::column`] there.
     #[inline]
     pub fn row(&self, s: usize) -> &[f64] {
+        assert_eq!(self.layout, KernelLayout::RowMajor, "rows are contiguous only in RowMajor");
         &self.values[s * self.m..(s + 1) * self.m]
+    }
+
+    /// Likelihood column of original cell `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`KernelLayout::RowMajor`] matrix, whose columns are
+    /// not contiguous.
+    #[inline]
+    pub fn column(&self, p: usize) -> &[f64] {
+        assert_eq!(
+            self.layout,
+            KernelLayout::Transposed,
+            "columns are contiguous only in Transposed"
+        );
+        let rows = self.extended.len();
+        &self.values[p * rows..(p + 1) * rows]
     }
 
     /// Memory footprint of the matrix in likelihood entries.
     pub fn entries(&self) -> usize {
         self.values.len()
     }
+
+    /// The iterate input for a bucketed solve against this (transposed)
+    /// kernel: a column-major active matrix plus per-row weights.
+    ///
+    /// When the problem is *mostly dense* — at least 7/8 of the
+    /// observation buckets carry mass, the invariable case at paper
+    /// scale — the kernel's own storage is borrowed outright: no
+    /// per-call copy, and every solve re-touches the same cached memory.
+    /// Empty buckets ride along with weight 0, which the E-step turns
+    /// into an exact no-op (coefficient 0 contributes nothing to any
+    /// accumulator). Sparser problems (small samples over wide
+    /// extensions) gather the active columns into a compact owned matrix
+    /// instead, so the per-iteration cost tracks the non-empty buckets
+    /// the retired scalar loop iterated. The threshold is a fixed
+    /// function of the input counts, so results stay deterministic.
+    fn active_problem<'a>(&'a self, masses: &'a [f64]) -> (ColumnMatrix<'a>, Cow<'a, [f64]>) {
+        let rows = self.extended.len();
+        debug_assert_eq!(masses.len(), rows);
+        debug_assert_eq!(self.layout, KernelLayout::Transposed);
+        let active: Vec<usize> = (0..rows).filter(|&s| masses[s] > 0.0).collect();
+        if active.len() >= rows - rows / 8 {
+            let matrix = ColumnMatrix::new(Cow::Borrowed(&self.values[..]), rows, self.m);
+            return (matrix, Cow::Borrowed(masses));
+        }
+        let weights: Vec<f64> = active.iter().map(|&s| masses[s]).collect();
+        let r = active.len();
+        let mut values = Vec::with_capacity(r * self.m);
+        for p in 0..self.m {
+            let col = &self.values[p * rows..(p + 1) * rows];
+            values.extend(active.iter().map(|&s| col[s]));
+        }
+        (ColumnMatrix::new(Cow::Owned(values), r, self.m), Cow::Owned(weights))
+    }
 }
 
-/// Supplies likelihood rows to the iterate: from a cached kernel, from a
-/// per-call dense matrix, or streamed into a scratch buffer.
+/// Supplies per-observation likelihood rows to the Exact-mode iterate:
+/// materialized once per call, or streamed into a scratch buffer.
 enum RowSource<'a> {
-    /// `buckets[idx]` is the extended-partition bucket of pair `idx`.
-    Matrix { matrix: &'a KernelMatrix, buckets: &'a [usize] },
     /// Per-observation rows materialized once for this call (Exact mode
     /// when `n x m` fits the materialization budget).
     Dense { values: Vec<f64>, m: usize },
@@ -177,7 +308,6 @@ impl RowSource<'_> {
     #[inline]
     fn row(&mut self, idx: usize, value: f64) -> &[f64] {
         match self {
-            RowSource::Matrix { matrix, buckets } => matrix.row(buckets[idx]),
             RowSource::Dense { values, m } => &values[idx * *m..(idx + 1) * *m],
             RowSource::Streamed { noise, partition, kernel, buf } => {
                 for (p, slot) in buf.iter_mut().enumerate() {
@@ -186,6 +316,39 @@ impl RowSource<'_> {
                 buf
             }
         }
+    }
+}
+
+/// The Exact-mode E-step: row-wise over per-observation likelihood rows
+/// (dense or streamed — both produce identical values in identical
+/// order, so the two paths agree bit for bit), vectorized with the same
+/// lane primitives as the transposed path.
+struct ExactEStep<'a> {
+    pairs: &'a [(f64, f64)],
+    rows: RowSource<'a>,
+}
+
+impl EStep for ExactEStep<'_> {
+    fn accumulate(&mut self, probs: &[f64], next: &mut [f64], need_ll: bool) -> (f64, f64) {
+        let mut used_weight = 0.0;
+        let mut log_likelihood = if need_ll { 0.0 } else { f64::NAN };
+        for (idx, &(weight, value)) in self.pairs.iter().enumerate() {
+            let row = self.rows.row(idx, value);
+            let denom = simd::dot(row, probs);
+            if denom <= f64::MIN_POSITIVE {
+                // No usable evidence this round (see the module docs).
+                continue;
+            }
+            used_weight += weight;
+            if need_ll {
+                log_likelihood += weight * denom.ln();
+            }
+            simd::axpy(weight / denom, row, next);
+        }
+        for (slot, p) in next.iter_mut().zip(probs) {
+            *slot *= p;
+        }
+        (used_weight, log_likelihood)
     }
 }
 
@@ -319,6 +482,11 @@ pub struct ReconstructionEngine {
     /// Exact mode materializes its `n x m` per-observation rows once when
     /// they fit this many entries, and streams them otherwise.
     exact_materialize_entries: usize,
+    /// Total kernels ever built (cache misses + unfingerprinted
+    /// channels), for tests and the bench harness's
+    /// one-build-per-fingerprint assertions. Mirrors
+    /// [`super::DiscreteReconstructionEngine::factored_builds`].
+    builds: AtomicUsize,
 }
 
 impl Default for ReconstructionEngine {
@@ -353,6 +521,7 @@ impl ReconstructionEngine {
             cache: RwLock::new(KernelCache { map: HashMap::new(), entries: 0 }),
             entry_budget: budget,
             exact_materialize_entries: Self::DEFAULT_EXACT_MATERIALIZE_ENTRIES,
+            builds: AtomicUsize::new(0),
         }
     }
 
@@ -374,15 +543,28 @@ impl ReconstructionEngine {
         self.cache.read().expect("kernel cache lock poisoned").entries
     }
 
-    /// Returns the (possibly cached) kernel for one problem geometry.
+    /// Total kernel matrices built over the engine's lifetime (cache
+    /// misses + unfingerprinted channels). A warm workload over `d`
+    /// distinct geometries reports exactly `d`. Mirrors
+    /// [`super::DiscreteReconstructionEngine::factored_builds`].
+    pub fn kernel_builds(&self) -> usize {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Returns the (possibly cached) kernel for one problem geometry, in
+    /// the transposed layout the iterate consumes.
     fn kernel_for(
         &self,
         noise: &dyn NoiseDensity,
         partition: Partition,
         kernel: LikelihoodKernel,
     ) -> Result<Arc<KernelMatrix>> {
+        let build = || {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            KernelMatrix::build_with_layout(noise, partition, kernel, KernelLayout::Transposed)
+        };
         let Some(fingerprint) = noise.fingerprint() else {
-            return Ok(Arc::new(KernelMatrix::build(noise, partition, kernel)?));
+            return Ok(Arc::new(build()?));
         };
         let key = KernelKey::new(fingerprint, partition, kernel);
         if let Some(hit) =
@@ -398,7 +580,7 @@ impl ReconstructionEngine {
         if let Some(hit) = cache.map.get(&key).cloned() {
             return Ok(hit);
         }
-        let built = Arc::new(KernelMatrix::build(noise, partition, kernel)?);
+        let built = Arc::new(build()?);
         if cache.entries + built.entries() > self.entry_budget && !cache.map.is_empty() {
             cache.map.clear();
             cache.entries = 0;
@@ -421,45 +603,42 @@ impl ReconstructionEngine {
         if observed.is_empty() {
             return Err(Error::NoObservations);
         }
-        if let Some(bad) = observed.iter().find(|w| !w.is_finite()) {
-            return Err(Error::InvalidMass(format!("observation {bad} is not finite")));
-        }
 
         // Without noise the perturbed values are the originals.
+        // (`try_from_values` rejects non-finite observations in the same
+        // pass that buckets the rest — no separate validation sweep.)
         if noise.is_identity() {
             return Ok(Reconstruction {
-                histogram: Histogram::from_values(partition, observed),
+                histogram: Histogram::try_from_values(partition, observed)?,
                 iterations: 0,
                 converged: true,
             });
         }
 
         let m = partition.len();
+        let n = observed.len() as f64;
         match config.mode {
             UpdateMode::Bucketed => {
+                // Bucket (and thereby validate) the observations *before*
+                // fetching the kernel, so invalid input fails fast without
+                // paying — or caching — an O((m+k)·m) kernel build.
+                let (extended, _) = partition.extend_by(noise.span())?;
+                let obs_hist = Histogram::try_from_values(extended, observed)?;
                 let matrix = self.kernel_for(noise, partition, config.kernel)?;
-                let obs_hist = Histogram::from_values(matrix.extended(), observed);
-                let mut pairs = Vec::new();
-                let mut buckets = Vec::new();
-                for s in 0..matrix.extended().len() {
-                    let mass = obs_hist.mass(s);
-                    if mass > 0.0 {
-                        pairs.push((mass, matrix.extended().midpoint(s)));
-                        buckets.push(s);
-                    }
-                }
-                let mut rows = RowSource::Matrix { matrix: &matrix, buckets: &buckets };
-                run_iterate(&pairs, &mut rows, m, observed.len() as f64, partition, config, None)
+                debug_assert_eq!(matrix.extended(), extended, "same span, same extension");
+                self.solve_bucketed(&matrix, obs_hist.masses(), n, partition, config, None)
             }
             UpdateMode::Exact => {
+                if let Some(bad) = observed.iter().find(|w| !w.is_finite()) {
+                    return Err(Error::InvalidMass(format!("observation {bad} is not finite")));
+                }
                 let pairs: Vec<(f64, f64)> = observed.iter().map(|&w| (1.0, w)).collect();
                 // Per-observation rows are never cached (they depend on
                 // the sample), but when they fit the materialization
                 // budget it is far cheaper to evaluate them once than to
                 // re-evaluate n x m densities every iteration. Either
                 // path computes identical values in identical order.
-                let mut rows = if observed.len().saturating_mul(m) <= self.exact_materialize_entries
-                {
+                let rows = if observed.len().saturating_mul(m) <= self.exact_materialize_entries {
                     let mut values = Vec::with_capacity(observed.len() * m);
                     for &(_, w) in &pairs {
                         for p in 0..m {
@@ -475,9 +654,42 @@ impl ReconstructionEngine {
                         buf: vec![0.0; m],
                     }
                 };
-                run_iterate(&pairs, &mut rows, m, observed.len() as f64, partition, config, None)
+                let mut estep = ExactEStep { pairs: &pairs, rows };
+                let out = run_iterate_core(
+                    &mut estep,
+                    m,
+                    n,
+                    &config.stopping,
+                    config.max_iterations,
+                    None,
+                );
+                finish(out, n, partition)
             }
         }
+    }
+
+    /// The shared bucketed solve: per-extended-bucket masses against a
+    /// transposed kernel, through the vectorized iterate core.
+    fn solve_bucketed(
+        &self,
+        matrix: &KernelMatrix,
+        masses: &[f64],
+        n: f64,
+        partition: Partition,
+        config: &ReconstructionConfig,
+        initial: Option<&[f64]>,
+    ) -> Result<Reconstruction> {
+        let (active, weights) = matrix.active_problem(masses);
+        let mut estep = TransposedEStep::new(active, weights);
+        let out = run_iterate_core(
+            &mut estep,
+            partition.len(),
+            n,
+            &config.stopping,
+            config.max_iterations,
+            initial,
+        );
+        finish(out, n, partition)
     }
 
     /// Reconstructs from streaming sufficient statistics, optionally
@@ -532,16 +744,7 @@ impl ReconstructionEngine {
             stats.extended(),
             "kernel and sketch extend the same partition by the same span"
         );
-        let mut pairs = Vec::new();
-        let mut buckets = Vec::new();
-        for (s, &mass) in stats.counts().iter().enumerate() {
-            if mass > 0.0 {
-                pairs.push((mass, matrix.extended().midpoint(s)));
-                buckets.push(s);
-            }
-        }
-        let mut rows = RowSource::Matrix { matrix: &matrix, buckets: &buckets };
-        run_iterate(&pairs, &mut rows, m, n, partition, config, warm.as_deref())
+        self.solve_bucketed(&matrix, stats.counts(), n, partition, config, warm.as_deref())
     }
 
     /// Runs a batch of independent problems across worker threads,
@@ -598,78 +801,15 @@ pub(crate) fn floored_prior(probs: &[f64], m: usize) -> Result<Vec<f64>> {
     Ok(floored)
 }
 
-/// The Bayes/EM iterate, shared by the matrix and streaming paths.
-///
-/// The arithmetic (including summation order) is kept identical to the
-/// reference implementation so engine results are bit-for-bit equal.
-/// `initial` overrides the uniform starting estimate (warm starts from a
-/// previous posterior); callers must pass a normalized length-`m` vector.
-fn run_iterate(
-    pairs: &[(f64, f64)],
-    rows: &mut RowSource<'_>,
-    m: usize,
-    n: f64,
-    partition: Partition,
-    config: &ReconstructionConfig,
-    initial: Option<&[f64]>,
-) -> Result<Reconstruction> {
-    let mut probs = match initial {
-        Some(prior) => prior.to_vec(),
-        None => vec![1.0 / m as f64; m],
-    };
-    let mut scratch = vec![0.0f64; m];
-    let mut iterations = 0;
-    let mut converged = false;
-    let mut prev_log_likelihood = f64::NEG_INFINITY;
-
-    while iterations < config.max_iterations {
-        iterations += 1;
-        scratch.iter_mut().for_each(|s| *s = 0.0);
-        let mut used_weight = 0.0;
-        // Observed-data log-likelihood of the *current* estimate, available
-        // for free from the per-observation denominators.
-        let mut log_likelihood = 0.0;
-        for (idx, &(weight, value)) in pairs.iter().enumerate() {
-            let row = rows.row(idx, value);
-            let denom: f64 = row.iter().zip(&probs).map(|(l, p)| l * p).sum();
-            if denom <= f64::MIN_POSITIVE {
-                // Observation incompatible with the current estimate (can
-                // happen with bounded uniform noise once cells hit zero);
-                // it carries no usable evidence this round.
-                continue;
-            }
-            used_weight += weight;
-            log_likelihood += weight * denom.ln();
-            let inv = weight / denom;
-            for (s, (l, p)) in scratch.iter_mut().zip(row.iter().zip(&probs)) {
-                *s += l * p * inv;
-            }
-        }
-        if used_weight <= 0.0 {
-            // Every observation became incompatible: keep the last estimate
-            // and report non-convergence.
-            break;
-        }
-        let total: f64 = scratch.iter().sum();
-        debug_assert!(total > 0.0);
-        for s in &mut scratch {
-            *s /= total;
-        }
-        let stop =
-            config.stopping.should_stop(&probs, &scratch, n, prev_log_likelihood, log_likelihood);
-        prev_log_likelihood = log_likelihood;
-        // Unconditional stall breakout: once the step is at floating-point
-        // noise level, no stopping rule can learn anything from running on.
-        let stalled = probs.iter().zip(&scratch).map(|(o, w)| (w - o).abs()).sum::<f64>() < 1e-12;
-        std::mem::swap(&mut probs, &mut scratch);
-        if stop || stalled {
-            converged = true;
-            break;
-        }
-    }
-
-    let mass: Vec<f64> = probs.iter().map(|p| p * n).collect();
-    Ok(Reconstruction { histogram: Histogram::from_mass(partition, mass)?, iterations, converged })
+/// Scales the iterate's probability vector back to observation mass and
+/// wraps it as a [`Reconstruction`].
+fn finish(out: IterateOutcome, n: f64, partition: Partition) -> Result<Reconstruction> {
+    let mass: Vec<f64> = out.probs.iter().map(|p| p * n).collect();
+    Ok(Reconstruction {
+        histogram: Histogram::from_mass(partition, mass)?,
+        iterations: out.iterations,
+        converged: out.converged,
+    })
 }
 
 /// The process-wide engine behind the free [`crate::reconstruct::reconstruct`]
@@ -714,6 +854,47 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn transposed_layout_holds_exactly_the_row_major_entries() {
+        let noise = NoiseModel::gaussian(10.0).unwrap();
+        let p = part(23);
+        for kernel in [LikelihoodKernel::Midpoint, LikelihoodKernel::CellAverage] {
+            let rowwise = KernelMatrix::build(&noise, p, kernel).unwrap();
+            let colwise =
+                KernelMatrix::build_with_layout(&noise, p, kernel, KernelLayout::Transposed)
+                    .unwrap();
+            assert_eq!(rowwise.extended(), colwise.extended());
+            assert_eq!(rowwise.entries(), colwise.entries());
+            for s in 0..rowwise.extended().len() {
+                for cell in 0..p.len() {
+                    // Bit-exact: same likelihood evaluations, only the
+                    // storage order differs.
+                    assert_eq!(
+                        rowwise.value(s, cell).to_bits(),
+                        colwise.value(s, cell).to_bits(),
+                        "kernel {kernel:?} bucket {s} cell {cell}"
+                    );
+                    assert_eq!(rowwise.row(s)[cell].to_bits(), colwise.column(cell)[s].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_builds_counts_one_build_per_geometry() {
+        let engine = ReconstructionEngine::new();
+        let noise = NoiseModel::gaussian(10.0).unwrap();
+        let obs = sample(300, &noise, 9);
+        let cfg = ReconstructionConfig::default();
+        assert_eq!(engine.kernel_builds(), 0);
+        for _ in 0..3 {
+            engine.reconstruct(&noise, part(20), &obs, &cfg).unwrap();
+        }
+        assert_eq!(engine.kernel_builds(), 1, "warm repeats must not rebuild");
+        engine.reconstruct(&noise, part(25), &obs, &cfg).unwrap();
+        assert_eq!(engine.kernel_builds(), 2, "a new geometry builds exactly once");
     }
 
     #[test]

@@ -1,0 +1,352 @@
+//! The shared Bayes/EM iterate core.
+//!
+//! Every reconstruction in this crate — the continuous engine's bucketed,
+//! dense-Exact, streamed-Exact, and sufficient-statistics paths, and the
+//! discrete engine's `Iterative` solver — bottoms out in the same
+//! fixed-point update:
+//!
+//! ```text
+//! probs'[p] ∝ probs[p] * Σ_i  L[i][p] * w_i / (Σ_r L[i][r] * probs[r])
+//! ```
+//!
+//! Before this module existed the loop lived in two hand-rolled copies
+//! (`run_iterate` in `engine.rs`, `run_discrete_iterate` in
+//! `discrete.rs`), each with its own scratch zeroing, zero-denominator
+//! skip, stall breakout, and stopping plumbing. [`run_iterate_core`] is
+//! the single implementation of that skeleton; what varies per path is
+//! only *how the E-step evidence is accumulated*, abstracted as an
+//! [`EStep`].
+//!
+//! # The two E-step shapes
+//!
+//! * [`TransposedEStep`] — the vectorized production path. Works on a
+//!   column-major ([`ColumnMatrix`]) active likelihood matrix so each
+//!   iteration is a blocked dense `K·p` (per-4-column [`simd::axpy4`]
+//!   sweeps over the denominator vector) followed by a fused weighted
+//!   `Kᵀ·(w/denom)` gather (one lane-blocked [`simd::dot`] per column),
+//!   instead of per-row strided traversals. Used by every kernel-matrix
+//!   and counts-backed solve, continuous and discrete.
+//! * Row-wise E-steps (the continuous engine's Exact mode, where rows are
+//!   per-observation and possibly streamed) implement [`EStep`] directly
+//!   over row slices with [`simd::dot`] + [`simd::axpy`].
+//!
+//! # Numerics
+//!
+//! Lane-blocked summation changes accumulation order relative to the
+//! scalar reference (`reconstruct_reference`, the retired discrete loop),
+//! so engine results are no longer bit-identical to it — the equivalence
+//! suites bound the divergence at ≤ 1e-10 instead, and the scalar
+//! reference is kept byte-for-byte untouched as the oracle. Results stay
+//! fully deterministic (fixed lane width [`simd::LANES`], fixed
+//! accumulation order, no threading inside a solve), so golden fixtures
+//! remain byte-reproducible run to run and across machines.
+//!
+//! The observed-data log-likelihood falls out of the per-row denominators
+//! for free *except* for the `ln` call per row, which measurably taxes
+//! the iterate (~20% per iteration at paper scale). It is therefore only
+//! accumulated when the configured [`StoppingRule`] actually consumes it
+//! ([`StoppingRule::needs_log_likelihood`]); rules that ignore it see
+//! `NaN` placeholders, which they never read.
+
+use std::borrow::Cow;
+
+use crate::simd;
+
+use super::stopping::StoppingRule;
+
+/// Unconditional stall breakout threshold: once the L1 distance between
+/// successive probability vectors drops below this, the step is at
+/// floating-point noise level and no stopping rule can learn anything
+/// from running on. The value predates this module (both retired loop
+/// copies used it) and is part of the iterate's observable behavior:
+/// well below any meaningful stopping tolerance (default log-likelihood
+/// `rel_tolerance` is 1e-8), well above f64 round-off for the ≤ ~100-cell
+/// probability vectors the iterate runs over.
+pub(crate) const STALL_L1_THRESHOLD: f64 = 1e-12;
+
+/// Outcome of the shared iterate: the final (normalized) probability
+/// vector plus the bookkeeping both engines report.
+pub(crate) struct IterateOutcome {
+    pub probs: Vec<f64>,
+    pub iterations: usize,
+    pub converged: bool,
+}
+
+/// One E-step strategy: turns the current estimate into the unnormalized
+/// next estimate.
+pub(crate) trait EStep {
+    /// Fills `next` (pre-zeroed, length `m`) with the unnormalized
+    /// updated cell masses for the current `probs`, applying the
+    /// zero-denominator skip. Returns `(used_weight, log_likelihood)`;
+    /// when `need_ll` is `false` the log-likelihood is not accumulated
+    /// and `NaN` is returned in its place.
+    fn accumulate(&mut self, probs: &[f64], next: &mut [f64], need_ll: bool) -> (f64, f64);
+}
+
+/// A column-major `rows × cells` active likelihood matrix: column `p`
+/// holds the likelihood of every active observation row given cell `p`,
+/// contiguously. Borrowed directly from a transposed kernel when every
+/// observation bucket is active, or gathered into a compact owned buffer
+/// otherwise.
+pub(crate) struct ColumnMatrix<'a> {
+    values: Cow<'a, [f64]>,
+    rows: usize,
+    cells: usize,
+}
+
+impl<'a> ColumnMatrix<'a> {
+    pub(crate) fn new(values: Cow<'a, [f64]>, rows: usize, cells: usize) -> Self {
+        debug_assert_eq!(values.len(), rows * cells);
+        ColumnMatrix { values, rows, cells }
+    }
+
+    pub(crate) fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub(crate) fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// Likelihood column of cell `p` over the active rows.
+    #[inline]
+    pub(crate) fn col(&self, p: usize) -> &[f64] {
+        &self.values[p * self.rows..(p + 1) * self.rows]
+    }
+}
+
+/// The vectorized transposed E-step (see the module docs).
+pub(crate) struct TransposedEStep<'a> {
+    matrix: ColumnMatrix<'a>,
+    /// Per-row observation weights (bucket masses / state counts).
+    weights: Cow<'a, [f64]>,
+    /// Scratch: per-row denominators `K·p` of the current estimate.
+    denom: Vec<f64>,
+    /// Scratch: per-row update coefficients `w / denom` (0 for skipped rows).
+    coeff: Vec<f64>,
+}
+
+impl<'a> TransposedEStep<'a> {
+    pub(crate) fn new(matrix: ColumnMatrix<'a>, weights: Cow<'a, [f64]>) -> Self {
+        let rows = matrix.rows();
+        debug_assert_eq!(weights.len(), rows);
+        TransposedEStep { matrix, weights, denom: vec![0.0; rows], coeff: vec![0.0; rows] }
+    }
+}
+
+impl EStep for TransposedEStep<'_> {
+    fn accumulate(&mut self, probs: &[f64], next: &mut [f64], need_ll: bool) -> (f64, f64) {
+        let m = self.matrix.cells();
+        debug_assert_eq!(probs.len(), m);
+        debug_assert_eq!(next.len(), m);
+
+        // Denominators: the blocked dense K·p. axpy4 is bit-identical to
+        // four sequential axpys, so the 4-column blocking plus scalar
+        // tail is one well-defined accumulation order.
+        self.denom.fill(0.0);
+        let mut p = 0;
+        while p + 4 <= m {
+            simd::axpy4(
+                [probs[p], probs[p + 1], probs[p + 2], probs[p + 3]],
+                [
+                    self.matrix.col(p),
+                    self.matrix.col(p + 1),
+                    self.matrix.col(p + 2),
+                    self.matrix.col(p + 3),
+                ],
+                &mut self.denom,
+            );
+            p += 4;
+        }
+        while p < m {
+            simd::axpy(probs[p], self.matrix.col(p), &mut self.denom);
+            p += 1;
+        }
+
+        // Update coefficients, used weight, and (optionally) the free
+        // log-likelihood. A row whose denominator underflows carries no
+        // usable evidence this round (possible with bounded noise
+        // once cells hit zero) and is skipped via a zero coefficient; a
+        // zero-weight row contributes exactly nothing the same way.
+        let mut used_weight = 0.0;
+        let mut log_likelihood = if need_ll { 0.0 } else { f64::NAN };
+        for ((c, &d), &w) in self.coeff.iter_mut().zip(&self.denom).zip(self.weights.as_ref()) {
+            if d <= f64::MIN_POSITIVE {
+                *c = 0.0;
+                continue;
+            }
+            used_weight += w;
+            if need_ll {
+                log_likelihood += w * d.ln();
+            }
+            *c = w / d;
+        }
+
+        // Fused weighted scatter: next[p] = probs[p] * (Kᵀ·coeff)[p],
+        // one lane-blocked dot per contiguous column.
+        for (p, slot) in next.iter_mut().enumerate() {
+            *slot = probs[p] * simd::dot(self.matrix.col(p), &self.coeff);
+        }
+        (used_weight, log_likelihood)
+    }
+}
+
+/// The shared iterate skeleton: initialization (uniform or warm start),
+/// E-step, normalization, stopping-rule evaluation, and the stall
+/// breakout — in one place for every engine path.
+///
+/// `initial` must be a normalized length-`m` vector when present
+/// (callers floor and renormalize warm starts first); `n` is the
+/// observation count the stopping rules scale by.
+pub(crate) fn run_iterate_core<E: EStep>(
+    estep: &mut E,
+    m: usize,
+    n: f64,
+    stopping: &StoppingRule,
+    max_iterations: usize,
+    initial: Option<&[f64]>,
+) -> IterateOutcome {
+    let mut probs = match initial {
+        Some(prior) => prior.to_vec(),
+        None => vec![1.0 / m as f64; m],
+    };
+    let mut next = vec![0.0f64; m];
+    let mut iterations = 0;
+    let mut converged = false;
+    let need_ll = stopping.needs_log_likelihood();
+    let mut prev_log_likelihood = f64::NEG_INFINITY;
+
+    while iterations < max_iterations {
+        iterations += 1;
+        next.fill(0.0);
+        let (used_weight, log_likelihood) = estep.accumulate(&probs, &mut next, need_ll);
+        if used_weight <= 0.0 {
+            // Every observation became incompatible: keep the last
+            // estimate and report non-convergence.
+            break;
+        }
+        let total: f64 = next.iter().sum();
+        debug_assert!(total > 0.0);
+        for x in &mut next {
+            *x /= total;
+        }
+        let stop = stopping.should_stop(&probs, &next, n, prev_log_likelihood, log_likelihood);
+        prev_log_likelihood = log_likelihood;
+        // Unconditional stall breakout (see STALL_L1_THRESHOLD).
+        let stalled =
+            probs.iter().zip(&next).map(|(o, w)| (w - o).abs()).sum::<f64>() < STALL_L1_THRESHOLD;
+        std::mem::swap(&mut probs, &mut next);
+        if stop || stalled {
+            converged = true;
+            break;
+        }
+    }
+
+    IterateOutcome { probs, iterations, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scalar E-step mirroring the retired loop shape, for exercising
+    /// the skeleton against hand-computable cases.
+    struct ScalarEStep {
+        rows: Vec<Vec<f64>>,
+        weights: Vec<f64>,
+    }
+
+    impl EStep for ScalarEStep {
+        fn accumulate(&mut self, probs: &[f64], next: &mut [f64], need_ll: bool) -> (f64, f64) {
+            let mut used = 0.0;
+            let mut ll = if need_ll { 0.0 } else { f64::NAN };
+            for (row, &w) in self.rows.iter().zip(&self.weights) {
+                let denom: f64 = row.iter().zip(probs).map(|(l, p)| l * p).sum();
+                if denom <= f64::MIN_POSITIVE {
+                    continue;
+                }
+                used += w;
+                if need_ll {
+                    ll += w * denom.ln();
+                }
+                let inv = w / denom;
+                for (s, (l, p)) in next.iter_mut().zip(row.iter().zip(probs)) {
+                    *s += l * p * inv;
+                }
+            }
+            (used, ll)
+        }
+    }
+
+    #[test]
+    fn transposed_estep_matches_scalar_estep_closely() {
+        let rows: Vec<Vec<f64>> = (0..13)
+            .map(|i| (0..6).map(|p| 0.01 + ((i * 7 + p * 3) % 11) as f64 / 10.0).collect())
+            .collect();
+        let weights: Vec<f64> = (0..13).map(|i| ((i * 5) % 9) as f64).collect();
+        let mut cols = vec![0.0f64; 13 * 6];
+        for (i, row) in rows.iter().enumerate() {
+            for (p, &v) in row.iter().enumerate() {
+                cols[p * 13 + i] = v;
+            }
+        }
+        let mut scalar = ScalarEStep { rows, weights: weights.clone() };
+        let mut vectorized =
+            TransposedEStep::new(ColumnMatrix::new(Cow::Owned(cols), 13, 6), Cow::Owned(weights));
+        let probs = vec![1.0 / 6.0; 6];
+        let mut next_s = vec![0.0; 6];
+        let mut next_v = vec![0.0; 6];
+        let (used_s, ll_s) = scalar.accumulate(&probs, &mut next_s, true);
+        let (used_v, ll_v) = vectorized.accumulate(&probs, &mut next_v, true);
+        assert_eq!(used_s, used_v, "used weight is a plain ordered sum on both sides");
+        assert!((ll_s - ll_v).abs() < 1e-9 * ll_s.abs());
+        for (s, v) in next_s.iter().zip(&next_v) {
+            assert!((s - v).abs() <= 1e-12 * s.abs().max(1e-300), "scalar {s} vs vectorized {v}");
+        }
+    }
+
+    #[test]
+    fn skeleton_converges_on_identity_likelihood() {
+        // Identity likelihood rows: the fixed point is the weight
+        // distribution itself.
+        let m = 4;
+        let rows: Vec<Vec<f64>> =
+            (0..m).map(|i| (0..m).map(|p| if p == i { 1.0 } else { 0.0 }).collect()).collect();
+        let weights = vec![10.0, 20.0, 30.0, 40.0];
+        let mut estep = ScalarEStep { rows, weights };
+        let out = run_iterate_core(
+            &mut estep,
+            m,
+            100.0,
+            &StoppingRule::L1 { tolerance: 1e-13 },
+            5_000,
+            None,
+        );
+        assert!(out.converged);
+        for (p, expect) in out.probs.iter().zip([0.1, 0.2, 0.3, 0.4]) {
+            assert!((p - expect).abs() < 1e-9, "prob {p} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn skeleton_breaks_out_when_all_rows_become_incompatible() {
+        // Zero likelihood everywhere: used_weight stays 0, the loop exits
+        // after one iteration, the estimate stays at the start point.
+        let mut estep = ScalarEStep { rows: vec![vec![0.0, 0.0]; 3], weights: vec![1.0, 1.0, 1.0] };
+        let out = run_iterate_core(&mut estep, 2, 3.0, &StoppingRule::MaxIterationsOnly, 50, None);
+        assert_eq!(out.iterations, 1);
+        assert!(!out.converged);
+        assert_eq!(out.probs, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn warm_start_is_used_as_initial_estimate() {
+        let mut estep = ScalarEStep { rows: vec![vec![0.0, 0.0]; 1], weights: vec![1.0] };
+        // With an all-incompatible E-step the initial estimate survives
+        // untouched, proving the warm start was installed.
+        let warm = vec![0.9, 0.1];
+        let out =
+            run_iterate_core(&mut estep, 2, 1.0, &StoppingRule::MaxIterationsOnly, 10, Some(&warm));
+        assert_eq!(out.probs, warm);
+    }
+}

@@ -25,13 +25,17 @@
 //!   converges to the maximum-likelihood estimate.
 //!
 //! The production entry points are the [`ReconstructionEngine`] — which
-//! precomputes the likelihood terms as a reusable kernel matrix, caches
-//! kernels across calls, and fans batches of independent problems across
-//! worker threads (see [`engine`]) — and the free [`reconstruct`]
-//! function, a thin wrapper over a process-wide shared engine that keeps
-//! the paper-facing API stable. The original serial implementation is
-//! preserved as [`reconstruct_reference`] for equivalence testing and
-//! benchmarking.
+//! precomputes the likelihood terms as a reusable kernel matrix (stored
+//! transposed for the vectorized iterate), caches kernels across calls,
+//! and fans batches of independent problems across worker threads (see
+//! [`engine`]) — and the free [`reconstruct`] function, a thin wrapper
+//! over a process-wide shared engine that keeps the paper-facing API
+//! stable. Both the continuous paths and the discrete `Iterative` solver
+//! run the same lane-blocked iterate core (the private `iterate` module
+//! over [`crate::simd`]). The original serial implementation is
+//! preserved byte-for-byte as [`reconstruct_reference`]: the scalar
+//! oracle the equivalence suites bound the vectorized engine against
+//! (≤ 1e-10), and the baseline the benches measure speedups from.
 //!
 //! For workloads where the sample arrives in batches across shards rather
 //! than as one static slice, the [`streaming`] module provides mergeable
@@ -48,6 +52,7 @@
 
 pub mod discrete;
 pub mod engine;
+mod iterate;
 mod reference;
 mod stopping;
 pub mod streaming;
@@ -57,7 +62,9 @@ pub use discrete::{
     DiscreteReconstructionConfig, DiscreteReconstructionEngine, DiscreteSolver, DiscreteSuffStats,
     FactoredChannel,
 };
-pub use engine::{shared_engine, JobInput, KernelMatrix, ReconstructionEngine, ReconstructionJob};
+pub use engine::{
+    shared_engine, JobInput, KernelLayout, KernelMatrix, ReconstructionEngine, ReconstructionJob,
+};
 pub use reference::reconstruct_reference;
 pub use stopping::{paper_chi_square_rule, StoppingRule};
 pub use streaming::{IncrementalReconstructor, ShardedAccumulator, SuffStats};

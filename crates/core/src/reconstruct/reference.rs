@@ -2,9 +2,15 @@
 //! implementation, kept verbatim as an executable specification.
 //!
 //! [`reconstruct_reference`] materializes its likelihood rows per call
-//! (no kernel cache, no batching) and is what the engine is tested
-//! against bit-for-bit (`tests/engine_equivalence.rs`) and benchmarked
-//! against (`ppdm-bench/benches/engine_vs_legacy.rs`). Production callers
+//! (no kernel cache, no batching) and iterates with plain scalar
+//! arithmetic in the seed's exact accumulation order. It deliberately
+//! does **not** use the lane-blocked `ppdm_core::simd` primitives: its
+//! job is to be the independent oracle whose summation order the
+//! vectorized engine is *not* allowed to share, so the equivalence
+//! suites (`tests/engine_equivalence.rs`) can bound the engine's
+//! lane-reordering divergence (≤ 1e-10) against an implementation whose
+//! numerics never move. It is also the scalar baseline of the
+//! `engine_vs_legacy` and `iterate_kernels` benches. Production callers
 //! should use [`crate::reconstruct::reconstruct`] or
 //! [`super::ReconstructionEngine`] instead.
 

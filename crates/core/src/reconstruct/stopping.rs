@@ -66,6 +66,15 @@ pub fn paper_chi_square_rule() -> StoppingRule {
 }
 
 impl StoppingRule {
+    /// Whether this rule reads the observed-data log-likelihood that
+    /// [`Self::should_stop`] is handed. The iterate skips the per-row
+    /// `ln` accumulation — a measurable fraction of an iteration at
+    /// paper scale — for rules that never look at it, passing `NaN`
+    /// placeholders instead.
+    pub(crate) fn needs_log_likelihood(&self) -> bool {
+        matches!(self, StoppingRule::LogLikelihood { .. })
+    }
+
     /// Decides whether the step from `old` to `new` (probability vectors
     /// over the same partition, summing to one) is small enough to stop,
     /// given `n` observations and the observed-data log-likelihoods before

@@ -1,15 +1,32 @@
-//! Engine-vs-reference equivalence: the refactored
-//! [`ReconstructionEngine`] must be a pure performance change. For every
-//! kernel, update mode, and noise family, engine results — serial,
-//! batched, and with a warm kernel cache — must match the seed's
-//! straight-line implementation ([`reconstruct_reference`]) bit for bit.
+//! Engine-vs-reference equivalence: the vectorized
+//! [`ReconstructionEngine`] against the frozen scalar
+//! [`reconstruct_reference`] oracle.
+//!
+//! Since the lane-blocked iterate landed, engine summation order differs
+//! from the seed's scalar implementation, so the contract is no longer
+//! bit-for-bit: for every kernel, update mode, and noise family —
+//! serial, batched, warm-cache, and warm-started — engine masses must
+//! stay within `1e-10 · n` of the reference per cell.
+//!
+//! The property tests run with `MaxIterationsOnly` stopping at a fixed
+//! iteration count: with an adaptive rule, a last-bit difference in the
+//! stopping statistic could legally fire the rule one iteration apart on
+//! the two arms, turning a 1e-13 numeric divergence into a spurious
+//! iteration-count mismatch. Adaptive-stopping behavior itself is pinned
+//! deterministically by the golden fixtures
+//! (`tests/golden_reconstruction.rs`).
+//!
+//! Engine-vs-engine properties (warm cache, eviction, dense-vs-streamed
+//! Exact rows) remain bit-for-bit: those paths compute identical values
+//! in identical order by construction.
 
 use ppdm_core::domain::{Domain, Partition};
 use ppdm_core::randomize::NoiseModel;
 use ppdm_core::reconstruct::{
-    reconstruct, reconstruct_reference, LikelihoodKernel, ReconstructionConfig,
-    ReconstructionEngine, ReconstructionJob, StoppingRule, UpdateMode,
+    reconstruct, reconstruct_reference, LikelihoodKernel, Reconstruction, ReconstructionConfig,
+    ReconstructionEngine, ReconstructionJob, StoppingRule, SuffStats, UpdateMode,
 };
+use ppdm_core::NoiseDensity;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -36,20 +53,39 @@ fn all_configs() -> Vec<ReconstructionConfig> {
             configs.push(ReconstructionConfig {
                 kernel,
                 mode,
-                // A few hundred iterations keeps the product of cases x
-                // configs fast while still exercising the full iterate.
+                // Fixed iterations (see module docs); a few hundred keeps
+                // the product of cases x configs fast while exercising
+                // the full iterate.
+                stopping: StoppingRule::MaxIterationsOnly,
                 max_iterations: 300,
-                ..ReconstructionConfig::default()
             });
         }
     }
     configs
 }
 
+/// The acceptance bound of the vectorization PR: per-cell mass
+/// divergence at most `1e-10 · n` against the scalar oracle, with
+/// identical iteration counts and convergence flags.
+fn assert_close(reference: &Reconstruction, engined: &Reconstruction, context: &str) {
+    assert_eq!(reference.iterations, engined.iterations, "iterations diverged: {context}");
+    assert_eq!(reference.converged, engined.converged, "convergence diverged: {context}");
+    let n = reference.histogram.total();
+    let tolerance = 1e-10 * n.max(1.0);
+    for (cell, (r, e)) in
+        reference.histogram.masses().iter().zip(engined.histogram.masses()).enumerate()
+    {
+        assert!(
+            (r - e).abs() <= tolerance,
+            "cell {cell} diverged beyond 1e-10·n: reference {r} vs engine {e} ({context})"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
     #[test]
-    fn engine_matches_reference_bit_for_bit(
+    fn engine_matches_reference_within_1e10(
         seed in 0u64..1000,
         n in 30usize..250,
         scale in 2.0..25.0f64,
@@ -66,15 +102,11 @@ proptest! {
         for config in all_configs() {
             let reference = reconstruct_reference(&noise, part(cells), &observed, &config).unwrap();
             let engined = engine.reconstruct(&noise, part(cells), &observed, &config).unwrap();
-            // Bit-for-bit: PartialEq on f64 masses, no tolerance.
-            prop_assert_eq!(
-                &reference, &engined,
-                "engine diverged from reference for {:?}", config
-            );
+            assert_close(&reference, &engined, &format!("{config:?}"));
             // The free function routes through the shared engine and must
-            // agree too.
+            // agree with the dedicated engine bit-for-bit (same path).
             let shared = reconstruct(&noise, part(cells), &observed, &config).unwrap();
-            prop_assert_eq!(&reference, &shared);
+            prop_assert_eq!(&engined, &shared);
         }
     }
 
@@ -95,7 +127,7 @@ proptest! {
         let jobs: Vec<ReconstructionJob<'_>> = samples
             .iter()
             .map(|(obs, cells, cfg_idx)| {
-                let noise: &dyn ppdm_core::NoiseDensity =
+                let noise: &dyn NoiseDensity =
                     if cfg_idx % 2 == 0 { &noise_g } else { &noise_u };
                 ReconstructionJob::borrowed(noise, part(*cells), obs.as_slice(), configs[*cfg_idx])
             })
@@ -107,9 +139,134 @@ proptest! {
             let observed = job.observed().expect("sample-backed job");
             let reference =
                 reconstruct_reference(job.noise, job.partition, observed, &job.config).unwrap();
-            prop_assert_eq!(reference, batched.unwrap());
+            assert_close(&reference, &batched.unwrap(), "batched job");
         }
     }
+
+    // Warm starts have no counterpart in `reconstruct_reference`, so the
+    // oracle here is a scalar bucketed iterate (seed accumulation order,
+    // warm start installed the same way) written out in this test.
+    #[test]
+    fn warm_started_stats_solve_matches_scalar_oracle(
+        seed in 0u64..1000,
+        n in 50usize..300,
+        cells in 5usize..25,
+        warm_tilt in 1usize..5,
+    ) {
+        let noise = NoiseModel::gaussian(12.0).unwrap();
+        let observed = bimodal(n, seed, &noise);
+        let partition = part(cells);
+        let stats = SuffStats::from_values(&noise, partition, &observed).unwrap();
+        // A normalized, strictly positive warm start that is not uniform.
+        let warm: Vec<f64> = {
+            let raw: Vec<f64> =
+                (0..cells).map(|i| 1.0 + ((i * warm_tilt) % 7) as f64).collect();
+            let total: f64 = raw.iter().sum();
+            raw.into_iter().map(|w| w / total).collect()
+        };
+        for kernel in [LikelihoodKernel::Midpoint, LikelihoodKernel::CellAverage] {
+            let config = ReconstructionConfig {
+                kernel,
+                stopping: StoppingRule::MaxIterationsOnly,
+                max_iterations: 120,
+                ..ReconstructionConfig::default()
+            };
+            let engine = ReconstructionEngine::new();
+            for initial in [None, Some(warm.as_slice())] {
+                let engined =
+                    engine.reconstruct_stats(&noise, &stats, &config, initial).unwrap();
+                let oracle = scalar_bucketed_oracle(&noise, partition, &stats, &config, initial);
+                let tolerance = 1e-10 * (n as f64);
+                prop_assert_eq!(engined.iterations, config.max_iterations);
+                for (cell, (o, e)) in
+                    oracle.iter().zip(engined.histogram.masses()).enumerate()
+                {
+                    prop_assert!(
+                        (o - e).abs() <= tolerance,
+                        "kernel {:?} warm {} cell {}: oracle {} vs engine {}",
+                        kernel, initial.is_some(), cell, o, e
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Scalar bucketed Bayes/EM with an optional warm start: the seed
+/// implementation's exact arithmetic (row-major likelihood, zip-fold
+/// denominators, in-loop scatter), extended only by installing `initial`
+/// (pre-floored here like `floored_prior` does) as the starting
+/// estimate. Returns the final mass vector.
+fn scalar_bucketed_oracle(
+    noise: &NoiseModel,
+    partition: Partition,
+    stats: &SuffStats,
+    config: &ReconstructionConfig,
+    initial: Option<&[f64]>,
+) -> Vec<f64> {
+    let m = partition.len();
+    let extended = stats.extended();
+    let pairs: Vec<(f64, f64)> = stats
+        .counts()
+        .iter()
+        .enumerate()
+        .filter(|(_, &mass)| mass > 0.0)
+        .map(|(s, &mass)| (mass, extended.midpoint(s)))
+        .collect();
+    let likelihood: Vec<Vec<f64>> = pairs
+        .iter()
+        .map(|&(_, w)| {
+            (0..m)
+                .map(|p| match config.kernel {
+                    LikelihoodKernel::Midpoint => noise.density(w - partition.midpoint(p)),
+                    LikelihoodKernel::CellAverage => {
+                        let (lo, hi) = partition.interval(p);
+                        noise.mass_between(w - hi, w - lo) / partition.cell_width()
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let n = stats.count() as f64;
+    let mut probs = match initial {
+        Some(prior) => {
+            // floored_prior's semantics: floor at 1e-12, renormalize.
+            let mut floored: Vec<f64> = prior.iter().map(|p| p.max(1e-12)).collect();
+            let total: f64 = floored.iter().sum();
+            floored.iter_mut().for_each(|p| *p /= total);
+            floored
+        }
+        None => vec![1.0 / m as f64; m],
+    };
+    let mut scratch = vec![0.0f64; m];
+    for _ in 0..config.max_iterations {
+        scratch.iter_mut().for_each(|s| *s = 0.0);
+        let mut used_weight = 0.0;
+        for ((weight, _), row) in pairs.iter().zip(&likelihood) {
+            let denom: f64 = row.iter().zip(&probs).map(|(l, p)| l * p).sum();
+            if denom <= f64::MIN_POSITIVE {
+                continue;
+            }
+            used_weight += weight;
+            let inv = weight / denom;
+            for (s, (l, p)) in scratch.iter_mut().zip(row.iter().zip(&probs)) {
+                *s += l * p * inv;
+            }
+        }
+        if used_weight <= 0.0 {
+            break;
+        }
+        let total: f64 = scratch.iter().sum();
+        for s in &mut scratch {
+            *s /= total;
+        }
+        let stalled = probs.iter().zip(&scratch).map(|(o, w)| (w - o).abs()).sum::<f64>() < 1e-12;
+        std::mem::swap(&mut probs, &mut scratch);
+        if stalled {
+            break;
+        }
+    }
+    probs.iter().map(|p| p * n).collect()
 }
 
 #[test]
@@ -126,15 +283,16 @@ fn warm_kernel_cache_never_changes_results() {
             .unwrap();
     }
     assert!(engine.cached_kernels() >= 5);
-    // Same problem with a warm (and busier) cache: identical output.
+    // Same problem with a warm (and busier) cache: identical output —
+    // engine vs engine stays bit-for-bit.
     let warm = engine.reconstruct(&noise, part(20), &first_obs, &config).unwrap();
     assert_eq!(cold, warm);
-    // And on a different sample over the cached geometry, still identical
-    // to the reference path that never caches.
+    // And on a different sample over the cached geometry, within the
+    // oracle bound of the reference path that never caches.
     let second_obs = bimodal(700, 2, &noise);
     let warm2 = engine.reconstruct(&noise, part(20), &second_obs, &config).unwrap();
     let reference = reconstruct_reference(&noise, part(20), &second_obs, &config).unwrap();
-    assert_eq!(reference, warm2);
+    assert_close(&reference, &warm2, "warm cache vs reference");
 }
 
 #[test]
@@ -175,9 +333,11 @@ fn cache_eviction_shrinks_the_cache_and_never_changes_results() {
     assert!(evictions >= 2, "budget {budget} never forced an eviction across 30 geometries");
 
     // Post-eviction, an earlier geometry still reconstructs identically
-    // (its kernel is simply rebuilt).
+    // (its kernel is simply rebuilt — kernel_builds() counts the rebuild).
+    let builds_before = engine.kernel_builds();
     let again = engine.reconstruct(&noise, part(30), &obs, &config).unwrap();
     assert_eq!(again, expected[0]);
+    assert!(engine.kernel_builds() >= builds_before, "rebuilds are counted, never negative");
 }
 
 #[test]
@@ -195,5 +355,5 @@ fn exact_mode_equivalence_on_larger_sample() {
     let reference = reconstruct_reference(&noise, part(20), &observed, &config).unwrap();
     let engined =
         ReconstructionEngine::new().reconstruct(&noise, part(20), &observed, &config).unwrap();
-    assert_eq!(reference, engined);
+    assert_close(&reference, &engined, "exact mode, n=5000");
 }

@@ -12,7 +12,10 @@
 //! * `DiscreteSuffStats` merging is exactly associative and commutative,
 //!   ingest order is invisible, and fingerprint mismatches refuse to
 //!   merge;
-//! * solving from a sketch is bit-identical to solving from its counts.
+//! * solving from a sketch is bit-identical to solving from its counts;
+//! * the vectorized shared iterate core (the `Iterative` solver) stays
+//!   within 1e-10 of the retired scalar loop — reproduced here verbatim
+//!   as `scalar_discrete_oracle` — for cold and warm starts alike.
 //!
 //! Run with `PROPTEST_CASES=<n>` to rescale case counts (CI pins it).
 
@@ -20,10 +23,67 @@ use ppdm::assoc::{estimated_support, estimated_support_reference, ItemRandomizer
 use ppdm::assoc::{Transaction, TransactionSet};
 use ppdm::core::randomize::RandomizedResponse;
 use ppdm::core::reconstruct::{
-    shared_discrete_engine, DiscreteReconstructionConfig, DiscreteSuffStats,
+    shared_discrete_engine, DiscreteReconstructionConfig, DiscreteReconstructionEngine,
+    DiscreteSolver, DiscreteSuffStats, FactoredChannel, StoppingRule,
 };
 use ppdm::core::Error;
 use proptest::prelude::*;
+
+/// The retired scalar discrete Bayes/EM loop (uniform or warm start,
+/// zero-denominator skip, stall breakout), kept verbatim as the oracle
+/// the vectorized shared iterate core is bounded against.
+fn scalar_discrete_oracle(
+    factored: &FactoredChannel,
+    observed_counts: &[f64],
+    max_iterations: usize,
+    initial: Option<&[f64]>,
+) -> Vec<f64> {
+    let k = factored.states();
+    let n: f64 = observed_counts.iter().sum();
+    let mut probs = match initial {
+        Some(prior) => {
+            // floored_prior's semantics: floor at 1e-12, renormalize.
+            let mut floored: Vec<f64> = prior.iter().map(|p| p.max(1e-12)).collect();
+            let total: f64 = floored.iter().sum();
+            floored.iter_mut().for_each(|p| *p /= total);
+            floored
+        }
+        None => vec![1.0 / k as f64; k],
+    };
+    let mut scratch = vec![0.0f64; k];
+    for _ in 0..max_iterations {
+        scratch.iter_mut().for_each(|s| *s = 0.0);
+        let mut used_weight = 0.0;
+        for (observed, &weight) in observed_counts.iter().enumerate() {
+            if weight <= 0.0 {
+                continue;
+            }
+            let row = factored.row(observed);
+            let denom: f64 = row.iter().zip(&probs).map(|(l, p)| l * p).sum();
+            if denom <= f64::MIN_POSITIVE {
+                continue;
+            }
+            used_weight += weight;
+            let inv = weight / denom;
+            for (s, (l, p)) in scratch.iter_mut().zip(row.iter().zip(&probs)) {
+                *s += l * p * inv;
+            }
+        }
+        if used_weight <= 0.0 {
+            break;
+        }
+        let total: f64 = scratch.iter().sum();
+        for s in &mut scratch {
+            *s /= total;
+        }
+        let stalled = probs.iter().zip(&scratch).map(|(o, w)| (w - o).abs()).sum::<f64>() < 1e-12;
+        std::mem::swap(&mut probs, &mut scratch);
+        if stalled {
+            break;
+        }
+    }
+    probs.iter().map(|p| p * n).collect()
+}
 
 /// A deterministic small basket database parameterized by a seed-ish
 /// layout integer (proptest shrinks it nicely).
@@ -119,6 +179,77 @@ proptest! {
         let monolithic = DiscreteSuffStats::from_states(&channel, &concat).expect("in range");
         prop_assert_eq!(&merged, &monolithic);
         prop_assert_eq!(merged.count() as usize, concat.len());
+    }
+
+    // The vectorized shared iterate core vs the retired scalar loop:
+    // estimates within 1e-10 of the total, cold start, across channel
+    // sizes and truthfulness levels. (Fixed iteration cap + the shared
+    // stall breakout; both arms stall at the same fixpoint, so only the
+    // lane-reordering divergence remains.)
+    #[test]
+    fn prop_iterative_engine_matches_scalar_oracle_cold(
+        counts in prop::collection::vec(0.0..5e4f64, 3..8),
+        keep in 0.2..1.0f64,
+    ) {
+        let k = counts.len();
+        let channel = RandomizedResponse::new(k, keep).expect("valid parameters");
+        let total: f64 = counts.iter().sum();
+        prop_assume!(total > 0.0);
+        let factored = FactoredChannel::build(&channel).expect("non-singular");
+        let config = DiscreteReconstructionConfig {
+            solver: DiscreteSolver::Iterative,
+            stopping: StoppingRule::MaxIterationsOnly,
+            max_iterations: 200,
+        };
+        let engine = DiscreteReconstructionEngine::new();
+        let engined = engine.reconstruct(&channel, &counts, &config).expect("valid counts");
+        let oracle = scalar_discrete_oracle(&factored, &counts, 200, None);
+        for (state, (o, e)) in oracle.iter().zip(&engined.estimate).enumerate() {
+            prop_assert!(
+                (o - e).abs() <= 1e-10 * total.max(1.0),
+                "state {state}: oracle {o} vs engine {e} (keep {keep})"
+            );
+        }
+    }
+
+    // Same bound for warm starts through the sketch path.
+    #[test]
+    fn prop_iterative_engine_matches_scalar_oracle_warm(
+        state_counts in prop::collection::vec(0u32..400, 3..7),
+        keep in 0.25..1.0f64,
+        warm_tilt in 1usize..5,
+    ) {
+        let k = state_counts.len();
+        let channel = RandomizedResponse::new(k, keep).expect("valid parameters");
+        let states: Vec<usize> = state_counts
+            .iter()
+            .enumerate()
+            .flat_map(|(s, &c)| std::iter::repeat_n(s, c as usize))
+            .collect();
+        prop_assume!(!states.is_empty());
+        let stats = DiscreteSuffStats::from_states(&channel, &states).expect("in range");
+        let warm: Vec<f64> = {
+            let raw: Vec<f64> = (0..k).map(|i| 1.0 + ((i * warm_tilt) % 5) as f64).collect();
+            let t: f64 = raw.iter().sum();
+            raw.into_iter().map(|w| w / t).collect()
+        };
+        let config = DiscreteReconstructionConfig {
+            solver: DiscreteSolver::Iterative,
+            stopping: StoppingRule::MaxIterationsOnly,
+            max_iterations: 200,
+        };
+        let engine = DiscreteReconstructionEngine::new();
+        let engined =
+            engine.reconstruct_stats(&channel, &stats, &config, Some(&warm)).expect("non-empty");
+        let factored = FactoredChannel::build(&channel).expect("non-singular");
+        let oracle = scalar_discrete_oracle(&factored, &stats.counts_f64(), 200, Some(&warm));
+        let total = stats.count() as f64;
+        for (state, (o, e)) in oracle.iter().zip(&engined.estimate).enumerate() {
+            prop_assert!(
+                (o - e).abs() <= 1e-10 * total.max(1.0),
+                "state {state}: oracle {o} vs engine {e} (keep {keep})"
+            );
+        }
     }
 
     // Sketch-backed solves are bit-identical to count-backed solves.
