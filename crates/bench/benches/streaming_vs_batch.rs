@@ -16,6 +16,7 @@
 //!   here, not just measured.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppdm_bench::write_bench_json;
 use ppdm_core::domain::{Domain, Partition};
 use ppdm_core::randomize::NoiseModel;
 use ppdm_core::reconstruct::{
@@ -23,6 +24,7 @@ use ppdm_core::reconstruct::{
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::Serialize;
 
 fn partition() -> Partition {
     Partition::new(Domain::new(0.0, 100.0).unwrap(), 50).unwrap()
@@ -123,10 +125,88 @@ fn bench_warm_vs_cold_solve(c: &mut Criterion) {
     group.finish();
 }
 
+/// Machine-readable results for cross-PR tracking. The vendored
+/// criterion stand-in keeps its measurements private, so the JSON
+/// numbers are hand-timed here (median of a few warm repeats) over the
+/// same workloads the groups above report interactively.
+#[derive(Serialize)]
+struct StreamingBenchResult {
+    n: usize,
+    cold_monolithic_ms: f64,
+    ingest_merge_4shards_ms: f64,
+    solve_cold_ms: f64,
+    solve_warm_ms: f64,
+    cold_iterations: usize,
+    warm_iterations: usize,
+}
+
+fn median_ms(mut run: impl FnMut()) -> f64 {
+    const REPS: usize = 5;
+    let mut times: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            run();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[REPS / 2]
+}
+
+fn bench_emit_json(_c: &mut Criterion) {
+    let n = 10_000usize;
+    let noise = NoiseModel::gaussian(20.0).expect("static parameter");
+    let cfg = ReconstructionConfig::default();
+    let engine = ReconstructionEngine::new();
+    let obs = observed(n, &noise, 1);
+    engine.reconstruct(&noise, partition(), &obs, &cfg).expect("warm-up");
+    let cold_monolithic_ms =
+        median_ms(|| drop(engine.reconstruct(&noise, partition(), &obs, &cfg).expect("non-empty")));
+
+    let all = batches(&obs);
+    let ingest_merge_4shards_ms = median_ms(|| {
+        let mut acc = ShardedAccumulator::new(&noise, partition(), 4).expect("geometry");
+        acc.ingest_batches(&all).expect("finite observations");
+        drop(acc.merged().expect("compatible shards"));
+    });
+
+    let base = SuffStats::from_values(&noise, partition(), &obs).expect("finite observations");
+    let posterior = engine
+        .reconstruct_stats(&noise, &base, &cfg, None)
+        .expect("non-empty")
+        .histogram
+        .probabilities();
+    let mut appended = base;
+    appended.ingest(&observed(n / 100, &noise, 4)).expect("finite observations");
+    let cold = engine.reconstruct_stats(&noise, &appended, &cfg, None).expect("non-empty");
+    let warm =
+        engine.reconstruct_stats(&noise, &appended, &cfg, Some(&posterior)).expect("non-empty");
+    let solve_cold_ms =
+        median_ms(|| drop(engine.reconstruct_stats(&noise, &appended, &cfg, None).unwrap()));
+    let solve_warm_ms = median_ms(|| {
+        drop(engine.reconstruct_stats(&noise, &appended, &cfg, Some(&posterior)).unwrap())
+    });
+
+    let result = StreamingBenchResult {
+        n,
+        cold_monolithic_ms,
+        ingest_merge_4shards_ms,
+        solve_cold_ms,
+        solve_warm_ms,
+        cold_iterations: cold.iterations,
+        warm_iterations: warm.iterations,
+    };
+    match write_bench_json("streaming_vs_batch", &result) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_streaming_vs_batch.json: {e}"),
+    }
+}
+
 criterion_group!(
     benches,
     bench_cold_monolithic,
     bench_sharded_ingest_merge,
-    bench_warm_vs_cold_solve
+    bench_warm_vs_cold_solve,
+    bench_emit_json
 );
 criterion_main!(benches);

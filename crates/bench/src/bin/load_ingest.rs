@@ -1,0 +1,322 @@
+//! Sustained-throughput load generator for the serving layer.
+//!
+//! Replays `ppdm_datagen` perturbed streams through
+//! `IngestService::try_ingest` from M producer threads for a fixed
+//! duration, while the background re-solver drains shards and publishes
+//! posterior snapshots. Reports sustained records/sec, p50/p99 ingest
+//! latency, backpressure rate, and snapshot staleness — and writes the
+//! same numbers to `BENCH_ingest.json` for cross-PR tracking.
+//!
+//! The timed path is allocation-free: the perturbed batch working set is
+//! materialized up front and replayed cyclically, latencies land in a
+//! fixed log-bucket histogram, and batch buffers recycle through the
+//! service's pool.
+//!
+//! ```text
+//! cargo run --release --bin load_ingest -- \
+//!     --producers 2 --shards 2 --batch 1000 --duration-ms 2000 \
+//!     --resolve-ms 50 --target-rate 0
+//! ```
+//!
+//! `--target-rate R` paces producers to R records/sec aggregate (0 =
+//! open loop, push as fast as admission allows). `--smoke` runs a short
+//! self-checking pass for CI.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ppdm_bench::{table, write_bench_json, Args};
+use ppdm_core::domain::Partition;
+use ppdm_core::error::Error;
+use ppdm_core::privacy::{NoiseKind, DEFAULT_CONFIDENCE};
+use ppdm_core::randomize::NoiseDensity;
+use ppdm_core::reconstruct::{ReconstructionConfig, ReconstructionEngine};
+use ppdm_core::serve::{IngestService, ServeConfig};
+use ppdm_datagen::{materialize_column_batches, Attribute, LabelFunction, PerturbPlan};
+use serde::Serialize;
+
+/// Fixed log-bucket latency histogram: 8 sub-buckets per power of two
+/// (≈12% resolution), no allocation on the record path.
+struct LatencyHist {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl LatencyHist {
+    const BUCKETS: usize = 64 * 8;
+
+    fn new() -> Self {
+        LatencyHist { buckets: vec![0; Self::BUCKETS], count: 0 }
+    }
+
+    fn index(nanos: u64) -> usize {
+        let n = nanos.max(1);
+        let exp = 63 - n.leading_zeros() as usize;
+        let frac = if exp >= 3 { ((n >> (exp - 3)) & 0x7) as usize } else { 0 };
+        (exp * 8 + frac).min(Self::BUCKETS - 1)
+    }
+
+    fn record(&mut self, nanos: u64) {
+        self.buckets[Self::index(nanos)] += 1;
+        self.count += 1;
+    }
+
+    fn merge_from(&mut self, other: &LatencyHist) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// Representative (lower-bound) nanoseconds of one bucket.
+    fn bucket_value(idx: usize) -> u64 {
+        let exp = idx / 8;
+        let frac = (idx % 8) as u64;
+        if exp >= 3 {
+            (1u64 << exp) + (frac << (exp - 3))
+        } else {
+            1u64 << exp
+        }
+    }
+
+    fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Self::bucket_value(idx);
+            }
+        }
+        Self::bucket_value(Self::BUCKETS - 1)
+    }
+}
+
+#[derive(Serialize)]
+struct IngestBenchResult {
+    producers: usize,
+    shards: usize,
+    batch_records: usize,
+    mailbox_capacity: usize,
+    resolve_interval_ms: u64,
+    target_rate: f64,
+    duration_s: f64,
+    admitted_records: u64,
+    records_per_sec: f64,
+    p50_ingest_ns: u64,
+    p99_ingest_ns: u64,
+    admitted_batches: u64,
+    rejected_batches: u64,
+    backpressure_rate: f64,
+    epochs: u64,
+    solves: u64,
+    max_staleness_ms: f64,
+    max_records_behind: u64,
+    final_records_behind: u64,
+    kernel_builds: u64,
+    cache_hits: u64,
+    pool_allocated: u64,
+    pool_reused: u64,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.has_flag("smoke");
+    let producers = args.usize_or("producers", 2);
+    let shards = args.usize_or("shards", 2);
+    let batch_records = args.usize_or("batch", 1_000);
+    let duration_ms = args.u64_or("duration-ms", if smoke { 400 } else { 2_000 });
+    let resolve_ms = args.u64_or("resolve-ms", 50);
+    let mailbox_capacity = args.usize_or("mailbox", 64);
+    let target_rate = args.f64_or("target-rate", 0.0);
+    let privacy = args.f64_or("privacy", 100.0);
+    let cells = args.usize_or("cells", 20);
+    let seed = args.u64_or("seed", 42);
+
+    // The replay working set: perturbed Age columns from the AIS92
+    // stream. ~64 distinct batches per producer is plenty of variety
+    // while staying cache-resident.
+    let plan = PerturbPlan::for_privacy(NoiseKind::Gaussian, privacy, DEFAULT_CONFIDENCE)
+        .expect("static privacy parameters");
+    let attr = Attribute::Age;
+    let working_set = batch_records * 64;
+    let noise: Arc<dyn NoiseDensity> = Arc::new(*plan.model(attr));
+    let partition = Partition::new(attr.domain(), cells).expect("static domain");
+
+    let engine = Arc::new(ReconstructionEngine::new());
+    let config = ServeConfig {
+        shards,
+        mailbox_capacity,
+        batch_capacity: batch_records,
+        max_pooled: shards * mailbox_capacity + producers * 2,
+        resolve_interval: Duration::from_millis(resolve_ms),
+        reconstruction: ReconstructionConfig::default(),
+    };
+    let service = IngestService::spawn_with_engine(noise, partition, config, engine.clone())
+        .expect("service spawn");
+
+    let duration = Duration::from_millis(duration_ms);
+    let rate_per_producer = if target_rate > 0.0 { target_rate / producers as f64 } else { 0.0 };
+    let stop = AtomicBool::new(false);
+    let mut max_staleness = Duration::ZERO;
+    let mut max_behind = 0u64;
+
+    let started = Instant::now();
+    let hists = std::thread::scope(|s| {
+        let mut workers = Vec::with_capacity(producers);
+        for p in 0..producers {
+            let mut handle = service.handle();
+            let batches = materialize_column_batches(
+                &plan,
+                LabelFunction::F2,
+                attr,
+                working_set,
+                batch_records,
+                seed.wrapping_add(p as u64),
+            );
+            let stop = &stop;
+            workers.push(s.spawn(move || {
+                let mut hist = LatencyHist::new();
+                let start = Instant::now();
+                let mut sent = 0u64;
+                let mut i = 0usize;
+                while start.elapsed() < duration && !stop.load(Ordering::Relaxed) {
+                    let batch = &batches[i % batches.len()];
+                    let t0 = Instant::now();
+                    match handle.try_ingest(batch) {
+                        Ok(_) => {
+                            hist.record(t0.elapsed().as_nanos() as u64);
+                            sent += batch.len() as u64;
+                            i += 1;
+                        }
+                        Err(Error::Backpressure { .. }) => std::thread::yield_now(),
+                        Err(e) => panic!("producer {p}: unexpected ingest error: {e}"),
+                    }
+                    if rate_per_producer > 0.0 {
+                        let ahead = sent as f64 / rate_per_producer - start.elapsed().as_secs_f64();
+                        if ahead > 0.0005 {
+                            std::thread::sleep(Duration::from_secs_f64(ahead));
+                        }
+                    }
+                }
+                hist
+            }));
+        }
+
+        // The main thread doubles as the staleness monitor while
+        // producers run.
+        let sample_every = Duration::from_millis((resolve_ms / 4).max(1));
+        while started.elapsed() < duration {
+            std::thread::sleep(sample_every);
+            let stats = service.stats();
+            // Staleness only counts once the first records are in
+            // flight; an idle warm-up cycle is not lag.
+            if stats.admitted_records > 0 {
+                max_staleness = max_staleness.max(stats.staleness);
+                max_behind = max_behind.max(stats.records_behind);
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        workers.into_iter().map(|w| w.join().expect("producer thread panicked")).collect::<Vec<_>>()
+    });
+
+    let mut latency = LatencyHist::new();
+    for hist in hists {
+        latency.merge_from(&hist);
+    }
+
+    let elapsed = started.elapsed();
+    let report = service.shutdown().expect("clean shutdown");
+    let stats = report.stats;
+    let cache = engine.cache_stats();
+
+    let records_per_sec = stats.admitted_records as f64 / elapsed.as_secs_f64();
+    let total_batches = stats.admitted_batches + stats.rejected_batches;
+    let backpressure_rate =
+        if total_batches == 0 { 0.0 } else { stats.rejected_batches as f64 / total_batches as f64 };
+
+    let result = IngestBenchResult {
+        producers,
+        shards,
+        batch_records,
+        mailbox_capacity,
+        resolve_interval_ms: resolve_ms,
+        target_rate,
+        duration_s: elapsed.as_secs_f64(),
+        admitted_records: stats.admitted_records,
+        records_per_sec,
+        p50_ingest_ns: latency.quantile(0.50),
+        p99_ingest_ns: latency.quantile(0.99),
+        admitted_batches: stats.admitted_batches,
+        rejected_batches: stats.rejected_batches,
+        backpressure_rate,
+        epochs: stats.epoch,
+        solves: stats.solves,
+        max_staleness_ms: max_staleness.as_secs_f64() * 1e3,
+        max_records_behind: max_behind,
+        final_records_behind: stats.records_behind,
+        kernel_builds: engine.kernel_builds() as u64,
+        cache_hits: cache.hits as u64,
+        pool_allocated: stats.pool.allocated,
+        pool_reused: stats.pool.reused,
+    };
+
+    table::print(
+        &format!(
+            "load_ingest: {producers} producers x {shards} shards, {batch_records}-record \
+             batches, resolve every {resolve_ms} ms"
+        ),
+        &["metric", "value"],
+        &[
+            vec!["records/sec (sustained)".into(), table::num(records_per_sec, 0)],
+            vec!["admitted records".into(), format!("{}", stats.admitted_records)],
+            vec!["p50 ingest latency".into(), format!("{} ns", result.p50_ingest_ns)],
+            vec!["p99 ingest latency".into(), format!("{} ns", result.p99_ingest_ns)],
+            vec!["backpressure rate".into(), table::pct(backpressure_rate)],
+            vec!["snapshot epochs".into(), format!("{}", stats.epoch)],
+            vec!["max staleness".into(), format!("{:.1} ms", result.max_staleness_ms)],
+            vec!["max records behind".into(), format!("{}", max_behind)],
+            vec!["final records behind".into(), format!("{}", stats.records_behind)],
+            vec![
+                "kernel builds / cache hits".into(),
+                format!("{} / {}", engine.kernel_builds(), cache.hits),
+            ],
+            vec![
+                "pool allocated / reused".into(),
+                format!("{} / {}", stats.pool.allocated, stats.pool.reused),
+            ],
+        ],
+    );
+
+    match write_bench_json("ingest", &result) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_ingest.json: {e}"),
+    }
+
+    // Invariants worth failing loudly on, in smoke mode and full runs
+    // alike: the merged sketch covers exactly the admitted records, the
+    // re-solver published, and staleness stayed within its contract.
+    assert_eq!(
+        report.merged.count(),
+        stats.admitted_records,
+        "merged sketch must cover every admitted record"
+    );
+    assert!(stats.epoch >= 1, "the re-solver never published a snapshot");
+    assert_eq!(stats.records_behind, 0, "shutdown leaves nothing unsolved");
+    let staleness_bound = Duration::from_millis(resolve_ms) * 2;
+    assert!(
+        max_staleness <= staleness_bound,
+        "staleness {max_staleness:?} exceeded the {staleness_bound:?} contract (resolve x 2)"
+    );
+    if smoke {
+        assert!(stats.admitted_records > 0, "smoke run admitted nothing");
+        println!(
+            "smoke OK: {} records at {:.0} records/sec",
+            stats.admitted_records, records_per_sec
+        );
+    }
+}

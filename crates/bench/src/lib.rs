@@ -11,11 +11,13 @@
 
 pub mod args;
 pub mod experiment;
+pub mod results;
 pub mod sweep;
 pub mod table;
 
 pub use args::Args;
 pub use experiment::{run_accuracy, AccuracyExperiment, AccuracyRow};
+pub use results::write_bench_json;
 pub use sweep::{
     render_discrete_frontier, render_frontier, run_discrete_sweep, run_sweep, DiscreteSweepPoint,
     SweepConfig, SweepPoint,

@@ -1,0 +1,52 @@
+//! Machine-readable bench output: `BENCH_<name>.json` files tracking the
+//! perf trajectory across PRs.
+//!
+//! Every perf harness that produces numbers worth comparing over time
+//! writes them through [`write_bench_json`]; the files land next to the
+//! human-readable tables so CI (and future sessions) can diff throughput
+//! and latency without scraping stdout.
+
+use std::io;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Renders `payload` as JSON into `BENCH_<name>.json` in the current
+/// working directory (the repo root under `cargo run`/`cargo bench`) and
+/// returns the path written.
+pub fn write_bench_json<T: Serialize>(name: &str, payload: &T) -> io::Result<PathBuf> {
+    let path = PathBuf::from(format!("BENCH_{name}.json"));
+    let json = serde_json::to_string(payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(&path, json + "\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Sample {
+        name: String,
+        throughput: f64,
+        p99_ns: u64,
+    }
+
+    #[test]
+    fn roundtrips_through_the_file() {
+        let dir = std::env::temp_dir().join("ppdm_bench_results_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cwd = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        let sample = Sample { name: "ingest".into(), throughput: 2.5e6, p99_ns: 1_250 };
+        let path = write_bench_json("results_test", &sample).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::env::set_current_dir(cwd).unwrap();
+        let back: Sample = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, sample);
+        assert!(path.to_string_lossy().contains("BENCH_results_test.json"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -77,6 +77,17 @@ pub enum Error {
     /// noise channels, partition geometries, or an invalid shard layout)
     /// were combined.
     ShardMismatch(String),
+    /// An ingest admission was refused because the target shard's mailbox
+    /// was full. This is the serving layer's explicit backpressure
+    /// signal: nothing was enqueued, nothing was lost, and the caller
+    /// decides whether to retry, shed, or slow down.
+    Backpressure {
+        /// Shard whose mailbox was full.
+        shard: usize,
+    },
+    /// An ingest was attempted against a serving instance that has shut
+    /// down (its shard workers have exited).
+    ServiceStopped,
 }
 
 impl fmt::Display for Error {
@@ -108,6 +119,10 @@ impl fmt::Display for Error {
                 write!(f, "state index {state} out of range for a channel over {states} states")
             }
             Error::ShardMismatch(msg) => write!(f, "incompatible shards: {msg}"),
+            Error::Backpressure { shard } => {
+                write!(f, "shard {shard} mailbox is full; batch not admitted")
+            }
+            Error::ServiceStopped => write!(f, "ingest service has shut down"),
         }
     }
 }

@@ -22,6 +22,11 @@
 //!    original distribution.
 //! 4. [`stats`] / [`domain`] — the numeric substrate: partitions,
 //!    histograms, distances, special functions.
+//! 5. [`serve`] — the production-shaped serving layer: sharded ingest of
+//!    perturbed record streams behind bounded mailboxes with explicit
+//!    backpressure, a background re-solver that periodically merges the
+//!    shard sketches and publishes warm-started posteriors, and
+//!    wait-free epoch-pinned snapshot readers.
 //!
 //! ## Example
 //!
@@ -55,6 +60,7 @@ pub mod error;
 pub mod privacy;
 pub mod randomize;
 pub mod reconstruct;
+pub mod serve;
 pub mod simd;
 pub mod stats;
 

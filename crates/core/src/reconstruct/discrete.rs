@@ -472,6 +472,11 @@ pub struct DiscreteReconstructionEngine {
     /// Total factorizations ever built (cache misses), for tests and the
     /// `discrete_inversion` bench's built-exactly-once assertion.
     builds: AtomicUsize,
+    /// Lookups served from the cache (read-lock hits plus double-checked
+    /// write-lock hits).
+    hits: AtomicUsize,
+    /// Factorizations discarded by wholesale budget flushes.
+    evictions: AtomicUsize,
 }
 
 impl Default for DiscreteReconstructionEngine {
@@ -503,6 +508,8 @@ impl DiscreteReconstructionEngine {
             cache: RwLock::new(ChannelCache { map: HashMap::new(), entries: 0 }),
             entry_budget: budget,
             builds: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
         }
     }
 
@@ -523,6 +530,16 @@ impl DiscreteReconstructionEngine {
         self.builds.load(Ordering::Relaxed)
     }
 
+    /// Lifetime cache counters; see [`super::CacheStats`]. `misses`
+    /// equals [`Self::factored_builds`].
+    pub fn cache_stats(&self) -> super::CacheStats {
+        super::CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.builds.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
     /// Returns the (possibly cached) factorization for one channel.
     fn factored_for(&self, channel: &dyn DiscreteChannel) -> Result<Arc<FactoredChannel>> {
         let Some(fingerprint) = channel.fingerprint() else {
@@ -532,6 +549,7 @@ impl DiscreteReconstructionEngine {
         if let Some(hit) =
             self.cache.read().expect("channel cache lock poisoned").map.get(&fingerprint).cloned()
         {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
         }
         // Build under the write lock (double-checked): when a cold batch
@@ -539,11 +557,13 @@ impl DiscreteReconstructionEngine {
         // it and the rest wait instead of duplicating the work.
         let mut cache = self.cache.write().expect("channel cache lock poisoned");
         if let Some(hit) = cache.map.get(&fingerprint).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
         }
         self.builds.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(FactoredChannel::build(channel)?);
         if cache.entries + built.entries() > self.entry_budget && !cache.map.is_empty() {
+            self.evictions.fetch_add(cache.map.len(), Ordering::Relaxed);
             cache.map.clear();
             cache.entries = 0;
         }
@@ -909,6 +929,10 @@ mod tests {
         // Warm repeats build nothing new.
         engine.reconstruct(&b, &[4.0, 4.0, 4.0], &cfg).unwrap();
         assert_eq!(engine.factored_builds(), 3);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 3, "two warm `a` repeats plus one warm `b` repeat");
+        assert_eq!(stats.evictions, 0);
     }
 
     #[test]
@@ -928,6 +952,7 @@ mod tests {
             assert!(engine.cached_entries() <= 60 || engine.cached_channels() == 1);
         }
         assert!(engine.factored_builds() > 2, "budget never forced a rebuild");
+        assert!(engine.cache_stats().evictions > 0, "flushes must be observable as evictions");
     }
 
     #[test]

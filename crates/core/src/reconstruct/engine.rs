@@ -445,6 +445,39 @@ struct KernelCache {
     entries: usize,
 }
 
+/// Lifetime counters of a kernel cache, returned by
+/// [`ReconstructionEngine::cache_stats`] and
+/// [`super::DiscreteReconstructionEngine::cache_stats`].
+///
+/// `misses` equals the engine's build counter ([`ReconstructionEngine::
+/// kernel_builds`] / `factored_builds`): every miss builds, including
+/// unfingerprinted channels that can never hit. `evictions` counts
+/// *kernels discarded* by wholesale budget flushes, not flush events.
+/// The serving layer's tests assert on these to prove the background
+/// re-solver reuses one kernel across epochs instead of rebuilding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache without building.
+    pub hits: usize,
+    /// Lookups that had to build (== lifetime builds).
+    pub misses: usize,
+    /// Cached kernels discarded by budget flushes.
+    pub evictions: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache, in `[0, 1]`; `0.0`
+    /// before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// Reusable, thread-safe reconstruction engine with a likelihood-kernel
 /// cache. See the [module docs](self) for the factorization and caching
 /// rules.
@@ -487,6 +520,11 @@ pub struct ReconstructionEngine {
     /// one-build-per-fingerprint assertions. Mirrors
     /// [`super::DiscreteReconstructionEngine::factored_builds`].
     builds: AtomicUsize,
+    /// Lookups served from the cache (read-lock hits plus double-checked
+    /// write-lock hits).
+    hits: AtomicUsize,
+    /// Kernels discarded by wholesale budget flushes.
+    evictions: AtomicUsize,
 }
 
 impl Default for ReconstructionEngine {
@@ -522,6 +560,8 @@ impl ReconstructionEngine {
             entry_budget: budget,
             exact_materialize_entries: Self::DEFAULT_EXACT_MATERIALIZE_ENTRIES,
             builds: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
         }
     }
 
@@ -551,6 +591,16 @@ impl ReconstructionEngine {
         self.builds.load(Ordering::Relaxed)
     }
 
+    /// Lifetime cache counters; see [`CacheStats`]. `misses` equals
+    /// [`Self::kernel_builds`].
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.builds.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
     /// Returns the (possibly cached) kernel for one problem geometry, in
     /// the transposed layout the iterate consumes.
     fn kernel_for(
@@ -570,6 +620,7 @@ impl ReconstructionEngine {
         if let Some(hit) =
             self.cache.read().expect("kernel cache lock poisoned").map.get(&key).cloned()
         {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
         }
         // Build under the write lock (double-checked): when a cold batch
@@ -578,10 +629,12 @@ impl ReconstructionEngine {
         // work.
         let mut cache = self.cache.write().expect("kernel cache lock poisoned");
         if let Some(hit) = cache.map.get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
         }
         let built = Arc::new(build()?);
         if cache.entries + built.entries() > self.entry_budget && !cache.map.is_empty() {
+            self.evictions.fetch_add(cache.map.len(), Ordering::Relaxed);
             cache.map.clear();
             cache.entries = 0;
         }
@@ -895,6 +948,33 @@ mod tests {
         assert_eq!(engine.kernel_builds(), 1, "warm repeats must not rebuild");
         engine.reconstruct(&noise, part(25), &obs, &cfg).unwrap();
         assert_eq!(engine.kernel_builds(), 2, "a new geometry builds exactly once");
+    }
+
+    #[test]
+    fn cache_stats_track_hits_misses_and_evictions() {
+        let engine = ReconstructionEngine::new();
+        let noise = NoiseModel::gaussian(10.0).unwrap();
+        let obs = sample(300, &noise, 9);
+        let cfg = ReconstructionConfig::default();
+        assert_eq!(engine.cache_stats(), CacheStats::default());
+        for _ in 0..4 {
+            engine.reconstruct(&noise, part(20), &obs, &cfg).unwrap();
+        }
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.misses, engine.kernel_builds());
+        assert_eq!(stats.hits, 3, "three warm repeats hit the cached kernel");
+        assert_eq!(stats.evictions, 0);
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+
+        // A tiny budget forces a wholesale flush on the second geometry,
+        // evicting the first kernel.
+        let tight = ReconstructionEngine::with_cache_entry_budget(1);
+        tight.reconstruct(&noise, part(10), &obs, &cfg).unwrap();
+        tight.reconstruct(&noise, part(12), &obs, &cfg).unwrap();
+        let stats = tight.cache_stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.evictions, 1, "the first kernel was flushed to admit the second");
     }
 
     #[test]

@@ -63,7 +63,8 @@ pub use discrete::{
     FactoredChannel,
 };
 pub use engine::{
-    shared_engine, JobInput, KernelLayout, KernelMatrix, ReconstructionEngine, ReconstructionJob,
+    shared_engine, CacheStats, JobInput, KernelLayout, KernelMatrix, ReconstructionEngine,
+    ReconstructionJob,
 };
 pub use reference::reconstruct_reference;
 pub use stopping::{paper_chi_square_rule, StoppingRule};

@@ -33,8 +33,6 @@
 //! probability is exactly zero, and fresh data may support cells the old
 //! posterior had emptied.
 
-use rayon::prelude::*;
-
 use crate::domain::Partition;
 use crate::error::{Error, Result};
 use crate::randomize::{NoiseDensity, NoiseFingerprint};
@@ -212,6 +210,14 @@ impl SuffStats {
     pub fn is_empty(&self) -> bool {
         self.count == 0
     }
+
+    /// Resets the sketch to empty while keeping its geometry binding and
+    /// bucket storage. The serving layer's drain protocol round-trips
+    /// sketches through this instead of allocating fresh ones per epoch.
+    pub fn clear(&mut self) {
+        self.counts.fill(0.0);
+        self.count = 0;
+    }
 }
 
 /// Shard-parallel ingestion of perturbed record batches.
@@ -223,6 +229,12 @@ impl SuffStats {
 #[derive(Debug, Clone)]
 pub struct ShardedAccumulator {
     shards: Vec<SuffStats>,
+    /// Per-shard delta sketches reused across [`Self::ingest_batches`]
+    /// calls (built lazily on first use), so steady-state round-robin
+    /// ingestion allocates nothing: batch data is read in place — never
+    /// copied — and the only allocations ever made are these sketches,
+    /// once.
+    scratch: Vec<SuffStats>,
 }
 
 impl ShardedAccumulator {
@@ -233,7 +245,7 @@ impl ShardedAccumulator {
             return Err(Error::ShardMismatch("shard count must be at least 1".to_string()));
         }
         let empty = SuffStats::new(noise, partition)?;
-        Ok(ShardedAccumulator { shards: vec![empty; shards] })
+        Ok(ShardedAccumulator { shards: vec![empty; shards], scratch: Vec::new() })
     }
 
     /// Number of shards.
@@ -260,33 +272,62 @@ impl ShardedAccumulator {
     /// concurrently, one worker per shard.
     ///
     /// Each shard's delta is built independently and then merged in, so
-    /// the result is deterministic regardless of thread scheduling.
+    /// the result is deterministic regardless of thread scheduling. The
+    /// hot path is the same [`SuffStats::ingest`] the serving layer's
+    /// shard workers run: batch slices are bucketed in place (no copies
+    /// of the observation data are ever taken), and the per-shard delta
+    /// sketches are drawn from a recycled scratch pool owned by the
+    /// accumulator, so repeated calls allocate nothing after the first.
     pub fn ingest_batches(&mut self, batches: &[Vec<f64>]) -> Result<()> {
         if batches.is_empty() {
             return Ok(());
         }
-        let template = SuffStats {
-            counts: vec![0.0; self.shards[0].counts.len()],
-            count: 0,
-            ..self.shards[0].clone()
-        };
-        let shard_ids: Vec<usize> = (0..self.shards.len()).collect();
+        let num_shards = self.shards.len();
+        if self.scratch.len() != num_shards {
+            let template = SuffStats {
+                counts: vec![0.0; self.shards[0].counts.len()],
+                count: 0,
+                ..self.shards[0].clone()
+            };
+            self.scratch = vec![template; num_shards];
+        }
         // Every delta is validated before ANY shard is touched, so a bad
         // batch (e.g. a non-finite observation) leaves the accumulator
         // exactly as it was — no partial ingestion to unwind or
-        // double-count on retry.
-        let deltas: Vec<Result<SuffStats>> = shard_ids
-            .par_iter()
-            .map(|&shard| {
-                let mut delta = template.clone();
-                for batch in batches.iter().skip(shard).step_by(self.shards.len()) {
-                    delta.ingest(batch)?;
-                }
-                Ok(delta)
-            })
-            .collect();
-        let deltas = deltas.into_iter().collect::<Result<Vec<SuffStats>>>()?;
-        for (shard, delta) in self.shards.iter_mut().zip(&deltas) {
+        // double-count on retry. (A dirty scratch sketch from a failed
+        // call is harmless: deltas are cleared before reuse.)
+        if num_shards == 1 {
+            let delta = &mut self.scratch[0];
+            delta.clear();
+            for batch in batches {
+                delta.ingest(batch)?;
+            }
+        } else {
+            let results: Vec<Result<()>> = std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .scratch
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(shard, delta)| {
+                        s.spawn(move || {
+                            delta.clear();
+                            for batch in batches.iter().skip(shard).step_by(num_shards) {
+                                delta.ingest(batch)?;
+                            }
+                            Ok(())
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard delta worker panicked"))
+                    .collect()
+            });
+            for result in results {
+                result?;
+            }
+        }
+        for (shard, delta) in self.shards.iter_mut().zip(&self.scratch) {
             shard.merge_from(delta)?;
         }
         Ok(())

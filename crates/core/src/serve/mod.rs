@@ -1,0 +1,251 @@
+//! The serving layer: high-throughput perturbed-record ingest decoupled
+//! from background reconstruction.
+//!
+//! Everything before this module is a synchronous library — a caller
+//! blocks on a full EM solve per reconstruction. At the scale AS00
+//! targets ("heavy traffic from millions of users"), ingest and solving
+//! must be decoupled: records arrive continuously at millions per
+//! second, while the posterior only needs refreshing every few dozen
+//! milliseconds. The serving layer exploits the one structural fact that
+//! makes this safe: [`SuffStats`](crate::reconstruct::SuffStats)
+//! sketches are *exactly mergeable* (integer bucket counts, associative
+//! and commutative), so shard-private accumulation followed by a merged
+//! solve is **bit-identical** to having bucketed every record into one
+//! monolithic sketch.
+//!
+//! ```text
+//!                 ingest plane                        solve plane
+//!           ┌────────────────────────┐        ┌─────────────────────────┐
+//! producers │ try_ingest ──▶ mailbox ├─▶ shard│  every resolve_interval:│
+//!  (K × M   │  (bounded; `Full` ⇒    │  worker│   drain-swap sketches   │
+//!  threads) │   Backpressure, no     │  owns  │   merge exact deltas    │
+//!           │   queueing, no loss)   │SuffStats│  warm-started EM solve │
+//!           └────────────────────────┘        │   publish snapshot ──┐  │
+//!                    ▲      buffers recycle   └──────────────────────┼──┘
+//!                    └──── [`BatchPool`] ◀───────────┘               ▼
+//!                                              [`SnapshotCell`] (wait-free
+//!                                               epoch-pinned readers)
+//! ```
+//!
+//! The three pieces:
+//!
+//! - [`IngestService`] / [`IngestHandle`]: shard workers behind bounded
+//!   mailboxes with explicit [`Backpressure`](crate::Error::Backpressure)
+//!   admission control and a zero-allocation steady-state hot path.
+//! - [`SnapshotCell`] / [`SnapshotReader`]: single-writer, wait-free
+//!   publication of epoch-stamped [`PosteriorSnapshot`]s (safe code
+//!   only — see [`snapshot`] for how the `AtomicPtr`-free design works).
+//! - [`BatchPool`]: the recycling buffer pool both planes draw from.
+//!
+//! See `docs/ARCHITECTURE.md` ("Serving layer") for the full contract
+//! discussion: backpressure semantics, staleness bounds, and why this is
+//! plain OS threads rather than an async runtime.
+
+pub mod pool;
+pub mod service;
+pub mod snapshot;
+
+pub use pool::{BatchPool, PoolStats};
+pub use service::{IngestHandle, IngestService, ServeConfig, ServeReport, ServiceStats};
+pub use snapshot::{PosteriorSnapshot, SnapshotCell, SnapshotPublisher, SnapshotReader};
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use super::*;
+    use crate::domain::{Domain, Partition};
+    use crate::error::Error;
+    use crate::randomize::{NoiseDensity, NoiseModel};
+    use crate::reconstruct::{ReconstructionConfig, ReconstructionEngine};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn part(cells: usize) -> Partition {
+        Partition::new(Domain::new(0.0, 100.0).unwrap(), cells).unwrap()
+    }
+
+    fn noise() -> Arc<dyn NoiseDensity> {
+        Arc::new(NoiseModel::gaussian(10.0).unwrap())
+    }
+
+    fn sample(n: usize, seed: u64) -> Vec<f64> {
+        let channel = NoiseModel::gaussian(10.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
+        channel.perturb_all(&xs, &mut rng)
+    }
+
+    fn quick_config() -> ServeConfig {
+        ServeConfig {
+            shards: 2,
+            mailbox_capacity: 8,
+            batch_capacity: 64,
+            max_pooled: 32,
+            resolve_interval: Duration::from_millis(5),
+            reconstruction: ReconstructionConfig::default(),
+        }
+    }
+
+    #[test]
+    fn ingest_solve_shutdown_roundtrip() {
+        let service = IngestService::spawn(noise(), part(20), quick_config()).unwrap();
+        let mut handle = service.handle();
+        let observed = sample(4_000, 1);
+        for batch in observed.chunks(64) {
+            loop {
+                match handle.try_ingest(batch) {
+                    Ok(_) => break,
+                    Err(Error::Backpressure { .. }) => std::thread::yield_now(),
+                    Err(e) => panic!("unexpected ingest error: {e}"),
+                }
+            }
+        }
+        // The background re-solver publishes within a few intervals.
+        let mut reader = service.reader();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while reader.refresh().is_none() {
+            assert!(std::time::Instant::now() < deadline, "no snapshot published in 10s");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let report = service.shutdown().unwrap();
+        assert_eq!(report.merged.count(), 4_000, "every admitted record is in the merge");
+        let snap = report.final_snapshot.expect("final snapshot exists");
+        assert_eq!(snap.records, 4_000, "the final solve covers everything");
+        assert_eq!(report.stats.records_behind, 0);
+        assert!(report.stats.epoch >= 1);
+        assert!(report.solve_error.is_none());
+    }
+
+    #[test]
+    fn merged_sketch_equals_monolithic_ingest() {
+        let service = IngestService::spawn(noise(), part(24), quick_config()).unwrap();
+        let mut handle = service.handle();
+        let observed = sample(2_500, 2);
+        for batch in observed.chunks(100) {
+            while let Err(Error::Backpressure { .. }) = handle.try_ingest(batch) {
+                std::thread::yield_now();
+            }
+        }
+        let report = service.shutdown().unwrap();
+        let mut monolithic = report.merged.clone();
+        monolithic.clear();
+        monolithic.ingest(&observed).unwrap();
+        assert_eq!(report.merged.counts(), monolithic.counts(), "bit-identical sketches");
+        assert_eq!(report.merged.count(), monolithic.count());
+    }
+
+    #[test]
+    fn backpressure_is_reported_and_lossless() {
+        // One shard, one-slot mailbox, and no consumer progress while we
+        // flood: admission must start refusing, and every refusal must
+        // leave counters consistent.
+        let config = ServeConfig {
+            shards: 1,
+            mailbox_capacity: 1,
+            resolve_interval: Duration::from_secs(3600),
+            ..quick_config()
+        };
+        let service = IngestService::spawn(noise(), part(10), config).unwrap();
+        let mut handle = service.handle();
+        let batch = vec![50.0; 32];
+        let mut saw_backpressure = false;
+        for _ in 0..10_000 {
+            match handle.try_ingest(&batch) {
+                Ok(_) => {}
+                Err(Error::Backpressure { shard }) => {
+                    assert_eq!(shard, 0);
+                    saw_backpressure = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(saw_backpressure, "a 1-slot mailbox must refuse a sustained flood");
+        let stats = service.stats();
+        assert_eq!(stats.rejected_batches, 1);
+        let report = service.shutdown().unwrap();
+        assert_eq!(
+            report.merged.count(),
+            report.stats.admitted_records,
+            "refused batches leave no residue; admitted ones are all there"
+        );
+    }
+
+    #[test]
+    fn invalid_values_are_rejected_before_admission() {
+        let service = IngestService::spawn(noise(), part(10), quick_config()).unwrap();
+        let mut handle = service.handle();
+        assert!(matches!(handle.try_ingest(&[1.0, f64::NAN]), Err(Error::InvalidMass(_))));
+        let report = service.shutdown().unwrap();
+        assert_eq!(report.merged.count(), 0);
+    }
+
+    #[test]
+    fn ingest_after_shutdown_reports_service_stopped() {
+        let service = IngestService::spawn(noise(), part(10), quick_config()).unwrap();
+        let mut handle = service.handle();
+        handle.try_ingest(&[10.0, 20.0]).unwrap();
+        let _ = service.shutdown().unwrap();
+        assert!(matches!(handle.try_ingest(&[30.0]), Err(Error::ServiceStopped)));
+    }
+
+    #[test]
+    fn resolver_shares_one_kernel_across_epochs() {
+        let engine = Arc::new(ReconstructionEngine::new());
+        let service =
+            IngestService::spawn_with_engine(noise(), part(20), quick_config(), engine.clone())
+                .unwrap();
+        let mut handle = service.handle();
+        let observed = sample(3_000, 3);
+        // Feed slowly enough to span several resolve intervals, so the
+        // re-solver runs multiple warm epochs.
+        for batch in observed.chunks(300) {
+            while let Err(Error::Backpressure { .. }) = handle.try_ingest(batch) {
+                std::thread::yield_now();
+            }
+            std::thread::sleep(Duration::from_millis(7));
+        }
+        let report = service.shutdown().unwrap();
+        assert!(report.stats.solves >= 2, "expected multiple epochs, got {}", report.stats.solves);
+        assert_eq!(engine.kernel_builds(), 1, "one geometry, one kernel build across all epochs");
+        let cache = engine.cache_stats();
+        assert!(
+            cache.hits >= report.stats.solves as usize - 1,
+            "every epoch after the first must hit the cache: {cache:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        let bad = ServeConfig { shards: 0, ..quick_config() };
+        assert!(IngestService::spawn(noise(), part(10), bad).is_err());
+        let bad = ServeConfig { mailbox_capacity: 0, ..quick_config() };
+        assert!(IngestService::spawn(noise(), part(10), bad).is_err());
+        // Identity-like channels without a fingerprint are rejected by
+        // the sketch constructor (tested in streaming); a fingerprinted
+        // channel is accepted.
+        assert!(IngestService::spawn(noise(), part(10), quick_config()).is_ok());
+    }
+
+    #[test]
+    fn steady_state_ingest_recycles_buffers() {
+        let config = ServeConfig { resolve_interval: Duration::from_millis(2), ..quick_config() };
+        let service = IngestService::spawn(noise(), part(10), config).unwrap();
+        let mut handle = service.handle();
+        let batch = vec![42.0; 64];
+        for _ in 0..2_000 {
+            while let Err(Error::Backpressure { .. }) = handle.try_ingest(&batch) {
+                std::thread::yield_now();
+            }
+        }
+        let report = service.shutdown().unwrap();
+        let pool = report.stats.pool;
+        assert!(
+            pool.allocated < 100,
+            "steady state must recycle, not allocate: {pool:?} over 2000 batches"
+        );
+        assert!(pool.reused > 1_000, "most checkouts come from the pool: {pool:?}");
+    }
+}

@@ -1,0 +1,570 @@
+//! The ingest service: shard workers behind bounded mailboxes plus the
+//! background re-solver.
+//!
+//! # Planes
+//!
+//! **Ingest plane.** [`IngestService::spawn`] starts N shard workers,
+//! each owning one private [`SuffStats`] sketch and fed by its own
+//! *bounded* MPSC mailbox ([`std::sync::mpsc::sync_channel`]) of
+//! perturbed record batches. Producers call
+//! [`IngestHandle::try_ingest`], which copies the batch into a recycled
+//! buffer ([`BatchPool`]) and `try_send`s it round-robin. A full mailbox
+//! is an explicit [`Error::Backpressure`]: nothing is queued, nothing is
+//! lost, and the caller decides whether to retry, shed, or slow down —
+//! there are **no unbounded queues anywhere** in the service, so memory
+//! is bounded by `shards × mailbox_capacity` batches regardless of how
+//! hard producers push.
+//!
+//! **Solve plane.** One background re-solver thread wakes every
+//! [`ServeConfig::resolve_interval`], swaps each worker's sketch for an
+//! empty one (the drain round-trips sketches through
+//! [`SuffStats::clear`], so steady-state resolving allocates nothing),
+//! merges the deltas into its running total — exact, order-independent
+//! integer merges — and runs a *warm-started* EM solve against the
+//! shared kernel cache. The resulting posterior is published as an
+//! epoch-stamped [`PosteriorSnapshot`] through the wait-free
+//! [`SnapshotCell`]; readers are never blocked by ingest or solving.
+//!
+//! # Staleness contract
+//!
+//! A published snapshot reflects every record drained up to its epoch.
+//! Staleness is bounded by the resolve cadence and *observable*:
+//! [`ServiceStats::records_behind`] counts admitted-but-not-yet-solved
+//! records, [`ServiceStats::staleness`] is the time since the re-solver
+//! last completed a cycle, and [`SnapshotReader::epochs_behind`] tells a
+//! reader how far its pinned epoch lags publication.
+//!
+//! # Why threads, not async
+//!
+//! The hot path is CPU-bound bucketing, not I/O waiting: a worker either
+//! has a batch to bucket or parks on its mailbox, and the re-solver
+//! either sleeps out its interval or runs EM. OS threads express this
+//! directly with zero added dependencies (the workspace builds offline);
+//! an async runtime would add scheduling machinery precisely where
+//! blocking is the desired behavior.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::domain::Partition;
+use crate::error::{Error, Result};
+use crate::randomize::NoiseDensity;
+use crate::reconstruct::streaming::SuffStats;
+use crate::reconstruct::{ReconstructionConfig, ReconstructionEngine};
+
+use super::pool::{BatchPool, PoolStats};
+use super::snapshot::{PosteriorSnapshot, SnapshotCell, SnapshotPublisher, SnapshotReader};
+
+/// Tuning knobs of an [`IngestService`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Shard workers (and mailboxes). Each shard owns a private sketch.
+    pub shards: usize,
+    /// Batches each mailbox holds before `try_ingest` reports
+    /// [`Error::Backpressure`].
+    pub mailbox_capacity: usize,
+    /// Record slots reserved per pooled batch buffer.
+    pub batch_capacity: usize,
+    /// Idle buffers the recycling pool keeps parked.
+    pub max_pooled: usize,
+    /// Re-solver cadence: how often shard sketches are drained, merged,
+    /// solved, and published.
+    pub resolve_interval: Duration,
+    /// EM parameters for the background solves. The bucketed update is
+    /// used regardless of `mode` — sketches carry no per-observation
+    /// rows.
+    pub reconstruction: ReconstructionConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 2,
+            mailbox_capacity: 64,
+            batch_capacity: 1024,
+            max_pooled: 256,
+            resolve_interval: Duration::from_millis(50),
+            reconstruction: ReconstructionConfig::default(),
+        }
+    }
+}
+
+/// What shard workers receive: batches on the hot path, sketch swaps on
+/// the resolve path.
+enum ShardMsg {
+    /// A pooled buffer of perturbed records to bucket.
+    Batch(Vec<f64>),
+    /// Swap the worker's sketch for `fresh` and send the full one back.
+    /// The reply sender is owned by the message alone, so a worker that
+    /// exits without replying disconnects the channel instead of hanging
+    /// the re-solver.
+    Drain { fresh: SuffStats, reply: SyncSender<SuffStats> },
+    /// Hand the sketch back and exit.
+    Stop { reply: SyncSender<SuffStats> },
+}
+
+enum ResolverCtl {
+    /// Run one final drain + solve + publish, then exit.
+    Finish,
+}
+
+/// Lifetime counters shared by handles, workers, and the re-solver.
+struct Counters {
+    admitted_batches: AtomicU64,
+    admitted_records: AtomicU64,
+    rejected_batches: AtomicU64,
+    ingested_records: AtomicU64,
+    solved_records: AtomicU64,
+    solves: AtomicU64,
+    solve_errors: AtomicU64,
+    /// Nanoseconds after service start when the re-solver last completed
+    /// a full drain cycle (staleness probe).
+    last_cycle_nanos: AtomicU64,
+}
+
+impl Counters {
+    fn new() -> Self {
+        Counters {
+            admitted_batches: AtomicU64::new(0),
+            admitted_records: AtomicU64::new(0),
+            rejected_batches: AtomicU64::new(0),
+            ingested_records: AtomicU64::new(0),
+            solved_records: AtomicU64::new(0),
+            solves: AtomicU64::new(0),
+            solve_errors: AtomicU64::new(0),
+            last_cycle_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A point-in-time view of the service's counters; every field is
+/// monotone except the derived staleness gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Batches `try_ingest` admitted into a mailbox.
+    pub admitted_batches: u64,
+    /// Records inside admitted batches.
+    pub admitted_records: u64,
+    /// Batches refused with [`Error::Backpressure`].
+    pub rejected_batches: u64,
+    /// Records shard workers have bucketed into their sketches.
+    pub ingested_records: u64,
+    /// Records covered by the latest published snapshot.
+    pub solved_records: u64,
+    /// Admitted records the published posterior does not yet reflect —
+    /// the record half of the staleness bound.
+    pub records_behind: u64,
+    /// Latest published epoch (0 before the first publish).
+    pub epoch: u64,
+    /// Background solves completed.
+    pub solves: u64,
+    /// Background solves that failed (the service keeps running; the
+    /// last error surfaces in [`ServeReport::solve_error`]).
+    pub solve_errors: u64,
+    /// Time since the re-solver last completed a drain cycle — the time
+    /// half of the staleness bound (≈ `resolve_interval` in steady
+    /// state).
+    pub staleness: Duration,
+    /// Recycling-pool counters.
+    pub pool: PoolStats,
+}
+
+/// Everything the service hands back at shutdown.
+pub struct ServeReport {
+    /// The exact merge of every record ever bucketed by any shard —
+    /// including records ingested after the final background solve. A
+    /// cold solve of this sketch is bit-identical to a monolithic solve
+    /// over the same records.
+    pub merged: SuffStats,
+    /// The last snapshot published, if any solve succeeded.
+    pub final_snapshot: Option<Arc<PosteriorSnapshot>>,
+    /// Counters at shutdown.
+    pub stats: ServiceStats,
+    /// The last background solve error, if any cycle failed.
+    pub solve_error: Option<Error>,
+}
+
+/// A producer's clonable, mutable handle into the ingest plane.
+///
+/// Handles rotate round-robin over shards independently;
+/// [`IngestService::handle`] staggers their starting shards so K
+/// producers spread evenly instead of marching in lockstep.
+#[derive(Clone)]
+pub struct IngestHandle {
+    mailboxes: Arc<[SyncSender<ShardMsg>]>,
+    pool: BatchPool,
+    counters: Arc<Counters>,
+    next_shard: usize,
+}
+
+impl IngestHandle {
+    /// Admits one batch of perturbed records, or refuses it without side
+    /// effects. Returns the shard that accepted the batch.
+    ///
+    /// The hot path does no allocation in steady state: the batch is
+    /// copied into a recycled buffer and handed off by pointer. On
+    /// [`Error::Backpressure`] (target mailbox full) the buffer returns
+    /// to the pool and **no record is enqueued** — the caller owns the
+    /// retry policy. Rotation still advances, so an immediate retry
+    /// targets the next shard.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Backpressure`] when the target mailbox is full;
+    /// [`Error::ServiceStopped`] when the shard workers have exited;
+    /// [`Error::InvalidMass`] for non-finite values (checked *before*
+    /// admission so a bad record can never poison a shard sketch).
+    pub fn try_ingest(&mut self, values: &[f64]) -> Result<usize> {
+        if values.is_empty() {
+            return Ok(self.next_shard);
+        }
+        if let Some(bad) = values.iter().find(|w| !w.is_finite()) {
+            return Err(Error::InvalidMass(format!("observation {bad} is not finite")));
+        }
+        let shard = self.next_shard;
+        self.next_shard = (shard + 1) % self.mailboxes.len();
+        let mut buf = self.pool.checkout();
+        buf.extend_from_slice(values);
+        match self.mailboxes[shard].try_send(ShardMsg::Batch(buf)) {
+            Ok(()) => {
+                self.counters.admitted_batches.fetch_add(1, Ordering::Relaxed);
+                self.counters.admitted_records.fetch_add(values.len() as u64, Ordering::Relaxed);
+                Ok(shard)
+            }
+            Err(TrySendError::Full(ShardMsg::Batch(buf))) => {
+                self.pool.recycle(buf);
+                self.counters.rejected_batches.fetch_add(1, Ordering::Relaxed);
+                Err(Error::Backpressure { shard })
+            }
+            Err(TrySendError::Disconnected(ShardMsg::Batch(buf))) => {
+                self.pool.recycle(buf);
+                Err(Error::ServiceStopped)
+            }
+            Err(_) => unreachable!("a failed send returns the message it was given"),
+        }
+    }
+}
+
+/// What the re-solver thread returns when told to finish.
+struct ResolveSummary {
+    /// Running merge of everything drained over the service's lifetime.
+    total: SuffStats,
+    last_error: Option<Error>,
+}
+
+/// The running service; see the [module docs](self) for the two planes.
+///
+/// Dropping the service without [`IngestService::shutdown`] detaches the
+/// threads: they exit on their own once every [`IngestHandle`] is gone,
+/// but the merged sketch and final report are lost.
+pub struct IngestService {
+    mailboxes: Arc<[SyncSender<ShardMsg>]>,
+    pool: BatchPool,
+    counters: Arc<Counters>,
+    cell: SnapshotCell,
+    workers: Vec<JoinHandle<()>>,
+    resolver: Option<JoinHandle<ResolveSummary>>,
+    ctl: SyncSender<ResolverCtl>,
+    handle_seq: AtomicUsize,
+    template: SuffStats,
+    started: Instant,
+}
+
+impl IngestService {
+    /// Spawns the shard workers and the background re-solver, solving on
+    /// a private [`ReconstructionEngine`].
+    pub fn spawn(
+        noise: Arc<dyn NoiseDensity>,
+        partition: Partition,
+        config: ServeConfig,
+    ) -> Result<IngestService> {
+        Self::spawn_with_engine(noise, partition, config, Arc::new(ReconstructionEngine::new()))
+    }
+
+    /// Spawns the service against a caller-supplied engine, so multiple
+    /// services (or foreground callers) share one kernel cache.
+    pub fn spawn_with_engine(
+        noise: Arc<dyn NoiseDensity>,
+        partition: Partition,
+        config: ServeConfig,
+        engine: Arc<ReconstructionEngine>,
+    ) -> Result<IngestService> {
+        if config.shards == 0 {
+            return Err(Error::ShardMismatch("an ingest service needs at least one shard".into()));
+        }
+        if config.mailbox_capacity == 0 {
+            return Err(Error::ShardMismatch("mailbox capacity must be at least 1".into()));
+        }
+        // Binds the geometry and rejects unfingerprinted channels up
+        // front (warm solves need the fingerprint to match sketches).
+        let template = SuffStats::new(noise.as_ref(), partition)?;
+        let pool = BatchPool::new(config.batch_capacity.max(1), config.max_pooled);
+        let counters = Arc::new(Counters::new());
+        let (cell, publisher) = SnapshotCell::new();
+        let started = Instant::now();
+
+        let mut mailboxes = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let (tx, rx) = sync_channel::<ShardMsg>(config.mailbox_capacity);
+            mailboxes.push(tx);
+            let stats = template.clone();
+            let pool = pool.clone();
+            let counters = counters.clone();
+            let worker = std::thread::Builder::new()
+                .name(format!("ppdm-shard-{shard}"))
+                .spawn(move || shard_worker(rx, stats, pool, counters))
+                .expect("spawning a shard worker thread failed");
+            workers.push(worker);
+        }
+        let mailboxes: Arc<[SyncSender<ShardMsg>]> = mailboxes.into();
+
+        let (ctl, ctl_rx) = sync_channel::<ResolverCtl>(1);
+        let resolver = {
+            let mailboxes = mailboxes.clone();
+            let counters = counters.clone();
+            let template = template.clone();
+            let recon = config.reconstruction;
+            let interval = config.resolve_interval;
+            std::thread::Builder::new()
+                .name("ppdm-resolver".into())
+                .spawn(move || {
+                    resolver_loop(
+                        ctl_rx, mailboxes, template, noise, engine, recon, interval, publisher,
+                        counters, started,
+                    )
+                })
+                .expect("spawning the re-solver thread failed")
+        };
+
+        Ok(IngestService {
+            mailboxes,
+            pool,
+            counters,
+            cell,
+            workers,
+            resolver: Some(resolver),
+            ctl,
+            handle_seq: AtomicUsize::new(0),
+            template,
+            started,
+        })
+    }
+
+    /// A new producer handle, its round-robin start staggered across
+    /// shards.
+    pub fn handle(&self) -> IngestHandle {
+        let seq = self.handle_seq.fetch_add(1, Ordering::Relaxed);
+        IngestHandle {
+            mailboxes: self.mailboxes.clone(),
+            pool: self.pool.clone(),
+            counters: self.counters.clone(),
+            next_shard: seq % self.mailboxes.len(),
+        }
+    }
+
+    /// A wait-free reader over the published posterior snapshots.
+    pub fn reader(&self) -> SnapshotReader {
+        self.cell.reader()
+    }
+
+    /// The latest published snapshot, or `None` before the first solve.
+    pub fn latest(&self) -> Option<Arc<PosteriorSnapshot>> {
+        self.cell.latest()
+    }
+
+    /// Current counters; cheap enough for a monitoring loop.
+    pub fn stats(&self) -> ServiceStats {
+        let admitted_records = self.counters.admitted_records.load(Ordering::Relaxed);
+        let solved_records = self.counters.solved_records.load(Ordering::Relaxed);
+        let last_cycle = self.counters.last_cycle_nanos.load(Ordering::Relaxed);
+        let elapsed = self.started.elapsed().as_nanos() as u64;
+        ServiceStats {
+            admitted_batches: self.counters.admitted_batches.load(Ordering::Relaxed),
+            admitted_records,
+            rejected_batches: self.counters.rejected_batches.load(Ordering::Relaxed),
+            ingested_records: self.counters.ingested_records.load(Ordering::Relaxed),
+            solved_records,
+            records_behind: admitted_records.saturating_sub(solved_records),
+            epoch: self.cell.epoch(),
+            solves: self.counters.solves.load(Ordering::Relaxed),
+            solve_errors: self.counters.solve_errors.load(Ordering::Relaxed),
+            staleness: Duration::from_nanos(elapsed.saturating_sub(last_cycle)),
+            pool: self.pool.stats(),
+        }
+    }
+
+    /// Stops the service: final drain + solve + publish, then worker
+    /// shutdown. Returns the [`ServeReport`] whose `merged` sketch is the
+    /// exact union of everything any shard ever bucketed.
+    ///
+    /// Outstanding [`IngestHandle`]s keep working until the final drain
+    /// completes; afterwards their `try_ingest` reports
+    /// [`Error::ServiceStopped`].
+    pub fn shutdown(mut self) -> Result<ServeReport> {
+        // Phase 1: the re-solver runs one last drain + solve + publish
+        // and exits with the lifetime merge.
+        let _ = self.ctl.send(ResolverCtl::Finish);
+        let summary = self
+            .resolver
+            .take()
+            .expect("resolver joined exactly once")
+            .join()
+            .expect("re-solver thread panicked");
+        let ResolveSummary { mut total, last_error } = summary;
+
+        // Phase 2: stop the workers and fold in whatever trickled in
+        // between the final drain and now, so `merged` misses nothing.
+        for mailbox in self.mailboxes.iter() {
+            let (reply, rx) = sync_channel::<SuffStats>(1);
+            if mailbox.send(ShardMsg::Stop { reply }).is_err() {
+                continue;
+            }
+            if let Ok(leftover) = rx.recv() {
+                if !leftover.is_empty() {
+                    total.merge_from(&leftover)?;
+                }
+            }
+        }
+        for worker in self.workers.drain(..) {
+            worker.join().expect("shard worker thread panicked");
+        }
+
+        let stats = self.stats();
+        Ok(ServeReport {
+            merged: total,
+            final_snapshot: self.cell.latest(),
+            stats,
+            solve_error: last_error,
+        })
+    }
+
+    /// The empty sketch template bound to this service's channel and
+    /// partition (useful for building compatible reference sketches in
+    /// tests).
+    pub fn template(&self) -> &SuffStats {
+        &self.template
+    }
+}
+
+/// The shard worker: buckets batches into its private sketch and hands
+/// the sketch over on drain/stop.
+fn shard_worker(
+    rx: Receiver<ShardMsg>,
+    mut stats: SuffStats,
+    pool: BatchPool,
+    counters: Arc<Counters>,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Batch(buf) => {
+                // Values were validated at admission, so this cannot
+                // fail; the guard keeps a future validation gap from
+                // silently corrupting counters.
+                if stats.ingest(&buf).is_ok() {
+                    counters.ingested_records.fetch_add(buf.len() as u64, Ordering::Relaxed);
+                }
+                pool.recycle(buf);
+            }
+            ShardMsg::Drain { fresh, reply } => {
+                let full = std::mem::replace(&mut stats, fresh);
+                let _ = reply.send(full);
+            }
+            ShardMsg::Stop { reply } => {
+                let _ = reply.send(stats);
+                return;
+            }
+        }
+    }
+    // All senders dropped without a Stop: the service was leaked or is
+    // mid-drop; there is nobody to hand the sketch to.
+}
+
+/// The re-solver: drain → merge → warm solve → publish, every interval.
+#[allow(clippy::too_many_arguments)]
+fn resolver_loop(
+    ctl: Receiver<ResolverCtl>,
+    mailboxes: Arc<[SyncSender<ShardMsg>]>,
+    template: SuffStats,
+    noise: Arc<dyn NoiseDensity>,
+    engine: Arc<ReconstructionEngine>,
+    config: ReconstructionConfig,
+    interval: Duration,
+    mut publisher: SnapshotPublisher,
+    counters: Arc<Counters>,
+    started: Instant,
+) -> ResolveSummary {
+    let mut total = template.clone();
+    // Sketches cycle drain → merge → clear → reuse, so steady-state
+    // resolving allocates nothing beyond this initial pool.
+    let mut spare: Vec<SuffStats> = Vec::with_capacity(mailboxes.len());
+    let mut warm: Option<Vec<f64>> = None;
+    let mut last_error: Option<Error> = None;
+    loop {
+        let finish = match ctl.recv_timeout(interval) {
+            Ok(ResolverCtl::Finish) => true,
+            Err(RecvTimeoutError::Timeout) => false,
+            // The service itself is gone; wind down.
+            Err(RecvTimeoutError::Disconnected) => true,
+        };
+
+        // Send every drain before collecting any reply, so the shards
+        // swap sketches concurrently. Each Drain carries its own reply
+        // sender: if a worker exits without replying, the channel
+        // disconnects and the recv below returns instead of hanging.
+        let mut pending = Vec::with_capacity(mailboxes.len());
+        for mailbox in mailboxes.iter() {
+            let fresh = spare.pop().unwrap_or_else(|| template.clone());
+            let (reply, rx) = sync_channel::<SuffStats>(1);
+            match mailbox.send(ShardMsg::Drain { fresh, reply }) {
+                Ok(()) => pending.push(rx),
+                Err(send_error) => {
+                    if let ShardMsg::Drain { fresh, .. } = send_error.0 {
+                        spare.push(fresh);
+                    }
+                }
+            }
+        }
+        for rx in pending {
+            if let Ok(mut delta) = rx.recv() {
+                if !delta.is_empty() {
+                    if let Err(e) = total.merge_from(&delta) {
+                        counters.solve_errors.fetch_add(1, Ordering::Relaxed);
+                        last_error = Some(e);
+                    }
+                }
+                delta.clear();
+                spare.push(delta);
+            }
+        }
+
+        // Solve only when the drain surfaced new records; the published
+        // snapshot already covers everything else.
+        if total.count() > counters.solved_records.load(Ordering::Relaxed) {
+            match engine.reconstruct_stats(noise.as_ref(), &total, &config, warm.as_deref()) {
+                Ok(recon) => {
+                    warm = Some(recon.histogram.probabilities());
+                    counters.solved_records.store(total.count(), Ordering::Relaxed);
+                    counters.solves.fetch_add(1, Ordering::Relaxed);
+                    publisher.publish(
+                        total.count(),
+                        recon.histogram,
+                        recon.iterations,
+                        recon.converged,
+                    );
+                }
+                Err(e) => {
+                    counters.solve_errors.fetch_add(1, Ordering::Relaxed);
+                    last_error = Some(e);
+                }
+            }
+        }
+        counters.last_cycle_nanos.store(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if finish {
+            return ResolveSummary { total, last_error };
+        }
+    }
+}

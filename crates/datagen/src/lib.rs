@@ -34,4 +34,4 @@ pub use functions::LabelFunction;
 pub use generator::{generate, generate_record, generate_train_test, with_label_noise};
 pub use perturb::{perturb_labels, PerturbPlan};
 pub use record::{Class, Dataset, Record, NUM_CLASSES};
-pub use stream::{column_batches, PerturbedBatchStream};
+pub use stream::{column_batches, materialize_column_batches, PerturbedBatchStream};

@@ -105,6 +105,23 @@ pub fn column_batches<'a>(
     stream.map(move |batch| batch.column(attr))
 }
 
+/// Materializes one attribute's perturbed column batches up front — the
+/// replay working set a load generator feeds through
+/// `IngestHandle::try_ingest` without paying generation cost on the
+/// timed path. Identical to collecting [`column_batches`] over
+/// [`PerturbedBatchStream::new`] with the same arguments.
+pub fn materialize_column_batches(
+    plan: &PerturbPlan,
+    function: LabelFunction,
+    attr: Attribute,
+    total: usize,
+    batch_size: usize,
+    seed: u64,
+) -> Vec<Vec<f64>> {
+    column_batches(PerturbedBatchStream::new(plan, function, total, batch_size, seed), attr)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +193,19 @@ mod tests {
         assert_eq!(cols.len(), 3);
         let flat: Vec<f64> = cols.into_iter().flatten().collect();
         assert_eq!(flat, generate(300, LabelFunction::F1, 11).column(Attribute::Age));
+    }
+
+    #[test]
+    fn materialized_batches_match_the_streaming_ones() {
+        let plan = PerturbPlan::for_privacy(NoiseKind::Gaussian, 50.0, DEFAULT_CONFIDENCE).unwrap();
+        let streamed: Vec<Vec<f64>> = column_batches(
+            PerturbedBatchStream::new(&plan, LabelFunction::F2, 450, 128, 17),
+            Attribute::Salary,
+        )
+        .collect();
+        let materialized =
+            materialize_column_batches(&plan, LabelFunction::F2, Attribute::Salary, 450, 128, 17);
+        assert_eq!(streamed, materialized);
     }
 
     #[test]

@@ -9,9 +9,13 @@
 //! This facade re-exports the three library crates:
 //!
 //! * [`core`] ([`ppdm_core`]) — randomization operators, the
-//!   confidence-interval privacy metric, and distribution reconstruction
+//!   confidence-interval privacy metric, distribution reconstruction
 //!   built around a batched, kernel-caching
-//!   [`ReconstructionEngine`](ppdm_core::reconstruct::ReconstructionEngine).
+//!   [`ReconstructionEngine`](ppdm_core::reconstruct::ReconstructionEngine),
+//!   and the sharded ingest/serving layer
+//!   ([`IngestService`](ppdm_core::serve::IngestService)) that decouples
+//!   million-records/sec perturbed-stream ingest from background
+//!   re-solving.
 //! * [`datagen`] ([`ppdm_datagen`]) — the AIS92 synthetic benchmark the
 //!   paper evaluates on, plus dataset perturbation.
 //! * [`tree`] ([`ppdm_tree`]) — gini decision trees and the five training
@@ -43,9 +47,13 @@ pub mod prelude {
         DiscreteChannel, NoiseDensity, NoiseModel, RandomizedResponse, StochasticMatrix,
     };
     pub use ppdm_core::reconstruct::{
-        reconstruct, DiscreteReconstructionConfig, DiscreteReconstructionEngine, DiscreteSuffStats,
-        IncrementalReconstructor, ReconstructionConfig, ReconstructionEngine, ReconstructionJob,
-        ShardedAccumulator, StoppingRule, SuffStats,
+        reconstruct, CacheStats, DiscreteReconstructionConfig, DiscreteReconstructionEngine,
+        DiscreteSuffStats, IncrementalReconstructor, ReconstructionConfig, ReconstructionEngine,
+        ReconstructionJob, ShardedAccumulator, StoppingRule, SuffStats,
+    };
+    pub use ppdm_core::serve::{
+        BatchPool, IngestHandle, IngestService, PoolStats, PosteriorSnapshot, ServeConfig,
+        ServeReport, ServiceStats, SnapshotCell, SnapshotReader,
     };
     pub use ppdm_core::stats::Histogram;
     pub use ppdm_core::{Error, Result};

@@ -1,0 +1,271 @@
+//! Stress suite for the serving layer: concurrent ingest equivalence,
+//! snapshot publication under reader/writer races, and backpressure
+//! behavior.
+//!
+//! The load-bearing claims:
+//!
+//! * K concurrent producers feeding N shard workers, then a merged cold
+//!   solve, is **bit-for-bit** equal to a monolithic solve over the same
+//!   records — concurrency must be invisible in the result;
+//! * snapshot epochs observed by racing readers are strictly monotonic,
+//!   and no reader ever sees a torn posterior (every snapshot is
+//!   internally consistent: mass total matches its record stamp);
+//! * a full mailbox refuses admission losslessly: records are either
+//!   fully in (counted, merged) or fully out (rejected, recounted by
+//!   the caller) — never partially ingested.
+//!
+//! Run with `PROPTEST_CASES=<n>` to rescale the property cases (CI pins
+//! it); the thread-stress tests are fixed-size.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ppdm::prelude::*;
+use ppdm_core::serve::SnapshotCell;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn part(cells: usize) -> Partition {
+    Partition::new(Domain::new(0.0, 100.0).unwrap(), cells).unwrap()
+}
+
+fn noise() -> Arc<dyn NoiseDensity> {
+    Arc::new(NoiseModel::gaussian(12.0).unwrap())
+}
+
+/// A bimodal perturbed sample — structured enough that reconstruction
+/// does real work.
+fn sample(n: usize, seed: u64) -> Vec<f64> {
+    let channel = NoiseModel::gaussian(12.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let xs: Vec<f64> = (0..n)
+        .map(|_| {
+            let center = if rng.gen_bool(0.5) { 30.0 } else { 70.0 };
+            center + rng.gen_range(-9.0..9.0)
+        })
+        .collect();
+    channel.perturb_all(&xs, &mut rng)
+}
+
+fn serve_config(shards: usize) -> ServeConfig {
+    ServeConfig {
+        shards,
+        mailbox_capacity: 8,
+        batch_capacity: 256,
+        max_pooled: 64,
+        resolve_interval: Duration::from_millis(5),
+        reconstruction: ReconstructionConfig::default(),
+    }
+}
+
+/// Drives `producers` threads through one service, each ingesting its
+/// disjoint slice of `observed` in `batch`-sized chunks (retrying on
+/// backpressure), and returns the shutdown report.
+fn concurrent_ingest(
+    observed: &[f64],
+    producers: usize,
+    shards: usize,
+    batch: usize,
+) -> ppdm_core::serve::ServeReport {
+    let service = IngestService::spawn(noise(), part(24), serve_config(shards)).unwrap();
+    std::thread::scope(|s| {
+        let slice_len = observed.len().div_ceil(producers);
+        for slice in observed.chunks(slice_len) {
+            let mut handle = service.handle();
+            s.spawn(move || {
+                for chunk in slice.chunks(batch) {
+                    loop {
+                        match handle.try_ingest(chunk) {
+                            Ok(_) => break,
+                            Err(Error::Backpressure { .. }) => std::thread::yield_now(),
+                            Err(e) => panic!("unexpected ingest error: {e}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+    service.shutdown().unwrap()
+}
+
+#[test]
+fn concurrent_sharded_ingest_solves_bit_identically_to_monolithic() {
+    let observed = sample(20_000, 1);
+    let engine = ReconstructionEngine::new();
+    let cfg = ReconstructionConfig::default();
+    let monolithic = engine
+        .reconstruct(&NoiseModel::gaussian(12.0).unwrap(), part(24), &observed, &cfg)
+        .unwrap();
+    for (producers, shards) in [(1usize, 1usize), (2, 3), (4, 2), (3, 4)] {
+        let report = concurrent_ingest(&observed, producers, shards, 190);
+        assert_eq!(report.merged.count(), observed.len() as u64, "{producers}x{shards}");
+        // The cold solve of the concurrently-built merge must be
+        // bit-for-bit the monolithic solve: concurrency is invisible.
+        let sharded = engine
+            .reconstruct_stats(&NoiseModel::gaussian(12.0).unwrap(), &report.merged, &cfg, None)
+            .unwrap();
+        assert_eq!(
+            sharded, monolithic,
+            "{producers} producers x {shards} shards diverged from the monolithic solve"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: std::env::var("PROPTEST_CASES")
+            .ok().and_then(|v| v.parse().ok()).unwrap_or(8),
+    })]
+
+    // Any (producers, shards, batch size, sample) combination merges to
+    // exactly the monolithic sketch.
+    #[test]
+    fn any_concurrency_layout_merges_exactly(
+        producers in 1usize..5,
+        shards in 1usize..5,
+        batch in 16usize..300,
+        n in 500usize..4_000,
+        seed in 0u64..1_000,
+    ) {
+        let observed = sample(n, seed);
+        let report = concurrent_ingest(&observed, producers, shards, batch);
+        let mut monolithic = report.merged.clone();
+        monolithic.clear();
+        monolithic.ingest(&observed).unwrap();
+        prop_assert_eq!(report.merged.counts(), monolithic.counts());
+        prop_assert_eq!(report.merged.count(), monolithic.count());
+    }
+}
+
+#[test]
+fn snapshot_epochs_are_strictly_monotonic_under_racing_readers() {
+    let (cell, mut publisher) = SnapshotCell::new();
+    let partition = part(8);
+    let published = Arc::new(AtomicU64::new(0));
+    const EPOCHS: u64 = 20_000;
+    const READERS: usize = 4;
+    std::thread::scope(|s| {
+        for _ in 0..READERS {
+            let mut reader = cell.reader();
+            let cell = cell.clone();
+            let published = published.clone();
+            s.spawn(move || {
+                let mut last_epoch = reader.epoch();
+                while published.load(Ordering::Acquire) < EPOCHS {
+                    if let Some(snap) = reader.refresh() {
+                        // Strictly monotonic: refresh never goes back.
+                        assert!(
+                            snap.epoch >= last_epoch,
+                            "epoch regressed: {} after {last_epoch}",
+                            snap.epoch
+                        );
+                        last_epoch = snap.epoch;
+                        // Torn-posterior check: every snapshot is
+                        // internally consistent — the histogram's total
+                        // mass equals its record stamp, and the epoch
+                        // equals the mass of its first cell (a seal the
+                        // publisher writes below).
+                        assert_eq!(snap.histogram.total(), snap.records as f64);
+                        assert_eq!(snap.histogram.masses()[0], snap.epoch as f64);
+                        // Lag is observable and never negative (the
+                        // publisher may race ahead between loads, so
+                        // only the direction is stable).
+                        assert!(cell.epoch() >= snap.epoch);
+                    }
+                    std::hint::spin_loop();
+                }
+            });
+        }
+        s.spawn(|| {
+            for epoch in 1..=EPOCHS {
+                // A snapshot whose internal invariants encode its epoch:
+                // cell 0 carries the epoch, the rest pads the total to
+                // `records`. Any torn read breaks an equality above.
+                let mut masses = vec![0.0; partition.len()];
+                masses[0] = epoch as f64;
+                masses[1] = (2 * epoch) as f64;
+                let records = epoch + 2 * epoch;
+                let hist = Histogram::from_mass(partition, masses).unwrap();
+                let stamped = publisher.publish(records, hist, 1, true);
+                assert_eq!(stamped, epoch, "publisher epochs are sequential");
+                published.store(epoch, Ordering::Release);
+            }
+        });
+    });
+    assert_eq!(cell.epoch(), EPOCHS);
+    assert_eq!(cell.latest().unwrap().epoch, EPOCHS);
+}
+
+#[test]
+fn backpressure_floods_lose_nothing() {
+    // Tiny mailboxes and a slow resolver: plenty of refusals, and at the
+    // end every admitted record — and only those — is in the merge.
+    let config = ServeConfig {
+        shards: 2,
+        mailbox_capacity: 1,
+        batch_capacity: 64,
+        max_pooled: 16,
+        resolve_interval: Duration::from_millis(500),
+        reconstruction: ReconstructionConfig::default(),
+    };
+    let service = IngestService::spawn(noise(), part(10), config).unwrap();
+    let admitted = Arc::new(AtomicU64::new(0));
+    let rejected = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        for p in 0..4u64 {
+            let mut handle = service.handle();
+            let admitted = admitted.clone();
+            let rejected = rejected.clone();
+            s.spawn(move || {
+                let batch = sample(50, 100 + p);
+                for _ in 0..500 {
+                    match handle.try_ingest(&batch) {
+                        Ok(_) => {
+                            admitted.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                        }
+                        Err(Error::Backpressure { .. }) => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+            });
+        }
+    });
+    let report = service.shutdown().unwrap();
+    assert!(rejected.load(Ordering::Relaxed) > 0, "1-slot mailboxes must refuse under flood");
+    assert_eq!(
+        report.merged.count(),
+        admitted.load(Ordering::Relaxed),
+        "every admitted record is merged; every refusal left no residue"
+    );
+    assert_eq!(report.stats.rejected_batches, rejected.load(Ordering::Relaxed));
+}
+
+#[test]
+fn warm_epochs_match_final_coverage_and_share_the_kernel() {
+    let engine = Arc::new(ReconstructionEngine::new());
+    let service =
+        IngestService::spawn_with_engine(noise(), part(24), serve_config(2), engine.clone())
+            .unwrap();
+    let observed = sample(6_000, 7);
+    let mut handle = service.handle();
+    for chunk in observed.chunks(200) {
+        loop {
+            match handle.try_ingest(chunk) {
+                Ok(_) => break,
+                Err(Error::Backpressure { .. }) => std::thread::yield_now(),
+                Err(e) => panic!("unexpected ingest error: {e}"),
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let report = service.shutdown().unwrap();
+    let snap = report.final_snapshot.expect("snapshot published");
+    assert_eq!(snap.records, observed.len() as u64, "final snapshot covers every record");
+    assert!((snap.histogram.total() - observed.len() as f64).abs() < 1e-6);
+    assert_eq!(engine.kernel_builds(), 1, "all warm epochs share one kernel");
+    assert!(engine.cache_stats().hits >= report.stats.solves as usize - 1);
+}
