@@ -6,6 +6,13 @@
 //! posterior breach probability, surviving entropy `H(T|O)`, and
 //! categorical reconstruction error through both engine solvers.
 //!
+//! Every row also carries the empirical-breach columns of the
+//! `ppdm_core::audit` attackers: analytic vs measured posterior-linkage
+//! rates, the eight-epoch repeated-observation rate, and the correlated
+//! salary/commission adversary beside its single-column control. The
+//! full grid is additionally written to `BENCH_privacy_frontier.json`
+//! for machine consumption.
+//!
 //! ```text
 //! cargo run --release -p ppdm-bench --bin fig_privacy_accuracy
 //! cargo run --release -p ppdm-bench --bin fig_privacy_accuracy -- --tiny   # CI smoke grid
@@ -14,7 +21,8 @@
 //! ```
 
 use ppdm_bench::{
-    render_discrete_frontier, render_frontier, run_discrete_sweep, run_sweep, Args, SweepConfig,
+    render_discrete_frontier, render_frontier, run_discrete_sweep, run_sweep, write_bench_json,
+    Args, SweepConfig,
 };
 use ppdm_datagen::LabelFunction;
 
@@ -60,7 +68,9 @@ fn main() {
     );
     print!("{}", render_frontier(&points));
 
-    if !cfg.discrete_keep_probs.is_empty() {
+    let discrete = if cfg.discrete_keep_probs.is_empty() {
+        Vec::new()
+    } else {
         let discrete = run_discrete_sweep(&cfg).expect("discrete grid over validated parameters");
         println!(
             "\n== Discrete frontier (randomized response on elevel, n={}, {} keep levels x 2 solvers) ==\n",
@@ -68,5 +78,20 @@ fn main() {
             cfg.discrete_keep_probs.len(),
         );
         print!("{}", render_discrete_frontier(&discrete));
+        discrete
+    };
+
+    #[derive(serde::Serialize)]
+    struct FrontierDump {
+        config: SweepConfig,
+        continuous: Vec<ppdm_bench::SweepPoint>,
+        discrete: Vec<ppdm_bench::DiscreteSweepPoint>,
+    }
+    match write_bench_json(
+        "privacy_frontier",
+        &FrontierDump { config: cfg, continuous: points, discrete },
+    ) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncould not write BENCH_privacy_frontier.json: {e}"),
     }
 }

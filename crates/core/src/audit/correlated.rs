@@ -1,0 +1,300 @@
+//! Correlated-attribute inference: a second randomized column sharpens
+//! the per-record posterior on the target column beyond anything the
+//! single-column metrics can account for.
+//!
+//! AS00 perturbs each column independently, and its privacy metrics are
+//! per-column. But an adversary with background knowledge of the
+//! *cross-column* distribution (a census joint, a public contingency
+//! table, or simply the reconstructed joint of an earlier release) can
+//! combine both perturbed values: `P(a | z_t, z_s) ∝ Σ_b J(a, b) *
+//! L_t(z_t | a) * L_s(z_s | b)`. When the joint factorizes
+//! (independent columns) this reduces *exactly* to the single-column
+//! attack — the side column cancels — so the attack can only help, and
+//! the gap over the single-column rate measures the correlation leak.
+
+use crate::domain::Partition;
+use crate::error::{Error, Result};
+use crate::randomize::NoiseDensity;
+
+use super::{bucket_likelihoods, map_index, BreachReport};
+
+/// A (normalized) joint prior over `(target bucket, side bucket)` pairs,
+/// row-major: `probs[a * side_len + b]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JointPrior {
+    target_len: usize,
+    side_len: usize,
+    probs: Vec<f64>,
+}
+
+impl JointPrior {
+    /// Builds a joint prior from nonnegative weights (normalized
+    /// internally; zero cells allowed, an all-zero table is not).
+    pub fn new(target_len: usize, side_len: usize, weights: &[f64]) -> Result<JointPrior> {
+        if weights.len() != target_len * side_len {
+            return Err(Error::LengthMismatch {
+                left: target_len * side_len,
+                right: weights.len(),
+            });
+        }
+        if let Some(bad) = weights.iter().find(|p| !p.is_finite() || **p < 0.0) {
+            return Err(Error::InvalidMass(format!(
+                "joint prior entries must be finite and >= 0, got {bad}"
+            )));
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(Error::InvalidMass("joint prior carries no mass".to_string()));
+        }
+        Ok(JointPrior { target_len, side_len, probs: weights.iter().map(|w| w / total).collect() })
+    }
+
+    /// The independence (product) joint of two marginals — the control
+    /// case under which [`CorrelatedLinkage`] reduces exactly to
+    /// [`super::PosteriorLinkage`].
+    pub fn product(target_marginal: &[f64], side_marginal: &[f64]) -> Result<JointPrior> {
+        let weights: Vec<f64> =
+            target_marginal.iter().flat_map(|a| side_marginal.iter().map(move |b| a * b)).collect();
+        JointPrior::new(target_marginal.len(), side_marginal.len(), &weights)
+    }
+
+    /// Empirical joint of two paired value columns bucketed through their
+    /// partitions — the "informed adversary" background knowledge used by
+    /// the audit sweep.
+    pub fn from_samples(
+        target_partition: &Partition,
+        side_partition: &Partition,
+        target_values: &[f64],
+        side_values: &[f64],
+    ) -> Result<JointPrior> {
+        if target_values.len() != side_values.len() {
+            return Err(Error::LengthMismatch {
+                left: target_values.len(),
+                right: side_values.len(),
+            });
+        }
+        let (ka, kb) = (target_partition.len(), side_partition.len());
+        let mut weights = vec![0.0; ka * kb];
+        for (&x, &y) in target_values.iter().zip(side_values) {
+            weights[target_partition.locate(x) * kb + side_partition.locate(y)] += 1.0;
+        }
+        JointPrior::new(ka, kb, &weights)
+    }
+
+    /// Number of target buckets.
+    pub fn target_len(&self) -> usize {
+        self.target_len
+    }
+
+    /// Number of side buckets.
+    pub fn side_len(&self) -> usize {
+        self.side_len
+    }
+
+    /// Marginal over target buckets — the prior the matching
+    /// single-column attack uses.
+    pub fn target_marginal(&self) -> Vec<f64> {
+        (0..self.target_len)
+            .map(|a| self.probs[a * self.side_len..(a + 1) * self.side_len].iter().sum())
+            .collect()
+    }
+
+    /// `P(target = a, side = b)`.
+    pub fn prob(&self, a: usize, b: usize) -> f64 {
+        self.probs[a * self.side_len + b]
+    }
+}
+
+/// The correlated two-column adversary: sees a perturbed target value
+/// and a perturbed side value per record plus the cross-column
+/// [`JointPrior`], and MAP-guesses each record's true *target* bucket.
+pub struct CorrelatedLinkage<'a> {
+    target_noise: &'a dyn NoiseDensity,
+    target_partition: Partition,
+    side_noise: &'a dyn NoiseDensity,
+    side_partition: Partition,
+    joint: JointPrior,
+}
+
+impl<'a> CorrelatedLinkage<'a> {
+    /// An adversary armed with both (public) channels, both attack
+    /// partitions, and the joint prior.
+    pub fn new(
+        target_noise: &'a dyn NoiseDensity,
+        target_partition: Partition,
+        side_noise: &'a dyn NoiseDensity,
+        side_partition: Partition,
+        joint: JointPrior,
+    ) -> Result<CorrelatedLinkage<'a>> {
+        if joint.target_len() != target_partition.len() {
+            return Err(Error::LengthMismatch {
+                left: target_partition.len(),
+                right: joint.target_len(),
+            });
+        }
+        if joint.side_len() != side_partition.len() {
+            return Err(Error::LengthMismatch {
+                left: side_partition.len(),
+                right: joint.side_len(),
+            });
+        }
+        Ok(CorrelatedLinkage { target_noise, target_partition, side_noise, side_partition, joint })
+    }
+
+    /// Unnormalized posterior scores over target buckets:
+    /// `score_a = L_t(z_t | a) * Σ_b J(a, b) * L_s(z_s | b)`.
+    fn scores(&self, observed_target: f64, observed_side: f64) -> Vec<f64> {
+        let kb = self.side_partition.len();
+        let mut side_lik = vec![0.0; kb];
+        bucket_likelihoods(self.side_noise, &self.side_partition, observed_side, &mut side_lik);
+        let mut target_lik = vec![0.0; self.target_partition.len()];
+        bucket_likelihoods(
+            self.target_noise,
+            &self.target_partition,
+            observed_target,
+            &mut target_lik,
+        );
+        target_lik
+            .iter()
+            .enumerate()
+            .map(|(a, lt)| {
+                let weighted: f64 =
+                    side_lik.iter().enumerate().map(|(b, ls)| self.joint.prob(a, b) * ls).sum();
+                lt * weighted
+            })
+            .collect()
+    }
+
+    /// Posterior over target buckets given both perturbed values
+    /// (all-zero when the pair is impossible under the joint prior).
+    pub fn posterior(&self, observed_target: f64, observed_side: f64) -> Vec<f64> {
+        let mut scores = self.scores(observed_target, observed_side);
+        let total: f64 = scores.iter().sum();
+        if total > 0.0 {
+            for s in scores.iter_mut() {
+                *s /= total;
+            }
+        }
+        scores
+    }
+
+    /// The adversary's MAP guess for one record's pair of perturbed
+    /// values.
+    pub fn map_guess(&self, observed_target: f64, observed_side: f64) -> Option<usize> {
+        map_index(&self.scores(observed_target, observed_side))
+    }
+
+    /// Runs the attack: per record, combine the perturbed target and
+    /// side values, guess the target bucket, score against the true
+    /// target values.
+    pub fn audit(
+        &self,
+        observed_target: &[f64],
+        observed_side: &[f64],
+        truth_target: &[f64],
+    ) -> Result<BreachReport> {
+        if observed_target.len() != observed_side.len() {
+            return Err(Error::LengthMismatch {
+                left: observed_target.len(),
+                right: observed_side.len(),
+            });
+        }
+        if observed_target.len() != truth_target.len() {
+            return Err(Error::LengthMismatch {
+                left: observed_target.len(),
+                right: truth_target.len(),
+            });
+        }
+        let mut report = BreachReport { records: truth_target.len(), hits: 0, undecided: 0 };
+        for ((&zt, &zs), &x) in observed_target.iter().zip(observed_side).zip(truth_target) {
+            match self.map_guess(zt, zs) {
+                Some(guess) if guess == self.target_partition.locate(x) => report.hits += 1,
+                Some(_) => {}
+                None => report.undecided += 1,
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::PosteriorLinkage;
+    use crate::domain::Domain;
+    use crate::randomize::NoiseModel;
+
+    fn part(cells: usize) -> Partition {
+        Partition::new(Domain::new(0.0, 100.0).unwrap(), cells).unwrap()
+    }
+
+    #[test]
+    fn joint_prior_validates_and_marginalizes() {
+        assert!(JointPrior::new(2, 2, &[1.0, 1.0]).is_err());
+        assert!(JointPrior::new(2, 2, &[0.0; 4]).is_err());
+        assert!(JointPrior::new(2, 2, &[1.0, f64::NAN, 1.0, 1.0]).is_err());
+        let j = JointPrior::new(2, 3, &[2.0, 0.0, 2.0, 1.0, 2.0, 1.0]).unwrap();
+        let m = j.target_marginal();
+        assert!((m[0] - 0.5).abs() < 1e-12 && (m[1] - 0.5).abs() < 1e-12, "{m:?}");
+        assert!((j.prob(0, 0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_joint_reduces_to_the_single_column_attack() {
+        // Independence is the control: the side likelihood factor is
+        // constant across target buckets and cancels on normalization,
+        // so posteriors and guesses match the single-column adversary
+        // exactly (up to float rounding).
+        let tn = NoiseModel::gaussian(12.0).unwrap();
+        let sn = NoiseModel::uniform(20.0).unwrap();
+        let ta = [0.1, 0.4, 0.3, 0.2];
+        let sa = [0.25, 0.5, 0.25];
+        let joint = JointPrior::product(&ta, &sa).unwrap();
+        let corr = CorrelatedLinkage::new(&tn, part(4), &sn, part(3), joint).unwrap();
+        let single = PosteriorLinkage::new(&tn, part(4), &ta).unwrap();
+        for (zt, zs) in [(10.0, 30.0), (55.0, 80.0), (97.0, 5.0), (-10.0, 110.0)] {
+            let pc = corr.posterior(zt, zs);
+            let ps = single.posterior(zt);
+            for (a, b) in pc.iter().zip(&ps) {
+                assert!((a - b).abs() < 1e-12, "posterior diverged: {pc:?} vs {ps:?}");
+            }
+            assert_eq!(corr.map_guess(zt, zs), single.map_guess(zt));
+        }
+    }
+
+    #[test]
+    fn perfect_correlation_with_clean_side_column_reveals_the_target() {
+        // Joint concentrated on the diagonal and an identity side
+        // channel: the side value alone pins the target bucket, however
+        // noisy the target channel is.
+        let tn = NoiseModel::gaussian(200.0).unwrap();
+        let sn = NoiseModel::None;
+        let diag = [1.0, 0.0, 0.0, 1.0];
+        let joint = JointPrior::new(2, 2, &diag).unwrap();
+        let corr = CorrelatedLinkage::new(&tn, part(2), &sn, part(2), joint).unwrap();
+        let truth = [10.0, 80.0, 30.0, 60.0];
+        let side = truth; // same bucket structure, observed unperturbed
+        let noisy_target = [400.0, -300.0, 250.0, -100.0]; // useless reports
+        let report = corr.audit(&noisy_target, &side, &truth).unwrap();
+        assert_eq!(report.hits, report.records, "{report:?}");
+    }
+
+    #[test]
+    fn from_samples_counts_pairs() {
+        let xs = [10.0, 10.0, 60.0, 60.0];
+        let ys = [10.0, 10.0, 60.0, 10.0];
+        let j = JointPrior::from_samples(&part(2), &part(2), &xs, &ys).unwrap();
+        assert!((j.prob(0, 0) - 0.5).abs() < 1e-12);
+        assert!((j.prob(1, 1) - 0.25).abs() < 1e-12);
+        assert!((j.prob(1, 0) - 0.25).abs() < 1e-12);
+        assert_eq!(j.prob(0, 1), 0.0);
+    }
+
+    #[test]
+    fn dimension_mismatches_are_rejected() {
+        let n = NoiseModel::gaussian(5.0).unwrap();
+        let joint = JointPrior::new(2, 2, &[1.0; 4]).unwrap();
+        assert!(CorrelatedLinkage::new(&n, part(3), &n, part(2), joint.clone()).is_err());
+        assert!(CorrelatedLinkage::new(&n, part(2), &n, part(3), joint).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Empirical privacy auditing: attack our own outputs and measure what
+//! actually leaks.
+//!
+//! AS00's privacy numbers — the shortest-interval metric of
+//! [`crate::privacy::interval`], the entropy metrics, the discrete
+//! posterior metrics — are *nominal*: they describe the randomization
+//! channel in isolation. The randomization-revisited literature
+//! (Mohaisen & Hong; the privacy-preserving-publishing surveys) shows
+//! that channel-side accounting can badly overstate protection once an
+//! adversary uses the *published reconstruction* as a prior, exploits
+//! correlation with a second randomized column, or sees the same client
+//! re-randomized across epochs. This module measures those gaps by
+//! running the attacks and counting breaches.
+//!
+//! Every attacker consumes only what a real adversary would see:
+//!
+//! * [`PosteriorLinkage`] / [`DiscreteLinkage`] — one perturbed report
+//!   per record plus the published (reconstructed) distribution; MAP
+//!   re-identification of each record's true bucket/state.
+//! * [`CorrelatedLinkage`] — two perturbed columns plus background
+//!   knowledge of the cross-column [`JointPrior`]; the side column
+//!   sharpens the target posterior beyond the single-column bound.
+//! * [`audit_snapshot_stream`] / [`audit_repeated`] — the streaming
+//!   attack: a client cohort re-perturbed every epoch, the adversary
+//!   holding each epoch's published posterior (e.g. collected from a
+//!   [`crate::serve::SnapshotReader`]) and every report so far;
+//!   likelihoods accumulate across epochs, so the cumulative breach rate
+//!   is monotone non-decreasing in the observation count.
+//!
+//! The attack outcome is a [`BreachReport`]: how many records the
+//! adversary re-identified, out of how many. Next to each empirical rate
+//! the module computes the matching *analytic* MAP rate
+//! ([`nominal_linkage_rate`], [`nominal_discrete_rate`]) — the
+//! single-shot success probability of the same adversary, predicted from
+//! the channel and prior alone. Empirical rates from richer adversaries
+//! (correlation, repetition) exceeding the nominal rate are exactly the
+//! leakage the nominal metrics do not see.
+//!
+//! Note the nominal MAP rate is *not* [`crate::privacy::discrete::posterior_breach`]:
+//! the breach is the worst single posterior entry (a per-record
+//! worst-case), while the MAP rate is the adversary's expected success
+//! over the population — always `<=` the breach. The sweep harness
+//! reports both.
+
+mod correlated;
+mod linkage;
+mod repeated;
+
+pub use correlated::{CorrelatedLinkage, JointPrior};
+pub use linkage::{nominal_discrete_rate, nominal_linkage_rate, DiscreteLinkage, PosteriorLinkage};
+pub use repeated::{audit_repeated, audit_snapshot_stream, EpochObservation};
+
+use crate::domain::Partition;
+use crate::error::{Error, Result};
+use crate::randomize::NoiseDensity;
+
+/// Outcome of one attack over a cohort of records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreachReport {
+    /// Records the attack was run against.
+    pub records: usize,
+    /// Records whose true bucket/state the adversary's MAP guess
+    /// identified correctly.
+    pub hits: usize,
+    /// Records on which the adversary could not form a posterior (every
+    /// candidate had zero likelihood x prior); counted as misses.
+    pub undecided: usize,
+}
+
+impl BreachReport {
+    /// Fraction of records breached (`0.0` for an empty cohort).
+    pub fn rate(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.records as f64
+        }
+    }
+}
+
+/// Validates an attacker prior over `expected` buckets/states and
+/// returns it normalized. Zero-mass entries are allowed (the adversary
+/// may know some buckets are empty); a prior with no mass at all is not.
+pub(crate) fn validated_prior(prior: &[f64], expected: usize) -> Result<Vec<f64>> {
+    if prior.len() != expected {
+        return Err(Error::LengthMismatch { left: expected, right: prior.len() });
+    }
+    if let Some(bad) = prior.iter().find(|p| !p.is_finite() || **p < 0.0) {
+        return Err(Error::InvalidMass(format!(
+            "attacker prior entries must be finite and >= 0, got {bad}"
+        )));
+    }
+    let total: f64 = prior.iter().sum();
+    if total <= 0.0 {
+        return Err(Error::InvalidMass("attacker prior carries no mass".to_string()));
+    }
+    Ok(prior.iter().map(|p| p / total).collect())
+}
+
+/// Per-bucket likelihood of one observed value `z` under the additive
+/// channel: `L_b(z) = P(z in dz | X in bucket b) = mass_between(z - hi_b,
+/// z - lo_b) / width_b` — the cell-average kernel, exact when the true
+/// value is uniform within its bucket (the same modeling assumption the
+/// reconstruction engine's `CellAverage` kernel makes).
+pub(crate) fn bucket_likelihoods(
+    noise: &dyn NoiseDensity,
+    partition: &Partition,
+    z: f64,
+    out: &mut [f64],
+) {
+    let w = partition.cell_width();
+    for (b, l) in out.iter_mut().enumerate() {
+        let (lo, hi) = partition.interval(b);
+        *l = noise.mass_between(z - hi, z - lo) / w;
+    }
+}
+
+/// Deterministic argmax: first index of the strictly largest positive
+/// score, or `None` when every score is zero (the undecidable case).
+pub(crate) fn map_index(scores: &[f64]) -> Option<usize> {
+    let mut best_i = None;
+    let mut best_s = 0.0;
+    for (i, &s) in scores.iter().enumerate() {
+        if s > best_s {
+            best_s = s;
+            best_i = Some(i);
+        }
+    }
+    best_i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::randomize::NoiseModel;
+
+    #[test]
+    fn breach_report_rate_handles_empty_cohorts() {
+        let empty = BreachReport { records: 0, hits: 0, undecided: 0 };
+        assert_eq!(empty.rate(), 0.0);
+        let half = BreachReport { records: 10, hits: 5, undecided: 1 };
+        assert!((half.rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validated_prior_normalizes_and_rejects_garbage() {
+        let p = validated_prior(&[2.0, 0.0, 6.0], 3).unwrap();
+        assert_eq!(p, vec![0.25, 0.0, 0.75]);
+        assert!(validated_prior(&[1.0, 1.0], 3).is_err());
+        assert!(validated_prior(&[0.0, 0.0], 2).is_err());
+        assert!(validated_prior(&[f64::NAN, 1.0], 2).is_err());
+        assert!(validated_prior(&[-0.5, 1.0], 2).is_err());
+    }
+
+    #[test]
+    fn identity_channel_likelihood_is_the_bucket_indicator() {
+        let partition = Partition::new(Domain::new(0.0, 10.0).unwrap(), 5).unwrap();
+        let mut l = vec![0.0; 5];
+        bucket_likelihoods(&NoiseModel::None, &partition, 3.0, &mut l);
+        // z = 3.0 lies in bucket 1 ([2, 4)); only that bucket's interval
+        // contains the (zero) noise offset.
+        assert!(l[1] > 0.0);
+        assert_eq!(l.iter().filter(|x| **x > 0.0).count(), 1);
+    }
+
+    #[test]
+    fn map_index_is_deterministic_and_none_on_all_zero() {
+        assert_eq!(map_index(&[0.0, 2.0, 2.0]), Some(1));
+        assert_eq!(map_index(&[0.0, 0.0]), None);
+        assert_eq!(map_index(&[1.0, 3.0, 2.0]), Some(1));
+    }
+}

@@ -1,0 +1,223 @@
+//! Repeated-observation averaging against the streaming/serve path.
+//!
+//! AS00's randomization is memoryless: if the same client's true value is
+//! re-perturbed with fresh noise every reporting epoch (the natural
+//! behaviour of the [`crate::serve`] ingest path under periodic
+//! re-submission), an adversary who records the stream accumulates
+//! independent likelihoods. After `T` epochs the effective noise shrinks
+//! like `1/sqrt(T)` and the single-shot privacy accounting is void.
+//!
+//! The attack consumes exactly what a snapshot-subscribing adversary
+//! would hold: for each epoch, the posterior the service published (via
+//! a [`crate::serve::SnapshotReader`]) and the cohort's perturbed
+//! reports for that epoch. Per record the log-likelihoods add across
+//! epochs; at every prefix length `T` the adversary guesses by MAP under
+//! the newest published prior. A record counts as *breached at `T`* if
+//! the guess was correct at **any** prefix `<= T` — privacy, once lost,
+//! stays lost — which makes the reported breach rate monotone
+//! non-decreasing in `T` by construction (the property test pins this).
+
+use crate::domain::Partition;
+use crate::error::{Error, Result};
+use crate::randomize::NoiseDensity;
+
+use super::{bucket_likelihoods, map_index, validated_prior, BreachReport};
+
+/// What the adversary holds for one epoch: the posterior published that
+/// epoch (the attack prior) and the cohort's perturbed reports.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochObservation<'a> {
+    /// The published per-bucket distribution for this epoch (e.g. the
+    /// histogram masses of a [`crate::serve::PosteriorSnapshot`]).
+    /// Normalized internally; zero-mass buckets allowed.
+    pub prior: &'a [f64],
+    /// One perturbed report per cohort record, in cohort order.
+    pub observed: &'a [f64],
+}
+
+/// Runs the repeated-observation attack over a snapshot stream and
+/// returns one cumulative [`BreachReport`] per prefix length `T = 1..=
+/// epochs.len()`.
+///
+/// Per record, log-likelihoods accumulate over epochs
+/// (`ln L_b(z_t)` summed per bucket); at prefix `T` the MAP guess uses
+/// epoch `T`'s published prior. `hits` at `T` counts records whose guess
+/// was correct at any prefix `<= T`. A report with zero likelihood in
+/// every bucket is uninformative and skipped (it neither helps nor
+/// poisons the accumulation); a record whose posterior is degenerate at
+/// `T` counts toward `undecided` unless already breached.
+pub fn audit_snapshot_stream(
+    noise: &dyn NoiseDensity,
+    partition: &Partition,
+    epochs: &[EpochObservation<'_>],
+    truth: &[f64],
+) -> Result<Vec<BreachReport>> {
+    if epochs.is_empty() {
+        return Err(Error::MissingInput { what: "at least one epoch of observations" });
+    }
+    let m = partition.len();
+    let priors: Vec<Vec<f64>> =
+        epochs.iter().map(|e| validated_prior(e.prior, m)).collect::<Result<_>>()?;
+    for e in epochs {
+        if e.observed.len() != truth.len() {
+            return Err(Error::LengthMismatch { left: e.observed.len(), right: truth.len() });
+        }
+    }
+    let n = truth.len();
+    let truth_buckets: Vec<usize> = truth.iter().map(|&x| partition.locate(x)).collect();
+    // Per-record accumulated log-likelihood per bucket.
+    let mut loglik = vec![0.0f64; n * m];
+    let mut breached = vec![false; n];
+    let mut lik = vec![0.0; m];
+    let mut scores = vec![0.0; m];
+    let mut reports = Vec::with_capacity(epochs.len());
+    for (epoch, prior) in epochs.iter().zip(&priors) {
+        for (i, &z) in epoch.observed.iter().enumerate() {
+            bucket_likelihoods(noise, partition, z, &mut lik);
+            if lik.iter().all(|&l| l <= 0.0) {
+                continue; // uninformative report; skip, don't poison
+            }
+            let row = &mut loglik[i * m..(i + 1) * m];
+            for (acc, &l) in row.iter_mut().zip(&lik) {
+                *acc += if l > 0.0 { l.ln() } else { f64::NEG_INFINITY };
+            }
+        }
+        let mut report = BreachReport { records: n, hits: 0, undecided: 0 };
+        for i in 0..n {
+            let row = &loglik[i * m..(i + 1) * m];
+            // Stabilize the exponentials around the row maximum; a row
+            // that is -inf everywhere the prior lives scores all-zero.
+            let peak = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            for ((s, &ll), &p) in scores.iter_mut().zip(row).zip(prior) {
+                *s = if ll.is_finite() && p > 0.0 { p * (ll - peak).exp() } else { 0.0 };
+            }
+            match map_index(&scores) {
+                Some(guess) if guess == truth_buckets[i] => breached[i] = true,
+                Some(_) => {}
+                None => {
+                    if !breached[i] {
+                        report.undecided += 1;
+                    }
+                }
+            }
+        }
+        report.hits = breached.iter().filter(|b| **b).count();
+        reports.push(report);
+    }
+    Ok(reports)
+}
+
+/// [`audit_snapshot_stream`] with one fixed published prior for every
+/// epoch — the common case where the adversary holds the final
+/// reconstruction and a backlog of per-epoch reports.
+pub fn audit_repeated(
+    noise: &dyn NoiseDensity,
+    partition: &Partition,
+    prior: &[f64],
+    epochs: &[Vec<f64>],
+    truth: &[f64],
+) -> Result<Vec<BreachReport>> {
+    let observations: Vec<EpochObservation<'_>> =
+        epochs.iter().map(|observed| EpochObservation { prior, observed }).collect();
+    audit_snapshot_stream(noise, partition, &observations, truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::randomize::{NoiseDensity, NoiseModel};
+
+    fn part(cells: usize) -> Partition {
+        Partition::new(Domain::new(0.0, 100.0).unwrap(), cells).unwrap()
+    }
+
+    /// A deterministic cohort: truth spread over the domain, each epoch
+    /// re-perturbed with a fresh seed.
+    fn cohort(n: usize, noise: &NoiseModel, epochs: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let truth: Vec<f64> = (0..n).map(|i| 0.5 + 99.0 * (i as f64 / n as f64)).collect();
+        let streams: Vec<Vec<f64>> = (0..epochs)
+            .map(|t| {
+                let mut noise_col = vec![0.0; n];
+                NoiseDensity::fill_noise(noise, seed.wrapping_add(t as u64), &mut noise_col);
+                truth.iter().zip(&noise_col).map(|(x, e)| x + e).collect()
+            })
+            .collect();
+        (streams, truth)
+    }
+
+    #[test]
+    fn cumulative_breach_is_monotone_and_grows_with_epochs() {
+        let noise = NoiseModel::gaussian(40.0).unwrap();
+        let (epochs, truth) = cohort(400, &noise, 12, 9);
+        let prior = vec![1.0; 10];
+        let reports = audit_repeated(&noise, &part(10), &prior, &epochs, &truth).unwrap();
+        assert_eq!(reports.len(), 12);
+        for w in reports.windows(2) {
+            assert!(w[1].hits >= w[0].hits, "cumulative hits regressed: {reports:?}");
+        }
+        // Heavy noise: single-shot linkage is weak, twelve observations
+        // are much stronger.
+        let first = reports[0].rate();
+        let last = reports[11].rate();
+        assert!(last > first + 0.1, "no repeated-observation gain: {first} -> {last}");
+    }
+
+    #[test]
+    fn per_epoch_priors_come_from_the_published_stream() {
+        let noise = NoiseModel::uniform(30.0).unwrap();
+        let (epochs, truth) = cohort(100, &noise, 3, 4);
+        // Priors sharpen across epochs, as a live service's would.
+        let priors = [vec![1.0; 5], vec![1.0, 2.0, 2.0, 2.0, 1.0], vec![1.0, 3.0, 3.0, 3.0, 1.0]];
+        let observations: Vec<EpochObservation<'_>> = epochs
+            .iter()
+            .zip(priors.iter())
+            .map(|(observed, prior)| EpochObservation { prior, observed })
+            .collect();
+        let reports = audit_snapshot_stream(&noise, &part(5), &observations, &truth).unwrap();
+        assert_eq!(reports.len(), 3);
+        for w in reports.windows(2) {
+            assert!(w[1].hits >= w[0].hits);
+        }
+    }
+
+    #[test]
+    fn uninformative_reports_do_not_poison_the_accumulation() {
+        let noise = NoiseModel::uniform(10.0).unwrap();
+        let truth = vec![60.0]; // bucket 2 of 4 over [0, 100]
+                                // Epoch 1: an impossible report (way outside the support) is
+                                // skipped — the adversary falls back to a prior-only guess
+                                // (bucket 0 under the uniform prior's tie-break), a miss but not
+                                // a poisoned accumulator. Epoch 2's clean report must breach.
+        let epochs = vec![vec![1e9], vec![60.0]];
+        let prior = vec![1.0; 4];
+        let reports = audit_repeated(&noise, &part(4), &prior, &epochs, &truth).unwrap();
+        assert_eq!(reports[0].hits, 0);
+        assert_eq!(reports[0].undecided, 0, "prior-only guessing is still a guess");
+        assert_eq!(reports[1].hits, 1, "{reports:?}");
+    }
+
+    #[test]
+    fn validates_epochs_priors_and_lengths() {
+        let noise = NoiseModel::gaussian(5.0).unwrap();
+        assert!(audit_repeated(&noise, &part(4), &[1.0; 4], &[], &[1.0]).is_err());
+        assert!(
+            audit_repeated(&noise, &part(4), &[1.0; 3], &[vec![1.0]], &[1.0]).is_err(),
+            "prior arity"
+        );
+        assert!(
+            audit_repeated(&noise, &part(4), &[1.0; 4], &[vec![1.0, 2.0]], &[1.0]).is_err(),
+            "cohort arity"
+        );
+    }
+
+    #[test]
+    fn identity_channel_breaches_in_one_epoch_and_stays() {
+        let noise = NoiseModel::None;
+        let truth: Vec<f64> = (0..50).map(|i| 1.0 + 2.0 * i as f64).collect();
+        let epochs = vec![truth.clone(), truth.clone()];
+        let reports = audit_repeated(&noise, &part(10), &[1.0; 10], &epochs, &truth).unwrap();
+        assert_eq!(reports[0].hits, 50);
+        assert_eq!(reports[1].hits, 50);
+    }
+}

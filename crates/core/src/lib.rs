@@ -27,6 +27,11 @@
 //!    backpressure, a background re-solver that periodically merges the
 //!    shard sketches and publishes warm-started posteriors, and
 //!    wait-free epoch-pinned snapshot readers.
+//! 6. [`audit`] — empirical privacy auditing: attacker models (posterior
+//!    record linkage, correlated-attribute inference, repeated-observation
+//!    averaging against the snapshot stream) that measure breach rates
+//!    against the published outputs, next to the nominal metrics of
+//!    [`privacy`].
 //!
 //! ## Example
 //!
@@ -55,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod domain;
 pub mod error;
 pub mod privacy;
@@ -64,6 +70,7 @@ pub mod serve;
 pub mod simd;
 pub mod stats;
 
+pub use audit::{BreachReport, CorrelatedLinkage, DiscreteLinkage, JointPrior, PosteriorLinkage};
 pub use domain::{Domain, Partition};
 pub use error::{Error, Result};
 pub use randomize::{

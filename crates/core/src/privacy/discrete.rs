@@ -4,9 +4,9 @@
 //! KDD'02; Mohaisen & Hong's revisit of association-rule randomization)
 //! measures categorical privacy through the channel's *posterior*: after
 //! seeing the randomized state, how confidently can an adversary infer
-//! the true one? Both quantities here fall straight out of
-//! [`DiscreteChannel::posterior_column`], so every channel — randomized
-//! response, the assoc partial-match channel, arbitrary
+//! the true one? Every quantity here is computed from the channel's
+//! transition matrix directly, so every channel — randomized response,
+//! the assoc partial-match channel, arbitrary
 //! [`crate::randomize::StochasticMatrix`] designs — gets them for free:
 //!
 //! * [`posterior_breach`] / [`posterior_breach_of`] — the worst-case
@@ -19,6 +19,19 @@
 //! * [`transition_entropy_bits`] — `H(O | T)` under a uniform prior, the
 //!   randomness the channel itself injects (the discrete analogue of
 //!   [`super::entropy::noise_entropy_bits`]).
+//!
+//! ## Degenerate priors
+//!
+//! A prior may carry zero-mass states (the adversary knows some states
+//! cannot occur) and need not be normalized. An observed state whose
+//! marginal under the prior is zero is *unobservable*: it contributes a
+//! well-defined 0 to every metric and is skipped, never divided by. The
+//! metrics deliberately bypass [`DiscreteChannel::posterior_column`]
+//! (an overridable trait method) and compute the joint columns inline,
+//! so a custom channel's unguarded override can neither inject `0/0 →
+//! NaN` posteriors into sweep tables nor silently zero a breach; a
+//! channel whose transition entries are non-finite is reported as
+//! [`Error::InvalidMass`] instead of propagating `NaN`.
 
 use crate::error::{Error, Result};
 use crate::randomize::DiscreteChannel;
@@ -40,15 +53,32 @@ fn validate_prior(channel: &dyn DiscreteChannel, prior: &[f64]) -> Result<f64> {
     Ok(total)
 }
 
-/// Marginal probability of each observed state under the prior:
-/// `P(O = o) = sum_t P(o | t) * prior_t / sum(prior)`.
-fn observed_marginals(channel: &dyn DiscreteChannel, prior: &[f64], total: f64) -> Vec<f64> {
-    let k = channel.states();
-    (0..k)
-        .map(|o| {
-            prior.iter().enumerate().map(|(t, p)| channel.transition(o, t) * p).sum::<f64>() / total
+/// Unnormalized joint column for one observed state:
+/// `joint_t = P(o | t) * prior_t`, plus its total (the unnormalized
+/// observed marginal). Errors on non-finite transition entries — the
+/// only way a `NaN` could otherwise sneak through the zero-total skip
+/// check and poison a downstream table.
+///
+/// Computed from [`DiscreteChannel::transition`] directly rather than
+/// the overridable `posterior_column`, so custom overrides cannot change
+/// (or break) the metric semantics.
+fn joint_column(channel: &dyn DiscreteChannel, prior: &[f64], o: usize) -> Result<(Vec<f64>, f64)> {
+    let mut total = 0.0;
+    let joint: Vec<f64> = prior
+        .iter()
+        .enumerate()
+        .map(|(t, p)| {
+            let j = channel.transition(o, t) * p;
+            total += j;
+            j
         })
-        .collect()
+        .collect();
+    if !total.is_finite() {
+        return Err(Error::InvalidMass(format!(
+            "channel produced a non-finite likelihood for observed state {o}"
+        )));
+    }
+    Ok((joint, total))
 }
 
 /// Worst-case posterior probability of *any* true state: the maximum of
@@ -57,18 +87,19 @@ fn observed_marginals(channel: &dyn DiscreteChannel, prior: &[f64], total: f64) 
 /// true state with certainty (e.g. the identity channel).
 ///
 /// `prior` is the adversary's marginal over true states (any nonnegative
-/// weighting; it is normalized internally).
+/// weighting; it is normalized internally). Zero-mass prior states are
+/// permitted: an observed state that cannot occur under the prior is
+/// skipped as a well-defined 0 contribution, never divided by.
 pub fn posterior_breach(channel: &dyn DiscreteChannel, prior: &[f64]) -> Result<f64> {
-    let total = validate_prior(channel, prior)?;
-    let marginals = observed_marginals(channel, prior, total);
+    validate_prior(channel, prior)?;
     let mut worst = 0.0f64;
-    for (o, &m) in marginals.iter().enumerate() {
-        if m <= 0.0 {
+    for o in 0..channel.states() {
+        let (joint, total) = joint_column(channel, prior, o)?;
+        if total <= 0.0 {
             continue; // unobservable under this prior
         }
-        let post = channel.posterior_column(prior, o)?;
-        for p in post {
-            worst = worst.max(p);
+        for j in joint {
+            worst = worst.max(j / total);
         }
     }
     Ok(worst)
@@ -86,14 +117,14 @@ pub fn posterior_breach_of(
     if truth >= channel.states() {
         return Err(Error::StateOutOfRange { state: truth, states: channel.states() });
     }
-    let total = validate_prior(channel, prior)?;
-    let marginals = observed_marginals(channel, prior, total);
+    validate_prior(channel, prior)?;
     let mut worst = 0.0f64;
-    for (o, &m) in marginals.iter().enumerate() {
-        if m <= 0.0 {
+    for o in 0..channel.states() {
+        let (joint, total) = joint_column(channel, prior, o)?;
+        if total <= 0.0 {
             continue;
         }
-        worst = worst.max(channel.posterior_column(prior, o)?[truth]);
+        worst = worst.max(joint[truth] / total);
     }
     Ok(worst)
 }
@@ -103,16 +134,16 @@ pub fn posterior_breach_of(
 /// the randomized one. `0` for the identity channel; `H(prior)` for a
 /// channel whose output is independent of its input.
 pub fn posterior_entropy_bits(channel: &dyn DiscreteChannel, prior: &[f64]) -> Result<f64> {
-    let total = validate_prior(channel, prior)?;
-    let marginals = observed_marginals(channel, prior, total);
+    let prior_total = validate_prior(channel, prior)?;
     let mut h = 0.0;
-    for (o, &m) in marginals.iter().enumerate() {
-        if m <= 0.0 {
+    for o in 0..channel.states() {
+        let (joint, total) = joint_column(channel, prior, o)?;
+        if total <= 0.0 {
             continue;
         }
-        let post = channel.posterior_column(prior, o)?;
-        let h_post: f64 = post.iter().filter(|p| **p > 0.0).map(|p| -p * p.log2()).sum();
-        h += m * h_post;
+        let h_post: f64 =
+            joint.iter().map(|j| j / total).filter(|p| *p > 0.0).map(|p| -p * p.log2()).sum();
+        h += (total / prior_total) * h_post;
     }
     Ok(h)
 }
@@ -217,6 +248,75 @@ mod tests {
         assert!(posterior_breach(&channel, &[0.0, 0.0, 0.0]).is_err());
         assert!(posterior_breach(&channel, &[-1.0, 1.0, 1.0]).is_err());
         assert!(posterior_breach_of(&channel, &[1.0, 1.0, 1.0], 3).is_err());
+    }
+
+    #[test]
+    fn zero_mass_prior_states_are_well_defined() {
+        // Prior zeroing out the middle state of a 3-state RR channel:
+        // every metric must stay finite, the dead state's posterior mass
+        // is exactly 0 everywhere, and the remaining metrics match the
+        // hand computation over the live states.
+        let channel = rr(3, 0.6);
+        let prior = [0.5, 0.0, 0.5];
+        let breach = posterior_breach(&channel, &prior).unwrap();
+        assert!(breach.is_finite(), "breach {breach}");
+        // Keep 0.6 over 3 states: diag = 0.6 + 0.4/3, off = 0.4/3.
+        // Observing state 0: joint = (0.7333*0.5, 0, 0.1333*0.5), so the
+        // posterior of the true state is 0.7333/(0.7333+0.1333) = 11/13.
+        assert!((breach - 11.0 / 13.0).abs() < 1e-12, "breach {breach}");
+        assert_eq!(posterior_breach_of(&channel, &prior, 1).unwrap(), 0.0);
+        let h = posterior_entropy_bits(&channel, &prior).unwrap();
+        assert!(h.is_finite() && h > 0.0, "H(T|O) {h}");
+    }
+
+    #[test]
+    fn non_finite_transitions_error_instead_of_poisoning() {
+        /// A broken custom channel whose transition matrix emits NaN —
+        /// exactly what the inline joint computation must refuse to fold
+        /// into a `0/0`-style silent zero.
+        struct Broken;
+        impl crate::randomize::DiscreteChannel for Broken {
+            fn states(&self) -> usize {
+                2
+            }
+            fn transition(&self, observed: usize, truth: usize) -> f64 {
+                if observed == 1 && truth == 1 {
+                    f64::NAN
+                } else {
+                    0.5
+                }
+            }
+        }
+        assert!(posterior_breach(&Broken, &[0.5, 0.5]).is_err());
+        assert!(posterior_breach_of(&Broken, &[0.5, 0.5], 0).is_err());
+        assert!(posterior_entropy_bits(&Broken, &[0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn metrics_ignore_posterior_column_overrides() {
+        /// A channel whose `posterior_column` override divides blindly
+        /// (the historical NaN source). The metrics must not consult it.
+        struct UnguardedOverride;
+        impl crate::randomize::DiscreteChannel for UnguardedOverride {
+            fn states(&self) -> usize {
+                2
+            }
+            fn transition(&self, observed: usize, truth: usize) -> f64 {
+                if observed == truth {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            fn posterior_column(&self, _prior: &[f64], _observed: usize) -> Result<Vec<f64>> {
+                Ok(vec![f64::NAN; 2])
+            }
+        }
+        // Identity transitions + a prior dead on state 1: breach is 1.0
+        // (state 0 fully revealed), never NaN from the override.
+        let b = posterior_breach(&UnguardedOverride, &[1.0, 0.0]).unwrap();
+        assert_eq!(b, 1.0);
+        assert_eq!(posterior_entropy_bits(&UnguardedOverride, &[1.0, 0.0]).unwrap(), 0.0);
     }
 
     #[test]

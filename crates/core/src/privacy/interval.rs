@@ -13,9 +13,13 @@
 //!
 //! * [`shortest_interval_width`] — the general metric: minimizes the
 //!   interval width over *all* placements, not just centered ones. The
-//!   placement search assumes the channel density is unimodal (true for
-//!   every additive channel in this workspace); for multimodal custom
-//!   channels the result is an upper bound on the true shortest width.
+//!   placement search picks its strategy from
+//!   [`NoiseDensity::unimodal`]: channels that claim a single mode get
+//!   the fast coarse-grid + ternary refinement, everything else goes
+//!   through a guaranteed piecewise scan that refines *every* local
+//!   maximum of the interval-mass function — so multimodal custom
+//!   channels can no longer have their privacy silently overstated by a
+//!   search that converged on the wrong mode.
 //! * [`centered_width`] — the centered special case, exact (up to
 //!   bisection tolerance) for symmetric unimodal channels, where the
 //!   centered interval *is* the shortest.
@@ -60,30 +64,17 @@ pub fn centered_width(noise: &dyn NoiseDensity, confidence: f64) -> Result<f64> 
     Ok(2.0 * 0.5 * (lo + hi))
 }
 
-/// Largest interval mass achievable with an interval of width `w` whose
-/// left edge lies in `[-span, span - w]`: coarse grid scan plus ternary
-/// refinement (the mass is unimodal in the placement for unimodal
-/// densities).
-fn best_mass_at_width(noise: &dyn NoiseDensity, span: f64, w: f64) -> f64 {
-    let lo = -span;
-    let hi = span - w;
-    if hi <= lo {
-        return noise.mass_between(-span, span);
-    }
-    let step = (hi - lo) / PLACEMENT_GRID as f64;
-    let mut best_idx = 0;
-    let mut best = f64::NEG_INFINITY;
-    for i in 0..=PLACEMENT_GRID {
-        let a = lo + i as f64 * step;
-        let mass = noise.mass_between(a, a + w);
-        if mass > best {
-            best = mass;
-            best_idx = i;
-        }
-    }
-    // Ternary search on the bracket around the best grid point.
-    let mut left = lo + best_idx.saturating_sub(1) as f64 * step;
-    let mut right = lo + ((best_idx + 1).min(PLACEMENT_GRID)) as f64 * step;
+/// Placement-grid size of the guaranteed piecewise scan used for
+/// densities that do not claim unimodality. Fine enough that every local
+/// maximum of the interval-mass function wider than `2 * span / 2048`
+/// brackets at least one grid point; the ternary refinements then
+/// converge inside each bracket.
+const SCAN_GRID: usize = 2048;
+
+/// Ternary-search refinement of the interval-mass function over the
+/// placement bracket `[left, right]`; valid when the bracket contains a
+/// single local maximum. Returns the best mass found.
+fn refine_placement(noise: &dyn NoiseDensity, w: f64, mut left: f64, mut right: f64) -> f64 {
     for _ in 0..BISECT_STEPS {
         let m1 = left + (right - left) / 3.0;
         let m2 = right - (right - left) / 3.0;
@@ -94,18 +85,72 @@ fn best_mass_at_width(noise: &dyn NoiseDensity, span: f64, w: f64) -> f64 {
         }
     }
     let a = 0.5 * (left + right);
-    noise.mass_between(a, a + w).max(best)
+    noise.mass_between(a, a + w)
+}
+
+/// Largest interval mass achievable with an interval of width `w` whose
+/// left edge lies in `[-span, span - w]`.
+///
+/// `unimodal == true`: coarse grid scan plus one ternary refinement
+/// around the best grid point — the interval mass is unimodal in the
+/// placement, so the refined bracket contains the global optimum.
+///
+/// `unimodal == false`: the guaranteed piecewise scan — a fine grid over
+/// every placement, then a ternary refinement inside *every* bracket
+/// whose center is a local maximum of the sampled mass. A single ternary
+/// search on a multimodal mass function can converge to a minor mode and
+/// underestimate the best mass, which makes the width bisection above
+/// overstate the shortest interval (and hence the privacy); refining all
+/// local maxima removes that failure mode for any density whose mass
+/// peaks are wider than the grid step.
+fn best_mass_at_width(noise: &dyn NoiseDensity, span: f64, w: f64, unimodal: bool) -> f64 {
+    let lo = -span;
+    let hi = span - w;
+    if hi <= lo {
+        return noise.mass_between(-span, span);
+    }
+    let grid = if unimodal { PLACEMENT_GRID } else { SCAN_GRID };
+    let step = (hi - lo) / grid as f64;
+    let masses: Vec<f64> = (0..=grid)
+        .map(|i| {
+            let a = lo + i as f64 * step;
+            noise.mass_between(a, a + w)
+        })
+        .collect();
+    let bracket =
+        |i: usize| (lo + i.saturating_sub(1) as f64 * step, lo + ((i + 1).min(grid)) as f64 * step);
+    let mut best = masses.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if unimodal {
+        let best_idx =
+            masses.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map_or(0, |(i, _)| i);
+        let (left, right) = bracket(best_idx);
+        return refine_placement(noise, w, left, right).max(best);
+    }
+    for i in 0..=grid {
+        let here = masses[i];
+        // Strict rise on the left collapses plateaus to their left edge
+        // (the refinement bracket still spans both neighbours, so a peak
+        // hiding between two equal samples is covered).
+        let rises_left = i == 0 || masses[i - 1] < here;
+        let falls_right = i == grid || masses[i + 1] <= here;
+        if rises_left && falls_right {
+            let (left, right) = bracket(i);
+            best = best.max(refine_placement(noise, w, left, right));
+        }
+    }
+    best
 }
 
 /// Width of the shortest interval holding the noise with the given
 /// confidence — AS00's privacy metric, for any [`NoiseDensity`].
 ///
 /// The outer bisection is on the width; feasibility of a width is decided
-/// by the best placement found for that width (grid scan + ternary
-/// refinement over the interval-mass function). Saturates at
-/// `2 * span` when the confidence exceeds the mass captured by the
-/// effective support (relevant only for extremely high confidence on
-/// unbounded channels).
+/// by the best placement found for that width. The placement search is
+/// the fast grid + ternary refinement when the channel claims
+/// [`NoiseDensity::unimodal`], and the guaranteed piecewise scan (every
+/// local maximum refined) otherwise. Saturates at `2 * span` when the
+/// confidence exceeds the mass captured by the effective support
+/// (relevant only for extremely high confidence on unbounded channels).
 ///
 /// # Example
 ///
@@ -129,10 +174,11 @@ pub fn shortest_interval_width(noise: &dyn NoiseDensity, confidence: f64) -> Res
     if noise.mass_between(-span, span) < confidence {
         return Ok(2.0 * span);
     }
+    let unimodal = noise.unimodal();
     let (mut lo, mut hi) = (0.0_f64, 2.0 * span);
     for _ in 0..BISECT_STEPS {
         let w = 0.5 * (lo + hi);
-        if best_mass_at_width(noise, span, w) < confidence {
+        if best_mass_at_width(noise, span, w, unimodal) < confidence {
             lo = w;
         } else {
             hi = w;
@@ -218,6 +264,133 @@ mod tests {
             }
         }
         assert_eq!(shortest_interval_width(&Half, 0.9).unwrap(), 2.0);
+    }
+
+    /// Uniform mass on the union of two disjoint intervals — a "spike and
+    /// slab": `weight` of the mass on a narrow spike `[s_lo, s_hi]`, the
+    /// rest on a broad slab `[b_lo, b_hi]`.
+    struct SpikeAndSlab {
+        spike: (f64, f64),
+        slab: (f64, f64),
+        weight: f64,
+    }
+
+    impl SpikeAndSlab {
+        fn overlap((lo, hi): (f64, f64), a: f64, b: f64) -> f64 {
+            (b.min(hi) - a.max(lo)).max(0.0) / (hi - lo)
+        }
+    }
+
+    impl NoiseDensity for SpikeAndSlab {
+        fn density(&self, y: f64) -> f64 {
+            let spike = if (self.spike.0..=self.spike.1).contains(&y) {
+                self.weight / (self.spike.1 - self.spike.0)
+            } else {
+                0.0
+            };
+            let slab = if (self.slab.0..=self.slab.1).contains(&y) {
+                (1.0 - self.weight) / (self.slab.1 - self.slab.0)
+            } else {
+                0.0
+            };
+            spike + slab
+        }
+        fn mass_between(&self, a: f64, b: f64) -> f64 {
+            self.weight * Self::overlap(self.spike, a, b)
+                + (1.0 - self.weight) * Self::overlap(self.slab, a, b)
+        }
+        fn span(&self) -> f64 {
+            self.spike.1.abs().max(self.slab.0.abs()).max(self.slab.1.abs())
+        }
+    }
+
+    /// The same density *claiming* unimodality — this routes it through
+    /// the pre-fix fast path (coarse grid + single ternary search), which
+    /// is exactly the old behaviour of `shortest_interval_width`.
+    struct ClaimsUnimodal(SpikeAndSlab);
+
+    impl NoiseDensity for ClaimsUnimodal {
+        fn density(&self, y: f64) -> f64 {
+            self.0.density(y)
+        }
+        fn mass_between(&self, a: f64, b: f64) -> f64 {
+            self.0.mass_between(a, b)
+        }
+        fn span(&self) -> f64 {
+            self.0.span()
+        }
+        fn unimodal(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn multimodal_spike_is_found_by_the_guaranteed_scan() {
+        // 55% of the mass on a width-0.01 spike at +3 (interior, nowhere
+        // near the support edges), 45% on a broad slab over [-9, -1]. The
+        // shortest 50% interval sits inside the spike: width =
+        // 0.5 / 0.55 * 0.01 ~ 0.0091. The spike is far narrower than the
+        // old 128-point placement grid's step (2 * span / 128 ~ 0.14), so
+        // the old search's single ternary refinement converges on the
+        // slab and reports ~0.125 — overstating the width, and hence the
+        // privacy, by ~14x.
+        let noise = SpikeAndSlab { spike: (2.995, 3.005), slab: (-9.0, -1.0), weight: 0.55 };
+        let truth = 0.5 / 0.55 * 0.01;
+        let w = shortest_interval_width(&noise, 0.5).unwrap();
+        assert!(
+            (w - truth).abs() < 1e-3,
+            "guaranteed scan missed the spike: got {w}, want {truth}"
+        );
+
+        // The regression half: the identical density through the old
+        // unimodal-only search returns a much larger width. If this
+        // assertion ever fails, the fast path has become safe for
+        // multimodal densities and the scan routing can be revisited.
+        let old = shortest_interval_width(
+            &ClaimsUnimodal(SpikeAndSlab {
+                spike: (2.995, 3.005),
+                slab: (-9.0, -1.0),
+                weight: 0.55,
+            }),
+            0.5,
+        )
+        .unwrap();
+        assert!(
+            old > 10.0 * truth,
+            "old ternary-only search unexpectedly found the spike: {old} vs {truth}"
+        );
+    }
+
+    #[test]
+    fn scan_and_fast_path_agree_on_unimodal_densities() {
+        // A density-only wrapper hides `NoiseModel`'s unimodality claim,
+        // forcing the guaranteed scan; both searches must agree.
+        struct Hidden(NoiseModel);
+        impl NoiseDensity for Hidden {
+            fn density(&self, y: f64) -> f64 {
+                NoiseModel::density(&self.0, y)
+            }
+            fn mass_between(&self, a: f64, b: f64) -> f64 {
+                NoiseModel::mass_between(&self.0, a, b)
+            }
+            fn span(&self) -> f64 {
+                NoiseModel::span(&self.0)
+            }
+        }
+        for model in [
+            NoiseModel::uniform(8.0).unwrap(),
+            NoiseModel::gaussian(5.0).unwrap(),
+            NoiseModel::laplace(4.0).unwrap(),
+        ] {
+            for c in [0.5, 0.95] {
+                let fast = shortest_interval_width(&model, c).unwrap();
+                let scanned = shortest_interval_width(&Hidden(model), c).unwrap();
+                assert!(
+                    (fast - scanned).abs() < 1e-6 * fast.max(1.0),
+                    "{model:?} at {c}: fast {fast} vs scanned {scanned}"
+                );
+            }
+        }
     }
 
     #[test]

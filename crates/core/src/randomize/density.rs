@@ -97,6 +97,18 @@ pub trait NoiseDensity: Send + Sync {
         false
     }
 
+    /// Whether the density has a single mode. Placement searches in
+    /// [`crate::privacy::interval`] may use a fast coarse-grid + ternary
+    /// refinement when this returns `true`; the conservative default
+    /// (`false`) routes custom channels through the guaranteed piecewise
+    /// scan, which is slower but correct for any density shape. Only
+    /// claim unimodality when the interval-mass function
+    /// `w -> mass_between(a, a + w)` is unimodal in the placement `a` for
+    /// every width — true exactly when the density has one mode.
+    fn unimodal(&self) -> bool {
+        false
+    }
+
     /// Stable identity for likelihood-kernel caching, or `None` to opt
     /// out (kernels are then rebuilt per reconstruction call).
     fn fingerprint(&self) -> Option<NoiseFingerprint> {
@@ -148,6 +160,12 @@ impl NoiseDensity for NoiseModel {
 
     fn is_identity(&self) -> bool {
         self.is_none()
+    }
+
+    fn unimodal(&self) -> bool {
+        // Every built-in family is zero-mean with a single mode at the
+        // origin (the mixture's components share that mode).
+        true
     }
 
     fn fingerprint(&self) -> Option<NoiseFingerprint> {

@@ -155,6 +155,11 @@ impl NoiseDensity for Laplace {
         Laplace::span(self)
     }
 
+    fn unimodal(&self) -> bool {
+        // Single mode at the origin.
+        true
+    }
+
     fn fingerprint(&self) -> Option<NoiseFingerprint> {
         Some(NoiseFingerprint::new("laplace", self.scale, 0.0))
     }

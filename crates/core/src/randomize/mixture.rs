@@ -175,6 +175,12 @@ impl NoiseDensity for GaussianMixture {
         GaussianMixture::span(self)
     }
 
+    fn unimodal(&self) -> bool {
+        // Both components are zero-mean, so the mixture keeps a single
+        // mode at the origin regardless of weights and sigmas.
+        true
+    }
+
     fn fingerprint(&self) -> Option<NoiseFingerprint> {
         Some(NoiseFingerprint::with_params(
             "gauss-mix",

@@ -164,9 +164,12 @@ pub struct ServiceStats {
     /// Background solves that failed (the service keeps running; the
     /// last error surfaces in [`ServeReport::solve_error`]).
     pub solve_errors: u64,
-    /// Time since the re-solver last completed a drain cycle — the time
-    /// half of the staleness bound (≈ `resolve_interval` in steady
-    /// state).
+    /// Age of the published posterior coverage — the time half of the
+    /// staleness bound. Once a snapshot exists (`epoch >= 1`) this is the
+    /// time since the re-solver last completed a drain cycle
+    /// (≈ `resolve_interval` in steady state); before the first publish
+    /// it is the time since the service started, because a service that
+    /// has never published is maximally stale, not fresh.
     pub staleness: Duration,
     /// Recycling-pool counters.
     pub pool: PoolStats,
@@ -382,6 +385,17 @@ impl IngestService {
         let solved_records = self.counters.solved_records.load(Ordering::Relaxed);
         let last_cycle = self.counters.last_cycle_nanos.load(Ordering::Relaxed);
         let elapsed = self.started.elapsed().as_nanos() as u64;
+        let epoch = self.cell.epoch();
+        // Until the first publish there is no posterior to be fresh:
+        // report the full service age. Empty resolver cycles stamp
+        // `last_cycle_nanos` without publishing anything, so without this
+        // guard a service that has never solved would claim near-zero
+        // staleness.
+        let staleness = if epoch == 0 {
+            Duration::from_nanos(elapsed)
+        } else {
+            Duration::from_nanos(elapsed.saturating_sub(last_cycle))
+        };
         ServiceStats {
             admitted_batches: self.counters.admitted_batches.load(Ordering::Relaxed),
             admitted_records,
@@ -389,10 +403,10 @@ impl IngestService {
             ingested_records: self.counters.ingested_records.load(Ordering::Relaxed),
             solved_records,
             records_behind: admitted_records.saturating_sub(solved_records),
-            epoch: self.cell.epoch(),
+            epoch,
             solves: self.counters.solves.load(Ordering::Relaxed),
             solve_errors: self.counters.solve_errors.load(Ordering::Relaxed),
-            staleness: Duration::from_nanos(elapsed.saturating_sub(last_cycle)),
+            staleness,
             pool: self.pool.stats(),
         }
     }

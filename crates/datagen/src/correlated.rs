@@ -1,0 +1,136 @@
+//! Tunable-correlation column pairs for the audit harness.
+//!
+//! The AIS92 benchmark has one built-in cross-column dependency
+//! (commission is a deterministic function of the salary band), which is
+//! what the bench sweep's correlated-attribute audit exploits. For
+//! *controlled* experiments — property tests that need correlation as a
+//! dial rather than a fixed artifact — this module generates a pair of
+//! continuous columns over one domain whose linear correlation is set by
+//! `rho`:
+//!
+//! * the **target** column is bimodal (two Gaussian humps at the domain's
+//!   quarter points), so a MAP adversary has a non-trivial prior to use;
+//! * the **side** column is `mid + rho * (x - mid) + sqrt(1 - rho^2) *
+//!   spread * g` with `g` standard Gaussian, clamped to the domain.
+//!
+//! At `rho = 0` the columns are independent, so the empirical
+//! [`ppdm_core::audit::JointPrior`] factorizes and the correlated attack
+//! collapses to the single-column one; at `rho -> 1` the side column
+//! pins the target and the correlated breach rate pulls far ahead. The
+//! audit property suite sweeps exactly that dial.
+
+use ppdm_core::domain::Domain;
+use ppdm_core::error::{Error, Result};
+use ppdm_core::randomize::{NoiseDensity, NoiseModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A paired sample of two columns over the same domain with tunable
+/// linear correlation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelatedPair {
+    /// The attack target column (bimodal over the domain).
+    pub target: Vec<f64>,
+    /// The correlated side column the adversary observes alongside it.
+    pub side: Vec<f64>,
+}
+
+/// Generates `n` paired `(target, side)` values over `domain` with
+/// correlation knob `rho` in `[-1, 1]`, deterministically from `seed`.
+pub fn correlated_pair(n: usize, domain: Domain, rho: f64, seed: u64) -> Result<CorrelatedPair> {
+    if !rho.is_finite() || !(-1.0..=1.0).contains(&rho) {
+        return Err(Error::InvalidProbability { name: "rho", value: rho });
+    }
+    let (lo, hi) = (domain.lo(), domain.hi());
+    let width = hi - lo;
+    let mid = lo + width / 2.0;
+    // Mode spread narrow enough to keep the two humps distinct, side
+    // spread wide enough that the rho = 0 column covers the domain.
+    let mode_sd = width / 12.0;
+    let side_spread = width / 4.0;
+
+    let mut hump = vec![0.0; n];
+    let mut residual = vec![0.0; n];
+    NoiseDensity::fill_noise(&NoiseModel::gaussian(mode_sd)?, seed ^ 0x9e37_79b9, &mut hump);
+    NoiseDensity::fill_noise(
+        &NoiseModel::gaussian(side_spread)?,
+        seed ^ 0x85eb_ca6b,
+        &mut residual,
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let clamp = |v: f64| v.clamp(lo, hi);
+    let mut target = Vec::with_capacity(n);
+    let mut side = Vec::with_capacity(n);
+    let scale = (1.0 - rho * rho).sqrt();
+    for i in 0..n {
+        let center = if rng.gen_bool(0.5) { lo + 0.25 * width } else { lo + 0.75 * width };
+        let x = clamp(center + hump[i]);
+        target.push(x);
+        side.push(clamp(mid + rho * (x - mid) + scale * residual[i]));
+    }
+    Ok(CorrelatedPair { target, side })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+        let n = xs.len() as f64;
+        let (mx, my) = (xs.iter().sum::<f64>() / n, ys.iter().sum::<f64>() / n);
+        let mut cov = 0.0;
+        let mut vx = 0.0;
+        let mut vy = 0.0;
+        for (&x, &y) in xs.iter().zip(ys) {
+            cov += (x - mx) * (y - my);
+            vx += (x - mx) * (x - mx);
+            vy += (y - my) * (y - my);
+        }
+        cov / (vx * vy).sqrt()
+    }
+
+    fn domain() -> Domain {
+        Domain::new(0.0, 100.0).unwrap()
+    }
+
+    #[test]
+    fn rho_dials_the_sample_correlation() {
+        for (rho, lo, hi) in [(0.0, -0.1, 0.1), (0.9, 0.75, 0.99), (-0.8, -0.95, -0.6)] {
+            let pair = correlated_pair(4_000, domain(), rho, 11).unwrap();
+            let r = pearson(&pair.target, &pair.side);
+            assert!(r > lo && r < hi, "rho {rho} produced sample correlation {r}");
+        }
+    }
+
+    #[test]
+    fn values_stay_inside_the_domain_and_are_deterministic() {
+        let a = correlated_pair(1_000, domain(), 0.7, 5).unwrap();
+        let b = correlated_pair(1_000, domain(), 0.7, 5).unwrap();
+        assert_eq!(a, b);
+        for v in a.target.iter().chain(&a.side) {
+            assert!((0.0..=100.0).contains(v), "escaped the domain: {v}");
+        }
+        let c = correlated_pair(1_000, domain(), 0.7, 6).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn target_is_bimodal() {
+        // Quarter-point humps: the middle fifth of the domain should be
+        // nearly empty, both outer modes well populated.
+        let pair = correlated_pair(4_000, domain(), 0.5, 17).unwrap();
+        let central =
+            pair.target.iter().filter(|x| (40.0..60.0).contains(*x)).count() as f64 / 4_000.0;
+        let low = pair.target.iter().filter(|x| **x < 40.0).count() as f64 / 4_000.0;
+        assert!(central < 0.1, "central mass {central}");
+        assert!((0.35..0.65).contains(&low), "low-mode mass {low}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_rho() {
+        assert!(correlated_pair(10, domain(), 1.5, 1).is_err());
+        assert!(correlated_pair(10, domain(), f64::NAN, 1).is_err());
+        assert!(correlated_pair(10, domain(), 1.0, 1).is_ok());
+    }
+}

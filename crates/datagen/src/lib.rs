@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod attribute;
+pub mod correlated;
 pub mod csv;
 pub mod functions;
 pub mod generator;
@@ -30,6 +31,7 @@ pub mod record;
 pub mod stream;
 
 pub use attribute::{Attribute, NUM_ATTRIBUTES};
+pub use correlated::{correlated_pair, CorrelatedPair};
 pub use functions::LabelFunction;
 pub use generator::{generate, generate_record, generate_train_test, with_label_noise};
 pub use perturb::{perturb_labels, PerturbPlan};

@@ -245,6 +245,49 @@ fn backpressure_floods_lose_nothing() {
 }
 
 #[test]
+fn staleness_tracks_service_age_until_the_first_publish() {
+    // A service with a fast resolver but no ingest never publishes
+    // (empty drains are skipped), yet every resolver cycle stamps its
+    // completion time. The staleness gauge must not mistake those empty
+    // cycles for freshness: before epoch 1 it reports time since start.
+    let service = IngestService::spawn(noise(), part(10), serve_config(1)).unwrap();
+    std::thread::sleep(Duration::from_millis(80));
+    let stats = service.stats();
+    assert_eq!(stats.epoch, 0, "no ingest, so nothing to publish");
+    assert!(
+        stats.staleness >= Duration::from_millis(60),
+        "pre-publish staleness must track service age, got {:?}",
+        stats.staleness
+    );
+
+    // After the first real publish the gauge switches to cycle age and
+    // drops far below the service age.
+    let mut handle = service.handle();
+    loop {
+        match handle.try_ingest(&sample(500, 42)) {
+            Ok(_) => break,
+            Err(Error::Backpressure { .. }) => std::thread::yield_now(),
+            Err(e) => panic!("unexpected ingest error: {e}"),
+        }
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let published = loop {
+        let stats = service.stats();
+        if stats.epoch >= 1 {
+            break stats;
+        }
+        assert!(std::time::Instant::now() < deadline, "service never published");
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    assert!(
+        published.staleness < Duration::from_millis(80),
+        "post-publish staleness should be cycle-scale, got {:?}",
+        published.staleness
+    );
+    service.shutdown().unwrap();
+}
+
+#[test]
 fn warm_epochs_match_final_coverage_and_share_the_kernel() {
     let engine = Arc::new(ReconstructionEngine::new());
     let service =
