@@ -1,0 +1,229 @@
+//! Load generator for the federated sketch-exchange protocol.
+//!
+//! Builds a k-party cohort over a perturbed AIS92-style stream, runs
+//! repeated protocol rounds through the fault-injecting transport driver
+//! (drop / duplicate / reorder / corrupt with retries), and checks on
+//! every round that the coordinator's merged sketch — masked and plain —
+//! equals the in-process merge, and that the federated solve is
+//! bit-identical to the monolithic one. Reports throughput, wire volume,
+//! and fault/retry counters, and writes `BENCH_federate.json` for
+//! cross-PR tracking.
+//!
+//! ```text
+//! cargo run --release --bin load_federate -- \
+//!     --parties 8 --records 200000 --rounds 20 --cells 20 \
+//!     --drop 0.1 --dup 0.1 --corrupt 0.1
+//! ```
+//!
+//! `--smoke` runs a short self-checking pass for CI.
+
+use std::time::Instant;
+
+use ppdm_bench::{table, write_bench_json, Args};
+use ppdm_core::domain::{Domain, Partition};
+use ppdm_core::federate::{drive_round, Coordinator, FaultPlan, Party};
+use ppdm_core::randomize::NoiseModel;
+use ppdm_core::reconstruct::{ReconstructionConfig, ReconstructionEngine, SuffStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct FederateBenchResult {
+    parties: usize,
+    records: usize,
+    rounds: usize,
+    cells: usize,
+    drop: f64,
+    duplicate: f64,
+    corrupt: f64,
+    duration_s: f64,
+    rounds_per_sec: f64,
+    sketch_bytes: usize,
+    bytes_sent: u64,
+    frames_sent: u64,
+    frames_delivered: u64,
+    frames_dropped: u64,
+    frames_duplicated: u64,
+    frames_corrupted: u64,
+    frames_rejected: u64,
+    retry_cycles: u64,
+    incomplete_rounds: u64,
+    solve_iterations: usize,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.has_flag("smoke");
+    let parties = args.usize_or("parties", if smoke { 4 } else { 8 });
+    let records = args.usize_or("records", if smoke { 20_000 } else { 200_000 });
+    let rounds = args.usize_or("rounds", if smoke { 6 } else { 20 });
+    let cells = args.usize_or("cells", 20);
+    let drop = args.f64_or("drop", 0.1);
+    let duplicate = args.f64_or("dup", 0.1);
+    let corrupt = args.f64_or("corrupt", 0.1);
+    let seed = args.u64_or("seed", 42);
+
+    let noise = NoiseModel::gaussian(15.0).expect("static parameter");
+    let partition =
+        Partition::new(Domain::new(0.0, 100.0).expect("static"), cells).expect("static");
+
+    // The cohort's data: a bimodal population, perturbed once, dealt
+    // round-robin across the parties.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let originals: Vec<f64> = (0..records)
+        .map(|_| {
+            let center = if rng.gen_bool(0.5) { 30.0 } else { 70.0 };
+            center + rng.gen_range(-12.0..12.0)
+        })
+        .collect();
+    let observed = noise.perturb_all(&originals, &mut rng);
+
+    let k = parties as u32;
+    let cohort: Vec<Party<'_>> = (0..k)
+        .map(|id| {
+            let mut party = Party::new(&noise, partition, id, k, seed).expect("valid cohort");
+            let batch: Vec<f64> = observed
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i as u32 % k == id)
+                .map(|(_, &w)| w)
+                .collect();
+            party.ingest(&batch).expect("finite observations");
+            party
+        })
+        .collect();
+    let ids: Vec<u32> = cohort.iter().map(Party::id).collect();
+    let sketch_bytes = cohort[0].emit(0).expect("encoding succeeds").len();
+
+    // Ground truth: the monolithic sketch and solve over all records.
+    let whole = SuffStats::from_values(&noise, partition, &observed).expect("finite observations");
+    let engine = ReconstructionEngine::new();
+    let config = ReconstructionConfig::default();
+    let monolithic =
+        engine.reconstruct_stats(&noise, &whole, &config, None).expect("non-empty sample");
+
+    let plan = FaultPlan { drop, duplicate, corrupt, reorder: true, seed, max_retries: 256 };
+    let mut bytes_sent = 0u64;
+    let mut frames_sent = 0u64;
+    let mut frames_delivered = 0u64;
+    let mut frames_dropped = 0u64;
+    let mut frames_duplicated = 0u64;
+    let mut frames_corrupted = 0u64;
+    let mut frames_rejected = 0u64;
+    let mut retry_cycles = 0u64;
+    let mut incomplete_rounds = 0u64;
+    let mut solve_iterations = 0usize;
+
+    let started = Instant::now();
+    for round in 0..rounds as u32 {
+        // Alternate plain and masked rounds: both transports, same truth.
+        let masked = round % 2 == 1;
+        let plan = FaultPlan { seed: seed.wrapping_add(round as u64), ..plan };
+        let mut coordinator =
+            Coordinator::new(&noise, partition, k, round, masked).expect("valid round");
+        let report = drive_round(
+            &ids,
+            &plan,
+            |id| {
+                let party = &cohort[id as usize];
+                if masked {
+                    party.emit_masked(round)
+                } else {
+                    party.emit(round)
+                }
+            },
+            |bytes| coordinator.submit(bytes),
+        )
+        .expect("driver runs");
+        bytes_sent += report.bytes_sent;
+        frames_sent += report.sent as u64;
+        frames_delivered += report.delivered as u64;
+        frames_dropped += report.dropped as u64;
+        frames_duplicated += report.duplicates as u64;
+        frames_corrupted += report.corrupted as u64;
+        frames_rejected += report.rejected as u64;
+        retry_cycles += report.cycles.saturating_sub(1) as u64;
+        if !report.complete {
+            incomplete_rounds += 1;
+            continue;
+        }
+
+        // The federated answer must equal the monolithic one exactly —
+        // every round, masked or not, whatever the fault weather did.
+        let merged = coordinator.merged().expect("complete cohort");
+        assert_eq!(merged, whole, "round {round}: merged sketch drifted from the monolith");
+        let federated = coordinator.reconstruct_with(&engine, &config).expect("non-empty");
+        assert_eq!(
+            federated, monolithic,
+            "round {round}: federated solve drifted from the monolithic solve"
+        );
+        solve_iterations = federated.iterations;
+    }
+    let elapsed = started.elapsed();
+
+    let result = FederateBenchResult {
+        parties,
+        records,
+        rounds,
+        cells,
+        drop,
+        duplicate,
+        corrupt,
+        duration_s: elapsed.as_secs_f64(),
+        rounds_per_sec: rounds as f64 / elapsed.as_secs_f64(),
+        sketch_bytes,
+        bytes_sent,
+        frames_sent,
+        frames_delivered,
+        frames_dropped,
+        frames_duplicated,
+        frames_corrupted,
+        frames_rejected,
+        retry_cycles,
+        incomplete_rounds,
+        solve_iterations,
+    };
+
+    table::print(
+        &format!(
+            "load_federate: {parties} parties x {rounds} rounds over {records} records, \
+             faults drop={drop} dup={duplicate} corrupt={corrupt}"
+        ),
+        &["metric", "value"],
+        &[
+            vec!["rounds/sec".into(), table::num(result.rounds_per_sec, 1)],
+            vec!["sketch size".into(), format!("{sketch_bytes} bytes")],
+            vec!["bytes sent".into(), format!("{bytes_sent}")],
+            vec!["frames sent / delivered".into(), format!("{frames_sent} / {frames_delivered}")],
+            vec![
+                "dropped / duplicated / corrupted".into(),
+                format!("{frames_dropped} / {frames_duplicated} / {frames_corrupted}"),
+            ],
+            vec!["rejected frames".into(), format!("{frames_rejected}")],
+            vec!["retry cycles".into(), format!("{retry_cycles}")],
+            vec!["incomplete rounds".into(), format!("{incomplete_rounds}")],
+            vec!["solve iterations".into(), format!("{solve_iterations}")],
+        ],
+    );
+
+    match write_bench_json("federate", &result) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_federate.json: {e}"),
+    }
+
+    // Every completed round already asserted exactness above; what's
+    // left to check is that the fault weather did not quietly win.
+    assert_eq!(incomplete_rounds, 0, "rounds exhausted {} retries", plan.max_retries);
+    assert!(
+        frames_rejected >= frames_corrupted,
+        "every corrupted frame must be rejected, not silently merged"
+    );
+    if smoke {
+        assert!(frames_delivered >= (parties * rounds) as u64, "smoke run delivered too little");
+        println!(
+            "smoke OK: {rounds} rounds x {parties} parties, {frames_rejected} corrupt frames \
+             rejected, solve bit-identical to monolith"
+        );
+    }
+}

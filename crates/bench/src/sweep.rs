@@ -189,7 +189,7 @@ pub struct SweepPoint {
     /// error.
     pub linkage_breach_pct: f64,
     /// Empirical cumulative breach rate (percent) after
-    /// [`REPEAT_EPOCHS`] epochs of re-perturbed reports
+    /// `REPEAT_EPOCHS` (8) epochs of re-perturbed reports
     /// ([`audit_repeated`]); the excess over `linkage_breach_pct` is the
     /// leakage of re-randomizing the same records.
     pub repeat8_breach_pct: f64,

@@ -88,6 +88,20 @@ pub enum Error {
     /// An ingest was attempted against a serving instance that has shut
     /// down (its shard workers have exited).
     ServiceStopped,
+    /// A wire-encoded sketch declared a protocol version this build does
+    /// not speak. Fail-fast: nothing after the header is parsed.
+    WireVersionMismatch {
+        /// Version declared by the message.
+        found: u16,
+        /// The (single) version this build supports.
+        supported: u16,
+    },
+    /// A wire-encoded sketch failed structural validation: truncation,
+    /// bad magic, checksum mismatch, malformed lengths, trailing bytes,
+    /// an unknown payload kind or flag, or a masked aggregate whose
+    /// pairwise masks did not cancel. The payload is discarded — there
+    /// is deliberately no partial-decode path.
+    WireCorrupt(String),
 }
 
 impl fmt::Display for Error {
@@ -123,6 +137,13 @@ impl fmt::Display for Error {
                 write!(f, "shard {shard} mailbox is full; batch not admitted")
             }
             Error::ServiceStopped => write!(f, "ingest service has shut down"),
+            Error::WireVersionMismatch { found, supported } => {
+                write!(
+                    f,
+                    "wire sketch declares protocol version {found}, this build speaks {supported}"
+                )
+            }
+            Error::WireCorrupt(msg) => write!(f, "corrupt wire sketch: {msg}"),
         }
     }
 }
@@ -149,6 +170,11 @@ mod tests {
         let e = Error::StateOutOfRange { state: 5, states: 3 };
         assert!(e.to_string().contains("state index 5"));
         assert!(e.to_string().contains("3 states"));
+        let e = Error::WireVersionMismatch { found: 2, supported: 1 };
+        assert!(e.to_string().contains("version 2"));
+        assert!(e.to_string().contains("speaks 1"));
+        let e = Error::WireCorrupt("checksum mismatch".to_string());
+        assert!(e.to_string().contains("checksum mismatch"));
     }
 
     #[test]

@@ -1,0 +1,357 @@
+//! The aggregation side of the protocol: collect one sketch per party,
+//! merge, reconstruct.
+//!
+//! A [`Coordinator`] is bound to one `(channel, partition, round,
+//! cohort, masked?)` aggregation. Every submitted message runs the full
+//! wire gauntlet — checksum, version, header sanity, fingerprint and
+//! geometry echoes — before it can count toward the round, and the round
+//! only unlocks [`Coordinator::merged`] once *every* cohort member has
+//! delivered. Merging is the same exact integer-sketch merge the
+//! in-process layer uses, so the coordinator's solve is bit-identical to
+//! a monolithic solve over the concatenated records no party ever sent.
+//!
+//! Delivery is idempotent and order-free: an exact duplicate (a resend,
+//! or a transport-duplicated frame) is acknowledged and ignored, and
+//! because sketch merging is commutative the arrival order of parties
+//! cannot influence the result — both properties are pinned by
+//! `tests/federate_wire.rs`. A *conflicting* resend (same party, same
+//! round, different payload) is refused outright: accepting either copy
+//! silently would make the result delivery-order-dependent.
+
+use std::collections::BTreeMap;
+
+use crate::domain::Partition;
+use crate::error::{Error, Result};
+use crate::randomize::{DiscreteChannel, NoiseDensity};
+use crate::reconstruct::{
+    shared_discrete_engine, shared_engine, DiscreteReconstruction, DiscreteReconstructionConfig,
+    DiscreteReconstructionEngine, DiscreteSuffStats, Reconstruction, ReconstructionConfig,
+    ReconstructionEngine, SuffStats,
+};
+
+use super::wire::WireSketch;
+
+/// Outcome of one accepted submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// First delivery from this party this round.
+    Accepted {
+        /// The submitting party.
+        party: u32,
+    },
+    /// Byte-equivalent resend of an already-delivered sketch; ignored
+    /// without side effects (idempotent).
+    Duplicate {
+        /// The submitting party.
+        party: u32,
+    },
+}
+
+impl Delivery {
+    /// The party credited by this delivery.
+    pub fn party(&self) -> u32 {
+        match *self {
+            Delivery::Accepted { party } | Delivery::Duplicate { party } => party,
+        }
+    }
+}
+
+/// Shared round bookkeeping: which parties have delivered which payloads.
+struct RoundState {
+    round: u32,
+    cohort: u32,
+    masked: bool,
+    received: BTreeMap<u32, WireSketch>,
+}
+
+impl RoundState {
+    fn new(cohort: u32, round: u32, masked: bool) -> Result<Self> {
+        if cohort == 0 {
+            return Err(Error::ShardMismatch("cohort must contain at least one party".to_string()));
+        }
+        Ok(RoundState { round, cohort, masked, received: BTreeMap::new() })
+    }
+
+    /// Protocol-level checks shared by both coordinators, run after the
+    /// structural decode and before the channel-specific echo checks.
+    fn check_header(&self, sketch: &WireSketch) -> Result<()> {
+        if sketch.round() != self.round {
+            return Err(Error::ShardMismatch(format!(
+                "sketch is for round {}, coordinator aggregates round {}",
+                sketch.round(),
+                self.round
+            )));
+        }
+        if sketch.cohort() != self.cohort {
+            return Err(Error::ShardMismatch(format!(
+                "sketch declares a cohort of {}, coordinator expects {}",
+                sketch.cohort(),
+                self.cohort
+            )));
+        }
+        if sketch.masked() != self.masked {
+            return Err(Error::ShardMismatch(format!(
+                "sketch is {}, coordinator runs {} aggregation",
+                if sketch.masked() { "masked" } else { "unmasked" },
+                if self.masked { "masked" } else { "unmasked" }
+            )));
+        }
+        Ok(())
+    }
+
+    fn record(&mut self, sketch: WireSketch) -> Result<Delivery> {
+        let party = sketch.party();
+        match self.received.get(&party) {
+            None => {
+                self.received.insert(party, sketch);
+                Ok(Delivery::Accepted { party })
+            }
+            Some(existing) if *existing == sketch => Ok(Delivery::Duplicate { party }),
+            Some(_) => Err(Error::ShardMismatch(format!(
+                "party {party} resent a conflicting payload for round {}",
+                self.round
+            ))),
+        }
+    }
+
+    fn missing(&self) -> Vec<u32> {
+        (0..self.cohort).filter(|p| !self.received.contains_key(p)).collect()
+    }
+
+    fn complete(&self) -> bool {
+        self.received.len() == self.cohort as usize
+    }
+
+    fn require_complete(&self) -> Result<()> {
+        if !self.complete() {
+            return Err(Error::ShardMismatch(format!(
+                "round {} incomplete: missing parties {:?}",
+                self.round,
+                self.missing()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Wrapping-sums every share into one unmasked aggregate sketch —
+    /// the secure-aggregation unmask. Callable only on a complete
+    /// masked round; the caller re-validates the aggregate's counts
+    /// (mask residue from a mis-seeded cohort fails that check).
+    fn masked_aggregate(&self) -> WireSketch {
+        debug_assert!(self.masked && self.complete());
+        let mut shares = self.received.values();
+        let mut agg = shares.next().expect("cohort >= 1").clone_as_unmasked();
+        for share in shares {
+            agg.accumulate_wrapping(share);
+        }
+        agg
+    }
+}
+
+fn cancellation_context(err: Error) -> Error {
+    match err {
+        Error::WireCorrupt(msg) => Error::WireCorrupt(format!(
+            "masked aggregate did not cancel ({msg}); did every party mask over the same \
+             session seed, round, and cohort?"
+        )),
+        other => other,
+    }
+}
+
+/// Collects k continuous-sketch shares and reconstructs from their merge.
+///
+/// # Example
+///
+/// ```
+/// use ppdm_core::domain::{Domain, Partition};
+/// use ppdm_core::federate::{Coordinator, Party};
+/// use ppdm_core::randomize::NoiseModel;
+/// use ppdm_core::reconstruct::ReconstructionConfig;
+///
+/// let noise = NoiseModel::gaussian(10.0)?;
+/// let partition = Partition::new(Domain::new(0.0, 100.0)?, 10)?;
+///
+/// // Two parties ingest privately and emit masked shares for round 1...
+/// let mut parties = [
+///     Party::new(&noise, partition, 0, 2, 99)?,
+///     Party::new(&noise, partition, 1, 2, 99)?,
+/// ];
+/// parties[0].ingest(&[12.5, 47.0])?;
+/// parties[1].ingest(&[81.3])?;
+///
+/// // ...and the coordinator reconstructs from the cohort sum alone.
+/// let mut coordinator = Coordinator::new(&noise, partition, 2, 1, true)?;
+/// for party in &parties {
+///     coordinator.submit(&party.emit_masked(1)?)?;
+/// }
+/// assert!(coordinator.is_complete());
+/// let result = coordinator.reconstruct(&ReconstructionConfig::default())?;
+/// assert_eq!(result.histogram.total().round(), 3.0);
+/// # Ok::<(), ppdm_core::Error>(())
+/// ```
+pub struct Coordinator<'a> {
+    noise: &'a dyn NoiseDensity,
+    partition: Partition,
+    state: RoundState,
+}
+
+impl<'a> Coordinator<'a> {
+    /// A coordinator for one round over `cohort` parties. `masked`
+    /// selects secure aggregation: every submission must then be a
+    /// masked share, and only the complete cohort sum is ever
+    /// interpreted.
+    pub fn new(
+        noise: &'a dyn NoiseDensity,
+        partition: Partition,
+        cohort: u32,
+        round: u32,
+        masked: bool,
+    ) -> Result<Self> {
+        // Fail fast on a channel the sketch layer can't bind to.
+        SuffStats::new(noise, partition)?;
+        Ok(Coordinator { noise, partition, state: RoundState::new(cohort, round, masked)? })
+    }
+
+    /// Decodes, authenticates, and records one party's message.
+    ///
+    /// Corrupt frames ([`Error::WireCorrupt`]), wrong versions
+    /// ([`Error::WireVersionMismatch`]), and sketches for the wrong
+    /// round/cohort/channel/partition ([`Error::ShardMismatch`]) are all
+    /// refused without touching round state — the transport may retry.
+    pub fn submit(&mut self, bytes: &[u8]) -> Result<Delivery> {
+        let sketch = WireSketch::decode(bytes)?;
+        self.state.check_header(&sketch)?;
+        sketch.validate_continuous(self.noise, self.partition)?;
+        self.state.record(sketch)
+    }
+
+    /// Parties that have not delivered yet (the resend set).
+    pub fn missing_parties(&self) -> Vec<u32> {
+        self.state.missing()
+    }
+
+    /// Whether every cohort member has delivered.
+    pub fn is_complete(&self) -> bool {
+        self.state.complete()
+    }
+
+    /// The round this coordinator aggregates.
+    pub fn round(&self) -> u32 {
+        self.state.round
+    }
+
+    /// The exact merged statistics of the complete round.
+    ///
+    /// Unmasked rounds merge each party's sketch through
+    /// [`SuffStats::merge_from`]; masked rounds wrapping-sum the shares
+    /// (cancelling the masks) and validate the aggregate before it
+    /// becomes a sketch. Either way the result equals the sketch of the
+    /// concatenated records, bit for bit.
+    pub fn merged(&self) -> Result<SuffStats> {
+        self.state.require_complete()?;
+        if self.state.masked {
+            let agg = self.state.masked_aggregate();
+            agg.to_stats(self.noise, self.partition).map_err(cancellation_context)
+        } else {
+            let mut merged = SuffStats::new(self.noise, self.partition)?;
+            for sketch in self.state.received.values() {
+                merged.merge_from(&sketch.to_stats(self.noise, self.partition)?)?;
+            }
+            Ok(merged)
+        }
+    }
+
+    /// Reconstructs the original distribution from the merged round,
+    /// through the process-wide shared engine.
+    pub fn reconstruct(&self, config: &ReconstructionConfig) -> Result<Reconstruction> {
+        self.reconstruct_with(shared_engine(), config)
+    }
+
+    /// As [`Self::reconstruct`] with an explicit engine (for embedders
+    /// managing their own kernel-cache budgets).
+    pub fn reconstruct_with(
+        &self,
+        engine: &ReconstructionEngine,
+        config: &ReconstructionConfig,
+    ) -> Result<Reconstruction> {
+        engine.reconstruct_stats(self.noise, &self.merged()?, config, None)
+    }
+}
+
+/// Collects k discrete-sketch shares and reconstructs from their merge.
+pub struct DiscreteCoordinator<'a> {
+    channel: &'a dyn DiscreteChannel,
+    state: RoundState,
+}
+
+impl<'a> DiscreteCoordinator<'a> {
+    /// A coordinator for one round over `cohort` parties (see
+    /// [`Coordinator::new`]).
+    pub fn new(
+        channel: &'a dyn DiscreteChannel,
+        cohort: u32,
+        round: u32,
+        masked: bool,
+    ) -> Result<Self> {
+        DiscreteSuffStats::new(channel)?;
+        Ok(DiscreteCoordinator { channel, state: RoundState::new(cohort, round, masked)? })
+    }
+
+    /// Decodes, authenticates, and records one party's message (see
+    /// [`Coordinator::submit`]).
+    pub fn submit(&mut self, bytes: &[u8]) -> Result<Delivery> {
+        let sketch = WireSketch::decode(bytes)?;
+        self.state.check_header(&sketch)?;
+        sketch.validate_discrete(self.channel)?;
+        self.state.record(sketch)
+    }
+
+    /// Parties that have not delivered yet (the resend set).
+    pub fn missing_parties(&self) -> Vec<u32> {
+        self.state.missing()
+    }
+
+    /// Whether every cohort member has delivered.
+    pub fn is_complete(&self) -> bool {
+        self.state.complete()
+    }
+
+    /// The round this coordinator aggregates.
+    pub fn round(&self) -> u32 {
+        self.state.round
+    }
+
+    /// The exact merged statistics of the complete round (see
+    /// [`Coordinator::merged`]).
+    pub fn merged(&self) -> Result<DiscreteSuffStats> {
+        self.state.require_complete()?;
+        if self.state.masked {
+            let agg = self.state.masked_aggregate();
+            agg.to_discrete_stats(self.channel).map_err(cancellation_context)
+        } else {
+            let mut merged = DiscreteSuffStats::new(self.channel)?;
+            for sketch in self.state.received.values() {
+                merged.merge_from(&sketch.to_discrete_stats(self.channel)?)?;
+            }
+            Ok(merged)
+        }
+    }
+
+    /// Reconstructs the original state distribution from the merged
+    /// round, through the process-wide shared discrete engine.
+    pub fn reconstruct(
+        &self,
+        config: &DiscreteReconstructionConfig,
+    ) -> Result<DiscreteReconstruction> {
+        self.reconstruct_with(shared_discrete_engine(), config)
+    }
+
+    /// As [`Self::reconstruct`] with an explicit engine.
+    pub fn reconstruct_with(
+        &self,
+        engine: &DiscreteReconstructionEngine,
+        config: &DiscreteReconstructionConfig,
+    ) -> Result<DiscreteReconstruction> {
+        engine.reconstruct_stats(self.channel, &self.merged()?, config, None)
+    }
+}

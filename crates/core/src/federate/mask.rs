@@ -1,0 +1,165 @@
+//! Simulated secure aggregation: pairwise additive masks over wrapping
+//! `u64` arithmetic.
+//!
+//! # The algebra
+//!
+//! Every unordered party pair `{a, b}` (with `a < b`) shares a seed
+//! derived from `(session_seed, round, a, b)`. From it both parties
+//! expand the same pseudo-random word stream `m_ab`. Party `a` *adds*
+//! the stream to its count words, party `b` *subtracts* it (both mod
+//! 2^64, i.e. wrapping):
+//!
+//! ```text
+//! share_i  =  counts_i  +  Σ_{j > i} m_ij  −  Σ_{j < i} m_ji      (mod 2^64)
+//! ```
+//!
+//! Summing all `k` shares makes every `m_ab` appear exactly once with
+//! `+` and once with `−`, so the masks cancel *identically* — not
+//! approximately — and the sum equals `Σ counts_i mod 2^64`. Because
+//! sketch counts are genuine integers (this is why the sketches were
+//! designed integer-valued), and their true totals are far below 2^64,
+//! the modular sum *is* the true sum: cancellation is exact, bit for
+//! bit, with no floating-point caveats. An individual share, by
+//! contrast, is offset by pseudo-random words the observer does not
+//! hold, making it computationally indistinguishable from uniform
+//! noise (for cohorts of one there is no pair to hide behind and the
+//! share equals the plain counts — a cohort of one has no one to hide
+//! *from*).
+//!
+//! This is the classic pairwise-masking construction from the secure
+//! aggregation literature, *simulated*: the pairwise seeds here derive
+//! from a shared session seed instead of a Diffie–Hellman exchange, so
+//! the privacy holds against the coordinator and other observers, not
+//! against a party's pair-mates. That is exactly the threat model the
+//! federated layer targets — no party reveals raw perturbed records or
+//! raw sketches to the coordinator — while keeping the arithmetic (the
+//! part the tests pin) identical to the real protocol.
+//!
+//! The stream generator is a self-contained splitmix64 so the masking
+//! layer is deterministic, dependency-free, and independent of the
+//! record-sampling RNG streams (whose draws the golden fixtures pin).
+
+/// One splitmix64 step: advances `state` and returns the next word.
+/// Full-period, equidistributed over `u64` — standard constants.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The shared seed of the unordered pair `{low, high}` for one round.
+/// Both parties derive the same value, so their streams cancel.
+fn pair_seed(session_seed: u64, round: u32, low: u32, high: u32) -> u64 {
+    // Absorb each input through a full splitmix64 mix before folding in
+    // the next, so distinct (session, round, pair) triples can't reach
+    // the same stream seed by cancellation in a flat XOR.
+    let mut state = session_seed ^ 0xA076_1D64_78BD_642F;
+    let mut state = splitmix64(&mut state) ^ (round as u64);
+    let mut state = splitmix64(&mut state) ^ (((low as u64) << 32) | high as u64);
+    splitmix64(&mut state)
+}
+
+/// Applies party `party`'s pairwise masks for `round` over `words` in
+/// place (wrapping). Summing the masked word vectors of all `cohort`
+/// parties — and nothing less — cancels every mask exactly (see the
+/// module docs). Deterministic in `(session_seed, round, party,
+/// cohort, words.len())`, so a resend regenerates identical bytes.
+pub fn apply_pairwise_masks(
+    words: &mut [u64],
+    party: u32,
+    cohort: u32,
+    session_seed: u64,
+    round: u32,
+) {
+    for other in 0..cohort {
+        if other == party {
+            continue;
+        }
+        let (low, high) = (party.min(other), party.max(other));
+        let mut stream = pair_seed(session_seed, round, low, high);
+        if party == low {
+            for w in words.iter_mut() {
+                *w = w.wrapping_add(splitmix64(&mut stream));
+            }
+        } else {
+            for w in words.iter_mut() {
+                *w = w.wrapping_sub(splitmix64(&mut stream));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_cancel_exactly_for_every_cohort_size() {
+        for cohort in 1u32..9 {
+            let len = 17;
+            let truth: Vec<Vec<u64>> = (0..cohort)
+                .map(|p| (0..len).map(|i| (p as u64 * 1000 + i as u64) % 97).collect())
+                .collect();
+            let mut shares = truth.clone();
+            for (p, share) in shares.iter_mut().enumerate() {
+                apply_pairwise_masks(share, p as u32, cohort, 0xDEAD_BEEF, 3);
+            }
+            // Individual shares differ from the truth whenever there is
+            // at least one pair to mask with.
+            if cohort > 1 {
+                for (p, share) in shares.iter().enumerate() {
+                    assert_ne!(share, &truth[p], "party {p} share leaked its plain counts");
+                }
+            }
+            // The wrapping sum of all shares is the exact plain sum.
+            let mut summed = vec![0u64; len];
+            for share in &shares {
+                for (s, &w) in summed.iter_mut().zip(share) {
+                    *s = s.wrapping_add(w);
+                }
+            }
+            let mut expected = vec![0u64; len];
+            for t in &truth {
+                for (s, &w) in expected.iter_mut().zip(t) {
+                    *s += w;
+                }
+            }
+            assert_eq!(summed, expected, "cohort {cohort} masks failed to cancel");
+        }
+    }
+
+    #[test]
+    fn masks_differ_across_rounds_and_seeds_but_not_resends() {
+        let base = vec![1u64, 2, 3, 4];
+        let mask = |seed: u64, round: u32| {
+            let mut w = base.clone();
+            apply_pairwise_masks(&mut w, 0, 3, seed, round);
+            w
+        };
+        assert_eq!(mask(7, 1), mask(7, 1), "resends must regenerate identical masks");
+        assert_ne!(mask(7, 1), mask(7, 2), "rounds must not reuse masks");
+        assert_ne!(mask(7, 1), mask(8, 1), "sessions must not reuse masks");
+    }
+
+    #[test]
+    fn partial_sums_do_not_cancel() {
+        // Dropping any share leaves mask residue: the coordinator can
+        // only unmask the *complete* cohort, which is the property that
+        // forces the retry/resend path for masked rounds.
+        let cohort = 4u32;
+        let len = 9;
+        let mut shares: Vec<Vec<u64>> = (0..cohort).map(|_| vec![1u64; len]).collect();
+        for (p, share) in shares.iter_mut().enumerate() {
+            apply_pairwise_masks(share, p as u32, cohort, 42, 0);
+        }
+        let mut partial = vec![0u64; len];
+        for share in shares.iter().take(cohort as usize - 1) {
+            for (s, &w) in partial.iter_mut().zip(share) {
+                *s = s.wrapping_add(w);
+            }
+        }
+        assert_ne!(partial, vec![cohort as u64 - 1; len], "partial cohort must stay masked");
+    }
+}

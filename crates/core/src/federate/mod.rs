@@ -1,0 +1,66 @@
+//! Federated sketch exchange: multi-party reconstruction without any
+//! party revealing raw perturbed records.
+//!
+//! AS00 reconstructs a distribution inside one process that holds the
+//! whole perturbed sample. The distributed-environment extension of the
+//! paper's line of work asks for more: independent parties — separate
+//! organizations, devices, shards of a fleet — each hold a private slice
+//! of the perturbed records, and only aggregate statistics may travel.
+//! The streaming layer already did the hard part by accident of design:
+//! [`SuffStats`](crate::reconstruct::SuffStats) merges are exactly
+//! associative and commutative *integer* sketches, which makes them a
+//! perfect wire payload — order-free, retry-safe, and maskable with
+//! modular arithmetic that cancels exactly.
+//!
+//! The protocol, in one diagram:
+//!
+//! ```text
+//!  party 0 ──ingest──▶ SuffStats ──▶ WireSketch ──(+masks?)──▶ bytes ─┐
+//!  party 1 ──ingest──▶ SuffStats ──▶ WireSketch ──(+masks?)──▶ bytes ─┤─▶ lossy
+//!    ...                                                              │  transport
+//!  party k ──ingest──▶ SuffStats ──▶ WireSketch ──(+masks?)──▶ bytes ─┘     │
+//!                                                                          ▼
+//!                     Coordinator: decode → authenticate → dedupe → merge
+//!                                  (masked: wrapping cohort sum first)
+//!                                             │
+//!                                             ▼
+//!                        ReconstructionEngine::reconstruct_stats
+//!                 ≡ bit-for-bit the monolithic solve on all records
+//! ```
+//!
+//! The pieces:
+//!
+//! * [`wire`] — [`WireSketch`], the versioned, checksummed, strictly
+//!   decoded encoding of a sketch (fingerprint + partition echoes
+//!   authenticate what the counts mean).
+//! * [`mask`] — simulated secure aggregation: pairwise additive masks
+//!   over wrapping `u64` arithmetic; individual shares are uniform
+//!   garbage, the complete cohort sum is the exact unmasked total.
+//! * [`Party`] / [`DiscreteParty`] — ingest locally, emit only sketches.
+//! * [`Coordinator`] / [`DiscreteCoordinator`] — collect one sketch per
+//!   party, merge exactly, reconstruct through the existing engines.
+//! * [`driver`] — a round-based delivery loop with injectable transport
+//!   faults (drop / duplicate / reorder / corrupt) and a retry/resend
+//!   path; `load_federate` in `ppdm-bench` runs it at scale.
+//!
+//! Exactness is the contract everywhere: k-party federated
+//! reconstruction — masked or plain, any record split, any delivery
+//! order, any fault weather the retries survive — is **bit-identical**
+//! to the monolithic solve over the concatenated records
+//! (property-tested in `tests/federate_props.rs`, byte-pinned by the
+//! `federate_*` golden fixtures, corruption-swept in
+//! `tests/federate_wire.rs`).
+
+pub mod coordinator;
+pub mod driver;
+pub mod mask;
+pub mod party;
+pub mod wire;
+
+pub use coordinator::{Coordinator, Delivery, DiscreteCoordinator};
+pub use driver::{drive_round, FaultPlan, RoundReport};
+pub use mask::apply_pairwise_masks;
+pub use party::{DiscreteParty, Party};
+pub use wire::{
+    wire_checksum, GeometryEcho, WireSketch, MAX_EXACT_COUNT, WIRE_MAGIC, WIRE_VERSION,
+};

@@ -1,0 +1,180 @@
+//! The data-holder side of the protocol: ingest locally, emit sketches.
+//!
+//! A [`Party`] owns one local [`SuffStats`] sketch (a [`DiscreteParty`]
+//! a [`DiscreteSuffStats`]) and never exposes anything else: raw
+//! perturbed records stay on the party, and what crosses the wire is an
+//! encoded [`WireSketch`] — plain, or masked into a secure-aggregation
+//! share ([`Party::emit_masked`]).
+//!
+//! Emission is a pure function of `(local sketch, round)`: re-emitting
+//! for the same round — e.g. on a coordinator-requested resend after a
+//! transport fault — produces byte-identical messages, masked or not
+//! (masks derive from `(session_seed, round, pair)`), which is what
+//! makes duplicate delivery idempotent at the coordinator.
+
+use crate::domain::Partition;
+use crate::error::Result;
+use crate::randomize::{DiscreteChannel, NoiseDensity};
+use crate::reconstruct::{DiscreteSuffStats, SuffStats};
+
+use super::wire::WireSketch;
+
+/// One federated data holder over a continuous channel.
+///
+/// # Example
+///
+/// ```
+/// use ppdm_core::domain::{Domain, Partition};
+/// use ppdm_core::federate::Party;
+/// use ppdm_core::randomize::NoiseModel;
+///
+/// let noise = NoiseModel::gaussian(10.0)?;
+/// let partition = Partition::new(Domain::new(0.0, 100.0)?, 10)?;
+/// // Party 0 of a 3-party cohort sharing session seed 42.
+/// let mut party = Party::new(&noise, partition, 0, 3, 42)?;
+/// party.ingest(&[12.5, 47.0, 81.3])?;
+/// let message = party.emit_masked(1)?; // round 1, secure-aggregation share
+/// assert!(!message.is_empty());
+/// # Ok::<(), ppdm_core::Error>(())
+/// ```
+pub struct Party<'a> {
+    noise: &'a dyn NoiseDensity,
+    stats: SuffStats,
+    id: u32,
+    cohort: u32,
+    session_seed: u64,
+}
+
+impl<'a> Party<'a> {
+    /// A party with an empty local sketch.
+    ///
+    /// `id` must lie in `0..cohort`; `session_seed` is the shared secret
+    /// the cohort derives pairwise masks from (irrelevant for plain
+    /// emission).
+    pub fn new(
+        noise: &'a dyn NoiseDensity,
+        partition: Partition,
+        id: u32,
+        cohort: u32,
+        session_seed: u64,
+    ) -> Result<Self> {
+        let stats = SuffStats::new(noise, partition)?;
+        // Reuse the wire layer's membership validation by constructing a
+        // throwaway sketch header.
+        WireSketch::from_stats(&stats, id, 0, cohort)?;
+        Ok(Party { noise, stats, id, cohort, session_seed })
+    }
+
+    /// Buckets a batch of locally-held perturbed observations into the
+    /// party's sketch. The observations themselves never leave.
+    pub fn ingest(&mut self, observed: &[f64]) -> Result<()> {
+        self.stats.ingest(observed)
+    }
+
+    /// This party's id within the cohort.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The cohort size this party emits for.
+    pub fn cohort(&self) -> u32 {
+        self.cohort
+    }
+
+    /// The local sketch (visible to the party itself only; tests use it
+    /// to cross-check protocol exactness).
+    pub fn stats(&self) -> &SuffStats {
+        &self.stats
+    }
+
+    /// The public noise channel this party's records went through.
+    pub fn noise(&self) -> &'a dyn NoiseDensity {
+        self.noise
+    }
+
+    /// The party's current sketch wrapped for the wire, unmasked.
+    pub fn sketch(&self, round: u32) -> Result<WireSketch> {
+        WireSketch::from_stats(&self.stats, self.id, round, self.cohort)
+    }
+
+    /// Encodes the party's sketch for `round`, plain.
+    pub fn emit(&self, round: u32) -> Result<Vec<u8>> {
+        Ok(self.sketch(round)?.encode())
+    }
+
+    /// Encodes the party's sketch for `round` as a secure-aggregation
+    /// share: counts offset by this party's pairwise masks, meaningful
+    /// only in the full cohort sum.
+    pub fn emit_masked(&self, round: u32) -> Result<Vec<u8>> {
+        let mut sketch = self.sketch(round)?;
+        sketch.mask(self.session_seed)?;
+        Ok(sketch.encode())
+    }
+}
+
+/// One federated data holder over a discrete (categorical) channel.
+pub struct DiscreteParty<'a> {
+    channel: &'a dyn DiscreteChannel,
+    stats: DiscreteSuffStats,
+    id: u32,
+    cohort: u32,
+    session_seed: u64,
+}
+
+impl<'a> DiscreteParty<'a> {
+    /// A party with an empty local sketch over `channel`'s states.
+    pub fn new(
+        channel: &'a dyn DiscreteChannel,
+        id: u32,
+        cohort: u32,
+        session_seed: u64,
+    ) -> Result<Self> {
+        let stats = DiscreteSuffStats::new(channel)?;
+        WireSketch::from_discrete_stats(&stats, id, 0, cohort)?;
+        Ok(DiscreteParty { channel, stats, id, cohort, session_seed })
+    }
+
+    /// Tallies a batch of locally-held observed states into the party's
+    /// sketch.
+    pub fn ingest(&mut self, observed: &[usize]) -> Result<()> {
+        self.stats.ingest(observed)
+    }
+
+    /// This party's id within the cohort.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The cohort size this party emits for.
+    pub fn cohort(&self) -> u32 {
+        self.cohort
+    }
+
+    /// The local sketch.
+    pub fn stats(&self) -> &DiscreteSuffStats {
+        &self.stats
+    }
+
+    /// The channel this party randomizes through.
+    pub fn channel(&self) -> &'a dyn DiscreteChannel {
+        self.channel
+    }
+
+    /// The party's current sketch wrapped for the wire, unmasked.
+    pub fn sketch(&self, round: u32) -> Result<WireSketch> {
+        WireSketch::from_discrete_stats(&self.stats, self.id, round, self.cohort)
+    }
+
+    /// Encodes the party's sketch for `round`, plain.
+    pub fn emit(&self, round: u32) -> Result<Vec<u8>> {
+        Ok(self.sketch(round)?.encode())
+    }
+
+    /// Encodes the party's sketch for `round` as a secure-aggregation
+    /// share.
+    pub fn emit_masked(&self, round: u32) -> Result<Vec<u8>> {
+        let mut sketch = self.sketch(round)?;
+        sketch.mask(self.session_seed)?;
+        Ok(sketch.encode())
+    }
+}

@@ -1,0 +1,733 @@
+//! The versioned, authenticated wire encoding of sufficient-statistics
+//! sketches.
+//!
+//! A [`WireSketch`] is the *only* thing a federated party ever sends: the
+//! integer bucket counts of its local [`SuffStats`] (or per-state counts
+//! of a [`DiscreteSuffStats`]), wrapped in a header that pins everything
+//! a coordinator must verify before the counts may influence a solve.
+//!
+//! # Layout (version 1, all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "PPDM"
+//! 4       2     version (= 1)
+//! 6       1     payload kind: 0 continuous, 1 discrete
+//! 7       1     flags: bit 0 = masked (secure-aggregation share)
+//! 8       4     party id (within the cohort)
+//! 12      4     round number
+//! 16      4     cohort size (number of parties aggregating this round)
+//! 20      2     fingerprint family-tag length L
+//! 22      L     fingerprint family tag (UTF-8, e.g. "gaussian")
+//! 22+L    24    fingerprint params (3 x u64, IEEE-754 bit patterns)
+//!         24|8  geometry echo:
+//!                 continuous: domain lo bits, domain hi bits, cells
+//!                 discrete:   state count
+//!         8     ingested observation count
+//!         8     bucket vector length K
+//!         8K    bucket counts (u64 each)
+//!         8     checksum: FNV-1a 64 over every preceding byte
+//! ```
+//!
+//! # Why every single-byte corruption is caught
+//!
+//! The checksum is verified *first*, over the whole message minus its
+//! own 8 bytes, before any field is interpreted. FNV-1a's state update
+//! `h -> (h XOR byte) * prime` is injective in `h` for a fixed byte
+//! (the prime is odd, hence invertible mod 2^64), and two states that
+//! differ stay different under every subsequent update. So two bodies
+//! that first differ at any byte *always* hash differently — a flip in
+//! the body fails the comparison, and a flip in the checksum field
+//! itself differs from the recomputed hash. Single-byte (indeed any
+//! prefix-differing) corruption is therefore rejected deterministically,
+//! not just with high probability; `tests/federate_wire.rs` sweeps every
+//! byte of valid messages to pin this. Multi-byte collisions remain
+//! probabilistic, which is fine: the checksum defends against transport
+//! bit-rot, not adversarial forgery.
+//!
+//! # Strictness
+//!
+//! [`WireSketch::decode`] either returns a fully-validated sketch or an
+//! error — there is no partial-decode or best-effort path, so a corrupt
+//! or mismatched payload can never silently contribute wrong counts:
+//!
+//! * truncation, bad magic, checksum failure, unknown payload kind or
+//!   flag bits, malformed lengths, trailing bytes, or (for unmasked
+//!   payloads) counts that do not sum to the declared observation count
+//!   → [`Error::WireCorrupt`];
+//! * a version other than [`WIRE_VERSION`] → [`Error::WireVersionMismatch`]
+//!   (reported before any version-dependent field is touched);
+//! * a fingerprint or geometry echo that does not match the channel and
+//!   partition the receiver aggregates over → [`Error::ShardMismatch`],
+//!   through the same compatibility gate (the crate-private
+//!   `SuffStats::compatible`) that guards in-process
+//!   [`SuffStats::merge_from`].
+
+use crate::domain::{Domain, Partition};
+use crate::error::{Error, Result};
+use crate::randomize::{ChannelFingerprint, DiscreteChannel, NoiseDensity};
+use crate::reconstruct::{DiscreteSuffStats, SuffStats};
+
+use super::mask::apply_pairwise_masks;
+
+/// Leading magic bytes of every wire sketch.
+pub const WIRE_MAGIC: [u8; 4] = *b"PPDM";
+
+/// The (single) protocol version this build encodes and decodes.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Largest count that round-trips exactly through `f64` (2^53). Bucket
+/// counts are observation tallies, so real sketches sit far below this;
+/// the decoder enforces it so a u64 count can never silently lose
+/// precision on its way into the solver's `f64` working type.
+pub const MAX_EXACT_COUNT: u64 = 1 << 53;
+
+const KIND_CONTINUOUS: u8 = 0;
+const KIND_DISCRETE: u8 = 1;
+const FLAG_MASKED: u8 = 0b0000_0001;
+
+/// Minimum possible encoding: empty family tag, discrete geometry, zero
+/// buckets. Anything shorter cannot even hold a checksum-verified header.
+const MIN_WIRE_LEN: usize = 4 + 2 + 1 + 1 + 4 + 4 + 4 + 2 + 24 + 8 + 8 + 8 + 8;
+
+/// FNV-1a 64-bit checksum over `bytes` — the trailing-integrity function
+/// of the wire format, exposed so tests and external implementations can
+/// frame messages identically.
+pub fn wire_checksum(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The geometry a sketch's counts are defined over, as echoed on the
+/// wire for receiver-side verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeometryEcho {
+    /// A continuous sketch: the original-domain partition the sender
+    /// bucketed against (the noise-extended observation partition is
+    /// derived from it and the channel, so it is not sent).
+    Continuous {
+        /// `Domain::lo` as IEEE-754 bits.
+        lo_bits: u64,
+        /// `Domain::hi` as IEEE-754 bits.
+        hi_bits: u64,
+        /// Cell count of the original-domain partition.
+        cells: u64,
+    },
+    /// A discrete sketch: the channel's state count.
+    Discrete {
+        /// Number of categorical states.
+        states: u64,
+    },
+}
+
+/// One party's sketch as it travels: header metadata plus u64 bucket
+/// counts, convertible back into a [`SuffStats`] / [`DiscreteSuffStats`]
+/// only after every authentication check passes.
+///
+/// A *masked* sketch (see [`WireSketch::mask`] and [`super::mask`])
+/// carries uniformly-distributed garbage counts that only become
+/// meaningful once the whole cohort's shares are summed; it can never be
+/// converted to statistics alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSketch {
+    party: u32,
+    round: u32,
+    cohort: u32,
+    masked: bool,
+    /// Fingerprint family tag bytes (UTF-8 of e.g. `"gaussian"`).
+    tag: Vec<u8>,
+    /// Fingerprint parameters (IEEE-754 bit patterns).
+    params: [u64; 3],
+    geometry: GeometryEcho,
+    /// Ingested observation count (a masked share's is masked too).
+    count: u64,
+    /// Per-bucket counts (a masked share's are masked too).
+    counts: Vec<u64>,
+}
+
+fn check_membership(party: u32, cohort: u32) -> Result<()> {
+    if cohort == 0 {
+        return Err(Error::ShardMismatch("cohort must contain at least one party".to_string()));
+    }
+    if party >= cohort {
+        return Err(Error::ShardMismatch(format!(
+            "party id {party} outside cohort of {cohort} parties"
+        )));
+    }
+    Ok(())
+}
+
+impl WireSketch {
+    /// Wraps a continuous sketch for the wire, unmasked.
+    ///
+    /// `party` must lie in `0..cohort`. Counts are converted from the
+    /// sketch's exact-integer `f64` storage to `u64` (checked — a
+    /// non-integer or out-of-range count is a programming error upstream
+    /// and is refused, never rounded).
+    pub fn from_stats(stats: &SuffStats, party: u32, round: u32, cohort: u32) -> Result<Self> {
+        check_membership(party, cohort)?;
+        let counts = stats
+            .counts()
+            .iter()
+            .map(|&c| {
+                if c < 0.0 || c.fract() != 0.0 || c > MAX_EXACT_COUNT as f64 {
+                    return Err(Error::WireCorrupt(format!(
+                        "bucket count {c} is not an exact non-negative integer"
+                    )));
+                }
+                Ok(c as u64)
+            })
+            .collect::<Result<Vec<u64>>>()?;
+        let fp = stats.fingerprint();
+        let domain = stats.partition().domain();
+        Ok(WireSketch {
+            party,
+            round,
+            cohort,
+            masked: false,
+            tag: fp.kind.as_bytes().to_vec(),
+            params: fp.params,
+            geometry: GeometryEcho::Continuous {
+                lo_bits: domain.lo().to_bits(),
+                hi_bits: domain.hi().to_bits(),
+                cells: stats.partition().len() as u64,
+            },
+            count: stats.count(),
+            counts,
+        })
+    }
+
+    /// Wraps a discrete sketch for the wire, unmasked.
+    pub fn from_discrete_stats(
+        stats: &DiscreteSuffStats,
+        party: u32,
+        round: u32,
+        cohort: u32,
+    ) -> Result<Self> {
+        check_membership(party, cohort)?;
+        let fp = stats.fingerprint();
+        Ok(WireSketch {
+            party,
+            round,
+            cohort,
+            masked: false,
+            tag: fp.kind.as_bytes().to_vec(),
+            params: fp.params,
+            geometry: GeometryEcho::Discrete { states: stats.states() as u64 },
+            count: stats.count(),
+            counts: stats.counts().to_vec(),
+        })
+    }
+
+    /// Sending party's id within the cohort.
+    pub fn party(&self) -> u32 {
+        self.party
+    }
+
+    /// Round number the sketch belongs to.
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Cohort size the sender believes is aggregating this round.
+    pub fn cohort(&self) -> u32 {
+        self.cohort
+    }
+
+    /// Whether the counts are a secure-aggregation share rather than
+    /// plain statistics.
+    pub fn masked(&self) -> bool {
+        self.masked
+    }
+
+    /// The geometry echo carried in the header.
+    pub fn geometry(&self) -> GeometryEcho {
+        self.geometry
+    }
+
+    /// Raw (possibly masked) bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Raw (possibly masked) observation count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Applies this party's pairwise secure-aggregation masks in place
+    /// (see [`super::mask`] for the algebra). After masking, the counts
+    /// are indistinguishable from uniform random words to anyone who
+    /// does not hold the pairwise seeds; summing all `cohort` parties'
+    /// masked sketches (as [`super::Coordinator`] does) cancels every
+    /// mask exactly and recovers the unmasked sum.
+    ///
+    /// Masking is deliberately one-way at this layer: re-emitting for a
+    /// resend derives the identical masks from `(session_seed, round)`,
+    /// so retries stay byte-identical and duplicate-safe.
+    pub fn mask(&mut self, session_seed: u64) -> Result<()> {
+        if self.masked {
+            return Err(Error::ShardMismatch("sketch is already masked".to_string()));
+        }
+        let mut words = Vec::with_capacity(self.counts.len() + 1);
+        words.push(self.count);
+        words.extend_from_slice(&self.counts);
+        apply_pairwise_masks(&mut words, self.party, self.cohort, session_seed, self.round);
+        self.count = words[0];
+        self.counts.copy_from_slice(&words[1..]);
+        self.masked = true;
+        Ok(())
+    }
+
+    /// Serializes the sketch into its canonical byte encoding (see the
+    /// module docs for the layout). Deterministic: equal sketches encode
+    /// to equal bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let geometry_len = match self.geometry {
+            GeometryEcho::Continuous { .. } => 24,
+            GeometryEcho::Discrete { .. } => 8,
+        };
+        let body_len = MIN_WIRE_LEN - 8 - 8 + geometry_len + self.tag.len() + self.counts.len() * 8;
+        let mut out = Vec::with_capacity(body_len + 8);
+        out.extend_from_slice(&WIRE_MAGIC);
+        out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        out.push(match self.geometry {
+            GeometryEcho::Continuous { .. } => KIND_CONTINUOUS,
+            GeometryEcho::Discrete { .. } => KIND_DISCRETE,
+        });
+        out.push(if self.masked { FLAG_MASKED } else { 0 });
+        out.extend_from_slice(&self.party.to_le_bytes());
+        out.extend_from_slice(&self.round.to_le_bytes());
+        out.extend_from_slice(&self.cohort.to_le_bytes());
+        let tag_len = u16::try_from(self.tag.len()).expect("family tags are short");
+        out.extend_from_slice(&tag_len.to_le_bytes());
+        out.extend_from_slice(&self.tag);
+        for p in self.params {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        match self.geometry {
+            GeometryEcho::Continuous { lo_bits, hi_bits, cells } => {
+                out.extend_from_slice(&lo_bits.to_le_bytes());
+                out.extend_from_slice(&hi_bits.to_le_bytes());
+                out.extend_from_slice(&cells.to_le_bytes());
+            }
+            GeometryEcho::Discrete { states } => {
+                out.extend_from_slice(&states.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&self.count.to_le_bytes());
+        out.extend_from_slice(&(self.counts.len() as u64).to_le_bytes());
+        for &c in &self.counts {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        let checksum = wire_checksum(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Strict structural decode: checksum first, then version, then
+    /// every field with exact length accounting. Returns the sketch or
+    /// the first error — never a partially-filled value. See the module
+    /// docs for the full refusal matrix.
+    pub fn decode(bytes: &[u8]) -> Result<WireSketch> {
+        if bytes.len() < MIN_WIRE_LEN {
+            return Err(Error::WireCorrupt(format!(
+                "truncated: {} bytes, a minimal sketch needs {MIN_WIRE_LEN}",
+                bytes.len()
+            )));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("split_at leaves 8 bytes"));
+        let computed = wire_checksum(body);
+        if stored != computed {
+            return Err(Error::WireCorrupt(format!(
+                "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            )));
+        }
+        let mut cur = Cursor { buf: body, pos: 0 };
+        if cur.take(4)? != WIRE_MAGIC {
+            return Err(Error::WireCorrupt("bad magic (not a PPDM sketch)".to_string()));
+        }
+        let version = cur.u16()?;
+        if version != WIRE_VERSION {
+            return Err(Error::WireVersionMismatch { found: version, supported: WIRE_VERSION });
+        }
+        let kind = cur.u8()?;
+        let flags = cur.u8()?;
+        if flags & !FLAG_MASKED != 0 {
+            return Err(Error::WireCorrupt(format!("unknown flag bits {flags:#04x}")));
+        }
+        let masked = flags & FLAG_MASKED != 0;
+        let party = cur.u32()?;
+        let round = cur.u32()?;
+        let cohort = cur.u32()?;
+        if cohort == 0 || party >= cohort {
+            return Err(Error::WireCorrupt(format!(
+                "party id {party} outside cohort of {cohort} parties"
+            )));
+        }
+        let tag_len = cur.u16()? as usize;
+        let tag = cur.take(tag_len)?.to_vec();
+        let params = [cur.u64()?, cur.u64()?, cur.u64()?];
+        let geometry = match kind {
+            KIND_CONTINUOUS => GeometryEcho::Continuous {
+                lo_bits: cur.u64()?,
+                hi_bits: cur.u64()?,
+                cells: cur.u64()?,
+            },
+            KIND_DISCRETE => GeometryEcho::Discrete { states: cur.u64()? },
+            other => {
+                return Err(Error::WireCorrupt(format!("unknown payload kind {other}")));
+            }
+        };
+        let count = cur.u64()?;
+        let declared = cur.u64()?;
+        let remaining = cur.buf.len() - cur.pos;
+        if !remaining.is_multiple_of(8) || declared != (remaining / 8) as u64 {
+            return Err(Error::WireCorrupt(format!(
+                "bucket vector declares {declared} entries but {remaining} bytes follow"
+            )));
+        }
+        let counts: Vec<u64> = (0..declared).map(|_| cur.u64()).collect::<Result<Vec<u64>>>()?;
+        debug_assert_eq!(cur.pos, cur.buf.len(), "length accounting above is exact");
+        let sketch =
+            WireSketch { party, round, cohort, masked, tag, params, geometry, count, counts };
+        if !masked {
+            // An unmasked sketch's header count must be the exact sum of
+            // its buckets; a masked share's fields are garbage until the
+            // cohort sum cancels the masks, so the same check runs on
+            // the aggregate instead (`check_exact_counts` at merge).
+            sketch.check_exact_counts()?;
+        }
+        Ok(sketch)
+    }
+
+    /// Verifies that every count is an exactly-`f64`-representable
+    /// integer and that the bucket sum equals the declared observation
+    /// count. For a masked *aggregate* this doubles as the cancellation
+    /// check: surviving mask residue leaves uniformly-random words that
+    /// fail it with overwhelming probability.
+    pub(crate) fn check_exact_counts(&self) -> Result<()> {
+        let mut sum = 0u64;
+        for &c in &self.counts {
+            if c > MAX_EXACT_COUNT {
+                return Err(Error::WireCorrupt(format!(
+                    "bucket count {c} exceeds the exact f64 range (2^53)"
+                )));
+            }
+            sum = sum.checked_add(c).ok_or_else(|| {
+                Error::WireCorrupt("bucket counts overflow the total".to_string())
+            })?;
+        }
+        if sum != self.count {
+            return Err(Error::WireCorrupt(format!(
+                "bucket counts sum to {sum}, header declares {}",
+                self.count
+            )));
+        }
+        Ok(())
+    }
+
+    /// Validates the fingerprint and geometry echoes against the
+    /// continuous channel and partition the receiver aggregates over,
+    /// returning an empty sketch of that geometry for the conversion
+    /// paths. Mismatches surface as [`Error::ShardMismatch`] through the
+    /// same `SuffStats` compatibility gate that guards in-process merges.
+    fn expected_continuous(
+        &self,
+        noise: &dyn NoiseDensity,
+        partition: Partition,
+    ) -> Result<SuffStats> {
+        let GeometryEcho::Continuous { lo_bits, hi_bits, cells } = self.geometry else {
+            return Err(Error::ShardMismatch(
+                "payload carries a discrete sketch, receiver expects continuous".to_string(),
+            ));
+        };
+        let expected = SuffStats::new(noise, partition)?;
+        let fp = expected.fingerprint();
+        self.check_fingerprint_echo(fp.kind, fp.params)?;
+        // Rebuild the sender's declared partition and run it through the
+        // sketch-level compatibility gate (the same check a local
+        // `merge` performs), so wire and in-process mismatches are one
+        // code path with one error shape.
+        let cells = usize::try_from(cells)
+            .map_err(|_| Error::ShardMismatch(format!("geometry echo declares {cells} cells")))?;
+        let domain = Domain::new(f64::from_bits(lo_bits), f64::from_bits(hi_bits))
+            .map_err(|_| geometry_mismatch(partition, "an invalid domain"))?;
+        let declared = Partition::new(domain, cells)
+            .map_err(|_| geometry_mismatch(partition, "an invalid partition"))?;
+        let candidate = SuffStats::new(noise, declared)?;
+        expected.compatible(&candidate)?;
+        if self.counts.len() != expected.counts().len() {
+            return Err(Error::ShardMismatch(format!(
+                "bucket vector has {} entries, geometry expects {}",
+                self.counts.len(),
+                expected.counts().len()
+            )));
+        }
+        Ok(expected)
+    }
+
+    /// Discrete counterpart of [`Self::expected_continuous`]: validates
+    /// the echoes against `channel` through the `DiscreteSuffStats`
+    /// compatibility gate.
+    fn expected_discrete(&self, channel: &dyn DiscreteChannel) -> Result<DiscreteSuffStats> {
+        let GeometryEcho::Discrete { states } = self.geometry else {
+            return Err(Error::ShardMismatch(
+                "payload carries a continuous sketch, receiver expects discrete".to_string(),
+            ));
+        };
+        let expected = DiscreteSuffStats::new(channel)?;
+        let fp: ChannelFingerprint = expected.fingerprint();
+        self.check_fingerprint_echo(fp.kind, fp.params)?;
+        if states != expected.states() as u64 || self.counts.len() != expected.states() {
+            return Err(Error::ShardMismatch(format!(
+                "sketch is over {states} states with {} buckets, channel has {}",
+                self.counts.len(),
+                expected.states()
+            )));
+        }
+        let candidate = DiscreteSuffStats::new(channel)?;
+        expected.compatible(&candidate)?;
+        Ok(expected)
+    }
+
+    fn check_fingerprint_echo(&self, kind: &'static str, params: [u64; 3]) -> Result<()> {
+        if self.tag != kind.as_bytes() || self.params != params {
+            return Err(Error::ShardMismatch(format!(
+                "noise fingerprints differ: wire carries {:?} params {:?}, receiver expects \
+                 {kind:?} params {params:?}",
+                String::from_utf8_lossy(&self.tag),
+                self.params,
+            )));
+        }
+        Ok(())
+    }
+
+    /// Converts an *unmasked* continuous sketch back into a
+    /// [`SuffStats`] bound to the receiver's channel and partition,
+    /// after full echo validation. A masked share is refused — only the
+    /// cohort-summed aggregate is meaningful.
+    pub fn to_stats(&self, noise: &dyn NoiseDensity, partition: Partition) -> Result<SuffStats> {
+        if self.masked {
+            return Err(Error::ShardMismatch(
+                "a masked sketch cannot be converted alone; aggregate the full cohort".to_string(),
+            ));
+        }
+        let mut stats = self.expected_continuous(noise, partition)?;
+        self.check_exact_counts()?;
+        let counts: Vec<f64> = self.counts.iter().map(|&c| c as f64).collect();
+        stats.install_counts(&counts, self.count)?;
+        Ok(stats)
+    }
+
+    /// Converts an *unmasked* discrete sketch back into a
+    /// [`DiscreteSuffStats`] bound to `channel`, after full echo
+    /// validation.
+    pub fn to_discrete_stats(&self, channel: &dyn DiscreteChannel) -> Result<DiscreteSuffStats> {
+        if self.masked {
+            return Err(Error::ShardMismatch(
+                "a masked sketch cannot be converted alone; aggregate the full cohort".to_string(),
+            ));
+        }
+        let mut stats = self.expected_discrete(channel)?;
+        self.check_exact_counts()?;
+        stats.install_counts(&self.counts, self.count)?;
+        Ok(stats)
+    }
+
+    /// Validates every echo without converting counts — the check a
+    /// coordinator runs on *masked* shares, whose counts cannot be
+    /// interpreted yet but whose header must still authenticate.
+    pub(crate) fn validate_continuous(
+        &self,
+        noise: &dyn NoiseDensity,
+        partition: Partition,
+    ) -> Result<()> {
+        self.expected_continuous(noise, partition).map(|_| ())
+    }
+
+    /// Discrete counterpart of [`Self::validate_continuous`].
+    pub(crate) fn validate_discrete(&self, channel: &dyn DiscreteChannel) -> Result<()> {
+        self.expected_discrete(channel).map(|_| ())
+    }
+
+    /// A copy of this sketch with the masked flag cleared — the seed of
+    /// a cohort aggregation (the caller then accumulates the remaining
+    /// shares wrapping, which cancels the masks).
+    pub(crate) fn clone_as_unmasked(&self) -> WireSketch {
+        WireSketch { masked: false, ..self.clone() }
+    }
+
+    /// Accumulates another share's words into this one with wrapping
+    /// arithmetic — the secure-aggregation sum. Lengths must already be
+    /// validated equal (both passed the same geometry checks).
+    pub(crate) fn accumulate_wrapping(&mut self, other: &WireSketch) {
+        debug_assert_eq!(self.counts.len(), other.counts.len(), "validated geometry");
+        self.count = self.count.wrapping_add(other.count);
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a = a.wrapping_add(b);
+        }
+    }
+}
+
+fn geometry_mismatch(expected: Partition, what: &str) -> Error {
+    Error::ShardMismatch(format!("geometry echo declares {what}; receiver expects {expected:?}"))
+}
+
+/// Bounds-checked little-endian reader over the message body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len()).ok_or_else(|| {
+            Error::WireCorrupt(format!(
+                "truncated: field of {n} bytes at offset {} overruns the message",
+                self.pos
+            ))
+        })?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("exact slice")))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("exact slice")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("exact slice")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::randomize::{NoiseModel, RandomizedResponse};
+
+    fn part(cells: usize) -> Partition {
+        Partition::new(Domain::new(0.0, 100.0).unwrap(), cells).unwrap()
+    }
+
+    fn continuous_sketch() -> (NoiseModel, Partition, SuffStats) {
+        let noise = NoiseModel::gaussian(10.0).unwrap();
+        let partition = part(10);
+        let stats =
+            SuffStats::from_values(&noise, partition, &[5.0, 42.0, 42.5, 99.0, -3.0]).unwrap();
+        (noise, partition, stats)
+    }
+
+    #[test]
+    fn continuous_roundtrip_is_exact() {
+        let (noise, partition, stats) = continuous_sketch();
+        let wire = WireSketch::from_stats(&stats, 2, 7, 5).unwrap();
+        let bytes = wire.encode();
+        let back = WireSketch::decode(&bytes).unwrap();
+        assert_eq!(back, wire);
+        assert_eq!(back.to_stats(&noise, partition).unwrap(), stats);
+        // Encoding is deterministic.
+        assert_eq!(bytes, back.encode());
+    }
+
+    #[test]
+    fn discrete_roundtrip_is_exact() {
+        let channel = RandomizedResponse::new(4, 0.7).unwrap();
+        let stats = DiscreteSuffStats::from_states(&channel, &[0, 1, 1, 3, 2, 2, 2]).unwrap();
+        let wire = WireSketch::from_discrete_stats(&stats, 0, 3, 2).unwrap();
+        let back = WireSketch::decode(&wire.encode()).unwrap();
+        assert_eq!(back, wire);
+        assert_eq!(back.to_discrete_stats(&channel).unwrap(), stats);
+    }
+
+    #[test]
+    fn version_bump_is_reported_before_anything_else_in_a_valid_frame() {
+        let (_, _, stats) = continuous_sketch();
+        let mut bytes = WireSketch::from_stats(&stats, 0, 0, 1).unwrap().encode();
+        // Forge a future-version frame with a *valid* checksum: bump the
+        // version field, then re-frame.
+        bytes[4] = 2;
+        let body_len = bytes.len() - 8;
+        let ck = wire_checksum(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&ck.to_le_bytes());
+        assert_eq!(
+            WireSketch::decode(&bytes),
+            Err(Error::WireVersionMismatch { found: 2, supported: WIRE_VERSION })
+        );
+    }
+
+    #[test]
+    fn fingerprint_and_partition_echo_mismatches_are_shard_mismatch() {
+        let (noise, partition, stats) = continuous_sketch();
+        let wire = WireSketch::from_stats(&stats, 0, 0, 1).unwrap();
+        // Different channel, same geometry.
+        let other = NoiseModel::uniform(10.0).unwrap();
+        assert!(matches!(wire.to_stats(&other, partition), Err(Error::ShardMismatch(_))));
+        // Same channel, different partition.
+        assert!(matches!(wire.to_stats(&noise, part(12)), Err(Error::ShardMismatch(_))));
+        // Kind confusion: continuous payload offered to a discrete path.
+        let channel = RandomizedResponse::new(4, 0.7).unwrap();
+        assert!(matches!(wire.to_discrete_stats(&channel), Err(Error::ShardMismatch(_))));
+        // The matching pair still works.
+        assert!(wire.to_stats(&noise, partition).is_ok());
+    }
+
+    #[test]
+    fn count_total_mismatch_is_rejected_at_decode() {
+        let (_, _, stats) = continuous_sketch();
+        let mut wire = WireSketch::from_stats(&stats, 0, 0, 1).unwrap();
+        wire.count += 1;
+        let bytes = wire.encode();
+        assert!(matches!(WireSketch::decode(&bytes), Err(Error::WireCorrupt(_))));
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_rejected() {
+        let (_, _, stats) = continuous_sketch();
+        let bytes = WireSketch::from_stats(&stats, 0, 0, 1).unwrap().encode();
+        assert!(matches!(WireSketch::decode(&[]), Err(Error::WireCorrupt(_))));
+        assert!(matches!(
+            WireSketch::decode(&bytes[..bytes.len() - 1]),
+            Err(Error::WireCorrupt(_))
+        ));
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(matches!(WireSketch::decode(&longer), Err(Error::WireCorrupt(_))));
+    }
+
+    #[test]
+    fn masked_share_refuses_lone_conversion() {
+        let (noise, partition, stats) = continuous_sketch();
+        let mut wire = WireSketch::from_stats(&stats, 0, 4, 3).unwrap();
+        wire.mask(0xFEED).unwrap();
+        assert!(wire.masked());
+        let bytes = wire.encode();
+        let back = WireSketch::decode(&bytes).unwrap();
+        assert_eq!(back, wire);
+        assert!(matches!(back.to_stats(&noise, partition), Err(Error::ShardMismatch(_))));
+        // Double-masking is refused.
+        assert!(wire.mask(0xFEED).is_err());
+    }
+
+    #[test]
+    fn membership_is_validated_at_construction_and_decode() {
+        let (_, _, stats) = continuous_sketch();
+        assert!(WireSketch::from_stats(&stats, 0, 0, 0).is_err());
+        assert!(WireSketch::from_stats(&stats, 3, 0, 3).is_err());
+        assert!(WireSketch::from_stats(&stats, 2, 0, 3).is_ok());
+    }
+}

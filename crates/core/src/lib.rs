@@ -32,6 +32,12 @@
 //!    averaging against the snapshot stream) that measure breach rates
 //!    against the published outputs, next to the nominal metrics of
 //!    [`privacy`].
+//! 7. [`federate`] — multi-party sketch exchange: a versioned,
+//!    authenticated wire encoding of the streaming sketches, parties
+//!    that emit only sketches (optionally as secure-aggregation shares
+//!    whose pairwise masks cancel exactly on the cohort sum), and a
+//!    coordinator whose merged solve is bit-identical to the monolithic
+//!    one — no party ever reveals raw perturbed records.
 //!
 //! ## Example
 //!
@@ -63,6 +69,7 @@
 pub mod audit;
 pub mod domain;
 pub mod error;
+pub mod federate;
 pub mod privacy;
 pub mod randomize;
 pub mod reconstruct;
@@ -73,6 +80,7 @@ pub mod stats;
 pub use audit::{BreachReport, CorrelatedLinkage, DiscreteLinkage, JointPrior, PosteriorLinkage};
 pub use domain::{Domain, Partition};
 pub use error::{Error, Result};
+pub use federate::{Coordinator, DiscreteCoordinator, DiscreteParty, FaultPlan, Party, WireSketch};
 pub use randomize::{
     ChannelFingerprint, DiscreteChannel, GaussianMixture, Laplace, NoiseDensity, NoiseModel,
     RandomizedResponse, StochasticMatrix,

@@ -311,9 +311,12 @@ impl DiscreteSuffStats {
         Ok(())
     }
 
-    /// Merges `other` into `self`. Errs (leaving `self` untouched) on a
-    /// fingerprint mismatch.
-    pub fn merge_from(&mut self, other: &DiscreteSuffStats) -> Result<()> {
+    /// Checks that `other` was built against the same channel.
+    ///
+    /// The single compatibility gate for combining discrete sketches:
+    /// [`Self::merge_from`] and the federated wire decode path
+    /// ([`crate::federate::WireSketch`]) both route through it.
+    pub(crate) fn compatible(&self, other: &DiscreteSuffStats) -> Result<()> {
         if self.fingerprint != other.fingerprint {
             return Err(Error::ShardMismatch(format!(
                 "channel fingerprints differ: {:?} vs {:?}",
@@ -321,6 +324,13 @@ impl DiscreteSuffStats {
             )));
         }
         debug_assert_eq!(self.counts.len(), other.counts.len(), "same fingerprint, same states");
+        Ok(())
+    }
+
+    /// Merges `other` into `self`. Errs (leaving `self` untouched) on a
+    /// fingerprint mismatch.
+    pub fn merge_from(&mut self, other: &DiscreteSuffStats) -> Result<()> {
+        self.compatible(other)?;
         for (c, o) in self.counts.iter_mut().zip(&other.counts) {
             *c += o;
         }
@@ -365,6 +375,22 @@ impl DiscreteSuffStats {
     /// Whether no observations have been ingested yet.
     pub fn is_empty(&self) -> bool {
         self.count == 0
+    }
+
+    /// Overwrites the per-state counts wholesale — the federated wire
+    /// decode path's installer. Only the geometry-determined length is
+    /// re-checked here; the wire layer validates everything else.
+    pub(crate) fn install_counts(&mut self, counts: &[u64], count: u64) -> Result<()> {
+        if counts.len() != self.counts.len() {
+            return Err(Error::ShardMismatch(format!(
+                "state count vector has {} entries, channel expects {}",
+                counts.len(),
+                self.counts.len()
+            )));
+        }
+        self.counts.copy_from_slice(counts);
+        self.count = count;
+        Ok(())
     }
 }
 

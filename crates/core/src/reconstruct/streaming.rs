@@ -137,7 +137,13 @@ impl SuffStats {
 
     /// Checks that `other` was built against the same channel and
     /// geometry.
-    fn compatible(&self, other: &SuffStats) -> Result<()> {
+    ///
+    /// This is the single compatibility gate for combining sketches: the
+    /// in-process [`Self::merge_from`] and the federated wire decode
+    /// path ([`crate::federate::WireSketch`]) both route through it, so
+    /// a sketch that would be refused by a local merge is refused at the
+    /// wire boundary with the same [`Error::ShardMismatch`].
+    pub(crate) fn compatible(&self, other: &SuffStats) -> Result<()> {
         if self.noise != other.noise {
             return Err(Error::ShardMismatch(format!(
                 "noise fingerprints differ: {:?} vs {:?}",
@@ -217,6 +223,24 @@ impl SuffStats {
     pub fn clear(&mut self) {
         self.counts.fill(0.0);
         self.count = 0;
+    }
+
+    /// Overwrites the bucket counts wholesale — the federated wire
+    /// decode path's installer. `counts` must already be validated as
+    /// exact non-negative integer values over [`Self::extended`] (the
+    /// wire layer checks each value fits in `f64` exactly before
+    /// calling); this only re-checks the geometry-determined length.
+    pub(crate) fn install_counts(&mut self, counts: &[f64], count: u64) -> Result<()> {
+        if counts.len() != self.counts.len() {
+            return Err(Error::ShardMismatch(format!(
+                "bucket count vector has {} entries, geometry expects {}",
+                counts.len(),
+                self.counts.len()
+            )));
+        }
+        self.counts.copy_from_slice(counts);
+        self.count = count;
+        Ok(())
     }
 }
 
@@ -483,6 +507,45 @@ mod tests {
         assert!(matches!(a.merge(&b), Err(Error::ShardMismatch(_))));
         assert!(matches!(a.merge(&c), Err(Error::ShardMismatch(_))));
         assert!(a.merge(&a.clone()).is_ok());
+    }
+
+    // Direct sketch-level compatibility tests: `compatible` is the one
+    // gate shared by `merge_from` and the federated wire decode path
+    // (`crate::federate`), so its two refusal modes are pinned here at
+    // the sketch level — not only through `ShardedAccumulator` or the
+    // wire tests.
+    #[test]
+    fn merge_from_rejects_fingerprint_mismatch_and_leaves_self_untouched() {
+        let g = NoiseModel::gaussian(10.0).unwrap();
+        let u = NoiseModel::uniform(10.0).unwrap();
+        let mut a = SuffStats::from_values(&g, part(10), &sample(40, &g, 3)).unwrap();
+        let before = a.clone();
+        let b = SuffStats::from_values(&u, part(10), &sample(40, &u, 4)).unwrap();
+        let err = a.merge_from(&b).unwrap_err();
+        match err {
+            Error::ShardMismatch(msg) => {
+                assert!(msg.contains("noise fingerprints differ"), "got: {msg}")
+            }
+            other => panic!("expected ShardMismatch, got {other:?}"),
+        }
+        assert_eq!(a, before, "a failed merge must not mutate the receiver");
+    }
+
+    #[test]
+    fn merge_from_rejects_partition_mismatch_and_leaves_self_untouched() {
+        let g = NoiseModel::gaussian(10.0).unwrap();
+        let mut a = SuffStats::from_values(&g, part(10), &sample(40, &g, 5)).unwrap();
+        let before = a.clone();
+        // Same cell count, different domain: the fingerprints agree, so
+        // only the partition check can catch this.
+        let other_domain = Partition::new(Domain::new(0.0, 50.0).unwrap(), 10).unwrap();
+        let b = SuffStats::new(&g, other_domain).unwrap();
+        let err = a.merge_from(&b).unwrap_err();
+        match err {
+            Error::ShardMismatch(msg) => assert!(msg.contains("partitions differ"), "got: {msg}"),
+            other => panic!("expected ShardMismatch, got {other:?}"),
+        }
+        assert_eq!(a, before, "a failed merge must not mutate the receiver");
     }
 
     #[test]

@@ -16,7 +16,10 @@
 #[path = "../../tests/support/fixtures.rs"]
 mod fixtures;
 
-use fixtures::{discrete_scenarios, fixture_path, render, render_discrete, scenarios};
+use fixtures::{
+    discrete_scenarios, federate_scenarios, fixture_path, render, render_discrete, render_federate,
+    scenarios,
+};
 
 fn write_fixture(name: &str, json: String) {
     let path = fixture_path(name);
@@ -36,5 +39,8 @@ fn main() {
     }
     for scenario in discrete_scenarios() {
         write_fixture(scenario.name(), render_discrete(&scenario));
+    }
+    for scenario in federate_scenarios() {
+        write_fixture(scenario.name(), render_federate(&scenario));
     }
 }

@@ -15,7 +15,10 @@
 //!   and the sharded ingest/serving layer
 //!   ([`IngestService`](ppdm_core::serve::IngestService)) that decouples
 //!   million-records/sec perturbed-stream ingest from background
-//!   re-solving.
+//!   re-solving, plus the federated sketch-exchange protocol
+//!   ([`Party`](ppdm_core::federate::Party) /
+//!   [`Coordinator`](ppdm_core::federate::Coordinator)) whose k-party
+//!   solve is bit-identical to the monolithic one.
 //! * [`datagen`] ([`ppdm_datagen`]) — the AIS92 synthetic benchmark the
 //!   paper evaluates on, plus dataset perturbation.
 //! * [`tree`] ([`ppdm_tree`]) — gini decision trees and the five training
@@ -40,6 +43,10 @@ pub use ppdm_tree as tree;
 /// The most common imports in one place.
 pub mod prelude {
     pub use ppdm_core::domain::{Domain, Partition};
+    pub use ppdm_core::federate::{
+        drive_round, Coordinator, Delivery, DiscreteCoordinator, DiscreteParty, FaultPlan, Party,
+        RoundReport, WireSketch,
+    };
     pub use ppdm_core::privacy::{
         interval_width, noise_for_privacy, privacy_pct, NoiseKind, DEFAULT_CONFIDENCE,
     };

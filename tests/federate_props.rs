@@ -1,0 +1,273 @@
+//! Property harness for the federated sketch-exchange protocol.
+//!
+//! The load-bearing claims, each asserted *exactly* (no tolerances):
+//!
+//! * k-party federated reconstruction (k ∈ 1..8, arbitrary record
+//!   splits including empty parties) is **bit-identical** to the
+//!   monolithic solve over the concatenated records — continuous and
+//!   discrete, masked and unmasked, both kernels / both solvers;
+//! * the masked (secure-aggregation) merge equals the unmasked merge
+//!   for every cohort size and session seed — mask cancellation is
+//!   exact integer arithmetic, not an approximation;
+//! * `encode ∘ decode` is the identity on wire sketches, and the
+//!   decoded sketch converts back to the exact original statistics.
+//!
+//! Run with `PROPTEST_CASES=<n>` to rescale case counts (CI pins it).
+
+use ppdm::prelude::*;
+use ppdm_core::federate::{Coordinator, DiscreteCoordinator, DiscreteParty, Party, WireSketch};
+use ppdm_core::reconstruct::{DiscreteSolver, LikelihoodKernel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn part(cells: usize) -> Partition {
+    Partition::new(Domain::new(0.0, 100.0).unwrap(), cells).unwrap()
+}
+
+fn noise_for(gaussian: bool, scale: f64) -> NoiseModel {
+    if gaussian {
+        NoiseModel::gaussian(scale).unwrap()
+    } else {
+        NoiseModel::uniform(scale).unwrap()
+    }
+}
+
+/// A bimodal perturbed sample — structured enough that reconstruction
+/// does real work.
+fn sample(n: usize, seed: u64, noise: &NoiseModel) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let xs: Vec<f64> = (0..n)
+        .map(|_| {
+            let center = if rng.gen_bool(0.5) { 30.0 } else { 70.0 };
+            center + rng.gen_range(-9.0..9.0)
+        })
+        .collect();
+    noise.perturb_all(&xs, &mut rng)
+}
+
+/// Splits a sample into `pieces` contiguous batches with sizes drawn
+/// from the seed. Empty batches are possible (and deliberate): a party
+/// that has seen no records is still a protocol participant.
+fn split(obs: &[f64], pieces: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cuts: Vec<usize> = (0..pieces - 1).map(|_| rng.gen_range(0..=obs.len())).collect();
+    cuts.sort_unstable();
+    let mut out = Vec::with_capacity(pieces);
+    let mut start = 0;
+    for cut in cuts {
+        out.push(obs[start..cut].to_vec());
+        start = cut;
+    }
+    out.push(obs[start..].to_vec());
+    out
+}
+
+/// Builds a k-party cohort over one continuous channel, each party
+/// ingesting its split of the sample.
+fn cohort<'a>(
+    noise: &'a NoiseModel,
+    partition: Partition,
+    splits: &[Vec<f64>],
+    session_seed: u64,
+) -> Vec<Party<'a>> {
+    let k = splits.len() as u32;
+    splits
+        .iter()
+        .enumerate()
+        .map(|(id, batch)| {
+            let mut party = Party::new(noise, partition, id as u32, k, session_seed).unwrap();
+            party.ingest(batch).unwrap();
+            party
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn federated_reconstruction_is_bit_identical_to_monolithic(
+        seed in 0u64..10_000,
+        n in 1usize..400,
+        k in 1usize..8,
+        cells in 4usize..24,
+        gaussian in 0u32..2,
+        scale in 2.0..30.0f64,
+        masked in 0u32..2,
+        cell_average in 0u32..2,
+    ) {
+        let noise = noise_for(gaussian == 1, scale);
+        let partition = part(cells);
+        let obs = sample(n, seed, &noise);
+        let splits = split(&obs, k, seed ^ 0x5EED);
+        let masked = masked == 1;
+        let round = (seed % 1000) as u32;
+        let parties = cohort(&noise, partition, &splits, seed ^ 0xFACE);
+
+        let mut coordinator =
+            Coordinator::new(&noise, partition, k as u32, round, masked).unwrap();
+        for party in &parties {
+            let bytes = if masked { party.emit_masked(round) } else { party.emit(round) };
+            coordinator.submit(&bytes.unwrap()).unwrap();
+        }
+        prop_assert!(coordinator.is_complete());
+
+        // The merged statistics equal the sketch of the concatenated
+        // sample, exactly.
+        let merged = coordinator.merged().unwrap();
+        let whole = SuffStats::from_values(&noise, partition, &obs).unwrap();
+        prop_assert_eq!(&merged, &whole);
+
+        // And the federated solve is bit-identical to the monolithic
+        // one, through one shared engine (bucketed mode — the sketch's
+        // native path).
+        let kernel = if cell_average == 1 {
+            LikelihoodKernel::CellAverage
+        } else {
+            LikelihoodKernel::Midpoint
+        };
+        let config = ReconstructionConfig { kernel, ..Default::default() };
+        let engine = ReconstructionEngine::new();
+        let federated = coordinator.reconstruct_with(&engine, &config).unwrap();
+        let monolithic = engine.reconstruct(&noise, partition, &obs, &config).unwrap();
+        prop_assert_eq!(federated, monolithic);
+    }
+
+    #[test]
+    fn masked_merge_equals_unmasked_merge_for_every_cohort_and_seed(
+        seed in 0u64..10_000,
+        session_seed in 0u64..u64::MAX,
+        n in 0usize..300,
+        k in 1usize..8,
+        cells in 4usize..20,
+    ) {
+        let noise = NoiseModel::gaussian(12.0).unwrap();
+        let partition = part(cells);
+        let obs = sample(n, seed, &noise);
+        let splits = split(&obs, k, seed ^ 0x77);
+        let round = 5u32;
+        let parties = cohort(&noise, partition, &splits, session_seed);
+
+        let mut plain = Coordinator::new(&noise, partition, k as u32, round, false).unwrap();
+        let mut secure = Coordinator::new(&noise, partition, k as u32, round, true).unwrap();
+        for party in &parties {
+            plain.submit(&party.emit(round).unwrap()).unwrap();
+            secure.submit(&party.emit_masked(round).unwrap()).unwrap();
+        }
+        // Exactly equal merged sketches — masking is invisible after the
+        // cohort sum, even on an empty sample (n = 0 is allowed here:
+        // merging needs no observations, only solving does).
+        prop_assert_eq!(plain.merged().unwrap(), secure.merged().unwrap());
+    }
+
+    #[test]
+    fn discrete_federated_reconstruction_is_bit_identical_to_monolithic(
+        seed in 0u64..10_000,
+        n in 1usize..400,
+        k in 1usize..8,
+        states in 2usize..6,
+        keep in 0.35..0.95f64,
+        masked in 0u32..2,
+        iterative in 0u32..2,
+    ) {
+        let channel = RandomizedResponse::new(states, keep).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let observed: Vec<usize> = (0..n).map(|_| rng.gen_range(0..states)).collect();
+        let masked = masked == 1;
+        let round = 2u32;
+
+        // Split the observed states across k parties (empties allowed).
+        let mut cuts: Vec<usize> = (0..k - 1).map(|_| rng.gen_range(0..=n)).collect();
+        cuts.sort_unstable();
+        let mut splits: Vec<&[usize]> = Vec::with_capacity(k);
+        let mut start = 0;
+        for &cut in &cuts {
+            splits.push(&observed[start..cut]);
+            start = cut;
+        }
+        splits.push(&observed[start..]);
+
+        let parties: Vec<DiscreteParty<'_>> = splits
+            .iter()
+            .enumerate()
+            .map(|(id, batch)| {
+                let mut party =
+                    DiscreteParty::new(&channel, id as u32, k as u32, seed ^ 0xD15C).unwrap();
+                party.ingest(batch).unwrap();
+                party
+            })
+            .collect();
+
+        let mut coordinator =
+            DiscreteCoordinator::new(&channel, k as u32, round, masked).unwrap();
+        for party in &parties {
+            let bytes = if masked { party.emit_masked(round) } else { party.emit(round) };
+            coordinator.submit(&bytes.unwrap()).unwrap();
+        }
+        prop_assert!(coordinator.is_complete());
+
+        let merged = coordinator.merged().unwrap();
+        let whole = ppdm_core::reconstruct::DiscreteSuffStats::from_states(&channel, &observed)
+            .unwrap();
+        prop_assert_eq!(&merged, &whole);
+
+        let solver = if iterative == 1 {
+            DiscreteSolver::Iterative
+        } else {
+            DiscreteSolver::ClosedForm
+        };
+        let config = DiscreteReconstructionConfig { solver, ..Default::default() };
+        let engine = DiscreteReconstructionEngine::new();
+        let federated = coordinator.reconstruct_with(&engine, &config).unwrap();
+        let monolithic =
+            engine.reconstruct_stats(&channel, &whole, &config, None).unwrap();
+        prop_assert_eq!(federated, monolithic);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_is_exact(
+        seed in 0u64..10_000,
+        n in 0usize..300,
+        cells in 4usize..20,
+        party in 0u32..6,
+        k_extra in 0u32..4,
+        round in 0u32..100,
+        masked in 0u32..2,
+    ) {
+        let cohort_size = party + 1 + k_extra;
+        let noise = NoiseModel::laplace(8.0).unwrap();
+        let partition = part(cells);
+        let obs = sample(n, seed, &noise);
+        let stats = SuffStats::from_values(&noise, partition, &obs).unwrap();
+        let mut wire = WireSketch::from_stats(&stats, party, round, cohort_size).unwrap();
+        if masked == 1 {
+            wire.mask(seed ^ 0xBEEF).unwrap();
+        }
+        let decoded = WireSketch::decode(&wire.encode()).unwrap();
+        prop_assert_eq!(&decoded, &wire);
+        // Re-encoding the decoded sketch reproduces the bytes.
+        prop_assert_eq!(decoded.encode(), wire.encode());
+        if masked == 0 {
+            // An unmasked sketch converts back to the exact statistics.
+            prop_assert_eq!(decoded.to_stats(&noise, partition).unwrap(), stats);
+        }
+
+        // Discrete counterpart.
+        let channel = RandomizedResponse::new(4, 0.6).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let states: Vec<usize> = (0..n).map(|_| rng.gen_range(0..4)).collect();
+        let dstats =
+            ppdm_core::reconstruct::DiscreteSuffStats::from_states(&channel, &states).unwrap();
+        let mut dwire =
+            WireSketch::from_discrete_stats(&dstats, party, round, cohort_size).unwrap();
+        if masked == 1 {
+            dwire.mask(seed ^ 0xBEEF).unwrap();
+        }
+        let ddecoded = WireSketch::decode(&dwire.encode()).unwrap();
+        prop_assert_eq!(&ddecoded, &dwire);
+        if masked == 0 {
+            prop_assert_eq!(ddecoded.to_discrete_stats(&channel).unwrap(), dstats);
+        }
+    }
+}

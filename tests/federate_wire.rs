@@ -1,0 +1,331 @@
+//! Adversarial sweep over the federated wire layer.
+//!
+//! Byte-level claims, checked exhaustively rather than sampled:
+//!
+//! * **Every** single-bit flip of **every** byte of a valid encoding
+//!   (continuous and discrete, masked and unmasked) is rejected — by
+//!   the trailing checksum, or (for hypothetical future unprotected
+//!   bytes) by fingerprint/partition validation. There is no input one
+//!   bit away from a valid frame that silently changes the answer.
+//! * Whole-byte (0xFF XOR) corruption is likewise rejected.
+//! * Duplicate delivery is idempotent, conflicting resends are refused,
+//!   and delivery order is immaterial: any permutation of the cohort's
+//!   frames merges to bit-identical statistics.
+//! * Wire-level geometry/fingerprint mismatches surface as the same
+//!   [`Error::ShardMismatch`] (same message shape) as in-process sketch
+//!   merges — one validation gate, two transports.
+
+use ppdm::prelude::*;
+use ppdm_core::federate::{
+    drive_round, Coordinator, Delivery, DiscreteCoordinator, DiscreteParty, FaultPlan, Party,
+    WireSketch,
+};
+
+fn part(cells: usize) -> Partition {
+    Partition::new(Domain::new(0.0, 100.0).unwrap(), cells).unwrap()
+}
+
+fn noise() -> NoiseModel {
+    NoiseModel::gaussian(10.0).unwrap()
+}
+
+/// A cohort of `k` continuous parties with deterministic, distinct data.
+fn continuous_cohort(noise: &NoiseModel, partition: Partition, k: u32) -> Vec<Party<'_>> {
+    (0..k)
+        .map(|id| {
+            let mut party = Party::new(noise, partition, id, k, 99).unwrap();
+            let batch: Vec<f64> = (0..(10 + 7 * id as usize))
+                .map(|i| (i as f64 * 13.7 + id as f64 * 5.1) % 120.0 - 10.0)
+                .collect();
+            party.ingest(&batch).unwrap();
+            party
+        })
+        .collect()
+}
+
+/// Asserts that `bytes` with every single-bit flip (and a whole-byte
+/// flip) at every position is rejected: either `decode` errors, or the
+/// decoded sketch fails validation against the expected channel. Returns
+/// how many mutants decode rejected outright.
+fn assert_all_flips_rejected(bytes: &[u8], validate: &dyn Fn(&WireSketch) -> bool) -> usize {
+    let mut decode_rejected = 0;
+    for idx in 0..bytes.len() {
+        let masks: [u8; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 0xFF];
+        for mask in masks {
+            let mut mutant = bytes.to_vec();
+            mutant[idx] ^= mask;
+            match WireSketch::decode(&mutant) {
+                Err(_) => decode_rejected += 1,
+                Ok(sketch) => {
+                    // A decode that survives must still die in validation;
+                    // anything else is a silent wrong-answer path.
+                    assert!(
+                        !validate(&sketch),
+                        "byte {idx} mask {mask:#04x}: corrupt frame accepted silently"
+                    );
+                }
+            }
+        }
+    }
+    decode_rejected
+}
+
+#[test]
+fn every_single_byte_flip_of_a_continuous_frame_is_rejected() {
+    let noise = noise();
+    let partition = part(10);
+    let parties = continuous_cohort(&noise, partition, 3);
+    for (label, bytes) in
+        [("plain", parties[1].emit(4).unwrap()), ("masked", parties[1].emit_masked(4).unwrap())]
+    {
+        let mutants = bytes.len() * 9;
+        let rejected = assert_all_flips_rejected(&bytes, &|sketch: &WireSketch| {
+            sketch.to_stats(&noise, partition).is_ok()
+        });
+        // With a trailing checksum over the whole body, decode itself
+        // should reject every mutant — validation is a second fence, not
+        // the first.
+        assert_eq!(rejected, mutants, "{label}: some mutants passed decode");
+    }
+}
+
+#[test]
+fn every_single_byte_flip_of_a_discrete_frame_is_rejected() {
+    let channel = RandomizedResponse::new(5, 0.7).unwrap();
+    let mut party = DiscreteParty::new(&channel, 0, 2, 7).unwrap();
+    party.ingest(&[0, 1, 2, 3, 4, 4, 3, 1, 0, 2, 2]).unwrap();
+    for (label, bytes) in
+        [("plain", party.emit(1).unwrap()), ("masked", party.emit_masked(1).unwrap())]
+    {
+        let mutants = bytes.len() * 9;
+        let rejected = assert_all_flips_rejected(&bytes, &|sketch: &WireSketch| {
+            sketch.to_discrete_stats(&channel).is_ok()
+        });
+        assert_eq!(rejected, mutants, "{label}: some mutants passed decode");
+    }
+}
+
+#[test]
+fn truncated_and_padded_frames_are_rejected() {
+    let noise = noise();
+    let partition = part(8);
+    let parties = continuous_cohort(&noise, partition, 2);
+    let bytes = parties[0].emit(0).unwrap();
+    for cut in 0..bytes.len() {
+        assert!(WireSketch::decode(&bytes[..cut]).is_err(), "accepted truncation at {cut}");
+    }
+    let mut padded = bytes.clone();
+    padded.push(0);
+    assert!(WireSketch::decode(&padded).is_err(), "accepted one trailing junk byte");
+    let mut doubled = bytes.clone();
+    doubled.extend_from_slice(&bytes);
+    assert!(WireSketch::decode(&doubled).is_err(), "accepted concatenated frames");
+}
+
+#[test]
+fn duplicate_delivery_is_idempotent() {
+    let noise = noise();
+    let partition = part(12);
+    let parties = continuous_cohort(&noise, partition, 4);
+    let frames: Vec<Vec<u8>> = parties.iter().map(|p| p.emit_masked(9).unwrap()).collect();
+
+    let mut once = Coordinator::new(&noise, partition, 4, 9, true).unwrap();
+    for frame in &frames {
+        assert!(matches!(once.submit(frame).unwrap(), Delivery::Accepted { .. }));
+    }
+    let reference = once.merged().unwrap();
+
+    // Same frames, each delivered three times, interleaved.
+    let mut thrice = Coordinator::new(&noise, partition, 4, 9, true).unwrap();
+    for frame in frames.iter().chain(frames.iter()).chain(frames.iter().rev()) {
+        thrice.submit(frame).unwrap();
+    }
+    assert!(thrice.is_complete());
+    assert_eq!(thrice.merged().unwrap(), reference);
+
+    // Redundant deliveries are reported as duplicates, not re-accepted.
+    let mut tagged = Coordinator::new(&noise, partition, 4, 9, true).unwrap();
+    assert!(matches!(tagged.submit(&frames[2]).unwrap(), Delivery::Accepted { party: 2 }));
+    assert!(matches!(tagged.submit(&frames[2]).unwrap(), Delivery::Duplicate { party: 2 }));
+}
+
+#[test]
+fn delivery_order_is_commutative() {
+    let noise = noise();
+    let partition = part(9);
+    let parties = continuous_cohort(&noise, partition, 4);
+    let frames: Vec<Vec<u8>> = parties.iter().map(|p| p.emit(3).unwrap()).collect();
+
+    let merged_in = |order: &[usize]| {
+        let mut coordinator = Coordinator::new(&noise, partition, 4, 3, false).unwrap();
+        for &i in order {
+            coordinator.submit(&frames[i]).unwrap();
+        }
+        coordinator.merged().unwrap()
+    };
+    let reference = merged_in(&[0, 1, 2, 3]);
+    for order in [[3, 2, 1, 0], [1, 3, 0, 2], [2, 0, 3, 1], [0, 2, 1, 3]] {
+        assert_eq!(merged_in(&order), reference, "order {order:?} changed the merge");
+    }
+}
+
+#[test]
+fn conflicting_resend_is_refused() {
+    let noise = noise();
+    let partition = part(10);
+    let mut party = Party::new(&noise, partition, 0, 1, 5).unwrap();
+    party.ingest(&[10.0, 20.0]).unwrap();
+    let first = party.emit(0).unwrap();
+    // The party's sketch moves between emissions — a resend for the same
+    // round no longer matches byte-for-byte.
+    party.ingest(&[30.0]).unwrap();
+    let second = party.emit(0).unwrap();
+    assert_ne!(first, second);
+
+    let mut coordinator = Coordinator::new(&noise, partition, 1, 0, false).unwrap();
+    coordinator.submit(&first).unwrap();
+    let err = coordinator.submit(&second).unwrap_err();
+    assert!(matches!(err, Error::ShardMismatch(_)), "got {err:?}");
+}
+
+#[test]
+fn wrong_round_cohort_or_mask_flag_is_refused() {
+    let noise = noise();
+    let partition = part(10);
+    let parties = continuous_cohort(&noise, partition, 2);
+
+    let mut coordinator = Coordinator::new(&noise, partition, 2, 5, false).unwrap();
+    // Wrong round.
+    let err = coordinator.submit(&parties[0].emit(6).unwrap()).unwrap_err();
+    assert!(matches!(err, Error::ShardMismatch(_)), "got {err:?}");
+    // Masked share into an unmasked round.
+    let err = coordinator.submit(&parties[0].emit_masked(5).unwrap()).unwrap_err();
+    assert!(matches!(err, Error::ShardMismatch(_)), "got {err:?}");
+    // Frame from a differently-sized cohort.
+    let mut stray = Party::new(&noise, partition, 0, 3, 99).unwrap();
+    stray.ingest(&[50.0]).unwrap();
+    let err = coordinator.submit(&stray.emit(5).unwrap()).unwrap_err();
+    assert!(matches!(err, Error::ShardMismatch(_)), "got {err:?}");
+    // The coordinator still accepts the correct frames afterwards.
+    coordinator.submit(&parties[0].emit(5).unwrap()).unwrap();
+    coordinator.submit(&parties[1].emit(5).unwrap()).unwrap();
+    assert!(coordinator.is_complete());
+}
+
+#[test]
+fn wire_mismatches_share_the_sketch_level_error_shape() {
+    // Satellite to the in-process tests in `reconstruct::streaming`: the
+    // wire decode path routes through the same `compatible` gate, so the
+    // messages match its vocabulary exactly.
+    let noise = noise();
+    let partition = part(10);
+    let parties = continuous_cohort(&noise, partition, 2);
+    let sketch = WireSketch::decode(&parties[0].emit(0).unwrap()).unwrap();
+
+    // Fingerprint mismatch: same geometry, different noise channel.
+    let other_noise = NoiseModel::gaussian(11.0).unwrap();
+    let err = sketch.to_stats(&other_noise, partition).unwrap_err();
+    match err {
+        Error::ShardMismatch(msg) => {
+            assert!(msg.contains("fingerprint"), "unexpected message: {msg}")
+        }
+        other => panic!("expected ShardMismatch, got {other:?}"),
+    }
+
+    // Partition mismatch: same channel, different geometry.
+    let err = sketch.to_stats(&noise, part(12)).unwrap_err();
+    match err {
+        Error::ShardMismatch(msg) => {
+            assert!(msg.contains("partitions differ"), "unexpected message: {msg}")
+        }
+        other => panic!("expected ShardMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn faulty_transport_with_retries_still_merges_exactly() {
+    let noise = noise();
+    let partition = part(14);
+    let parties = continuous_cohort(&noise, partition, 5);
+    let ids: Vec<u32> = parties.iter().map(|p| p.id()).collect();
+
+    // Expected: the in-process merge of all party sketches.
+    let mut expected = parties[0].stats().clone();
+    for party in &parties[1..] {
+        expected.merge_from(party.stats()).unwrap();
+    }
+
+    let plan = FaultPlan {
+        drop: 0.25,
+        duplicate: 0.25,
+        corrupt: 0.25,
+        reorder: true,
+        seed: 2024,
+        max_retries: 64,
+    };
+    for masked in [false, true] {
+        let mut coordinator = Coordinator::new(&noise, partition, 5, 1, masked).unwrap();
+        let report = drive_round(
+            &ids,
+            &plan,
+            |id| {
+                let party = &parties[id as usize];
+                if masked {
+                    party.emit_masked(1)
+                } else {
+                    party.emit(1)
+                }
+            },
+            |bytes| coordinator.submit(bytes),
+        )
+        .unwrap();
+        assert!(report.complete, "masked={masked}: round did not complete: {report:?}");
+        assert!(report.rejected >= report.corrupted, "corrupt frames must be rejected");
+        assert_eq!(coordinator.merged().unwrap(), expected, "masked={masked}");
+    }
+}
+
+#[test]
+fn discrete_round_trip_through_faulty_transport() {
+    let channel = RandomizedResponse::new(4, 0.55).unwrap();
+    let observed: Vec<usize> = (0..500).map(|i| (i * 7 + i / 3) % 4).collect();
+    let k = 3u32;
+    let parties: Vec<DiscreteParty<'_>> = (0..k)
+        .map(|id| {
+            let mut party = DiscreteParty::new(&channel, id, k, 31).unwrap();
+            let chunk = observed.len() / k as usize;
+            let lo = id as usize * chunk;
+            let hi = if id + 1 == k { observed.len() } else { lo + chunk };
+            party.ingest(&observed[lo..hi]).unwrap();
+            party
+        })
+        .collect();
+    let ids: Vec<u32> = parties.iter().map(|p| p.id()).collect();
+    let whole = DiscreteSuffStats::from_states(&channel, &observed).unwrap();
+
+    let plan = FaultPlan {
+        drop: 0.3,
+        duplicate: 0.3,
+        corrupt: 0.3,
+        reorder: true,
+        seed: 7,
+        max_retries: 64,
+    };
+    let mut coordinator = DiscreteCoordinator::new(&channel, k, 0, true).unwrap();
+    let report = drive_round(
+        &ids,
+        &plan,
+        |id| parties[id as usize].emit_masked(0),
+        |bytes| coordinator.submit(bytes),
+    )
+    .unwrap();
+    assert!(report.complete, "round did not complete: {report:?}");
+    assert_eq!(coordinator.merged().unwrap(), whole);
+
+    // And the federated solve equals the monolithic one, bit for bit.
+    let config = DiscreteReconstructionConfig::default();
+    let engine = DiscreteReconstructionEngine::new();
+    let federated = coordinator.reconstruct_with(&engine, &config).unwrap();
+    let monolithic = engine.reconstruct_stats(&channel, &whole, &config, None).unwrap();
+    assert_eq!(federated, monolithic);
+}

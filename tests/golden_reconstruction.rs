@@ -11,7 +11,10 @@
 #[path = "support/fixtures.rs"]
 mod fixtures;
 
-use fixtures::{discrete_scenarios, fixture_path, render, render_discrete, scenarios};
+use fixtures::{
+    discrete_scenarios, federate_scenarios, fixture_path, render, render_discrete, render_federate,
+    scenarios,
+};
 
 fn assert_fixture_reproduces(name: &str, actual: String) {
     let path = fixture_path(name);
@@ -45,6 +48,19 @@ fn discrete_fixtures_reproduce_bit_for_bit() {
         checked += 1;
     }
     assert!(checked >= 2, "expected both discrete fixtures, checked {checked}");
+}
+
+#[test]
+fn federate_fixtures_reproduce_bit_for_bit() {
+    // These pin the federation *wire bytes* (plain and masked, per
+    // party, as hex) on top of the merged counts and the solve — a
+    // wire-format or mask-derivation change is a fixture diff here.
+    let mut checked = 0;
+    for scenario in federate_scenarios() {
+        assert_fixture_reproduces(scenario.name(), render_federate(&scenario));
+        checked += 1;
+    }
+    assert!(checked >= 2, "expected both federate fixtures, checked {checked}");
 }
 
 #[test]

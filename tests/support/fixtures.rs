@@ -17,6 +17,7 @@
 
 use ppdm_assoc::{estimated_supports, generate_baskets, BasketConfig, ItemRandomizer};
 use ppdm_core::domain::{Domain, Partition};
+use ppdm_core::federate::{Coordinator, DiscreteCoordinator, DiscreteParty, Party};
 use ppdm_core::randomize::{DiscreteChannel, NoiseModel, RandomizedResponse};
 use ppdm_core::reconstruct::{
     DiscreteReconstructionConfig, DiscreteReconstructionEngine, DiscreteSolver, LikelihoodKernel,
@@ -395,6 +396,277 @@ pub fn render_discrete(scenario: &DiscreteFixtureScenario) -> String {
                 seed,
                 n,
                 results,
+            }
+        }
+    };
+    let mut json = serde_json::to_string(&output).expect("fixture output is JSON-representable");
+    json.push('\n');
+    json
+}
+
+/// One golden scenario of the federation wire protocol: a fixed cohort,
+/// session seed, and round, with every party's exact wire bytes (plain
+/// *and* masked) committed as hex alongside the merged counts and the
+/// coordinator's solve.
+///
+/// These pin the byte layout of [`ppdm_core::federate::WireSketch`]: any
+/// change to the header, the checksum, the mask derivation, or the count
+/// encoding shows up as a hex diff in the fixture file — a wire-format
+/// break is then a reviewed decision, never an accident.
+pub enum FederateFixtureScenario {
+    /// A continuous cohort over a Gaussian channel.
+    Continuous {
+        /// Fixture file stem under `tests/fixtures/`.
+        name: &'static str,
+        /// RNG seed of the original + noise sample.
+        seed: u64,
+        /// Total records across the cohort.
+        n: usize,
+        /// Reconstruction cells.
+        cells: usize,
+        /// Cohort size.
+        parties: u32,
+        /// Protocol round the frames are emitted for.
+        round: u32,
+        /// Shared secret the pairwise masks derive from.
+        session_seed: u64,
+    },
+    /// A discrete cohort over a randomized-response channel.
+    Discrete {
+        /// Fixture file stem under `tests/fixtures/`.
+        name: &'static str,
+        /// RNG seed of the true-state sample.
+        seed: u64,
+        /// Total records across the cohort.
+        n: usize,
+        /// Number of categories.
+        categories: usize,
+        /// Keep probability of the channel.
+        keep_prob: f64,
+        /// Cohort size.
+        parties: u32,
+        /// Protocol round the frames are emitted for.
+        round: u32,
+        /// Shared secret the pairwise masks derive from.
+        session_seed: u64,
+    },
+}
+
+impl FederateFixtureScenario {
+    /// Fixture file stem under `tests/fixtures/`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FederateFixtureScenario::Continuous { name, .. }
+            | FederateFixtureScenario::Discrete { name, .. } => name,
+        }
+    }
+}
+
+/// The committed federation scenarios: one continuous, one discrete.
+pub fn federate_scenarios() -> Vec<FederateFixtureScenario> {
+    vec![
+        FederateFixtureScenario::Continuous {
+            name: "federate_continuous",
+            seed: 301,
+            n: 1_200,
+            cells: 16,
+            parties: 4,
+            round: 3,
+            session_seed: 0xF00D_FACE,
+        },
+        FederateFixtureScenario::Discrete {
+            name: "federate_discrete",
+            seed: 302,
+            n: 1_500,
+            categories: 5,
+            keep_prob: 0.6,
+            parties: 3,
+            round: 1,
+            session_seed: 0xCAFE_D00D,
+        },
+    ]
+}
+
+/// The serialized federation-fixture payload.
+#[derive(Debug, Serialize)]
+struct FederateFixtureOutput {
+    name: String,
+    channel: String,
+    seed: u64,
+    n: usize,
+    cohort: u32,
+    round: u32,
+    session_seed: u64,
+    parties: Vec<FederatePartyOutput>,
+    merged_count: u64,
+    merged_counts: Vec<f64>,
+    iterations: usize,
+    converged: bool,
+    values: Vec<f64>,
+}
+
+#[derive(Debug, Serialize)]
+struct FederatePartyOutput {
+    party: u32,
+    count: u64,
+    plain_hex: String,
+    masked_hex: String,
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Renders one federation scenario as its canonical JSON fixture
+/// (newline-terminated): every party's exact plain and masked wire
+/// bytes, the coordinator's merged counts (through the *masked* path —
+/// the stricter one), and the resulting solve.
+pub fn render_federate(scenario: &FederateFixtureScenario) -> String {
+    let output = match *scenario {
+        FederateFixtureScenario::Continuous {
+            name,
+            seed,
+            n,
+            cells,
+            parties: k,
+            round,
+            session_seed,
+        } => {
+            let noise = NoiseModel::gaussian(15.0).expect("static parameter");
+            let partition =
+                Partition::new(Domain::new(0.0, 100.0).expect("static"), cells).expect("static");
+            let mut rng = StdRng::seed_from_u64(seed);
+            let originals: Vec<f64> = (0..n)
+                .map(|_| {
+                    let center = if rng.gen_bool(0.5) { 25.0 } else { 75.0 };
+                    center + rng.gen_range(-10.0..10.0) + rng.gen_range(-10.0..10.0)
+                })
+                .collect();
+            let observed = noise.perturb_all(&originals, &mut rng);
+
+            // Deterministic uneven split: party i takes every record with
+            // index ≡ i (mod k) — sizes differ when k does not divide n.
+            let cohort: Vec<Party<'_>> = (0..k)
+                .map(|id| {
+                    let mut party =
+                        Party::new(&noise, partition, id, k, session_seed).expect("static cohort");
+                    let batch: Vec<f64> = observed
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i as u32 % k == id)
+                        .map(|(_, &w)| w)
+                        .collect();
+                    party.ingest(&batch).expect("finite observations");
+                    party
+                })
+                .collect();
+
+            let mut coordinator =
+                Coordinator::new(&noise, partition, k, round, true).expect("static geometry");
+            let parties = cohort
+                .iter()
+                .map(|party| {
+                    let masked = party.emit_masked(round).expect("masking succeeds");
+                    coordinator.submit(&masked).expect("valid frame");
+                    FederatePartyOutput {
+                        party: party.id(),
+                        count: party.stats().count(),
+                        plain_hex: hex(&party.emit(round).expect("encoding succeeds")),
+                        masked_hex: hex(&masked),
+                    }
+                })
+                .collect();
+            let merged = coordinator.merged().expect("complete cohort");
+            let result = coordinator
+                .reconstruct(&ReconstructionConfig::default())
+                .expect("non-empty cohort");
+            FederateFixtureOutput {
+                name: name.to_string(),
+                channel: format!("{noise:?}"),
+                seed,
+                n,
+                cohort: k,
+                round,
+                session_seed,
+                parties,
+                merged_count: merged.count(),
+                merged_counts: merged.counts().to_vec(),
+                iterations: result.iterations,
+                converged: result.converged,
+                values: result.histogram.masses().to_vec(),
+            }
+        }
+        FederateFixtureScenario::Discrete {
+            name,
+            seed,
+            n,
+            categories,
+            keep_prob,
+            parties: k,
+            round,
+            session_seed,
+        } => {
+            let channel =
+                RandomizedResponse::new(categories, keep_prob).expect("static parameters");
+            let mut rng = StdRng::seed_from_u64(seed);
+            let truth: Vec<usize> = (0..n).map(|_| rng.gen_range(0..categories)).collect();
+            let mut observed = vec![0usize; n];
+            channel
+                .fill_states(seed.wrapping_add(1), &truth, &mut observed)
+                .expect("states in range");
+
+            let cohort: Vec<DiscreteParty<'_>> = (0..k)
+                .map(|id| {
+                    let mut party =
+                        DiscreteParty::new(&channel, id, k, session_seed).expect("static cohort");
+                    let batch: Vec<usize> = observed
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i as u32 % k == id)
+                        .map(|(_, &s)| s)
+                        .collect();
+                    party.ingest(&batch).expect("states in range");
+                    party
+                })
+                .collect();
+
+            let mut coordinator =
+                DiscreteCoordinator::new(&channel, k, round, true).expect("static channel");
+            let parties = cohort
+                .iter()
+                .map(|party| {
+                    let masked = party.emit_masked(round).expect("masking succeeds");
+                    coordinator.submit(&masked).expect("valid frame");
+                    FederatePartyOutput {
+                        party: party.id(),
+                        count: party.stats().count(),
+                        plain_hex: hex(&party.emit(round).expect("encoding succeeds")),
+                        masked_hex: hex(&masked),
+                    }
+                })
+                .collect();
+            let merged = coordinator.merged().expect("complete cohort");
+            let result = coordinator
+                .reconstruct(&DiscreteReconstructionConfig::default())
+                .expect("non-empty cohort");
+            FederateFixtureOutput {
+                name: name.to_string(),
+                channel: format!("RandomizedResponse(k={categories}, p={keep_prob})"),
+                seed,
+                n,
+                cohort: k,
+                round,
+                session_seed,
+                parties,
+                merged_count: merged.count(),
+                merged_counts: merged.counts().iter().map(|&c| c as f64).collect(),
+                iterations: result.iterations,
+                converged: result.converged,
+                values: result.estimate,
             }
         }
     };
