@@ -149,6 +149,7 @@ fn bench_discrete(c: &mut Criterion) {
         solver: DiscreteSolver::Iterative,
         stopping: StoppingRule::MaxIterationsOnly,
         max_iterations: ITERATIONS,
+        ..Default::default()
     };
     let mut group = c.benchmark_group("iterate_kernels/discrete");
     let engine = DiscreteReconstructionEngine::new();

@@ -1,0 +1,309 @@
+//! Serial vs block-parallel iterate: the perf story for the intra-job
+//! parallel E-step.
+//!
+//! Two workloads, both dominated by the per-iteration E-step:
+//!
+//! * `continuous/*` — Exact-mode solves over materialized dense rows
+//!   (`n x m` likelihoods) at n in {100k, 1M}: the single-big-solve
+//!   shape the serve resolver and federated coordinators hit.
+//! * `discrete/*` — `Iterative` solves over k x k channels at
+//!   k in {128, 512}: per-iteration work is geometry-bound (k^2), so
+//!   only k scales the E-step — the 1M-record count vector is free.
+//!
+//! Each shape runs the untouched serial path and the `Forced` parallel
+//! path under `RAYON_NUM_THREADS` in {1, 2, 4, 8} (re-read per solve by
+//! the vendored rayon, so one process sweeps every thread count). The
+//! parallel results are asserted bit-identical to serial before any
+//! timing — a wrong-answer speedup is worthless.
+//!
+//! `bench_emit_json` hand-times the same grid (median of warm repeats;
+//! the vendored criterion keeps its measurements private) and writes
+//! `BENCH_iterate.json`, recording the machine's `nproc` alongside —
+//! speedups are only meaningful relative to the cores actually present.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppdm_bench::write_bench_json;
+use ppdm_core::domain::{Domain, Partition};
+use ppdm_core::randomize::{NoiseModel, RandomizedResponse};
+use ppdm_core::reconstruct::{
+    DiscreteReconstructionConfig, DiscreteReconstructionEngine, DiscreteSolver, ParallelPolicy,
+    ReconstructionConfig, ReconstructionEngine, StoppingRule, UpdateMode,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Fixed iteration budget so every timed solve does identical work
+/// (bit-identity already guarantees identical convergence anyway).
+const EM_ITERATIONS: usize = 12;
+const CELLS: usize = 20;
+
+fn set_threads(threads: usize) {
+    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+}
+
+fn partition() -> Partition {
+    Partition::new(Domain::new(0.0, 100.0).unwrap(), CELLS).unwrap()
+}
+
+fn observed(n: usize, noise: &NoiseModel, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let originals: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
+    noise.perturb_all(&originals, &mut rng)
+}
+
+fn continuous_cfg(policy: ParallelPolicy) -> ReconstructionConfig {
+    ReconstructionConfig {
+        mode: UpdateMode::Exact,
+        stopping: StoppingRule::MaxIterationsOnly,
+        max_iterations: EM_ITERATIONS,
+        parallel: policy,
+        ..ReconstructionConfig::default()
+    }
+}
+
+/// An engine whose Exact budget admits the dense `n x m` rows — the
+/// parallel path applies to materialized rows only (streamed Exact
+/// keeps its `O(m)` memory contract and stays serial).
+fn continuous_engine(n: usize) -> ReconstructionEngine {
+    ReconstructionEngine::new().with_exact_materialize_entries(n * CELLS)
+}
+
+fn discrete_cfg(policy: ParallelPolicy) -> DiscreteReconstructionConfig {
+    DiscreteReconstructionConfig {
+        solver: DiscreteSolver::Iterative,
+        stopping: StoppingRule::MaxIterationsOnly,
+        max_iterations: EM_ITERATIONS,
+        parallel: policy,
+    }
+}
+
+/// A skewed k-state count vector totalling `n` records.
+fn discrete_counts(k: usize, n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(9);
+    let raw: Vec<f64> = (0..k).map(|_| rng.gen_range(1.0..10.0)).collect();
+    let total: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| (w / total * n as f64).round()).collect()
+}
+
+/// Asserts the Forced path reproduces the serial result bit for bit on
+/// this workload before anything gets timed.
+fn assert_bit_identical(serial: &[f64], parallel: &[f64], label: &str) {
+    assert_eq!(serial.len(), parallel.len(), "{label}: shape mismatch");
+    for (i, (s, p)) in serial.iter().zip(parallel).enumerate() {
+        assert_eq!(s.to_bits(), p.to_bits(), "{label}: cell {i} diverged ({s} vs {p})");
+    }
+}
+
+fn bench_continuous(c: &mut Criterion) {
+    let noise = NoiseModel::gaussian(20.0).expect("static parameter");
+    let mut group = c.benchmark_group("iterate_parallel/continuous");
+    group.sample_size(10);
+    for n in [100_000usize, 1_000_000] {
+        let obs = observed(n, &noise, 1);
+        let engine = continuous_engine(n);
+        set_threads(4);
+        let serial = engine
+            .reconstruct(&noise, partition(), &obs, &continuous_cfg(ParallelPolicy::Serial))
+            .expect("non-empty");
+        let forced = engine
+            .reconstruct(&noise, partition(), &obs, &continuous_cfg(ParallelPolicy::Forced))
+            .expect("non-empty");
+        assert_bit_identical(
+            serial.histogram.masses(),
+            forced.histogram.masses(),
+            &format!("continuous n={n}"),
+        );
+
+        set_threads(1);
+        group.bench_with_input(BenchmarkId::new("serial", n), &obs, |b, obs| {
+            b.iter(|| {
+                engine
+                    .reconstruct(&noise, partition(), obs, &continuous_cfg(ParallelPolicy::Serial))
+                    .expect("non-empty")
+            });
+        });
+        for threads in THREAD_COUNTS {
+            set_threads(threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("parallel_t{threads}"), n),
+                &obs,
+                |b, obs| {
+                    b.iter(|| {
+                        engine
+                            .reconstruct(
+                                &noise,
+                                partition(),
+                                obs,
+                                &continuous_cfg(ParallelPolicy::Forced),
+                            )
+                            .expect("non-empty")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_discrete(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iterate_parallel/discrete");
+    group.sample_size(10);
+    for k in [128usize, 512] {
+        let channel = RandomizedResponse::new(k, 0.6).expect("static parameters");
+        let counts = discrete_counts(k, 1_000_000);
+        let engine = DiscreteReconstructionEngine::new();
+        set_threads(4);
+        let serial = engine
+            .reconstruct(&channel, &counts, &discrete_cfg(ParallelPolicy::Serial))
+            .expect("valid counts");
+        let forced = engine
+            .reconstruct(&channel, &counts, &discrete_cfg(ParallelPolicy::Forced))
+            .expect("valid counts");
+        assert_bit_identical(&serial.estimate, &forced.estimate, &format!("discrete k={k}"));
+
+        set_threads(1);
+        group.bench_with_input(BenchmarkId::new("serial", k), &counts, |b, counts| {
+            b.iter(|| {
+                engine
+                    .reconstruct(&channel, counts, &discrete_cfg(ParallelPolicy::Serial))
+                    .expect("valid counts")
+            });
+        });
+        for threads in THREAD_COUNTS {
+            set_threads(threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("parallel_t{threads}"), k),
+                &counts,
+                |b, counts| {
+                    b.iter(|| {
+                        engine
+                            .reconstruct(&channel, counts, &discrete_cfg(ParallelPolicy::Forced))
+                            .expect("valid counts")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Machine-readable results for cross-PR tracking; same shape as the
+/// interactive groups, hand-timed (the vendored criterion keeps its
+/// measurements private).
+#[derive(Serialize)]
+struct IterateBenchRow {
+    mode: &'static str,
+    /// Observations (continuous) or channel states (discrete).
+    size: usize,
+    threads: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct IterateBenchResult {
+    /// Physical parallelism of the box that produced these numbers.
+    /// Thread counts above it are timesharing, not scaling — compare
+    /// speedups against this, not against the thread count.
+    nproc: usize,
+    em_iterations: usize,
+    rows: Vec<IterateBenchRow>,
+}
+
+fn median_ms(mut run: impl FnMut()) -> f64 {
+    const REPS: usize = 3;
+    let mut times: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            run();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[REPS / 2]
+}
+
+fn bench_emit_json(_c: &mut Criterion) {
+    let noise = NoiseModel::gaussian(20.0).expect("static parameter");
+    let mut rows = Vec::new();
+
+    for n in [100_000usize, 1_000_000] {
+        let obs = observed(n, &noise, 1);
+        let engine = continuous_engine(n);
+        set_threads(1);
+        engine
+            .reconstruct(&noise, partition(), &obs, &continuous_cfg(ParallelPolicy::Serial))
+            .expect("warm-up");
+        let serial_ms = median_ms(|| {
+            engine
+                .reconstruct(&noise, partition(), &obs, &continuous_cfg(ParallelPolicy::Serial))
+                .expect("non-empty");
+        });
+        for threads in THREAD_COUNTS {
+            set_threads(threads);
+            let parallel_ms = median_ms(|| {
+                engine
+                    .reconstruct(&noise, partition(), &obs, &continuous_cfg(ParallelPolicy::Forced))
+                    .expect("non-empty");
+            });
+            rows.push(IterateBenchRow {
+                mode: "continuous_exact",
+                size: n,
+                threads,
+                serial_ms,
+                parallel_ms,
+                speedup: serial_ms / parallel_ms,
+            });
+        }
+    }
+
+    for k in [128usize, 512] {
+        let channel = RandomizedResponse::new(k, 0.6).expect("static parameters");
+        let counts = discrete_counts(k, 1_000_000);
+        let engine = DiscreteReconstructionEngine::new();
+        set_threads(1);
+        engine
+            .reconstruct(&channel, &counts, &discrete_cfg(ParallelPolicy::Serial))
+            .expect("warm-up");
+        let serial_ms = median_ms(|| {
+            engine
+                .reconstruct(&channel, &counts, &discrete_cfg(ParallelPolicy::Serial))
+                .expect("valid counts");
+        });
+        for threads in THREAD_COUNTS {
+            set_threads(threads);
+            let parallel_ms = median_ms(|| {
+                engine
+                    .reconstruct(&channel, &counts, &discrete_cfg(ParallelPolicy::Forced))
+                    .expect("valid counts");
+            });
+            rows.push(IterateBenchRow {
+                mode: "discrete_iterative",
+                size: k,
+                threads,
+                serial_ms,
+                parallel_ms,
+                speedup: serial_ms / parallel_ms,
+            });
+        }
+    }
+
+    let nproc = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let result = IterateBenchResult { nproc, em_iterations: EM_ITERATIONS, rows };
+    // `cargo bench` sets CWD to the package dir; hop to the workspace
+    // root so the JSON lands next to the other committed BENCH_* files.
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let _ = std::env::set_current_dir(std::path::Path::new(&manifest).join("../.."));
+    }
+    match write_bench_json("iterate", &result) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_iterate.json: {e}"),
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
+criterion_group!(benches, bench_continuous, bench_discrete, bench_emit_json);
+criterion_main!(benches);

@@ -25,6 +25,7 @@ fn fixed_iterations(mode: UpdateMode, kernel: LikelihoodKernel) -> Reconstructio
         kernel,
         stopping: StoppingRule::MaxIterationsOnly,
         max_iterations: 200,
+        ..ReconstructionConfig::default()
     }
 }
 

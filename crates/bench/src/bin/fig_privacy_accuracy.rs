@@ -19,11 +19,19 @@
 //! cargo run --release -p ppdm-bench --bin fig_privacy_accuracy -- \
 //!     --train 100000 --test 5000 --function 3 --seed 7 --levels 50,100,200
 //! ```
+//!
+//! `--parallel` forces the block-parallel E-step inside every
+//! reconstruction (`ParallelPolicy::Forced` instead of the default
+//! `Auto`, which correctly stays serial under the sweep's cell-level
+//! fan-out). Results are bit-identical either way — the flag exists to
+//! exercise the parallel path at figure scale, e.g. under
+//! `RAYON_NUM_THREADS=1` for overhead measurement.
 
 use ppdm_bench::{
     render_discrete_frontier, render_frontier, run_discrete_sweep, run_sweep, write_bench_json,
     Args, SweepConfig,
 };
+use ppdm_core::reconstruct::ParallelPolicy;
 use ppdm_datagen::LabelFunction;
 
 fn main() {
@@ -44,6 +52,9 @@ fn main() {
                 eprintln!("unknown label function {number}");
                 std::process::exit(2);
             });
+    }
+    if args.has_flag("parallel") {
+        cfg.trainer.reconstruction.parallel = ParallelPolicy::Forced;
     }
     if let Some(levels) = args.get("levels") {
         cfg.privacy_levels = levels

@@ -114,6 +114,8 @@ struct IngestBenchResult {
     backpressure_rate: f64,
     epochs: u64,
     solves: u64,
+    solve_last_ms: f64,
+    solve_max_ms: f64,
     max_staleness_ms: f64,
     max_records_behind: u64,
     final_records_behind: u64,
@@ -256,6 +258,8 @@ fn main() {
         backpressure_rate,
         epochs: stats.epoch,
         solves: stats.solves,
+        solve_last_ms: stats.solve_duration_last.as_secs_f64() * 1e3,
+        solve_max_ms: stats.solve_duration_max.as_secs_f64() * 1e3,
         max_staleness_ms: max_staleness.as_secs_f64() * 1e3,
         max_records_behind: max_behind,
         final_records_behind: stats.records_behind,
@@ -278,6 +282,10 @@ fn main() {
             vec!["p99 ingest latency".into(), format!("{} ns", result.p99_ingest_ns)],
             vec!["backpressure rate".into(), table::pct(backpressure_rate)],
             vec!["snapshot epochs".into(), format!("{}", stats.epoch)],
+            vec![
+                "solve duration last / max".into(),
+                format!("{:.2} / {:.2} ms", result.solve_last_ms, result.solve_max_ms),
+            ],
             vec!["max staleness".into(), format!("{:.1} ms", result.max_staleness_ms)],
             vec!["max records behind".into(), format!("{}", max_behind)],
             vec!["final records behind".into(), format!("{}", stats.records_behind)],
@@ -306,6 +314,14 @@ fn main() {
         "merged sketch must cover every admitted record"
     );
     assert!(stats.epoch >= 1, "the re-solver never published a snapshot");
+    assert!(
+        stats.solve_duration_last > Duration::ZERO,
+        "published epochs imply a timed background solve"
+    );
+    assert!(
+        stats.solve_duration_max >= stats.solve_duration_last,
+        "max solve duration must bound the last solve"
+    );
     assert_eq!(stats.records_behind, 0, "shutdown leaves nothing unsolved");
     let staleness_bound = Duration::from_millis(resolve_ms) * 2;
     assert!(

@@ -22,6 +22,16 @@
 //! kernels. Everything derives from the config's seed — two runs of the
 //! same config produce identical tables.
 //!
+//! Per-cell solves keep their configured
+//! [`ppdm_core::reconstruct::ParallelPolicy`] (default `Auto`), and the
+//! two parallel axes *compose* rather than stack: a saturating cell
+//! fan-out claims the thread pool, so solves inside a worker observe an
+//! inner budget of 1 and take the serial path — and the sweep's
+//! per-cell problems sit far below the intra-job work threshold anyway
+//! (asserted by `sweep_cells_leave_intra_job_parallelism_disengaged`).
+//! Cell-level fan-out is the right parallel axis here; forcing
+//! intra-job blocks inside cells would only oversubscribe the pool.
+//!
 //! The frontier also covers the *discrete* face of AS00
 //! ([`run_discrete_sweep`]): randomized response on a categorical
 //! reference attribute, measured with the posterior metrics of
@@ -610,6 +620,20 @@ mod tests {
         for (a, b) in points.iter().zip(&again) {
             assert_eq!(format!("{a:?}"), format!("{b:?}"));
         }
+    }
+
+    #[test]
+    fn sweep_cells_leave_intra_job_parallelism_disengaged() {
+        use ppdm_core::reconstruct::shared_engine;
+        let before = shared_engine().parallel_solves();
+        let points = run_sweep(&SweepConfig::tiny()).unwrap();
+        assert!(!points.is_empty());
+        assert_eq!(
+            shared_engine().parallel_solves(),
+            before,
+            "Auto must stay serial inside sweep cells: the cell fan-out owns the \
+             pool and tiny per-cell solves sit below the parallel work threshold"
+        );
     }
 
     #[test]

@@ -263,6 +263,12 @@ impl<'a> Coordinator<'a> {
 
     /// Reconstructs the original distribution from the merged round,
     /// through the process-wide shared engine.
+    ///
+    /// A cohort solve is a single job, so `config.parallel` routes
+    /// straight through: under the default
+    /// [`crate::reconstruct::ParallelPolicy::Auto`] a big enough merged
+    /// round engages the block-parallel E-step whenever the rayon pool
+    /// is free, with bit-identical results either way.
     pub fn reconstruct(&self, config: &ReconstructionConfig) -> Result<Reconstruction> {
         self.reconstruct_with(shared_engine(), config)
     }
@@ -339,6 +345,8 @@ impl<'a> DiscreteCoordinator<'a> {
 
     /// Reconstructs the original state distribution from the merged
     /// round, through the process-wide shared discrete engine.
+    /// `config.parallel` routes through exactly as in the continuous
+    /// [`Coordinator::reconstruct`].
     pub fn reconstruct(
         &self,
         config: &DiscreteReconstructionConfig,

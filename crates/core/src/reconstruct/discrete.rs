@@ -38,8 +38,9 @@ use crate::error::{Error, Result};
 use crate::randomize::{ChannelFingerprint, DiscreteChannel};
 
 use super::engine::floored_prior;
-use super::iterate::{run_iterate_core, ColumnMatrix, TransposedEStep};
+use super::iterate::{engaged_plan, run_iterate_core, ColumnMatrix, ParallelPlan, TransposedEStep};
 use super::stopping::StoppingRule;
+use super::ParallelPolicy;
 
 /// A channel matrix factored once (pivoted LU) for repeated closed-form
 /// solves against different right-hand sides.
@@ -205,6 +206,12 @@ pub struct DiscreteReconstructionConfig {
     pub stopping: StoppingRule,
     /// Hard cap on iterations regardless of the stopping rule.
     pub max_iterations: usize,
+    /// Intra-solve parallelism for the [`DiscreteSolver::Iterative`]
+    /// E-step; the closed form ignores it. Same semantics — and the same
+    /// bit-identity guarantee — as the continuous
+    /// [`super::ReconstructionConfig::parallel`].
+    #[serde(default)]
+    pub parallel: ParallelPolicy,
 }
 
 impl Default for DiscreteReconstructionConfig {
@@ -213,6 +220,7 @@ impl Default for DiscreteReconstructionConfig {
             solver: DiscreteSolver::Iterative,
             stopping: StoppingRule::default(),
             max_iterations: 5_000,
+            parallel: ParallelPolicy::Auto,
         }
     }
 }
@@ -503,6 +511,13 @@ pub struct DiscreteReconstructionEngine {
     hits: AtomicUsize,
     /// Factorizations discarded by wholesale budget flushes.
     evictions: AtomicUsize,
+    /// Block geometry used when an iterative solve engages the parallel
+    /// E-step.
+    parallel_plan: ParallelPlan,
+    /// Solves that actually engaged the block-parallel E-step (for the
+    /// oversubscription assertions; mirrors
+    /// [`super::ReconstructionEngine::parallel_solves`]).
+    parallel_solves: AtomicUsize,
 }
 
 impl Default for DiscreteReconstructionEngine {
@@ -536,7 +551,24 @@ impl DiscreteReconstructionEngine {
             builds: AtomicUsize::new(0),
             hits: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
+            parallel_plan: ParallelPlan::default(),
+            parallel_solves: AtomicUsize::new(0),
         }
+    }
+
+    /// Overrides the parallel E-step's block geometry (rows per
+    /// denominator block, cells per gather block; both clamped to ≥ 1).
+    /// Mirrors [`super::ReconstructionEngine::with_parallel_blocks`].
+    pub fn with_parallel_blocks(mut self, row_block: usize, col_block: usize) -> Self {
+        self.parallel_plan = ParallelPlan::new(row_block, col_block);
+        self
+    }
+
+    /// How many iterative solves engaged the block-parallel E-step over
+    /// the engine's lifetime. Mirrors
+    /// [`super::ReconstructionEngine::parallel_solves`].
+    pub fn parallel_solves(&self) -> usize {
+        self.parallel_solves.load(Ordering::Relaxed)
     }
 
     /// Number of factored channels currently cached.
@@ -650,7 +682,8 @@ impl DiscreteReconstructionEngine {
                 converged: true,
             }),
             DiscreteSolver::Iterative => {
-                run_discrete_iterate(&factored, observed_counts, total, config, None)
+                let plan = self.engaged_plan_for(config, factored.states());
+                run_discrete_iterate(&factored, observed_counts, total, config, None, plan)
             }
         }
     }
@@ -696,12 +729,14 @@ impl DiscreteReconstructionEngine {
             }),
             DiscreteSolver::Iterative => {
                 let warm = initial.map(|probs| floored_prior(probs, stats.states())).transpose()?;
+                let plan = self.engaged_plan_for(config, factored.states());
                 run_discrete_iterate(
                     &factored,
                     &counts,
                     stats.count() as f64,
                     config,
                     warm.as_deref(),
+                    plan,
                 )
             }
         }
@@ -724,6 +759,21 @@ impl DiscreteReconstructionEngine {
                 }
             })
             .collect()
+    }
+
+    /// Resolves the effective parallel plan for one iterative solve (the
+    /// discrete E-step is a `k x k` problem: `k` rows of `k` cells) and
+    /// bumps the engagement counter when it is live.
+    fn engaged_plan_for(
+        &self,
+        config: &DiscreteReconstructionConfig,
+        k: usize,
+    ) -> Option<ParallelPlan> {
+        let plan = engaged_plan(config.parallel, k, k, self.parallel_plan);
+        if plan.is_some() {
+            self.parallel_solves.fetch_add(1, Ordering::Relaxed);
+        }
+        plan
     }
 
     fn validate_counts(&self, channel: &dyn DiscreteChannel, counts: &[f64]) -> Result<()> {
@@ -754,12 +804,13 @@ fn run_discrete_iterate(
     n: f64,
     config: &DiscreteReconstructionConfig,
     initial: Option<&[f64]>,
+    plan: Option<ParallelPlan>,
 ) -> Result<DiscreteReconstruction> {
     let k = factored.states();
     // The column-major transition copy was built once at factorization
     // time (cached by fingerprint), so warm solves borrow it outright.
     let matrix = ColumnMatrix::new(Cow::Borrowed(&factored.transposed), k, k);
-    let mut estep = TransposedEStep::new(matrix, Cow::Borrowed(observed_counts));
+    let mut estep = TransposedEStep::with_plan(matrix, Cow::Borrowed(observed_counts), plan);
     let out = run_iterate_core(&mut estep, k, n, &config.stopping, config.max_iterations, initial);
     let estimate: Vec<f64> = out.probs.iter().map(|p| p * n).collect();
     Ok(DiscreteReconstruction { estimate, iterations: out.iterations, converged: out.converged })

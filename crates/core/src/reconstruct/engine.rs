@@ -81,7 +81,10 @@ use crate::randomize::{NoiseDensity, NoiseFingerprint};
 use crate::simd;
 use crate::stats::Histogram;
 
-use super::iterate::{run_iterate_core, ColumnMatrix, EStep, IterateOutcome, TransposedEStep};
+use super::iterate::{
+    engaged_plan, run_iterate_core, ColumnMatrix, EStep, IterateOutcome, ParallelPlan,
+    TransposedEStep,
+};
 use super::streaming::SuffStats;
 use super::{LikelihoodKernel, Reconstruction, ReconstructionConfig, UpdateMode};
 
@@ -326,10 +329,116 @@ impl RowSource<'_> {
 struct ExactEStep<'a> {
     pairs: &'a [(f64, f64)],
     rows: RowSource<'a>,
+    /// Block geometry for the parallel path; `None` (and always for
+    /// streamed rows) runs the serial body. The streamed source keeps
+    /// its `O(m)` memory contract by re-evaluating each row once per
+    /// iteration inside one sequential sweep — a parallel decomposition
+    /// would either duplicate the density evaluations per column block
+    /// or break bit-identity with a cross-block reduction, so streaming
+    /// stays serial and `Forced` only applies to materialized rows.
+    plan: Option<ParallelPlan>,
+    /// Parallel scratch, interleaved `[denom, coeff, ll_term]` per row.
+    dcl: Vec<f64>,
+}
+
+impl<'a> ExactEStep<'a> {
+    fn new(pairs: &'a [(f64, f64)], rows: RowSource<'a>, plan: Option<ParallelPlan>) -> Self {
+        let plan = match rows {
+            RowSource::Dense { .. } => plan,
+            RowSource::Streamed { .. } => None,
+        };
+        let scratch = if plan.is_some() { pairs.len() } else { 0 };
+        ExactEStep { pairs, rows, plan, dcl: vec![0.0; 3 * scratch] }
+    }
+
+    /// Whether this solve will actually run the block-parallel path
+    /// (a `Forced`/`Auto` plan survives only for dense rows).
+    fn engaged(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// The block-parallel accumulate over dense rows, bit-identical to
+    /// the serial body (see the `iterate` module docs for the scheme):
+    ///
+    /// * **Phase A, partitioned by rows**: each row's `dot(row, probs)`
+    ///   denominator — the serial dot, whole — its update coefficient
+    ///   `w / denom` (0 for skipped rows), and its `w * ln(denom)`
+    ///   log-likelihood term when requested (the `ln` is the expensive
+    ///   part, so it must not stay serial). All three land in one
+    ///   interleaved scratch so a block touches only its own rows once.
+    /// * **Serial chains**: `used_weight` and the log-likelihood sum the
+    ///   per-row terms left to right, and the gather replays the serial
+    ///   `axpy` sweep — row-major, rows in order, identical skip
+    ///   structure — verbatim from the precomputed coefficients. The
+    ///   gather stays serial deliberately: `next` accumulates across
+    ///   *all* rows in a flat left-to-right chain, so a row partition
+    ///   would need a cross-block reduction (not bit-identical) and a
+    ///   column partition strides the row-major matrix (measured ~2x
+    ///   slower than the serial sweep from cache-line waste alone).
+    ///   Phase A is where the wins are: the dots and `ln`s dominate the
+    ///   E-step and split perfectly along rows.
+    fn accumulate_parallel(
+        &mut self,
+        plan: ParallelPlan,
+        probs: &[f64],
+        next: &mut [f64],
+        need_ll: bool,
+    ) -> (f64, f64) {
+        let (values, m) = match &self.rows {
+            RowSource::Dense { values, m } => (values.as_slice(), *m),
+            RowSource::Streamed { .. } => unreachable!("streamed rows never carry a plan"),
+        };
+        let pairs = self.pairs;
+
+        self.dcl.par_chunks_mut(3 * plan.row_block).enumerate().for_each(|(b, seg)| {
+            let start = b * plan.row_block;
+            for (j, trio) in seg.chunks_exact_mut(3).enumerate() {
+                let i = start + j;
+                let weight = pairs[i].0;
+                let row = &values[i * m..(i + 1) * m];
+                let denom = simd::dot(row, probs);
+                trio[0] = denom;
+                if denom <= f64::MIN_POSITIVE {
+                    trio[1] = 0.0;
+                    trio[2] = 0.0;
+                } else {
+                    trio[1] = weight / denom;
+                    trio[2] = if need_ll { weight * denom.ln() } else { 0.0 };
+                }
+            }
+        });
+
+        let mut used_weight = 0.0;
+        let mut log_likelihood = if need_ll { 0.0 } else { f64::NAN };
+        for (i, &(weight, _)) in pairs.iter().enumerate() {
+            if self.dcl[3 * i] <= f64::MIN_POSITIVE {
+                continue;
+            }
+            used_weight += weight;
+            if need_ll {
+                log_likelihood += self.dcl[3 * i + 2];
+            }
+        }
+
+        for i in 0..pairs.len() {
+            if self.dcl[3 * i] <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let row = &values[i * m..(i + 1) * m];
+            simd::axpy(self.dcl[3 * i + 1], row, next);
+        }
+        for (slot, p) in next.iter_mut().zip(probs) {
+            *slot *= p;
+        }
+        (used_weight, log_likelihood)
+    }
 }
 
 impl EStep for ExactEStep<'_> {
     fn accumulate(&mut self, probs: &[f64], next: &mut [f64], need_ll: bool) -> (f64, f64) {
+        if let Some(plan) = self.plan {
+            return self.accumulate_parallel(plan, probs, next, need_ll);
+        }
         let mut used_weight = 0.0;
         let mut log_likelihood = if need_ll { 0.0 } else { f64::NAN };
         for (idx, &(weight, value)) in self.pairs.iter().enumerate() {
@@ -525,6 +634,12 @@ pub struct ReconstructionEngine {
     hits: AtomicUsize,
     /// Kernels discarded by wholesale budget flushes.
     evictions: AtomicUsize,
+    /// Block geometry used when a solve engages the parallel E-step.
+    parallel_plan: ParallelPlan,
+    /// Solves that actually engaged the block-parallel E-step (for the
+    /// oversubscription assertions: an Auto batch fanned out by
+    /// [`Self::reconstruct_many`] must leave this untouched).
+    parallel_solves: AtomicUsize,
 }
 
 impl Default for ReconstructionEngine {
@@ -562,6 +677,8 @@ impl ReconstructionEngine {
             builds: AtomicUsize::new(0),
             hits: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
+            parallel_plan: ParallelPlan::default(),
+            parallel_solves: AtomicUsize::new(0),
         }
     }
 
@@ -571,6 +688,25 @@ impl ReconstructionEngine {
     pub fn with_exact_materialize_entries(mut self, entries: usize) -> Self {
         self.exact_materialize_entries = entries;
         self
+    }
+
+    /// Overrides the parallel E-step's block geometry (rows per
+    /// denominator block, cells per gather block; both clamped to ≥ 1).
+    /// The defaults suit production; the determinism property suites use
+    /// this to sweep block counts, since results are bit-identical for
+    /// *every* block geometry, not just the default.
+    pub fn with_parallel_blocks(mut self, row_block: usize, col_block: usize) -> Self {
+        self.parallel_plan = ParallelPlan::new(row_block, col_block);
+        self
+    }
+
+    /// How many solves engaged the block-parallel E-step over the
+    /// engine's lifetime. Observability for the oversubscription
+    /// contract: a large [`Self::reconstruct_many`] batch under
+    /// [`super::ParallelPolicy::Auto`] claims the pool at the job level
+    /// and must not add to this counter.
+    pub fn parallel_solves(&self) -> usize {
+        self.parallel_solves.load(Ordering::Relaxed)
     }
 
     /// Number of kernels currently cached (for tests and introspection).
@@ -707,7 +843,11 @@ impl ReconstructionEngine {
                         buf: vec![0.0; m],
                     }
                 };
-                let mut estep = ExactEStep { pairs: &pairs, rows };
+                let plan = engaged_plan(config.parallel, observed.len(), m, self.parallel_plan);
+                let mut estep = ExactEStep::new(&pairs, rows, plan);
+                if estep.engaged() {
+                    self.parallel_solves.fetch_add(1, Ordering::Relaxed);
+                }
                 let out = run_iterate_core(
                     &mut estep,
                     m,
@@ -733,7 +873,11 @@ impl ReconstructionEngine {
         initial: Option<&[f64]>,
     ) -> Result<Reconstruction> {
         let (active, weights) = matrix.active_problem(masses);
-        let mut estep = TransposedEStep::new(active, weights);
+        let plan = engaged_plan(config.parallel, active.rows(), active.cells(), self.parallel_plan);
+        if plan.is_some() {
+            self.parallel_solves.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut estep = TransposedEStep::with_plan(active, weights, plan);
         let out = run_iterate_core(
             &mut estep,
             partition.len(),

@@ -38,8 +38,52 @@
 //! suites bound the divergence at ≤ 1e-10 instead, and the scalar
 //! reference is kept byte-for-byte untouched as the oracle. Results stay
 //! fully deterministic (fixed lane width [`simd::LANES`], fixed
-//! accumulation order, no threading inside a solve), so golden fixtures
-//! remain byte-reproducible run to run and across machines.
+//! accumulation order), so golden fixtures remain byte-reproducible run
+//! to run and across machines.
+//!
+//! # Block-parallel E-steps
+//!
+//! A solve may additionally fan its E-step across worker threads (see
+//! [`super::ParallelPolicy`]) without perturbing a single bit of the
+//! result. The decomposition is chosen so that **no floating-point
+//! reduction ever depends on the thread count**:
+//!
+//! * Work is partitioned into fixed-size blocks ([`ParallelPlan`]) whose
+//!   count is a pure function of the problem geometry (`rows`, `cells`)
+//!   — never of how many threads happen to execute them.
+//! * The heavy phases are *element-disjoint*: the denominator sweep
+//!   partitions by **rows** (each block replays the identical
+//!   [`simd::axpy4`] column sweep on its contiguous row range — the
+//!   per-element operations and their order are exactly the serial
+//!   ones), and the transposed `next` gather partitions by **columns**
+//!   (each cell's [`simd::dot`] is computed whole, in one block, exactly
+//!   as the serial path computes it; the column-major layout keeps
+//!   every block's reads contiguous). Disjoint elements need no combine
+//!   at all; their "reduction tree" is concatenation, which is
+//!   trivially shape-fixed. The Exact dense E-step (row-major
+//!   per-observation rows, in `engine.rs`) parallelizes its row
+//!   partition only — denominators, coefficients, and `ln` terms — and
+//!   keeps the gather as the serial `axpy` sweep: its `next` vector
+//!   accumulates across all rows in one flat chain, so a row partition
+//!   would need a cross-block reduction (not bit-identical) and a
+//!   column partition strides the row-major matrix against the grain.
+//! * The only true reductions — `used_weight` and the log-likelihood —
+//!   are combined in a fixed left-to-right chain over per-row terms in
+//!   row order: the *same* chain the serial loop runs, so the sums are
+//!   bit-identical to serial, not merely deterministic. (A balanced
+//!   pairwise tree over block partials would also be thread-count
+//!   independent, but would diverge from the serial oracle; the chain is
+//!   the degenerate fixed-shape tree that preserves it.)
+//!
+//! The serial accumulate bodies below are byte-untouched and remain the
+//! oracle; `tests/iterate_parallel_props.rs` property-tests bitwise
+//! equality across block sizes and `RAYON_NUM_THREADS` settings. The
+//! engines engage the parallel path per [`super::ParallelPolicy`]: under
+//! `Auto` only when the per-iteration work clears
+//! [`PARALLEL_WORK_THRESHOLD`] and the caller does not already sit
+//! inside a rayon fan-out (`rayon::current_thread_index()` is `None` and
+//! spare budget exists) — an outer `reconstruct_many` batch or sweep
+//! cell claims the pool and inner parallelism stays off.
 //!
 //! The observed-data log-likelihood falls out of the per-row denominators
 //! for free *except* for the `ln` call per row, which measurably taxes
@@ -50,9 +94,12 @@
 
 use std::borrow::Cow;
 
+use rayon::slice::ParallelSliceMut;
+
 use crate::simd;
 
 use super::stopping::StoppingRule;
+use super::ParallelPolicy;
 
 /// Unconditional stall breakout threshold: once the L1 distance between
 /// successive probability vectors drops below this, the step is at
@@ -63,6 +110,73 @@ use super::stopping::StoppingRule;
 /// `rel_tolerance` is 1e-8), well above f64 round-off for the ≤ ~100-cell
 /// probability vectors the iterate runs over.
 pub(crate) const STALL_L1_THRESHOLD: f64 = 1e-12;
+
+/// Minimum per-iteration work (`rows * cells` likelihood entries) before
+/// [`ParallelPolicy::Auto`] engages the block-parallel E-step. Below
+/// this, thread dispatch costs more than it saves: at ~1ns per entry the
+/// threshold corresponds to ~250µs of serial E-step per iteration,
+/// orders of magnitude above the stand-in pool's scoped-spawn cost.
+/// Bucketed paper-scale solves (`(m + k) × m` ≈ tens of thousands of
+/// entries) deliberately stay under it; dense/streamed Exact solves and
+/// very fine discrete channels clear it.
+pub(crate) const PARALLEL_WORK_THRESHOLD: usize = 1 << 18;
+
+/// Default row-block height for the parallel denominator sweep.
+pub(crate) const DEFAULT_PARALLEL_ROW_BLOCK: usize = 512;
+
+/// Default column-block width for the parallel `next` gather.
+pub(crate) const DEFAULT_PARALLEL_COL_BLOCK: usize = 4;
+
+/// Fixed block geometry for a parallel E-step. Block *counts* are
+/// derived from these sizes and the problem geometry alone, so the work
+/// decomposition — and with it every floating-point operation order —
+/// is independent of the executing thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ParallelPlan {
+    /// Rows per denominator block (phase 1).
+    pub row_block: usize,
+    /// Cells per `next`-gather block (phase 3).
+    pub col_block: usize,
+}
+
+impl Default for ParallelPlan {
+    fn default() -> Self {
+        ParallelPlan {
+            row_block: DEFAULT_PARALLEL_ROW_BLOCK,
+            col_block: DEFAULT_PARALLEL_COL_BLOCK,
+        }
+    }
+}
+
+impl ParallelPlan {
+    pub(crate) fn new(row_block: usize, col_block: usize) -> Self {
+        ParallelPlan { row_block: row_block.max(1), col_block: col_block.max(1) }
+    }
+}
+
+/// Decides whether a solve over a `rows × cells` E-step engages the
+/// block-parallel path, per the policy semantics documented on
+/// [`ParallelPolicy`]. Returns the plan to run with, or `None` for the
+/// byte-untouched serial path.
+pub(crate) fn engaged_plan(
+    policy: ParallelPolicy,
+    rows: usize,
+    cells: usize,
+    plan: ParallelPlan,
+) -> Option<ParallelPlan> {
+    match policy {
+        ParallelPolicy::Serial => None,
+        ParallelPolicy::Forced => Some(plan),
+        ParallelPolicy::Auto => {
+            let big_enough = rows.saturating_mul(cells) >= PARALLEL_WORK_THRESHOLD;
+            // Inside an outer fan-out (batched jobs, sweep cells) the
+            // pool is claimed: stay serial unless this worker was left
+            // spare budget by a smaller-than-pool batch.
+            let pool_free = rayon::available_inner_parallelism() > 1;
+            (big_enough && pool_free).then_some(plan)
+        }
+    }
+}
 
 /// Outcome of the shared iterate: the final (normalized) probability
 /// vector plus the bookkeeping both engines report.
@@ -124,13 +238,102 @@ pub(crate) struct TransposedEStep<'a> {
     denom: Vec<f64>,
     /// Scratch: per-row update coefficients `w / denom` (0 for skipped rows).
     coeff: Vec<f64>,
+    /// Block geometry for the parallel path; `None` runs the serial body.
+    plan: Option<ParallelPlan>,
 }
 
 impl<'a> TransposedEStep<'a> {
+    /// Serial construction — the oracle the determinism tests compare
+    /// the planned path against.
+    #[cfg(test)]
     pub(crate) fn new(matrix: ColumnMatrix<'a>, weights: Cow<'a, [f64]>) -> Self {
+        Self::with_plan(matrix, weights, None)
+    }
+
+    pub(crate) fn with_plan(
+        matrix: ColumnMatrix<'a>,
+        weights: Cow<'a, [f64]>,
+        plan: Option<ParallelPlan>,
+    ) -> Self {
         let rows = matrix.rows();
         debug_assert_eq!(weights.len(), rows);
-        TransposedEStep { matrix, weights, denom: vec![0.0; rows], coeff: vec![0.0; rows] }
+        TransposedEStep { matrix, weights, denom: vec![0.0; rows], coeff: vec![0.0; rows], plan }
+    }
+
+    /// The block-parallel accumulate: bit-identical to the serial body
+    /// (see the module docs for why), phase by phase:
+    ///
+    /// 1. **Denominators, partitioned by rows.** Each block zeroes and
+    ///    sweeps its own contiguous `denom` range using the same
+    ///    4-column `axpy4` + scalar-tail schedule as the serial path,
+    ///    restricted to the block's row range of each column. `axpy`
+    ///    kernels are element-wise, so restricting them to a subrange
+    ///    performs exactly the serial per-element operations.
+    /// 2. **Coefficients + reductions, serial.** The `used_weight` /
+    ///    log-likelihood chain is O(rows) adds over the ≤ few-thousand
+    ///    transposed rows — cheap next to the O(rows·m) sweeps — and
+    ///    runs the serial loop verbatim, preserving its skip structure
+    ///    and left-to-right order bit for bit.
+    /// 3. **`next` gather, partitioned by columns.** Each cell's
+    ///    `probs[p] * dot(col(p), coeff)` is one whole serial-identical
+    ///    lane-blocked dot.
+    fn accumulate_parallel(
+        &mut self,
+        plan: ParallelPlan,
+        probs: &[f64],
+        next: &mut [f64],
+        need_ll: bool,
+    ) -> (f64, f64) {
+        let m = self.matrix.cells();
+        let matrix = &self.matrix;
+
+        self.denom.par_chunks_mut(plan.row_block).enumerate().for_each(|(b, seg)| {
+            let start = b * plan.row_block;
+            let end = start + seg.len();
+            seg.fill(0.0);
+            let mut p = 0;
+            while p + 4 <= m {
+                simd::axpy4(
+                    [probs[p], probs[p + 1], probs[p + 2], probs[p + 3]],
+                    [
+                        &matrix.col(p)[start..end],
+                        &matrix.col(p + 1)[start..end],
+                        &matrix.col(p + 2)[start..end],
+                        &matrix.col(p + 3)[start..end],
+                    ],
+                    seg,
+                );
+                p += 4;
+            }
+            while p < m {
+                simd::axpy(probs[p], &matrix.col(p)[start..end], seg);
+                p += 1;
+            }
+        });
+
+        let mut used_weight = 0.0;
+        let mut log_likelihood = if need_ll { 0.0 } else { f64::NAN };
+        for ((c, &d), &w) in self.coeff.iter_mut().zip(&self.denom).zip(self.weights.as_ref()) {
+            if d <= f64::MIN_POSITIVE {
+                *c = 0.0;
+                continue;
+            }
+            used_weight += w;
+            if need_ll {
+                log_likelihood += w * d.ln();
+            }
+            *c = w / d;
+        }
+
+        let coeff = &self.coeff;
+        next.par_chunks_mut(plan.col_block).enumerate().for_each(|(b, seg)| {
+            let base = b * plan.col_block;
+            for (j, slot) in seg.iter_mut().enumerate() {
+                let p = base + j;
+                *slot = probs[p] * simd::dot(matrix.col(p), coeff);
+            }
+        });
+        (used_weight, log_likelihood)
     }
 }
 
@@ -139,6 +342,9 @@ impl EStep for TransposedEStep<'_> {
         let m = self.matrix.cells();
         debug_assert_eq!(probs.len(), m);
         debug_assert_eq!(next.len(), m);
+        if let Some(plan) = self.plan {
+            return self.accumulate_parallel(plan, probs, next, need_ll);
+        }
 
         // Denominators: the blocked dense K·p. axpy4 is bit-identical to
         // four sequential axpys, so the 4-column blocking plus scalar
@@ -337,6 +543,96 @@ mod tests {
         assert_eq!(out.iterations, 1);
         assert!(!out.converged);
         assert_eq!(out.probs, vec![0.5, 0.5]);
+    }
+
+    /// An irregular column-major likelihood matrix plus weights, sized
+    /// to leave ragged tail blocks for any small block size.
+    fn irregular_problem(rows: usize, m: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut cols = vec![0.0f64; rows * m];
+        for p in 0..m {
+            for i in 0..rows {
+                // Deterministic, scale-diverse, strictly positive.
+                cols[p * rows + i] = 1e-6 + (((i * 13 + p * 29 + 7) % 101) as f64).exp2() * 1e-9;
+            }
+        }
+        let weights: Vec<f64> = (0..rows).map(|i| ((i * 17) % 23) as f64).collect();
+        (cols, weights)
+    }
+
+    #[test]
+    fn parallel_transposed_estep_is_bit_identical_for_every_block_shape() {
+        let (rows, m) = (237, 11);
+        let (cols, weights) = irregular_problem(rows, m);
+        let probs: Vec<f64> = (0..m).map(|p| (p + 1) as f64 / (m * (m + 1) / 2) as f64).collect();
+
+        let mut serial = TransposedEStep::new(
+            ColumnMatrix::new(Cow::Borrowed(&cols), rows, m),
+            Cow::Borrowed(&weights),
+        );
+        let mut next_s = vec![0.0; m];
+        let (used_s, ll_s) = serial.accumulate(&probs, &mut next_s, true);
+
+        for (rb, cb) in [(1, 1), (3, 2), (8, 4), (64, 3), (512, 4), (1024, 64)] {
+            let mut parallel = TransposedEStep::with_plan(
+                ColumnMatrix::new(Cow::Borrowed(&cols), rows, m),
+                Cow::Borrowed(&weights),
+                Some(ParallelPlan::new(rb, cb)),
+            );
+            let mut next_p = vec![0.0; m];
+            let (used_p, ll_p) = parallel.accumulate(&probs, &mut next_p, true);
+            assert_eq!(used_s.to_bits(), used_p.to_bits(), "used_weight, blocks {rb}x{cb}");
+            assert_eq!(ll_s.to_bits(), ll_p.to_bits(), "log_likelihood, blocks {rb}x{cb}");
+            for (p, (s, q)) in next_s.iter().zip(&next_p).enumerate() {
+                assert_eq!(s.to_bits(), q.to_bits(), "next[{p}], blocks {rb}x{cb}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_transposed_estep_preserves_the_skip_structure() {
+        // Rows whose denominator underflows must be skipped identically
+        // in both paths (zero coefficient, no used-weight / ll term).
+        let (rows, m) = (70, 6);
+        let (mut cols, weights) = irregular_problem(rows, m);
+        for p in 0..m {
+            // Zero out every third row's likelihood across all cells.
+            for i in (0..rows).step_by(3) {
+                cols[p * rows + i] = 0.0;
+            }
+        }
+        let probs = vec![1.0 / m as f64; m];
+        let mut serial = TransposedEStep::new(
+            ColumnMatrix::new(Cow::Borrowed(&cols), rows, m),
+            Cow::Borrowed(&weights),
+        );
+        let mut parallel = TransposedEStep::with_plan(
+            ColumnMatrix::new(Cow::Borrowed(&cols), rows, m),
+            Cow::Borrowed(&weights),
+            Some(ParallelPlan::new(16, 1)),
+        );
+        let (mut next_s, mut next_p) = (vec![0.0; m], vec![0.0; m]);
+        let (used_s, ll_s) = serial.accumulate(&probs, &mut next_s, true);
+        let (used_p, ll_p) = parallel.accumulate(&probs, &mut next_p, true);
+        assert_eq!(used_s.to_bits(), used_p.to_bits());
+        assert_eq!(ll_s.to_bits(), ll_p.to_bits());
+        assert_eq!(
+            next_s.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            next_p.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn engaged_plan_honors_policy_threshold_and_pool_state() {
+        let plan = ParallelPlan::default();
+        let big = PARALLEL_WORK_THRESHOLD; // rows*cells exactly at threshold
+        assert_eq!(engaged_plan(ParallelPolicy::Serial, big, 1, plan), None);
+        assert_eq!(engaged_plan(ParallelPolicy::Forced, 1, 1, plan), Some(plan));
+        assert_eq!(engaged_plan(ParallelPolicy::Auto, big - 1, 1, plan), None, "below threshold");
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        assert_eq!(engaged_plan(ParallelPolicy::Auto, big, 1, plan), Some(plan));
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        assert_eq!(engaged_plan(ParallelPolicy::Auto, big, 1, plan), None, "no spare threads");
+        std::env::remove_var("RAYON_NUM_THREADS");
     }
 
     #[test]

@@ -101,6 +101,34 @@ pub enum UpdateMode {
     Bucketed,
 }
 
+/// Whether a single solve may fan its E-step across worker threads.
+///
+/// The parallel iterate partitions each E-step into fixed-size blocks
+/// whose count depends only on the problem geometry — never on the
+/// thread count — and every floating-point combine runs in a fixed
+/// order, so the parallel result is **bit-identical** to the serial
+/// path for any thread count (see the `iterate` module docs and
+/// `tests/iterate_parallel_props.rs`). The policy therefore only
+/// trades wall-clock for cores; it never changes a result.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParallelPolicy {
+    /// Never parallelize inside a solve.
+    Serial,
+    /// Parallelize when the per-iteration work clears a size threshold
+    /// *and* the caller is not already inside a rayon fan-out (an outer
+    /// `reconstruct_many` batch or a sweep cell claims the pool; inner
+    /// parallelism then stays off to avoid oversubscription). The
+    /// default: large single solves scale across cores, batches and
+    /// small solves stay serial.
+    #[default]
+    Auto,
+    /// Always run the block-parallel E-step, regardless of problem size
+    /// or pool state. Intended for benches and determinism tests; under
+    /// an outer fan-out the blocks simply run inline on the worker's
+    /// budget.
+    Forced,
+}
+
 /// Configuration of the reconstruction procedure.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ReconstructionConfig {
@@ -112,6 +140,10 @@ pub struct ReconstructionConfig {
     pub stopping: StoppingRule,
     /// Hard cap on iterations regardless of the stopping rule.
     pub max_iterations: usize,
+    /// Intra-solve parallelism policy. Defaults to [`ParallelPolicy::Auto`];
+    /// absent in serialized configs from before the field existed.
+    #[serde(default)]
+    pub parallel: ParallelPolicy,
 }
 
 impl Default for ReconstructionConfig {
@@ -121,6 +153,7 @@ impl Default for ReconstructionConfig {
             mode: UpdateMode::Bucketed,
             stopping: StoppingRule::default(),
             max_iterations: 5_000,
+            parallel: ParallelPolicy::Auto,
         }
     }
 }

@@ -446,6 +446,12 @@ impl<'a> IncrementalReconstructor<'a> {
     /// Reconstructs the original distribution from the accumulated
     /// statistics, warm-starting from the previous posterior when one
     /// exists, and stores the new posterior for the next call.
+    ///
+    /// This is a single-job solve, so `config.parallel` routes straight
+    /// through: under the default [`super::ParallelPolicy::Auto`] a big
+    /// enough re-solve engages the block-parallel E-step whenever the
+    /// rayon pool is free — with results bit-identical to the serial
+    /// path either way.
     pub fn solve(&mut self) -> Result<Reconstruction> {
         let result = self.engine.reconstruct_stats(
             self.noise,

@@ -75,7 +75,11 @@ pub struct ServeConfig {
     pub resolve_interval: Duration,
     /// EM parameters for the background solves. The bucketed update is
     /// used regardless of `mode` — sketches carry no per-observation
-    /// rows.
+    /// rows. The `parallel` policy routes straight through: the
+    /// re-solver's warm solves are single-job calls, so under the
+    /// default `Auto` a big enough problem engages the block-parallel
+    /// E-step whenever the rayon pool is free (the re-solver runs on its
+    /// own OS thread, outside any pool worker).
     pub reconstruction: ReconstructionConfig,
 }
 
@@ -123,6 +127,12 @@ struct Counters {
     /// Nanoseconds after service start when the re-solver last completed
     /// a full drain cycle (staleness probe).
     last_cycle_nanos: AtomicU64,
+    /// Wall-clock nanoseconds of the most recent background solve (the
+    /// `reconstruct_stats` call alone, not the drain or publish around
+    /// it).
+    solve_nanos_last: AtomicU64,
+    /// Longest background solve observed, in nanoseconds.
+    solve_nanos_max: AtomicU64,
 }
 
 impl Counters {
@@ -136,6 +146,8 @@ impl Counters {
             solves: AtomicU64::new(0),
             solve_errors: AtomicU64::new(0),
             last_cycle_nanos: AtomicU64::new(0),
+            solve_nanos_last: AtomicU64::new(0),
+            solve_nanos_max: AtomicU64::new(0),
         }
     }
 }
@@ -171,6 +183,13 @@ pub struct ServiceStats {
     /// it is the time since the service started, because a service that
     /// has never published is maximally stale, not fresh.
     pub staleness: Duration,
+    /// Wall-clock cost of the most recent background solve — the
+    /// `reconstruct_stats` call alone, excluding the drain and publish
+    /// around it. Zero until the first solve completes.
+    pub solve_duration_last: Duration,
+    /// The longest background solve observed over the service lifetime.
+    /// Zero until the first solve completes.
+    pub solve_duration_max: Duration,
     /// Recycling-pool counters.
     pub pool: PoolStats,
 }
@@ -407,6 +426,12 @@ impl IngestService {
             solves: self.counters.solves.load(Ordering::Relaxed),
             solve_errors: self.counters.solve_errors.load(Ordering::Relaxed),
             staleness,
+            solve_duration_last: Duration::from_nanos(
+                self.counters.solve_nanos_last.load(Ordering::Relaxed),
+            ),
+            solve_duration_max: Duration::from_nanos(
+                self.counters.solve_nanos_max.load(Ordering::Relaxed),
+            ),
             pool: self.pool.stats(),
         }
     }
@@ -558,7 +583,12 @@ fn resolver_loop(
         // Solve only when the drain surfaced new records; the published
         // snapshot already covers everything else.
         if total.count() > counters.solved_records.load(Ordering::Relaxed) {
-            match engine.reconstruct_stats(noise.as_ref(), &total, &config, warm.as_deref()) {
+            let solve_started = Instant::now();
+            let solved = engine.reconstruct_stats(noise.as_ref(), &total, &config, warm.as_deref());
+            let solve_nanos = solve_started.elapsed().as_nanos() as u64;
+            counters.solve_nanos_last.store(solve_nanos, Ordering::Relaxed);
+            counters.solve_nanos_max.fetch_max(solve_nanos, Ordering::Relaxed);
+            match solved {
                 Ok(recon) => {
                     warm = Some(recon.histogram.probabilities());
                     counters.solved_records.store(total.count(), Ordering::Relaxed);

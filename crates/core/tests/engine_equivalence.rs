@@ -58,6 +58,7 @@ fn all_configs() -> Vec<ReconstructionConfig> {
                 // the full iterate.
                 stopping: StoppingRule::MaxIterationsOnly,
                 max_iterations: 300,
+                ..ReconstructionConfig::default()
             });
         }
     }

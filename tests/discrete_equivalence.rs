@@ -200,6 +200,7 @@ proptest! {
             solver: DiscreteSolver::Iterative,
             stopping: StoppingRule::MaxIterationsOnly,
             max_iterations: 200,
+            ..Default::default()
         };
         let engine = DiscreteReconstructionEngine::new();
         let engined = engine.reconstruct(&channel, &counts, &config).expect("valid counts");
@@ -237,6 +238,7 @@ proptest! {
             solver: DiscreteSolver::Iterative,
             stopping: StoppingRule::MaxIterationsOnly,
             max_iterations: 200,
+            ..Default::default()
         };
         let engine = DiscreteReconstructionEngine::new();
         let engined =

@@ -1,0 +1,335 @@
+//! Determinism harness for the block-parallel E-step: the parallel
+//! iterate must be **bit-identical** to the untouched serial path — not
+//! merely close — for every block geometry and every thread count,
+//! because the block partition depends only on the problem geometry and
+//! the scalar combines replay the serial order exactly (see the
+//! `reconstruct::iterate` module docs).
+//!
+//! The load-bearing claims:
+//!
+//! * bucketed solves (both likelihood kernels), Exact dense solves,
+//!   and discrete `Iterative` solves under `ParallelPolicy::Forced`
+//!   reproduce the `Serial` result bit for bit across a grid of block
+//!   shapes × `RAYON_NUM_THREADS ∈ {1, 2, 4}`;
+//! * warm starts (sketch-backed, continuous and discrete) preserve the
+//!   same equality;
+//! * Exact *streamed* solves ignore `Forced` (the `O(m)` memory
+//!   contract keeps them serial) and never count as parallel;
+//! * `reconstruct_many` on a batch at least as large as the pool never
+//!   engages inner parallelism under `Auto` (the outer `par_iter` owns
+//!   the pool), while the same problem solved as a single job does.
+//!
+//! Every test mutates `RAYON_NUM_THREADS`, so they all serialize on one
+//! lock; the engines re-read the variable at solve time.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use ppdm::prelude::*;
+use ppdm_core::reconstruct::{
+    DiscreteReconstructionConfig, DiscreteReconstructionEngine, DiscreteSolver, DiscreteSuffStats,
+    LikelihoodKernel, ParallelPolicy, ReconstructionConfig, ReconstructionEngine,
+    ReconstructionJob, StoppingRule, SuffStats, UpdateMode,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Block shapes the grid sweeps: degenerate (every row/cell its own
+/// block), deliberately misaligned, SIMD-width-ish, and the production
+/// default. The block *count* these induce depends only on the problem
+/// geometry, never on the thread count.
+const BLOCK_SHAPES: [(usize, usize); 4] = [(1, 1), (3, 2), (8, 4), (512, 4)];
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// All tests mutate the process-wide `RAYON_NUM_THREADS`; this lock
+/// keeps them from trampling each other under the parallel test runner.
+fn env_guard(threads: usize) -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard =
+        LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    guard
+}
+
+fn part(cells: usize) -> Partition {
+    Partition::new(Domain::new(0.0, 100.0).unwrap(), cells).unwrap()
+}
+
+/// A bimodal perturbed sample — structured enough that EM does real work.
+fn sample(n: usize, seed: u64, noise: &NoiseModel) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let xs: Vec<f64> = (0..n)
+        .map(|_| {
+            let center = if rng.gen_bool(0.5) { 30.0 } else { 70.0 };
+            center + rng.gen_range(-9.0..9.0)
+        })
+        .collect();
+    noise.perturb_all(&xs, &mut rng)
+}
+
+fn cfg(policy: ParallelPolicy, mode: UpdateMode, kernel: LikelihoodKernel) -> ReconstructionConfig {
+    ReconstructionConfig {
+        mode,
+        kernel,
+        stopping: StoppingRule::MaxIterationsOnly,
+        max_iterations: 40,
+        parallel: policy,
+    }
+}
+
+fn bits(masses: &[f64]) -> Vec<u64> {
+    masses.iter().map(|m| m.to_bits()).collect()
+}
+
+#[test]
+fn forced_bucketed_solves_are_bit_identical_to_serial_for_every_shape_and_thread_count() {
+    let noise = NoiseModel::gaussian(12.0).unwrap();
+    let partition = part(64);
+    let observed = sample(4_000, 7, &noise);
+    for kernel in [LikelihoodKernel::Midpoint, LikelihoodKernel::CellAverage] {
+        let serial = {
+            let _env = env_guard(1);
+            ReconstructionEngine::new()
+                .reconstruct(
+                    &noise,
+                    partition,
+                    &observed,
+                    &cfg(ParallelPolicy::Serial, UpdateMode::Bucketed, kernel),
+                )
+                .unwrap()
+        };
+        for (row_block, col_block) in BLOCK_SHAPES {
+            for threads in THREAD_COUNTS {
+                let _env = env_guard(threads);
+                let engine = ReconstructionEngine::new().with_parallel_blocks(row_block, col_block);
+                let parallel = engine
+                    .reconstruct(
+                        &noise,
+                        partition,
+                        &observed,
+                        &cfg(ParallelPolicy::Forced, UpdateMode::Bucketed, kernel),
+                    )
+                    .unwrap();
+                assert_eq!(engine.parallel_solves(), 1, "Forced must engage");
+                assert_eq!(
+                    bits(serial.histogram.masses()),
+                    bits(parallel.histogram.masses()),
+                    "blocks ({row_block},{col_block}) x {threads} threads, {kernel:?}"
+                );
+                assert_eq!(serial.iterations, parallel.iterations);
+                assert_eq!(serial.converged, parallel.converged);
+            }
+        }
+    }
+}
+
+#[test]
+fn forced_exact_dense_solves_are_bit_identical_to_serial() {
+    let noise = NoiseModel::uniform(25.0).unwrap();
+    let partition = part(24);
+    let observed = sample(3_000, 11, &noise);
+    let entries = observed.len() * partition.len();
+    let serial = {
+        let _env = env_guard(1);
+        ReconstructionEngine::new()
+            .with_exact_materialize_entries(entries)
+            .reconstruct(
+                &noise,
+                partition,
+                &observed,
+                &cfg(ParallelPolicy::Serial, UpdateMode::Exact, LikelihoodKernel::Midpoint),
+            )
+            .unwrap()
+    };
+    for (row_block, col_block) in BLOCK_SHAPES {
+        for threads in THREAD_COUNTS {
+            let _env = env_guard(threads);
+            let engine = ReconstructionEngine::new()
+                .with_exact_materialize_entries(entries)
+                .with_parallel_blocks(row_block, col_block);
+            let parallel = engine
+                .reconstruct(
+                    &noise,
+                    partition,
+                    &observed,
+                    &cfg(ParallelPolicy::Forced, UpdateMode::Exact, LikelihoodKernel::Midpoint),
+                )
+                .unwrap();
+            assert_eq!(engine.parallel_solves(), 1, "Forced dense Exact must engage");
+            assert_eq!(
+                bits(serial.histogram.masses()),
+                bits(parallel.histogram.masses()),
+                "blocks ({row_block},{col_block}) x {threads} threads"
+            );
+            assert_eq!(serial.iterations, parallel.iterations);
+        }
+    }
+}
+
+#[test]
+fn forced_exact_streamed_solves_stay_serial_and_bit_identical() {
+    let noise = NoiseModel::uniform(25.0).unwrap();
+    let partition = part(24);
+    let observed = sample(1_500, 13, &noise);
+    let _env = env_guard(4);
+    let serial = ReconstructionEngine::new()
+        .with_exact_materialize_entries(0)
+        .reconstruct(
+            &noise,
+            partition,
+            &observed,
+            &cfg(ParallelPolicy::Serial, UpdateMode::Exact, LikelihoodKernel::Midpoint),
+        )
+        .unwrap();
+    // Forced cannot override the streamed path's O(m) memory contract:
+    // the solve must neither count as parallel nor change a single bit.
+    let engine = ReconstructionEngine::new().with_exact_materialize_entries(0);
+    let forced = engine
+        .reconstruct(
+            &noise,
+            partition,
+            &observed,
+            &cfg(ParallelPolicy::Forced, UpdateMode::Exact, LikelihoodKernel::Midpoint),
+        )
+        .unwrap();
+    assert_eq!(engine.parallel_solves(), 0, "streamed Exact never engages");
+    assert_eq!(bits(serial.histogram.masses()), bits(forced.histogram.masses()));
+}
+
+#[test]
+fn warm_started_stats_solves_are_bit_identical_to_serial() {
+    let noise = NoiseModel::gaussian(10.0).unwrap();
+    let partition = part(48);
+    let observed = sample(5_000, 17, &noise);
+    let mut stats = SuffStats::new(&noise, partition).unwrap();
+    stats.ingest(&observed).unwrap();
+    let kernel = LikelihoodKernel::Midpoint;
+
+    // A first (serial) solve provides the warm start both paths share.
+    let _env = env_guard(1);
+    let warm = ReconstructionEngine::new()
+        .reconstruct_stats(
+            &noise,
+            &stats,
+            &cfg(ParallelPolicy::Serial, UpdateMode::Bucketed, kernel),
+            None,
+        )
+        .unwrap()
+        .histogram
+        .probabilities();
+    drop(_env);
+
+    let serial = {
+        let _env = env_guard(1);
+        ReconstructionEngine::new()
+            .reconstruct_stats(
+                &noise,
+                &stats,
+                &cfg(ParallelPolicy::Serial, UpdateMode::Bucketed, kernel),
+                Some(&warm),
+            )
+            .unwrap()
+    };
+    for (row_block, col_block) in BLOCK_SHAPES {
+        for threads in THREAD_COUNTS {
+            let _env = env_guard(threads);
+            let parallel = ReconstructionEngine::new()
+                .with_parallel_blocks(row_block, col_block)
+                .reconstruct_stats(
+                    &noise,
+                    &stats,
+                    &cfg(ParallelPolicy::Forced, UpdateMode::Bucketed, kernel),
+                    Some(&warm),
+                )
+                .unwrap();
+            assert_eq!(
+                bits(serial.histogram.masses()),
+                bits(parallel.histogram.masses()),
+                "warm start, blocks ({row_block},{col_block}) x {threads} threads"
+            );
+            assert_eq!(serial.iterations, parallel.iterations);
+        }
+    }
+}
+
+#[test]
+fn forced_discrete_iterative_is_bit_identical_cold_and_warm() {
+    let k = 6;
+    let channel = RandomizedResponse::new(k, 0.7).unwrap();
+    let mut rng = StdRng::seed_from_u64(23);
+    let states: Vec<usize> = (0..4_000).map(|_| rng.gen_range(0..k)).collect();
+    let stats = DiscreteSuffStats::from_states(&channel, &states).unwrap();
+    let warm: Vec<f64> = {
+        let raw: Vec<f64> = (0..k).map(|i| 1.0 + (i % 3) as f64).collect();
+        let t: f64 = raw.iter().sum();
+        raw.into_iter().map(|w| w / t).collect()
+    };
+    let dcfg = |policy| DiscreteReconstructionConfig {
+        solver: DiscreteSolver::Iterative,
+        stopping: StoppingRule::MaxIterationsOnly,
+        max_iterations: 120,
+        parallel: policy,
+    };
+    for warm_start in [None, Some(warm.as_slice())] {
+        let serial = {
+            let _env = env_guard(1);
+            DiscreteReconstructionEngine::new()
+                .reconstruct_stats(&channel, &stats, &dcfg(ParallelPolicy::Serial), warm_start)
+                .unwrap()
+        };
+        for (row_block, col_block) in BLOCK_SHAPES {
+            for threads in THREAD_COUNTS {
+                let _env = env_guard(threads);
+                let engine =
+                    DiscreteReconstructionEngine::new().with_parallel_blocks(row_block, col_block);
+                let parallel = engine
+                    .reconstruct_stats(&channel, &stats, &dcfg(ParallelPolicy::Forced), warm_start)
+                    .unwrap();
+                assert_eq!(engine.parallel_solves(), 1, "Forced must engage");
+                assert_eq!(
+                    bits(&serial.estimate),
+                    bits(&parallel.estimate),
+                    "warm={} blocks ({row_block},{col_block}) x {threads} threads",
+                    warm_start.is_some()
+                );
+                assert_eq!(serial.iterations, parallel.iterations);
+            }
+        }
+    }
+}
+
+/// The anti-oversubscription rule, end to end: a batch at least as large
+/// as the pool claims every worker at the job level, so `Auto` must stay
+/// serial inside each job — while the *same* problem solved as a single
+/// job (where the pool is otherwise idle) engages.
+#[test]
+fn reconstruct_many_on_a_saturating_batch_never_engages_inner_parallelism() {
+    let noise = NoiseModel::gaussian(10.0).unwrap();
+    // 512 cells x ~650 *active* extended buckets (the sample below is
+    // dense enough to populate nearly every covered bucket) comfortably
+    // clears the Auto work threshold, so only the pool state decides.
+    let partition = part(512);
+    let observed = sample(8_000, 29, &noise);
+    let config = cfg(ParallelPolicy::Auto, UpdateMode::Bucketed, LikelihoodKernel::Midpoint);
+
+    let _env = env_guard(4);
+    let engine = ReconstructionEngine::new();
+    let jobs: Vec<ReconstructionJob<'_>> =
+        (0..8).map(|_| ReconstructionJob::borrowed(&noise, partition, &observed, config)).collect();
+    for result in engine.reconstruct_many(&jobs) {
+        result.unwrap();
+    }
+    assert_eq!(
+        engine.parallel_solves(),
+        0,
+        "a saturating Auto batch must leave inner parallelism disengaged"
+    );
+
+    // The identical problem as a single job sees a free pool and engages.
+    engine.reconstruct(&noise, partition, &observed, &config).unwrap();
+    assert_eq!(engine.parallel_solves(), 1, "a lone Auto solve above the threshold must engage");
+
+    // A one-job batch runs inline on the caller with the pool untouched,
+    // so it keeps the full inner budget and engages too.
+    engine.reconstruct_many(&jobs[..1]).pop().unwrap().unwrap();
+    assert_eq!(engine.parallel_solves(), 2, "a single-job batch keeps the inner budget");
+}

@@ -259,6 +259,8 @@ fn staleness_tracks_service_age_until_the_first_publish() {
         "pre-publish staleness must track service age, got {:?}",
         stats.staleness
     );
+    assert_eq!(stats.solve_duration_last, Duration::ZERO, "no solve has run yet");
+    assert_eq!(stats.solve_duration_max, Duration::ZERO, "no solve has run yet");
 
     // After the first real publish the gauge switches to cycle age and
     // drops far below the service age.
@@ -283,6 +285,16 @@ fn staleness_tracks_service_age_until_the_first_publish() {
         published.staleness < Duration::from_millis(80),
         "post-publish staleness should be cycle-scale, got {:?}",
         published.staleness
+    );
+    assert!(
+        published.solve_duration_last > Duration::ZERO,
+        "a published epoch implies a timed solve"
+    );
+    assert!(
+        published.solve_duration_max >= published.solve_duration_last,
+        "max solve duration bounds the last: {:?} < {:?}",
+        published.solve_duration_max,
+        published.solve_duration_last
     );
     service.shutdown().unwrap();
 }
@@ -311,4 +323,9 @@ fn warm_epochs_match_final_coverage_and_share_the_kernel() {
     assert!((snap.histogram.total() - observed.len() as f64).abs() < 1e-6);
     assert_eq!(engine.kernel_builds(), 1, "all warm epochs share one kernel");
     assert!(engine.cache_stats().hits >= report.stats.solves as usize - 1);
+    assert!(
+        report.stats.solve_duration_last > Duration::ZERO,
+        "completed solves must leave a timed last-solve gauge"
+    );
+    assert!(report.stats.solve_duration_max >= report.stats.solve_duration_last);
 }

@@ -1,21 +1,91 @@
 //! Offline stand-in for `rayon`.
 //!
 //! Implements the narrow slice-parallelism surface this workspace uses —
-//! `par_iter().map(f).collect::<Vec<_>>()`, [`join`], and
-//! [`current_num_threads`] — on top of `std::thread::scope`. Work is split
-//! into one contiguous chunk per available core; results are returned in
-//! input order. There is no work-stealing pool: jobs here are coarse
-//! (whole reconstruction problems), so chunked scoped threads capture
-//! virtually all of the available speedup without any unsafe code or
-//! global state.
+//! `par_iter().map(f).collect::<Vec<_>>()`, `par_chunks_mut(..).for_each`,
+//! [`join`], [`current_num_threads`], and [`current_thread_index`] — on
+//! top of `std::thread::scope`. Work is split into one contiguous chunk
+//! per available core; results are returned in input order. There is no
+//! work-stealing pool: jobs here are coarse (whole reconstruction
+//! problems or fixed-size E-step blocks), so chunked scoped threads
+//! capture virtually all of the available speedup without any unsafe
+//! code or global state.
+//!
+//! # Thread-count control
+//!
+//! [`current_num_threads`] honors the real rayon's `RAYON_NUM_THREADS`
+//! environment variable (a positive integer; `0`, unset, or unparsable
+//! values fall back to [`std::thread::available_parallelism`]). The
+//! variable is re-read on every call, so tests can vary the thread
+//! count at runtime without rebuilding a global pool.
+//!
+//! # Nesting and oversubscription
+//!
+//! Real rayon multiplexes nested parallelism onto one work-stealing
+//! pool. This stand-in spawns scoped OS threads instead, so unbounded
+//! nesting would oversubscribe the machine. To keep nesting bounded,
+//! every worker thread carries a *pool slot*: its index (exposed via
+//! [`current_thread_index`], mirroring rayon's API) and a *budget* —
+//! the share of the machine it may use for further nested parallelism.
+//! A fan-out across `w` workers on `t` available threads hands each
+//! worker a budget of `t / w` (at least 1); nested parallel calls size
+//! themselves by [`available_inner_parallelism`] instead of the raw
+//! machine width, and run inline when the budget is 1. The net effect:
+//! an outer `par_iter` over a large batch claims the whole pool and
+//! nested calls degrade to serial, while an outer call over a single
+//! item (run inline, no worker spawned) leaves the full budget to inner
+//! parallelism.
 
 #![forbid(unsafe_code)]
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
 
-/// Number of worker threads a parallel operation will use.
+thread_local! {
+    /// `(index, budget)` for pool workers; `None` on free threads.
+    static POOL_SLOT: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads a top-level parallel operation will use:
+/// `RAYON_NUM_THREADS` if set to a positive integer, otherwise the
+/// machine's available parallelism.
 pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// The calling thread's index within its pool fan-out, or `None` when
+/// the caller is not a pool worker — the same contract as rayon's
+/// `current_thread_index`. Use it to detect "am I already inside a
+/// parallel region?".
+pub fn current_thread_index() -> Option<usize> {
+    POOL_SLOT.with(|slot| slot.get()).map(|(index, _)| index)
+}
+
+/// How many threads a *nested* parallel call may use from here: the
+/// caller's worker budget when inside a pool fan-out, otherwise
+/// [`current_num_threads`]. Stand-in-specific (real rayon multiplexes
+/// nesting onto its global pool instead of budgeting).
+pub fn available_inner_parallelism() -> usize {
+    POOL_SLOT.with(|slot| slot.get()).map(|(_, budget)| budget).unwrap_or_else(current_num_threads)
+}
+
+/// Runs `f` with the thread marked as pool worker `index` holding
+/// `budget` threads of nested parallelism, restoring the previous slot
+/// afterwards.
+fn with_pool_slot<R>(index: usize, budget: usize, f: impl FnOnce() -> R) -> R {
+    POOL_SLOT.with(|slot| {
+        let prev = slot.get();
+        slot.set(Some((index, budget.max(1))));
+        let result = f();
+        slot.set(prev);
+        result
+    })
 }
 
 /// Runs both closures, potentially in parallel, and returns both results.
@@ -26,11 +96,12 @@ where
     RA: Send,
     RB: Send,
 {
-    if current_num_threads() <= 1 {
+    let budget = available_inner_parallelism();
+    if budget <= 1 {
         return (a(), b());
     }
     std::thread::scope(|s| {
-        let hb = s.spawn(b);
+        let hb = s.spawn(move || with_pool_slot(1, budget / 2, b));
         let ra = a();
         let rb = hb.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
         (ra, rb)
@@ -107,15 +178,25 @@ pub mod iter {
         R: Send,
         F: Fn(&'data T) -> R + Sync,
     {
-        let threads = super::current_num_threads().min(items.len()).max(1);
+        let threads = super::available_inner_parallelism().min(items.len()).max(1);
         if threads <= 1 {
+            // Inline on the calling thread: a single-item (or budget-1)
+            // map claims no workers, so nested parallelism keeps the
+            // caller's full budget.
             return items.iter().map(f).collect();
         }
         let chunk = items.len().div_ceil(threads);
+        let workers = items.len().div_ceil(chunk);
+        let budget = (threads / workers).max(1);
         std::thread::scope(|s| {
             let handles: Vec<_> = items
                 .chunks(chunk)
-                .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                .enumerate()
+                .map(|(w, c)| {
+                    s.spawn(move || {
+                        super::with_pool_slot(w, budget, || c.iter().map(f).collect::<Vec<R>>())
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -125,14 +206,113 @@ pub mod iter {
     }
 }
 
+/// Parallel operations over mutable slices.
+pub mod slice {
+    /// `.par_chunks_mut(n)` on mutable slices: disjoint fixed-size
+    /// chunks, visited in parallel.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Returns a parallel visitor over disjoint chunks of
+        /// `chunk_size` elements (the last chunk may be shorter).
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T> {
+            ChunksMut { slice: self, chunk_size: chunk_size.max(1) }
+        }
+    }
+
+    /// Disjoint mutable chunks awaiting a terminal `for_each`.
+    pub struct ChunksMut<'data, T> {
+        slice: &'data mut [T],
+        chunk_size: usize,
+    }
+
+    impl<'data, T: Send> ChunksMut<'data, T> {
+        /// Pairs each chunk with its index (chunk `i` starts at element
+        /// `i * chunk_size`).
+        pub fn enumerate(self) -> EnumerateChunksMut<'data, T> {
+            EnumerateChunksMut { inner: self }
+        }
+
+        /// Visits every chunk, potentially in parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&mut [T]) + Sync,
+        {
+            self.enumerate().for_each(|(_, chunk)| f(chunk));
+        }
+    }
+
+    /// Indexed disjoint mutable chunks awaiting a terminal `for_each`.
+    pub struct EnumerateChunksMut<'data, T> {
+        inner: ChunksMut<'data, T>,
+    }
+
+    impl<'data, T: Send> EnumerateChunksMut<'data, T> {
+        /// Visits every `(index, chunk)` pair, potentially in parallel.
+        /// Chunks are distributed contiguously across at most
+        /// [`crate::available_inner_parallelism`] workers; with a budget
+        /// of 1 the visit runs inline in index order.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn((usize, &mut [T])) + Sync,
+        {
+            let chunk_size = self.inner.chunk_size;
+            let slice = self.inner.slice;
+            if slice.is_empty() {
+                return;
+            }
+            let blocks = slice.len().div_ceil(chunk_size);
+            let threads = crate::available_inner_parallelism().min(blocks).max(1);
+            if threads <= 1 {
+                for pair in slice.chunks_mut(chunk_size).enumerate() {
+                    f(pair);
+                }
+                return;
+            }
+            let mut indexed: Vec<(usize, &mut [T])> =
+                slice.chunks_mut(chunk_size).enumerate().collect();
+            let per_worker = indexed.len().div_ceil(threads);
+            let workers = indexed.len().div_ceil(per_worker);
+            let budget = (threads / workers).max(1);
+            let f = &f;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = indexed
+                    .chunks_mut(per_worker)
+                    .enumerate()
+                    .map(|(w, group)| {
+                        s.spawn(move || {
+                            crate::with_pool_slot(w, budget, || {
+                                for (index, chunk) in group.iter_mut() {
+                                    f((*index, &mut **chunk));
+                                }
+                            })
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+                }
+            });
+        }
+    }
+}
+
 /// The customary glob import.
 pub mod prelude {
     pub use crate::iter::{IntoParallelRefIterator, ParIter, ParMap};
+    pub use crate::slice::ParallelSliceMut;
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::Mutex;
+
+    /// `RAYON_NUM_THREADS` is process-global; serialize the tests that
+    /// touch it.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn map_collect_preserves_order() {
@@ -153,5 +333,63 @@ mod tests {
         let xs: Vec<u32> = Vec::new();
         let ys: Vec<u32> = xs.par_iter().map(|x| x + 1).collect();
         assert!(ys.is_empty());
+    }
+
+    #[test]
+    fn env_var_overrides_thread_count() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("RAYON_NUM_THREADS", "3");
+        assert_eq!(super::current_num_threads(), 3);
+        std::env::set_var("RAYON_NUM_THREADS", "0");
+        let fallback = super::current_num_threads();
+        assert!(fallback >= 1, "zero means unset, not zero threads");
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(super::current_num_threads(), fallback);
+    }
+
+    #[test]
+    fn par_chunks_mut_visits_every_chunk_once() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        let mut xs = vec![0u64; 103];
+        xs.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x = (i * 10 + j) as u64;
+            }
+        });
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(xs, (0..103).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn workers_see_an_index_and_free_threads_do_not() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        assert_eq!(super::current_thread_index(), None);
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        let xs: Vec<u64> = (0..16).collect();
+        let marks: Vec<bool> =
+            xs.par_iter().map(|_| super::current_thread_index().is_some()).collect();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert!(marks.iter().all(|&m| m), "every fanned-out item runs on a marked worker");
+        assert_eq!(super::current_thread_index(), None, "the marker never leaks");
+    }
+
+    #[test]
+    fn single_item_maps_keep_the_full_inner_budget() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        let one = [1u8];
+        let budgets: Vec<usize> =
+            one.par_iter().map(|_| super::available_inner_parallelism()).collect();
+        // Inline execution: no worker claimed, full budget available.
+        assert_eq!(budgets, vec![4]);
+        let many: Vec<u8> = (0..8).collect();
+        let budgets: Vec<usize> =
+            many.par_iter().map(|_| super::available_inner_parallelism()).collect();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert!(
+            budgets.iter().all(|&b| b == 1),
+            "a saturating fan-out leaves workers no nested budget, got {budgets:?}"
+        );
     }
 }
