@@ -103,7 +103,15 @@ fn main() {
     let monolithic =
         engine.reconstruct_stats(&noise, &whole, &config, None).expect("non-empty sample");
 
-    let plan = FaultPlan { drop, duplicate, corrupt, reorder: true, seed, max_retries: 256 };
+    let plan = FaultPlan {
+        drop,
+        duplicate,
+        corrupt,
+        reorder: true,
+        seed,
+        max_retries: 256,
+        ..FaultPlan::default()
+    };
     let mut bytes_sent = 0u64;
     let mut frames_sent = 0u64;
     let mut frames_delivered = 0u64;
@@ -122,7 +130,7 @@ fn main() {
         let plan = FaultPlan { seed: seed.wrapping_add(round as u64), ..plan };
         let mut coordinator =
             Coordinator::new(&noise, partition, k, round, masked).expect("valid round");
-        let report = drive_round(
+        let report = match drive_round(
             &ids,
             &plan,
             |id| {
@@ -134,8 +142,18 @@ fn main() {
                 }
             },
             |bytes| coordinator.submit(bytes),
-        )
-        .expect("driver runs");
+        ) {
+            Ok(report) => report,
+            Err(ppdm_core::Error::RetriesExhausted { attempts, pending }) => {
+                eprintln!(
+                    "round {round}: retry budget exhausted after {attempts} cycles, \
+                     {pending} parties outstanding"
+                );
+                incomplete_rounds += 1;
+                continue;
+            }
+            Err(e) => panic!("driver failed: {e}"),
+        };
         bytes_sent += report.bytes_sent;
         frames_sent += report.sent as u64;
         frames_delivered += report.delivered as u64;
@@ -144,10 +162,6 @@ fn main() {
         frames_corrupted += report.corrupted as u64;
         frames_rejected += report.rejected as u64;
         retry_cycles += report.cycles.saturating_sub(1) as u64;
-        if !report.complete {
-            incomplete_rounds += 1;
-            continue;
-        }
 
         // The federated answer must equal the monolithic one exactly —
         // every round, masked or not, whatever the fault weather did.

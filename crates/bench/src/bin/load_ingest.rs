@@ -21,7 +21,18 @@
 //! `--target-rate R` paces producers to R records/sec aggregate (0 =
 //! open loop, push as fast as admission allows). `--smoke` runs a short
 //! self-checking pass for CI.
+//!
+//! Two robustness modes compose with everything above:
+//!
+//! * `--wal [--wal-path P]` journals every drained delta to a
+//!   write-ahead log, then replays it after shutdown and times the
+//!   replay — `recovery_ms` and `recovered_records` land in the JSON,
+//!   and the replayed sketch must equal the shutdown merge exactly.
+//! * `--chaos` arms a seeded failpoint schedule (one worker kill, one
+//!   resolver kill, one failed solve) and asserts the supervised
+//!   restarts still deliver every admitted record.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -29,10 +40,11 @@ use std::time::{Duration, Instant};
 use ppdm_bench::{table, write_bench_json, Args};
 use ppdm_core::domain::Partition;
 use ppdm_core::error::Error;
+use ppdm_core::fault::{FaultKind, FaultRegistry, FaultSpec, Trigger};
 use ppdm_core::privacy::{NoiseKind, DEFAULT_CONFIDENCE};
 use ppdm_core::randomize::NoiseDensity;
-use ppdm_core::reconstruct::{ReconstructionConfig, ReconstructionEngine};
-use ppdm_core::serve::{IngestService, ServeConfig};
+use ppdm_core::reconstruct::ReconstructionEngine;
+use ppdm_core::serve::{sites, IngestService, ServeConfig, WalConfig};
 use ppdm_datagen::{materialize_column_batches, Attribute, LabelFunction, PerturbPlan};
 use serde::Serialize;
 
@@ -123,6 +135,16 @@ struct IngestBenchResult {
     cache_hits: u64,
     pool_allocated: u64,
     pool_reused: u64,
+    chaos: bool,
+    wal: bool,
+    worker_restarts: u64,
+    resolver_restarts: u64,
+    solve_failures: u64,
+    degraded: bool,
+    wal_bytes: u64,
+    wal_frames: u64,
+    recovery_ms: f64,
+    recovered_records: u64,
 }
 
 fn main() {
@@ -138,6 +160,19 @@ fn main() {
     let privacy = args.f64_or("privacy", 100.0);
     let cells = args.usize_or("cells", 20);
     let seed = args.u64_or("seed", 42);
+    let chaos = args.has_flag("chaos");
+    let wal = args.has_flag("wal");
+    let wal_path: Option<PathBuf> = if wal {
+        Some(args.get("wal-path").map(PathBuf::from).unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("ppdm_load_ingest_{}.wal", std::process::id()))
+        }))
+    } else {
+        None
+    };
+    if let Some(path) = &wal_path {
+        // A stale log from a previous run would seed this one.
+        let _ = std::fs::remove_file(path);
+    }
 
     // The replay working set: perturbed Age columns from the AIS92
     // stream. ~64 distinct batches per producer is plenty of variety
@@ -149,6 +184,26 @@ fn main() {
     let noise: Arc<dyn NoiseDensity> = Arc::new(*plan.model(attr));
     let partition = Partition::new(attr.domain(), cells).expect("static domain");
 
+    // The chaos schedule: seeded, small, and guaranteed to fire early in
+    // even a smoke-length run — one worker kill, one resolver kill, one
+    // failed solve. The supervisors must absorb all three.
+    let registry = chaos.then(|| {
+        let registry = Arc::new(FaultRegistry::new(seed));
+        registry.arm(
+            sites::WORKER_LOOP,
+            FaultSpec::new(FaultKind::Panic, Trigger::OnHit(50)).with_limit(1),
+        );
+        registry.arm(
+            sites::RESOLVER_CYCLE,
+            FaultSpec::new(FaultKind::Panic, Trigger::OnHit(2)).with_limit(1),
+        );
+        registry.arm(
+            sites::RESOLVER_SOLVE,
+            FaultSpec::new(FaultKind::Error, Trigger::OnHit(3)).with_limit(1),
+        );
+        registry
+    });
+
     let engine = Arc::new(ReconstructionEngine::new());
     let config = ServeConfig {
         shards,
@@ -156,10 +211,13 @@ fn main() {
         batch_capacity: batch_records,
         max_pooled: shards * mailbox_capacity + producers * 2,
         resolve_interval: Duration::from_millis(resolve_ms),
-        reconstruction: ReconstructionConfig::default(),
+        faults: registry.clone(),
+        wal: wal_path.as_ref().map(WalConfig::new),
+        ..ServeConfig::default()
     };
-    let service = IngestService::spawn_with_engine(noise, partition, config, engine.clone())
-        .expect("service spawn");
+    let service =
+        IngestService::spawn_with_engine(noise.clone(), partition, config, engine.clone())
+            .expect("service spawn");
 
     let duration = Duration::from_millis(duration_ms);
     let rate_per_producer = if target_rate > 0.0 { target_rate / producers as f64 } else { 0.0 };
@@ -236,6 +294,51 @@ fn main() {
     let stats = report.stats;
     let cache = engine.cache_stats();
 
+    // WAL mode: replay the sealed log and time it. The recovered sketch
+    // must equal the shutdown merge exactly — that's the whole contract.
+    let (recovery_ms, recovered_records) = match &wal_path {
+        Some(path) => {
+            if let Some(err) = &report.wal_error {
+                panic!("wal append path errored during the run: {err}");
+            }
+            let t0 = Instant::now();
+            let recovered = IngestService::recover(path, noise.as_ref(), partition)
+                .expect("sealed log replays");
+            let recovery = t0.elapsed();
+            assert_eq!(
+                recovered.merged.count(),
+                report.merged.count(),
+                "WAL replay must cover exactly the records the service merged"
+            );
+            assert_eq!(
+                recovered.merged.counts(),
+                report.merged.counts(),
+                "WAL replay must be bit-identical to the shutdown merge"
+            );
+            assert_eq!(recovered.truncated_bytes, 0, "a clean shutdown leaves no torn tail");
+            let _ = std::fs::remove_file(path);
+            (recovery.as_secs_f64() * 1e3, recovered.merged.count())
+        }
+        None => (0.0, 0),
+    };
+
+    // Chaos mode: the schedule must have actually fired, and the
+    // supervisors must have absorbed every injected crash without
+    // losing a record (the merged-count assert below covers that part).
+    if let Some(registry) = &registry {
+        assert!(
+            stats.worker_restarts >= 1,
+            "chaos schedule never killed a worker: {:?}",
+            registry.site_stats(sites::WORKER_LOOP)
+        );
+        assert!(
+            stats.resolver_restarts >= 1,
+            "chaos schedule never killed the resolver: {:?}",
+            registry.site_stats(sites::RESOLVER_CYCLE)
+        );
+        assert!(registry.total_fired() >= 2, "chaos registry armed but silent");
+    }
+
     let records_per_sec = stats.admitted_records as f64 / elapsed.as_secs_f64();
     let total_batches = stats.admitted_batches + stats.rejected_batches;
     let backpressure_rate =
@@ -267,6 +370,16 @@ fn main() {
         cache_hits: cache.hits as u64,
         pool_allocated: stats.pool.allocated,
         pool_reused: stats.pool.reused,
+        chaos,
+        wal,
+        worker_restarts: stats.worker_restarts,
+        resolver_restarts: stats.resolver_restarts,
+        solve_failures: stats.solve_failures,
+        degraded: stats.degraded,
+        wal_bytes: stats.wal_bytes,
+        wal_frames: stats.wal_frames,
+        recovery_ms,
+        recovered_records,
     };
 
     table::print(
@@ -297,6 +410,26 @@ fn main() {
                 "pool allocated / reused".into(),
                 format!("{} / {}", stats.pool.allocated, stats.pool.reused),
             ],
+            vec![
+                "restarts worker / resolver".into(),
+                format!("{} / {}", stats.worker_restarts, stats.resolver_restarts),
+            ],
+            vec![
+                "solve failures / degraded".into(),
+                format!("{} / {}", stats.solve_failures, stats.degraded),
+            ],
+            vec![
+                "wal bytes / frames".into(),
+                format!("{} / {}", stats.wal_bytes, stats.wal_frames),
+            ],
+            vec![
+                "wal recovery".into(),
+                if wal {
+                    format!("{recovery_ms:.2} ms for {recovered_records} records")
+                } else {
+                    "off".into()
+                },
+            ],
         ],
     );
 
@@ -323,15 +456,23 @@ fn main() {
         "max solve duration must bound the last solve"
     );
     assert_eq!(stats.records_behind, 0, "shutdown leaves nothing unsolved");
-    let staleness_bound = Duration::from_millis(resolve_ms) * 2;
-    assert!(
-        max_staleness <= staleness_bound,
-        "staleness {max_staleness:?} exceeded the {staleness_bound:?} contract (resolve x 2)"
-    );
+    if !chaos {
+        // Injected crashes legitimately stall the resolver (supervised
+        // restart backoff), so the staleness contract and restart-free
+        // counters only bind on clean runs.
+        let staleness_bound = Duration::from_millis(resolve_ms) * 2;
+        assert!(
+            max_staleness <= staleness_bound,
+            "staleness {max_staleness:?} exceeded the {staleness_bound:?} contract (resolve x 2)"
+        );
+        assert_eq!(stats.worker_restarts, 0, "clean run must not restart workers");
+        assert_eq!(stats.resolver_restarts, 0, "clean run must not restart the resolver");
+        assert_eq!(stats.solve_failures, 0, "clean run must not fail solves");
+    }
     if smoke {
         assert!(stats.admitted_records > 0, "smoke run admitted nothing");
         println!(
-            "smoke OK: {} records at {:.0} records/sec",
+            "smoke OK: {} records at {:.0} records/sec (chaos={chaos}, wal={wal})",
             stats.admitted_records, records_per_sec
         );
     }

@@ -102,6 +102,28 @@ pub enum Error {
     /// pairwise masks did not cancel. The payload is discarded — there
     /// is deliberately no partial-decode path.
     WireCorrupt(String),
+    /// A filesystem operation (write-ahead-log append, sync, recovery
+    /// scan) failed. Carries the rendered `std::io::Error` so the error
+    /// type stays `Clone + PartialEq`.
+    Io(String),
+    /// A failpoint armed with [`FaultKind::Error`](crate::fault::FaultKind)
+    /// fired at the named site. Only ever produced by the fault-injection
+    /// layer — a disarmed registry can never raise it.
+    FaultInjected {
+        /// The failpoint site that fired.
+        site: String,
+    },
+    /// A bounded retry loop (the federate round driver, the
+    /// backpressure-retrying ingest helper) ran out of budget before the
+    /// operation completed. Typed, so callers can distinguish "gave up"
+    /// from "failed" and decide whether to escalate or shed.
+    RetriesExhausted {
+        /// Attempts (cycles) actually made before giving up.
+        attempts: usize,
+        /// Units of work still outstanding (uncredited parties, unsent
+        /// batches).
+        pending: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -144,6 +166,13 @@ impl fmt::Display for Error {
                 )
             }
             Error::WireCorrupt(msg) => write!(f, "corrupt wire sketch: {msg}"),
+            Error::Io(msg) => write!(f, "i/o failure: {msg}"),
+            Error::FaultInjected { site } => {
+                write!(f, "failpoint `{site}` injected an error")
+            }
+            Error::RetriesExhausted { attempts, pending } => {
+                write!(f, "retry budget exhausted after {attempts} attempts, {pending} pending")
+            }
         }
     }
 }
@@ -175,6 +204,13 @@ mod tests {
         assert!(e.to_string().contains("speaks 1"));
         let e = Error::WireCorrupt("checksum mismatch".to_string());
         assert!(e.to_string().contains("checksum mismatch"));
+        let e = Error::Io("wal append: disk full".to_string());
+        assert!(e.to_string().contains("disk full"));
+        let e = Error::FaultInjected { site: "serve.resolver.solve".to_string() };
+        assert!(e.to_string().contains("serve.resolver.solve"));
+        let e = Error::RetriesExhausted { attempts: 5, pending: 2 };
+        assert!(e.to_string().contains("5 attempts"));
+        assert!(e.to_string().contains("2 pending"));
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Capped exponential backoff, shared by every retry loop in the
+//! workspace: supervised worker/resolver restarts, the
+//! backpressure-retrying ingest helper, and the federate round driver.
+//!
+//! One policy type keeps the retry story uniform and testable: delay
+//! for attempt `k` is `base × 2^k`, saturating at `cap`. A zero base
+//! yields zero delays everywhere — the "spin, don't sleep" policy the
+//! fast tests use.
+
+use std::time::Duration;
+
+/// A capped exponential backoff schedule: `base × 2^attempt`, never
+/// exceeding `cap`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// First-retry delay. Zero disables sleeping entirely.
+    pub base: Duration,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+}
+
+impl BackoffPolicy {
+    /// A policy doubling from `base` up to `cap` (raised to `base` if
+    /// smaller, so the schedule is monotone).
+    pub fn new(base: Duration, cap: Duration) -> BackoffPolicy {
+        BackoffPolicy { base, cap: cap.max(base) }
+    }
+
+    /// The no-sleep policy: every delay is zero.
+    pub fn none() -> BackoffPolicy {
+        BackoffPolicy { base: Duration::ZERO, cap: Duration::ZERO }
+    }
+
+    /// The delay for the `attempt`-th retry (0-based).
+    pub fn delay_for(&self, attempt: u32) -> Duration {
+        if self.base.is_zero() {
+            return Duration::ZERO;
+        }
+        // 2^attempt saturates well before the shift would overflow; past
+        // 32 doublings any realistic base has hit the cap.
+        let factor = 1u32.checked_shl(attempt.min(31)).unwrap_or(u32::MAX);
+        self.base.saturating_mul(factor).min(self.cap)
+    }
+
+    /// A fresh counter over this schedule.
+    pub fn iter(&self) -> Backoff {
+        Backoff { policy: *self, attempt: 0 }
+    }
+}
+
+impl Default for BackoffPolicy {
+    /// 1 ms doubling to a 250 ms cap — the supervisor restart default.
+    fn default() -> Self {
+        BackoffPolicy::new(Duration::from_millis(1), Duration::from_millis(250))
+    }
+}
+
+/// A stateful walk along a [`BackoffPolicy`] schedule.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    policy: BackoffPolicy,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// The next delay in the schedule; each call advances the attempt
+    /// counter.
+    pub fn next_delay(&mut self) -> Duration {
+        let delay = self.policy.delay_for(self.attempt);
+        self.attempt = self.attempt.saturating_add(1);
+        delay
+    }
+
+    /// Restarts the schedule from the base delay (a supervisor calls
+    /// this after its charge makes real progress, so an old crash burst
+    /// does not penalize a recovered worker forever).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// Retries taken so far on this schedule.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_until_capped() {
+        let policy = BackoffPolicy::new(Duration::from_millis(2), Duration::from_millis(12));
+        let mut backoff = policy.iter();
+        let delays: Vec<u64> = (0..5).map(|_| backoff.next_delay().as_millis() as u64).collect();
+        assert_eq!(delays, [2, 4, 8, 12, 12]);
+        assert_eq!(backoff.attempt(), 5);
+    }
+
+    #[test]
+    fn reset_restarts_the_schedule() {
+        let policy = BackoffPolicy::new(Duration::from_millis(1), Duration::from_millis(100));
+        let mut backoff = policy.iter();
+        backoff.next_delay();
+        backoff.next_delay();
+        backoff.reset();
+        assert_eq!(backoff.next_delay(), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn zero_base_never_sleeps() {
+        let mut backoff = BackoffPolicy::none().iter();
+        for _ in 0..10 {
+            assert_eq!(backoff.next_delay(), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn cap_is_raised_to_base() {
+        let policy = BackoffPolicy::new(Duration::from_millis(10), Duration::from_millis(1));
+        assert_eq!(policy.delay_for(0), Duration::from_millis(10));
+        assert_eq!(policy.delay_for(5), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn huge_attempts_saturate_instead_of_overflowing() {
+        let policy = BackoffPolicy::new(Duration::from_secs(1), Duration::from_secs(30));
+        assert_eq!(policy.delay_for(u32::MAX), Duration::from_secs(30));
+    }
+}

@@ -1,0 +1,42 @@
+//! Seeded fault injection: named failpoint sites, deterministic
+//! triggers, and the shared backoff schedule for every retry loop.
+//!
+//! Crash-testing a concurrent system from the outside is guesswork —
+//! kill signals land wherever the scheduler happens to be. This module
+//! moves the chaos *inside*: production code declares named **sites**
+//! (string constants at panic-safe points) and hits them through an
+//! [`Injector`]; tests arm a [`FaultRegistry`] with seeded
+//! [`FaultSpec`]s that inject panics, delays, typed errors, or silent
+//! trips at exactly those sites, on exactly reproducible schedules.
+//!
+//! ```text
+//!   test:  FaultRegistry::new(seed) ── arm(site, spec) ──┐
+//!                                                        ▼
+//!   prod:  injector.hit("serve.worker.loop") ──▶ Trigger fires?
+//!            │ disarmed: one None check, zero cost        │
+//!            ▼                                            ▼
+//!          Ok(())                    Panic / Delay(d) / Error / Trip
+//! ```
+//!
+//! Consumers across the workspace:
+//!
+//! * `serve` — supervised shard workers and the re-solver hit sites at
+//!   their loop heads and around solves; the chaos suite kills and
+//!   slows them mid-flood and asserts nothing is lost.
+//! * `federate::driver` — the transport's drop / duplicate / corrupt /
+//!   delay / timeout decisions are [`FaultKind::Trip`] sites armed from
+//!   a [`FaultPlan`](crate::federate::FaultPlan), so the protocol and
+//!   serve layers share one fault vocabulary.
+//! * every retry loop — supervisor restarts, ingest backpressure
+//!   retries, and driver resend cycles all pace themselves with the
+//!   same capped-exponential [`BackoffPolicy`].
+//!
+//! The disarmed contract is absolute: a `None` injector (the default)
+//! and a registry with nothing armed change **no behavior whatsoever**
+//! — asserted bit-for-bit in `tests/serve_chaos.rs`.
+
+pub mod backoff;
+pub mod registry;
+
+pub use backoff::{Backoff, BackoffPolicy};
+pub use registry::{FaultKind, FaultRegistry, FaultSpec, Injector, SiteStats, Trigger};

@@ -1,0 +1,396 @@
+//! The seeded failpoint registry: named sites, armed fault specs, and
+//! the [`Injector`] handle threaded through production code.
+//!
+//! A *site* is a string constant placed at a panic-safe point in
+//! production code (e.g. `serve.worker.loop`). Code calls
+//! [`Injector::hit`] at the site; when the registry has a matching
+//! armed [`FaultSpec`] whose [`Trigger`] fires, the spec's
+//! [`FaultKind`] is applied — a panic, an injected delay, a typed
+//! [`Error::FaultInjected`], or a silent trip the caller branches on.
+//!
+//! Two properties are load-bearing:
+//!
+//! * **Zero cost disarmed.** An [`Injector::disabled`] handle is an
+//!   `Option::None` check; a registry with no armed sites is a single
+//!   relaxed atomic load. Neither takes a lock or hashes the site name,
+//!   so failpoints can sit on hot paths. The chaos suite asserts the
+//!   stronger behavioral form: a service run with a disarmed registry is
+//!   bit-identical to one with no registry at all.
+//! * **Deterministic.** Probabilistic triggers draw from a per-site
+//!   splitmix64 stream seeded by `registry seed ⊕ fnv(site)`, so a
+//!   seeded chaos schedule replays identically run after run regardless
+//!   of how other sites interleave.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use crate::error::{Error, Result};
+
+/// What an armed failpoint does when its trigger fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// `panic!` at the site — exercises `catch_unwind` supervision.
+    Panic,
+    /// Sleep for the given duration at the site — exercises deadlines,
+    /// staleness bounds, and backpressure.
+    Delay(Duration),
+    /// Return [`Error::FaultInjected`] from the site — exercises typed
+    /// error paths (failed solves, refused appends).
+    Error,
+    /// No built-in effect: the site reports "fired" and the caller
+    /// decides what that means (the federate transport's drop/duplicate
+    /// decisions are trips).
+    Trip,
+}
+
+/// When an armed failpoint fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Fire on every hit.
+    Always,
+    /// Fire on exactly the `n`-th hit of the site (1-based).
+    OnHit(u64),
+    /// Fire on every `n`-th hit (the `n`-th, `2n`-th, ...). `Every(0)`
+    /// behaves as `Every(1)`.
+    Every(u64),
+    /// Fire each hit independently with this probability, drawn from the
+    /// site's seeded deterministic stream. Values are clamped to
+    /// `[0, 1]`.
+    Prob(f64),
+}
+
+/// A fault armed at one site: what to inject, when, and how often.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// The effect applied when the trigger fires.
+    pub kind: FaultKind,
+    /// The firing rule.
+    pub trigger: Trigger,
+    /// Maximum number of fires; `None` is unlimited. A site past its
+    /// limit stays armed but inert (its hit counter keeps advancing).
+    pub limit: Option<u64>,
+}
+
+impl FaultSpec {
+    /// A spec with no fire limit.
+    pub fn new(kind: FaultKind, trigger: Trigger) -> FaultSpec {
+        FaultSpec { kind, trigger, limit: None }
+    }
+
+    /// Caps the number of times this spec may fire.
+    pub fn with_limit(mut self, limit: u64) -> FaultSpec {
+        self.limit = Some(limit);
+        self
+    }
+}
+
+/// Hit/fire counters of one site, for assertions and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SiteStats {
+    /// Times the site was evaluated (armed hits only; a disarmed site
+    /// records nothing).
+    pub hits: u64,
+    /// Times the trigger fired and the fault was applied.
+    pub fired: u64,
+}
+
+struct Site {
+    spec: FaultSpec,
+    hits: u64,
+    fired: u64,
+    /// splitmix64 state for `Trigger::Prob`, derived from the registry
+    /// seed and the site name so each site has an independent,
+    /// order-insensitive stream.
+    rng: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001B3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// The seeded failpoint registry. Shared via `Arc`; thread-safe.
+///
+/// Production code never holds a registry directly — it holds an
+/// [`Injector`], which is either disabled (the default, near-zero cost)
+/// or backed by one of these. Tests arm sites, run the system, and
+/// assert on [`FaultRegistry::site_stats`] / [`FaultRegistry::total_fired`].
+pub struct FaultRegistry {
+    seed: u64,
+    /// Number of currently armed sites; the lock-free fast path for the
+    /// common disarmed case.
+    armed: AtomicUsize,
+    sites: Mutex<HashMap<String, Site>>,
+}
+
+impl std::fmt::Debug for FaultRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultRegistry")
+            .field("seed", &self.seed)
+            .field("armed_sites", &self.armed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl FaultRegistry {
+    /// An empty registry; `seed` drives every `Trigger::Prob` stream.
+    pub fn new(seed: u64) -> FaultRegistry {
+        FaultRegistry { seed, armed: AtomicUsize::new(0), sites: Mutex::new(HashMap::new()) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, Site>> {
+        // A panic injected *by* this registry happens outside the lock
+        // (the decision is computed under the lock, the effect applied
+        // after it is released), but an unrelated panic elsewhere must
+        // not cascade: the map is always internally consistent.
+        self.sites.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Arms (or re-arms, resetting counters) `site` with `spec`.
+    pub fn arm(&self, site: &str, spec: FaultSpec) {
+        let mut sites = self.lock();
+        let rng = self.seed ^ fnv1a(site.as_bytes());
+        if sites.insert(site.to_string(), Site { spec, hits: 0, fired: 0, rng }).is_none() {
+            self.armed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Disarms `site`; returns whether it was armed. Its counters are
+    /// discarded with it.
+    pub fn disarm(&self, site: &str) -> bool {
+        let removed = self.lock().remove(site).is_some();
+        if removed {
+            self.armed.fetch_sub(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Evaluates a hit at `site` and returns the fault kind to apply if
+    /// the trigger fired. Does **not** apply the effect — use
+    /// [`Injector::hit`] (or [`Injector::fires`] for trips) in
+    /// production code.
+    pub fn trigger(&self, site: &str) -> Option<FaultKind> {
+        if self.armed.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        let mut sites = self.lock();
+        let entry = sites.get_mut(site)?;
+        entry.hits += 1;
+        if let Some(limit) = entry.spec.limit {
+            if entry.fired >= limit {
+                return None;
+            }
+        }
+        let fires = match entry.spec.trigger {
+            Trigger::Always => true,
+            Trigger::OnHit(n) => entry.hits == n.max(1),
+            Trigger::Every(n) => entry.hits % n.max(1) == 0,
+            Trigger::Prob(p) => {
+                let draw = (splitmix64(&mut entry.rng) >> 11) as f64 / (1u64 << 53) as f64;
+                draw < p.clamp(0.0, 1.0)
+            }
+        };
+        if fires {
+            entry.fired += 1;
+            Some(entry.spec.kind)
+        } else {
+            None
+        }
+    }
+
+    /// Hit/fire counters of `site` (zeros if never armed).
+    pub fn site_stats(&self, site: &str) -> SiteStats {
+        self.lock()
+            .get(site)
+            .map(|s| SiteStats { hits: s.hits, fired: s.fired })
+            .unwrap_or_default()
+    }
+
+    /// Total fires across every armed site — the chaos suite's
+    /// "disarmed means untouched" witness.
+    pub fn total_fired(&self) -> u64 {
+        self.lock().values().map(|s| s.fired).sum()
+    }
+}
+
+/// The handle production code hits failpoints through.
+///
+/// `Injector::default()` is disabled: every [`Injector::hit`] is a
+/// branch on `None` — no lock, no hash, no site-name formatting — so
+/// instrumented hot paths cost nothing in normal operation.
+#[derive(Debug, Clone, Default)]
+pub struct Injector {
+    registry: Option<Arc<FaultRegistry>>,
+}
+
+impl Injector {
+    /// The no-op injector (same as `Default`).
+    pub fn disabled() -> Injector {
+        Injector { registry: None }
+    }
+
+    /// An injector backed by `registry`.
+    pub fn new(registry: Arc<FaultRegistry>) -> Injector {
+        Injector { registry: Some(registry) }
+    }
+
+    /// Whether a registry is attached (it may still have nothing armed).
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_some()
+    }
+
+    /// Hits `site` and applies the armed fault, if any:
+    /// [`FaultKind::Panic`] panics, [`FaultKind::Delay`] sleeps,
+    /// [`FaultKind::Error`] returns [`Error::FaultInjected`], and
+    /// [`FaultKind::Trip`] is a no-op here (use [`Injector::fires`]).
+    pub fn hit(&self, site: &str) -> Result<()> {
+        let Some(registry) = &self.registry else { return Ok(()) };
+        match registry.trigger(site) {
+            None | Some(FaultKind::Trip) => Ok(()),
+            Some(FaultKind::Panic) => panic!("failpoint `{site}` injected a panic"),
+            Some(FaultKind::Delay(d)) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+            Some(FaultKind::Error) => Err(Error::FaultInjected { site: site.to_string() }),
+        }
+    }
+
+    /// Hits `site` and reports whether the trigger fired, applying no
+    /// effect — the entry point for [`FaultKind::Trip`]-style decisions
+    /// (a transport asking "do I drop this frame?").
+    pub fn fires(&self, site: &str) -> bool {
+        match &self.registry {
+            None => false,
+            Some(registry) => registry.trigger(site).is_some(),
+        }
+    }
+}
+
+impl From<Option<Arc<FaultRegistry>>> for Injector {
+    fn from(registry: Option<Arc<FaultRegistry>>) -> Injector {
+        Injector { registry }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_sites_never_fire() {
+        let registry = FaultRegistry::new(7);
+        assert_eq!(registry.trigger("nowhere"), None);
+        assert_eq!(registry.site_stats("nowhere"), SiteStats::default());
+        let injector = Injector::new(Arc::new(registry));
+        assert!(injector.hit("nowhere").is_ok());
+        assert!(!injector.fires("nowhere"));
+    }
+
+    #[test]
+    fn disabled_injector_is_a_noop() {
+        let injector = Injector::disabled();
+        assert!(!injector.is_enabled());
+        assert!(injector.hit("anything").is_ok());
+        assert!(!injector.fires("anything"));
+    }
+
+    #[test]
+    fn on_hit_fires_exactly_once() {
+        let registry = FaultRegistry::new(0);
+        registry.arm("x", FaultSpec::new(FaultKind::Trip, Trigger::OnHit(3)));
+        let fires: Vec<bool> = (0..6).map(|_| registry.trigger("x").is_some()).collect();
+        assert_eq!(fires, [false, false, true, false, false, false]);
+        assert_eq!(registry.site_stats("x"), SiteStats { hits: 6, fired: 1 });
+    }
+
+    #[test]
+    fn every_fires_periodically_until_limit() {
+        let registry = FaultRegistry::new(0);
+        registry.arm("x", FaultSpec::new(FaultKind::Trip, Trigger::Every(2)).with_limit(2));
+        let fires: Vec<bool> = (0..8).map(|_| registry.trigger("x").is_some()).collect();
+        assert_eq!(fires, [false, true, false, true, false, false, false, false]);
+        let stats = registry.site_stats("x");
+        assert_eq!(stats.fired, 2, "the limit caps fires");
+        assert_eq!(stats.hits, 8, "hits keep counting past the limit");
+    }
+
+    #[test]
+    fn prob_stream_is_deterministic_per_seed_and_site() {
+        let run = |seed: u64, site: &str| -> Vec<bool> {
+            let registry = FaultRegistry::new(seed);
+            registry.arm(site, FaultSpec::new(FaultKind::Trip, Trigger::Prob(0.5)));
+            (0..64).map(|_| registry.trigger(site).is_some()).collect()
+        };
+        assert_eq!(run(42, "a"), run(42, "a"), "same seed+site replays identically");
+        assert_ne!(run(42, "a"), run(43, "a"), "the seed matters");
+        assert_ne!(run(42, "a"), run(42, "b"), "sites have independent streams");
+        let fired = run(42, "a").iter().filter(|&&f| f).count();
+        assert!((10..=54).contains(&fired), "p=0.5 over 64 draws fired {fired} times");
+    }
+
+    #[test]
+    fn error_kind_returns_typed_error() {
+        let registry = Arc::new(FaultRegistry::new(0));
+        registry.arm("site.err", FaultSpec::new(FaultKind::Error, Trigger::Always));
+        let injector = Injector::new(registry);
+        match injector.hit("site.err") {
+            Err(Error::FaultInjected { site }) => assert_eq!(site, "site.err"),
+            other => panic!("expected FaultInjected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panic_kind_panics_and_is_catchable() {
+        let registry = Arc::new(FaultRegistry::new(0));
+        registry.arm("site.boom", FaultSpec::new(FaultKind::Panic, Trigger::OnHit(1)));
+        let injector = Injector::new(registry.clone());
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = injector.hit("site.boom");
+        }));
+        assert!(caught.is_err(), "the failpoint must panic");
+        assert!(injector.hit("site.boom").is_ok(), "OnHit(1) fires only once");
+        assert_eq!(registry.site_stats("site.boom").fired, 1);
+    }
+
+    #[test]
+    fn delay_kind_sleeps() {
+        let registry = Arc::new(FaultRegistry::new(0));
+        registry.arm(
+            "site.slow",
+            FaultSpec::new(FaultKind::Delay(Duration::from_millis(20)), Trigger::Always),
+        );
+        let injector = Injector::new(registry);
+        let started = std::time::Instant::now();
+        injector.hit("site.slow").unwrap();
+        assert!(started.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn disarm_removes_the_site() {
+        let registry = FaultRegistry::new(0);
+        registry.arm("x", FaultSpec::new(FaultKind::Trip, Trigger::Always));
+        assert!(registry.trigger("x").is_some());
+        assert!(registry.disarm("x"));
+        assert!(!registry.disarm("x"));
+        assert_eq!(registry.trigger("x"), None);
+        assert_eq!(registry.total_fired(), 0, "counters die with the site");
+    }
+}

@@ -58,7 +58,7 @@ pub mod party;
 pub mod wire;
 
 pub use coordinator::{Coordinator, Delivery, DiscreteCoordinator};
-pub use driver::{drive_round, FaultPlan, RoundReport};
+pub use driver::{drive_round, drive_round_with, FaultPlan, RoundReport};
 pub use mask::apply_pairwise_masks;
 pub use party::{DiscreteParty, Party};
 pub use wire::{

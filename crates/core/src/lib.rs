@@ -38,6 +38,11 @@
 //!    whose pairwise masks cancel exactly on the cohort sum), and a
 //!    coordinator whose merged solve is bit-identical to the monolithic
 //!    one — no party ever reveals raw perturbed records.
+//! 8. [`fault`] — seeded failpoint injection (named sites that can
+//!    panic, delay, error, or trip on deterministic schedules; zero
+//!    cost disarmed) plus the shared capped-exponential backoff policy;
+//!    the substrate under the serve plane's crash isolation, the
+//!    federate transport's fault plans, and the chaos test suite.
 //!
 //! ## Example
 //!
@@ -69,6 +74,7 @@
 pub mod audit;
 pub mod domain;
 pub mod error;
+pub mod fault;
 pub mod federate;
 pub mod privacy;
 pub mod randomize;
@@ -80,6 +86,7 @@ pub mod stats;
 pub use audit::{BreachReport, CorrelatedLinkage, DiscreteLinkage, JointPrior, PosteriorLinkage};
 pub use domain::{Domain, Partition};
 pub use error::{Error, Result};
+pub use fault::{Backoff, BackoffPolicy, FaultKind, FaultRegistry, FaultSpec, Injector, Trigger};
 pub use federate::{Coordinator, DiscreteCoordinator, DiscreteParty, FaultPlan, Party, WireSketch};
 pub use randomize::{
     ChannelFingerprint, DiscreteChannel, GaussianMixture, Laplace, NoiseDensity, NoiseModel,

@@ -27,7 +27,7 @@
 //!                                               epoch-pinned readers)
 //! ```
 //!
-//! The three pieces:
+//! The pieces:
 //!
 //! - [`IngestService`] / [`IngestHandle`]: shard workers behind bounded
 //!   mailboxes with explicit [`Backpressure`](crate::Error::Backpressure)
@@ -36,18 +36,29 @@
 //!   publication of epoch-stamped [`PosteriorSnapshot`]s (safe code
 //!   only — see [`snapshot`] for how the `AtomicPtr`-free design works).
 //! - [`BatchPool`]: the recycling buffer pool both planes draw from.
+//! - [`wal`]: the append-only delta log behind
+//!   [`IngestService::recover`]'s bit-exact crash recovery, and the
+//!   supervision story around it — every worker and the re-solver
+//!   restart under `catch_unwind` with capped backoff (see
+//!   [`service`]'s module docs), with [`HealthReport`] rolling up the
+//!   degradation signals.
 //!
-//! See `docs/ARCHITECTURE.md` ("Serving layer") for the full contract
-//! discussion: backpressure semantics, staleness bounds, and why this is
-//! plain OS threads rather than an async runtime.
+//! See `docs/ARCHITECTURE.md` ("Serving layer" and "Fault tolerance &
+//! durability") for the full contract discussion: backpressure
+//! semantics, staleness bounds, the WAL recovery algebra, and why this
+//! is plain OS threads rather than an async runtime.
 
 pub mod pool;
 pub mod service;
 pub mod snapshot;
+pub mod wal;
 
 pub use pool::{BatchPool, PoolStats};
-pub use service::{IngestHandle, IngestService, ServeConfig, ServeReport, ServiceStats};
+pub use service::{
+    sites, HealthReport, IngestHandle, IngestService, ServeConfig, ServeReport, ServiceStats,
+};
 pub use snapshot::{PosteriorSnapshot, SnapshotCell, SnapshotPublisher, SnapshotReader};
+pub use wal::{WalConfig, WalRecovery, WalWriter};
 
 #[cfg(test)]
 mod tests {
@@ -58,7 +69,7 @@ mod tests {
     use crate::domain::{Domain, Partition};
     use crate::error::Error;
     use crate::randomize::{NoiseDensity, NoiseModel};
-    use crate::reconstruct::{ReconstructionConfig, ReconstructionEngine};
+    use crate::reconstruct::ReconstructionEngine;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -84,7 +95,7 @@ mod tests {
             batch_capacity: 64,
             max_pooled: 32,
             resolve_interval: Duration::from_millis(5),
-            reconstruction: ReconstructionConfig::default(),
+            ..ServeConfig::default()
         }
     }
 

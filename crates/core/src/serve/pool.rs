@@ -10,7 +10,16 @@
 //! is the steady-state signature the stress tests assert on.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// The free list is a plain stack: every critical section is a single
+/// push or pop, so the guarded data is valid even if a holder panicked
+/// (e.g. a fault-injected worker crash mid-recycle). Clear the poison
+/// instead of cascading panics into every other thread touching the
+/// pool.
+fn lock_free_list(mutex: &Mutex<Vec<Vec<f64>>>) -> MutexGuard<'_, Vec<Vec<f64>>> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Shared, thread-safe pool of `Vec<f64>` batch buffers.
 ///
@@ -67,7 +76,7 @@ impl BatchPool {
     /// An empty buffer: recycled when one is parked, freshly allocated
     /// otherwise.
     pub fn checkout(&self) -> Vec<f64> {
-        let recycled = self.inner.free.lock().expect("batch pool lock poisoned").pop();
+        let recycled = lock_free_list(&self.inner.free).pop();
         match recycled {
             Some(buf) => {
                 self.inner.reused.fetch_add(1, Ordering::Relaxed);
@@ -85,7 +94,7 @@ impl BatchPool {
     /// parked.
     pub fn recycle(&self, mut buf: Vec<f64>) {
         buf.clear();
-        let mut free = self.inner.free.lock().expect("batch pool lock poisoned");
+        let mut free = lock_free_list(&self.inner.free);
         if free.len() < self.inner.max_pooled {
             free.push(buf);
         }
@@ -96,7 +105,7 @@ impl BatchPool {
         PoolStats {
             allocated: self.inner.allocated.load(Ordering::Relaxed),
             reused: self.inner.reused.load(Ordering::Relaxed),
-            pooled: self.inner.free.lock().expect("batch pool lock poisoned").len(),
+            pooled: lock_free_list(&self.inner.free).len(),
         }
     }
 }

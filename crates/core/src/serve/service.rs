@@ -1,5 +1,5 @@
-//! The ingest service: shard workers behind bounded mailboxes plus the
-//! background re-solver.
+//! The ingest service: supervised shard workers behind bounded
+//! mailboxes plus the crash-isolated, WAL-backed background re-solver.
 //!
 //! # Planes
 //!
@@ -10,7 +10,8 @@
 //! [`IngestHandle::try_ingest`], which copies the batch into a recycled
 //! buffer ([`BatchPool`]) and `try_send`s it round-robin. A full mailbox
 //! is an explicit [`Error::Backpressure`]: nothing is queued, nothing is
-//! lost, and the caller decides whether to retry, shed, or slow down —
+//! lost, and the caller decides whether to retry, shed, or slow down
+//! ([`IngestHandle::ingest_with_backoff`] packages the retry loop) —
 //! there are **no unbounded queues anywhere** in the service, so memory
 //! is bounded by `shards × mailbox_capacity` batches regardless of how
 //! hard producers push.
@@ -20,19 +21,54 @@
 //! empty one (the drain round-trips sketches through
 //! [`SuffStats::clear`], so steady-state resolving allocates nothing),
 //! merges the deltas into its running total — exact, order-independent
-//! integer merges — and runs a *warm-started* EM solve against the
-//! shared kernel cache. The resulting posterior is published as an
+//! integer merges — appends the cycle's delta to the WAL when one is
+//! configured, and runs a *warm-started* EM solve against the shared
+//! kernel cache. The resulting posterior is published as an
 //! epoch-stamped [`PosteriorSnapshot`] through the wait-free
 //! [`SnapshotCell`]; readers are never blocked by ingest or solving.
 //!
-//! # Staleness contract
+//! # Supervision
+//!
+//! Every worker and the re-solver run *inside a supervisor*: the thread
+//! body is wrapped in [`std::panic::catch_unwind`], and a panic —
+//! whether from an armed [failpoint](crate::fault) or a genuine bug —
+//! restarts the charge with capped exponential backoff
+//! ([`ServeConfig::restart_backoff`]) instead of killing the plane.
+//! Restarts are counted ([`ServiceStats::worker_restarts`],
+//! [`ServiceStats::resolver_restarts`]) and **lossless**: the shard
+//! sketch lives in the supervisor's frame, so a restarted worker resumes
+//! with every record it ever bucketed, and the batch in flight when the
+//! panic hit stays in the mailbox. The re-solver's pending-delta
+//! protocol (below) gives the same guarantee across resolver crashes.
+//!
+//! # Durability
+//!
+//! With [`ServeConfig::wal`] set, every drained cycle delta is appended
+//! to an append-only log before it is merged (see [`super::wal`]), with
+//! periodic checkpoint frames bounding replay length, and shutdown seals
+//! the log with a final checkpoint equal to [`ServeReport::merged`].
+//! [`IngestService::recover`] replays the log — torn tail and all — into
+//! a sketch **bit-identical** to the uninterrupted service's merge at
+//! the last append, ready to seed a successor via
+//! [`IngestService::spawn_seeded`]. WAL write failures degrade
+//! durability, never availability: the delta is still merged and served,
+//! the error surfaces in [`ServeReport::wal_error`].
+//!
+//! # Staleness and degradation
 //!
 //! A published snapshot reflects every record drained up to its epoch.
 //! Staleness is bounded by the resolve cadence and *observable*:
 //! [`ServiceStats::records_behind`] counts admitted-but-not-yet-solved
 //! records, [`ServiceStats::staleness`] is the time since the re-solver
 //! last completed a cycle, and [`SnapshotReader::epochs_behind`] tells a
-//! reader how far its pinned epoch lags publication.
+//! reader how far its pinned epoch lags publication. When a background
+//! solve fails, the service degrades instead of stalling: the previous
+//! posterior is republished with [`PosteriorSnapshot::degraded`] set
+//! (readers keep getting answers, honestly labeled stale), and when a
+//! solve overruns [`ServeConfig::solve_deadline`] its fresh result is
+//! likewise flagged. [`IngestService::health`] rolls the whole story —
+//! staleness, consecutive failures, restarts, WAL lag — into one
+//! [`HealthReport`].
 //!
 //! # Why threads, not async
 //!
@@ -43,7 +79,9 @@
 //! an async runtime would add scheduling machinery precisely where
 //! blocking is the desired behavior.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -51,12 +89,39 @@ use std::time::{Duration, Instant};
 
 use crate::domain::Partition;
 use crate::error::{Error, Result};
+use crate::fault::{BackoffPolicy, FaultRegistry, Injector};
 use crate::randomize::NoiseDensity;
 use crate::reconstruct::streaming::SuffStats;
 use crate::reconstruct::{ReconstructionConfig, ReconstructionEngine};
+use crate::stats::Histogram;
 
 use super::pool::{BatchPool, PoolStats};
 use super::snapshot::{PosteriorSnapshot, SnapshotCell, SnapshotPublisher, SnapshotReader};
+use super::wal::{WalConfig, WalRecovery, WalWriter};
+
+/// Failpoint site names the serve plane hits (see [`crate::fault`]).
+///
+/// Arm these on the registry passed through [`ServeConfig::faults`] to
+/// kill, slow, or fail specific points of the pipeline on a seeded
+/// schedule. With no registry (the default) each site costs one `None`
+/// check.
+pub mod sites {
+    /// Top of the shard-worker loop, hit *before* each mailbox receive —
+    /// a panic here leaves the in-flight batch queued, so a restarted
+    /// worker loses nothing.
+    pub const WORKER_LOOP: &str = "serve.worker.loop";
+    /// Top of each re-solver cycle. A panic exercises the supervisor; an
+    /// injected error skips the cycle (drain deferred one interval).
+    pub const RESOLVER_CYCLE: &str = "serve.resolver.cycle";
+    /// Immediately before each background solve. An injected error takes
+    /// the degraded path; a panic lands after the cycle's delta is
+    /// already committed, so no data is at risk.
+    pub const RESOLVER_SOLVE: &str = "serve.resolver.solve";
+    /// Immediately before each WAL delta append. An injected error
+    /// simulates an I/O failure (durability degrades, availability does
+    /// not); a panic exercises the redo protocol.
+    pub const WAL_APPEND: &str = "serve.wal.append";
+}
 
 /// Tuning knobs of an [`IngestService`].
 #[derive(Debug, Clone)]
@@ -81,6 +146,23 @@ pub struct ServeConfig {
     /// E-step whenever the rayon pool is free (the re-solver runs on its
     /// own OS thread, outside any pool worker).
     pub reconstruction: ReconstructionConfig,
+    /// Failpoint registry consulted at the [`sites`]. `None` (the
+    /// default) disables injection entirely; an armed registry is how
+    /// the chaos suite kills workers and fails solves on seeded
+    /// schedules. A registry with nothing armed changes no behavior.
+    pub faults: Option<Arc<FaultRegistry>>,
+    /// Write-ahead log for the drained deltas; `None` (the default)
+    /// runs the service memory-only, exactly as before.
+    pub wal: Option<WalConfig>,
+    /// Latency budget for one background solve. A solve that overruns it
+    /// still publishes, but flagged [`PosteriorSnapshot::degraded`] so
+    /// readers know the posterior is running late. `None` disables the
+    /// check.
+    pub solve_deadline: Option<Duration>,
+    /// Backoff schedule for supervised restarts after a worker or
+    /// re-solver panic (and the pacing for
+    /// [`IngestHandle::ingest_with_backoff`] callers that borrow it).
+    pub restart_backoff: BackoffPolicy,
 }
 
 impl Default for ServeConfig {
@@ -92,6 +174,10 @@ impl Default for ServeConfig {
             max_pooled: 256,
             resolve_interval: Duration::from_millis(50),
             reconstruction: ReconstructionConfig::default(),
+            faults: None,
+            wal: None,
+            solve_deadline: None,
+            restart_backoff: BackoffPolicy::default(),
         }
     }
 }
@@ -123,7 +209,16 @@ struct Counters {
     ingested_records: AtomicU64,
     solved_records: AtomicU64,
     solves: AtomicU64,
-    solve_errors: AtomicU64,
+    solve_failures: AtomicU64,
+    consecutive_solve_failures: AtomicU64,
+    worker_restarts: AtomicU64,
+    resolver_restarts: AtomicU64,
+    wal_bytes: AtomicU64,
+    wal_frames: AtomicU64,
+    /// Records covered by the last successful WAL append (what
+    /// [`IngestService::recover`] would reproduce right now).
+    wal_records: AtomicU64,
+    degraded: AtomicBool,
     /// Nanoseconds after service start when the re-solver last completed
     /// a full drain cycle (staleness probe).
     last_cycle_nanos: AtomicU64,
@@ -144,7 +239,14 @@ impl Counters {
             ingested_records: AtomicU64::new(0),
             solved_records: AtomicU64::new(0),
             solves: AtomicU64::new(0),
-            solve_errors: AtomicU64::new(0),
+            solve_failures: AtomicU64::new(0),
+            consecutive_solve_failures: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
+            resolver_restarts: AtomicU64::new(0),
+            wal_bytes: AtomicU64::new(0),
+            wal_frames: AtomicU64::new(0),
+            wal_records: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
             last_cycle_nanos: AtomicU64::new(0),
             solve_nanos_last: AtomicU64::new(0),
             solve_nanos_max: AtomicU64::new(0),
@@ -153,7 +255,7 @@ impl Counters {
 }
 
 /// A point-in-time view of the service's counters; every field is
-/// monotone except the derived staleness gauges.
+/// monotone except the derived staleness gauges and the `degraded` flag.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Batches `try_ingest` admitted into a mailbox.
@@ -173,9 +275,24 @@ pub struct ServiceStats {
     pub epoch: u64,
     /// Background solves completed.
     pub solves: u64,
-    /// Background solves that failed (the service keeps running; the
-    /// last error surfaces in [`ServeReport::solve_error`]).
-    pub solve_errors: u64,
+    /// Background solves that failed over the service lifetime (the
+    /// service keeps running; the last error surfaces in
+    /// [`ServeReport::solve_error`]).
+    pub solve_failures: u64,
+    /// Solve failures since the last success — the health signal: 0
+    /// means the latest solve attempt worked.
+    pub consecutive_solve_failures: u64,
+    /// Shard-worker panics recovered by supervised restart.
+    pub worker_restarts: u64,
+    /// Re-solver panics recovered by supervised restart.
+    pub resolver_restarts: u64,
+    /// Write-ahead log size in bytes (0 when no WAL is configured).
+    pub wal_bytes: u64,
+    /// Frames appended to the WAL this run (0 when no WAL is configured).
+    pub wal_frames: u64,
+    /// Whether the latest posterior is degraded: its solve failed (a
+    /// stale posterior was republished) or overran the solve deadline.
+    pub degraded: bool,
     /// Age of the published posterior coverage — the time half of the
     /// staleness bound. Once a snapshot exists (`epoch >= 1`) this is the
     /// time since the re-solver last completed a drain cycle
@@ -194,6 +311,44 @@ pub struct ServiceStats {
     pub pool: PoolStats,
 }
 
+/// One-call operational health of a running [`IngestService`]
+/// (see [`IngestService::health`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Latest published epoch (0 before the first publish).
+    pub epoch: u64,
+    /// Time since the re-solver last completed a cycle.
+    pub staleness: Duration,
+    /// Admitted records the published posterior does not reflect yet.
+    pub records_behind: u64,
+    /// Whether the latest posterior is degraded (failed or late solve).
+    pub degraded: bool,
+    /// Solve failures since the last successful solve.
+    pub consecutive_solve_failures: u64,
+    /// Shard-worker panics recovered by restart.
+    pub worker_restarts: u64,
+    /// Re-solver panics recovered by restart.
+    pub resolver_restarts: u64,
+    /// WAL size in bytes (0 without a WAL).
+    pub wal_bytes: u64,
+    /// WAL frames appended this run (0 without a WAL).
+    pub wal_frames: u64,
+    /// Admitted records not yet covered by a WAL append — the durability
+    /// exposure: what a crash right now would lose. Always 0 without a
+    /// WAL (there is no durability to lag).
+    pub wal_lag_records: u64,
+}
+
+impl HealthReport {
+    /// Whether the service is serving fresh, successfully solved
+    /// posteriors: not degraded and no outstanding solve failures.
+    /// Restart counters are intentionally excluded — recovered crashes
+    /// are history, not current sickness.
+    pub fn is_healthy(&self) -> bool {
+        !self.degraded && self.consecutive_solve_failures == 0
+    }
+}
+
 /// Everything the service hands back at shutdown.
 pub struct ServeReport {
     /// The exact merge of every record ever bucketed by any shard —
@@ -207,6 +362,10 @@ pub struct ServeReport {
     pub stats: ServiceStats,
     /// The last background solve error, if any cycle failed.
     pub solve_error: Option<Error>,
+    /// The last WAL append/seal error, if the log ever failed. `None`
+    /// with a WAL configured means the sealed log replays to exactly
+    /// [`ServeReport::merged`].
+    pub wal_error: Option<Error>,
 }
 
 /// A producer's clonable, mutable handle into the ingest plane.
@@ -268,6 +427,44 @@ impl IngestHandle {
             Err(_) => unreachable!("a failed send returns the message it was given"),
         }
     }
+
+    /// [`Self::try_ingest`] with a bounded, backoff-paced retry loop over
+    /// [`Error::Backpressure`]: each refusal sleeps out the next delay of
+    /// `policy` (a zero-base policy yields instead of sleeping) and tries
+    /// the next shard. Other errors pass straight through.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::RetriesExhausted`] once `max_attempts` sends were refused
+    /// (the batch is not enqueued — same no-residue contract as a single
+    /// refusal); any non-backpressure error from `try_ingest`, unretried.
+    pub fn ingest_with_backoff(
+        &mut self,
+        values: &[f64],
+        policy: BackoffPolicy,
+        max_attempts: usize,
+    ) -> Result<usize> {
+        let budget = max_attempts.max(1);
+        let mut backoff = policy.iter();
+        let mut attempts = 0;
+        loop {
+            match self.try_ingest(values) {
+                Err(Error::Backpressure { .. }) => {
+                    attempts += 1;
+                    if attempts >= budget {
+                        return Err(Error::RetriesExhausted { attempts, pending: 1 });
+                    }
+                    let delay = backoff.next_delay();
+                    if delay.is_zero() {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(delay);
+                    }
+                }
+                outcome => return outcome,
+            }
+        }
+    }
 }
 
 /// What the re-solver thread returns when told to finish.
@@ -275,6 +472,10 @@ struct ResolveSummary {
     /// Running merge of everything drained over the service's lifetime.
     total: SuffStats,
     last_error: Option<Error>,
+    /// The WAL writer handed back so shutdown can seal the log with a
+    /// final checkpoint covering post-drain leftovers.
+    wal: Option<WalWriter>,
+    wal_error: Option<Error>,
 }
 
 /// The running service; see the [module docs](self) for the two planes.
@@ -292,6 +493,7 @@ pub struct IngestService {
     ctl: SyncSender<ResolverCtl>,
     handle_seq: AtomicUsize,
     template: SuffStats,
+    wal_enabled: bool,
     started: Instant,
 }
 
@@ -314,6 +516,38 @@ impl IngestService {
         config: ServeConfig,
         engine: Arc<ReconstructionEngine>,
     ) -> Result<IngestService> {
+        Self::spawn_inner(noise, partition, config, engine, None)
+    }
+
+    /// Spawns the service with a non-empty starting sketch — the
+    /// crash-recovery path: replay the WAL with [`IngestService::recover`]
+    /// and hand the merged sketch here, and the successor continues
+    /// exactly where the crashed service's last durable append left off
+    /// (its final [`ServeReport::merged`] is `initial` ⊕ everything newly
+    /// ingested, bit-identical to a never-crashed run).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`IngestService::spawn`] rejects, plus
+    /// [`Error::ShardMismatch`] when `initial` does not match the
+    /// service's noise channel or partition geometry.
+    pub fn spawn_seeded(
+        noise: Arc<dyn NoiseDensity>,
+        partition: Partition,
+        config: ServeConfig,
+        engine: Arc<ReconstructionEngine>,
+        initial: SuffStats,
+    ) -> Result<IngestService> {
+        Self::spawn_inner(noise, partition, config, engine, Some(initial))
+    }
+
+    fn spawn_inner(
+        noise: Arc<dyn NoiseDensity>,
+        partition: Partition,
+        config: ServeConfig,
+        engine: Arc<ReconstructionEngine>,
+        initial: Option<SuffStats>,
+    ) -> Result<IngestService> {
         if config.shards == 0 {
             return Err(Error::ShardMismatch("an ingest service needs at least one shard".into()));
         }
@@ -323,8 +557,30 @@ impl IngestService {
         // Binds the geometry and rejects unfingerprinted channels up
         // front (warm solves need the fingerprint to match sketches).
         let template = SuffStats::new(noise.as_ref(), partition)?;
+        // Validate the seed sketch against the geometry *before* spawning
+        // anything; merge-into-template doubles as the compatibility gate.
+        let mut total = template.clone();
+        if let Some(seed) = initial {
+            total.merge_from(&seed)?;
+        }
+        // Open the WAL up front too, so a bad path fails the spawn
+        // instead of crippling a running resolver. A non-empty seed is
+        // checkpointed immediately: the log alone always replays to the
+        // service's full state.
+        let mut wal = config.wal.as_ref().map(WalWriter::open).transpose()?;
+        if let Some(writer) = wal.as_mut() {
+            if !total.is_empty() {
+                writer.append_checkpoint(&total)?;
+            }
+        }
+        let injector = Injector::from(config.faults.clone());
         let pool = BatchPool::new(config.batch_capacity.max(1), config.max_pooled);
         let counters = Arc::new(Counters::new());
+        if let Some(writer) = wal.as_ref() {
+            counters.wal_bytes.store(writer.bytes(), Ordering::Relaxed);
+            counters.wal_frames.store(writer.frames(), Ordering::Relaxed);
+            counters.wal_records.store(total.count(), Ordering::Relaxed);
+        }
         let (cell, publisher) = SnapshotCell::new();
         let started = Instant::now();
 
@@ -336,29 +592,35 @@ impl IngestService {
             let stats = template.clone();
             let pool = pool.clone();
             let counters = counters.clone();
+            let injector = injector.clone();
+            let backoff = config.restart_backoff;
             let worker = std::thread::Builder::new()
                 .name(format!("ppdm-shard-{shard}"))
-                .spawn(move || shard_worker(rx, stats, pool, counters))
+                .spawn(move || shard_supervisor(rx, stats, pool, counters, injector, backoff))
                 .expect("spawning a shard worker thread failed");
             workers.push(worker);
         }
         let mailboxes: Arc<[SyncSender<ShardMsg>]> = mailboxes.into();
 
         let (ctl, ctl_rx) = sync_channel::<ResolverCtl>(1);
+        let wal_enabled = wal.is_some();
         let resolver = {
-            let mailboxes = mailboxes.clone();
-            let counters = counters.clone();
-            let template = template.clone();
-            let recon = config.reconstruction;
-            let interval = config.resolve_interval;
+            let args = ResolverArgs {
+                mailboxes: mailboxes.clone(),
+                template: template.clone(),
+                noise,
+                engine,
+                config: config.reconstruction,
+                interval: config.resolve_interval,
+                solve_deadline: config.solve_deadline,
+                counters: counters.clone(),
+                started,
+                injector,
+                backoff: config.restart_backoff,
+            };
             std::thread::Builder::new()
                 .name("ppdm-resolver".into())
-                .spawn(move || {
-                    resolver_loop(
-                        ctl_rx, mailboxes, template, noise, engine, recon, interval, publisher,
-                        counters, started,
-                    )
-                })
+                .spawn(move || resolver_supervisor(ctl_rx, total, wal, args, publisher))
                 .expect("spawning the re-solver thread failed")
         };
 
@@ -372,8 +634,22 @@ impl IngestService {
             ctl,
             handle_seq: AtomicUsize::new(0),
             template,
+            wal_enabled,
             started,
         })
+    }
+
+    /// Replays the write-ahead log at `path` into the exact merged
+    /// sketch it covers, truncating any torn tail in place — a thin
+    /// re-export of [`super::wal::recover`] placed on the service for
+    /// discoverability. Feed the result to [`IngestService::spawn_seeded`]
+    /// to resume.
+    pub fn recover(
+        path: &Path,
+        noise: &dyn NoiseDensity,
+        partition: Partition,
+    ) -> Result<WalRecovery> {
+        super::wal::recover(path, noise, partition)
     }
 
     /// A new producer handle, its round-robin start staggered across
@@ -424,7 +700,16 @@ impl IngestService {
             records_behind: admitted_records.saturating_sub(solved_records),
             epoch,
             solves: self.counters.solves.load(Ordering::Relaxed),
-            solve_errors: self.counters.solve_errors.load(Ordering::Relaxed),
+            solve_failures: self.counters.solve_failures.load(Ordering::Relaxed),
+            consecutive_solve_failures: self
+                .counters
+                .consecutive_solve_failures
+                .load(Ordering::Relaxed),
+            worker_restarts: self.counters.worker_restarts.load(Ordering::Relaxed),
+            resolver_restarts: self.counters.resolver_restarts.load(Ordering::Relaxed),
+            wal_bytes: self.counters.wal_bytes.load(Ordering::Relaxed),
+            wal_frames: self.counters.wal_frames.load(Ordering::Relaxed),
+            degraded: self.counters.degraded.load(Ordering::Relaxed),
             staleness,
             solve_duration_last: Duration::from_nanos(
                 self.counters.solve_nanos_last.load(Ordering::Relaxed),
@@ -436,24 +721,50 @@ impl IngestService {
         }
     }
 
+    /// The operational health roll-up: staleness, degradation,
+    /// consecutive failures, restarts, and durability lag in one view.
+    pub fn health(&self) -> HealthReport {
+        let stats = self.stats();
+        let wal_lag_records = if self.wal_enabled {
+            stats.admitted_records.saturating_sub(self.counters.wal_records.load(Ordering::Relaxed))
+        } else {
+            0
+        };
+        HealthReport {
+            epoch: stats.epoch,
+            staleness: stats.staleness,
+            records_behind: stats.records_behind,
+            degraded: stats.degraded,
+            consecutive_solve_failures: stats.consecutive_solve_failures,
+            worker_restarts: stats.worker_restarts,
+            resolver_restarts: stats.resolver_restarts,
+            wal_bytes: stats.wal_bytes,
+            wal_frames: stats.wal_frames,
+            wal_lag_records,
+        }
+    }
+
     /// Stops the service: final drain + solve + publish, then worker
     /// shutdown. Returns the [`ServeReport`] whose `merged` sketch is the
-    /// exact union of everything any shard ever bucketed.
+    /// exact union of everything any shard ever bucketed — even when the
+    /// resolver spent its last moments degraded or mid-restart: the
+    /// finalizer drains every mailbox regardless, and solve failures
+    /// surface in [`ServeReport::solve_error`] without costing a record.
     ///
     /// Outstanding [`IngestHandle`]s keep working until the final drain
     /// completes; afterwards their `try_ingest` reports
     /// [`Error::ServiceStopped`].
     pub fn shutdown(mut self) -> Result<ServeReport> {
-        // Phase 1: the re-solver runs one last drain + solve + publish
-        // and exits with the lifetime merge.
+        // Phase 1: the re-solver supervisor runs one last drain + solve +
+        // publish (panic-guarded) and exits with the lifetime merge.
         let _ = self.ctl.send(ResolverCtl::Finish);
         let summary = self
             .resolver
             .take()
             .expect("resolver joined exactly once")
             .join()
-            .expect("re-solver thread panicked");
-        let ResolveSummary { mut total, last_error } = summary;
+            .expect("the resolver supervisor itself never panics");
+        let ResolveSummary { mut total, last_error, wal, mut wal_error } = summary;
 
         // Phase 2: stop the workers and fold in whatever trickled in
         // between the final drain and now, so `merged` misses nothing.
@@ -469,7 +780,21 @@ impl IngestService {
             }
         }
         for worker in self.workers.drain(..) {
-            worker.join().expect("shard worker thread panicked");
+            worker.join().expect("the shard supervisor itself never panics");
+        }
+
+        // Phase 3: seal the WAL with a checkpoint of the *complete*
+        // merge (the final drain cannot see records that arrived between
+        // it and the Stop replies; the checkpoint can), so recovery of a
+        // cleanly shut log is always bit-identical to `merged`.
+        if let Some(mut writer) = wal {
+            let sealed = writer.append_checkpoint(&total).and_then(|_| writer.sync());
+            if let Err(e) = sealed {
+                wal_error = Some(e);
+            }
+            self.counters.wal_bytes.store(writer.bytes(), Ordering::Relaxed);
+            self.counters.wal_frames.store(writer.frames(), Ordering::Relaxed);
+            self.counters.wal_records.store(total.count(), Ordering::Relaxed);
         }
 
         let stats = self.stats();
@@ -478,6 +803,7 @@ impl IngestService {
             final_snapshot: self.cell.latest(),
             stats,
             solve_error: last_error,
+            wal_error,
         })
     }
 
@@ -489,15 +815,70 @@ impl IngestService {
     }
 }
 
-/// The shard worker: buckets batches into its private sketch and hands
-/// the sketch over on drain/stop.
-fn shard_worker(
+/// How one run of the shard-worker loop ended.
+enum WorkerExit {
+    /// A `Stop` message was honored; the sketch is handed over.
+    Stopped,
+    /// Every sender is gone (service leaked or mid-drop).
+    Disconnected,
+}
+
+/// The shard worker's supervisor: owns the sketch across panics and
+/// restarts the loop with capped backoff, so a crash costs neither the
+/// accumulated sketch (held here, in the supervisor's frame) nor the
+/// in-flight batch (the failpoint-reachable region is *before* the
+/// mailbox receive, so an unprocessed batch stays queued).
+fn shard_supervisor(
     rx: Receiver<ShardMsg>,
     mut stats: SuffStats,
     pool: BatchPool,
     counters: Arc<Counters>,
+    injector: Injector,
+    backoff: BackoffPolicy,
 ) {
-    while let Ok(msg) = rx.recv() {
+    let mut backoff = backoff.iter();
+    loop {
+        let mut progressed = false;
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            shard_worker_loop(&rx, &mut stats, &pool, &counters, &injector, &mut progressed)
+        }));
+        match run {
+            Ok(WorkerExit::Stopped) | Ok(WorkerExit::Disconnected) => return,
+            Err(_) => {
+                counters.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                // A worker that processed messages since its last crash
+                // earned a fresh schedule; only a crash *loop* backs off
+                // harder and harder.
+                if progressed {
+                    backoff.reset();
+                }
+                let delay = backoff.next_delay();
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+    }
+}
+
+/// One supervised run of the shard worker: buckets batches into the
+/// sketch and hands the sketch over on drain/stop.
+fn shard_worker_loop(
+    rx: &Receiver<ShardMsg>,
+    stats: &mut SuffStats,
+    pool: &BatchPool,
+    counters: &Counters,
+    injector: &Injector,
+    progressed: &mut bool,
+) -> WorkerExit {
+    loop {
+        // Before the receive, so a panic leaves the next message queued.
+        // An injected *error* at this site is meaningless for a worker
+        // and deliberately ignored; panics and delays do their thing.
+        let _ = injector.hit(sites::WORKER_LOOP);
+        let Ok(msg) = rx.recv() else {
+            return WorkerExit::Disconnected;
+        };
         match msg {
             ShardMsg::Batch(buf) => {
                 // Values were validated at admission, so this cannot
@@ -507,108 +888,345 @@ fn shard_worker(
                     counters.ingested_records.fetch_add(buf.len() as u64, Ordering::Relaxed);
                 }
                 pool.recycle(buf);
+                *progressed = true;
             }
             ShardMsg::Drain { fresh, reply } => {
-                let full = std::mem::replace(&mut stats, fresh);
-                let _ = reply.send(full);
+                let full = std::mem::replace(stats, fresh);
+                if let Err(unsent) = reply.send(full) {
+                    // The drainer died before collecting: reclaim the
+                    // sketch rather than dropping those records.
+                    let _ = stats.merge_from(&unsent.0);
+                }
+                *progressed = true;
             }
             ShardMsg::Stop { reply } => {
-                let _ = reply.send(stats);
-                return;
+                let mut fresh = stats.clone();
+                fresh.clear();
+                let full = std::mem::replace(stats, fresh);
+                if let Err(unsent) = reply.send(full) {
+                    let _ = stats.merge_from(&unsent.0);
+                }
+                return WorkerExit::Stopped;
             }
         }
     }
-    // All senders dropped without a Stop: the service was leaked or is
-    // mid-drop; there is nobody to hand the sketch to.
 }
 
-/// The re-solver: drain → merge → warm solve → publish, every interval.
-#[allow(clippy::too_many_arguments)]
-fn resolver_loop(
-    ctl: Receiver<ResolverCtl>,
+/// Everything the re-solver needs besides its mutable state.
+struct ResolverArgs {
     mailboxes: Arc<[SyncSender<ShardMsg>]>,
     template: SuffStats,
     noise: Arc<dyn NoiseDensity>,
     engine: Arc<ReconstructionEngine>,
     config: ReconstructionConfig,
     interval: Duration,
-    mut publisher: SnapshotPublisher,
+    solve_deadline: Option<Duration>,
     counters: Arc<Counters>,
     started: Instant,
+    injector: Injector,
+    backoff: BackoffPolicy,
+}
+
+/// The re-solver's mutable state, owned by the supervisor's frame so it
+/// survives panics in the supervised loop.
+struct ResolverState {
+    total: SuffStats,
+    /// The in-progress cycle's merged drain, not yet committed into
+    /// `total`. Non-empty only between a crash and the next cycle's
+    /// redo; `flush_pending` re-commits it before draining again.
+    cycle_delta: SuffStats,
+    /// Whether `cycle_delta` already has its WAL frame (a crash can land
+    /// between the append and the merge; the redo must not append the
+    /// same delta twice).
+    delta_in_wal: bool,
+    /// Sketches cycle drain → merge → clear → reuse, so steady-state
+    /// resolving allocates nothing beyond this initial pool.
+    spare: Vec<SuffStats>,
+    warm: Option<Vec<f64>>,
+    /// The last successfully solved posterior, kept for degraded
+    /// republication when a later solve fails.
+    last_hist: Option<Histogram>,
+    last_records: u64,
+    last_error: Option<Error>,
+    wal: Option<WalWriter>,
+    wal_error: Option<Error>,
+    /// Set the moment a `Finish` (or disconnect) is observed, *before*
+    /// any fallible work — so a panic during the final cycle cannot eat
+    /// the shutdown signal: the supervisor checks this flag and proceeds
+    /// to the finalizer instead of waiting for a second `Finish`.
+    finishing: bool,
+    /// Completed cycles; the supervisor's progress signal for resetting
+    /// restart backoff.
+    cycles: u64,
+}
+
+/// The re-solver supervisor: restarts the cycle loop after panics with
+/// capped backoff (staying responsive to `Finish` while backing off),
+/// then runs the panic-guarded finalizer exactly once. Every record
+/// drained before a crash is safe: it is either in `total` or in
+/// `cycle_delta`, both owned by this frame.
+fn resolver_supervisor(
+    ctl: Receiver<ResolverCtl>,
+    total: SuffStats,
+    wal: Option<WalWriter>,
+    args: ResolverArgs,
+    mut publisher: SnapshotPublisher,
 ) -> ResolveSummary {
-    let mut total = template.clone();
-    // Sketches cycle drain → merge → clear → reuse, so steady-state
-    // resolving allocates nothing beyond this initial pool.
-    let mut spare: Vec<SuffStats> = Vec::with_capacity(mailboxes.len());
-    let mut warm: Option<Vec<f64>> = None;
-    let mut last_error: Option<Error> = None;
+    let mut state = ResolverState {
+        cycle_delta: args.template.clone(),
+        total,
+        delta_in_wal: false,
+        spare: Vec::with_capacity(args.mailboxes.len()),
+        warm: None,
+        last_hist: None,
+        last_records: 0,
+        last_error: None,
+        wal,
+        wal_error: None,
+        finishing: false,
+        cycles: 0,
+    };
+    let mut backoff = args.backoff.iter();
+    let mut cycles_seen = 0u64;
     loop {
-        let finish = match ctl.recv_timeout(interval) {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            resolver_run(&ctl, &mut state, &mut publisher, &args)
+        }));
+        match run {
+            Ok(()) => break,
+            Err(_) => {
+                args.counters.resolver_restarts.fetch_add(1, Ordering::Relaxed);
+                if state.finishing {
+                    // The panic interrupted the wind-down; the finalizer
+                    // below still drains and reports exactly.
+                    break;
+                }
+                if state.cycles > cycles_seen {
+                    backoff.reset();
+                }
+                cycles_seen = state.cycles;
+                // Back off without going deaf: a Finish arriving during
+                // the pause is honored immediately.
+                match ctl.recv_timeout(backoff.next_delay()) {
+                    Ok(ResolverCtl::Finish) | Err(RecvTimeoutError::Disconnected) => {
+                        state.finishing = true;
+                        break;
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                }
+            }
+        }
+    }
+    // The final drain must happen even if the last cycle (or the
+    // finalizer's own solve) panics; data-critical steps run before the
+    // only failpoint-reachable solve.
+    let _ = catch_unwind(AssertUnwindSafe(|| finalize(&mut state, &mut publisher, &args)));
+    ResolveSummary {
+        total: state.total,
+        last_error: state.last_error,
+        wal: state.wal,
+        wal_error: state.wal_error,
+    }
+}
+
+/// One supervised run of the re-solver's cycle loop; returns when
+/// finishing (the supervisor's finalizer does the last drain + solve).
+fn resolver_run(
+    ctl: &Receiver<ResolverCtl>,
+    state: &mut ResolverState,
+    publisher: &mut SnapshotPublisher,
+    args: &ResolverArgs,
+) {
+    loop {
+        let finish = match ctl.recv_timeout(args.interval) {
             Ok(ResolverCtl::Finish) => true,
             Err(RecvTimeoutError::Timeout) => false,
             // The service itself is gone; wind down.
             Err(RecvTimeoutError::Disconnected) => true,
         };
-
-        // Send every drain before collecting any reply, so the shards
-        // swap sketches concurrently. Each Drain carries its own reply
-        // sender: if a worker exits without replying, the channel
-        // disconnects and the recv below returns instead of hanging.
-        let mut pending = Vec::with_capacity(mailboxes.len());
-        for mailbox in mailboxes.iter() {
-            let fresh = spare.pop().unwrap_or_else(|| template.clone());
-            let (reply, rx) = sync_channel::<SuffStats>(1);
-            match mailbox.send(ShardMsg::Drain { fresh, reply }) {
-                Ok(()) => pending.push(rx),
-                Err(send_error) => {
-                    if let ShardMsg::Drain { fresh, .. } = send_error.0 {
-                        spare.push(fresh);
-                    }
-                }
-            }
-        }
-        for rx in pending {
-            if let Ok(mut delta) = rx.recv() {
-                if !delta.is_empty() {
-                    if let Err(e) = total.merge_from(&delta) {
-                        counters.solve_errors.fetch_add(1, Ordering::Relaxed);
-                        last_error = Some(e);
-                    }
-                }
-                delta.clear();
-                spare.push(delta);
-            }
-        }
-
-        // Solve only when the drain surfaced new records; the published
-        // snapshot already covers everything else.
-        if total.count() > counters.solved_records.load(Ordering::Relaxed) {
-            let solve_started = Instant::now();
-            let solved = engine.reconstruct_stats(noise.as_ref(), &total, &config, warm.as_deref());
-            let solve_nanos = solve_started.elapsed().as_nanos() as u64;
-            counters.solve_nanos_last.store(solve_nanos, Ordering::Relaxed);
-            counters.solve_nanos_max.fetch_max(solve_nanos, Ordering::Relaxed);
-            match solved {
-                Ok(recon) => {
-                    warm = Some(recon.histogram.probabilities());
-                    counters.solved_records.store(total.count(), Ordering::Relaxed);
-                    counters.solves.fetch_add(1, Ordering::Relaxed);
-                    publisher.publish(
-                        total.count(),
-                        recon.histogram,
-                        recon.iterations,
-                        recon.converged,
-                    );
-                }
-                Err(e) => {
-                    counters.solve_errors.fetch_add(1, Ordering::Relaxed);
-                    last_error = Some(e);
-                }
-            }
-        }
-        counters.last_cycle_nanos.store(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
         if finish {
-            return ResolveSummary { total, last_error };
+            state.finishing = true;
+            return;
+        }
+        // A panic here unwinds into the supervisor; an injected error
+        // skips the cycle (the drain waits one more interval).
+        if args.injector.hit(sites::RESOLVER_CYCLE).is_err() {
+            continue;
+        }
+        run_cycle(state, publisher, args);
+        state.cycles += 1;
+    }
+}
+
+/// One resolve cycle: redo any crashed commit, drain the shards, commit
+/// the delta (WAL first), solve, publish, stamp the staleness clock.
+fn run_cycle(state: &mut ResolverState, publisher: &mut SnapshotPublisher, args: &ResolverArgs) {
+    flush_pending(state, args);
+    drain_shards(state, args);
+    commit_pending(state, args);
+    maybe_solve(state, publisher, args);
+    args.counters
+        .last_cycle_nanos
+        .store(args.started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// Re-commits a delta left dangling by a crash between drain and commit.
+fn flush_pending(state: &mut ResolverState, args: &ResolverArgs) {
+    if !state.cycle_delta.is_empty() {
+        commit_pending(state, args);
+    }
+}
+
+/// Commits `cycle_delta`: WAL append first (once — `delta_in_wal` makes
+/// the redo idempotent), then the exact merge into `total`, then the
+/// periodic checkpoint. The merge-then-clear pair has no failpoint
+/// between its halves, so a fault cannot double-commit a delta.
+fn commit_pending(state: &mut ResolverState, args: &ResolverArgs) {
+    if state.cycle_delta.is_empty() {
+        return;
+    }
+    if !state.delta_in_wal {
+        if let Some(writer) = state.wal.as_mut() {
+            // An injected error here models an I/O failure without
+            // touching the file; a panic lands before the write, so the
+            // redo appends the frame exactly once.
+            let appended = args
+                .injector
+                .hit(sites::WAL_APPEND)
+                .and_then(|()| writer.append_delta(&state.cycle_delta));
+            if let Err(e) = appended {
+                // Durability degrades, availability does not: the delta
+                // still merges and serves; the gap surfaces in
+                // `wal_error` and `wal_lag_records`.
+                state.wal_error = Some(e);
+            }
+        }
+        state.delta_in_wal = true;
+    }
+    if let Err(e) = state.total.merge_from(&state.cycle_delta) {
+        args.counters.solve_failures.fetch_add(1, Ordering::Relaxed);
+        state.last_error = Some(e);
+    }
+    state.cycle_delta.clear();
+    state.delta_in_wal = false;
+    if let Some(writer) = state.wal.as_mut() {
+        if writer.checkpoint_due() {
+            if let Err(e) = writer.append_checkpoint(&state.total) {
+                state.wal_error = Some(e);
+            }
+        }
+        let counters = &args.counters;
+        counters.wal_bytes.store(writer.bytes(), Ordering::Relaxed);
+        counters.wal_frames.store(writer.frames(), Ordering::Relaxed);
+        if state.wal_error.is_none() {
+            counters.wal_records.store(state.total.count(), Ordering::Relaxed);
         }
     }
+}
+
+/// Swaps every shard's sketch for an empty one and merges the returned
+/// deltas into `cycle_delta` (not `total` — commit is a separate,
+/// redo-safe step).
+fn drain_shards(state: &mut ResolverState, args: &ResolverArgs) {
+    // Send every drain before collecting any reply, so the shards swap
+    // sketches concurrently. Each Drain carries its own reply sender: if
+    // a worker exits without replying, the channel disconnects and the
+    // recv below returns instead of hanging.
+    let mut pending = Vec::with_capacity(args.mailboxes.len());
+    for mailbox in args.mailboxes.iter() {
+        let fresh = state.spare.pop().unwrap_or_else(|| args.template.clone());
+        let (reply, rx) = sync_channel::<SuffStats>(1);
+        match mailbox.send(ShardMsg::Drain { fresh, reply }) {
+            Ok(()) => pending.push(rx),
+            Err(send_error) => {
+                if let ShardMsg::Drain { fresh, .. } = send_error.0 {
+                    state.spare.push(fresh);
+                }
+            }
+        }
+    }
+    for rx in pending {
+        if let Ok(mut delta) = rx.recv() {
+            if !delta.is_empty() {
+                if let Err(e) = state.cycle_delta.merge_from(&delta) {
+                    args.counters.solve_failures.fetch_add(1, Ordering::Relaxed);
+                    state.last_error = Some(e);
+                }
+            }
+            delta.clear();
+            state.spare.push(delta);
+        }
+    }
+}
+
+/// Solves and publishes when the committed total has records the
+/// published posterior lacks; on failure, degrades honestly instead of
+/// going silent.
+fn maybe_solve(state: &mut ResolverState, publisher: &mut SnapshotPublisher, args: &ResolverArgs) {
+    let counters = &args.counters;
+    if state.total.count() <= counters.solved_records.load(Ordering::Relaxed) {
+        return;
+    }
+    let solve_started = Instant::now();
+    let solved = args.injector.hit(sites::RESOLVER_SOLVE).and_then(|()| {
+        args.engine.reconstruct_stats(
+            args.noise.as_ref(),
+            &state.total,
+            &args.config,
+            state.warm.as_deref(),
+        )
+    });
+    let solve_elapsed = solve_started.elapsed();
+    let solve_nanos = solve_elapsed.as_nanos() as u64;
+    counters.solve_nanos_last.store(solve_nanos, Ordering::Relaxed);
+    counters.solve_nanos_max.fetch_max(solve_nanos, Ordering::Relaxed);
+    match solved {
+        Ok(recon) => {
+            // A successful-but-late solve publishes fresh data flagged
+            // degraded: readers get the best posterior available plus an
+            // honest latency signal.
+            let late = args.solve_deadline.is_some_and(|deadline| solve_elapsed > deadline);
+            state.warm = Some(recon.histogram.probabilities());
+            state.last_hist = Some(recon.histogram.clone());
+            state.last_records = state.total.count();
+            counters.solved_records.store(state.total.count(), Ordering::Relaxed);
+            counters.solves.fetch_add(1, Ordering::Relaxed);
+            counters.consecutive_solve_failures.store(0, Ordering::Relaxed);
+            counters.degraded.store(late, Ordering::Relaxed);
+            publisher.publish(
+                state.total.count(),
+                recon.histogram,
+                recon.iterations,
+                recon.converged,
+                late,
+            );
+        }
+        Err(e) => {
+            counters.solve_failures.fetch_add(1, Ordering::Relaxed);
+            counters.consecutive_solve_failures.fetch_add(1, Ordering::Relaxed);
+            counters.degraded.store(true, Ordering::Relaxed);
+            state.last_error = Some(e);
+            // Degrade, don't disappear: republish the previous posterior
+            // flagged degraded so readers observe both the staleness and
+            // the fact that the service knows about it. Before any
+            // successful solve there is nothing to republish.
+            if let Some(hist) = state.last_hist.clone() {
+                publisher.publish(state.last_records, hist, 0, false, true);
+            }
+        }
+    }
+}
+
+/// The wind-down: exactly one final drain + commit + solve + publish.
+/// Data-critical steps (drain, WAL commit, merge) run before the only
+/// failpoint-reachable one (the solve), so even a panic or failure in
+/// the final solve leaves `total` complete and exact.
+fn finalize(state: &mut ResolverState, publisher: &mut SnapshotPublisher, args: &ResolverArgs) {
+    flush_pending(state, args);
+    drain_shards(state, args);
+    commit_pending(state, args);
+    maybe_solve(state, publisher, args);
+    args.counters
+        .last_cycle_nanos
+        .store(args.started.elapsed().as_nanos() as u64, Ordering::Relaxed);
 }

@@ -31,9 +31,17 @@
 //! refresh/read on the hot path.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use crate::stats::Histogram;
+
+/// The cell's locks guard data that is valid after any partial
+/// operation (a pointer swap, nothing multi-step), so a panic on a
+/// holder — e.g. an injected fault in the publisher — must not cascade
+/// into every future reader. Poisoning is cleared, not propagated.
+fn lock_latest(mutex: &Mutex<Arc<Node>>) -> MutexGuard<'_, Arc<Node>> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One published posterior: the reconstruction the background re-solver
 /// produced from everything drained up to `epoch`, immutable once
@@ -51,6 +59,11 @@ pub struct PosteriorSnapshot {
     pub iterations: usize,
     /// Whether the solve met its stopping rule before the iteration cap.
     pub converged: bool,
+    /// Whether this posterior is degraded: its solve failed (this is a
+    /// republication of an older posterior, honestly labeled) or
+    /// overran the service's solve deadline. Consumers that must not
+    /// act on stale or late data check this flag.
+    pub degraded: bool,
 }
 
 /// One link in the publication list. `snap` is `None` only in the
@@ -116,12 +129,12 @@ impl SnapshotCell {
     /// The latest snapshot right now, or `None` before the first publish.
     /// Takes the creation lock — use a [`SnapshotReader`] on hot paths.
     pub fn latest(&self) -> Option<Arc<PosteriorSnapshot>> {
-        self.shared.latest.lock().expect("snapshot cell lock poisoned").snap.clone()
+        lock_latest(&self.shared.latest).snap.clone()
     }
 
     /// A new reader positioned at the latest snapshot.
     pub fn reader(&self) -> SnapshotReader {
-        let cursor = self.shared.latest.lock().expect("snapshot cell lock poisoned").clone();
+        let cursor = lock_latest(&self.shared.latest).clone();
         SnapshotReader { cursor, shared: self.shared.clone() }
     }
 }
@@ -149,16 +162,32 @@ impl SnapshotPublisher {
         histogram: Histogram,
         iterations: usize,
         converged: bool,
+        degraded: bool,
     ) -> u64 {
+        // Self-heal after an interrupted publish: if the holder panicked
+        // (and was caught by a supervisor) between linking a node and
+        // advancing `tail`, the cursor is one node stale — writing its
+        // `next` again would violate write-once. Walk to the true tail
+        // first; under normal operation the loop runs zero iterations.
+        while let Some(next) = self.tail.next.get() {
+            self.tail = next.clone();
+        }
         let epoch = self.tail.epoch + 1;
-        let snap = Arc::new(PosteriorSnapshot { epoch, records, histogram, iterations, converged });
+        let snap = Arc::new(PosteriorSnapshot {
+            epoch,
+            records,
+            histogram,
+            iterations,
+            converged,
+            degraded,
+        });
         let node = Arc::new(Node { snap: Some(snap), epoch, next: OnceLock::new() });
         self.shared.epoch.store(epoch, Ordering::Release);
         self.tail
             .next
             .set(node.clone())
             .unwrap_or_else(|_| unreachable!("single publisher writes each `next` exactly once"));
-        *self.shared.latest.lock().expect("snapshot cell lock poisoned") = node.clone();
+        *lock_latest(&self.shared.latest) = node.clone();
         self.tail = node;
         epoch
     }
@@ -234,8 +263,8 @@ mod tests {
     fn publish_advances_epochs_and_readers_observe_in_order() {
         let (cell, mut publisher) = SnapshotCell::new();
         let mut reader = cell.reader();
-        assert_eq!(publisher.publish(10, hist(5.0), 3, true), 1);
-        assert_eq!(publisher.publish(20, hist(10.0), 2, true), 2);
+        assert_eq!(publisher.publish(10, hist(5.0), 3, true, false), 1);
+        assert_eq!(publisher.publish(20, hist(10.0), 2, true, false), 2);
         assert_eq!(cell.epoch(), 2);
         // The stale reader still sees nothing until it refreshes...
         assert!(reader.current().is_none());
@@ -252,11 +281,11 @@ mod tests {
     #[test]
     fn pinned_snapshot_survives_later_publishes() {
         let (cell, mut publisher) = SnapshotCell::new();
-        publisher.publish(10, hist(1.0), 1, true);
+        publisher.publish(10, hist(1.0), 1, true, false);
         let mut reader = cell.reader();
         let pinned = reader.refresh().unwrap();
         for i in 0..100 {
-            publisher.publish(10 + i, hist(i as f64), 1, true);
+            publisher.publish(10 + i, hist(i as f64), 1, true, false);
         }
         // The pinned Arc is immutable and fully intact regardless of how
         // far publication has moved on.
@@ -266,11 +295,24 @@ mod tests {
     }
 
     #[test]
+    fn degraded_flag_travels_with_the_snapshot() {
+        let (cell, mut publisher) = SnapshotCell::new();
+        publisher.publish(10, hist(1.0), 2, true, false);
+        publisher.publish(10, hist(1.0), 0, false, true);
+        let mut reader = cell.reader();
+        let snap = reader.refresh().unwrap();
+        assert!(snap.degraded, "the degraded republication is labeled");
+        assert!(!snap.converged);
+        publisher.publish(20, hist(2.0), 3, true, false);
+        assert!(!reader.refresh().unwrap().degraded, "a clean solve clears the label");
+    }
+
+    #[test]
     fn deep_lag_drops_iteratively_without_overflowing() {
         let (cell, mut publisher) = SnapshotCell::new();
         let reader = cell.reader(); // pins the sentinel; the whole chain stays live
         for _ in 0..200_000 {
-            publisher.publish(1, hist(1.0), 1, true);
+            publisher.publish(1, hist(1.0), 1, true, false);
         }
         // Dropping the lagging reader releases a 200k-node chain; the
         // iterative Drop must not recurse.

@@ -1,0 +1,456 @@
+//! Append-only write-ahead log of drained delta sketches: exact,
+//! torn-tail-tolerant durability for the serve plane.
+//!
+//! # Why a sketch WAL is exact
+//!
+//! [`SuffStats`] merges are associative, commutative, *integer*
+//! operations, so durability needs no record-level log: persisting the
+//! per-cycle **delta sketch** (the merge of everything the re-solver
+//! drained that cycle) and replaying `checkpoint ⊕ deltas` reproduces
+//! the in-memory total **bit-for-bit**. The recovery algebra is one
+//! line:
+//!
+//! ```text
+//!   recover(file) = last_checkpoint ⊕ delta_{k+1} ⊕ ... ⊕ delta_n
+//!                 = total at the moment frame n was appended
+//! ```
+//!
+//! # Frame layout
+//!
+//! The file starts with the 8-byte magic `PPDMWAL1`, then frames:
+//!
+//! ```text
+//!   ┌──────┬────────────┬──────────────────────────────────────────┐
+//!   │ kind │  len (u32) │ payload: WireSketch::encode bytes        │
+//!   │ 1 B  │  LE        │ (own magic, version, geometry echo,      │
+//!   │      │            │  counts, trailing FNV-1a-64 checksum)    │
+//!   └──────┴────────────┴──────────────────────────────────────────┘
+//!   kind 0x01 = delta (merge into the running state)
+//!   kind 0x02 = checkpoint (replace the running state)
+//! ```
+//!
+//! The payload *is* the federate wire encoding ([`WireSketch`], party 0
+//! of a cohort of 1, `round` = frame sequence number), so the WAL
+//! inherits the wire's strict fail-closed decode: version check, full
+//! structural validation, and checksum-before-parse. A frame is either
+//! perfectly valid or the log ends there.
+//!
+//! # Torn tails
+//!
+//! A crash mid-append leaves a torn final frame: a truncated header, a
+//! length pointing past EOF, or a payload whose checksum no longer
+//! matches. [`recover`] replays the longest valid prefix, **truncates
+//! the file to that prefix**, and reports how many bytes it cut — so a
+//! restarted service appends to a clean log. Everything before the tear
+//! is untouched; durability loss is bounded by one resolve interval
+//! (the records drained since the last successful append).
+
+use std::fs::OpenOptions;
+use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::domain::Partition;
+use crate::error::{Error, Result};
+use crate::federate::wire::WireSketch;
+use crate::randomize::NoiseDensity;
+use crate::reconstruct::streaming::SuffStats;
+
+/// Leading file magic; rejects feeding a non-WAL file to [`recover`].
+pub const WAL_MAGIC: [u8; 8] = *b"PPDMWAL1";
+
+const FRAME_DELTA: u8 = 0x01;
+const FRAME_CHECKPOINT: u8 = 0x02;
+/// kind byte + u32 length prefix.
+const FRAME_HEADER_LEN: usize = 5;
+
+/// Durability knobs of an [`IngestService`](super::IngestService).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalConfig {
+    /// Log file path; created (with its magic header) if missing,
+    /// appended to if present.
+    pub path: PathBuf,
+    /// Delta frames between automatic checkpoints (a checkpoint frame
+    /// holds the full cumulative sketch, so recovery replays at most
+    /// this many deltas). `0` disables periodic checkpoints; shutdown
+    /// always writes a final one.
+    pub checkpoint_interval: u64,
+    /// Whether to `fsync` after every append. Off by default: the WAL
+    /// then survives process crashes but not power loss mid-page, which
+    /// is the right trade for a cache-like posterior service.
+    pub sync: bool,
+}
+
+impl WalConfig {
+    /// A config with the default cadence (checkpoint every 64 deltas,
+    /// no per-append fsync).
+    pub fn new(path: impl Into<PathBuf>) -> WalConfig {
+        WalConfig { path: path.into(), checkpoint_interval: 64, sync: false }
+    }
+}
+
+fn io_err(verb: &str, path: &Path, e: std::io::Error) -> Error {
+    Error::Io(format!("wal {verb} {}: {e}", path.display()))
+}
+
+/// The appending end of a WAL, owned by the re-solver.
+pub struct WalWriter {
+    file: std::fs::File,
+    path: PathBuf,
+    sync: bool,
+    checkpoint_interval: u64,
+    deltas_since_checkpoint: u64,
+    bytes: u64,
+    frames: u64,
+    seq: u32,
+}
+
+impl WalWriter {
+    /// Opens (or creates) the log at `config.path` for appending. An
+    /// existing file must start with [`WAL_MAGIC`]; run [`recover`]
+    /// first if it may have a torn tail.
+    pub fn open(config: &WalConfig) -> Result<WalWriter> {
+        let path = &config.path;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| io_err("open", path, e))?;
+        let end = file.seek(SeekFrom::End(0)).map_err(|e| io_err("seek", path, e))?;
+        if end == 0 {
+            file.write_all(&WAL_MAGIC).map_err(|e| io_err("write header", path, e))?;
+        } else {
+            let mut header = [0u8; 8];
+            file.seek(SeekFrom::Start(0)).map_err(|e| io_err("seek", path, e))?;
+            file.read_exact(&mut header).map_err(|e| io_err("read header", path, e))?;
+            if header != WAL_MAGIC {
+                return Err(Error::Io(format!("{} is not a ppdm wal file", path.display())));
+            }
+            file.seek(SeekFrom::End(0)).map_err(|e| io_err("seek", path, e))?;
+        }
+        Ok(WalWriter {
+            file,
+            path: path.clone(),
+            sync: config.sync,
+            checkpoint_interval: config.checkpoint_interval,
+            deltas_since_checkpoint: 0,
+            bytes: end.max(WAL_MAGIC.len() as u64),
+            frames: 0,
+            seq: 0,
+        })
+    }
+
+    fn append(&mut self, kind: u8, sketch: &SuffStats) -> Result<u64> {
+        let seq = self.seq;
+        self.seq = self.seq.wrapping_add(1);
+        let payload = WireSketch::from_stats(sketch, 0, seq, 1)?.encode();
+        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        frame.push(kind);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame).map_err(|e| io_err("append", &self.path, e))?;
+        if self.sync {
+            self.file.sync_data().map_err(|e| io_err("sync", &self.path, e))?;
+        }
+        self.bytes += frame.len() as u64;
+        self.frames += 1;
+        Ok(frame.len() as u64)
+    }
+
+    /// Appends one delta frame (a drained cycle's merged sketch).
+    pub fn append_delta(&mut self, delta: &SuffStats) -> Result<u64> {
+        let written = self.append(FRAME_DELTA, delta)?;
+        self.deltas_since_checkpoint += 1;
+        Ok(written)
+    }
+
+    /// Appends a checkpoint frame holding the full cumulative sketch and
+    /// resets the delta-since-checkpoint counter.
+    pub fn append_checkpoint(&mut self, total: &SuffStats) -> Result<u64> {
+        let written = self.append(FRAME_CHECKPOINT, total)?;
+        self.deltas_since_checkpoint = 0;
+        Ok(written)
+    }
+
+    /// Whether the periodic checkpoint cadence is due.
+    pub fn checkpoint_due(&self) -> bool {
+        self.checkpoint_interval > 0 && self.deltas_since_checkpoint >= self.checkpoint_interval
+    }
+
+    /// Forces buffered appends to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data().map_err(|e| io_err("sync", &self.path, e))
+    }
+
+    /// Bytes in the log, header included.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Frames appended by this writer (not counting pre-existing ones).
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+}
+
+/// What [`recover`] reconstructed from a log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecovery {
+    /// The replayed sketch: bit-identical to the service's in-memory
+    /// total at the moment the last valid frame was appended.
+    pub merged: SuffStats,
+    /// Valid frames replayed (deltas + checkpoints).
+    pub frames: u64,
+    /// Checkpoint frames among them.
+    pub checkpoints: u64,
+    /// Bytes cut off the tail (0 for a cleanly closed log).
+    pub truncated_bytes: u64,
+    /// Bytes retained (header + valid frames) — the file's size after
+    /// recovery.
+    pub wal_bytes: u64,
+}
+
+/// Replays the log at `path` into a merged [`SuffStats`] and truncates
+/// any torn tail in place.
+///
+/// A missing file recovers to the empty sketch. Replay stops at the
+/// first structurally invalid frame — truncated header, length past
+/// EOF, unknown kind, or a payload failing the wire decode (bad magic,
+/// checksum mismatch, malformed structure) — and the file is truncated
+/// to the valid prefix so a subsequent [`WalWriter::open`] appends
+/// cleanly.
+///
+/// # Errors
+///
+/// [`Error::Io`] when the file cannot be read, has a *complete but
+/// wrong* leading magic (it is some other file — refusing beats wiping
+/// it), or cannot be truncated; [`Error::ShardMismatch`] /
+/// [`Error::WireCorrupt`] when a checksum-valid frame carries a sketch
+/// for a different noise channel or partition geometry (the log belongs
+/// to a different service configuration — that is a caller bug, not a
+/// torn tail, and is never silently truncated).
+pub fn recover(path: &Path, noise: &dyn NoiseDensity, partition: Partition) -> Result<WalRecovery> {
+    let template = SuffStats::new(noise, partition)?;
+    if !path.exists() {
+        return Ok(WalRecovery {
+            merged: template,
+            frames: 0,
+            checkpoints: 0,
+            truncated_bytes: 0,
+            wal_bytes: 0,
+        });
+    }
+    let bytes = std::fs::read(path).map_err(|e| io_err("read", path, e))?;
+    if bytes.len() >= WAL_MAGIC.len() && bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(Error::Io(format!("{} is not a ppdm wal file", path.display())));
+    }
+
+    let mut merged = template;
+    let mut frames = 0u64;
+    let mut checkpoints = 0u64;
+    // A file shorter than its header is a torn header: valid prefix is
+    // empty and the whole file is cut.
+    let mut valid_len = if bytes.len() < WAL_MAGIC.len() { 0 } else { WAL_MAGIC.len() };
+    let mut offset = valid_len;
+    while valid_len > 0 && offset + FRAME_HEADER_LEN <= bytes.len() {
+        let kind = bytes[offset];
+        let len = u32::from_le_bytes(
+            bytes[offset + 1..offset + FRAME_HEADER_LEN].try_into().expect("4 bytes"),
+        ) as usize;
+        let payload_start = offset + FRAME_HEADER_LEN;
+        let Some(payload_end) = payload_start.checked_add(len) else { break };
+        if payload_end > bytes.len() {
+            break; // length points past EOF: torn tail
+        }
+        if kind != FRAME_DELTA && kind != FRAME_CHECKPOINT {
+            break; // unknown kind: corruption starts here
+        }
+        let Ok(wire) = WireSketch::decode(&bytes[payload_start..payload_end]) else {
+            break; // checksum/structure failure: frame is damaged
+        };
+        // Past the checksum gate, a mismatched geometry is a semantic
+        // error (wrong service config), not tail damage: propagate.
+        let sketch = wire.to_stats(noise, partition)?;
+        match kind {
+            FRAME_DELTA => merged.merge_from(&sketch)?,
+            _ => {
+                merged = sketch;
+                checkpoints += 1;
+            }
+        }
+        frames += 1;
+        offset = payload_end;
+        valid_len = offset;
+    }
+
+    let truncated = bytes.len() as u64 - valid_len as u64;
+    if truncated > 0 {
+        let file =
+            OpenOptions::new().write(true).open(path).map_err(|e| io_err("open", path, e))?;
+        file.set_len(valid_len as u64).map_err(|e| io_err("truncate", path, e))?;
+    }
+    Ok(WalRecovery {
+        merged,
+        frames,
+        checkpoints,
+        truncated_bytes: truncated,
+        wal_bytes: valid_len as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::randomize::NoiseModel;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn part() -> Partition {
+        Partition::new(Domain::new(0.0, 100.0).unwrap(), 12).unwrap()
+    }
+
+    fn channel() -> NoiseModel {
+        NoiseModel::gaussian(8.0).unwrap()
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("ppdm_wal_test_{}_{n}_{tag}.wal", std::process::id()))
+    }
+
+    fn sketch(noise: &NoiseModel, values: &[f64]) -> SuffStats {
+        SuffStats::from_values(noise, part(), values).unwrap()
+    }
+
+    #[test]
+    fn missing_file_recovers_empty() {
+        let path = temp_path("missing");
+        let rec = recover(&path, &channel(), part()).unwrap();
+        assert!(rec.merged.is_empty());
+        assert_eq!(rec.frames, 0);
+        assert_eq!(rec.wal_bytes, 0);
+    }
+
+    #[test]
+    fn deltas_replay_to_the_exact_merge() {
+        let noise = channel();
+        let path = temp_path("deltas");
+        let a = sketch(&noise, &[10.0, 20.0, 30.0]);
+        let b = sketch(&noise, &[55.0, 66.0]);
+        {
+            let mut writer = WalWriter::open(&WalConfig::new(&path)).unwrap();
+            writer.append_delta(&a).unwrap();
+            writer.append_delta(&b).unwrap();
+            assert_eq!(writer.frames(), 2);
+        }
+        let rec = recover(&path, &noise, part()).unwrap();
+        let mut expected = a.clone();
+        expected.merge_from(&b).unwrap();
+        assert_eq!(rec.merged, expected, "replay is the exact merge");
+        assert_eq!(rec.frames, 2);
+        assert_eq!(rec.truncated_bytes, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_supersedes_earlier_frames() {
+        let noise = channel();
+        let path = temp_path("ckpt");
+        let junk = sketch(&noise, &[1.0, 2.0]);
+        let total = sketch(&noise, &[40.0, 50.0, 60.0]);
+        let tail = sketch(&noise, &[70.0]);
+        {
+            let mut writer = WalWriter::open(&WalConfig::new(&path)).unwrap();
+            writer.append_delta(&junk).unwrap();
+            writer.append_checkpoint(&total).unwrap();
+            writer.append_delta(&tail).unwrap();
+        }
+        let rec = recover(&path, &noise, part()).unwrap();
+        let mut expected = total.clone();
+        expected.merge_from(&tail).unwrap();
+        assert_eq!(rec.merged, expected, "checkpoint replaces, deltas after it merge");
+        assert_eq!(rec.checkpoints, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_the_valid_prefix() {
+        let noise = channel();
+        let path = temp_path("torn");
+        let a = sketch(&noise, &[10.0, 20.0]);
+        let b = sketch(&noise, &[80.0, 90.0]);
+        let boundary;
+        {
+            let mut writer = WalWriter::open(&WalConfig::new(&path)).unwrap();
+            writer.append_delta(&a).unwrap();
+            boundary = writer.bytes();
+            writer.append_delta(&b).unwrap();
+        }
+        // Tear the second frame: cut 3 bytes off the end.
+        let full = std::fs::metadata(&path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(full - 3).unwrap();
+        drop(file);
+
+        let rec = recover(&path, &noise, part()).unwrap();
+        assert_eq!(rec.merged, a, "only the intact prefix replays");
+        assert_eq!(rec.frames, 1);
+        assert_eq!(rec.wal_bytes, boundary);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), boundary, "file was truncated");
+        // The truncated log accepts further appends and stays exact.
+        {
+            let mut writer = WalWriter::open(&WalConfig::new(&path)).unwrap();
+            writer.append_delta(&b).unwrap();
+        }
+        let rec = recover(&path, &noise, part()).unwrap();
+        let mut expected = a.clone();
+        expected.merge_from(&b).unwrap();
+        assert_eq!(rec.merged, expected);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_is_refused_not_wiped() {
+        let path = temp_path("magic");
+        std::fs::write(&path, b"definitely not a wal file").unwrap();
+        assert!(matches!(recover(&path, &channel(), part()), Err(Error::Io(_))));
+        assert!(WalWriter::open(&WalConfig::new(&path)).is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"definitely not a wal file");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mismatched_geometry_is_a_hard_error() {
+        let noise = channel();
+        let path = temp_path("geom");
+        {
+            let mut writer = WalWriter::open(&WalConfig::new(&path)).unwrap();
+            writer.append_delta(&sketch(&noise, &[10.0])).unwrap();
+        }
+        let other = Partition::new(Domain::new(0.0, 100.0).unwrap(), 7).unwrap();
+        assert!(
+            recover(&path, &noise, other).is_err(),
+            "a checksum-valid frame for another geometry must not be silently truncated"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_cadence_is_tracked() {
+        let noise = channel();
+        let path = temp_path("cadence");
+        let config = WalConfig { checkpoint_interval: 2, ..WalConfig::new(&path) };
+        let mut writer = WalWriter::open(&config).unwrap();
+        let d = sketch(&noise, &[33.0]);
+        writer.append_delta(&d).unwrap();
+        assert!(!writer.checkpoint_due());
+        writer.append_delta(&d).unwrap();
+        assert!(writer.checkpoint_due());
+        writer.append_checkpoint(&d).unwrap();
+        assert!(!writer.checkpoint_due(), "a checkpoint resets the cadence");
+        drop(writer);
+        std::fs::remove_file(&path).ok();
+    }
+}

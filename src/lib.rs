@@ -43,9 +43,12 @@ pub use ppdm_tree as tree;
 /// The most common imports in one place.
 pub mod prelude {
     pub use ppdm_core::domain::{Domain, Partition};
+    pub use ppdm_core::fault::{
+        Backoff, BackoffPolicy, FaultKind, FaultRegistry, FaultSpec, Injector, Trigger,
+    };
     pub use ppdm_core::federate::{
-        drive_round, Coordinator, Delivery, DiscreteCoordinator, DiscreteParty, FaultPlan, Party,
-        RoundReport, WireSketch,
+        drive_round, drive_round_with, Coordinator, Delivery, DiscreteCoordinator, DiscreteParty,
+        FaultPlan, Party, RoundReport, WireSketch,
     };
     pub use ppdm_core::privacy::{
         interval_width, noise_for_privacy, privacy_pct, NoiseKind, DEFAULT_CONFIDENCE,
@@ -59,8 +62,9 @@ pub mod prelude {
         ReconstructionJob, ShardedAccumulator, StoppingRule, SuffStats,
     };
     pub use ppdm_core::serve::{
-        BatchPool, IngestHandle, IngestService, PoolStats, PosteriorSnapshot, ServeConfig,
-        ServeReport, ServiceStats, SnapshotCell, SnapshotReader,
+        BatchPool, HealthReport, IngestHandle, IngestService, PoolStats, PosteriorSnapshot,
+        ServeConfig, ServeReport, ServiceStats, SnapshotCell, SnapshotReader, WalConfig,
+        WalRecovery, WalWriter,
     };
     pub use ppdm_core::stats::Histogram;
     pub use ppdm_core::{Error, Result};

@@ -342,7 +342,7 @@ fn snapshot_stream_attack_breaches_more_each_epoch() {
             batch_capacity: 256,
             max_pooled: 64,
             resolve_interval: Duration::from_millis(2),
-            reconstruction: ReconstructionConfig::default(),
+            ..ServeConfig::default()
         },
     )
     .unwrap();

@@ -262,6 +262,7 @@ fn faulty_transport_with_retries_still_merges_exactly() {
         reorder: true,
         seed: 2024,
         max_retries: 64,
+        ..FaultPlan::default()
     };
     for masked in [false, true] {
         let mut coordinator = Coordinator::new(&noise, partition, 5, 1, masked).unwrap();
@@ -310,6 +311,7 @@ fn discrete_round_trip_through_faulty_transport() {
         reorder: true,
         seed: 7,
         max_retries: 64,
+        ..FaultPlan::default()
     };
     let mut coordinator = DiscreteCoordinator::new(&channel, k, 0, true).unwrap();
     let report = drive_round(

@@ -1,0 +1,643 @@
+//! Chaos suite for the crash-isolated serve plane: seeded failpoint
+//! kills, WAL torn tails, and crash-recover-resume equivalence.
+//!
+//! The load-bearing claims:
+//!
+//! * killing shard workers mid-flood loses **zero** records — the
+//!   supervised restart resumes with the same sketch, and the shutdown
+//!   merge is bit-identical to a monolithic ingest;
+//! * killing the re-solver mid-flood never tears a snapshot, never
+//!   regresses an epoch, and never loses a drained delta (the
+//!   pending-delta redo protocol);
+//! * a WAL truncated at **any** byte boundary recovers to exactly the
+//!   state at the last complete frame, and crash → recover → resume →
+//!   shutdown produces a merge bit-identical to a run that never
+//!   crashed;
+//! * an armed-but-never-firing registry, and a registry-free run, are
+//!   behaviorally identical — failpoints disarmed are free.
+//!
+//! Everything is seeded: a failing schedule replays exactly. Run with
+//! `PROPTEST_CASES=<n>` to rescale the property cases (CI pins it).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ppdm::prelude::*;
+use ppdm_core::serve::sites;
+use ppdm_core::serve::wal;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn part(cells: usize) -> Partition {
+    Partition::new(Domain::new(0.0, 100.0).unwrap(), cells).unwrap()
+}
+
+fn noise() -> Arc<dyn NoiseDensity> {
+    Arc::new(NoiseModel::gaussian(12.0).unwrap())
+}
+
+fn channel() -> NoiseModel {
+    NoiseModel::gaussian(12.0).unwrap()
+}
+
+fn sample(n: usize, seed: u64) -> Vec<f64> {
+    let channel = channel();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let xs: Vec<f64> = (0..n)
+        .map(|_| {
+            let center = if rng.gen_bool(0.5) { 30.0 } else { 70.0 };
+            center + rng.gen_range(-9.0..9.0)
+        })
+        .collect();
+    channel.perturb_all(&xs, &mut rng)
+}
+
+/// Fast cadence, zero restart backoff (chaos tests restart a lot; spin,
+/// don't sleep).
+fn chaos_config(shards: usize) -> ServeConfig {
+    ServeConfig {
+        shards,
+        mailbox_capacity: 8,
+        batch_capacity: 256,
+        max_pooled: 64,
+        resolve_interval: Duration::from_millis(5),
+        restart_backoff: BackoffPolicy::none(),
+        ..ServeConfig::default()
+    }
+}
+
+/// A unique temp path per test; best-effort cleanup via [`TempWal`].
+struct TempWal(PathBuf);
+
+impl TempWal {
+    fn new(tag: &str) -> TempWal {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        TempWal(
+            std::env::temp_dir().join(format!("ppdm_chaos_{}_{n}_{tag}.wal", std::process::id())),
+        )
+    }
+}
+
+impl Drop for TempWal {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Feeds `observed` through `service` in `batch`-sized chunks, retrying
+/// refusals, and returns the shutdown report.
+fn flood_and_shutdown(
+    service: IngestService,
+    observed: &[f64],
+    batch: usize,
+) -> ppdm_core::serve::ServeReport {
+    let mut handle = service.handle();
+    for chunk in observed.chunks(batch) {
+        loop {
+            match handle.try_ingest(chunk) {
+                Ok(_) => break,
+                Err(Error::Backpressure { .. }) => std::thread::yield_now(),
+                Err(e) => panic!("unexpected ingest error: {e}"),
+            }
+        }
+    }
+    service.shutdown().unwrap()
+}
+
+fn monolithic(observed: &[f64]) -> SuffStats {
+    SuffStats::from_values(&channel(), part(24), observed).unwrap()
+}
+
+#[test]
+fn worker_kills_mid_flood_lose_no_records() {
+    // Panic every 40th pass through the worker loop, up to 12 times:
+    // with 2 shards and ~80 batches each worker dies several times while
+    // producers are actively flooding it.
+    let registry = Arc::new(FaultRegistry::new(0xC4A05));
+    registry.arm(
+        sites::WORKER_LOOP,
+        FaultSpec::new(FaultKind::Panic, Trigger::Every(40)).with_limit(12),
+    );
+    let config = ServeConfig { faults: Some(registry.clone()), ..chaos_config(2) };
+    let observed = sample(12_000, 31);
+    let service = IngestService::spawn(noise(), part(24), config).unwrap();
+    let report = flood_and_shutdown(service, &observed, 75);
+
+    assert!(
+        report.stats.worker_restarts >= 1,
+        "the schedule must actually kill workers: {:?}",
+        registry.site_stats(sites::WORKER_LOOP)
+    );
+    assert_eq!(
+        report.stats.worker_restarts,
+        registry.site_stats(sites::WORKER_LOOP).fired,
+        "every injected panic is one supervised restart"
+    );
+    assert_eq!(report.merged.count(), observed.len() as u64, "no record lost to any crash");
+    assert_eq!(
+        report.merged.counts(),
+        monolithic(&observed).counts(),
+        "crashed-and-restarted ingest is bit-identical to monolithic"
+    );
+    assert!(report.solve_error.is_none());
+}
+
+#[test]
+fn resolver_kills_mid_flood_keep_snapshots_monotone_and_exact() {
+    // Kill the resolver at the top of several cycles and fail one solve;
+    // a racing reader asserts snapshots never tear or regress while the
+    // supervisor restarts underneath it.
+    let registry = Arc::new(FaultRegistry::new(0xDEAD));
+    registry.arm(
+        sites::RESOLVER_CYCLE,
+        FaultSpec::new(FaultKind::Panic, Trigger::Every(3)).with_limit(5),
+    );
+    registry.arm(
+        sites::RESOLVER_SOLVE,
+        FaultSpec::new(FaultKind::Error, Trigger::OnHit(2)).with_limit(1),
+    );
+    let config = ServeConfig { faults: Some(registry.clone()), ..chaos_config(2) };
+    let observed = sample(10_000, 77);
+    let service = IngestService::spawn(noise(), part(24), config).unwrap();
+
+    let mut reader = service.reader();
+    let stop = Arc::new(AtomicU64::new(0));
+    let report = std::thread::scope(|s| {
+        let watcher = {
+            let stop = stop.clone();
+            s.spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut observed_snaps = 0u64;
+                while stop.load(Ordering::Acquire) == 0 {
+                    if let Some(snap) = reader.refresh() {
+                        assert!(
+                            snap.epoch >= last_epoch,
+                            "epoch regressed across a resolver restart"
+                        );
+                        last_epoch = snap.epoch;
+                        // Never torn: the posterior's mass always equals
+                        // its record stamp, crash or no crash.
+                        assert!(
+                            (snap.histogram.total() - snap.records as f64).abs() < 1e-6,
+                            "torn snapshot: mass {} vs records {}",
+                            snap.histogram.total(),
+                            snap.records
+                        );
+                        observed_snaps += 1;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                observed_snaps
+            })
+        };
+        let mut handle = service.handle();
+        for chunk in observed.chunks(120) {
+            loop {
+                match handle.try_ingest(chunk) {
+                    Ok(_) => break,
+                    Err(Error::Backpressure { .. }) => std::thread::yield_now(),
+                    Err(e) => panic!("unexpected ingest error: {e}"),
+                }
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let report = service.shutdown().unwrap();
+        stop.store(1, Ordering::Release);
+        watcher.join().unwrap();
+        report
+    });
+
+    assert!(
+        report.stats.resolver_restarts >= 1,
+        "the schedule must actually kill the resolver: {:?}",
+        registry.site_stats(sites::RESOLVER_CYCLE)
+    );
+    assert_eq!(report.stats.solve_failures, 1, "exactly one injected solve failure");
+    assert_eq!(report.merged.count(), observed.len() as u64, "no drained delta lost to a crash");
+    assert_eq!(report.merged.counts(), monolithic(&observed).counts());
+    assert_eq!(report.stats.records_behind, 0, "the final solve caught up completely");
+    let snap = report.final_snapshot.expect("final snapshot exists");
+    assert_eq!(snap.records, observed.len() as u64);
+}
+
+#[test]
+fn failing_solves_degrade_and_shutdown_still_reports_exactly() {
+    // Every solve fails: nothing publishes (there is no previous
+    // posterior to republish), health says degraded — and shutdown still
+    // drains every mailbox and returns the exact merge. This is the
+    // regression test for shutdown during a degraded resolver.
+    let registry = Arc::new(FaultRegistry::new(1));
+    registry.arm(sites::RESOLVER_SOLVE, FaultSpec::new(FaultKind::Error, Trigger::Always));
+    let config = ServeConfig { faults: Some(registry), ..chaos_config(2) };
+    let observed = sample(4_000, 5);
+    let service = IngestService::spawn(noise(), part(24), config).unwrap();
+    let mut handle = service.handle();
+    for chunk in observed.chunks(100) {
+        loop {
+            match handle.try_ingest(chunk) {
+                Ok(_) => break,
+                Err(Error::Backpressure { .. }) => std::thread::yield_now(),
+                Err(e) => panic!("unexpected ingest error: {e}"),
+            }
+        }
+    }
+    // Let at least one failing cycle run so degradation is observable
+    // before shutdown.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while service.stats().solve_failures == 0 {
+        assert!(std::time::Instant::now() < deadline, "no solve attempt in 10s");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let health = service.health();
+    assert!(!health.is_healthy());
+    assert!(health.degraded);
+    assert!(health.consecutive_solve_failures >= 1);
+
+    let report = service.shutdown().unwrap();
+    assert!(matches!(report.solve_error, Some(Error::FaultInjected { .. })));
+    assert_eq!(
+        report.merged.count(),
+        observed.len() as u64,
+        "a degraded resolver must not cost shutdown a single record"
+    );
+    assert_eq!(report.merged.counts(), monolithic(&observed).counts());
+    assert!(report.final_snapshot.is_none(), "every solve failed, so nothing ever published");
+    assert!(report.stats.records_behind > 0, "unsolved records are reported, not hidden");
+}
+
+#[test]
+fn deadline_overruns_publish_fresh_but_degraded() {
+    // A zero deadline means every solve is late: posteriors still flow
+    // (fresh data), each flagged degraded.
+    let config = ServeConfig { solve_deadline: Some(Duration::ZERO), ..chaos_config(1) };
+    let observed = sample(3_000, 9);
+    let service = IngestService::spawn(noise(), part(24), config).unwrap();
+    let mut handle = service.handle();
+    for chunk in observed.chunks(150) {
+        loop {
+            match handle.try_ingest(chunk) {
+                Ok(_) => break,
+                Err(Error::Backpressure { .. }) => std::thread::yield_now(),
+                Err(e) => panic!("unexpected ingest error: {e}"),
+            }
+        }
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while service.stats().epoch == 0 {
+        assert!(std::time::Instant::now() < deadline, "no publish in 10s");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(service.stats().degraded, "a zero deadline flags every solve late");
+    let report = service.shutdown().unwrap();
+    let snap = report.final_snapshot.expect("late solves still publish");
+    assert!(snap.degraded, "the snapshot itself carries the lateness flag");
+    assert_eq!(snap.records, observed.len() as u64, "late data is still fresh data");
+    assert_eq!(report.merged.counts(), monolithic(&observed).counts());
+    assert!(report.solve_error.is_none(), "late is not failed");
+}
+
+#[test]
+fn disarmed_registry_is_bit_identical_to_no_registry() {
+    let observed = sample(6_000, 13);
+    // Run A: no registry at all.
+    let service = IngestService::spawn(noise(), part(24), chaos_config(2)).unwrap();
+    let plain = flood_and_shutdown(service, &observed, 90);
+    // Run B: a registry attached with nothing armed.
+    let registry = Arc::new(FaultRegistry::new(999));
+    let config = ServeConfig { faults: Some(registry.clone()), ..chaos_config(2) };
+    let service = IngestService::spawn(noise(), part(24), config).unwrap();
+    let armed = flood_and_shutdown(service, &observed, 90);
+
+    assert_eq!(registry.total_fired(), 0, "nothing armed, nothing fired");
+    assert_eq!(plain.merged.counts(), armed.merged.counts(), "disarmed must change nothing");
+    assert_eq!(plain.merged.count(), armed.merged.count());
+    assert_eq!(plain.stats.worker_restarts, 0);
+    assert_eq!(armed.stats.worker_restarts, 0);
+    assert_eq!(armed.stats.resolver_restarts, 0);
+    let (a, b) = (plain.final_snapshot.unwrap(), armed.final_snapshot.unwrap());
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.histogram, b.histogram, "identical ingest, bit-identical posterior");
+}
+
+#[test]
+fn wal_torn_at_every_byte_boundary_recovers_the_longest_valid_prefix() {
+    // Build a known log (3 deltas, a checkpoint, 2 deltas), remember the
+    // exact cumulative state at every frame boundary, then for EVERY
+    // byte length k assert recovery == state at the last complete frame
+    // within k bytes, and that the file is truncated to that boundary.
+    let noise = channel();
+    let partition = part(12);
+    let temp = TempWal::new("every_boundary");
+    let deltas: Vec<SuffStats> = (0..5)
+        .map(|i| SuffStats::from_values(&noise, partition, &sample(40 + i * 7, 100 + i as u64)))
+        .collect::<Result<_>>()
+        .unwrap();
+    // boundaries[i] = (byte offset after frame i, expected merged state).
+    let mut boundaries: Vec<(u64, SuffStats)> = Vec::new();
+    {
+        let mut writer = WalWriter::open(&WalConfig::new(&temp.0)).unwrap();
+        let mut running = SuffStats::new(&noise, partition).unwrap();
+        for (i, delta) in deltas.iter().enumerate() {
+            if i == 3 {
+                // A checkpoint mid-log: recovery after it must not
+                // re-read the earlier deltas.
+                writer.append_checkpoint(&running).unwrap();
+                boundaries.push((writer.bytes(), running.clone()));
+            }
+            writer.append_delta(delta).unwrap();
+            running.merge_from(delta).unwrap();
+            boundaries.push((writer.bytes(), running.clone()));
+        }
+    }
+    let full = std::fs::read(&temp.0).unwrap();
+    let header = 8u64;
+
+    for k in 0..=full.len() as u64 {
+        std::fs::write(&temp.0, &full[..k as usize]).unwrap();
+        let recovered = wal::recover(&temp.0, &noise, partition).unwrap();
+        // The expected state: the last boundary at or before k (empty
+        // before the first frame completes).
+        // A tear inside the 8-byte magic truncates to an empty file; a
+        // complete header with no complete frame keeps just the header.
+        let empty_prefix = if k < header { 0 } else { header };
+        let expected = boundaries
+            .iter()
+            .rev()
+            .find(|(end, _)| *end <= k)
+            .map(|(end, state)| (*end, state.clone()))
+            .unwrap_or_else(|| (empty_prefix, SuffStats::new(&noise, partition).unwrap()));
+        assert_eq!(
+            recovered.merged.counts(),
+            expected.1.counts(),
+            "tear at byte {k}: recovered state must be the last complete frame"
+        );
+        assert_eq!(recovered.wal_bytes, expected.0, "tear at byte {k}: retained prefix mismatch");
+        assert_eq!(
+            std::fs::metadata(&temp.0).unwrap().len(),
+            expected.0,
+            "tear at byte {k}: the file must be truncated to the valid prefix"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: std::env::var("PROPTEST_CASES")
+            .ok().and_then(|v| v.parse().ok()).unwrap_or(8),
+    })]
+
+    // A single flipped bit anywhere past the header makes exactly the
+    // frames from the damaged one onward unrecoverable — never an
+    // earlier one, never a crash, never silent absorption of the
+    // corrupted frame.
+    #[test]
+    fn wal_single_bit_flip_truncates_at_the_damaged_frame(
+        frames in 1usize..6,
+        flip_seed in 0u64..10_000,
+    ) {
+        let noise = channel();
+        let partition = part(10);
+        let temp = TempWal::new("bitflip");
+        let mut boundaries: Vec<(u64, SuffStats)> = Vec::new();
+        {
+            let mut writer = WalWriter::open(&WalConfig::new(&temp.0)).unwrap();
+            let mut running = SuffStats::new(&noise, partition).unwrap();
+            for i in 0..frames {
+                let delta =
+                    SuffStats::from_values(&noise, partition, &sample(30, flip_seed + i as u64))
+                        .unwrap();
+                writer.append_delta(&delta).unwrap();
+                running.merge_from(&delta).unwrap();
+                boundaries.push((writer.bytes(), running.clone()));
+            }
+        }
+        let mut bytes = std::fs::read(&temp.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(flip_seed);
+        // Flip one bit strictly past the 8-byte header (header damage is
+        // the hard-refusal path, tested separately).
+        let idx = rng.gen_range(8..bytes.len());
+        bytes[idx] ^= 1u8 << rng.gen_range(0..8u32);
+        std::fs::write(&temp.0, &bytes).unwrap();
+
+        let recovered = wal::recover(&temp.0, &noise, partition);
+        // Geometry-echo damage inside a checksum-colliding frame is
+        // impossible for a single bit flip (the checksum catches it), so
+        // recovery must succeed by truncation.
+        let recovered = recovered.unwrap();
+        // Expected: everything before the frame containing the flipped
+        // byte survives; the damaged frame and everything after are cut.
+        let expected = boundaries
+            .iter()
+            .rev()
+            .find(|(end, _)| *end <= idx as u64)
+            .map(|(_, state)| state.clone())
+            .unwrap_or_else(|| SuffStats::new(&noise, partition).unwrap());
+        prop_assert_eq!(
+            recovered.merged.counts(),
+            expected.counts(),
+            "flip at byte {} must truncate at its frame, not before or after",
+            idx
+        );
+    }
+}
+
+#[test]
+fn crash_recover_resume_is_bit_identical_to_a_monolithic_run() {
+    // Service A ingests a prefix with a WAL, shuts down cleanly, and
+    // then we simulate a crash by tearing the log at 60%. Recovery gives
+    // the state at the last surviving frame; a seeded successor ingests
+    // exactly the records the recovered state is missing; its final
+    // merge must be bit-identical to a run that never crashed.
+    let observed = sample(8_000, 55);
+    let noise_model = channel();
+    let partition = part(24);
+    let temp = TempWal::new("resume");
+
+    // Phase 1: one shard (so ingest order maps deterministically onto
+    // WAL order — deltas are merges of a prefix of the stream), paced
+    // slower than the resolve cadence so the log accumulates many
+    // delta frames instead of one giant drain.
+    let config = ServeConfig {
+        wal: Some(WalConfig::new(&temp.0)),
+        resolve_interval: Duration::from_millis(2),
+        ..chaos_config(1)
+    };
+    let service = IngestService::spawn(noise(), partition, config).unwrap();
+    let mut handle = service.handle();
+    for chunk in observed[..5_000].chunks(100) {
+        loop {
+            match handle.try_ingest(chunk) {
+                Ok(_) => break,
+                Err(Error::Backpressure { .. }) => std::thread::yield_now(),
+                Err(e) => panic!("unexpected ingest error: {e}"),
+            }
+        }
+        std::thread::sleep(Duration::from_millis(3));
+    }
+    let report_a = service.shutdown().unwrap();
+    assert_eq!(report_a.merged.count(), 5_000);
+    assert!(report_a.wal_error.is_none());
+    assert!(report_a.stats.wal_frames > 10, "pacing must yield many delta frames");
+
+    // Sanity: a cleanly sealed log replays to exactly the shutdown merge.
+    let clean = wal::recover(&temp.0, &noise_model, partition).unwrap();
+    assert_eq!(clean.merged.counts(), report_a.merged.counts(), "sealed log == shutdown merge");
+    assert_eq!(clean.truncated_bytes, 0);
+
+    // Phase 2: tear the tail (simulated crash mid-append).
+    let full = std::fs::metadata(&temp.0).unwrap().len();
+    let torn = (full as f64 * 0.6) as u64;
+    let file = std::fs::OpenOptions::new().write(true).open(&temp.0).unwrap();
+    file.set_len(torn).unwrap();
+    drop(file);
+
+    // Phase 3: recover. With a single shard and in-order batches, the
+    // recovered sketch covers exactly the first k records.
+    let recovered = IngestService::recover(&temp.0, &noise_model, partition).unwrap();
+    let k = recovered.merged.count() as usize;
+    assert!(k < 5_000, "the tear must actually cost some tail frames");
+    assert_eq!(
+        recovered.merged.counts(),
+        monolithic_part(&observed[..k], partition).counts(),
+        "recovered state is the exact prefix the surviving frames cover"
+    );
+
+    // Phase 4: resume from the recovered state (same WAL path — the
+    // truncated log keeps growing) and ingest everything not covered.
+    let config = ServeConfig { wal: Some(WalConfig::new(&temp.0)), ..chaos_config(1) };
+    let service = IngestService::spawn_seeded(
+        noise(),
+        partition,
+        config,
+        Arc::new(ReconstructionEngine::new()),
+        recovered.merged,
+    )
+    .unwrap();
+    let report_b = flood_and_shutdown(service, &observed[k..], 100);
+
+    // The whole point: crash + recover + resume == never crashed.
+    let whole = monolithic_part(&observed, partition);
+    assert_eq!(report_b.merged.count(), observed.len() as u64);
+    assert_eq!(
+        report_b.merged.counts(),
+        whole.counts(),
+        "crash-recover-resume must be bit-identical to the uninterrupted run"
+    );
+    // And the resumed log, sealed at shutdown, replays to the same.
+    let sealed = wal::recover(&temp.0, &noise_model, partition).unwrap();
+    assert_eq!(sealed.merged.counts(), whole.counts(), "final WAL covers everything");
+    // Solves agree too: same sketch, same posterior.
+    let engine = ReconstructionEngine::new();
+    let cfg = ReconstructionConfig::default();
+    let from_resumed =
+        engine.reconstruct_stats(&noise_model, &report_b.merged, &cfg, None).unwrap();
+    let from_whole = engine.reconstruct_stats(&noise_model, &whole, &cfg, None).unwrap();
+    assert_eq!(from_resumed, from_whole, "bit-identical sketches solve bit-identically");
+}
+
+fn monolithic_part(observed: &[f64], partition: Partition) -> SuffStats {
+    SuffStats::from_values(&channel(), partition, observed).unwrap()
+}
+
+#[test]
+fn wal_under_resolver_crashes_never_double_counts_a_delta() {
+    // Panic the resolver on a schedule while a WAL is active: the
+    // pending-delta redo protocol must neither lose a delta nor append
+    // it twice — recovery of the sealed log equals the shutdown merge.
+    let registry = Arc::new(FaultRegistry::new(0xBEEF));
+    registry.arm(
+        sites::RESOLVER_CYCLE,
+        FaultSpec::new(FaultKind::Panic, Trigger::Every(4)).with_limit(6),
+    );
+    registry
+        .arm(sites::WAL_APPEND, FaultSpec::new(FaultKind::Panic, Trigger::OnHit(3)).with_limit(1));
+    let temp = TempWal::new("redo");
+    let config = ServeConfig {
+        faults: Some(registry.clone()),
+        wal: Some(WalConfig::new(&temp.0)),
+        ..chaos_config(2)
+    };
+    let observed = sample(9_000, 21);
+    let noise_model = channel();
+    let partition = part(24);
+    let service = IngestService::spawn(noise(), partition, config).unwrap();
+    let mut handle = service.handle();
+    for chunk in observed.chunks(90) {
+        loop {
+            match handle.try_ingest(chunk) {
+                Ok(_) => break,
+                Err(Error::Backpressure { .. }) => std::thread::yield_now(),
+                Err(e) => panic!("unexpected ingest error: {e}"),
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let report = service.shutdown().unwrap();
+    assert!(report.stats.resolver_restarts >= 1, "the schedule must kill the resolver");
+    assert_eq!(report.merged.count(), observed.len() as u64, "no delta lost across crashes");
+    assert_eq!(report.merged.counts(), monolithic_part(&observed, partition).counts());
+    assert!(report.wal_error.is_none());
+    let recovered = wal::recover(&temp.0, &noise_model, partition).unwrap();
+    assert_eq!(
+        recovered.merged.counts(),
+        report.merged.counts(),
+        "sealed WAL == shutdown merge: no delta dropped, none appended twice"
+    );
+}
+
+#[test]
+fn ingest_with_backoff_retries_then_reports_typed_exhaustion() {
+    // One shard, 1-slot mailbox, and a worker wedged by injected delays:
+    // a small retry budget exhausts with a typed error; the batch leaves
+    // no residue.
+    let registry = Arc::new(FaultRegistry::new(3));
+    registry.arm(
+        sites::WORKER_LOOP,
+        FaultSpec::new(FaultKind::Delay(Duration::from_millis(50)), Trigger::Always),
+    );
+    let config = ServeConfig {
+        mailbox_capacity: 1,
+        resolve_interval: Duration::from_secs(3600),
+        faults: Some(registry),
+        ..chaos_config(1)
+    };
+    let service = IngestService::spawn(noise(), part(10), config).unwrap();
+    let mut handle = service.handle();
+    // Fill the single mailbox slot (the worker is asleep on the delay).
+    let batch = vec![50.0; 16];
+    let mut queued = 0u64;
+    loop {
+        match handle.try_ingest(&batch) {
+            Ok(_) => queued += 1,
+            Err(Error::Backpressure { .. }) => break,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    // A tiny budget cannot outwait a 50ms-per-message worker.
+    let err = handle.ingest_with_backoff(&batch, BackoffPolicy::none(), 3).unwrap_err();
+    match err {
+        Error::RetriesExhausted { attempts, pending } => {
+            assert_eq!(attempts, 3);
+            assert_eq!(pending, 1, "exactly the refused batch is outstanding");
+        }
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+    // A patient budget succeeds once the worker wakes.
+    handle
+        .ingest_with_backoff(
+            &batch,
+            BackoffPolicy::new(Duration::from_millis(5), Duration::from_millis(80)),
+            200,
+        )
+        .expect("a patient retry budget eventually lands the batch");
+    let report = service.shutdown().unwrap();
+    assert_eq!(
+        report.merged.count(),
+        (queued + 1) * batch.len() as u64,
+        "admitted batches all arrive; exhausted retries leave nothing behind"
+    );
+}

@@ -56,7 +56,7 @@ fn serve_config(shards: usize) -> ServeConfig {
         batch_capacity: 256,
         max_pooled: 64,
         resolve_interval: Duration::from_millis(5),
-        reconstruction: ReconstructionConfig::default(),
+        ..ServeConfig::default()
     }
 }
 
@@ -188,7 +188,7 @@ fn snapshot_epochs_are_strictly_monotonic_under_racing_readers() {
                 masses[1] = (2 * epoch) as f64;
                 let records = epoch + 2 * epoch;
                 let hist = Histogram::from_mass(partition, masses).unwrap();
-                let stamped = publisher.publish(records, hist, 1, true);
+                let stamped = publisher.publish(records, hist, 1, true, false);
                 assert_eq!(stamped, epoch, "publisher epochs are sequential");
                 published.store(epoch, Ordering::Release);
             }
@@ -208,7 +208,7 @@ fn backpressure_floods_lose_nothing() {
         batch_capacity: 64,
         max_pooled: 16,
         resolve_interval: Duration::from_millis(500),
-        reconstruction: ReconstructionConfig::default(),
+        ..ServeConfig::default()
     };
     let service = IngestService::spawn(noise(), part(10), config).unwrap();
     let admitted = Arc::new(AtomicU64::new(0));
@@ -328,4 +328,42 @@ fn warm_epochs_match_final_coverage_and_share_the_kernel() {
         "completed solves must leave a timed last-solve gauge"
     );
     assert!(report.stats.solve_duration_max >= report.stats.solve_duration_last);
+    // A fault-free run reports itself healthy on every axis: no
+    // supervised restarts, no failed solves, no degradation, and no WAL
+    // footprint when none was configured.
+    assert_eq!(report.stats.worker_restarts, 0, "no worker panicked");
+    assert_eq!(report.stats.resolver_restarts, 0, "the resolver never crashed");
+    assert_eq!(report.stats.solve_failures, 0);
+    assert_eq!(report.stats.consecutive_solve_failures, 0);
+    assert!(!report.stats.degraded, "every posterior was a fresh, on-time solve");
+    assert_eq!(report.stats.wal_bytes, 0, "no WAL configured, no WAL bytes");
+    assert_eq!(report.stats.wal_frames, 0);
+    assert!(report.wal_error.is_none());
+    assert!(!snap.degraded, "published snapshots carry the degraded flag, unset here");
+}
+
+#[test]
+fn health_report_reflects_a_clean_service() {
+    let service = IngestService::spawn(noise(), part(10), serve_config(2)).unwrap();
+    let mut handle = service.handle();
+    loop {
+        match handle.try_ingest(&sample(800, 11)) {
+            Ok(_) => break,
+            Err(Error::Backpressure { .. }) => std::thread::yield_now(),
+            Err(e) => panic!("unexpected ingest error: {e}"),
+        }
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while service.stats().epoch == 0 {
+        assert!(std::time::Instant::now() < deadline, "service never published");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let health = service.health();
+    assert!(health.is_healthy(), "clean run: {health:?}");
+    assert_eq!(health.consecutive_solve_failures, 0);
+    assert_eq!(health.worker_restarts, 0);
+    assert_eq!(health.resolver_restarts, 0);
+    assert_eq!(health.wal_lag_records, 0, "no WAL means no durability lag by definition");
+    assert!(health.epoch >= 1);
+    service.shutdown().unwrap();
 }
